@@ -1,0 +1,74 @@
+// E10 — hardware-noise robustness: success rate of each formulation as the
+// coefficient noise σ (relative to the largest |coefficient|, D-Wave
+// "ICE"-style) grows.
+//
+// Expected shape: formulations whose ground state is separated by wide
+// margins (equality: ±A per bit) tolerate several percent of noise;
+// formulations that rely on thin margins (indexOf's 0.1A soft bias;
+// includes' D = 0.5 first-match increments) lose their answers first.
+#include <iomanip>
+#include <iostream>
+
+#include "anneal/noise.hpp"
+#include "anneal/simulated_annealer.hpp"
+#include "strqubo/solver.hpp"
+
+namespace {
+
+using namespace qsmt;
+
+double success_under_noise(const strqubo::Constraint& constraint,
+                           double sigma) {
+  std::size_t successes = 0;
+  constexpr std::size_t kTrials = 12;
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    anneal::SimulatedAnnealerParams params;
+    params.num_reads = 48;
+    params.num_sweeps = 384;
+    params.seed = 900 + trial;
+    const anneal::SimulatedAnnealer inner(params);
+    anneal::NoisySamplerParams noise;
+    noise.sigma = sigma;
+    noise.seed = 7000 + trial;  // Fresh noise realisation per trial.
+    const anneal::NoisySampler sampler(inner, noise);
+    const strqubo::StringConstraintSolver solver(sampler);
+    successes += solver.solve(constraint).satisfied ? 1 : 0;
+  }
+  return static_cast<double>(successes) / kTrials;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E10: formulation robustness to hardware coefficient noise "
+               "(sigma relative to max |coefficient|)\n\n";
+  const std::vector<std::pair<std::string, strqubo::Constraint>> cases{
+      {"equality('hello')", strqubo::Equality{"hello"}},
+      {"palindrome(6)", strqubo::Palindrome{6}},
+      {"indexOf('hi'@2, len 6)", strqubo::IndexOf{6, "hi", 2}},
+      {"includes('abcabcab','abc')", strqubo::Includes{"abcabcab", "abc"}},
+      {"regex a[bc]+ len 5", strqubo::RegexMatch{"a[bc]+", 5}},
+  };
+
+  std::cout << std::setw(28) << "formulation";
+  for (double sigma : {0.0, 0.1, 0.25, 0.5, 1.0}) {
+    std::cout << "  s=" << std::setw(5) << std::fixed << std::setprecision(2)
+              << sigma;
+  }
+  std::cout << '\n' << std::string(28 + 5 * 9, '-') << '\n';
+  for (const auto& [label, constraint] : cases) {
+    std::cout << std::setw(28) << label;
+    for (double sigma : {0.0, 0.1, 0.25, 0.5, 1.0}) {
+      std::cout << "  " << std::setw(7) << std::setprecision(2)
+                << success_under_noise(constraint, sigma);
+    }
+    std::cout << '\n';
+  }
+  std::cout << "\nExpected shape: everything is solid through sigma ~0.1 "
+               "(the verified-sample scan absorbs\nmild corruption); "
+               "includes degrades first (its first-match increments D=0.5 "
+               "are the thinnest\nmargin relative to its -3 match rewards); "
+               "all formulations collapse as sigma approaches the\n"
+               "coefficient scale.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// E6 — regex class-encoding ablation: the paper's averaged ±A/|class| bias
+// (§4.11) vs the one-hot selector extension, measured by the rate at which
+// decoded characters fall outside the class ("invalid-char rate") and the
+// overall constraint success rate.
+//
+// Classes are chosen by the Hamming distance between their two members'
+// 7-bit encodings: the averaged encoding leaves every disagreeing bit
+// unbiased, so its invalid-char rate grows as ~(2^d - 2)/2^d with distance
+// d, while the one-hot encoding should stay near zero at every distance.
+#include <iomanip>
+#include <iostream>
+
+#include "anneal/simulated_annealer.hpp"
+#include "strenc/ascii7.hpp"
+#include "strqubo/solver.hpp"
+#include "strqubo/verify.hpp"
+
+namespace {
+
+using namespace qsmt;
+
+int hamming(char a, char b) {
+  const auto ea = strenc::encode_char(a);
+  const auto eb = strenc::encode_char(b);
+  int d = 0;
+  for (std::size_t i = 0; i < ea.size(); ++i) d += ea[i] != eb[i];
+  return d;
+}
+
+struct Outcome {
+  double invalid_char_rate;
+  double success_rate;
+};
+
+Outcome run(const std::string& klass, strqubo::RegexClassEncoding encoding) {
+  const std::string pattern = "[" + klass + "]+";
+  const std::size_t length = 4;
+  anneal::SimulatedAnnealerParams params;
+  params.num_reads = 64;
+  params.num_sweeps = 256;
+  params.seed = 77;
+  const anneal::SimulatedAnnealer annealer(params);
+  strqubo::BuildOptions options;
+  options.regex_encoding = encoding;
+  const strqubo::StringConstraintSolver solver(annealer, options);
+
+  std::size_t invalid_chars = 0;
+  std::size_t total_chars = 0;
+  std::size_t successes = 0;
+  constexpr std::size_t kTrials = 16;
+  const strqubo::RegexMatch constraint{pattern, length};
+  const auto model = strqubo::build(constraint, options);
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    // Re-seed per trial so the statistics have support. Decode only the
+    // single lowest-energy sample — the study measures what the ENCODING's
+    // ground manifold contains, not the solver's verified-sample rescue.
+    anneal::SimulatedAnnealerParams p = params;
+    p.seed = 77 + trial;
+    const anneal::SimulatedAnnealer trial_annealer(p);
+    const auto samples = trial_annealer.sample(model);
+    const std::string decoded = strenc::decode_string(
+        std::span(samples.best().bits)
+            .subspan(0, strenc::num_variables(length)));
+    successes += strqubo::verify_string(constraint, decoded) ? 1 : 0;
+    for (char c : decoded) {
+      ++total_chars;
+      if (klass.find(c) == std::string::npos) ++invalid_chars;
+    }
+  }
+  return Outcome{
+      static_cast<double>(invalid_chars) / static_cast<double>(total_chars),
+      static_cast<double>(successes) / static_cast<double>(kTrials)};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E6: regex character-class encoding ablation "
+               "(paper-averaged vs one-hot selectors)\n\n";
+  std::cout << "class  hamming  encoding   invalid_char_rate  success\n";
+  std::cout << std::string(56, '-') << '\n';
+  // Classes of increasing member Hamming distance.
+  for (const std::string klass : {"bc", "bd", "ao", "av"}) {
+    const int d = hamming(klass[0], klass[1]);
+    for (auto encoding : {strqubo::RegexClassEncoding::kPaperAveraged,
+                          strqubo::RegexClassEncoding::kOneHotSelectors}) {
+      const Outcome outcome = run(klass, encoding);
+      std::cout << "[" << klass << "]  " << std::setw(7) << d << "  "
+                << std::setw(9)
+                << (encoding == strqubo::RegexClassEncoding::kPaperAveraged
+                        ? "averaged"
+                        : "one-hot")
+                << "  " << std::setw(17) << std::fixed << std::setprecision(3)
+                << outcome.invalid_char_rate << "  " << std::setw(7)
+                << outcome.success_rate << '\n';
+    }
+  }
+  std::cout << "\nExpected shape: averaged invalid rate grows with hamming "
+               "distance; one-hot stays near 0.\n";
+  return 0;
+}

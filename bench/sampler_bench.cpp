@@ -1,0 +1,150 @@
+// E2 — sampler comparison: simulated annealing vs tabu vs greedy descent vs
+// random vs exact on the two quadratic (hard) formulations, palindrome and
+// one-hot regex.
+//
+// Expected shape: exact is optimal but exponential (only feasible at tiny n
+// and excluded from larger instances); SA and tabu find the ground state
+// with high success; greedy restarts degrade on rugged landscapes; random is
+// the floor.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "anneal/exact.hpp"
+#include "anneal/greedy.hpp"
+#include "anneal/random_sampler.hpp"
+#include "anneal/simulated_annealer.hpp"
+#include "anneal/tabu.hpp"
+#include "anneal/population.hpp"
+#include "anneal/tempering.hpp"
+#include "strqubo/solver.hpp"
+
+namespace {
+
+using namespace qsmt;
+
+std::unique_ptr<anneal::Sampler> make_sampler(int which) {
+  switch (which) {
+    case 0: {
+      anneal::SimulatedAnnealerParams p;
+      p.num_reads = 32;
+      p.num_sweeps = 256;
+      p.seed = 17;
+      return std::make_unique<anneal::SimulatedAnnealer>(p);
+    }
+    case 1: {
+      anneal::TabuParams p;
+      p.num_restarts = 16;
+      p.seed = 17;
+      return std::make_unique<anneal::TabuSampler>(p);
+    }
+    case 2: {
+      anneal::GreedyDescentParams p;
+      p.num_reads = 64;
+      p.seed = 17;
+      return std::make_unique<anneal::GreedyDescent>(p);
+    }
+    case 3: {
+      anneal::RandomSamplerParams p;
+      p.num_reads = 64;
+      p.seed = 17;
+      return std::make_unique<anneal::RandomSampler>(p);
+    }
+    case 5: {
+      anneal::ParallelTemperingParams p;
+      p.num_reads = 8;
+      p.num_sweeps = 128;
+      p.seed = 17;
+      return std::make_unique<anneal::ParallelTempering>(p);
+    }
+    case 6: {
+      anneal::PopulationAnnealingParams p;
+      p.num_reads = 8;
+      p.seed = 17;
+      return std::make_unique<anneal::PopulationAnnealing>(p);
+    }
+    default:
+      return std::make_unique<anneal::ExactSolver>();
+  }
+}
+
+const char* sampler_label(int which) {
+  switch (which) {
+    case 0:
+      return "simulated-annealing";
+    case 1:
+      return "tabu";
+    case 2:
+      return "greedy";
+    case 3:
+      return "random";
+    case 5:
+      return "parallel-tempering";
+    case 6:
+      return "population-annealing";
+    default:
+      return "exact";
+  }
+}
+
+void BM_PalindromeBySampler(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto sampler = make_sampler(which);
+  // Exact enumerates 2^(7n): cap it at n = 4 (28 vars).
+  if (which == 4 && n > 4) {
+    // Exact enumeration beyond 28 variables is infeasible; report an empty
+    // run rather than burning hours (benchmark 1.7 has no SkipWithMessage).
+    state.SkipWithError("exact solver capped at 28 variables");
+    return;
+  }
+  const strqubo::StringConstraintSolver solver(*sampler);
+  const strqubo::Constraint constraint = strqubo::Palindrome{n};
+
+  std::size_t solved = 0;
+  std::size_t total = 0;
+  for (auto _ : state) {
+    const auto result = solver.solve(constraint);
+    benchmark::DoNotOptimize(result.energy);
+    solved += result.satisfied ? 1 : 0;
+    ++total;
+  }
+  state.counters["success_rate"] =
+      total == 0 ? 0.0
+                 : static_cast<double>(solved) / static_cast<double>(total);
+  state.SetLabel(std::string(sampler_label(which)) + "/n=" +
+                 std::to_string(n));
+}
+
+void BM_OneHotRegexBySampler(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const auto sampler = make_sampler(which);
+  strqubo::BuildOptions options;
+  options.regex_encoding = strqubo::RegexClassEncoding::kOneHotSelectors;
+  const strqubo::StringConstraintSolver solver(*sampler, options);
+  const strqubo::Constraint constraint = strqubo::RegexMatch{"a[bd]+", 3};
+
+  std::size_t solved = 0;
+  std::size_t total = 0;
+  for (auto _ : state) {
+    const auto result = solver.solve(constraint);
+    benchmark::DoNotOptimize(result.energy);
+    solved += result.satisfied ? 1 : 0;
+    ++total;
+  }
+  state.counters["success_rate"] =
+      total == 0 ? 0.0
+                 : static_cast<double>(solved) / static_cast<double>(total);
+  state.SetLabel(sampler_label(which));
+}
+
+}  // namespace
+
+BENCHMARK(BM_PalindromeBySampler)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6}, {4, 8}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OneHotRegexBySampler)
+    ->ArgsProduct({{0, 1, 2, 3, 5, 6}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

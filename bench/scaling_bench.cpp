@@ -1,0 +1,98 @@
+// E1 — scaling study: QUBO build time and annealer solve time / success
+// rate versus string length, for a generating (equality), a structural
+// (palindrome), and a regex constraint.
+//
+// Expected shape: build time grows linearly in n for diagonal formulations
+// (7n entries) and linearly for palindrome (7·n/2 gadgets); SA solve time
+// grows with n · sweeps; success on diagonal models stays ~1.0 while the
+// quadratic palindrome landscape degrades slowly with n.
+#include <benchmark/benchmark.h>
+
+#include "anneal/simulated_annealer.hpp"
+#include "strqubo/solver.hpp"
+
+namespace {
+
+using namespace qsmt;
+
+std::string letters(std::size_t n) {
+  std::string s(n, 'a');
+  for (std::size_t i = 0; i < n; ++i)
+    s[i] = static_cast<char>('a' + (i * 7) % 26);
+  return s;
+}
+
+strqubo::Constraint scaled_constraint(const std::string& kind, std::size_t n) {
+  if (kind == "equality") return strqubo::Equality{letters(n)};
+  if (kind == "palindrome") return strqubo::Palindrome{n};
+  return strqubo::RegexMatch{"a[bc]+", n};
+}
+
+template <typename... Args>
+void BM_Build(benchmark::State& state, Args&&... args) {
+  const std::string kind = std::get<0>(std::make_tuple(args...));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto constraint = scaled_constraint(kind, n);
+  for (auto _ : state) {
+    const auto model = strqubo::build(constraint);
+    benchmark::DoNotOptimize(model.num_variables());
+  }
+  state.counters["qubo_vars"] =
+      static_cast<double>(strqubo::constraint_num_variables(constraint));
+}
+
+template <typename... Args>
+void BM_Solve(benchmark::State& state, Args&&... args) {
+  const std::string kind = std::get<0>(std::make_tuple(args...));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto constraint = scaled_constraint(kind, n);
+
+  anneal::SimulatedAnnealerParams params;
+  params.num_reads = 32;
+  params.num_sweeps = 256;
+  params.seed = 99;
+  const anneal::SimulatedAnnealer annealer(params);
+  const strqubo::StringConstraintSolver solver(annealer);
+
+  std::size_t solved = 0;
+  std::size_t total = 0;
+  for (auto _ : state) {
+    const auto result = solver.solve(constraint);
+    benchmark::DoNotOptimize(result.energy);
+    solved += result.satisfied ? 1 : 0;
+    ++total;
+  }
+  state.counters["success_rate"] =
+      total == 0 ? 0.0
+                 : static_cast<double>(solved) / static_cast<double>(total);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Build, equality, std::string("equality"))
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Build, palindrome, std::string("palindrome"))
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Build, regex, std::string("regex"))
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_CAPTURE(BM_Solve, equality, std::string("equality"))
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Solve, palindrome, std::string("palindrome"))
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Solve, regex, std::string("regex"))
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// E8 — SMT front-end latency: end-to-end check-sat time as the assertion
+// count grows, for conjunctive queries (merged-QUBO path) and disjunctive
+// queries (DPLL(T) path).
+//
+// Expected shape: conjunctive latency is dominated by one annealer call and
+// grows mildly with the merged model's density; DPLL(T) latency grows with
+// the number of boolean models the theory solver must reject.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "anneal/simulated_annealer.hpp"
+#include "sat/dpllt.hpp"
+#include "smtlib/driver.hpp"
+#include "smtlib/parser.hpp"
+
+namespace {
+
+using namespace qsmt;
+
+anneal::SimulatedAnnealer make_annealer() {
+  anneal::SimulatedAnnealerParams params;
+  params.num_reads = 32;
+  params.num_sweeps = 256;
+  params.seed = 55;
+  return anneal::SimulatedAnnealer(params);
+}
+
+std::string conjunctive_script(std::size_t num_assertions) {
+  std::ostringstream script;
+  script << "(declare-const x String)\n(assert (= (str.len x) 8))\n";
+  const char* substrings[] = {"ab", "ba", "aa", "bb"};
+  for (std::size_t i = 0; i + 1 < num_assertions; ++i) {
+    script << "(assert (str.contains x \"" << substrings[i % 4] << "\"))\n";
+  }
+  script << "(check-sat)\n";
+  return script.str();
+}
+
+void BM_ConjunctiveCheckSat(benchmark::State& state) {
+  const auto annealer = make_annealer();
+  const std::string script =
+      conjunctive_script(static_cast<std::size_t>(state.range(0)));
+  std::size_t sat = 0;
+  std::size_t total = 0;
+  for (auto _ : state) {
+    smtlib::SmtDriver driver(annealer);
+    const std::string out = driver.run_script(script);
+    benchmark::DoNotOptimize(out.size());
+    sat += driver.history().back().status == smtlib::CheckSatStatus::kSat;
+    ++total;
+  }
+  state.counters["sat_rate"] =
+      total == 0 ? 0.0 : static_cast<double>(sat) / static_cast<double>(total);
+}
+
+void BM_ParseOnly(benchmark::State& state) {
+  const std::string script =
+      conjunctive_script(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto commands = smtlib::parse_script(script);
+    benchmark::DoNotOptimize(commands.size());
+  }
+}
+
+void BM_DpllTDisjunctions(benchmark::State& state) {
+  const auto annealer = make_annealer();
+  const auto branches = static_cast<std::size_t>(state.range(0));
+  // (or (= x "w0") (= x "w1") ...) with all but the last branch negated.
+  std::ostringstream script;
+  script << "(declare-const x String)\n(assert (or";
+  for (std::size_t b = 0; b < branches; ++b) {
+    script << " (= x \"w" << b << "\")";
+  }
+  script << "))\n";
+  for (std::size_t b = 0; b + 1 < branches; ++b) {
+    script << "(assert (not (= x \"w" << b << "\")))\n";
+  }
+
+  std::vector<smtlib::TermPtr> assertions;
+  std::map<std::string, smtlib::Sort> declared;
+  for (const auto& command : smtlib::parse_script(script.str())) {
+    if (const auto* decl = std::get_if<smtlib::DeclareConst>(&command)) {
+      declared.emplace(decl->name, decl->sort);
+    } else if (const auto* a = std::get_if<smtlib::AssertCmd>(&command)) {
+      assertions.push_back(a->term);
+    }
+  }
+
+  const sat::DpllTSolver solver(annealer);
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    const auto result = solver.solve(assertions, declared);
+    benchmark::DoNotOptimize(result.status);
+    rounds = result.theory_rounds;
+  }
+  state.counters["theory_rounds"] = static_cast<double>(rounds);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ConjunctiveCheckSat)
+    ->DenseRange(1, 4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParseOnly)->DenseRange(1, 4)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DpllTDisjunctions)
+    ->DenseRange(2, 6, 2)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

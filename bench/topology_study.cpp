@@ -1,0 +1,76 @@
+// E12 — topology comparison: the same logical QUBO minor-embedded onto
+// Chimera, king-lattice, grid, and ideal complete hardware graphs.
+//
+// Expected shape: richer connectivity means shorter chains and fewer
+// physical qubits (complete: all chains length 1), and logical success at
+// fixed annealing effort improves as chains shrink; the sparse grid pays
+// the longest chains.
+#include <iomanip>
+#include <iostream>
+
+#include "anneal/exact.hpp"
+#include "graph/chimera.hpp"
+#include "graph/embedded_sampler.hpp"
+#include "graph/topologies.hpp"
+#include "strqubo/builders.hpp"
+
+namespace {
+
+using namespace qsmt;
+
+void run_row(const std::string& label, const graph::Graph& target,
+             const qubo::QuboModel& model, double ground) {
+  graph::EmbeddedSamplerParams params;
+  params.anneal.num_reads = 64;
+  params.anneal.num_sweeps = 256;
+  params.anneal.seed = 9;
+  params.anneal.polish_with_greedy = false;
+  params.embedding_seed = 9;
+  params.embedding_attempts = 8;
+  const graph::EmbeddedSampler sampler(target, params);
+
+  std::cout << std::setw(16) << label << std::setw(9) << target.num_nodes();
+  try {
+    graph::EmbeddedSampleStats stats;
+    const anneal::SampleSet samples = sampler.sample_with_stats(model, stats);
+    std::cout << std::setw(10) << stats.physical_variables << std::setw(10)
+              << stats.embedding.max_chain_length() << std::setw(12)
+              << std::fixed << std::setprecision(4)
+              << stats.chain_break_fraction << std::setw(9)
+              << std::setprecision(3) << samples.success_fraction(ground)
+              << '\n';
+  } catch (const std::exception&) {
+    std::cout << "  no embedding exists (planar target cannot host a K6-"
+                 "minor)\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E12: one logical problem across hardware topologies\n\n";
+
+  const auto model = strqubo::build_includes("abcabcab", "abc");
+  const double ground = anneal::ExactSolver().ground_energy(model);
+  std::cout << "logical model: includes('abcabcab','abc') — "
+            << model.num_variables() << " vars, " << model.num_interactions()
+            << " couplers (dense)\n\n";
+  std::cout << std::setw(16) << "topology" << std::setw(9) << "qubits"
+            << std::setw(10) << "physical" << std::setw(10) << "max_chain"
+            << std::setw(12) << "break_frac" << std::setw(9) << "success"
+            << '\n';
+  std::cout << std::string(66, '-') << '\n';
+
+  run_row("complete", graph::make_complete(8), model, ground);
+  run_row("chimera(4,4,4)", graph::make_chimera(4, 4, 4), model, ground);
+  run_row("king(8x8)", graph::make_king(8, 8), model, ground);
+  run_row("grid(16x16)", graph::make_grid(16, 16), model, ground);
+
+  std::cout << "\nExpected shape: complete embeds chain-free; chains grow "
+               "(and success at fixed effort\ndrops) as connectivity thins. "
+               "The plain grid is PLANAR, and K6 minors are not, so the\n"
+               "dense includes model cannot embed there at all -- the "
+               "topology, not the heuristic,\nis the limit (real annealer "
+               "graphs are all non-planar for exactly this reason).\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// E13 — time-to-solution analysis: the standard annealing-performance
+// metric. For a per-read success probability p and per-read time t,
+//   TTS(0.99) = t * ln(1 - 0.99) / ln(1 - p)
+// is the expected wall time to observe a solution with 99% confidence.
+// Sweeping the sweep budget exposes the classic U-shape: too few sweeps
+// and p collapses (TTS blows up on the repeat count); too many and each
+// read overpays (TTS grows linearly) — the optimum sits between.
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "anneal/simulated_annealer.hpp"
+#include "strenc/ascii7.hpp"
+#include "strqubo/solver.hpp"
+#include "strqubo/verify.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace qsmt;
+
+struct Row {
+  std::size_t sweeps;
+  double per_read_success;
+  double per_read_ms;
+  double tts99_ms;  // Infinity when no read succeeded.
+};
+
+Row measure(const strqubo::Constraint& constraint, std::size_t sweeps,
+            bool polish) {
+  const auto model = strqubo::build(constraint);
+  const std::size_t string_bits = strqubo::constraint_num_variables(constraint);
+
+  anneal::SimulatedAnnealerParams params;
+  params.num_reads = 256;
+  params.num_sweeps = sweeps;
+  params.seed = 77;
+  params.polish_with_greedy = polish;
+  const anneal::SimulatedAnnealer annealer(params);
+
+  Stopwatch timer;
+  const anneal::SampleSet samples = annealer.sample(model);
+  const double total_ms = 1000.0 * timer.elapsed_seconds();
+  const double per_read_ms = total_ms / static_cast<double>(params.num_reads);
+
+  std::size_t successes = 0;
+  for (const auto& s : samples) {
+    const std::string decoded = strenc::decode_string(
+        std::span(s.bits).subspan(0, string_bits));
+    if (strqubo::verify_string(constraint, decoded)) {
+      successes += s.num_occurrences;
+    }
+  }
+  const double p =
+      static_cast<double>(successes) / static_cast<double>(params.num_reads);
+
+  double tts = std::numeric_limits<double>::infinity();
+  if (p >= 1.0) {
+    tts = per_read_ms;
+  } else if (p > 0.0) {
+    tts = per_read_ms * std::log(1.0 - 0.99) / std::log(1.0 - p);
+  }
+  return Row{sweeps, p, per_read_ms, tts};
+}
+
+void print_tts(double tts) {
+  if (std::isinf(tts)) {
+    std::cout << "      inf";
+  } else {
+    std::cout << std::setw(9) << std::fixed << std::setprecision(3) << tts;
+  }
+}
+
+void run(const std::string& label, const strqubo::Constraint& constraint) {
+  std::cout << label << ":\n";
+  std::cout << "  sweeps   raw p  raw TTS99(ms)   polished p  pol TTS99(ms)\n";
+  std::cout << "  " << std::string(56, '-') << '\n';
+  for (std::size_t sweeps : {4, 16, 64, 256, 1024}) {
+    const Row raw = measure(constraint, sweeps, /*polish=*/false);
+    const Row polished = measure(constraint, sweeps, /*polish=*/true);
+    std::cout << "  " << std::setw(6) << raw.sweeps << "  " << std::setw(6)
+              << std::fixed << std::setprecision(3) << raw.per_read_success
+              << "  ";
+    print_tts(raw.tts99_ms);
+    std::cout << "       " << std::setw(10) << std::setprecision(3)
+              << polished.per_read_success << "  ";
+    print_tts(polished.tts99_ms);
+    std::cout << '\n';
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E13: time-to-solution (99% confidence) vs sweep budget, "
+               "256 reads, raw vs greedy-polished\n\n";
+  run("palindrome(8)", strqubo::Palindrome{8});
+  run("regex a[bc]+ length 6", strqubo::RegexMatch{"a[bc]+", 6});
+  run("equality('hello')", strqubo::Equality{"hello"});
+  std::cout << "Expected shape: raw success plateaus near (1 - 1/100)^n — "
+               "the residual thermal flip rate\nat the default beta_cold = "
+               "ln(100)/min|coeff| — so raw TTS99 grows with the budget and "
+               "the\noptimum sits at the smallest budget that equilibrates. "
+               "The greedy quench removes that\nceiling (p ~ 1.0), which is "
+               "exactly why annealing pipelines end with a descent pass.\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// benchmark_run — execute a directory of .smt2 benchmarks (e.g. one written
+// by benchmark_gen) and print a per-file and aggregate report, SMT-COMP
+// style.
+//
+// Usage:
+//   benchmark_run DIR [--dpllt] [--one-hot] [--reads N] [--sweeps N]
+//                 [--seed S]
+//
+// --one-hot switches regex character classes to the exact selector encoding
+// (the paper's averaged encoding fails on classes whose members differ in
+// several bits; see DESIGN.md E6).
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "anneal/simulated_annealer.hpp"
+#include "engine/engine.hpp"
+#include "util/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qsmt;
+
+  std::string dir;
+  bool force_dpllt = false;
+  strqubo::BuildOptions options;
+  anneal::SimulatedAnnealerParams params;
+  params.num_reads = 64;
+  params.num_sweeps = 512;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+      return argv[++i];
+    };
+    try {
+      if (arg == "--dpllt") {
+        force_dpllt = true;
+      } else if (arg == "--one-hot") {
+        options.regex_encoding = strqubo::RegexClassEncoding::kOneHotSelectors;
+      } else if (arg == "--reads") {
+        params.num_reads = std::stoull(next());
+      } else if (arg == "--sweeps") {
+        params.num_sweeps = std::stoull(next());
+      } else if (arg == "--seed") {
+        params.seed = std::stoull(next());
+      } else {
+        dir = arg;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+  }
+  if (dir.empty()) {
+    std::cerr << "usage: benchmark_run DIR [--dpllt] [--one-hot] [--reads N]"
+                 " [--sweeps N] [--seed S]\n";
+    return 1;
+  }
+
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".smt2") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "error: no .smt2 files in " << dir << '\n';
+    return 1;
+  }
+
+  const anneal::SimulatedAnnealer annealer(params);
+  std::size_t sat = 0;
+  std::size_t unsat = 0;
+  std::size_t unknown = 0;
+  std::size_t errors = 0;
+  double total_seconds = 0.0;
+
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    std::cout << std::setw(40) << std::left << path.filename().string()
+              << "  ";
+    try {
+      Stopwatch timer;
+      const engine::ScriptResult result =
+          engine::solve_script(buffer.str(), annealer, options, force_dpllt);
+      const double seconds = timer.elapsed_seconds();
+      total_seconds += seconds;
+      switch (result.status) {
+        case smtlib::CheckSatStatus::kSat:
+          ++sat;
+          break;
+        case smtlib::CheckSatStatus::kUnsat:
+          ++unsat;
+          break;
+        case smtlib::CheckSatStatus::kUnknown:
+          ++unknown;
+          break;
+      }
+      std::cout << std::setw(8) << std::left
+                << smtlib::status_name(result.status) << std::fixed
+                << std::setprecision(1) << 1000.0 * seconds << " ms";
+      if (!result.model_value.empty()) {
+        std::cout << "  \"" << result.model_value << "\"";
+      }
+      std::cout << '\n';
+    } catch (const std::exception& e) {
+      ++errors;
+      std::cout << "error: " << e.what() << '\n';
+    }
+  }
+
+  std::cout << '\n'
+            << files.size() << " benchmarks: " << sat << " sat, " << unsat
+            << " unsat, " << unknown << " unknown, " << errors
+            << " errors  (" << std::fixed << std::setprecision(2)
+            << total_seconds << " s total)\n";
+  return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,177 @@
+// qubo_tool — solve a standalone QUBO from a COO text file with any of the
+// suite's samplers. Useful for debugging formulations and for feeding the
+// annealing substrate problems that did not come from string constraints.
+//
+// Usage:
+//   qubo_tool [--sampler sa|pimc|tabu|pt|greedy|random|exact]
+//             [--reads N] [--sweeps N] [--seed N] [--top K] [file|-]
+//
+// With no file, a small built-in demo QUBO (a 4-variable double well) is
+// solved. Input format is qubo/serialize.hpp's COO text:
+//   qubo <num_vars> <num_entries> <offset>
+//   i j value        (i == j: linear term)
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "anneal/exact.hpp"
+#include "anneal/greedy.hpp"
+#include "anneal/pimc.hpp"
+#include "anneal/random_sampler.hpp"
+#include "anneal/simulated_annealer.hpp"
+#include "anneal/tabu.hpp"
+#include "anneal/tempering.hpp"
+#include "qubo/serialize.hpp"
+
+namespace {
+
+using namespace qsmt;
+
+constexpr const char* kDemoQubo = R"(qubo 4 10 0
+0 0 1.0
+1 1 1.0
+2 2 1.0
+3 3 1.0
+0 1 -0.8
+0 2 -0.8
+0 3 -0.8
+1 2 -0.8
+1 3 -0.8
+2 3 -0.8
+)";
+
+struct Options {
+  std::string sampler = "sa";
+  std::size_t reads = 64;
+  std::size_t sweeps = 512;
+  std::uint64_t seed = 0;
+  std::size_t top = 5;
+  std::string file;
+};
+
+std::unique_ptr<anneal::Sampler> make_sampler(const Options& options) {
+  if (options.sampler == "sa") {
+    anneal::SimulatedAnnealerParams p;
+    p.num_reads = options.reads;
+    p.num_sweeps = options.sweeps;
+    p.seed = options.seed;
+    return std::make_unique<anneal::SimulatedAnnealer>(p);
+  }
+  if (options.sampler == "pimc") {
+    anneal::PathIntegralParams p;
+    p.num_reads = options.reads;
+    p.num_sweeps = options.sweeps;
+    p.seed = options.seed;
+    return std::make_unique<anneal::PathIntegralAnnealer>(p);
+  }
+  if (options.sampler == "tabu") {
+    anneal::TabuParams p;
+    p.num_restarts = options.reads;
+    p.seed = options.seed;
+    return std::make_unique<anneal::TabuSampler>(p);
+  }
+  if (options.sampler == "pt") {
+    anneal::ParallelTemperingParams p;
+    p.num_reads = options.reads;
+    p.num_sweeps = options.sweeps;
+    p.seed = options.seed;
+    return std::make_unique<anneal::ParallelTempering>(p);
+  }
+  if (options.sampler == "greedy") {
+    anneal::GreedyDescentParams p;
+    p.num_reads = options.reads;
+    p.seed = options.seed;
+    return std::make_unique<anneal::GreedyDescent>(p);
+  }
+  if (options.sampler == "random") {
+    anneal::RandomSamplerParams p;
+    p.num_reads = options.reads;
+    p.seed = options.seed;
+    return std::make_unique<anneal::RandomSampler>(p);
+  }
+  if (options.sampler == "exact") {
+    return std::make_unique<anneal::ExactSolver>();
+  }
+  throw std::invalid_argument("unknown sampler: " + options.sampler);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+      return argv[++i];
+    };
+    try {
+      if (arg == "--sampler") {
+        options.sampler = next();
+      } else if (arg == "--reads") {
+        options.reads = std::stoull(next());
+      } else if (arg == "--sweeps") {
+        options.sweeps = std::stoull(next());
+      } else if (arg == "--seed") {
+        options.seed = std::stoull(next());
+      } else if (arg == "--top") {
+        options.top = std::stoull(next());
+      } else if (arg == "--help") {
+        std::cout << "usage: qubo_tool [--sampler sa|pimc|tabu|pt|greedy|"
+                     "random|exact] [--reads N]\n"
+                     "                 [--sweeps N] [--seed N] [--top K] "
+                     "[file|-]\n";
+        return 0;
+      } else {
+        options.file = arg;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+  }
+
+  std::string source;
+  if (options.file.empty()) {
+    std::cout << "; no input, solving the built-in demo QUBO\n";
+    source = kDemoQubo;
+  } else if (options.file == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    source = buffer.str();
+  } else {
+    std::ifstream in(options.file);
+    if (!in) {
+      std::cerr << "error: cannot open " << options.file << '\n';
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  }
+
+  try {
+    const qubo::QuboModel model = qubo::from_coo_string(source);
+    const auto sampler = make_sampler(options);
+    std::cout << "; " << model.num_variables() << " variables, "
+              << model.num_interactions() << " interactions, sampler "
+              << sampler->name() << '\n';
+    const anneal::SampleSet samples = sampler->sample(model);
+    std::size_t shown = 0;
+    for (const auto& sample : samples) {
+      if (shown++ >= options.top) break;
+      std::cout << "energy " << sample.energy << "  x" << sample.num_occurrences
+                << "  [";
+      for (std::size_t i = 0; i < sample.bits.size(); ++i) {
+        std::cout << int{sample.bits[i]};
+      }
+      std::cout << "]\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

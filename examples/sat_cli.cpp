@@ -1,0 +1,61 @@
+// sat_cli — solve a DIMACS CNF file with the embedded CDCL solver.
+//
+// Usage:
+//   sat_cli [file.cnf]   solve a DIMACS file ("-" for stdin)
+//   sat_cli              solve a built-in demo instance
+//
+// Output follows SAT-competition conventions: an "s" status line and, for
+// satisfiable instances, a "v" model line.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "sat/dimacs.hpp"
+
+namespace {
+
+constexpr const char* kDemoCnf = R"(c demo: (x1 | ~x2) & (x2 | x3) & (~x1)
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source;
+  if (argc < 2) {
+    std::cout << "c no input file, solving the built-in demo instance\n";
+    source = kDemoCnf;
+  } else if (std::string(argv[1]) == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    source = buffer.str();
+  } else {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::cerr << "error: cannot open " << argv[1] << '\n';
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    source = buffer.str();
+  }
+
+  try {
+    const qsmt::sat::DimacsResult result = qsmt::sat::solve_dimacs(source);
+    if (result.status == qsmt::sat::SolveStatus::kSat) {
+      std::cout << "s SATISFIABLE\nv ";
+      for (qsmt::sat::Literal lit : result.model) std::cout << lit << ' ';
+      std::cout << "0\n";
+      return 10;  // SAT-competition exit code for sat.
+    }
+    std::cout << "s UNSATISFIABLE\n";
+    return 20;  // SAT-competition exit code for unsat.
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

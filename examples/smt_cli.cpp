@@ -1,0 +1,88 @@
+// smt_cli — a z3-style command-line front end for the annealing solver.
+//
+// Usage:
+//   smt_cli [file.smt2]       run a script from a file
+//   smt_cli -                 read the script from stdin
+//   smt_cli                   run a built-in demo script
+//   smt_cli --dpllt [file]    force the DPLL(T) engine
+//   smt_cli --one-hot [file]  exact one-hot regex class encoding (E6)
+//
+// Engine selection is automatic (engine::solve_script): plain conjunctions
+// use the merged-QUBO driver, boolean structure routes to DPLL(T).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "anneal/simulated_annealer.hpp"
+#include "engine/engine.hpp"
+
+namespace {
+
+constexpr const char* kDemoScript = R"((set-logic QF_S)
+(declare-const x String)
+(assert (= (str.len x) 6))
+(assert (str.contains x "hi"))
+(check-sat)
+(get-model)
+(echo "demo finished"))";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool force_dpllt = false;
+  qsmt::strqubo::BuildOptions options;
+  std::string source;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--dpllt") {
+      force_dpllt = true;
+      it = args.erase(it);
+    } else if (*it == "--one-hot") {
+      options.regex_encoding =
+          qsmt::strqubo::RegexClassEncoding::kOneHotSelectors;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (args.empty()) {
+    std::cout << "; no input file, running the built-in demo script\n";
+    source = kDemoScript;
+  } else if (args[0] == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    source = buffer.str();
+  } else {
+    std::ifstream file(args[0]);
+    if (!file) {
+      std::cerr << "error: cannot open " << args[0] << '\n';
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    source = buffer.str();
+  }
+
+  qsmt::anneal::SimulatedAnnealerParams params;
+  params.num_reads = 64;
+  params.num_sweeps = 512;
+  params.seed = 7;
+  const qsmt::anneal::SimulatedAnnealer annealer(params);
+
+  try {
+    const qsmt::engine::ScriptResult result =
+        qsmt::engine::solve_script(source, annealer, options, force_dpllt);
+    if (result.engine == qsmt::engine::EngineKind::kDpllT) {
+      std::cout << "; boolean structure detected, using DPLL(T)\n";
+    }
+    std::cout << result.transcript;
+    for (const auto& note : result.notes) std::cout << "; " << note << '\n';
+    return result.status == qsmt::smtlib::CheckSatStatus::kUnknown ? 2 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,49 @@
+#include "anneal/autotune.hpp"
+
+#include "anneal/simulated_annealer.hpp"
+
+#include "util/rng.hpp"
+#include "util/require.hpp"
+
+namespace qsmt::anneal {
+
+TuneResult tune_sweeps(const qubo::QuboModel& model, const SampleJudge& judge,
+                       const TuneParams& params) {
+  require(static_cast<bool>(judge), "tune_sweeps: judge must be callable");
+  require(params.initial_sweeps >= 1 &&
+              params.initial_sweeps <= params.max_sweeps,
+          "tune_sweeps: need 1 <= initial_sweeps <= max_sweeps");
+  require(params.pilot_reads >= 1, "tune_sweeps: pilot_reads must be >= 1");
+  require(params.target_success > 0.0 && params.target_success <= 1.0,
+          "tune_sweeps: target_success must be in (0, 1]");
+
+  TuneResult result;
+  std::size_t sweeps = params.initial_sweeps;
+  while (true) {
+    ++result.probes;
+    SimulatedAnnealerParams sa;
+    sa.num_reads = params.pilot_reads;
+    sa.num_sweeps = sweeps;
+    // A fresh stream per probe so probes are independent but reproducible.
+    sa.seed = mix_seed(params.seed, result.probes);
+    const SampleSet samples = SimulatedAnnealer(sa).sample(model);
+
+    std::size_t good = 0;
+    std::size_t total = 0;
+    for (const Sample& s : samples) {
+      total += s.num_occurrences;
+      if (judge(s.bits)) good += s.num_occurrences;
+    }
+    result.sweeps = sweeps;
+    result.success =
+        total == 0 ? 0.0 : static_cast<double>(good) / static_cast<double>(total);
+    if (result.success >= params.target_success) {
+      result.target_met = true;
+      return result;
+    }
+    if (sweeps >= params.max_sweeps) return result;
+    sweeps = std::min(sweeps * 2, params.max_sweeps);
+  }
+}
+
+}  // namespace qsmt::anneal

@@ -1,0 +1,44 @@
+// Annealing-effort auto-tuning.
+//
+// Production annealing workflows size num_sweeps empirically: too few and
+// the success probability collapses, too many and every solve overpays.
+// tune_sweeps runs a doubling search — starting from a floor, double the
+// sweep budget until the measured success rate over a pilot batch reaches
+// the target (or the ceiling is hit) — and reports the chosen budget with
+// its measured rate. Success is defined by a caller-supplied predicate on
+// the decoded sample (e.g. "classically verifies"), not by energy alone,
+// so it composes with every formulation in the suite.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "qubo/qubo_model.hpp"
+
+namespace qsmt::anneal {
+
+struct TuneParams {
+  std::size_t initial_sweeps = 8;
+  std::size_t max_sweeps = 4096;
+  std::size_t pilot_reads = 32;   ///< Reads per probe batch.
+  double target_success = 0.9;    ///< Fraction of reads that must succeed.
+  std::uint64_t seed = 0;
+};
+
+struct TuneResult {
+  std::size_t sweeps = 0;         ///< Chosen budget.
+  double success = 0.0;           ///< Measured success at that budget.
+  bool target_met = false;        ///< False when max_sweeps was exhausted.
+  std::size_t probes = 0;         ///< Doubling steps performed.
+};
+
+/// Predicate deciding whether one sample's bit assignment counts as a
+/// success (e.g. decodes to a verified string).
+using SampleJudge = std::function<bool(std::span<const std::uint8_t>)>;
+
+/// Doubling search over num_sweeps for the built-in simulated annealer.
+TuneResult tune_sweeps(const qubo::QuboModel& model, const SampleJudge& judge,
+                       const TuneParams& params = {});
+
+}  // namespace qsmt::anneal

@@ -1,0 +1,99 @@
+#include "anneal/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "qubo/adjacency.hpp"
+#include "util/require.hpp"
+
+namespace qsmt::anneal {
+
+ExactSolver::ExactSolver(ExactSolverParams params) : params_(params) {
+  require(params_.max_samples >= 1, "ExactSolver: max_samples must be >= 1");
+}
+
+namespace {
+
+// Index of the bit that changes between Gray codes of k and k+1.
+std::size_t gray_flip_index(std::uint64_t k) noexcept {
+  return static_cast<std::size_t>(__builtin_ctzll(k + 1));
+}
+
+template <typename Visit>
+void enumerate(const qubo::QuboAdjacency& adjacency, Visit&& visit) {
+  const std::size_t n = adjacency.num_variables();
+  std::vector<std::uint8_t> bits(n, 0);
+  std::vector<double> field(n);
+  for (std::size_t i = 0; i < n; ++i) field[i] = adjacency.linear(i);
+
+  double energy = adjacency.offset();
+  visit(bits, energy);
+  const std::uint64_t total = 1ULL << n;
+  for (std::uint64_t k = 0; k + 1 < total; ++k) {
+    const std::size_t i = gray_flip_index(k);
+    energy += bits[i] ? -field[i] : field[i];
+    const double step = bits[i] ? -1.0 : 1.0;
+    bits[i] ^= 1u;
+    for (const auto& nb : adjacency.neighbors(i)) {
+      field[nb.index] += nb.coefficient * step;
+    }
+    visit(bits, energy);
+  }
+}
+
+}  // namespace
+
+SampleSet ExactSolver::sample(const qubo::QuboModel& model) const {
+  require(model.num_variables() <= params_.max_variables,
+          "ExactSolver: model exceeds max_variables");
+  const qubo::QuboAdjacency adjacency(model);
+
+  // Keep the best max_samples assignments seen so far. The candidate pool is
+  // kept at twice the budget and compacted when full, so the enumeration
+  // stays O(2^n log k) without a per-step sort.
+  struct Candidate {
+    std::vector<std::uint8_t> bits;
+    double energy;
+  };
+  std::vector<Candidate> pool;
+  pool.reserve(params_.max_samples * 2 + 1);
+  double worst_kept = std::numeric_limits<double>::infinity();
+
+  auto compact = [&] {
+    std::sort(pool.begin(), pool.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.energy < b.energy;
+              });
+    if (pool.size() > params_.max_samples) pool.resize(params_.max_samples);
+    worst_kept = pool.size() == params_.max_samples
+                     ? pool.back().energy
+                     : std::numeric_limits<double>::infinity();
+  };
+
+  enumerate(adjacency, [&](const std::vector<std::uint8_t>& bits,
+                           double energy) {
+    if (energy >= worst_kept) return;
+    pool.push_back(Candidate{bits, energy});
+    if (pool.size() >= params_.max_samples * 2) compact();
+  });
+  compact();
+
+  SampleSet set;
+  for (auto& c : pool) set.add(std::move(c.bits), c.energy);
+  set.sort_by_energy();
+  return set;
+}
+
+double ExactSolver::ground_energy(const qubo::QuboModel& model) const {
+  require(model.num_variables() <= params_.max_variables,
+          "ExactSolver: model exceeds max_variables");
+  const qubo::QuboAdjacency adjacency(model);
+  double best = std::numeric_limits<double>::infinity();
+  enumerate(adjacency, [&](const std::vector<std::uint8_t>&, double energy) {
+    best = std::min(best, energy);
+  });
+  return best;
+}
+
+}  // namespace qsmt::anneal

@@ -1,0 +1,74 @@
+#include "anneal/greedy.hpp"
+
+#include <omp.h>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::anneal {
+
+namespace detail {
+
+std::size_t greedy_descend(const qubo::QuboAdjacency& adjacency,
+                           std::vector<std::uint8_t>& bits) {
+  const std::size_t n = adjacency.num_variables();
+  std::vector<double> field(n);
+  for (std::size_t i = 0; i < n; ++i) field[i] = adjacency.local_field(bits, i);
+
+  std::size_t flips = 0;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    // Steepest: pick the single best flip each round.
+    double best_delta = 0.0;
+    std::size_t best_var = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double delta = bits[i] ? -field[i] : field[i];
+      if (delta < best_delta) {
+        best_delta = delta;
+        best_var = i;
+      }
+    }
+    if (best_var != n) {
+      const double step = bits[best_var] ? -1.0 : 1.0;
+      bits[best_var] ^= 1u;
+      for (const auto& nb : adjacency.neighbors(best_var)) {
+        field[nb.index] += nb.coefficient * step;
+      }
+      ++flips;
+      improved = true;
+    }
+  }
+  return flips;
+}
+
+}  // namespace detail
+
+GreedyDescent::GreedyDescent(GreedyDescentParams params) : params_(params) {
+  require(params_.num_reads >= 1, "GreedyDescent: num_reads must be >= 1");
+}
+
+SampleSet GreedyDescent::sample(const qubo::QuboModel& model) const {
+  const qubo::QuboAdjacency adjacency(model);
+  const std::size_t n = adjacency.num_variables();
+  const std::size_t reads = params_.num_reads;
+  std::vector<Sample> results(reads);
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(reads); ++r) {
+    Xoshiro256 rng(params_.seed, static_cast<std::uint64_t>(r));
+    std::vector<std::uint8_t> bits(n);
+    for (auto& b : bits) b = rng.coin() ? 1 : 0;
+    detail::greedy_descend(adjacency, bits);
+    auto& out = results[static_cast<std::size_t>(r)];
+    out.energy = adjacency.energy(bits);
+    out.bits = std::move(bits);
+  }
+
+  SampleSet set;
+  for (auto& s : results) set.add(std::move(s));
+  set.aggregate();
+  return set;
+}
+
+}  // namespace qsmt::anneal

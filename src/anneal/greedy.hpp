@@ -1,0 +1,39 @@
+// Steepest-descent polishing and a standalone greedy sampler.
+//
+// Equivalent to dwave-greedy's SteepestDescentSampler: repeatedly flips the
+// variable with the most negative energy delta until no flip improves. Used
+// both as a post-processing step after annealing (quenching residual
+// thermal noise) and as a cheap baseline sampler from random starts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anneal/sampler.hpp"
+#include "qubo/adjacency.hpp"
+
+namespace qsmt::anneal {
+
+namespace detail {
+/// Runs steepest descent in place; returns the number of flips performed.
+std::size_t greedy_descend(const qubo::QuboAdjacency& adjacency,
+                           std::vector<std::uint8_t>& bits);
+}  // namespace detail
+
+struct GreedyDescentParams {
+  std::size_t num_reads = 64;  ///< Independent random restarts.
+  std::uint64_t seed = 0;
+};
+
+class GreedyDescent final : public Sampler {
+ public:
+  explicit GreedyDescent(GreedyDescentParams params = {});
+
+  SampleSet sample(const qubo::QuboModel& model) const override;
+  std::string name() const override { return "greedy-descent"; }
+
+ private:
+  GreedyDescentParams params_;
+};
+
+}  // namespace qsmt::anneal

@@ -1,0 +1,73 @@
+#include "anneal/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::anneal {
+
+namespace {
+
+/// Standard normal via Box-Muller (fine for noise injection).
+double gaussian(Xoshiro256& rng) {
+  // Avoid log(0): uniform() is in [0, 1), so flip to (0, 1].
+  const double u1 = 1.0 - rng.uniform();
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace
+
+qubo::QuboModel perturb_coefficients(const qubo::QuboModel& model,
+                                     double sigma, std::uint64_t seed) {
+  require(sigma >= 0.0, "perturb_coefficients: sigma must be non-negative");
+  const double scale = sigma * model.max_abs_coefficient();
+  qubo::QuboModel noisy(model.num_variables());
+  noisy.set_offset(model.offset());
+  if (scale == 0.0) {
+    noisy = model;
+    return noisy;
+  }
+  Xoshiro256 rng(seed, 0x401feULL);
+  for (std::size_t i = 0; i < model.num_variables(); ++i) {
+    const double v = model.linear_terms()[i];
+    if (v != 0.0) noisy.set_linear(i, v + scale * gaussian(rng));
+  }
+  // Iterate quadratic terms in sorted order so the noise realisation is
+  // deterministic regardless of hash-map layout.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(model.quadratic_terms().size());
+  for (const auto& [key, value] : model.quadratic_terms()) {
+    if (value != 0.0) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (std::uint64_t key : keys) {
+    noisy.set_quadratic(key >> 32, key & 0xffffffffULL,
+                        model.quadratic_terms().at(key) +
+                            scale * gaussian(rng));
+  }
+  return noisy;
+}
+
+NoisySampler::NoisySampler(const Sampler& inner, NoisySamplerParams params)
+    : inner_(&inner), params_(params) {
+  require(params_.sigma >= 0.0, "NoisySampler: sigma must be non-negative");
+}
+
+SampleSet NoisySampler::sample(const qubo::QuboModel& model) const {
+  const qubo::QuboModel noisy =
+      perturb_coefficients(model, params_.sigma, params_.seed);
+  const SampleSet raw = inner_->sample(noisy);
+  // Re-score against the true model (readout happens in problem units).
+  SampleSet rescored;
+  for (const Sample& s : raw) {
+    rescored.add(s.bits, model.energy(s.bits), s.num_occurrences);
+  }
+  rescored.aggregate();
+  return rescored;
+}
+
+}  // namespace qsmt::anneal

@@ -1,0 +1,48 @@
+// Hardware coefficient-noise model.
+//
+// Real quantum annealers do not implement the programmed Hamiltonian
+// exactly: analog control errors perturb every h_i and J_ij (D-Wave calls
+// this "ICE", integrated control errors, with σ on the order of a few
+// percent of the coupler range). The sampler then optimises the *wrong*
+// model, so formulations whose ground state is separated by a thin margin
+// (e.g. the ±0.1A soft biases of indexOf) lose their answers first.
+//
+// NoisySampler wraps any sampler: each sample() call draws one noise
+// realisation (deterministic in the seed), runs the inner sampler on the
+// perturbed model, and re-scores the returned samples against the TRUE
+// model — exactly what happens when hardware results are read back.
+#pragma once
+
+#include <cstdint>
+
+#include "anneal/sampler.hpp"
+
+namespace qsmt::anneal {
+
+/// Returns `model` with every nonzero linear and quadratic coefficient
+/// perturbed by independent Gaussian noise of standard deviation
+/// `sigma * model.max_abs_coefficient()`. Deterministic in `seed`.
+qubo::QuboModel perturb_coefficients(const qubo::QuboModel& model,
+                                     double sigma, std::uint64_t seed);
+
+struct NoisySamplerParams {
+  /// Noise standard deviation, relative to the largest |coefficient|.
+  double sigma = 0.03;
+  std::uint64_t seed = 0;
+};
+
+class NoisySampler final : public Sampler {
+ public:
+  /// `inner` must outlive the wrapper.
+  NoisySampler(const Sampler& inner, NoisySamplerParams params);
+
+  /// Samples the perturbed model, re-scoring energies against `model`.
+  SampleSet sample(const qubo::QuboModel& model) const override;
+  std::string name() const override { return "noisy+" + inner_->name(); }
+
+ private:
+  const Sampler* inner_;
+  NoisySamplerParams params_;
+};
+
+}  // namespace qsmt::anneal

@@ -1,0 +1,168 @@
+#include "anneal/pimc.hpp"
+
+#include <omp.h>
+
+#include <cmath>
+#include <vector>
+
+#include "anneal/greedy.hpp"
+#include "anneal/schedule.hpp"
+#include "qubo/adjacency.hpp"
+#include "qubo/ising.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::anneal {
+
+double trotter_coupling(double gamma, std::size_t num_slices,
+                        double temperature) {
+  require(gamma > 0.0, "trotter_coupling: gamma must be positive");
+  require(num_slices >= 2, "trotter_coupling: need at least two slices");
+  require(temperature > 0.0, "trotter_coupling: temperature must be positive");
+  const double pt = static_cast<double>(num_slices) * temperature;
+  // -(T/2) ln tanh(Γ/(PT));  tanh < 1 so the log is negative and J⊥ > 0.
+  return -(temperature / 2.0) * std::log(std::tanh(gamma / pt));
+}
+
+PathIntegralAnnealer::PathIntegralAnnealer(PathIntegralParams params)
+    : params_(params) {
+  require(params_.num_reads >= 1, "PathIntegralAnnealer: num_reads >= 1");
+  require(params_.num_sweeps >= 1, "PathIntegralAnnealer: num_sweeps >= 1");
+  require(params_.num_slices >= 2, "PathIntegralAnnealer: num_slices >= 2");
+  require(params_.temperature > 0.0,
+          "PathIntegralAnnealer: temperature must be positive");
+  require(params_.gamma_hot > params_.gamma_cold && params_.gamma_cold > 0.0,
+          "PathIntegralAnnealer: need gamma_hot > gamma_cold > 0");
+}
+
+namespace {
+
+// Ising adjacency in flat arrays for the inner loop.
+struct IsingView {
+  std::vector<double> h;
+  std::vector<std::size_t> row_start;
+  struct Edge {
+    std::uint32_t index;
+    double weight;
+  };
+  std::vector<Edge> edges;
+
+  explicit IsingView(const qubo::IsingModel& ising) : h(ising.h) {
+    const std::size_t n = h.size();
+    std::vector<std::size_t> degree(n, 0);
+    for (const auto& [key, value] : ising.coupling) {
+      if (value == 0.0) continue;
+      ++degree[key >> 32];
+      ++degree[key & 0xffffffffULL];
+    }
+    row_start.assign(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) row_start[i + 1] = row_start[i] + degree[i];
+    edges.resize(row_start[n]);
+    std::vector<std::size_t> cursor(row_start.begin(), row_start.end() - 1);
+    for (const auto& [key, value] : ising.coupling) {
+      if (value == 0.0) continue;
+      const auto i = static_cast<std::uint32_t>(key >> 32);
+      const auto j = static_cast<std::uint32_t>(key & 0xffffffffULL);
+      edges[cursor[i]++] = Edge{j, value};
+      edges[cursor[j]++] = Edge{i, value};
+    }
+  }
+
+  std::size_t num_variables() const noexcept { return h.size(); }
+
+  // Local field of spin i in slice configuration `spins`:
+  // h_i + Σ_j J_ij s_j (classical part only).
+  double local_field(const std::int8_t* spins, std::size_t i) const {
+    double f = h[i];
+    for (std::size_t e = row_start[i]; e < row_start[i + 1]; ++e)
+      f += edges[e].weight * spins[edges[e].index];
+    return f;
+  }
+};
+
+}  // namespace
+
+SampleSet PathIntegralAnnealer::sample(const qubo::QuboModel& model) const {
+  const qubo::IsingModel ising = qubo::qubo_to_ising(model);
+  const IsingView view(ising);
+  const qubo::QuboAdjacency qubo_adjacency(model);
+  const std::size_t n = view.num_variables();
+  const std::size_t slices = params_.num_slices;
+  const double inv_p = 1.0 / static_cast<double>(slices);
+  const double beta = 1.0 / params_.temperature;
+
+  const std::vector<double> gammas =
+      make_schedule(params_.gamma_hot, params_.gamma_cold, params_.num_sweeps,
+                    Interpolation::kGeometric);
+
+  const std::size_t reads = params_.num_reads;
+  std::vector<Sample> results(reads);
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(reads); ++r) {
+    Xoshiro256 rng(params_.seed ^ 0x51a5e13bULL,
+                   static_cast<std::uint64_t>(r));
+    // spins[k * n + i]: spin i in slice k.
+    std::vector<std::int8_t> spins(slices * n);
+    for (auto& s : spins) s = rng.coin() ? std::int8_t{1} : std::int8_t{-1};
+
+    std::vector<std::int8_t> best_bits_spins(n);
+    double best_energy = std::numeric_limits<double>::infinity();
+
+    auto score_slice = [&](std::size_t k) {
+      std::span<const std::int8_t> slice(spins.data() + k * n, n);
+      const double e = ising.energy(slice);
+      if (e < best_energy) {
+        best_energy = e;
+        std::copy(slice.begin(), slice.end(), best_bits_spins.begin());
+      }
+    };
+
+    for (double gamma : gammas) {
+      const double j_perp = trotter_coupling(gamma, slices, params_.temperature);
+      // Local single-spin moves across all slices.
+      for (std::size_t k = 0; k < slices; ++k) {
+        std::int8_t* slice = spins.data() + k * n;
+        const std::int8_t* prev = spins.data() + ((k + slices - 1) % slices) * n;
+        const std::int8_t* next = spins.data() + ((k + 1) % slices) * n;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double classical = view.local_field(slice, i) * inv_p;
+          const double quantum = -j_perp * (prev[i] + next[i]);
+          // ΔE of flipping s -> -s is -2 s (classical + quantum field).
+          const double delta = -2.0 * slice[i] * (classical + quantum);
+          if (delta <= 0.0 || rng.uniform() < std::exp(-delta * beta)) {
+            slice[i] = static_cast<std::int8_t>(-slice[i]);
+          }
+        }
+      }
+      // Global moves: flip one variable across every slice (the inter-slice
+      // coupling cancels, so only the classical part matters).
+      for (std::size_t i = 0; i < n; ++i) {
+        double delta = 0.0;
+        for (std::size_t k = 0; k < slices; ++k) {
+          const std::int8_t* slice = spins.data() + k * n;
+          delta += -2.0 * slice[i] * view.local_field(slice, i) * inv_p;
+        }
+        if (delta <= 0.0 || rng.uniform() < std::exp(-delta * beta)) {
+          for (std::size_t k = 0; k < slices; ++k) {
+            spins[k * n + i] = static_cast<std::int8_t>(-spins[k * n + i]);
+          }
+        }
+      }
+      for (std::size_t k = 0; k < slices; ++k) score_slice(k);
+    }
+
+    std::vector<std::uint8_t> bits = qubo::spins_to_bits(best_bits_spins);
+    if (params_.polish_with_greedy) detail::greedy_descend(qubo_adjacency, bits);
+    auto& out = results[static_cast<std::size_t>(r)];
+    out.energy = qubo_adjacency.energy(bits);
+    out.bits = std::move(bits);
+  }
+
+  SampleSet set;
+  for (auto& s : results) set.add(std::move(s));
+  set.aggregate();
+  return set;
+}
+
+}  // namespace qsmt::anneal

@@ -1,0 +1,28 @@
+#include "anneal/random_sampler.hpp"
+
+#include "qubo/adjacency.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::anneal {
+
+RandomSampler::RandomSampler(RandomSamplerParams params) : params_(params) {
+  require(params_.num_reads >= 1, "RandomSampler: num_reads must be >= 1");
+}
+
+SampleSet RandomSampler::sample(const qubo::QuboModel& model) const {
+  const qubo::QuboAdjacency adjacency(model);
+  const std::size_t n = adjacency.num_variables();
+  SampleSet set;
+  for (std::size_t r = 0; r < params_.num_reads; ++r) {
+    Xoshiro256 rng(params_.seed, r);
+    std::vector<std::uint8_t> bits(n);
+    for (auto& b : bits) b = rng.coin() ? 1 : 0;
+    const double energy = adjacency.energy(bits);
+    set.add(std::move(bits), energy);
+  }
+  set.aggregate();
+  return set;
+}
+
+}  // namespace qsmt::anneal

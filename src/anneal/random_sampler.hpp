@@ -1,0 +1,26 @@
+// Uniform random sampler — the null baseline for the sampler benches.
+#pragma once
+
+#include <cstdint>
+
+#include "anneal/sampler.hpp"
+
+namespace qsmt::anneal {
+
+struct RandomSamplerParams {
+  std::size_t num_reads = 64;
+  std::uint64_t seed = 0;
+};
+
+class RandomSampler final : public Sampler {
+ public:
+  explicit RandomSampler(RandomSamplerParams params = {});
+
+  SampleSet sample(const qubo::QuboModel& model) const override;
+  std::string name() const override { return "random"; }
+
+ private:
+  RandomSamplerParams params_;
+};
+
+}  // namespace qsmt::anneal

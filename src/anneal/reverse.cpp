@@ -1,0 +1,67 @@
+#include "anneal/reverse.hpp"
+
+#include <omp.h>
+
+#include "anneal/greedy.hpp"
+#include "anneal/simulated_annealer.hpp"
+#include "qubo/adjacency.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::anneal {
+
+std::vector<double> make_reverse_schedule(double beta_cold, double dip_beta,
+                                          std::size_t num_sweeps) {
+  require(beta_cold > 0.0 && dip_beta > 0.0 && dip_beta <= beta_cold,
+          "make_reverse_schedule: need 0 < dip_beta <= beta_cold");
+  require(num_sweeps >= 2, "make_reverse_schedule: need at least two sweeps");
+  const std::size_t down = num_sweeps / 2;
+  const std::size_t up = num_sweeps - down;
+  std::vector<double> schedule =
+      make_schedule(beta_cold, dip_beta, down, Interpolation::kGeometric);
+  const std::vector<double> back =
+      make_schedule(dip_beta, beta_cold, up, Interpolation::kGeometric);
+  schedule.insert(schedule.end(), back.begin(), back.end());
+  return schedule;
+}
+
+ReverseAnnealer::ReverseAnnealer(std::vector<std::uint8_t> initial_state,
+                                 ReverseAnnealerParams params)
+    : initial_state_(std::move(initial_state)), params_(params) {
+  require(params_.num_reads >= 1, "ReverseAnnealer: num_reads >= 1");
+  require(params_.num_sweeps >= 2, "ReverseAnnealer: num_sweeps >= 2");
+  require(params_.reheat_fraction > 0.0 && params_.reheat_fraction <= 1.0,
+          "ReverseAnnealer: reheat_fraction must be in (0, 1]");
+}
+
+SampleSet ReverseAnnealer::sample(const qubo::QuboModel& model) const {
+  require(initial_state_.size() == model.num_variables(),
+          "ReverseAnnealer: initial state size does not match model");
+  const qubo::QuboAdjacency adjacency(model);
+
+  const BetaRange range = default_beta_range(model);
+  const std::vector<double> betas = make_reverse_schedule(
+      range.cold, range.cold * params_.reheat_fraction, params_.num_sweeps);
+
+  const std::size_t reads = params_.num_reads;
+  std::vector<Sample> results(reads);
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(reads); ++r) {
+    Xoshiro256 rng(params_.seed ^ 0x5e7e15edULL,
+                   static_cast<std::uint64_t>(r));
+    std::vector<std::uint8_t> bits = initial_state_;
+    detail::anneal_read(adjacency, betas, rng, bits);
+    if (params_.polish_with_greedy) detail::greedy_descend(adjacency, bits);
+    auto& out = results[static_cast<std::size_t>(r)];
+    out.energy = adjacency.energy(bits);
+    out.bits = std::move(bits);
+  }
+
+  SampleSet set;
+  for (auto& s : results) set.add(std::move(s));
+  set.aggregate();
+  return set;
+}
+
+}  // namespace qsmt::anneal

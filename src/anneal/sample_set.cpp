@@ -1,0 +1,72 @@
+#include "anneal/sample_set.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace qsmt::anneal {
+
+void SampleSet::add(Sample sample) { samples_.push_back(std::move(sample)); }
+
+void SampleSet::add(std::vector<std::uint8_t> bits, double energy,
+                    std::size_t num_occurrences) {
+  samples_.push_back(Sample{std::move(bits), energy, num_occurrences});
+}
+
+const Sample& SampleSet::best() const {
+  if (samples_.empty())
+    throw std::out_of_range("SampleSet::best: empty sample set");
+  const Sample* best = &samples_.front();
+  for (const Sample& s : samples_) {
+    if (s.energy < best->energy) best = &s;
+  }
+  return *best;
+}
+
+double SampleSet::lowest_energy() const { return best().energy; }
+
+void SampleSet::sort_by_energy() {
+  std::stable_sort(samples_.begin(), samples_.end(),
+                   [](const Sample& a, const Sample& b) {
+                     return a.energy < b.energy;
+                   });
+}
+
+void SampleSet::aggregate() {
+  std::map<std::vector<std::uint8_t>, std::size_t> index;
+  std::vector<Sample> merged;
+  merged.reserve(samples_.size());
+  for (Sample& s : samples_) {
+    auto [it, inserted] = index.emplace(s.bits, merged.size());
+    if (inserted) {
+      merged.push_back(std::move(s));
+    } else {
+      merged[it->second].num_occurrences += s.num_occurrences;
+    }
+  }
+  samples_ = std::move(merged);
+  sort_by_energy();
+}
+
+void SampleSet::truncate(std::size_t k) {
+  if (samples_.size() > k) samples_.resize(k);
+}
+
+double SampleSet::success_fraction(double target, double tol) const {
+  std::size_t hits = 0;
+  std::size_t total = 0;
+  for (const Sample& s : samples_) {
+    total += s.num_occurrences;
+    if (s.energy <= target + tol) hits += s.num_occurrences;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+std::size_t SampleSet::total_reads() const noexcept {
+  std::size_t total = 0;
+  for (const Sample& s : samples_) total += s.num_occurrences;
+  return total;
+}
+
+}  // namespace qsmt::anneal

@@ -1,0 +1,67 @@
+// SampleSet: the result container returned by every sampler.
+//
+// Mirrors dimod.SampleSet from the D-Wave stack the paper used: a list of
+// (assignment, energy, occurrence count) records, ordered best-first.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qsmt::anneal {
+
+struct Sample {
+  std::vector<std::uint8_t> bits;  ///< Assignment, one 0/1 byte per variable.
+  double energy = 0.0;             ///< QUBO energy of the assignment.
+  std::size_t num_occurrences = 1; ///< How many reads produced it.
+};
+
+class SampleSet {
+ public:
+  SampleSet() = default;
+
+  /// Appends a sample (does not maintain order; call sort_by_energy()).
+  void add(Sample sample);
+
+  /// Appends a sample built from its parts.
+  void add(std::vector<std::uint8_t> bits, double energy,
+           std::size_t num_occurrences = 1);
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  const Sample& operator[](std::size_t i) const { return samples_[i]; }
+
+  /// Best (lowest-energy) sample. Throws std::out_of_range when empty.
+  const Sample& best() const;
+
+  /// Lowest energy in the set. Throws std::out_of_range when empty.
+  double lowest_energy() const;
+
+  /// Sorts samples ascending by energy (stable, so equal-energy samples
+  /// keep insertion order — first read wins ties).
+  void sort_by_energy();
+
+  /// Merges samples with identical assignments, summing occurrence counts,
+  /// then sorts by energy.
+  void aggregate();
+
+  /// Drops all but the first `k` samples (call after sort_by_energy()).
+  void truncate(std::size_t k);
+
+  /// Fraction of reads whose energy is within `tol` of `target` — the
+  /// success-probability metric used by the benches.
+  double success_fraction(double target, double tol = 1e-9) const;
+
+  /// Total number of reads represented (sum of occurrence counts).
+  std::size_t total_reads() const noexcept;
+
+  auto begin() const noexcept { return samples_.begin(); }
+  auto end() const noexcept { return samples_.end(); }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace qsmt::anneal

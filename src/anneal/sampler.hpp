@@ -1,0 +1,27 @@
+// Abstract sampler interface shared by every QUBO solver in the suite.
+//
+// Samplers are configured at construction (each has its own Params struct)
+// and are stateless across sample() calls apart from that configuration, so
+// one instance may be reused across models and threads.
+#pragma once
+
+#include <string>
+
+#include "anneal/sample_set.hpp"
+#include "qubo/qubo_model.hpp"
+
+namespace qsmt::anneal {
+
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// Draws samples from (approximate) low-energy states of `model`.
+  /// The returned set is aggregated and sorted best-first.
+  virtual SampleSet sample(const qubo::QuboModel& model) const = 0;
+
+  /// Human-readable sampler name for bench/report output.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace qsmt::anneal

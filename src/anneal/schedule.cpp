@@ -1,0 +1,58 @@
+#include "anneal/schedule.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace qsmt::anneal {
+
+std::vector<double> make_schedule(double first, double last,
+                                  std::size_t num_points,
+                                  Interpolation interpolation) {
+  require(num_points >= 1, "make_schedule: need at least one point");
+  std::vector<double> points(num_points);
+  if (num_points == 1) {
+    points[0] = first;
+    return points;
+  }
+  const double steps = static_cast<double>(num_points - 1);
+  if (interpolation == Interpolation::kLinear) {
+    for (std::size_t k = 0; k < num_points; ++k) {
+      const double t = static_cast<double>(k) / steps;
+      points[k] = first + (last - first) * t;
+    }
+  } else {
+    require(first > 0.0 && last > 0.0,
+            "make_schedule: geometric interpolation needs positive endpoints");
+    const double ratio = std::pow(last / first, 1.0 / steps);
+    double v = first;
+    for (std::size_t k = 0; k < num_points; ++k) {
+      points[k] = v;
+      v *= ratio;
+    }
+    points[num_points - 1] = last;  // Avoid accumulation drift.
+  }
+  return points;
+}
+
+BetaRange default_beta_range(const qubo::QuboModel& model) {
+  // Largest plausible single-flip energy change: bound per variable by
+  // |q_ii| + Σ_j |q_ij|.
+  std::vector<double> barrier(model.num_variables(), 0.0);
+  for (std::size_t i = 0; i < model.num_variables(); ++i)
+    barrier[i] = std::abs(model.linear_terms()[i]);
+  for (const auto& [key, value] : model.quadratic_terms()) {
+    barrier[key >> 32] += std::abs(value);
+    barrier[key & 0xffffffffULL] += std::abs(value);
+  }
+  double max_barrier = 0.0;
+  for (double b : barrier) max_barrier = std::max(max_barrier, b);
+
+  double min_barrier = model.min_abs_nonzero_coefficient();
+  if (max_barrier <= 0.0) max_barrier = 1.0;  // Flat model: any β works.
+  if (min_barrier <= 0.0) min_barrier = max_barrier;
+
+  return BetaRange{std::log(2.0) / max_barrier, std::log(100.0) / min_barrier};
+}
+
+}  // namespace qsmt::anneal

@@ -1,0 +1,38 @@
+// Annealing schedules.
+//
+// Simulated annealing sweeps an inverse temperature β from hot to cold;
+// the quantum (path-integral) annealer sweeps a transverse field Γ from
+// strong to weak. Both are represented as precomputed per-sweep values so
+// the inner loops stay branch-free.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qubo/qubo_model.hpp"
+
+namespace qsmt::anneal {
+
+enum class Interpolation {
+  kLinear,
+  kGeometric,
+};
+
+/// `num_points` values from `first` to `last` inclusive (num_points >= 1;
+/// with one point the value is `first`). Geometric interpolation requires
+/// both endpoints positive.
+std::vector<double> make_schedule(double first, double last,
+                                  std::size_t num_points,
+                                  Interpolation interpolation);
+
+/// Derives a (β_hot, β_cold) range from the model's coefficients the same
+/// way dwave-neal does: hot enough that the largest single-flip barrier is
+/// accepted with probability ~1/2, cold enough that the smallest nonzero
+/// barrier is accepted with probability ~1/100.
+struct BetaRange {
+  double hot;
+  double cold;
+};
+BetaRange default_beta_range(const qubo::QuboModel& model);
+
+}  // namespace qsmt::anneal

@@ -1,0 +1,80 @@
+#include "anneal/simulated_annealer.hpp"
+
+#include <omp.h>
+
+#include <cmath>
+#include <vector>
+
+#include "anneal/greedy.hpp"
+#include "util/require.hpp"
+
+namespace qsmt::anneal {
+
+SimulatedAnnealer::SimulatedAnnealer(SimulatedAnnealerParams params)
+    : params_(params) {
+  require(params_.num_reads >= 1, "SimulatedAnnealer: num_reads must be >= 1");
+  require(params_.num_sweeps >= 1,
+          "SimulatedAnnealer: num_sweeps must be >= 1");
+}
+
+namespace detail {
+
+void anneal_read(const qubo::QuboAdjacency& adjacency,
+                 std::span<const double> betas, Xoshiro256& rng,
+                 std::vector<std::uint8_t>& bits) {
+  const std::size_t n = adjacency.num_variables();
+  // Incrementally maintained local fields: field[i] = q_ii + Σ_j q_ij x_j.
+  std::vector<double> field(n);
+  for (std::size_t i = 0; i < n; ++i) field[i] = adjacency.local_field(bits, i);
+
+  for (double beta : betas) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double delta = bits[i] ? -field[i] : field[i];
+      if (delta <= 0.0 || rng.uniform() < std::exp(-delta * beta)) {
+        const double step = bits[i] ? -1.0 : 1.0;
+        bits[i] ^= 1u;
+        for (const auto& nb : adjacency.neighbors(i)) {
+          field[nb.index] += nb.coefficient * step;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+SampleSet SimulatedAnnealer::sample(const qubo::QuboModel& model) const {
+  const qubo::QuboAdjacency adjacency(model);
+  const std::size_t n = adjacency.num_variables();
+
+  const BetaRange range = default_beta_range(model);
+  const double hot = params_.beta_hot.value_or(range.hot);
+  const double cold = params_.beta_cold.value_or(range.cold);
+  const std::vector<double> betas =
+      make_schedule(hot, cold, params_.num_sweeps, params_.beta_interpolation);
+
+  const std::size_t reads = params_.num_reads;
+  std::vector<Sample> results(reads);
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(reads); ++r) {
+    Xoshiro256 rng(params_.seed, static_cast<std::uint64_t>(r));
+    std::vector<std::uint8_t> bits(n);
+    for (auto& b : bits) b = rng.coin() ? 1 : 0;
+
+    detail::anneal_read(adjacency, betas, rng, bits);
+    if (params_.polish_with_greedy) detail::greedy_descend(adjacency, bits);
+
+    auto& out = results[static_cast<std::size_t>(r)];
+    out.energy = adjacency.energy(bits);
+    out.bits = std::move(bits);
+    out.num_occurrences = 1;
+  }
+
+  SampleSet set;
+  for (auto& s : results) set.add(std::move(s));
+  set.aggregate();
+  return set;
+}
+
+}  // namespace qsmt::anneal

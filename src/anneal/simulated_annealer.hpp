@@ -1,0 +1,59 @@
+// Metropolis single-spin-flip simulated annealing over QUBO models.
+//
+// This is the same algorithm as D-Wave's SimulatedAnnealingSampler
+// (dwave-neal), which the paper used for all its experiments: each read
+// starts from a uniformly random assignment and performs `sweeps` full
+// passes over the variables under a geometric β (inverse temperature)
+// schedule, accepting a flip with probability min(1, exp(-β Δ)).
+//
+// Reads are independent, so they are distributed across OpenMP threads;
+// every read owns a counter-seeded RNG stream (see util/rng.hpp), making
+// the output deterministic for a fixed seed regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "anneal/sampler.hpp"
+#include "anneal/schedule.hpp"
+#include "qubo/adjacency.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::anneal {
+
+struct SimulatedAnnealerParams {
+  std::size_t num_reads = 64;    ///< Independent annealing runs.
+  std::size_t num_sweeps = 256;  ///< Full variable passes per read.
+  std::uint64_t seed = 0;        ///< Master seed for all RNG streams.
+  /// β endpoints. When unset, derived per-model via default_beta_range().
+  std::optional<double> beta_hot;
+  std::optional<double> beta_cold;
+  Interpolation beta_interpolation = Interpolation::kGeometric;
+  /// Run a steepest-descent pass on each read's final state, the way
+  /// dwave-greedy is commonly chained after neal.
+  bool polish_with_greedy = true;
+};
+
+class SimulatedAnnealer final : public Sampler {
+ public:
+  explicit SimulatedAnnealer(SimulatedAnnealerParams params = {});
+
+  SampleSet sample(const qubo::QuboModel& model) const override;
+  std::string name() const override { return "simulated-annealing"; }
+
+  const SimulatedAnnealerParams& params() const noexcept { return params_; }
+
+ private:
+  SimulatedAnnealerParams params_;
+};
+
+namespace detail {
+/// One annealing read over a prebuilt adjacency: anneals `bits` in place
+/// following `betas`, maintaining local fields incrementally. Exposed for
+/// reuse by the embedded (hardware-simulation) sampler and for unit tests.
+void anneal_read(const qubo::QuboAdjacency& adjacency,
+                 std::span<const double> betas, Xoshiro256& rng,
+                 std::vector<std::uint8_t>& bits);
+}  // namespace detail
+
+}  // namespace qsmt::anneal

@@ -1,0 +1,36 @@
+// Tabu search over QUBO models.
+//
+// A single-flip tabu heuristic in the style of dwave-tabu: each restart
+// walks greedily to the best admissible neighbour (even uphill), recently
+// flipped variables are tabu for `tenure` iterations unless the move beats
+// the best energy seen (aspiration), and the walk stops after
+// `max_stale_iterations` without improvement.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "anneal/sampler.hpp"
+
+namespace qsmt::anneal {
+
+struct TabuParams {
+  std::size_t num_restarts = 16;
+  /// Tabu tenure; when unset, defaults to min(20, n/4 + 1) per restart.
+  std::optional<std::size_t> tenure;
+  std::size_t max_stale_iterations = 200;
+  std::uint64_t seed = 0;
+};
+
+class TabuSampler final : public Sampler {
+ public:
+  explicit TabuSampler(TabuParams params = {});
+
+  SampleSet sample(const qubo::QuboModel& model) const override;
+  std::string name() const override { return "tabu"; }
+
+ private:
+  TabuParams params_;
+};
+
+}  // namespace qsmt::anneal

@@ -1,0 +1,119 @@
+#include "anneal/tempering.hpp"
+
+#include <omp.h>
+
+#include <cmath>
+#include <vector>
+
+#include "anneal/greedy.hpp"
+#include "qubo/adjacency.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::anneal {
+
+ParallelTempering::ParallelTempering(ParallelTemperingParams params)
+    : params_(params) {
+  require(params_.num_reads >= 1, "ParallelTempering: num_reads >= 1");
+  require(params_.num_sweeps >= 1, "ParallelTempering: num_sweeps >= 1");
+  require(params_.num_replicas >= 2, "ParallelTempering: num_replicas >= 2");
+}
+
+namespace {
+
+struct Replica {
+  std::vector<std::uint8_t> bits;
+  std::vector<double> field;
+  double energy = 0.0;
+};
+
+void sweep(const qubo::QuboAdjacency& adjacency, Replica& replica,
+           double beta, Xoshiro256& rng) {
+  const std::size_t n = adjacency.num_variables();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double delta =
+        replica.bits[i] ? -replica.field[i] : replica.field[i];
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta * beta)) {
+      const double step = replica.bits[i] ? -1.0 : 1.0;
+      replica.bits[i] ^= 1u;
+      replica.energy += delta;
+      for (const auto& nb : adjacency.neighbors(i)) {
+        replica.field[nb.index] += nb.coefficient * step;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SampleSet ParallelTempering::sample(const qubo::QuboModel& model) const {
+  const qubo::QuboAdjacency adjacency(model);
+  const std::size_t n = adjacency.num_variables();
+
+  const BetaRange range = default_beta_range(model);
+  const std::vector<double> betas = make_schedule(
+      params_.beta_hot.value_or(range.hot),
+      params_.beta_cold.value_or(range.cold), params_.num_replicas,
+      Interpolation::kGeometric);
+
+  const std::size_t reads = params_.num_reads;
+  std::vector<Sample> results(reads);
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(reads); ++r) {
+    Xoshiro256 rng(params_.seed ^ 0x7e57ab1eULL,
+                   static_cast<std::uint64_t>(r));
+
+    std::vector<Replica> ladder(params_.num_replicas);
+    for (Replica& replica : ladder) {
+      replica.bits.resize(n);
+      for (auto& b : replica.bits) b = rng.coin() ? 1 : 0;
+      replica.field.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        replica.field[i] = adjacency.local_field(replica.bits, i);
+      }
+      replica.energy = adjacency.energy(replica.bits);
+    }
+
+    std::vector<std::uint8_t> best_bits = ladder.back().bits;
+    double best_energy = ladder.back().energy;
+    auto consider = [&](const Replica& replica) {
+      if (replica.energy < best_energy) {
+        best_energy = replica.energy;
+        best_bits = replica.bits;
+      }
+    };
+    for (const Replica& replica : ladder) consider(replica);
+
+    for (std::size_t s = 0; s < params_.num_sweeps; ++s) {
+      for (std::size_t k = 0; k < ladder.size(); ++k) {
+        sweep(adjacency, ladder[k], betas[k], rng);
+        consider(ladder[k]);
+      }
+      // Exchange round: alternate even/odd pairings so information can
+      // percolate across the whole ladder.
+      for (std::size_t k = s % 2; k + 1 < ladder.size(); k += 2) {
+        const double exponent = (betas[k] - betas[k + 1]) *
+                                (ladder[k].energy - ladder[k + 1].energy);
+        if (exponent >= 0.0 || rng.uniform() < std::exp(exponent)) {
+          std::swap(ladder[k], ladder[k + 1]);
+        }
+      }
+    }
+
+    if (params_.polish_with_greedy) {
+      detail::greedy_descend(adjacency, best_bits);
+      best_energy = adjacency.energy(best_bits);
+    }
+    auto& out = results[static_cast<std::size_t>(r)];
+    out.energy = best_energy;
+    out.bits = std::move(best_bits);
+  }
+
+  SampleSet set;
+  for (auto& s : results) set.add(std::move(s));
+  set.aggregate();
+  return set;
+}
+
+}  // namespace qsmt::anneal

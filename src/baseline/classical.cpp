@@ -1,0 +1,240 @@
+#include "baseline/classical.hpp"
+
+#include <algorithm>
+
+#include "regex/nfa.hpp"
+#include "strqubo/verify.hpp"
+#include "util/require.hpp"
+
+namespace qsmt::baseline {
+
+namespace {
+
+using strqubo::Constraint;
+
+/// The target length of the string a constraint generates.
+std::size_t target_length(const Constraint& constraint) {
+  return strqubo::constraint_num_variables(constraint) / 7;
+}
+
+std::string construct_regex_witness(const std::string& pattern,
+                                    std::size_t length) {
+  const auto parsed = regex::parse_pattern(pattern);
+  const auto tokens = regex::expand_to_length(parsed, length);
+  std::string witness;
+  witness.reserve(length);
+  for (const auto& token : tokens) witness.push_back(token.chars[0]);
+  return witness;
+}
+
+}  // namespace
+
+BaselineResult DirectBaseline::solve(const Constraint& constraint) const {
+  BaselineResult result;
+  if (const auto* includes = std::get_if<strqubo::Includes>(&constraint)) {
+    const auto at = includes->text.find(includes->substring);
+    if (at != std::string::npos) result.position = at;
+    result.satisfied = strqubo::verify_position(*includes, result.position);
+    return result;
+  }
+
+  std::string witness;
+  if (auto expected = strqubo::expected_string(constraint)) {
+    witness = std::move(*expected);
+  } else if (const auto* sub = std::get_if<strqubo::SubstringMatch>(&constraint)) {
+    witness.assign(sub->length, 'a');
+    witness.replace(0, sub->substring.size(), sub->substring);
+  } else if (const auto* idx = std::get_if<strqubo::IndexOf>(&constraint)) {
+    witness.assign(idx->length, 'a');
+    witness.replace(idx->index, idx->substring.size(), idx->substring);
+  } else if (const auto* pal = std::get_if<strqubo::Palindrome>(&constraint)) {
+    witness.assign(pal->length, 'a');
+    for (std::size_t i = 0; i < pal->length / 2; ++i) {
+      const char c = static_cast<char>('a' + static_cast<char>(i % 26));
+      witness[i] = c;
+      witness[pal->length - 1 - i] = c;
+    }
+  } else if (const auto* re = std::get_if<strqubo::RegexMatch>(&constraint)) {
+    witness = construct_regex_witness(re->pattern, re->length);
+  } else if (const auto* at = std::get_if<strqubo::CharAt>(&constraint)) {
+    witness.assign(at->length, 'a');
+    witness[at->index] = at->ch;
+  } else if (const auto* nc = std::get_if<strqubo::NotContains>(&constraint)) {
+    // A constant string avoids any substring that is not itself constant of
+    // the same character; fall to 'b' when it is.
+    witness.assign(nc->length, 'a');
+    if (witness.find(nc->substring) != std::string::npos) {
+      witness.assign(nc->length, 'b');
+    }
+  } else if (const auto* bl = std::get_if<strqubo::BoundedLength>(&constraint)) {
+    witness.assign(bl->capacity, '\0');
+    std::fill_n(witness.begin(),
+                static_cast<std::ptrdiff_t>(bl->min_length), 'a');
+  }
+  result.text = witness;
+  result.satisfied = strqubo::verify_string(constraint, witness);
+  return result;
+}
+
+bool prefix_feasible(const Constraint& constraint, const std::string& prefix,
+                     std::size_t length) {
+  return std::visit(
+      [&](const auto& c) -> bool {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, strqubo::Includes>) {
+          return true;  // Includes is not an enumeration problem.
+        } else if constexpr (std::is_same_v<T, strqubo::SubstringMatch>) {
+          // Feasible iff some start window is consistent with the fixed
+          // prefix characters.
+          if (c.substring.size() > length) return false;
+          for (std::size_t start = 0; start + c.substring.size() <= length;
+               ++start) {
+            bool ok = true;
+            for (std::size_t k = 0; k < c.substring.size(); ++k) {
+              const std::size_t at = start + k;
+              if (at < prefix.size() && prefix[at] != c.substring[k]) {
+                ok = false;
+                break;
+              }
+            }
+            if (ok) return true;
+          }
+          return false;
+        } else if constexpr (std::is_same_v<T, strqubo::IndexOf>) {
+          for (std::size_t k = 0; k < c.substring.size(); ++k) {
+            const std::size_t at = c.index + k;
+            if (at < prefix.size() && prefix[at] != c.substring[k])
+              return false;
+          }
+          return true;
+        } else if constexpr (std::is_same_v<T, strqubo::CharAt>) {
+          return c.index >= prefix.size() || prefix[c.index] == c.ch;
+        } else if constexpr (std::is_same_v<T, strqubo::NotContains>) {
+          return prefix.find(c.substring) == std::string::npos;
+        } else if constexpr (std::is_same_v<T, strqubo::BoundedLength>) {
+          // A NUL before min_length or content after a NUL is a dead end;
+          // a non-NUL at or beyond max_length is too.
+          const auto first_nul = prefix.find('\0');
+          if (first_nul == std::string::npos) {
+            return prefix.size() <= c.max_length;
+          }
+          if (first_nul < c.min_length) return false;
+          for (std::size_t i = first_nul; i < prefix.size(); ++i) {
+            if (prefix[i] != '\0') return false;
+          }
+          return true;
+        } else if constexpr (std::is_same_v<T, strqubo::Palindrome>) {
+          for (std::size_t i = 0; i < prefix.size(); ++i) {
+            const std::size_t mirror = length - 1 - i;
+            if (mirror < prefix.size() && prefix[mirror] != prefix[i])
+              return false;
+          }
+          return true;
+        } else if constexpr (std::is_same_v<T, strqubo::RegexMatch>) {
+          // Check the prefix against the fixed-length token expansion. This
+          // is exact for '+'-free patterns; with '+' the expansion is only
+          // one of several shapes, so mismatches degrade to "maybe".
+          const auto tokens = regex::expand_to_length(
+              regex::parse_pattern(c.pattern), length);
+          for (std::size_t p = 0; p < prefix.size(); ++p) {
+            if (tokens[p].chars.find(prefix[p]) == std::string::npos) {
+              // The fixed expansion is only one of several shapes when the
+              // pattern has '+'; fall back to "maybe" in that case.
+              return regex::parse_pattern(c.pattern).has_plus();
+            }
+          }
+          return true;
+        } else {
+          // Deterministic-output constraints: prefix must match the witness.
+          const auto expected = strqubo::expected_string(constraint);
+          if (!expected || expected->size() != length) return false;
+          return expected->compare(0, prefix.size(), prefix) == 0;
+        }
+      },
+      constraint);
+}
+
+EnumerationBaseline::EnumerationBaseline(Params params)
+    : params_(std::move(params)) {
+  require(!params_.alphabet.empty(),
+          "EnumerationBaseline: alphabet must not be empty");
+}
+
+BaselineResult EnumerationBaseline::solve(const Constraint& constraint) const {
+  BaselineResult result;
+  if (const auto* includes = std::get_if<strqubo::Includes>(&constraint)) {
+    // Enumerating positions: linear scan counts as one node per position.
+    for (std::size_t i = 0;
+         i + includes->substring.size() <= includes->text.size(); ++i) {
+      ++result.nodes_explored;
+      if (includes->text.compare(i, includes->substring.size(),
+                                 includes->substring) == 0) {
+        result.position = i;
+        break;
+      }
+    }
+    result.satisfied = strqubo::verify_position(*includes, result.position);
+    return result;
+  }
+
+  const std::size_t length = target_length(constraint);
+  std::string candidate;
+  candidate.reserve(length);
+
+  // Iterative DFS over alphabet^length with prefix pruning.
+  // stack[i] = index into alphabet currently tried at position i.
+  std::vector<std::size_t> stack;
+  stack.reserve(length);
+  bool found = false;
+
+  auto push = [&](std::size_t alpha_index) {
+    stack.push_back(alpha_index);
+    candidate.push_back(params_.alphabet[alpha_index]);
+  };
+  auto pop = [&] {
+    stack.pop_back();
+    candidate.pop_back();
+  };
+
+  if (length == 0) {
+    result.text = "";
+    result.satisfied = strqubo::verify_string(constraint, "");
+    return result;
+  }
+
+  push(0);
+  while (!stack.empty()) {
+    if (++result.nodes_explored > params_.max_nodes) {
+      result.budget_exhausted = true;
+      break;
+    }
+    const bool live =
+        !params_.prune || prefix_feasible(constraint, candidate, length);
+    if (live && candidate.size() == length &&
+        strqubo::verify_string(constraint, candidate)) {
+      found = true;
+      break;
+    }
+    if (live && candidate.size() < length) {
+      push(0);
+      continue;
+    }
+    // Backtrack to the next sibling.
+    while (!stack.empty()) {
+      const std::size_t next = stack.back() + 1;
+      pop();
+      if (next < params_.alphabet.size()) {
+        push(next);
+        break;
+      }
+    }
+  }
+
+  if (found) {
+    result.text = candidate;
+    result.satisfied = true;
+  }
+  return result;
+}
+
+}  // namespace qsmt::baseline

@@ -1,0 +1,67 @@
+// Classical string-constraint solvers over the same constraint IR.
+//
+// Two baselines bracket the classical spectrum the paper positions itself
+// against (§1: automata methods vs. large search spaces):
+//
+//  * DirectBaseline — the rewriting/constructive route a mature solver
+//    takes: each operation has a closed-form witness (transform the input,
+//    place the substring, walk the NFA). Always succeeds, effectively O(n).
+//
+//  * EnumerationBaseline — the naive search route: depth-first enumeration
+//    of candidate strings over a caller-chosen alphabet with per-position
+//    prefix pruning. Exponential in string length; its node counter is the
+//    cost metric in the crossover benches (E5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "strqubo/constraint.hpp"
+
+namespace qsmt::baseline {
+
+struct BaselineResult {
+  std::optional<std::string> text;
+  std::optional<std::size_t> position;  ///< For Includes.
+  bool satisfied = false;
+  std::uint64_t nodes_explored = 0;     ///< Search nodes (enumeration only).
+  bool budget_exhausted = false;        ///< Enumeration hit its node cap.
+};
+
+/// Constructive solver: always returns a satisfying witness when one
+/// exists within the constraint's own alphabet.
+class DirectBaseline {
+ public:
+  BaselineResult solve(const strqubo::Constraint& constraint) const;
+};
+
+/// Depth-first enumeration with prefix pruning.
+class EnumerationBaseline {
+ public:
+  struct Params {
+    /// Candidate alphabet for free positions.
+    std::string alphabet = "abcdefghijklmnopqrstuvwxyz";
+    /// Give up after this many search nodes (budget_exhausted = true).
+    std::uint64_t max_nodes = 50'000'000;
+    /// Prune branches whose prefix cannot extend to a solution.
+    bool prune = true;
+  };
+
+  EnumerationBaseline() : EnumerationBaseline(Params{}) {}
+  explicit EnumerationBaseline(Params params);
+
+  BaselineResult solve(const strqubo::Constraint& constraint) const;
+
+ private:
+  Params params_;
+};
+
+/// True when `prefix` (the first prefix.size() characters of a candidate of
+/// total size `length`) can still be extended to satisfy `constraint`.
+/// Conservative: may return true for dead prefixes, never false for live
+/// ones. Exposed for the property tests.
+bool prefix_feasible(const strqubo::Constraint& constraint,
+                     const std::string& prefix, std::size_t length);
+
+}  // namespace qsmt::baseline

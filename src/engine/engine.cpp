@@ -1,0 +1,111 @@
+#include "engine/engine.hpp"
+
+#include <map>
+
+#include "sat/dpllt.hpp"
+#include "smtlib/parser.hpp"
+
+namespace qsmt::engine {
+
+bool term_needs_boolean_engine(const smtlib::TermPtr& term) {
+  if (!term || term->kind != smtlib::Term::Kind::kApply) return false;
+  if (term->atom == "or") return true;
+  if (term->atom == "not" &&
+      !(term->args.size() == 1 && term->args[0] &&
+        term->args[0]->is_apply("str.contains"))) {
+    return true;
+  }
+  for (const auto& arg : term->args) {
+    if (term_needs_boolean_engine(arg)) return true;
+  }
+  return false;
+}
+
+bool needs_boolean_engine(const std::vector<smtlib::Command>& commands) {
+  for (const auto& command : commands) {
+    if (const auto* assert_cmd = std::get_if<smtlib::AssertCmd>(&command)) {
+      if (term_needs_boolean_engine(assert_cmd->term)) return true;
+    } else if (const auto* check =
+                   std::get_if<smtlib::CheckSatAssuming>(&command)) {
+      for (const auto& assumption : check->assumptions) {
+        if (term_needs_boolean_engine(assumption)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+ScriptResult run_conjunctive(const std::vector<smtlib::Command>& commands,
+                             const anneal::Sampler& sampler,
+                             const strqubo::BuildOptions& options) {
+  ScriptResult result;
+  result.engine = EngineKind::kConjunctive;
+  smtlib::SmtDriver driver(sampler, options);
+  for (const auto& command : commands) {
+    if (!driver.execute(command, result.transcript)) break;
+  }
+  if (!driver.history().empty()) {
+    const smtlib::CheckSatRecord& record = driver.history().back();
+    result.status = record.status;
+    result.variable = record.variable;
+    result.model_value = record.model_value;
+    result.notes = record.notes;
+  }
+  return result;
+}
+
+ScriptResult run_dpllt(const std::vector<smtlib::Command>& commands,
+                       const anneal::Sampler& sampler,
+                       const strqubo::BuildOptions& options) {
+  ScriptResult result;
+  result.engine = EngineKind::kDpllT;
+
+  std::vector<smtlib::TermPtr> assertions;
+  std::map<std::string, smtlib::Sort> declared;
+  for (const auto& command : commands) {
+    if (const auto* decl = std::get_if<smtlib::DeclareConst>(&command)) {
+      declared.emplace(decl->name, decl->sort);
+    } else if (const auto* assert_cmd =
+                   std::get_if<smtlib::AssertCmd>(&command)) {
+      assertions.push_back(assert_cmd->term);
+    } else if (const auto* check =
+                   std::get_if<smtlib::CheckSatAssuming>(&command)) {
+      // DPLL(T) has no incremental scope; assumptions become assertions.
+      for (const auto& assumption : check->assumptions) {
+        assertions.push_back(assumption);
+      }
+    }
+  }
+
+  const sat::DpllTSolver solver(sampler, options, {});
+  const sat::DpllTResult solved = solver.solve(assertions, declared);
+  result.status = solved.status;
+  result.variable = solved.variable;
+  result.model_value = solved.model_value;
+  result.notes = solved.notes;
+
+  result.transcript = smtlib::status_name(solved.status) + "\n";
+  if (solved.status == smtlib::CheckSatStatus::kSat &&
+      !solved.variable.empty()) {
+    result.transcript += "(model (define-fun " + solved.variable +
+                         " () String \"" + solved.model_value + "\"))\n";
+  }
+  return result;
+}
+
+}  // namespace
+
+ScriptResult solve_script(const std::string& script,
+                          const anneal::Sampler& sampler,
+                          const strqubo::BuildOptions& options,
+                          bool force_dpllt) {
+  const std::vector<smtlib::Command> commands = smtlib::parse_script(script);
+  if (force_dpllt || needs_boolean_engine(commands)) {
+    return run_dpllt(commands, sampler, options);
+  }
+  return run_conjunctive(commands, sampler, options);
+}
+
+}  // namespace qsmt::engine

@@ -1,0 +1,53 @@
+// One-call solving entry point: script text in, verdict out.
+//
+// Chooses the execution engine the way a production solver front end does:
+// plain conjunctive scripts run through the merged-QUBO SmtDriver; scripts
+// whose assertions use boolean structure (or / general not) are routed to
+// the DPLL(T) engine. Exists so applications (and the smt_cli example) get
+// the full solver with a single call, and so the routing logic is library
+// code under test rather than example-local.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "anneal/sampler.hpp"
+#include "smtlib/ast.hpp"
+#include "smtlib/driver.hpp"
+#include "strqubo/builders.hpp"
+
+namespace qsmt::engine {
+
+enum class EngineKind {
+  kConjunctive,  ///< Merged-QUBO SmtDriver.
+  kDpllT,        ///< CDCL case-splitting with the annealer as T-solver.
+};
+
+struct ScriptResult {
+  smtlib::CheckSatStatus status = smtlib::CheckSatStatus::kUnknown;
+  /// Model of the string variable when status == kSat (empty for ground
+  /// queries with no free variable).
+  std::string variable;
+  std::string model_value;
+  /// Raw printed output (the z3-style transcript) for CLI display.
+  std::string transcript;
+  std::vector<std::string> notes;
+  EngineKind engine = EngineKind::kConjunctive;
+};
+
+/// True when any assertion in the parsed commands needs the boolean engine:
+/// an `or` anywhere, or a `not` around anything other than str.contains.
+bool needs_boolean_engine(const std::vector<smtlib::Command>& commands);
+
+/// Term-level version of needs_boolean_engine.
+bool term_needs_boolean_engine(const smtlib::TermPtr& term);
+
+/// Parses and solves `script`, auto-selecting the engine. `force_dpllt`
+/// routes to DPLL(T) regardless. Parse errors propagate as
+/// std::invalid_argument.
+ScriptResult solve_script(const std::string& script,
+                          const anneal::Sampler& sampler,
+                          const strqubo::BuildOptions& options = {},
+                          bool force_dpllt = false);
+
+}  // namespace qsmt::engine

@@ -1,0 +1,55 @@
+#include "graph/chimera.hpp"
+
+#include "util/require.hpp"
+
+namespace qsmt::graph {
+
+std::size_t chimera_to_linear(const ChimeraCoord& coord, std::size_t cols,
+                              std::size_t shore) {
+  return ((coord.row * cols) + coord.col) * 2 * shore + coord.side * shore +
+         coord.offset;
+}
+
+ChimeraCoord chimera_from_linear(std::size_t id, std::size_t cols,
+                                 std::size_t shore) {
+  const std::size_t cell = id / (2 * shore);
+  const std::size_t within = id % (2 * shore);
+  return ChimeraCoord{cell / cols, cell % cols, within / shore,
+                      within % shore};
+}
+
+Graph make_chimera(std::size_t rows, std::size_t cols, std::size_t shore) {
+  require(rows >= 1 && cols >= 1 && shore >= 1,
+          "make_chimera: all dimensions must be positive");
+  Graph g(rows * cols * 2 * shore);
+  auto id = [&](std::size_t r, std::size_t c, std::size_t side,
+                std::size_t k) {
+    return chimera_to_linear(ChimeraCoord{r, c, side, k}, cols, shore);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      // Intra-cell K_{t,t}.
+      for (std::size_t a = 0; a < shore; ++a) {
+        for (std::size_t b = 0; b < shore; ++b) {
+          g.add_edge(id(r, c, 0, a), id(r, c, 1, b));
+        }
+      }
+      // Vertical-side qubits couple down the column.
+      if (r + 1 < rows) {
+        for (std::size_t k = 0; k < shore; ++k) {
+          g.add_edge(id(r, c, 0, k), id(r + 1, c, 0, k));
+        }
+      }
+      // Horizontal-side qubits couple along the row.
+      if (c + 1 < cols) {
+        for (std::size_t k = 0; k < shore; ++k) {
+          g.add_edge(id(r, c, 1, k), id(r, c + 1, 1, k));
+        }
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace qsmt::graph

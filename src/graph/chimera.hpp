@@ -1,0 +1,34 @@
+// D-Wave Chimera topology generator.
+//
+// Chimera C(m, n, t) is an m x n grid of unit cells; each cell is a K_{t,t}
+// bipartite block of 2t qubits. Horizontal-side qubits couple to the
+// neighbouring cell in the same row, vertical-side qubits to the
+// neighbouring cell in the same column. D-Wave 2000Q hardware is C(16,16,4).
+//
+// Linear index of qubit (row i, column j, side u ∈ {0,1}, offset k < t):
+//   id = ((i * n) + j) * 2t + u * t + k.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace qsmt::graph {
+
+struct ChimeraCoord {
+  std::size_t row;
+  std::size_t col;
+  std::size_t side;    ///< 0 = vertical-side qubits, 1 = horizontal-side.
+  std::size_t offset;  ///< 0..t-1 within the side.
+};
+
+/// Builds the Chimera C(rows, cols, shore) graph (finalized).
+Graph make_chimera(std::size_t rows, std::size_t cols, std::size_t shore = 4);
+
+/// Linear id of a Chimera coordinate.
+std::size_t chimera_to_linear(const ChimeraCoord& coord, std::size_t cols,
+                              std::size_t shore);
+
+/// Inverse of chimera_to_linear.
+ChimeraCoord chimera_from_linear(std::size_t id, std::size_t cols,
+                                 std::size_t shore);
+
+}  // namespace qsmt::graph

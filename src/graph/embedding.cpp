@@ -1,0 +1,235 @@
+#include "graph/embedding.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::graph {
+
+std::size_t Embedding::total_physical() const {
+  std::size_t total = 0;
+  for (const auto& chain : chains) total += chain.size();
+  return total;
+}
+
+std::size_t Embedding::max_chain_length() const {
+  std::size_t best = 0;
+  for (const auto& chain : chains) best = std::max(best, chain.size());
+  return best;
+}
+
+bool Embedding::is_valid(const Graph& logical, const Graph& target) const {
+  if (chains.size() < logical.num_nodes()) return false;
+  std::vector<std::int64_t> owner(target.num_nodes(), -1);
+  for (std::size_t v = 0; v < chains.size(); ++v) {
+    if (chains[v].empty()) return false;
+    for (std::uint32_t q : chains[v]) {
+      if (q >= target.num_nodes() || owner[q] != -1) return false;
+      owner[q] = static_cast<std::int64_t>(v);
+    }
+  }
+  // Chain connectivity via BFS inside each chain.
+  for (const auto& chain : chains) {
+    std::vector<std::uint32_t> frontier{chain.front()};
+    std::vector<bool> seen_chain(target.num_nodes(), false);
+    seen_chain[chain.front()] = true;
+    std::size_t visited = 1;
+    while (!frontier.empty()) {
+      const std::uint32_t u = frontier.back();
+      frontier.pop_back();
+      for (std::uint32_t w : target.neighbors(u)) {
+        if (seen_chain[w]) continue;
+        if (std::find(chain.begin(), chain.end(), w) == chain.end()) continue;
+        seen_chain[w] = true;
+        ++visited;
+        frontier.push_back(w);
+      }
+    }
+    if (visited != chain.size()) return false;
+  }
+  // Every logical edge needs a physical edge between the chains.
+  for (const auto& [a, b] : logical.edges()) {
+    bool connected = false;
+    for (std::uint32_t q : chains[a]) {
+      for (std::uint32_t w : target.neighbors(q)) {
+        if (owner[w] == static_cast<std::int64_t>(b)) {
+          connected = true;
+          break;
+        }
+      }
+      if (connected) break;
+    }
+    if (!connected) return false;
+  }
+  return true;
+}
+
+Graph logical_graph(const qubo::QuboModel& model) {
+  Graph g(model.num_variables());
+  for (const auto& [key, value] : model.quadratic_terms()) {
+    if (value == 0.0) continue;
+    g.add_edge(key >> 32, key & 0xffffffffULL);
+  }
+  g.finalize();
+  return g;
+}
+
+namespace {
+
+constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+// BFS over free qubits from every qubit adjacent to `chain`, recording
+// distance and a parent pointer for path reconstruction. Qubits inside any
+// chain are obstacles; qubits adjacent to `chain` get distance 1.
+void bfs_from_chain(const Graph& target, const std::vector<std::uint32_t>& chain,
+                    const std::vector<std::int64_t>& owner,
+                    std::vector<std::uint32_t>& dist,
+                    std::vector<std::uint32_t>& parent) {
+  dist.assign(target.num_nodes(), kUnreached);
+  parent.assign(target.num_nodes(), kUnreached);
+  std::queue<std::uint32_t> queue;
+  for (std::uint32_t q : chain) {
+    for (std::uint32_t w : target.neighbors(q)) {
+      if (owner[w] != -1 || dist[w] != kUnreached) continue;
+      dist[w] = 1;
+      parent[w] = q;  // Parent inside the source chain terminates the path.
+      queue.push(w);
+    }
+  }
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.front();
+    queue.pop();
+    for (std::uint32_t w : target.neighbors(u)) {
+      if (owner[w] != -1 || dist[w] != kUnreached) continue;
+      dist[w] = dist[u] + 1;
+      parent[w] = u;
+      queue.push(w);
+    }
+  }
+}
+
+std::optional<Embedding> embed_once(const Graph& logical, const Graph& target,
+                                    Xoshiro256& rng) {
+  const std::size_t nl = logical.num_nodes();
+  Embedding embedding;
+  embedding.chains.assign(nl, {});
+  std::vector<std::int64_t> owner(target.num_nodes(), -1);
+
+  // Descending degree with random tie-break.
+  std::vector<std::size_t> order(nl);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::uint64_t> tie(nl);
+  for (auto& t : tie) t = rng();
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const std::size_t da = logical.degree(a);
+    const std::size_t db = logical.degree(b);
+    return da != db ? da > db : tie[a] > tie[b];
+  });
+
+  std::vector<std::uint32_t> dist;
+  std::vector<std::uint32_t> parent;
+
+  for (std::size_t v : order) {
+    std::vector<std::size_t> placed_neighbors;
+    for (std::uint32_t u : logical.neighbors(v)) {
+      if (!embedding.chains[u].empty()) placed_neighbors.push_back(u);
+    }
+
+    if (placed_neighbors.empty()) {
+      // Seed anywhere free.
+      std::vector<std::uint32_t> free_nodes;
+      for (std::uint32_t q = 0; q < target.num_nodes(); ++q) {
+        if (owner[q] == -1) free_nodes.push_back(q);
+      }
+      if (free_nodes.empty()) return std::nullopt;
+      const std::uint32_t pick =
+          free_nodes[rng.below(free_nodes.size())];
+      embedding.chains[v].push_back(pick);
+      owner[pick] = static_cast<std::int64_t>(v);
+      continue;
+    }
+
+    // Distance fields from each placed neighbour chain.
+    std::vector<std::vector<std::uint32_t>> dists(placed_neighbors.size());
+    std::vector<std::vector<std::uint32_t>> parents(placed_neighbors.size());
+    for (std::size_t k = 0; k < placed_neighbors.size(); ++k) {
+      bfs_from_chain(target, embedding.chains[placed_neighbors[k]], owner,
+                     dist, parent);
+      dists[k] = dist;
+      parents[k] = parent;
+    }
+
+    // Root = free qubit reachable from all neighbour chains with minimum
+    // total distance.
+    std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
+    std::uint32_t root = kUnreached;
+    for (std::uint32_t q = 0; q < target.num_nodes(); ++q) {
+      if (owner[q] != -1) continue;
+      std::uint64_t cost = 0;
+      bool reachable = true;
+      for (const auto& d : dists) {
+        if (d[q] == kUnreached) {
+          reachable = false;
+          break;
+        }
+        cost += d[q];
+      }
+      if (reachable && cost < best_cost) {
+        best_cost = cost;
+        root = q;
+      }
+    }
+    if (root == kUnreached) return std::nullopt;
+
+    // Chain = root plus the path back toward each neighbour chain.
+    auto claim = [&](std::uint32_t q) {
+      if (owner[q] == -1) {
+        owner[q] = static_cast<std::int64_t>(v);
+        embedding.chains[v].push_back(q);
+      }
+    };
+    claim(root);
+    for (std::size_t k = 0; k < placed_neighbors.size(); ++k) {
+      std::uint32_t cur = root;
+      // Walk parents until we step into the neighbour chain.
+      while (true) {
+        const std::uint32_t p = parents[k][cur];
+        if (p == kUnreached) break;  // cur is adjacent to the chain already.
+        if (owner[p] == static_cast<std::int64_t>(placed_neighbors[k])) break;
+        // p may already belong to v's chain (shared prefix) — claim is
+        // idempotent for v but must not steal from other chains.
+        if (owner[p] != -1 && owner[p] != static_cast<std::int64_t>(v)) break;
+        claim(p);
+        cur = p;
+      }
+    }
+  }
+  return embedding;
+}
+
+}  // namespace
+
+std::optional<Embedding> find_embedding(const Graph& logical,
+                                        const Graph& target,
+                                        std::uint64_t seed,
+                                        std::size_t num_attempts) {
+  require(logical.finalized() && target.finalized(),
+          "find_embedding: graphs must be finalized");
+  std::optional<Embedding> best;
+  for (std::size_t attempt = 0; attempt < num_attempts; ++attempt) {
+    Xoshiro256 rng(seed, attempt);
+    auto candidate = embed_once(logical, target, rng);
+    if (!candidate) continue;
+    if (!candidate->is_valid(logical, target)) continue;
+    if (!best || candidate->total_physical() < best->total_physical()) {
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace qsmt::graph

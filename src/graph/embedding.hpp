@@ -1,0 +1,48 @@
+// Greedy minor-embedding of a logical problem graph into a hardware graph.
+//
+// Real annealers only provide couplers along their topology's edges, so a
+// dense logical QUBO must be minor-embedded: each logical variable becomes a
+// connected *chain* of physical qubits, with chains of adjacent logical
+// variables touching along at least one hardware edge. This implements a
+// simplified minorminer-style heuristic: logical variables are placed in
+// descending-degree order; each new variable roots its chain at the free
+// qubit minimising the summed BFS distance to all already-placed neighbour
+// chains, then absorbs the connecting shortest paths.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "qubo/qubo_model.hpp"
+
+namespace qsmt::graph {
+
+/// chains[v] lists the physical qubits representing logical variable v.
+struct Embedding {
+  std::vector<std::vector<std::uint32_t>> chains;
+
+  std::size_t num_logical() const noexcept { return chains.size(); }
+  std::size_t total_physical() const;
+  std::size_t max_chain_length() const;
+
+  /// Checks the embedding is valid for `logical` on `target`: chains are
+  /// nonempty, disjoint, connected in `target`, and every logical edge has
+  /// at least one physical edge between the two chains.
+  bool is_valid(const Graph& logical, const Graph& target) const;
+};
+
+/// Problem graph of a QUBO: one node per variable, one edge per nonzero
+/// quadratic term (finalized).
+Graph logical_graph(const qubo::QuboModel& model);
+
+/// Attempts the embedding; returns std::nullopt when the heuristic fails
+/// (e.g. the hardware graph is too small). `num_attempts` restarts with
+/// different tie-breaking orders; the best (fewest total qubits) result wins.
+std::optional<Embedding> find_embedding(const Graph& logical,
+                                        const Graph& target,
+                                        std::uint64_t seed = 0,
+                                        std::size_t num_attempts = 4);
+
+}  // namespace qsmt::graph

@@ -1,0 +1,64 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace qsmt::graph {
+
+void Graph::add_edge(std::size_t u, std::size_t v) {
+  require(u != v, "Graph::add_edge: self loops not allowed");
+  require(!finalized_, "Graph::add_edge: graph already finalized");
+  if (u > v) std::swap(u, v);
+  num_nodes_ = std::max(num_nodes_, v + 1);
+  edges_.emplace_back(static_cast<std::uint32_t>(u),
+                      static_cast<std::uint32_t>(v));
+}
+
+void Graph::finalize() {
+  require(!finalized_, "Graph::finalize: already finalized");
+  std::sort(edges_.begin(), edges_.end());
+  const auto dup = std::adjacent_find(edges_.begin(), edges_.end());
+  require(dup == edges_.end(), "Graph::finalize: duplicate edge");
+
+  std::vector<std::size_t> degree(num_nodes_, 0);
+  for (const auto& [u, v] : edges_) {
+    ++degree[u];
+    ++degree[v];
+  }
+  row_start_.assign(num_nodes_ + 1, 0);
+  for (std::size_t i = 0; i < num_nodes_; ++i)
+    row_start_[i + 1] = row_start_[i] + degree[i];
+  adjacency_.resize(row_start_[num_nodes_]);
+  std::vector<std::size_t> cursor(row_start_.begin(), row_start_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    adjacency_[cursor[u]++] = v;
+    adjacency_[cursor[v]++] = u;
+  }
+  for (std::size_t i = 0; i < num_nodes_; ++i) {
+    std::sort(adjacency_.begin() + static_cast<std::ptrdiff_t>(row_start_[i]),
+              adjacency_.begin() + static_cast<std::ptrdiff_t>(row_start_[i + 1]));
+  }
+  finalized_ = true;
+}
+
+std::span<const std::uint32_t> Graph::neighbors(std::size_t u) const {
+  require(finalized_, "Graph::neighbors: call finalize() first");
+  require_in_range(u < num_nodes_, "Graph::neighbors: node out of range");
+  return {adjacency_.data() + row_start_[u], row_start_[u + 1] - row_start_[u]};
+}
+
+bool Graph::has_edge(std::size_t u, std::size_t v) const {
+  require(finalized_, "Graph::has_edge: call finalize() first");
+  if (u >= num_nodes_ || v >= num_nodes_ || u == v) return false;
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), static_cast<std::uint32_t>(v));
+}
+
+std::size_t Graph::degree(std::size_t u) const {
+  require(finalized_, "Graph::degree: call finalize() first");
+  require_in_range(u < num_nodes_, "Graph::degree: node out of range");
+  return row_start_[u + 1] - row_start_[u];
+}
+
+}  // namespace qsmt::graph

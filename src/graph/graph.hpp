@@ -1,0 +1,51 @@
+// Minimal undirected graph used to describe annealer hardware topologies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qsmt::graph {
+
+/// Undirected simple graph with contiguous 0..n-1 node ids and CSR-style
+/// adjacency built lazily on finalize().
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  /// Adds an undirected edge (u, v); self-loops and duplicates are rejected
+  /// with std::invalid_argument. Grows the node count if needed.
+  void add_edge(std::size_t u, std::size_t v);
+
+  /// Must be called after the last add_edge and before neighbor queries.
+  void finalize();
+
+  bool finalized() const noexcept { return finalized_; }
+
+  /// Neighbors of `u` in ascending order. Requires finalize().
+  std::span<const std::uint32_t> neighbors(std::size_t u) const;
+
+  /// True when (u, v) is an edge. Requires finalize(). O(log degree).
+  bool has_edge(std::size_t u, std::size_t v) const;
+
+  /// All edges as (u, v) pairs with u < v.
+  std::span<const std::pair<std::uint32_t, std::uint32_t>> edges()
+      const noexcept {
+    return edges_;
+  }
+
+  std::size_t degree(std::size_t u) const;
+
+ private:
+  std::size_t num_nodes_ = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+  std::vector<std::size_t> row_start_;
+  std::vector<std::uint32_t> adjacency_;
+  bool finalized_ = false;
+};
+
+}  // namespace qsmt::graph

@@ -1,0 +1,68 @@
+#include "graph/topologies.hpp"
+
+#include "util/require.hpp"
+
+namespace qsmt::graph {
+
+namespace {
+std::size_t node_at(std::size_t row, std::size_t col, std::size_t cols) {
+  return row * cols + col;
+}
+}  // namespace
+
+Graph make_grid(std::size_t rows, std::size_t cols) {
+  require(rows >= 1 && cols >= 1, "make_grid: dimensions must be positive");
+  Graph g(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(node_at(r, c, cols), node_at(r, c + 1, cols));
+      if (r + 1 < rows) g.add_edge(node_at(r, c, cols), node_at(r + 1, c, cols));
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph make_king(std::size_t rows, std::size_t cols) {
+  require(rows >= 1 && cols >= 1, "make_king: dimensions must be positive");
+  Graph g(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(node_at(r, c, cols), node_at(r, c + 1, cols));
+      if (r + 1 < rows) {
+        g.add_edge(node_at(r, c, cols), node_at(r + 1, c, cols));
+        if (c + 1 < cols) {
+          g.add_edge(node_at(r, c, cols), node_at(r + 1, c + 1, cols));
+        }
+        if (c > 0) {
+          g.add_edge(node_at(r, c, cols), node_at(r + 1, c - 1, cols));
+        }
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph make_complete(std::size_t n) {
+  require(n >= 1, "make_complete: n must be positive");
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) g.add_edge(i, j);
+  }
+  g.finalize();
+  return g;
+}
+
+Graph make_complete_bipartite(std::size_t a, std::size_t b) {
+  require(a >= 1 && b >= 1,
+          "make_complete_bipartite: both sides must be nonempty");
+  Graph g(a + b);
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < b; ++j) g.add_edge(i, a + j);
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace qsmt::graph

@@ -1,0 +1,28 @@
+// Additional annealer hardware topologies beyond Chimera.
+//
+// Real annealing accelerators differ in connectivity: D-Wave machines use
+// Chimera/Pegasus minors, CMOS/digital annealers (Hitachi, Fujitsu-style)
+// use king-graph lattices, and idealised studies use complete or grid
+// couplings. The embedding benches sweep these to show how topology
+// richness trades against chain length.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace qsmt::graph {
+
+/// rows x cols lattice with horizontal/vertical couplers only (finalized).
+Graph make_grid(std::size_t rows, std::size_t cols);
+
+/// rows x cols lattice with king's-move couplers (grid plus diagonals) — the
+/// topology of CMOS-annealer-style accelerators (finalized).
+Graph make_king(std::size_t rows, std::size_t cols);
+
+/// Complete graph K_n (ideal all-to-all coupling; finalized).
+Graph make_complete(std::size_t n);
+
+/// Complete bipartite graph K_{a,b} (one Chimera unit cell generalised;
+/// finalized).
+Graph make_complete_bipartite(std::size_t a, std::size_t b);
+
+}  // namespace qsmt::graph

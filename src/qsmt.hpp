@@ -1,0 +1,70 @@
+// Umbrella header: the whole public API in one include.
+//
+//   #include "qsmt.hpp"
+//
+// Fine for applications and experiments; library code should keep including
+// the specific module headers it uses.
+#pragma once
+
+// Utilities.
+#include "util/require.hpp"   // IWYU pragma: export
+#include "util/rng.hpp"       // IWYU pragma: export
+#include "util/stopwatch.hpp" // IWYU pragma: export
+
+// QUBO core.
+#include "qubo/adjacency.hpp"       // IWYU pragma: export
+#include "qubo/ising.hpp"           // IWYU pragma: export
+#include "qubo/penalties.hpp"       // IWYU pragma: export
+#include "qubo/quadratization.hpp"  // IWYU pragma: export
+#include "qubo/qubo_model.hpp"      // IWYU pragma: export
+#include "qubo/serialize.hpp"       // IWYU pragma: export
+
+// Samplers.
+#include "anneal/autotune.hpp"           // IWYU pragma: export
+#include "anneal/exact.hpp"              // IWYU pragma: export
+#include "anneal/greedy.hpp"             // IWYU pragma: export
+#include "anneal/noise.hpp"              // IWYU pragma: export
+#include "anneal/pimc.hpp"               // IWYU pragma: export
+#include "anneal/population.hpp"         // IWYU pragma: export
+#include "anneal/random_sampler.hpp"     // IWYU pragma: export
+#include "anneal/reverse.hpp"            // IWYU pragma: export
+#include "anneal/sample_set.hpp"         // IWYU pragma: export
+#include "anneal/sampler.hpp"            // IWYU pragma: export
+#include "anneal/schedule.hpp"           // IWYU pragma: export
+#include "anneal/simulated_annealer.hpp" // IWYU pragma: export
+#include "anneal/tabu.hpp"               // IWYU pragma: export
+#include "anneal/tempering.hpp"          // IWYU pragma: export
+
+// Hardware simulation.
+#include "graph/chimera.hpp"          // IWYU pragma: export
+#include "graph/embedded_sampler.hpp" // IWYU pragma: export
+#include "graph/embedding.hpp"        // IWYU pragma: export
+#include "graph/graph.hpp"            // IWYU pragma: export
+#include "graph/topologies.hpp"       // IWYU pragma: export
+
+// String encoding + regex.
+#include "regex/nfa.hpp"      // IWYU pragma: export
+#include "regex/pattern.hpp"  // IWYU pragma: export
+#include "strenc/ascii7.hpp"  // IWYU pragma: export
+
+// The string-constraint solver (the paper's contribution).
+#include "strqubo/builders.hpp"   // IWYU pragma: export
+#include "strqubo/constraint.hpp" // IWYU pragma: export
+#include "strqubo/pipeline.hpp"   // IWYU pragma: export
+#include "strqubo/solver.hpp"     // IWYU pragma: export
+#include "strqubo/verify.hpp"     // IWYU pragma: export
+
+// SMT front end, SAT substrate, engines, baselines, workloads.
+#include "baseline/classical.hpp"   // IWYU pragma: export
+#include "engine/engine.hpp"        // IWYU pragma: export
+#include "sat/cdcl.hpp"             // IWYU pragma: export
+#include "sat/dimacs.hpp"           // IWYU pragma: export
+#include "sat/dpllt.hpp"            // IWYU pragma: export
+#include "sat/tseitin.hpp"          // IWYU pragma: export
+#include "smtlib/ast.hpp"           // IWYU pragma: export
+#include "smtlib/compiler.hpp"      // IWYU pragma: export
+#include "smtlib/driver.hpp"        // IWYU pragma: export
+#include "smtlib/parser.hpp"        // IWYU pragma: export
+#include "smtlib/sexpr.hpp"         // IWYU pragma: export
+#include "workload/generator.hpp"   // IWYU pragma: export
+#include "workload/smt2_render.hpp" // IWYU pragma: export

@@ -1,0 +1,69 @@
+#include "qubo/adjacency.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace qsmt::qubo {
+
+QuboAdjacency::QuboAdjacency(const QuboModel& model)
+    : linear_(model.linear_terms()), offset_(model.offset()) {
+  const std::size_t n = linear_.size();
+  std::vector<std::size_t> degree(n, 0);
+  for (const auto& [key, value] : model.quadratic_terms()) {
+    if (value == 0.0) continue;
+    ++degree[key >> 32];
+    ++degree[key & 0xffffffffULL];
+  }
+  row_start_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) row_start_[i + 1] = row_start_[i] + degree[i];
+  neighbors_.resize(row_start_[n]);
+
+  std::vector<std::size_t> cursor(row_start_.begin(), row_start_.end() - 1);
+  for (const auto& [key, value] : model.quadratic_terms()) {
+    if (value == 0.0) continue;
+    const auto i = static_cast<std::uint32_t>(key >> 32);
+    const auto j = static_cast<std::uint32_t>(key & 0xffffffffULL);
+    neighbors_[cursor[i]++] = Neighbor{j, value};
+    neighbors_[cursor[j]++] = Neighbor{i, value};
+  }
+  // Deterministic neighbor order independent of hash-map iteration.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::sort(neighbors_.begin() + static_cast<std::ptrdiff_t>(row_start_[i]),
+              neighbors_.begin() + static_cast<std::ptrdiff_t>(row_start_[i + 1]),
+              [](const Neighbor& a, const Neighbor& b) { return a.index < b.index; });
+  }
+}
+
+double QuboAdjacency::energy(std::span<const std::uint8_t> bits) const {
+  require(bits.size() == linear_.size(),
+          "QuboAdjacency::energy: bit vector size mismatch");
+  double e = offset_;
+  for (std::size_t i = 0; i < linear_.size(); ++i) {
+    if (!bits[i]) continue;
+    e += linear_[i];
+    // Each quadratic term appears in both endpoint rows; count it once by
+    // only accumulating neighbors with a larger index.
+    for (const Neighbor& nb : neighbors(i)) {
+      if (nb.index > i && bits[nb.index]) e += nb.coefficient;
+    }
+  }
+  return e;
+}
+
+double QuboAdjacency::local_field(std::span<const std::uint8_t> bits,
+                                  std::size_t i) const {
+  double field = linear_[i];
+  for (const Neighbor& nb : neighbors(i)) {
+    if (bits[nb.index]) field += nb.coefficient;
+  }
+  return field;
+}
+
+double QuboAdjacency::flip_delta(std::span<const std::uint8_t> bits,
+                                 std::size_t i) const {
+  const double sign = bits[i] ? -1.0 : 1.0;
+  return sign * local_field(bits, i);
+}
+
+}  // namespace qsmt::qubo

@@ -1,0 +1,97 @@
+#include "qubo/ising.hpp"
+
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace qsmt::qubo {
+
+void IsingModel::add_coupling(std::size_t i, std::size_t j, double value) {
+  require(i != j, "IsingModel::add_coupling: self coupling not allowed");
+  if (i > j) std::swap(i, j);
+  if (j >= h.size()) h.resize(j + 1, 0.0);
+  coupling[pack_pair(static_cast<std::uint32_t>(i),
+                     static_cast<std::uint32_t>(j))] += value;
+}
+
+double IsingModel::coupling_at(std::size_t i, std::size_t j) const {
+  if (i == j) return 0.0;
+  if (i > j) std::swap(i, j);
+  auto it = coupling.find(pack_pair(static_cast<std::uint32_t>(i),
+                                    static_cast<std::uint32_t>(j)));
+  return it == coupling.end() ? 0.0 : it->second;
+}
+
+double IsingModel::energy(std::span<const std::int8_t> spins) const {
+  require(spins.size() == h.size(), "IsingModel::energy: spin size mismatch");
+  double e = offset;
+  for (std::size_t i = 0; i < h.size(); ++i) e += h[i] * spins[i];
+  for (const auto& [key, value] : coupling) {
+    const auto i = static_cast<std::size_t>(key >> 32);
+    const auto j = static_cast<std::size_t>(key & 0xffffffffULL);
+    e += value * spins[i] * spins[j];
+  }
+  return e;
+}
+
+IsingModel qubo_to_ising(const QuboModel& qubo) {
+  // x_i = (1 + s_i)/2. Substituting:
+  //   q_ii x_i         -> q_ii/2 s_i + q_ii/2
+  //   q_ij x_i x_j     -> q_ij/4 (s_i s_j + s_i + s_j + 1)
+  IsingModel ising;
+  const std::size_t n = qubo.num_variables();
+  ising.h.assign(n, 0.0);
+  ising.offset = qubo.offset();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = qubo.linear_terms()[i];
+    ising.h[i] += q / 2.0;
+    ising.offset += q / 2.0;
+  }
+  for (const auto& [key, value] : qubo.quadratic_terms()) {
+    const auto i = static_cast<std::size_t>(key >> 32);
+    const auto j = static_cast<std::size_t>(key & 0xffffffffULL);
+    ising.add_coupling(i, j, value / 4.0);
+    ising.h[i] += value / 4.0;
+    ising.h[j] += value / 4.0;
+    ising.offset += value / 4.0;
+  }
+  if (ising.h.size() < n) ising.h.resize(n, 0.0);
+  return ising;
+}
+
+QuboModel ising_to_qubo(const IsingModel& ising) {
+  // s_i = 2 x_i - 1. Substituting:
+  //   h_i s_i       -> 2 h_i x_i - h_i
+  //   J_ij s_i s_j  -> 4 J_ij x_i x_j - 2 J_ij x_i - 2 J_ij x_j + J_ij
+  QuboModel qubo(ising.num_variables());
+  qubo.set_offset(ising.offset);
+  for (std::size_t i = 0; i < ising.h.size(); ++i) {
+    qubo.add_linear(i, 2.0 * ising.h[i]);
+    qubo.add_offset(-ising.h[i]);
+  }
+  for (const auto& [key, value] : ising.coupling) {
+    const auto i = static_cast<std::size_t>(key >> 32);
+    const auto j = static_cast<std::size_t>(key & 0xffffffffULL);
+    qubo.add_quadratic(i, j, 4.0 * value);
+    qubo.add_linear(i, -2.0 * value);
+    qubo.add_linear(j, -2.0 * value);
+    qubo.add_offset(value);
+  }
+  return qubo;
+}
+
+std::vector<std::int8_t> bits_to_spins(std::span<const std::uint8_t> bits) {
+  std::vector<std::int8_t> spins(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    spins[i] = bits[i] ? std::int8_t{1} : std::int8_t{-1};
+  return spins;
+}
+
+std::vector<std::uint8_t> spins_to_bits(std::span<const std::int8_t> spins) {
+  std::vector<std::uint8_t> bits(spins.size());
+  for (std::size_t i = 0; i < spins.size(); ++i)
+    bits[i] = spins[i] > 0 ? std::uint8_t{1} : std::uint8_t{0};
+  return bits;
+}
+
+}  // namespace qsmt::qubo

@@ -1,0 +1,48 @@
+// Ising model and QUBO <-> Ising conversion.
+//
+// Quantum annealers natively minimise the Ising Hamiltonian
+//   H(s) = offset + Σ_i h_i s_i + Σ_{i<j} J_ij s_i s_j,   s ∈ {-1,+1}^n.
+// QUBO and Ising are affinely equivalent under x = (1+s)/2; the
+// path-integral quantum annealer and the hardware-embedding layer both
+// work in Ising space, so the conversion lives here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "qubo/qubo_model.hpp"
+
+namespace qsmt::qubo {
+
+struct IsingModel {
+  std::vector<double> h;                              ///< Local fields.
+  std::unordered_map<std::uint64_t, double> coupling; ///< J_ij, key pack_pair(i<j).
+  double offset = 0.0;
+
+  std::size_t num_variables() const noexcept { return h.size(); }
+
+  /// Adds `value` to J_ij (i != j required; symmetric in i/j).
+  void add_coupling(std::size_t i, std::size_t j, double value);
+
+  /// J_ij or 0 when absent.
+  double coupling_at(std::size_t i, std::size_t j) const;
+
+  /// H(s) for spins in {-1,+1}.
+  double energy(std::span<const std::int8_t> spins) const;
+};
+
+/// Exact affine conversion: for all x, qubo.energy(x) == ising.energy(2x-1).
+IsingModel qubo_to_ising(const QuboModel& qubo);
+
+/// Inverse conversion; round-trips up to floating-point association error.
+QuboModel ising_to_qubo(const IsingModel& ising);
+
+/// Maps {0,1} bits to {-1,+1} spins.
+std::vector<std::int8_t> bits_to_spins(std::span<const std::uint8_t> bits);
+
+/// Maps {-1,+1} spins to {0,1} bits.
+std::vector<std::uint8_t> spins_to_bits(std::span<const std::int8_t> spins);
+
+}  // namespace qsmt::qubo

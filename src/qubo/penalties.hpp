@@ -1,0 +1,50 @@
+// Reusable QUBO penalty gadgets.
+//
+// QUBO has no hard constraints; instead, constraint violations are priced
+// into the objective ("penalty functions" in the paper's terminology,
+// §2.3). Each helper below adds a standard gadget whose minimum-energy
+// configurations are exactly the feasible assignments.
+#pragma once
+
+#include <span>
+
+#include "qubo/qubo_model.hpp"
+
+namespace qsmt::qubo {
+
+/// Adds strength * (Σ x_v - 1)^2 over `variables`: minimised (adding
+/// exactly 0 after the constant) when exactly one variable is 1. This is the
+/// one-hot constraint used by the string-includes formulation (§4.4) and the
+/// one-hot regex class encoding extension.
+void add_one_hot(QuboModel& model, std::span<const std::size_t> variables,
+                 double strength);
+
+/// Adds strength * x_i x_j for every pair: penalises any two variables being
+/// 1 together but allows all-zero. The paper's §4.4 penalty
+/// B Σ_{i<j} x_i x_j is exactly this gadget.
+void add_pairwise_exclusion(QuboModel& model,
+                            std::span<const std::size_t> variables,
+                            double strength);
+
+/// Adds strength * (x_i + x_j - 2 x_i x_j): zero when x_i == x_j, strength
+/// otherwise (an XNOR/equality gadget). The palindrome formulation (§4.10)
+/// applies this to mirrored bit positions.
+void add_equal_bits(QuboModel& model, std::size_t i, std::size_t j,
+                    double strength);
+
+/// Adds strength * (1 - x_i - x_j + 2 x_i x_j) - strength*0: zero when
+/// x_i != x_j, strength otherwise (an XOR/inequality gadget). Constant part
+/// goes to the offset so feasible assignments sit at energy 0.
+void add_differ_bits(QuboModel& model, std::size_t i, std::size_t j,
+                     double strength);
+
+/// Adds strength * (Σ x_v - k)^2: minimised when exactly k of the variables
+/// are 1 (a cardinality constraint).
+void add_exactly_k(QuboModel& model, std::span<const std::size_t> variables,
+                   std::size_t k, double strength);
+
+/// Pins variable i toward `bit`: adds -strength when the target bit is 1 and
+/// +strength when 0, the paper's universal diagonal encoding (§4.1).
+void pin_bit(QuboModel& model, std::size_t i, bool bit, double strength);
+
+}  // namespace qsmt::qubo

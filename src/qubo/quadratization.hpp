@@ -1,0 +1,53 @@
+// Quadratization: reducing higher-order boolean penalty terms to QUBO.
+//
+// QUBO only has pairwise products, but several useful string constraints —
+// "this window must NOT spell the forbidden substring" — are naturally
+// k-ary conjunctions over bits. The standard fix is ancilla variables with
+// an AND gadget whose ground states satisfy w = x ∧ y exactly and whose
+// violations cost at least the gadget strength (Boros & Hammer 2002):
+//
+//   P_and(w; x, y) = penalty * (3w + xy - 2wx - 2wy)
+//
+// k-ary conjunctions chain the gadget left to right, spending k-1 ancillas.
+// Negated literals are realised with a NOT ancilla (an XOR gadget against
+// the source bit) first.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "qubo/qubo_model.hpp"
+
+namespace qsmt::qubo {
+
+/// A possibly-negated reference to a QUBO variable.
+struct BoolLiteral {
+  std::size_t variable;
+  bool positive = true;
+};
+
+/// Appends an ancilla variable w to `model` constrained (by penalty terms of
+/// strength `penalty`) to equal x AND y, and returns w's index. Any
+/// assignment with w != x*y costs at least `penalty` more than the repaired
+/// assignment.
+std::size_t add_and_ancilla(QuboModel& model, std::size_t x, std::size_t y,
+                            double penalty);
+
+/// Appends an ancilla n constrained to equal NOT x; returns n's index.
+std::size_t add_not_ancilla(QuboModel& model, std::size_t x, double penalty);
+
+/// Materialises the conjunction of `literals` into a single output variable
+/// (returned index) using a left-to-right chain of AND ancillas; NOT
+/// ancillas are inserted for negative literals. With one positive literal no
+/// ancilla is spent and the literal's own variable index is returned.
+/// Requires at least one literal.
+std::size_t add_conjunction(QuboModel& model,
+                            std::span<const BoolLiteral> literals,
+                            double penalty);
+
+/// Number of ancilla variables add_conjunction will append for `literals`
+/// (NOT ancillas for the negative ones plus k-1 AND ancillas).
+std::size_t conjunction_ancilla_count(std::span<const BoolLiteral> literals);
+
+}  // namespace qsmt::qubo

@@ -1,0 +1,97 @@
+#include "qubo/serialize.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace qsmt::qubo {
+
+void write_coo(std::ostream& out, const QuboModel& model) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(model.quadratic_terms().size());
+  for (const auto& [key, value] : model.quadratic_terms()) {
+    if (value != 0.0) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+
+  std::size_t num_linear = 0;
+  for (double v : model.linear_terms())
+    if (v != 0.0) ++num_linear;
+
+  out << "qubo " << model.num_variables() << ' ' << num_linear + keys.size()
+      << ' ' << std::setprecision(17) << model.offset() << '\n';
+  for (std::size_t i = 0; i < model.num_variables(); ++i) {
+    const double v = model.linear_terms()[i];
+    if (v != 0.0) out << i << ' ' << i << ' ' << v << '\n';
+  }
+  for (std::uint64_t key : keys) {
+    out << (key >> 32) << ' ' << (key & 0xffffffffULL) << ' '
+        << model.quadratic_terms().at(key) << '\n';
+  }
+}
+
+std::string to_coo_string(const QuboModel& model) {
+  std::ostringstream out;
+  write_coo(out, model);
+  return out.str();
+}
+
+QuboModel read_coo(std::istream& in) {
+  std::string magic;
+  std::size_t n = 0;
+  std::size_t entries = 0;
+  double offset = 0.0;
+  in >> magic >> n >> entries >> offset;
+  require(static_cast<bool>(in) && magic == "qubo",
+          "read_coo: bad header, expected 'qubo <n> <entries> <offset>'");
+  QuboModel model(n);
+  model.set_offset(offset);
+  for (std::size_t e = 0; e < entries; ++e) {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    double value = 0.0;
+    in >> i >> j >> value;
+    require(static_cast<bool>(in), "read_coo: truncated entry list");
+    require(i < n && j < n, "read_coo: index out of range");
+    if (i == j)
+      model.add_linear(i, value);
+    else
+      model.add_quadratic(i, j, value);
+  }
+  return model;
+}
+
+QuboModel from_coo_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_coo(in);
+}
+
+std::string format_dense(const QuboModel& model, std::size_t max_dim,
+                         int precision) {
+  const std::size_t n = model.num_variables();
+  const bool abbreviated = n > max_dim;
+  const std::size_t shown = abbreviated ? max_dim : n;
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision);
+  for (std::size_t i = 0; i < shown; ++i) {
+    for (std::size_t j = 0; j < shown; ++j) {
+      double v = 0.0;
+      if (i == j)
+        v = model.linear_terms()[i];
+      else if (i < j)
+        v = model.quadratic(i, j);
+      out << std::setw(precision + 5) << v;
+      if (j + 1 < shown) out << ' ';
+    }
+    if (abbreviated) out << "  ...";
+    out << '\n';
+  }
+  if (abbreviated) out << "  ... (" << n << " x " << n << " total)\n";
+  return out.str();
+}
+
+}  // namespace qsmt::qubo

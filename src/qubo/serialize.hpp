@@ -1,0 +1,39 @@
+// Text serialization of QUBO models.
+//
+// Two formats:
+//  * COO text ("qubo <n> <m> <offset>" header, then one "i j value" line per
+//    nonzero; i == j rows are linear terms) — lossless round-trip, used for
+//    persisting models and cross-checking against external tools.
+//  * Dense pretty-printing with optional abbreviation, matching the style of
+//    the paper's Table 1 matrix snippets.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "qubo/qubo_model.hpp"
+
+namespace qsmt::qubo {
+
+/// Writes the COO representation (deterministic order: linear terms by
+/// index, then quadratic terms sorted by (i, j)).
+void write_coo(std::ostream& out, const QuboModel& model);
+
+/// Convenience wrapper returning the COO text.
+std::string to_coo_string(const QuboModel& model);
+
+/// Parses the COO representation. Throws std::invalid_argument on malformed
+/// input (bad header, indices out of range, trailing junk).
+QuboModel read_coo(std::istream& in);
+
+/// Convenience wrapper parsing from a string.
+QuboModel from_coo_string(const std::string& text);
+
+/// Pretty-prints the dense upper-triangular matrix. When the model has more
+/// than `max_dim` variables the output is abbreviated with ellipses, the way
+/// the paper abbreviates Table 1 ("The matrices are abbreviated due to space
+/// limitations").
+std::string format_dense(const QuboModel& model, std::size_t max_dim = 10,
+                         int precision = 2);
+
+}  // namespace qsmt::qubo

@@ -1,0 +1,139 @@
+#include "regex/nfa.hpp"
+
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "util/require.hpp"
+
+namespace qsmt::regex {
+
+std::size_t Nfa::add_state() {
+  states_.emplace_back();
+  return states_.size() - 1;
+}
+
+Nfa Nfa::compile(const Pattern& pattern) {
+  Nfa nfa;
+  // Chain of fragments; each element contributes a char move s --chars--> t
+  // plus epsilon edges per its quantifier:
+  //   one:   (no extra edges)
+  //   plus:  t --eps--> s              (repeat)
+  //   star:  t --eps--> s, s --eps--> t (repeat or skip)
+  //   opt:   s --eps--> t              (skip)
+  // A state may carry up to two epsilon edges (its own element's skip plus
+  // the previous element's loop-back), so edges take the first free slot.
+  auto add_eps = [&nfa](std::size_t from, std::size_t to) {
+    for (auto& slot : nfa.states_[from].eps) {
+      if (slot < 0) {
+        slot = static_cast<std::int32_t>(to);
+        return;
+      }
+    }
+    throw std::logic_error("Nfa::compile: epsilon slots exhausted");
+  };
+
+  const std::size_t start = nfa.add_state();
+  std::size_t current = start;
+  for (const Element& element : pattern.elements) {
+    const std::size_t s = current;
+    const std::size_t t = nfa.add_state();
+    nfa.states_[s].chars = element.chars;
+    nfa.states_[s].next = static_cast<std::int32_t>(t);
+    switch (element.quantifier) {
+      case Quantifier::kOne:
+        break;
+      case Quantifier::kPlus:
+        add_eps(t, s);
+        break;
+      case Quantifier::kStar:
+        add_eps(t, s);
+        add_eps(s, t);
+        break;
+      case Quantifier::kOpt:
+        add_eps(s, t);
+        break;
+    }
+    current = t;
+  }
+  nfa.start_ = static_cast<std::int32_t>(start);
+  nfa.accept_ = static_cast<std::int32_t>(current);
+  return nfa;
+}
+
+void Nfa::epsilon_closure(std::vector<std::uint8_t>& active) const {
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (active[i]) stack.push_back(i);
+  }
+  while (!stack.empty()) {
+    const std::size_t s = stack.back();
+    stack.pop_back();
+    for (std::int32_t e : states_[s].eps) {
+      if (e >= 0 && !active[static_cast<std::size_t>(e)]) {
+        active[static_cast<std::size_t>(e)] = 1;
+        stack.push_back(static_cast<std::size_t>(e));
+      }
+    }
+  }
+}
+
+bool Nfa::matches(std::string_view input) const {
+  require(start_ >= 0, "Nfa::matches: automaton not compiled");
+  std::vector<std::uint8_t> active(states_.size(), 0);
+  active[static_cast<std::size_t>(start_)] = 1;
+  epsilon_closure(active);
+
+  std::vector<std::uint8_t> next(states_.size(), 0);
+  for (char c : input) {
+    std::fill(next.begin(), next.end(), 0);
+    bool any = false;
+    for (std::size_t s = 0; s < states_.size(); ++s) {
+      if (!active[s]) continue;
+      const State& state = states_[s];
+      if (state.next >= 0 && state.chars.find(c) != std::string::npos) {
+        next[static_cast<std::size_t>(state.next)] = 1;
+        any = true;
+      }
+    }
+    if (!any) return false;
+    std::swap(active, next);
+    epsilon_closure(active);
+  }
+  return active[static_cast<std::size_t>(accept_)] != 0;
+}
+
+std::size_t Nfa::shortest_accepted_length() const {
+  require(start_ >= 0, "Nfa::shortest_accepted_length: not compiled");
+  // BFS counting character moves; epsilon moves are free.
+  std::vector<std::size_t> dist(states_.size(),
+                                std::numeric_limits<std::size_t>::max());
+  std::deque<std::size_t> queue;
+  dist[static_cast<std::size_t>(start_)] = 0;
+  queue.push_back(static_cast<std::size_t>(start_));
+  while (!queue.empty()) {
+    const std::size_t s = queue.front();
+    queue.pop_front();
+    const State& state = states_[s];
+    for (std::int32_t e : state.eps) {
+      if (e >= 0 && dist[static_cast<std::size_t>(e)] > dist[s]) {
+        dist[static_cast<std::size_t>(e)] = dist[s];
+        queue.push_front(static_cast<std::size_t>(e));  // 0-weight edge.
+      }
+    }
+    if (state.next >= 0 && !state.chars.empty()) {
+      const auto t = static_cast<std::size_t>(state.next);
+      if (dist[t] > dist[s] + 1) {
+        dist[t] = dist[s] + 1;
+        queue.push_back(t);
+      }
+    }
+  }
+  return dist[static_cast<std::size_t>(accept_)];
+}
+
+bool full_match(std::string_view pattern, std::string_view input) {
+  return Nfa::compile(parse_pattern(pattern)).matches(input);
+}
+
+}  // namespace qsmt::regex

@@ -1,0 +1,51 @@
+// Thompson NFA construction and simulation for the regex subset.
+//
+// The classical automata-based matcher the paper contrasts with (§1 cites
+// automata-based string solving and its costs). Used here (a) to verify
+// annealer outputs against the pattern, and (b) as the classical baseline
+// engine in the crossover benches.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "regex/pattern.hpp"
+
+namespace qsmt::regex {
+
+/// Nondeterministic finite automaton over 7-bit ASCII with epsilon moves.
+class Nfa {
+ public:
+  /// Thompson construction from a parsed pattern.
+  static Nfa compile(const Pattern& pattern);
+
+  /// True when the whole input matches (anchored at both ends).
+  bool matches(std::string_view input) const;
+
+  /// Length of the shortest accepted string (BFS over the automaton).
+  std::size_t shortest_accepted_length() const;
+
+  std::size_t num_states() const noexcept { return states_.size(); }
+
+ private:
+  struct State {
+    // Transition on any character in `chars` to `next` (chars empty: none).
+    std::string chars;
+    std::int32_t next = -1;
+    // Up to two epsilon successors (enough for Thompson fragments).
+    std::int32_t eps[2] = {-1, -1};
+  };
+
+  std::size_t add_state();
+  void epsilon_closure(std::vector<std::uint8_t>& active) const;
+
+  std::vector<State> states_;
+  std::int32_t start_ = -1;
+  std::int32_t accept_ = -1;
+};
+
+/// Convenience: parse + compile + match.
+bool full_match(std::string_view pattern, std::string_view input);
+
+}  // namespace qsmt::regex

@@ -1,0 +1,140 @@
+#include "regex/pattern.hpp"
+
+#include "util/require.hpp"
+
+namespace qsmt::regex {
+
+std::size_t Pattern::min_length() const {
+  std::size_t total = 0;
+  for (const Element& e : elements) total += e.min_count();
+  return total;
+}
+
+bool Pattern::has_plus() const {
+  for (const Element& e : elements) {
+    if (e.unbounded()) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void append_unique(std::string& chars, char c) {
+  if (chars.find(c) == std::string::npos) chars.push_back(c);
+}
+
+bool is_quantifier(char c) { return c == '+' || c == '*' || c == '?'; }
+
+Quantifier quantifier_of(char c) {
+  switch (c) {
+    case '+':
+      return Quantifier::kPlus;
+    case '*':
+      return Quantifier::kStar;
+    default:
+      return Quantifier::kOpt;
+  }
+}
+
+}  // namespace
+
+Pattern parse_pattern(std::string_view text) {
+  require(!text.empty(), "parse_pattern: empty pattern");
+  Pattern pattern;
+  pattern.source = std::string(text);
+
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (is_quantifier(c)) {
+      require(!pattern.elements.empty(),
+              "parse_pattern: quantifier with nothing to repeat");
+      require(pattern.elements.back().quantifier == Quantifier::kOne,
+              "parse_pattern: double quantifier is not in the supported "
+              "subset");
+      pattern.elements.back().quantifier = quantifier_of(c);
+      ++i;
+    } else if (c == '[') {
+      Element element;
+      element.is_class = true;
+      ++i;
+      bool closed = false;
+      while (i < text.size()) {
+        if (text[i] == ']') {
+          closed = true;
+          ++i;
+          break;
+        }
+        char cc = text[i];
+        if (cc == '\\') {
+          require(i + 1 < text.size(), "parse_pattern: dangling escape");
+          cc = text[i + 1];
+          ++i;
+        }
+        append_unique(element.chars, cc);
+        ++i;
+      }
+      require(closed, "parse_pattern: unterminated character class");
+      require(!element.chars.empty(), "parse_pattern: empty character class");
+      pattern.elements.push_back(std::move(element));
+    } else if (c == ']') {
+      throw std::invalid_argument("parse_pattern: unmatched ']'");
+    } else {
+      char literal = c;
+      if (c == '\\') {
+        require(i + 1 < text.size(), "parse_pattern: dangling escape");
+        literal = text[i + 1];
+        ++i;
+      }
+      Element element;
+      element.chars.push_back(literal);
+      pattern.elements.push_back(std::move(element));
+      ++i;
+    }
+  }
+  require(!pattern.elements.empty(), "parse_pattern: pattern has no elements");
+  return pattern;
+}
+
+std::vector<PositionToken> expand_to_length(const Pattern& pattern,
+                                            std::size_t length) {
+  const std::size_t base = pattern.min_length();
+  require(length >= base,
+          "expand_to_length: length shorter than the pattern's minimum");
+  std::size_t extra = length - base;
+
+  // Per-element repetition counts: minimum first, then distribute extras.
+  std::vector<std::size_t> counts(pattern.elements.size());
+  for (std::size_t e = 0; e < pattern.elements.size(); ++e) {
+    counts[e] = pattern.elements[e].min_count();
+  }
+  // All extra repetitions go to the first unbounded element (any
+  // distribution yields a valid match; this one is deterministic).
+  for (std::size_t e = 0; e < pattern.elements.size() && extra > 0; ++e) {
+    if (pattern.elements[e].unbounded()) {
+      counts[e] += extra;
+      extra = 0;
+    }
+  }
+  // No unbounded element: optional elements absorb one extra each.
+  for (std::size_t e = 0; e < pattern.elements.size() && extra > 0; ++e) {
+    if (pattern.elements[e].quantifier == Quantifier::kOpt) {
+      counts[e] += 1;
+      --extra;
+    }
+  }
+  require(extra == 0,
+          "expand_to_length: pattern cannot match a string of this length");
+
+  std::vector<PositionToken> tokens;
+  tokens.reserve(length);
+  for (std::size_t e = 0; e < pattern.elements.size(); ++e) {
+    const Element& element = pattern.elements[e];
+    for (std::size_t r = 0; r < counts[e]; ++r) {
+      tokens.push_back(PositionToken{element.chars, element.is_class});
+    }
+  }
+  return tokens;
+}
+
+}  // namespace qsmt::regex

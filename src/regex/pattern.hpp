@@ -1,0 +1,79 @@
+// Parser and fixed-length expansion for the paper's regex subset (§4.11):
+// literal characters, character classes, and the plus quantifier, e.g.
+// a[tyz]+b — extended (per the paper's §6 future-work direction) with the
+// star and optional quantifiers. Backslash escapes the next character so
+// literal '+', '*', '?', '[', ']', and backslash remain expressible.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qsmt::regex {
+
+/// Repetition attached to one element.
+enum class Quantifier {
+  kOne,   ///< Exactly once (no suffix).
+  kPlus,  ///< One or more ('+', the paper's subset).
+  kStar,  ///< Zero or more ('*', extension).
+  kOpt,   ///< Zero or one ('?', extension).
+};
+
+/// One parsed pattern element: a literal or a character class, with its
+/// quantifier. Classes keep their characters deduplicated in first-
+/// appearance order (the QUBO encoding divides by |chars|, §4.11).
+struct Element {
+  std::string chars;  ///< Size 1 for a literal; >= 1 for a class.
+  bool is_class = false;
+  Quantifier quantifier = Quantifier::kOne;
+
+  bool matches(char c) const { return chars.find(c) != std::string::npos; }
+
+  /// Minimum repetitions (1 for One/Plus, 0 for Star/Opt).
+  std::size_t min_count() const {
+    return quantifier == Quantifier::kOne || quantifier == Quantifier::kPlus
+               ? 1
+               : 0;
+  }
+  /// True when the element can repeat without bound (Plus/Star).
+  bool unbounded() const {
+    return quantifier == Quantifier::kPlus || quantifier == Quantifier::kStar;
+  }
+  /// Back-compat helper: true for the paper's '+' quantifier.
+  bool plus() const { return quantifier == Quantifier::kPlus; }
+};
+
+struct Pattern {
+  std::vector<Element> elements;
+  std::string source;  ///< Original pattern text.
+
+  /// Minimum string length the pattern can match.
+  std::size_t min_length() const;
+
+  /// True when some element is unbounded ('+' or '*').
+  bool has_plus() const;
+};
+
+/// Parses the subset. Throws std::invalid_argument on malformed input
+/// (empty pattern, unbalanced '[', empty class, leading quantifier, double
+/// quantifier, bad escape).
+Pattern parse_pattern(std::string_view text);
+
+/// A per-position token after expanding the pattern to a fixed length: each
+/// output position is constrained to one character set. The paper's QUBO
+/// encoder works on this expansion ("if we have the regex a[bc]+ and we are
+/// generating a string of length 3 ... a literal, a character class, and
+/// another character class").
+struct PositionToken {
+  std::string chars;
+  bool is_class = false;
+};
+
+/// Expands `pattern` to exactly `length` positions: every element takes its
+/// minimum count, extra repetitions go to the first unbounded element, and
+/// when there is none, optional elements absorb one extra each in order.
+/// Throws std::invalid_argument when no assignment reaches `length`.
+std::vector<PositionToken> expand_to_length(const Pattern& pattern,
+                                            std::size_t length);
+
+}  // namespace qsmt::regex

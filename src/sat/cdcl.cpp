@@ -1,0 +1,305 @@
+#include "sat/cdcl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace qsmt::sat {
+
+namespace {
+
+std::int32_t variable_of(Literal lit) { return lit > 0 ? lit : -lit; }
+
+/// Luby restart sequence value for index i (1-based): 1 1 2 1 1 2 4 ...
+std::uint64_t luby(std::uint64_t i) {
+  std::uint64_t k = 1;
+  while ((1ULL << k) - 1 < i) ++k;
+  while ((1ULL << k) - 1 != i) {
+    i -= (1ULL << (k - 1)) - 1;
+    k = 1;
+    while ((1ULL << k) - 1 < i) ++k;
+  }
+  return 1ULL << (k - 1);
+}
+
+}  // namespace
+
+std::int32_t CdclSolver::add_variable() {
+  ++num_vars_;
+  values_.resize(num_vars_ + 1, kUnassigned);
+  reasons_.resize(num_vars_ + 1, kNoReason);
+  levels_.resize(num_vars_ + 1, 0);
+  activities_.resize(num_vars_ + 1, 0.0);
+  saved_phase_.resize(num_vars_ + 1, kFalse);
+  watches_.resize(2 * (num_vars_ + 1));
+  return static_cast<std::int32_t>(num_vars_);
+}
+
+std::int8_t CdclSolver::literal_value(Literal lit) const {
+  const std::int8_t v = values_[static_cast<std::size_t>(variable_of(lit))];
+  if (v == kUnassigned) return kUnassigned;
+  return (lit > 0) == (v == kTrue) ? kTrue : kFalse;
+}
+
+void CdclSolver::attach_clause(std::int32_t clause_index) {
+  const auto& clause = clauses_[static_cast<std::size_t>(clause_index)];
+  watches_[watch_index(clause[0])].push_back(clause_index);
+  watches_[watch_index(clause[1])].push_back(clause_index);
+}
+
+void CdclSolver::add_clause(std::vector<Literal> literals) {
+  // Deduplicate and drop tautologies.
+  std::sort(literals.begin(), literals.end(), [](Literal a, Literal b) {
+    const auto va = variable_of(a);
+    const auto vb = variable_of(b);
+    return va != vb ? va < vb : a < b;
+  });
+  literals.erase(std::unique(literals.begin(), literals.end()),
+                 literals.end());
+  for (std::size_t i = 0; i + 1 < literals.size(); ++i) {
+    if (literals[i] == -literals[i + 1]) return;  // Tautology.
+  }
+  for (Literal lit : literals) {
+    require(variable_of(lit) >= 1 &&
+                static_cast<std::size_t>(variable_of(lit)) <= num_vars_,
+            "CdclSolver::add_clause: literal references unknown variable");
+  }
+
+  if (literals.empty()) {
+    trivially_unsat_ = true;
+    return;
+  }
+  clauses_.push_back(std::move(literals));
+  if (clauses_.back().size() >= 2) {
+    attach_clause(static_cast<std::int32_t>(clauses_.size() - 1));
+  }
+}
+
+void CdclSolver::assign(Literal lit, std::int32_t reason_clause) {
+  const auto v = static_cast<std::size_t>(variable_of(lit));
+  values_[v] = lit > 0 ? kTrue : kFalse;
+  reasons_[v] = reason_clause;
+  levels_[v] = decision_level();
+  trail_.push_back(lit);
+}
+
+std::int32_t CdclSolver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Literal p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    // Clauses watching ~p must be inspected.
+    auto& watch_list = watches_[watch_index(-p)];
+    std::size_t keep = 0;
+    for (std::size_t w = 0; w < watch_list.size(); ++w) {
+      const std::int32_t ci = watch_list[w];
+      auto& clause = clauses_[static_cast<std::size_t>(ci)];
+      // Ensure the falsified literal sits at position 1.
+      if (clause[0] == -p) std::swap(clause[0], clause[1]);
+      if (literal_value(clause[0]) == kTrue) {
+        watch_list[keep++] = ci;  // Clause satisfied; keep watching.
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < clause.size(); ++k) {
+        if (literal_value(clause[k]) != kFalse) {
+          std::swap(clause[1], clause[k]);
+          watches_[watch_index(clause[1])].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // No replacement: clause is unit or conflicting.
+      watch_list[keep++] = ci;
+      if (literal_value(clause[0]) == kFalse) {
+        // Conflict: restore the untraversed suffix of the watch list.
+        for (std::size_t rest = w + 1; rest < watch_list.size(); ++rest) {
+          watch_list[keep++] = watch_list[rest];
+        }
+        watch_list.resize(keep);
+        return ci;
+      }
+      assign(clause[0], ci);
+    }
+    watch_list.resize(keep);
+  }
+  return -1;
+}
+
+void CdclSolver::bump_variable(std::int32_t v) {
+  auto& activity = activities_[static_cast<std::size_t>(v)];
+  activity += activity_increment_;
+  if (activity > 1e100) {
+    for (auto& a : activities_) a *= 1e-100;
+    activity_increment_ *= 1e-100;
+  }
+}
+
+void CdclSolver::decay_activities() { activity_increment_ /= 0.95; }
+
+void CdclSolver::analyze(std::int32_t conflict, std::vector<Literal>& learned,
+                         std::size_t& backjump_level) {
+  learned.clear();
+  learned.push_back(0);  // Placeholder for the asserting literal.
+  std::vector<std::uint8_t> seen(num_vars_ + 1, 0);
+  std::size_t counter = 0;
+  Literal p = 0;
+  std::size_t index = trail_.size();
+
+  std::int32_t reason = conflict;
+  do {
+    const auto& clause = clauses_[static_cast<std::size_t>(reason)];
+    for (Literal q : clause) {
+      if (q == p) continue;
+      const auto v = static_cast<std::size_t>(variable_of(q));
+      if (!seen[v] && levels_[v] > 0) {
+        seen[v] = 1;
+        bump_variable(variable_of(q));
+        if (levels_[v] == decision_level()) {
+          ++counter;
+        } else {
+          learned.push_back(q);
+        }
+      }
+    }
+    // Walk back to the most recent seen literal on the trail.
+    do {
+      --index;
+    } while (!seen[static_cast<std::size_t>(variable_of(trail_[index]))]);
+    p = trail_[index];
+    seen[static_cast<std::size_t>(variable_of(p))] = 0;
+    reason = reasons_[static_cast<std::size_t>(variable_of(p))];
+    --counter;
+  } while (counter > 0);
+  learned[0] = -p;
+
+  // Backjump to the second-highest level in the learned clause.
+  backjump_level = 0;
+  std::size_t second_pos = 1;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    const auto lvl =
+        levels_[static_cast<std::size_t>(variable_of(learned[i]))];
+    if (lvl > backjump_level) {
+      backjump_level = lvl;
+      second_pos = i;
+    }
+  }
+  if (learned.size() > 1) std::swap(learned[1], learned[second_pos]);
+}
+
+void CdclSolver::backtrack(std::size_t level) {
+  if (decision_level() <= level) return;
+  const std::size_t boundary = trail_limits_[level];
+  for (std::size_t i = trail_.size(); i > boundary; --i) {
+    const auto v = static_cast<std::size_t>(variable_of(trail_[i - 1]));
+    saved_phase_[v] = values_[v];
+    values_[v] = kUnassigned;
+    reasons_[v] = kNoReason;
+  }
+  trail_.resize(boundary);
+  trail_limits_.resize(level);
+  propagate_head_ = trail_.size();
+}
+
+Literal CdclSolver::pick_branch() {
+  std::int32_t best = 0;
+  double best_activity = -1.0;
+  for (std::size_t v = 1; v <= num_vars_; ++v) {
+    if (values_[v] == kUnassigned && activities_[v] > best_activity) {
+      best_activity = activities_[v];
+      best = static_cast<std::int32_t>(v);
+    }
+  }
+  if (best == 0) return 0;
+  const bool phase = saved_phase_[static_cast<std::size_t>(best)] == kTrue;
+  return phase ? best : -best;
+}
+
+SolveStatus CdclSolver::solve() {
+  if (trivially_unsat_) return SolveStatus::kUnsat;
+
+  // Reset all search state (clauses and activities persist across calls).
+  trail_.clear();
+  trail_limits_.clear();
+  propagate_head_ = 0;
+  std::fill(values_.begin(), values_.end(), static_cast<std::int8_t>(kUnassigned));
+  std::fill(reasons_.begin(), reasons_.end(), kNoReason);
+  std::fill(levels_.begin(), levels_.end(), std::size_t{0});
+
+  // Unit clauses assign at level 0.
+  for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
+    if (clauses_[ci].size() != 1) continue;
+    const Literal lit = clauses_[ci][0];
+    const std::int8_t v = literal_value(lit);
+    if (v == kFalse) return SolveStatus::kUnsat;
+    if (v == kUnassigned) assign(lit, kNoReason);
+  }
+  if (propagate() >= 0) return SolveStatus::kUnsat;
+
+  std::uint64_t restart_index = 1;
+  std::uint64_t conflict_budget = 64 * luby(restart_index);
+  std::uint64_t conflicts_since_restart = 0;
+  std::vector<Literal> learned;
+
+  while (true) {
+    const std::int32_t conflict = propagate();
+    if (conflict >= 0) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (decision_level() == 0) return SolveStatus::kUnsat;
+
+      std::size_t backjump_level = 0;
+      analyze(conflict, learned, backjump_level);
+      backtrack(backjump_level);
+
+      if (learned.size() == 1) {
+        assign(learned[0], kNoReason);
+      } else {
+        clauses_.push_back(learned);
+        ++stats_.learned_clauses;
+        const auto ci = static_cast<std::int32_t>(clauses_.size() - 1);
+        attach_clause(ci);
+        assign(learned[0], ci);
+      }
+      decay_activities();
+      continue;
+    }
+
+    if (trail_.size() == num_vars_) return SolveStatus::kSat;
+
+    if (conflicts_since_restart >= conflict_budget) {
+      ++stats_.restarts;
+      ++restart_index;
+      conflict_budget = 64 * luby(restart_index);
+      conflicts_since_restart = 0;
+      backtrack(0);
+      continue;
+    }
+
+    const Literal decision = pick_branch();
+    require(decision != 0, "CdclSolver::solve: no decision but trail not full");
+    ++stats_.decisions;
+    trail_limits_.push_back(trail_.size());
+    assign(decision, kNoReason);
+  }
+}
+
+bool CdclSolver::value(std::int32_t v) const {
+  require(v >= 1 && static_cast<std::size_t>(v) <= num_vars_,
+          "CdclSolver::value: variable out of range");
+  return values_[static_cast<std::size_t>(v)] == kTrue;
+}
+
+std::vector<Literal> CdclSolver::model() const {
+  std::vector<Literal> m;
+  m.reserve(num_vars_);
+  for (std::size_t v = 1; v <= num_vars_; ++v) {
+    m.push_back(values_[v] == kTrue ? static_cast<Literal>(v)
+                                    : -static_cast<Literal>(v));
+  }
+  return m;
+}
+
+}  // namespace qsmt::sat

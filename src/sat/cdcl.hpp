@@ -1,0 +1,99 @@
+// Miniature CDCL SAT solver.
+//
+// The boolean engine under the DPLL(T) loop (paper §2.1: "The SAT solver
+// manages the boolean structure of the formula by performing case splits
+// and propagating truth assignments"). Implements the classic feature set:
+// two-watched-literal unit propagation, first-UIP conflict-clause learning,
+// non-chronological backjumping, VSIDS-style activity decision heuristic
+// with phase saving, and Luby restarts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qsmt::sat {
+
+/// Literal encoding: +v means variable v true, -v false; v >= 1.
+using Literal = std::int32_t;
+
+enum class SolveStatus { kSat, kUnsat };
+
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+};
+
+class CdclSolver {
+ public:
+  CdclSolver() = default;
+
+  /// Allocates a fresh variable; returns its 1-based index.
+  std::int32_t add_variable();
+
+  std::size_t num_variables() const noexcept { return num_vars_; }
+
+  /// Adds a clause (disjunction of literals). Tautologies are dropped and
+  /// duplicate literals removed. An empty clause makes the instance
+  /// trivially unsat. Literals must reference existing variables.
+  void add_clause(std::vector<Literal> literals);
+
+  /// Decides satisfiability of the clause set added so far. May be called
+  /// repeatedly with clauses added in between (incremental use by the
+  /// DPLL(T) loop's blocking clauses).
+  SolveStatus solve();
+
+  /// Value of variable v in the satisfying assignment (only after kSat).
+  bool value(std::int32_t v) const;
+
+  /// The full model as literals, one per variable (only after kSat).
+  std::vector<Literal> model() const;
+
+  const SolverStats& stats() const noexcept { return stats_; }
+
+ private:
+  static constexpr std::int32_t kNoReason = -1;
+
+  // Literal -> watch-list index: variable v's positive literal at 2v,
+  // negative at 2v+1.
+  static std::size_t watch_index(Literal lit) {
+    const auto v = static_cast<std::size_t>(lit > 0 ? lit : -lit);
+    return 2 * v + (lit < 0 ? 1 : 0);
+  }
+
+  enum : std::int8_t { kFalse = 0, kTrue = 1, kUnassigned = -1 };
+
+  std::int8_t literal_value(Literal lit) const;
+  void assign(Literal lit, std::int32_t reason_clause);
+  std::int32_t propagate();  ///< Returns conflicting clause index or -1.
+  void analyze(std::int32_t conflict, std::vector<Literal>& learned,
+               std::size_t& backjump_level);
+  void backtrack(std::size_t level);
+  Literal pick_branch();
+  void bump_variable(std::int32_t v);
+  void decay_activities();
+  void attach_clause(std::int32_t clause_index);
+
+  std::size_t decision_level() const { return trail_limits_.size(); }
+
+  std::size_t num_vars_ = 0;
+  std::vector<std::vector<Literal>> clauses_;
+  std::vector<std::vector<std::int32_t>> watches_;
+
+  std::vector<std::int8_t> values_;       // Per variable.
+  std::vector<std::int32_t> reasons_;     // Clause index or kNoReason.
+  std::vector<std::size_t> levels_;       // Decision level of assignment.
+  std::vector<double> activities_;
+  std::vector<std::int8_t> saved_phase_;  // Phase saving.
+  std::vector<Literal> trail_;
+  std::vector<std::size_t> trail_limits_;
+  std::size_t propagate_head_ = 0;
+
+  double activity_increment_ = 1.0;
+  bool trivially_unsat_ = false;
+  SolverStats stats_;
+};
+
+}  // namespace qsmt::sat

@@ -1,0 +1,89 @@
+#include "sat/dimacs.hpp"
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace qsmt::sat {
+
+CnfInstance parse_dimacs(std::istream& in) {
+  CnfInstance instance;
+  std::size_t declared_clauses = 0;
+  bool header_seen = false;
+  std::string line;
+  std::vector<Literal> clause;
+
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      require(!header_seen, "parse_dimacs: duplicate header");
+      std::istringstream header(line);
+      std::string p;
+      std::string format;
+      header >> p >> format >> instance.num_variables >> declared_clauses;
+      require(static_cast<bool>(header) && format == "cnf",
+              "parse_dimacs: expected 'p cnf <vars> <clauses>'");
+      header_seen = true;
+      continue;
+    }
+    require(header_seen, "parse_dimacs: clause before header");
+    std::istringstream body(line);
+    long long lit = 0;
+    while (body >> lit) {
+      if (lit == 0) {
+        instance.clauses.push_back(clause);
+        clause.clear();
+        continue;
+      }
+      const long long var = lit > 0 ? lit : -lit;
+      require(var >= 1 &&
+                  static_cast<std::size_t>(var) <= instance.num_variables,
+              "parse_dimacs: literal out of declared range");
+      clause.push_back(static_cast<Literal>(lit));
+    }
+  }
+  require(header_seen, "parse_dimacs: missing 'p cnf' header");
+  require(clause.empty(), "parse_dimacs: unterminated clause (missing 0)");
+  require(instance.clauses.size() == declared_clauses,
+          "parse_dimacs: clause count does not match header");
+  return instance;
+}
+
+CnfInstance parse_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_dimacs(in);
+}
+
+std::string to_dimacs(const CnfInstance& instance) {
+  std::ostringstream out;
+  out << "p cnf " << instance.num_variables << ' ' << instance.clauses.size()
+      << '\n';
+  for (const auto& clause : instance.clauses) {
+    for (Literal lit : clause) out << lit << ' ';
+    out << "0\n";
+  }
+  return out.str();
+}
+
+void load_into(const CnfInstance& instance, CdclSolver& solver) {
+  require(solver.num_variables() == 0,
+          "load_into: solver must be freshly constructed");
+  for (std::size_t v = 0; v < instance.num_variables; ++v) {
+    solver.add_variable();
+  }
+  for (const auto& clause : instance.clauses) {
+    solver.add_clause(clause);
+  }
+}
+
+DimacsResult solve_dimacs(const std::string& text) {
+  const CnfInstance instance = parse_dimacs_string(text);
+  CdclSolver solver;
+  load_into(instance, solver);
+  DimacsResult result;
+  result.status = solver.solve();
+  if (result.status == SolveStatus::kSat) result.model = solver.model();
+  return result;
+}
+
+}  // namespace qsmt::sat

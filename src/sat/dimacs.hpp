@@ -1,0 +1,42 @@
+// DIMACS CNF parsing/emission for the CDCL substrate.
+//
+// Standard interchange format for SAT instances ("p cnf <vars> <clauses>"
+// header, clauses as zero-terminated literal lists, 'c' comment lines).
+// Lets the embedded solver run community benchmark files and makes the
+// boolean layer testable against external tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/cdcl.hpp"
+
+namespace qsmt::sat {
+
+struct CnfInstance {
+  std::size_t num_variables = 0;
+  std::vector<std::vector<Literal>> clauses;
+};
+
+/// Parses DIMACS CNF text. Throws std::invalid_argument on malformed input
+/// (missing header, literal out of range, unterminated clause). The clause
+/// count in the header is checked against the body.
+CnfInstance parse_dimacs(std::istream& in);
+CnfInstance parse_dimacs_string(const std::string& text);
+
+/// Renders an instance back to DIMACS text.
+std::string to_dimacs(const CnfInstance& instance);
+
+/// Loads an instance into a solver (variables allocated 1..num_variables).
+void load_into(const CnfInstance& instance, CdclSolver& solver);
+
+/// Convenience: parse, solve, and return (status, model). The model is
+/// empty for unsat.
+struct DimacsResult {
+  SolveStatus status = SolveStatus::kUnsat;
+  std::vector<Literal> model;
+};
+DimacsResult solve_dimacs(const std::string& text);
+
+}  // namespace qsmt::sat

@@ -1,0 +1,62 @@
+// DPLL(T) with the QUBO/annealing string solver as the theory solver.
+//
+// The paper's background section describes the DPLL(T) architecture; this
+// module closes the loop: the CDCL engine enumerates assignments to the
+// boolean skeleton, each candidate assignment's true atoms are compiled to
+// a QUBO conjunction and handed to the annealer, and assignments the theory
+// rejects are excluded with blocking clauses.
+//
+// Completeness notes: the annealer is an incomplete theory solver, so
+//  * `sat` answers are always sound — the witness is classically verified
+//    against every true atom, and every false atom is checked to *fail* on
+//    the witness;
+//  * `unsat` is only reported when the boolean skeleton is unsatisfiable
+//    using exact blocking clauses alone (ground-fact conflicts);
+//  * anything else degrades to `unknown`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "anneal/sampler.hpp"
+#include "sat/cdcl.hpp"
+#include "smtlib/compiler.hpp"
+#include "smtlib/driver.hpp"
+
+namespace qsmt::sat {
+
+struct DpllTResult {
+  smtlib::CheckSatStatus status = smtlib::CheckSatStatus::kUnknown;
+  std::string variable;
+  std::string model_value;
+  std::vector<std::string> notes;
+  std::size_t theory_rounds = 0;  ///< Boolean models handed to the T-solver.
+  SolverStats sat_stats;
+};
+
+class DpllTSolver {
+ public:
+  struct Params {
+    std::size_t max_rounds = 64;  ///< Boolean models to try before unknown.
+  };
+
+  /// `sampler` must outlive the solver.
+  DpllTSolver(const anneal::Sampler& sampler,
+              strqubo::BuildOptions options, Params params);
+  explicit DpllTSolver(const anneal::Sampler& sampler)
+      : DpllTSolver(sampler, strqubo::BuildOptions{}, Params{}) {}
+
+  /// Decides the conjunction of `assertions` (each may use and/or/not over
+  /// string atoms) for the string constants in `declared`.
+  DpllTResult solve(const std::vector<smtlib::TermPtr>& assertions,
+                    const std::map<std::string, smtlib::Sort>& declared) const;
+
+ private:
+  const anneal::Sampler* sampler_;
+  strqubo::BuildOptions options_;
+  Params params_;
+};
+
+}  // namespace qsmt::sat

@@ -1,0 +1,67 @@
+#include "sat/tseitin.hpp"
+
+#include "util/require.hpp"
+
+namespace qsmt::sat {
+
+TseitinEncoder::TseitinEncoder(CdclSolver& solver) : solver_(&solver) {}
+
+Literal TseitinEncoder::encode_atom(const smtlib::TermPtr& term) {
+  const std::string key = smtlib::to_string(term);
+  auto it = atom_cache_.find(key);
+  if (it != atom_cache_.end()) return it->second;
+  const std::int32_t var = solver_->add_variable();
+  atom_cache_.emplace(key, var);
+  atoms_.push_back(term);
+  atom_vars_.push_back(var);
+  return var;
+}
+
+Literal TseitinEncoder::encode(const smtlib::TermPtr& term) {
+  require(static_cast<bool>(term), "TseitinEncoder::encode: null term");
+
+  if (term->kind == smtlib::Term::Kind::kBoolLit) {
+    // A fresh variable pinned to the constant.
+    const std::int32_t var = solver_->add_variable();
+    solver_->add_clause({term->bool_value ? var : -var});
+    return var;
+  }
+  if (term->is_apply("not")) {
+    require(term->args.size() == 1, "tseitin: not expects one argument");
+    return -encode(term->args[0]);
+  }
+  if (term->is_apply("and") || term->is_apply("or")) {
+    require(!term->args.empty(), "tseitin: empty and/or");
+    std::vector<Literal> parts;
+    parts.reserve(term->args.size());
+    for (const auto& arg : term->args) parts.push_back(encode(arg));
+
+    const std::int32_t y = solver_->add_variable();
+    if (term->is_apply("and")) {
+      // y <-> l1 & ... & ln
+      std::vector<Literal> big{y};
+      for (Literal l : parts) {
+        solver_->add_clause({-y, l});
+        big.push_back(-l);
+      }
+      solver_->add_clause(std::move(big));
+    } else {
+      // y <-> l1 | ... | ln
+      std::vector<Literal> big{-y};
+      for (Literal l : parts) {
+        solver_->add_clause({y, -l});
+        big.push_back(l);
+      }
+      solver_->add_clause(std::move(big));
+    }
+    return y;
+  }
+  // Everything else is a theory atom.
+  return encode_atom(term);
+}
+
+void TseitinEncoder::assert_term(const smtlib::TermPtr& term) {
+  solver_->add_clause({encode(term)});
+}
+
+}  // namespace qsmt::sat

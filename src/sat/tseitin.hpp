@@ -1,0 +1,47 @@
+// Tseitin encoding of boolean structure over theory atoms.
+//
+// Turns an asserted term built from and/or/not over string-theory atoms
+// into CNF over fresh SAT variables, registering each distinct atom (by
+// printed form) exactly once. The DPLL(T) loop then case-splits on the
+// atoms, exactly as the paper describes the classical architecture (§2.1).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sat/cdcl.hpp"
+#include "smtlib/ast.hpp"
+
+namespace qsmt::sat {
+
+class TseitinEncoder {
+ public:
+  /// `solver` must outlive the encoder; clauses are added to it.
+  explicit TseitinEncoder(CdclSolver& solver);
+
+  /// Encodes `term` and returns the literal representing its truth. Adds
+  /// the defining clauses for internal and/or/not nodes.
+  Literal encode(const smtlib::TermPtr& term);
+
+  /// Asserts `term` (encodes it and adds a unit clause).
+  void assert_term(const smtlib::TermPtr& term);
+
+  /// Distinct theory atoms in registration order.
+  const std::vector<smtlib::TermPtr>& atoms() const noexcept { return atoms_; }
+
+  /// SAT variable of atom `index`.
+  std::int32_t atom_variable(std::size_t index) const {
+    return atom_vars_.at(index);
+  }
+
+ private:
+  Literal encode_atom(const smtlib::TermPtr& term);
+
+  CdclSolver* solver_;
+  std::map<std::string, Literal> atom_cache_;
+  std::vector<smtlib::TermPtr> atoms_;
+  std::vector<std::int32_t> atom_vars_;
+};
+
+}  // namespace qsmt::sat

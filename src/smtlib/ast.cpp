@@ -1,0 +1,87 @@
+#include "smtlib/ast.hpp"
+
+#include <sstream>
+#include <variant>
+
+namespace qsmt::smtlib {
+
+std::string sort_name(Sort sort) {
+  switch (sort) {
+    case Sort::kBool:
+      return "Bool";
+    case Sort::kInt:
+      return "Int";
+    case Sort::kString:
+      return "String";
+    case Sort::kRegLan:
+      return "RegLan";
+  }
+  return "?";
+}
+
+TermPtr Term::string_lit(std::string value) {
+  auto t = std::make_shared<Term>();
+  t->kind = Kind::kStringLit;
+  t->atom = std::move(value);
+  return t;
+}
+
+TermPtr Term::int_lit(std::int64_t value) {
+  auto t = std::make_shared<Term>();
+  t->kind = Kind::kIntLit;
+  t->int_value = value;
+  return t;
+}
+
+TermPtr Term::bool_lit(bool value) {
+  auto t = std::make_shared<Term>();
+  t->kind = Kind::kBoolLit;
+  t->bool_value = value;
+  return t;
+}
+
+TermPtr Term::variable(std::string name) {
+  auto t = std::make_shared<Term>();
+  t->kind = Kind::kVariable;
+  t->atom = std::move(name);
+  return t;
+}
+
+TermPtr Term::apply(std::string op, std::vector<TermPtr> operands) {
+  auto t = std::make_shared<Term>();
+  t->kind = Kind::kApply;
+  t->atom = std::move(op);
+  t->args = std::move(operands);
+  return t;
+}
+
+std::string to_string(const TermPtr& term) {
+  if (!term) return "<null>";
+  switch (term->kind) {
+    case Term::Kind::kStringLit: {
+      std::string out = "\"";
+      for (char c : term->atom) {
+        out += c;
+        if (c == '"') out += '"';
+      }
+      out += '"';
+      return out;
+    }
+    case Term::Kind::kIntLit:
+      return std::to_string(term->int_value);
+    case Term::Kind::kBoolLit:
+      return term->bool_value ? "true" : "false";
+    case Term::Kind::kVariable:
+      return term->atom;
+    case Term::Kind::kApply: {
+      std::ostringstream out;
+      out << '(' << term->atom;
+      for (const auto& arg : term->args) out << ' ' << to_string(arg);
+      out << ')';
+      return out.str();
+    }
+  }
+  return "<invalid>";
+}
+
+}  // namespace qsmt::smtlib

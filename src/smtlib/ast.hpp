@@ -1,0 +1,99 @@
+// Typed AST for the supported SMT-LIB fragment.
+//
+// The fragment is quantifier-free string theory over a single free string
+// variable per query: string literals, str.* operations (SMT-LIB theory of
+// Unicode strings, restricted to 7-bit ASCII), regular-expression terms,
+// linear facts about str.len, boolean structure (and/or/not), plus two qsmt
+// extension predicates the paper contributes formulations for
+// (qsmt.is_palindrome, qsmt.replace_all alias str.replace_all).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace qsmt::smtlib {
+
+enum class Sort { kBool, kInt, kString, kRegLan };
+
+/// Returns the SMT-LIB name of a sort ("Bool", "Int", "String", "RegLan").
+std::string sort_name(Sort sort);
+
+struct Term;
+using TermPtr = std::shared_ptr<const Term>;
+
+struct Term {
+  enum class Kind {
+    kStringLit,  ///< atom = value
+    kIntLit,     ///< int_value
+    kBoolLit,    ///< bool_value
+    kVariable,   ///< atom = name
+    kApply,      ///< atom = operator symbol, args = operands
+  };
+
+  Kind kind = Kind::kApply;
+  std::string atom;
+  std::int64_t int_value = 0;
+  bool bool_value = false;
+  std::vector<TermPtr> args;
+
+  static TermPtr string_lit(std::string value);
+  static TermPtr int_lit(std::int64_t value);
+  static TermPtr bool_lit(bool value);
+  static TermPtr variable(std::string name);
+  static TermPtr apply(std::string op, std::vector<TermPtr> operands);
+
+  bool is_apply(std::string_view op) const {
+    return kind == Kind::kApply && atom == op;
+  }
+};
+
+/// Renders a term back to SMT-LIB concrete syntax (for diagnostics).
+std::string to_string(const TermPtr& term);
+
+// ---- Commands -------------------------------------------------------------
+
+struct SetLogic {
+  std::string logic;
+};
+struct SetOption {
+  std::string text;  ///< Raw option text, recorded but ignored.
+};
+struct SetInfo {
+  std::string text;
+};
+struct DeclareConst {
+  std::string name;
+  Sort sort;
+};
+struct AssertCmd {
+  TermPtr term;
+};
+struct CheckSat {};
+struct GetModel {};
+struct Echo {
+  std::string message;
+};
+struct Push {
+  std::size_t levels = 1;
+};
+struct Pop {
+  std::size_t levels = 1;
+};
+struct GetValue {
+  std::vector<std::string> names;  ///< Declared constants to report.
+};
+struct CheckSatAssuming {
+  std::vector<TermPtr> assumptions;  ///< Extra conjuncts for this check only.
+};
+struct ExitCmd {};
+
+using Command =
+    std::variant<SetLogic, SetOption, SetInfo, DeclareConst, AssertCmd,
+                 CheckSat, GetModel, Echo, Push, Pop, GetValue,
+                 CheckSatAssuming, ExitCmd>;
+
+}  // namespace qsmt::smtlib

@@ -1,0 +1,434 @@
+#include "smtlib/compiler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "regex/pattern.hpp"
+#include "strqubo/verify.hpp"
+#include "util/require.hpp"
+
+namespace qsmt::smtlib {
+
+namespace {
+
+bool is_string_lit(const TermPtr& t) {
+  return t && t->kind == Term::Kind::kStringLit;
+}
+bool is_int_lit(const TermPtr& t) {
+  return t && t->kind == Term::Kind::kIntLit;
+}
+bool is_variable(const TermPtr& t, const std::string& name) {
+  return t && t->kind == Term::Kind::kVariable && t->atom == name;
+}
+
+bool is_single_char(const TermPtr& t) {
+  return is_string_lit(t) && t->atom.size() == 1;
+}
+
+/// Collects free variable names into `vars`.
+void collect_variables(const TermPtr& term, std::vector<std::string>& vars) {
+  if (!term) return;
+  if (term->kind == Term::Kind::kVariable) {
+    if (std::find(vars.begin(), vars.end(), term->atom) == vars.end()) {
+      vars.push_back(term->atom);
+    }
+    return;
+  }
+  for (const auto& arg : term->args) collect_variables(arg, vars);
+}
+
+/// Extracts N from (= (str.len x) N) in either operand order.
+std::optional<std::size_t> match_length_fact(const TermPtr& term,
+                                             const std::string& variable) {
+  if (!term || !term->is_apply("=") || term->args.size() != 2) {
+    return std::nullopt;
+  }
+  for (int flip = 0; flip < 2; ++flip) {
+    const TermPtr& lhs = term->args[flip == 0 ? 0 : 1];
+    const TermPtr& rhs = term->args[flip == 0 ? 1 : 0];
+    if (lhs && lhs->is_apply("str.len") && lhs->args.size() == 1 &&
+        is_variable(lhs->args[0], variable) && is_int_lit(rhs) &&
+        rhs->int_value >= 0) {
+      return static_cast<std::size_t>(rhs->int_value);
+    }
+  }
+  return std::nullopt;
+}
+
+/// Compiles the right-hand side of (= x RHS) into a generating constraint.
+std::optional<strqubo::Constraint> compile_definition(const TermPtr& rhs,
+                                                      std::string& error) {
+  if (is_string_lit(rhs)) return strqubo::Equality{rhs->atom};
+  if (rhs->is_apply("str.++")) {
+    // Fold literals left-to-right into a Concat of (first, rest).
+    std::string joined;
+    for (const auto& part : rhs->args) {
+      if (!is_string_lit(part)) {
+        error = "str.++ operands must be string literals";
+        return std::nullopt;
+      }
+      joined += part->atom;
+    }
+    if (rhs->args.size() < 2 || !is_string_lit(rhs->args[0])) {
+      error = "str.++ needs at least two literal operands";
+      return std::nullopt;
+    }
+    const std::string& first = rhs->args[0]->atom;
+    return strqubo::Concat{first, joined.substr(first.size())};
+  }
+  if (rhs->is_apply("str.replace") || rhs->is_apply("str.replace_all") ||
+      rhs->is_apply("qsmt.replace_all")) {
+    if (rhs->args.size() != 3 || !is_string_lit(rhs->args[0]) ||
+        !is_single_char(rhs->args[1]) || !is_single_char(rhs->args[2])) {
+      error = rhs->atom + " expects (input from-char to-char) literals";
+      return std::nullopt;
+    }
+    if (rhs->is_apply("str.replace")) {
+      return strqubo::Replace{rhs->args[0]->atom, rhs->args[1]->atom[0],
+                              rhs->args[2]->atom[0]};
+    }
+    return strqubo::ReplaceAll{rhs->args[0]->atom, rhs->args[1]->atom[0],
+                               rhs->args[2]->atom[0]};
+  }
+  if (rhs->is_apply("str.rev") || rhs->is_apply("qsmt.rev")) {
+    if (rhs->args.size() != 1 || !is_string_lit(rhs->args[0])) {
+      error = rhs->atom + " expects one string literal";
+      return std::nullopt;
+    }
+    return strqubo::Reverse{rhs->args[0]->atom};
+  }
+  error = "unsupported definition " + to_string(rhs);
+  return std::nullopt;
+}
+
+void escape_into(std::string& pattern, char c) {
+  if (c == '[' || c == ']' || c == '+' || c == '*' || c == '?' || c == '\\') {
+    pattern.push_back('\\');
+  }
+  pattern.push_back(c);
+}
+
+}  // namespace
+
+std::string regex_term_to_pattern(const TermPtr& term) {
+  require(static_cast<bool>(term), "regex_term_to_pattern: null term");
+  if (term->is_apply("str.to_re")) {
+    require(term->args.size() == 1 && is_string_lit(term->args[0]),
+            "str.to_re expects one string literal");
+    std::string pattern;
+    for (char c : term->args[0]->atom) escape_into(pattern, c);
+    return pattern;
+  }
+  if (term->is_apply("re.++")) {
+    std::string pattern;
+    for (const auto& arg : term->args) pattern += regex_term_to_pattern(arg);
+    return pattern;
+  }
+  if (term->is_apply("re.union")) {
+    // Union of single characters becomes a character class.
+    std::string chars;
+    for (const auto& arg : term->args) {
+      require(arg->is_apply("str.to_re") && arg->args.size() == 1 &&
+                  is_single_char(arg->args[0]),
+              "re.union is only supported over single-character literals");
+      chars.push_back(arg->args[0]->atom[0]);
+    }
+    require(!chars.empty(), "re.union needs at least one operand");
+    std::string pattern = "[";
+    for (char c : chars) {
+      if (c == ']' || c == '\\') pattern.push_back('\\');
+      pattern.push_back(c);
+    }
+    pattern += "]";
+    return pattern;
+  }
+  if (term->is_apply("re.+") || term->is_apply("re.*") ||
+      term->is_apply("re.opt")) {
+    require(term->args.size() == 1, term->atom + " expects one operand");
+    const std::string inner = regex_term_to_pattern(term->args[0]);
+    // The subset only supports quantifiers on a single element.
+    const regex::Pattern parsed = regex::parse_pattern(inner);
+    require(parsed.elements.size() == 1,
+            term->atom + " is only supported on a single literal or class");
+    if (term->is_apply("re.+")) return inner + "+";
+    if (term->is_apply("re.*")) return inner + "*";
+    return inner + "?";
+  }
+  throw std::invalid_argument("regex_term_to_pattern: unsupported RegLan term " +
+                              to_string(term));
+}
+
+std::optional<GroundValue> evaluate_ground(const TermPtr& term) {
+  if (!term) return std::nullopt;
+  switch (term->kind) {
+    case Term::Kind::kStringLit:
+      return GroundValue{term->atom};
+    case Term::Kind::kIntLit:
+      return GroundValue{term->int_value};
+    case Term::Kind::kBoolLit:
+      return GroundValue{term->bool_value};
+    case Term::Kind::kVariable:
+      return std::nullopt;
+    case Term::Kind::kApply:
+      break;
+  }
+
+  std::vector<GroundValue> args;
+  args.reserve(term->args.size());
+  for (const auto& arg : term->args) {
+    auto value = evaluate_ground(arg);
+    if (!value) return std::nullopt;
+    args.push_back(std::move(*value));
+  }
+  auto as_string = [&](std::size_t i) -> const std::string* {
+    return std::get_if<std::string>(&args[i]);
+  };
+  auto as_int = [&](std::size_t i) -> const std::int64_t* {
+    return std::get_if<std::int64_t>(&args[i]);
+  };
+  auto as_bool = [&](std::size_t i) -> const bool* {
+    return std::get_if<bool>(&args[i]);
+  };
+
+  const std::string& op = term->atom;
+  if (op == "=" && args.size() == 2) {
+    return GroundValue{args[0] == args[1]};
+  }
+  if (op == "str.len" && args.size() == 1 && as_string(0)) {
+    return GroundValue{static_cast<std::int64_t>(as_string(0)->size())};
+  }
+  if (op == "str.++") {
+    std::string joined;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (!as_string(i)) return std::nullopt;
+      joined += *as_string(i);
+    }
+    return GroundValue{std::move(joined)};
+  }
+  if (op == "str.contains" && args.size() == 2 && as_string(0) &&
+      as_string(1)) {
+    return GroundValue{as_string(0)->find(*as_string(1)) != std::string::npos};
+  }
+  if (op == "str.indexof" && args.size() == 3 && as_string(0) &&
+      as_string(1) && as_int(2)) {
+    const auto from = static_cast<std::size_t>(std::max<std::int64_t>(0, *as_int(2)));
+    const auto at = as_string(0)->find(*as_string(1), from);
+    return GroundValue{
+        at == std::string::npos ? std::int64_t{-1} : static_cast<std::int64_t>(at)};
+  }
+  if ((op == "str.replace" || op == "str.replace_all" ||
+       op == "qsmt.replace_all") &&
+      args.size() == 3 && as_string(0) && as_string(1) && as_string(2) &&
+      as_string(1)->size() == 1 && as_string(2)->size() == 1) {
+    if (op == "str.replace") {
+      return GroundValue{strqubo::replace_first_char(
+          *as_string(0), (*as_string(1))[0], (*as_string(2))[0])};
+    }
+    return GroundValue{strqubo::replace_all_chars(
+        *as_string(0), (*as_string(1))[0], (*as_string(2))[0])};
+  }
+  if (op == "str.at" && args.size() == 2 && as_string(0) && as_int(1)) {
+    const auto& s = *as_string(0);
+    const std::int64_t k = *as_int(1);
+    // SMT-LIB: out-of-range str.at is the empty string.
+    if (k < 0 || static_cast<std::size_t>(k) >= s.size()) {
+      return GroundValue{std::string()};
+    }
+    return GroundValue{std::string(1, s[static_cast<std::size_t>(k)])};
+  }
+  if ((op == "str.rev" || op == "qsmt.rev") && args.size() == 1 &&
+      as_string(0)) {
+    return GroundValue{std::string(as_string(0)->rbegin(), as_string(0)->rend())};
+  }
+  if (op == "not" && args.size() == 1 && as_bool(0)) {
+    return GroundValue{!*as_bool(0)};
+  }
+  if (op == "and" || op == "or") {
+    bool acc = op == "and";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (!as_bool(i)) return std::nullopt;
+      acc = op == "and" ? (acc && *as_bool(i)) : (acc || *as_bool(i));
+    }
+    return GroundValue{acc};
+  }
+  return std::nullopt;
+}
+
+std::optional<strqubo::Constraint> compile_atom(
+    const TermPtr& atom, const std::string& variable,
+    std::optional<std::size_t> length, std::string& error) {
+  if (!atom || atom->kind != Term::Kind::kApply) {
+    error = "atom is not an application";
+    return std::nullopt;
+  }
+  auto need_length = [&]() -> bool {
+    if (!length) {
+      error = "atom '" + to_string(atom) +
+              "' needs a (= (str.len " + variable + ") N) assertion";
+      return false;
+    }
+    return true;
+  };
+
+  if (atom->is_apply("=") && atom->args.size() == 2) {
+    for (int flip = 0; flip < 2; ++flip) {
+      const TermPtr& lhs = atom->args[flip == 0 ? 0 : 1];
+      const TermPtr& rhs = atom->args[flip == 0 ? 1 : 0];
+      // (= x RHS)
+      if (is_variable(lhs, variable)) {
+        return compile_definition(rhs, error);
+      }
+      // (= (str.indexof x "sub" 0) k)
+      if (lhs && lhs->is_apply("str.indexof") && lhs->args.size() == 3 &&
+          is_variable(lhs->args[0], variable) && is_string_lit(lhs->args[1]) &&
+          is_int_lit(lhs->args[2]) && lhs->args[2]->int_value == 0 &&
+          is_int_lit(rhs) && rhs->int_value >= 0) {
+        if (!need_length()) return std::nullopt;
+        return strqubo::IndexOf{*length, lhs->args[1]->atom,
+                                static_cast<std::size_t>(rhs->int_value)};
+      }
+      // (= (str.at x k) "c")
+      if (lhs && lhs->is_apply("str.at") && lhs->args.size() == 2 &&
+          is_variable(lhs->args[0], variable) && is_int_lit(lhs->args[1]) &&
+          lhs->args[1]->int_value >= 0 && is_single_char(rhs)) {
+        if (!need_length()) return std::nullopt;
+        const auto index = static_cast<std::size_t>(lhs->args[1]->int_value);
+        if (index >= *length) {
+          error = "str.at index exceeds declared length";
+          return std::nullopt;
+        }
+        return strqubo::CharAt{*length, index, rhs->atom[0]};
+      }
+    }
+    error = "unsupported equality " + to_string(atom);
+    return std::nullopt;
+  }
+  // (not (str.contains x "sub")) — the one negation with a native QUBO
+  // formulation (quadratized not-contains); other negations need DPLL(T).
+  if (atom->is_apply("not") && atom->args.size() == 1 &&
+      atom->args[0] && atom->args[0]->is_apply("str.contains") &&
+      atom->args[0]->args.size() == 2 &&
+      is_variable(atom->args[0]->args[0], variable) &&
+      is_string_lit(atom->args[0]->args[1])) {
+    if (!need_length()) return std::nullopt;
+    return strqubo::NotContains{*length, atom->args[0]->args[1]->atom};
+  }
+  if (atom->is_apply("str.contains") && atom->args.size() == 2 &&
+      is_variable(atom->args[0], variable) && is_string_lit(atom->args[1])) {
+    if (!need_length()) return std::nullopt;
+    return strqubo::SubstringMatch{*length, atom->args[1]->atom};
+  }
+  if (atom->is_apply("str.prefixof") && atom->args.size() == 2 &&
+      is_string_lit(atom->args[0]) && is_variable(atom->args[1], variable)) {
+    if (!need_length()) return std::nullopt;
+    return strqubo::IndexOf{*length, atom->args[0]->atom, 0};
+  }
+  if (atom->is_apply("str.suffixof") && atom->args.size() == 2 &&
+      is_string_lit(atom->args[0]) && is_variable(atom->args[1], variable)) {
+    if (!need_length()) return std::nullopt;
+    const std::string& suffix = atom->args[0]->atom;
+    if (suffix.size() > *length) {
+      error = "str.suffixof literal longer than declared length";
+      return std::nullopt;
+    }
+    return strqubo::IndexOf{*length, suffix, *length - suffix.size()};
+  }
+  if (atom->is_apply("str.in_re") && atom->args.size() == 2 &&
+      is_variable(atom->args[0], variable)) {
+    if (!need_length()) return std::nullopt;
+    try {
+      return strqubo::RegexMatch{regex_term_to_pattern(atom->args[1]), *length};
+    } catch (const std::invalid_argument& e) {
+      error = e.what();
+      return std::nullopt;
+    }
+  }
+  if (atom->is_apply("qsmt.is_palindrome") && atom->args.size() == 1 &&
+      is_variable(atom->args[0], variable)) {
+    if (!need_length()) return std::nullopt;
+    return strqubo::Palindrome{*length};
+  }
+  error = "unsupported atom " + to_string(atom);
+  return std::nullopt;
+}
+
+CompiledQuery compile_assertions(const std::vector<TermPtr>& assertions,
+                                 const std::map<std::string, Sort>& declared) {
+  CompiledQuery query;
+
+  // Flatten top-level conjunctions.
+  std::vector<TermPtr> atoms;
+  std::vector<TermPtr> pending(assertions.rbegin(), assertions.rend());
+  while (!pending.empty()) {
+    TermPtr t = pending.back();
+    pending.pop_back();
+    if (t && t->is_apply("and")) {
+      for (auto it = t->args.rbegin(); it != t->args.rend(); ++it) {
+        pending.push_back(*it);
+      }
+    } else {
+      atoms.push_back(std::move(t));
+    }
+  }
+
+  // Identify the free string variable used by the atoms.
+  std::vector<std::string> used;
+  for (const auto& atom : atoms) collect_variables(atom, used);
+  std::vector<std::string> string_vars;
+  for (const auto& name : used) {
+    auto it = declared.find(name);
+    if (it != declared.end() && it->second == Sort::kString) {
+      string_vars.push_back(name);
+    }
+  }
+  if (string_vars.size() > 1) {
+    query.unsupported.push_back(
+        "multiple free string variables in one query (supported: one)");
+    return query;
+  }
+  if (!string_vars.empty()) query.variable = string_vars.front();
+
+  // First pass: length facts.
+  for (const auto& atom : atoms) {
+    if (query.variable.empty()) break;
+    if (auto n = match_length_fact(atom, query.variable)) {
+      if (query.declared_length && *query.declared_length != *n) {
+        query.falsified_ground.push_back("conflicting str.len facts");
+      }
+      query.declared_length = n;
+    }
+  }
+
+  // Second pass: everything else.
+  for (const auto& atom : atoms) {
+    if (!query.variable.empty() &&
+        match_length_fact(atom, query.variable)) {
+      continue;  // Consumed in the first pass.
+    }
+    // Ground atoms are folded classically.
+    std::vector<std::string> vars;
+    collect_variables(atom, vars);
+    if (vars.empty()) {
+      auto value = evaluate_ground(atom);
+      if (value && std::holds_alternative<bool>(*value)) {
+        if (!std::get<bool>(*value)) {
+          query.falsified_ground.push_back(to_string(atom));
+        }
+      } else {
+        query.unsupported.push_back("ground atom " + to_string(atom));
+      }
+      continue;
+    }
+    std::string error;
+    auto constraint =
+        compile_atom(atom, query.variable, query.declared_length, error);
+    if (constraint) {
+      query.constraints.push_back(std::move(*constraint));
+    } else {
+      query.unsupported.push_back(error);
+    }
+  }
+  return query;
+}
+
+}  // namespace qsmt::smtlib

@@ -1,0 +1,64 @@
+// Compiles asserted SMT-LIB terms into the strqubo constraint IR.
+//
+// The supported query shape is the paper's: a single free String constant
+// constrained by a conjunction of str.* atoms. Atoms that need to know the
+// generated string's length (str.contains, str.in_re, str.indexof,
+// qsmt.is_palindrome, str.prefixof/suffixof) require a companion
+// (= (str.len x) N) assertion, mirroring how the paper's formulations all
+// take the output length as an input argument.
+//
+// Ground terms (no free variable) are folded classically so scripts can mix
+// concrete checks with generation queries.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "smtlib/ast.hpp"
+#include "strqubo/constraint.hpp"
+
+namespace qsmt::smtlib {
+
+/// Result of compiling one check-sat's assertion set.
+struct CompiledQuery {
+  /// The single free string variable (empty when the query is ground).
+  std::string variable;
+  /// Conjunction of compiled constraints on `variable`.
+  std::vector<strqubo::Constraint> constraints;
+  /// Length extracted from a (= (str.len x) N) assertion, if any.
+  std::optional<std::size_t> declared_length;
+  /// Ground assertions that evaluated to false (query is trivially unsat).
+  std::vector<std::string> falsified_ground;
+  /// Assertions outside the fragment (query outcome becomes unknown).
+  std::vector<std::string> unsupported;
+};
+
+/// Compiles the assertion conjunction. Boolean `and` is flattened; `or` and
+/// `not` are outside this compiler's fragment (the DPLL(T) layer in src/sat
+/// handles them) and land in `unsupported`.
+CompiledQuery compile_assertions(const std::vector<TermPtr>& assertions,
+                                 const std::map<std::string, Sort>& declared);
+
+/// Compiles a single atomic predicate over `variable`. Returns std::nullopt
+/// and fills `error` when the atom is outside the fragment or needs a
+/// length that was not provided.
+std::optional<strqubo::Constraint> compile_atom(
+    const TermPtr& atom, const std::string& variable,
+    std::optional<std::size_t> length, std::string& error);
+
+/// Rebuilds the paper's regex subset pattern text from a RegLan term
+/// (str.to_re / re.++ / re.union of single characters / re.+).
+/// Throws std::invalid_argument for RegLan constructs outside the subset.
+std::string regex_term_to_pattern(const TermPtr& term);
+
+/// Value of a ground term.
+using GroundValue = std::variant<std::string, std::int64_t, bool>;
+
+/// Classically evaluates a term with no free variables. Returns nullopt for
+/// non-ground terms or operations outside the fragment.
+std::optional<GroundValue> evaluate_ground(const TermPtr& term);
+
+}  // namespace qsmt::smtlib

@@ -1,0 +1,269 @@
+#include "smtlib/driver.hpp"
+
+#include <sstream>
+
+#include "smtlib/parser.hpp"
+#include "strenc/ascii7.hpp"
+#include "strqubo/solver.hpp"
+#include "strqubo/verify.hpp"
+#include "util/require.hpp"
+
+namespace qsmt::smtlib {
+
+std::string status_name(CheckSatStatus status) {
+  switch (status) {
+    case CheckSatStatus::kSat:
+      return "sat";
+    case CheckSatStatus::kUnsat:
+      return "unsat";
+    case CheckSatStatus::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+ConjunctionResult solve_conjunction(
+    const std::vector<strqubo::Constraint>& constraints,
+    const anneal::Sampler& sampler, const strqubo::BuildOptions& options,
+    const std::function<bool(const std::string&)>& accept) {
+  ConjunctionResult result;
+  if (constraints.empty()) {
+    result.solved = !accept || accept(std::string());
+    if (!result.solved) result.note = "empty witness rejected by filter";
+    return result;
+  }
+  for (const auto& constraint : constraints) {
+    if (!strqubo::produces_string(constraint)) {
+      result.note = "includes-style atoms cannot join a generation conjunction";
+      return result;
+    }
+  }
+
+  // All conjuncts must generate the same number of characters so their QUBO
+  // matrices can be summed variable-for-variable.
+  const std::size_t string_bits =
+      strqubo::constraint_num_variables(constraints.front());
+  for (const auto& constraint : constraints) {
+    if (strqubo::constraint_num_variables(constraint) != string_bits) {
+      result.note =
+          "conjuncts disagree on string length; cannot merge QUBO models";
+      return result;
+    }
+  }
+
+  // Merged models share the string bits at the same indices. Auxiliary
+  // variables past the string block (regex one-hot selectors) would collide
+  // across conjuncts, so each conjunct's auxiliary block is remapped to a
+  // fresh range at the end of the merged model.
+  qubo::QuboModel merged(string_bits);
+  std::size_t aux_base = string_bits;
+  for (const auto& constraint : constraints) {
+    const qubo::QuboModel part = strqubo::build(constraint, options);
+    const std::size_t part_aux =
+        part.num_variables() > string_bits ? part.num_variables() - string_bits
+                                           : 0;
+    auto remap = [&](std::size_t v) {
+      return v < string_bits ? v : aux_base + (v - string_bits);
+    };
+    merged.add_offset(part.offset());
+    for (std::size_t v = 0; v < part.num_variables(); ++v) {
+      const double lin = part.linear_terms()[v];
+      if (lin != 0.0) merged.add_linear(remap(v), lin);
+    }
+    for (const auto& [key, value] : part.quadratic_terms()) {
+      if (value == 0.0) continue;
+      merged.add_quadratic(remap(key >> 32), remap(key & 0xffffffffULL),
+                           value);
+    }
+    aux_base += part_aux;
+  }
+  result.num_qubo_variables = std::max(merged.num_variables(), string_bits);
+
+  const anneal::SampleSet samples = sampler.sample(merged);
+  if (samples.empty()) {
+    result.note = "sampler returned no samples";
+    return result;
+  }
+  // Take the lowest-energy sample whose decoding satisfies every conjunct
+  // (and the caller's acceptance filter, when given).
+  for (const auto& sample : samples) {
+    const std::string value = strenc::decode_string(
+        std::span(sample.bits).subspan(0, string_bits));
+    bool all_satisfied = true;
+    for (const auto& constraint : constraints) {
+      if (!strqubo::verify_string(constraint, value)) {
+        all_satisfied = false;
+        break;
+      }
+    }
+    if (all_satisfied && accept && !accept(value)) all_satisfied = false;
+    if (all_satisfied) {
+      result.solved = true;
+      result.value = value;
+      return result;
+    }
+  }
+  result.note = "no sample satisfied every conjunct";
+  return result;
+}
+
+SmtDriver::SmtDriver(const anneal::Sampler& sampler,
+                     strqubo::BuildOptions options)
+    : sampler_(&sampler), options_(options) {}
+
+void SmtDriver::reset() {
+  declared_.clear();
+  assertions_.clear();
+  frames_.clear();
+}
+
+CheckSatRecord SmtDriver::check_sat() {
+  CheckSatRecord record;
+  const CompiledQuery query = compile_assertions(assertions_, declared_);
+  record.variable = query.variable;
+  record.num_constraints = query.constraints.size();
+  record.notes = query.unsupported;
+
+  if (!query.falsified_ground.empty()) {
+    record.status = CheckSatStatus::kUnsat;
+    for (const auto& fact : query.falsified_ground) {
+      record.notes.push_back("falsified: " + fact);
+    }
+    return record;
+  }
+  if (!query.unsupported.empty()) {
+    record.status = CheckSatStatus::kUnknown;
+    return record;
+  }
+  if (query.constraints.empty()) {
+    // All assertions were ground and true (or there were none).
+    record.status = CheckSatStatus::kSat;
+    return record;
+  }
+
+  const ConjunctionResult solved =
+      solve_conjunction(query.constraints, *sampler_, options_);
+  record.num_qubo_variables = solved.num_qubo_variables;
+  if (solved.solved) {
+    record.status = CheckSatStatus::kSat;
+    record.model_value = solved.value;
+  } else {
+    record.status = CheckSatStatus::kUnknown;
+    record.notes.push_back(solved.note);
+  }
+  return record;
+}
+
+bool SmtDriver::execute(const Command& command, std::string& out) {
+  return std::visit(
+      [&](const auto& cmd) -> bool {
+        using T = std::decay_t<decltype(cmd)>;
+        if constexpr (std::is_same_v<T, SetLogic> ||
+                      std::is_same_v<T, SetOption> ||
+                      std::is_same_v<T, SetInfo>) {
+          return true;
+        } else if constexpr (std::is_same_v<T, DeclareConst>) {
+          require(!declared_.contains(cmd.name),
+                  "smtlib: duplicate declaration of " + cmd.name);
+          declared_.emplace(cmd.name, cmd.sort);
+          return true;
+        } else if constexpr (std::is_same_v<T, AssertCmd>) {
+          assertions_.push_back(cmd.term);
+          return true;
+        } else if constexpr (std::is_same_v<T, CheckSat>) {
+          history_.push_back(check_sat());
+          out += status_name(history_.back().status);
+          out += '\n';
+          return true;
+        } else if constexpr (std::is_same_v<T, GetModel>) {
+          if (history_.empty() ||
+              history_.back().status != CheckSatStatus::kSat) {
+            out += "(error \"no model available\")\n";
+          } else if (history_.back().variable.empty()) {
+            out += "(model)\n";
+          } else {
+            std::ostringstream model;
+            model << "(model (define-fun " << history_.back().variable
+                  << " () String ";
+            model << '"';
+            for (char c : history_.back().model_value) {
+              model << c;
+              if (c == '"') model << '"';
+            }
+            model << '"';
+            model << "))\n";
+            out += model.str();
+          }
+          return true;
+        } else if constexpr (std::is_same_v<T, Echo>) {
+          out += cmd.message;
+          out += '\n';
+          return true;
+        } else if constexpr (std::is_same_v<T, Push>) {
+          for (std::size_t k = 0; k < cmd.levels; ++k) {
+            frames_.push_back(Frame{assertions_.size(), declared_});
+          }
+          return true;
+        } else if constexpr (std::is_same_v<T, Pop>) {
+          require(cmd.levels <= frames_.size(),
+                  "smtlib: pop below the bottom of the assertion stack");
+          for (std::size_t k = 0; k < cmd.levels; ++k) {
+            assertions_.resize(frames_.back().num_assertions);
+            declared_ = std::move(frames_.back().declared);
+            frames_.pop_back();
+          }
+          return true;
+        } else if constexpr (std::is_same_v<T, CheckSatAssuming>) {
+          // Assumptions join the assertion set for this check only.
+          const std::size_t restore = assertions_.size();
+          for (const auto& assumption : cmd.assumptions) {
+            assertions_.push_back(assumption);
+          }
+          history_.push_back(check_sat());
+          assertions_.resize(restore);
+          out += status_name(history_.back().status);
+          out += '\n';
+          return true;
+        } else if constexpr (std::is_same_v<T, GetValue>) {
+          if (history_.empty() ||
+              history_.back().status != CheckSatStatus::kSat) {
+            out += "(error \"no model available\")\n";
+            return true;
+          }
+          out += '(';
+          for (std::size_t i = 0; i < cmd.names.size(); ++i) {
+            if (i > 0) out += ' ';
+            out += '(';
+            out += cmd.names[i];
+            out += ' ';
+            if (cmd.names[i] == history_.back().variable) {
+              out += '"';
+              for (char c : history_.back().model_value) {
+                out += c;
+                if (c == '"') out += '"';
+              }
+              out += '"';
+            } else {
+              out += "(error \"unknown constant\")";
+            }
+            out += ')';
+          }
+          out += ")\n";
+          return true;
+        } else {
+          static_assert(std::is_same_v<T, ExitCmd>);
+          return false;
+        }
+      },
+      command);
+}
+
+std::string SmtDriver::run_script(const std::string& text) {
+  std::string out;
+  for (const Command& command : parse_script(text)) {
+    if (!execute(command, out)) break;
+  }
+  return out;
+}
+
+}  // namespace qsmt::smtlib

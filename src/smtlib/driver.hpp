@@ -1,0 +1,101 @@
+// SMT-LIB script driver: executes a script against the annealing solver.
+//
+// The interactive surface of the system: feed it a .smt2 script, it answers
+// check-sat with `sat` (annealer found a verified model), `unsat` (a ground
+// assertion is false — the only case where this incomplete solver may claim
+// unsatisfiability), or `unknown` (out of fragment, or the annealer's best
+// sample failed classical verification).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "anneal/sampler.hpp"
+#include "smtlib/ast.hpp"
+#include "smtlib/compiler.hpp"
+#include "strqubo/builders.hpp"
+
+namespace qsmt::smtlib {
+
+enum class CheckSatStatus { kSat, kUnsat, kUnknown };
+
+std::string status_name(CheckSatStatus status);
+
+struct CheckSatRecord {
+  CheckSatStatus status = CheckSatStatus::kUnknown;
+  /// Model value for the string variable when status == kSat.
+  std::string model_value;
+  std::string variable;
+  /// Diagnostics (unsupported atoms, falsified ground facts, ...).
+  std::vector<std::string> notes;
+  std::size_t num_constraints = 0;
+  std::size_t num_qubo_variables = 0;
+};
+
+class SmtDriver {
+ public:
+  /// `sampler` must outlive the driver.
+  explicit SmtDriver(const anneal::Sampler& sampler,
+                     strqubo::BuildOptions options = {});
+
+  /// Executes a whole script; returns the printed output (one line per
+  /// check-sat / echo / get-model, z3-style).
+  std::string run_script(const std::string& text);
+
+  /// Executes one parsed command; appends any output to `out`.
+  /// Returns false when the command was (exit).
+  bool execute(const Command& command, std::string& out);
+
+  /// Records of every check-sat performed (for tests and benches).
+  const std::vector<CheckSatRecord>& history() const noexcept {
+    return history_;
+  }
+
+  /// Resets declarations, assertions, and the push/pop stack.
+  void reset();
+
+  /// Current push/pop nesting depth.
+  std::size_t scope_depth() const noexcept { return frames_.size(); }
+
+ private:
+  CheckSatRecord check_sat();
+
+  /// One (push) scope: everything to restore on the matching (pop).
+  struct Frame {
+    std::size_t num_assertions;
+    std::map<std::string, Sort> declared;
+  };
+
+  const anneal::Sampler* sampler_;
+  strqubo::BuildOptions options_;
+  std::map<std::string, Sort> declared_;
+  std::vector<TermPtr> assertions_;
+  std::vector<Frame> frames_;
+  std::vector<CheckSatRecord> history_;
+};
+
+/// Solves a conjunction of same-variable constraints by summing their QUBO
+/// models (an extension over the paper's sequential §4.12 combination; see
+/// DESIGN.md), sampling once, and returning the lowest-energy sample whose
+/// decoding classically verifies every conjunct. Auxiliary variables past
+/// the shared string block (regex one-hot selectors) are remapped to fresh
+/// ranges so any mix of encodings merges soundly.
+///
+/// `accept`, when set, is an extra predicate the witness must pass — the
+/// DPLL(T) layer uses it to require that atoms assigned false actually fail
+/// on the witness, steering the scan toward a fully consistent model
+/// instead of rejecting the whole boolean assignment.
+struct ConjunctionResult {
+  bool solved = false;      ///< A sample satisfying all conjuncts was found.
+  std::string value;        ///< The witness when solved.
+  std::string note;         ///< Why not, otherwise.
+  std::size_t num_qubo_variables = 0;
+};
+ConjunctionResult solve_conjunction(
+    const std::vector<strqubo::Constraint>& constraints,
+    const anneal::Sampler& sampler, const strqubo::BuildOptions& options,
+    const std::function<bool(const std::string&)>& accept = {});
+
+}  // namespace qsmt::smtlib

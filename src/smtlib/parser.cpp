@@ -1,0 +1,142 @@
+#include "smtlib/parser.hpp"
+
+#include <stdexcept>
+
+#include "util/require.hpp"
+
+namespace qsmt::smtlib {
+
+namespace {
+
+[[noreturn]] void unsupported(const std::string& what) {
+  throw std::invalid_argument("smtlib: unsupported construct: " + what);
+}
+
+Sort parse_sort(const SExpr& expr) {
+  if (expr.is_symbol("Bool")) return Sort::kBool;
+  if (expr.is_symbol("Int")) return Sort::kInt;
+  if (expr.is_symbol("String")) return Sort::kString;
+  if (expr.is_symbol("RegLan")) return Sort::kRegLan;
+  unsupported("sort " + to_string(expr));
+}
+
+}  // namespace
+
+TermPtr parse_term(const SExpr& expr) {
+  switch (expr.kind) {
+    case SExpr::Kind::kString:
+      return Term::string_lit(expr.atom);
+    case SExpr::Kind::kNumeral:
+      return Term::int_lit(expr.numeral);
+    case SExpr::Kind::kSymbol:
+      if (expr.atom == "true") return Term::bool_lit(true);
+      if (expr.atom == "false") return Term::bool_lit(false);
+      return Term::variable(expr.atom);
+    case SExpr::Kind::kList: {
+      require(!expr.list.empty(), "smtlib: empty application");
+      const SExpr& head = expr.list.front();
+      require(head.kind == SExpr::Kind::kSymbol,
+              "smtlib: application head must be a symbol, got " +
+                  to_string(head));
+      std::vector<TermPtr> args;
+      args.reserve(expr.list.size() - 1);
+      for (std::size_t i = 1; i < expr.list.size(); ++i) {
+        args.push_back(parse_term(expr.list[i]));
+      }
+      return Term::apply(head.atom, std::move(args));
+    }
+  }
+  unsupported("term " + to_string(expr));
+}
+
+Command parse_command(const SExpr& expr) {
+  require(expr.is_list() && !expr.list.empty(),
+          "smtlib: command must be a non-empty list");
+  const SExpr& head = expr.list.front();
+  require(head.kind == SExpr::Kind::kSymbol,
+          "smtlib: command head must be a symbol");
+  const std::string& name = head.atom;
+  const auto arity = expr.list.size() - 1;
+
+  if (name == "set-logic") {
+    require(arity == 1 && expr.list[1].kind == SExpr::Kind::kSymbol,
+            "smtlib: set-logic expects one symbol");
+    return SetLogic{expr.list[1].atom};
+  }
+  if (name == "set-option") return SetOption{to_string(expr)};
+  if (name == "set-info") return SetInfo{to_string(expr)};
+  if (name == "declare-const") {
+    require(arity == 2 && expr.list[1].kind == SExpr::Kind::kSymbol,
+            "smtlib: declare-const expects a name and a sort");
+    return DeclareConst{expr.list[1].atom, parse_sort(expr.list[2])};
+  }
+  if (name == "declare-fun") {
+    // Only zero-arity declare-fun (equivalent to declare-const).
+    require(arity == 3, "smtlib: declare-fun expects 3 arguments");
+    require(expr.list[2].is_list() && expr.list[2].list.empty(),
+            "smtlib: only zero-arity declare-fun is supported");
+    return DeclareConst{expr.list[1].atom, parse_sort(expr.list[3])};
+  }
+  if (name == "assert") {
+    require(arity == 1, "smtlib: assert expects one term");
+    return AssertCmd{parse_term(expr.list[1])};
+  }
+  if (name == "check-sat") {
+    require(arity == 0, "smtlib: check-sat expects no arguments");
+    return CheckSat{};
+  }
+  if (name == "get-model") {
+    require(arity == 0, "smtlib: get-model expects no arguments");
+    return GetModel{};
+  }
+  if (name == "echo") {
+    require(arity == 1 && expr.list[1].kind == SExpr::Kind::kString,
+            "smtlib: echo expects one string");
+    return Echo{expr.list[1].atom};
+  }
+  if (name == "push" || name == "pop") {
+    std::size_t levels = 1;
+    if (arity == 1) {
+      require(expr.list[1].kind == SExpr::Kind::kNumeral &&
+                  expr.list[1].numeral >= 0,
+              "smtlib: push/pop expects a non-negative numeral");
+      levels = static_cast<std::size_t>(expr.list[1].numeral);
+    } else {
+      require(arity == 0, "smtlib: push/pop expects at most one numeral");
+    }
+    if (name == "push") return Push{levels};
+    return Pop{levels};
+  }
+  if (name == "check-sat-assuming") {
+    require(arity == 1 && expr.list[1].is_list(),
+            "smtlib: check-sat-assuming expects a term list");
+    CheckSatAssuming check;
+    for (const SExpr& item : expr.list[1].list) {
+      check.assumptions.push_back(parse_term(item));
+    }
+    return check;
+  }
+  if (name == "get-value") {
+    require(arity == 1 && expr.list[1].is_list() && !expr.list[1].list.empty(),
+            "smtlib: get-value expects a non-empty term list");
+    GetValue get_value;
+    for (const SExpr& item : expr.list[1].list) {
+      require(item.kind == SExpr::Kind::kSymbol,
+              "smtlib: get-value only supports plain constants");
+      get_value.names.push_back(item.atom);
+    }
+    return get_value;
+  }
+  if (name == "exit") return ExitCmd{};
+  unsupported("command " + name);
+}
+
+std::vector<Command> parse_script(std::string_view input) {
+  std::vector<Command> commands;
+  for (const SExpr& expr : parse_sexprs(input)) {
+    commands.push_back(parse_command(expr));
+  }
+  return commands;
+}
+
+}  // namespace qsmt::smtlib

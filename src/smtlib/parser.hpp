@@ -1,0 +1,23 @@
+// S-expression -> command/term parser for the supported SMT-LIB fragment.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "smtlib/ast.hpp"
+#include "smtlib/sexpr.hpp"
+
+namespace qsmt::smtlib {
+
+/// Parses a full script. Throws std::invalid_argument on commands outside
+/// the supported fragment (push/pop, define-fun, quantifiers, ...) with a
+/// message naming the offending command.
+std::vector<Command> parse_script(std::string_view input);
+
+/// Parses one command s-expression.
+Command parse_command(const SExpr& expr);
+
+/// Parses a term s-expression (used by parse_command and by tests).
+TermPtr parse_term(const SExpr& expr);
+
+}  // namespace qsmt::smtlib

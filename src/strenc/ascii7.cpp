@@ -1,0 +1,67 @@
+#include "strenc/ascii7.hpp"
+
+#include "util/require.hpp"
+
+namespace qsmt::strenc {
+
+std::array<std::uint8_t, kBitsPerChar> encode_char(char c) {
+  const auto byte = static_cast<unsigned char>(c);
+  require(byte < 128, "encode_char: character is not 7-bit ASCII");
+  std::array<std::uint8_t, kBitsPerChar> bits{};
+  for (std::size_t i = 0; i < kBitsPerChar; ++i) {
+    bits[i] = static_cast<std::uint8_t>((byte >> (kBitsPerChar - 1 - i)) & 1u);
+  }
+  return bits;
+}
+
+char decode_char(std::span<const std::uint8_t> bits) {
+  require(bits.size() == kBitsPerChar, "decode_char: need exactly 7 bits");
+  unsigned value = 0;
+  for (std::size_t i = 0; i < kBitsPerChar; ++i) {
+    require(bits[i] <= 1, "decode_char: bit values must be 0 or 1");
+    value = (value << 1) | bits[i];
+  }
+  return static_cast<char>(value);
+}
+
+std::vector<std::uint8_t> encode_string(std::string_view s) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(s.size() * kBitsPerChar);
+  for (char c : s) {
+    const auto char_bits = encode_char(c);
+    bits.insert(bits.end(), char_bits.begin(), char_bits.end());
+  }
+  return bits;
+}
+
+std::string decode_string(std::span<const std::uint8_t> bits) {
+  require(bits.size() % kBitsPerChar == 0,
+          "decode_string: bit count must be a multiple of 7");
+  std::string s;
+  s.reserve(bits.size() / kBitsPerChar);
+  for (std::size_t pos = 0; pos < bits.size(); pos += kBitsPerChar) {
+    s.push_back(decode_char(bits.subspan(pos, kBitsPerChar)));
+  }
+  return s;
+}
+
+bool is_ascii7(std::string_view s) {
+  for (char c : s) {
+    if (static_cast<unsigned char>(c) >= 128) return false;
+  }
+  return true;
+}
+
+bool is_printable(char c) {
+  const auto byte = static_cast<unsigned char>(c);
+  return byte >= 0x20 && byte <= 0x7e;
+}
+
+bool is_printable(std::string_view s) {
+  for (char c : s) {
+    if (!is_printable(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace qsmt::strenc

@@ -1,0 +1,53 @@
+// 7-bit ASCII binary encoding of strings (paper §4, preamble).
+//
+// The paper represents each character of the target string by 7 bits, MSB
+// first ("a" = ASCII 97 = 1100001 maps to diagonal [-A,-A,+A,+A,+A,+A,-A]),
+// so bit index i of character j is global QUBO variable 7*j + i and a string
+// of length n uses exactly 7n variables:
+//   bin : Σ -> {0,1}^7,  f(s) = bin(s_1) || bin(s_2) || ... || bin(s_n).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qsmt::strenc {
+
+inline constexpr std::size_t kBitsPerChar = 7;
+
+/// bin(c): the 7-bit MSB-first encoding of an ASCII character.
+/// Throws std::invalid_argument for bytes >= 128.
+std::array<std::uint8_t, kBitsPerChar> encode_char(char c);
+
+/// Inverse of encode_char. `bits.size()` must be 7; values must be 0/1.
+char decode_char(std::span<const std::uint8_t> bits);
+
+/// f(s): the 7n-bit encoding of an ASCII string.
+std::vector<std::uint8_t> encode_string(std::string_view s);
+
+/// Inverse of encode_string. `bits.size()` must be a multiple of 7.
+std::string decode_string(std::span<const std::uint8_t> bits);
+
+/// Global QUBO variable index of bit `bit` (0 = MSB) of character `pos`.
+constexpr std::size_t variable_index(std::size_t pos, std::size_t bit) {
+  return pos * kBitsPerChar + bit;
+}
+
+/// Number of QUBO variables for a string of `length` characters.
+constexpr std::size_t num_variables(std::size_t length) {
+  return length * kBitsPerChar;
+}
+
+/// True when every character of `s` is 7-bit ASCII.
+bool is_ascii7(std::string_view s);
+
+/// True when `c` is printable ASCII (space through tilde).
+bool is_printable(char c);
+
+/// True when every character of `s` is printable ASCII.
+bool is_printable(std::string_view s);
+
+}  // namespace qsmt::strenc

@@ -1,0 +1,464 @@
+#include "strqubo/builders.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qubo/penalties.hpp"
+#include "qubo/quadratization.hpp"
+#include "strenc/ascii7.hpp"
+#include "util/require.hpp"
+
+namespace qsmt::strqubo {
+
+namespace {
+
+using strenc::kBitsPerChar;
+using strenc::variable_index;
+
+/// Encodes character `c` at string position `pos` with strength `a`,
+/// overwriting any previous diagonal entries for those bits (the paper's
+/// "we overwrite the previous entries" semantics, §4.3).
+void pin_char(qubo::QuboModel& model, std::size_t pos, char c, double a) {
+  const auto bits = strenc::encode_char(c);
+  for (std::size_t b = 0; b < kBitsPerChar; ++b) {
+    model.set_linear(variable_index(pos, b), bits[b] ? -a : a);
+  }
+}
+
+/// Soft bias toward the 11xxxxx bit prefix (ASCII 96-127: the letter
+/// region) used for "any character can appear" positions (§4.5).
+void bias_letter_prefix(qubo::QuboModel& model, std::size_t pos, double w) {
+  model.set_linear(variable_index(pos, 0), -w);
+  model.set_linear(variable_index(pos, 1), -w);
+}
+
+std::string apply_replace_all(std::string s, char from, char to) {
+  std::replace(s.begin(), s.end(), from, to);
+  return s;
+}
+
+std::string apply_replace_first(std::string s, char from, char to) {
+  const auto at = s.find(from);
+  if (at != std::string::npos) s[at] = to;
+  return s;
+}
+
+}  // namespace
+
+qubo::QuboModel build_equality(const std::string& target,
+                               const BuildOptions& options) {
+  require(strenc::is_ascii7(target), "build_equality: target must be ASCII");
+  qubo::QuboModel model(strenc::num_variables(target.size()));
+  for (std::size_t pos = 0; pos < target.size(); ++pos) {
+    pin_char(model, pos, target[pos], options.strength);
+  }
+  return model;
+}
+
+qubo::QuboModel build_concat(const std::string& lhs, const std::string& rhs,
+                             const BuildOptions& options) {
+  return build_equality(lhs + rhs, options);
+}
+
+qubo::QuboModel build_substring_match(std::size_t length,
+                                      const std::string& substring,
+                                      const BuildOptions& options) {
+  require(!substring.empty(), "build_substring_match: empty substring");
+  require(substring.size() <= length,
+          "build_substring_match: substring longer than target length");
+  require(strenc::is_ascii7(substring),
+          "build_substring_match: substring must be ASCII");
+  qubo::QuboModel model(strenc::num_variables(length));
+  // Encode the substring at every possible starting position; conflicting
+  // entries overwrite, so the last start position wins and earlier starts
+  // leave only their non-overlapping prefix (§4.3: "cat" in 4 -> "ccat").
+  const std::size_t last_start = length - substring.size();
+  for (std::size_t start = 0; start <= last_start; ++start) {
+    for (std::size_t k = 0; k < substring.size(); ++k) {
+      pin_char(model, start + k, substring[k], options.strength);
+    }
+  }
+  return model;
+}
+
+qubo::QuboModel build_includes(const std::string& text,
+                               const std::string& substring,
+                               const BuildOptions& options) {
+  require(!substring.empty(), "build_includes: empty substring");
+  require(substring.size() <= text.size(),
+          "build_includes: substring longer than text");
+  const std::size_t n = text.size();
+  const std::size_t m = substring.size();
+  const std::size_t positions = n - m + 1;
+  qubo::QuboModel model(positions);
+
+  // Objective (§4.4.2): reward each candidate start by the number of
+  // matching characters, Q(i,i) -= A * Σ_j δ(t_{i+j}, s_j). The uniform
+  // selection cost θ (see BuildOptions) keeps partial matches and empty
+  // selections from tying with or beating the true first-match ground state.
+  const double theta = options.includes_selection_cost.value_or(
+      options.strength * (static_cast<double>(m) - 0.5));
+  for (std::size_t i = 0; i < positions; ++i) {
+    std::size_t matches = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (text[i + j] == substring[j]) ++matches;
+    }
+    model.add_linear(i,
+                     theta - options.strength * static_cast<double>(matches));
+  }
+
+  // Penalty (§4.4.3a): B Σ_{i<j} x_i x_j — at most one selected position.
+  for (std::size_t i = 0; i < positions; ++i) {
+    for (std::size_t j = i + 1; j < positions; ++j) {
+      model.add_quadratic(i, j, options.one_hot_penalty);
+    }
+  }
+
+  // Penalty (§4.4.3b): cumulative C_i preferring the first full match.
+  // C_i counts D for every full match strictly before i, so the first
+  // matching position carries the smallest surcharge.
+  double c = 0.0;
+  for (std::size_t i = 0; i < positions; ++i) {
+    const bool full_match = text.compare(i, m, substring) == 0;
+    if (full_match) {
+      model.add_linear(i, c);
+      c += options.first_match_increment;
+    }
+  }
+  return model;
+}
+
+qubo::QuboModel build_index_of(std::size_t length,
+                               const std::string& substring, std::size_t index,
+                               const BuildOptions& options) {
+  require(!substring.empty(), "build_index_of: empty substring");
+  require(index + substring.size() <= length,
+          "build_index_of: substring does not fit at index");
+  require(strenc::is_ascii7(substring),
+          "build_index_of: substring must be ASCII");
+  qubo::QuboModel model(strenc::num_variables(length));
+  const double strong = options.strong_multiplier * options.strength;
+  const double soft = options.soft_weight * options.strength;
+  for (std::size_t pos = 0; pos < length; ++pos) {
+    if (pos >= index && pos < index + substring.size()) {
+      pin_char(model, pos, substring[pos - index], strong);
+    } else {
+      bias_letter_prefix(model, pos, soft);
+    }
+  }
+  return model;
+}
+
+qubo::QuboModel build_length(std::size_t string_length,
+                             std::size_t desired_length,
+                             const BuildOptions& options) {
+  require(desired_length <= string_length,
+          "build_length: desired length exceeds string length");
+  // Paper-faithful (§4.6): the first 7L bits should be 1, the rest 0.
+  const std::size_t n = strenc::num_variables(string_length);
+  const std::size_t boundary = strenc::num_variables(desired_length);
+  qubo::QuboModel model(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    model.set_linear(i, i < boundary ? -options.strength : options.strength);
+  }
+  return model;
+}
+
+qubo::QuboModel build_length_printable(std::size_t string_length,
+                                       std::size_t desired_length,
+                                       const BuildOptions& options) {
+  require(desired_length <= string_length,
+          "build_length_printable: desired length exceeds string length");
+  qubo::QuboModel model(strenc::num_variables(string_length));
+  const double soft = options.soft_weight * options.strength;
+  for (std::size_t pos = 0; pos < string_length; ++pos) {
+    if (pos < desired_length) {
+      bias_letter_prefix(model, pos, soft);
+    } else {
+      pin_char(model, pos, '\0', options.strength);
+    }
+  }
+  return model;
+}
+
+qubo::QuboModel build_replace_all(const std::string& input, char from, char to,
+                                  const BuildOptions& options) {
+  return build_equality(apply_replace_all(input, from, to), options);
+}
+
+qubo::QuboModel build_replace(const std::string& input, char from, char to,
+                              const BuildOptions& options) {
+  return build_equality(apply_replace_first(input, from, to), options);
+}
+
+qubo::QuboModel build_reverse(const std::string& input,
+                              const BuildOptions& options) {
+  return build_equality(std::string(input.rbegin(), input.rend()), options);
+}
+
+qubo::QuboModel build_palindrome(std::size_t length,
+                                 const BuildOptions& options) {
+  require(length >= 1, "build_palindrome: length must be positive");
+  qubo::QuboModel model(strenc::num_variables(length));
+  // §4.10: for each mirrored character pair and each bit, an XNOR gadget
+  // A (x_i + x_j - 2 x_i x_j): zero energy iff the bits agree.
+  for (std::size_t j = 0; j < length / 2; ++j) {
+    const std::size_t mirror = length - 1 - j;
+    for (std::size_t b = 0; b < kBitsPerChar; ++b) {
+      qubo::add_equal_bits(model, variable_index(j, b),
+                           variable_index(mirror, b), options.strength);
+    }
+  }
+  if (options.palindrome_printable_bias > 0.0) {
+    for (std::size_t pos = 0; pos < length; ++pos) {
+      model.add_linear(variable_index(pos, 0),
+                       -options.palindrome_printable_bias);
+      model.add_linear(variable_index(pos, 1),
+                       -options.palindrome_printable_bias);
+    }
+  }
+  return model;
+}
+
+std::size_t regex_selector_base(std::size_t length) {
+  return strenc::num_variables(length);
+}
+
+qubo::QuboModel build_regex(const std::string& pattern, std::size_t length,
+                            const BuildOptions& options) {
+  const regex::Pattern parsed = regex::parse_pattern(pattern);
+  const auto tokens = regex::expand_to_length(parsed, length);
+  qubo::QuboModel model(strenc::num_variables(length));
+
+  std::size_t next_selector = regex_selector_base(length);
+  for (std::size_t pos = 0; pos < tokens.size(); ++pos) {
+    const auto& token = tokens[pos];
+    if (!token.is_class || token.chars.size() == 1) {
+      // Literal (or singleton class): the §4.1 diagonal row.
+      pin_char(model, pos, token.chars[0], options.strength);
+      continue;
+    }
+    if (options.regex_encoding == RegexClassEncoding::kPaperAveraged) {
+      // §4.11: every class character contributes ±A / |chars| per bit.
+      const double share =
+          options.strength / static_cast<double>(token.chars.size());
+      for (char c : token.chars) {
+        const auto bits = strenc::encode_char(c);
+        for (std::size_t b = 0; b < kBitsPerChar; ++b) {
+          model.add_linear(variable_index(pos, b), bits[b] ? -share : share);
+        }
+      }
+    } else {
+      // Extension: one-hot selector per class character. Selecting s_c
+      // forces the position's bits to bin(c) via XOR-shaped couplings:
+      //   target bit 1:  A s_c (1 - x_b)
+      //   target bit 0:  A s_c x_b
+      std::vector<std::size_t> selectors;
+      selectors.reserve(token.chars.size());
+      for (std::size_t k = 0; k < token.chars.size(); ++k) {
+        selectors.push_back(next_selector++);
+      }
+      model.ensure_variables(next_selector);
+      qubo::add_one_hot(model, selectors, options.strength * 2.0);
+      for (std::size_t k = 0; k < token.chars.size(); ++k) {
+        const auto bits = strenc::encode_char(token.chars[k]);
+        for (std::size_t b = 0; b < kBitsPerChar; ++b) {
+          const std::size_t x = variable_index(pos, b);
+          if (bits[b]) {
+            model.add_linear(selectors[k], options.strength);
+            model.add_quadratic(selectors[k], x, -options.strength);
+          } else {
+            model.add_quadratic(selectors[k], x, options.strength);
+          }
+        }
+      }
+    }
+  }
+  return model;
+}
+
+qubo::QuboModel build_char_at(std::size_t length, std::size_t index, char ch,
+                              const BuildOptions& options) {
+  require(index < length, "build_char_at: index out of range");
+  qubo::QuboModel model(strenc::num_variables(length));
+  const double strong = options.strong_multiplier * options.strength;
+  const double soft = options.soft_weight * options.strength;
+  for (std::size_t pos = 0; pos < length; ++pos) {
+    if (pos == index) {
+      pin_char(model, pos, ch, strong);
+    } else {
+      bias_letter_prefix(model, pos, soft);
+    }
+  }
+  return model;
+}
+
+qubo::QuboModel build_not_contains(std::size_t length,
+                                   const std::string& substring,
+                                   const BuildOptions& options) {
+  require(!substring.empty(), "build_not_contains: empty substring");
+  require(strenc::is_ascii7(substring),
+          "build_not_contains: substring must be ASCII");
+  qubo::QuboModel model(strenc::num_variables(length));
+  const double soft = options.soft_weight * options.strength;
+  for (std::size_t pos = 0; pos < length; ++pos) {
+    bias_letter_prefix(model, pos, soft);
+  }
+  if (substring.size() > length) return model;  // Cannot occur; bias only.
+
+  // For every window, an indicator y = AND over the window's 84 bit
+  // agreements (bit set where the substring bit is 1, cleared where 0),
+  // quadratized with ancillas; y firing costs far more than any bias gain.
+  const double gadget = options.strength;
+  const double violation = 2.0 * options.strong_multiplier * options.strength;
+  for (std::size_t start = 0; start + substring.size() <= length; ++start) {
+    std::vector<qubo::BoolLiteral> window;
+    window.reserve(substring.size() * kBitsPerChar);
+    for (std::size_t k = 0; k < substring.size(); ++k) {
+      const auto bits = strenc::encode_char(substring[k]);
+      for (std::size_t b = 0; b < kBitsPerChar; ++b) {
+        window.push_back(qubo::BoolLiteral{
+            variable_index(start + k, b), bits[b] != 0});
+      }
+    }
+    const std::size_t indicator =
+        qubo::add_conjunction(model, window, gadget);
+    model.add_linear(indicator, violation);
+  }
+  return model;
+}
+
+qubo::QuboModel build_bounded_length(std::size_t capacity,
+                                     std::size_t min_length,
+                                     std::size_t max_length,
+                                     const BuildOptions& options) {
+  require(min_length <= max_length && max_length <= capacity,
+          "build_bounded_length: need min <= max <= capacity");
+  qubo::QuboModel model(strenc::num_variables(capacity));
+  const double soft = options.soft_weight * options.strength;
+
+  // One selector per candidate content length.
+  std::vector<std::size_t> selectors;
+  selectors.reserve(max_length - min_length + 1);
+  const std::size_t base = strenc::num_variables(capacity);
+  for (std::size_t k = min_length; k <= max_length; ++k) {
+    selectors.push_back(base + (k - min_length));
+  }
+  model.ensure_variables(base + selectors.size());
+  qubo::add_one_hot(model, selectors, 2.0 * options.strength);
+
+  for (std::size_t s = 0; s < selectors.size(); ++s) {
+    const std::size_t k = min_length + s;
+    for (std::size_t pos = 0; pos < capacity; ++pos) {
+      if (pos < k) {
+        // Content: letter-prefix bias conditioned on this selector. The
+        // neutraliser on the selector's linear term keeps every k at the
+        // same ground energy (otherwise longer content is always cheaper).
+        model.add_quadratic(selectors[s], variable_index(pos, 0), -soft);
+        model.add_quadratic(selectors[s], variable_index(pos, 1), -soft);
+        model.add_linear(selectors[s], 2.0 * soft);
+      } else {
+        // Padding: every set bit costs A while this selector is active.
+        for (std::size_t b = 0; b < kBitsPerChar; ++b) {
+          model.add_quadratic(selectors[s], variable_index(pos, b),
+                              options.strength);
+        }
+      }
+    }
+  }
+  return model;
+}
+
+qubo::QuboModel build(const Constraint& constraint,
+                      const BuildOptions& options) {
+  return std::visit(
+      [&](const auto& c) -> qubo::QuboModel {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, Equality>) {
+          return build_equality(c.target, options);
+        } else if constexpr (std::is_same_v<T, Concat>) {
+          return build_concat(c.lhs, c.rhs, options);
+        } else if constexpr (std::is_same_v<T, SubstringMatch>) {
+          return build_substring_match(c.length, c.substring, options);
+        } else if constexpr (std::is_same_v<T, Includes>) {
+          return build_includes(c.text, c.substring, options);
+        } else if constexpr (std::is_same_v<T, IndexOf>) {
+          return build_index_of(c.length, c.substring, c.index, options);
+        } else if constexpr (std::is_same_v<T, Length>) {
+          return build_length(c.string_length, c.desired_length, options);
+        } else if constexpr (std::is_same_v<T, ReplaceAll>) {
+          return build_replace_all(c.input, c.from, c.to, options);
+        } else if constexpr (std::is_same_v<T, Replace>) {
+          return build_replace(c.input, c.from, c.to, options);
+        } else if constexpr (std::is_same_v<T, Reverse>) {
+          return build_reverse(c.input, options);
+        } else if constexpr (std::is_same_v<T, Palindrome>) {
+          return build_palindrome(c.length, options);
+        } else if constexpr (std::is_same_v<T, RegexMatch>) {
+          return build_regex(c.pattern, c.length, options);
+        } else if constexpr (std::is_same_v<T, CharAt>) {
+          return build_char_at(c.length, c.index, c.ch, options);
+        } else if constexpr (std::is_same_v<T, NotContains>) {
+          return build_not_contains(c.length, c.substring, options);
+        } else {
+          static_assert(std::is_same_v<T, BoundedLength>);
+          return build_bounded_length(c.capacity, c.min_length, c.max_length,
+                                      options);
+        }
+      },
+      constraint);
+}
+
+double expected_ground_energy(const Constraint& constraint,
+                              const BuildOptions& options) {
+  const qubo::QuboModel model = build(constraint, options);
+  if (model.num_interactions() == 0) {
+    // Diagonal-only model: each bit independently takes its cheaper value.
+    double e = model.offset();
+    for (double v : model.linear_terms()) e += std::min(0.0, v);
+    return e;
+  }
+  if (std::holds_alternative<Palindrome>(constraint)) {
+    // The mirror gadgets reach zero on any palindrome, and the optional
+    // letter-prefix bias (2 bits per character) is simultaneously
+    // satisfiable at both mirrored positions, so the ground energy is just
+    // the bias total.
+    const auto& pal = std::get<Palindrome>(constraint);
+    return model.offset() - options.palindrome_printable_bias * 2.0 *
+                                static_cast<double>(pal.length);
+  }
+  if (std::holds_alternative<Includes>(constraint)) {
+    // With the pairwise penalty, the ground state selects the single best
+    // diagonal (or nothing when all diagonals are >= 0).
+    double best = 0.0;
+    for (double v : model.linear_terms()) best = std::min(best, v);
+    return model.offset() + best;
+  }
+  if (std::holds_alternative<BoundedLength>(constraint)) {
+    // Feasible states sit at 0: the one-hot gadget and NUL couplings are
+    // satisfied exactly, and the selector neutraliser cancels the content
+    // bias for every admissible length.
+    return 0.0;
+  }
+  if (std::holds_alternative<RegexMatch>(constraint) &&
+      options.regex_encoding == RegexClassEncoding::kOneHotSelectors) {
+    // Feasible selections satisfy every gadget exactly: only the literal
+    // positions' diagonal rows contribute.
+    const auto& rm = std::get<RegexMatch>(constraint);
+    const auto tokens = regex::expand_to_length(regex::parse_pattern(rm.pattern),
+                                                rm.length);
+    double e = 0.0;
+    for (const auto& token : tokens) {
+      if (!token.is_class || token.chars.size() == 1) {
+        for (std::uint8_t bit : strenc::encode_char(token.chars[0])) {
+          if (bit) e -= options.strength;
+        }
+      }
+    }
+    return e;
+  }
+  throw std::invalid_argument(
+      "expected_ground_energy: no closed form for this constraint");
+}
+
+}  // namespace qsmt::strqubo

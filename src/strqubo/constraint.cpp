@@ -1,0 +1,172 @@
+#include "strqubo/constraint.hpp"
+
+#include <sstream>
+
+#include "strenc/ascii7.hpp"
+
+namespace qsmt::strqubo {
+
+namespace {
+
+struct NameVisitor {
+  std::string operator()(const Equality&) const { return "equality"; }
+  std::string operator()(const Concat&) const { return "concat"; }
+  std::string operator()(const SubstringMatch&) const {
+    return "substring-match";
+  }
+  std::string operator()(const Includes&) const { return "includes"; }
+  std::string operator()(const IndexOf&) const { return "index-of"; }
+  std::string operator()(const Length&) const { return "length"; }
+  std::string operator()(const ReplaceAll&) const { return "replace-all"; }
+  std::string operator()(const Replace&) const { return "replace"; }
+  std::string operator()(const Reverse&) const { return "reverse"; }
+  std::string operator()(const Palindrome&) const { return "palindrome"; }
+  std::string operator()(const RegexMatch&) const { return "regex-match"; }
+  std::string operator()(const CharAt&) const { return "char-at"; }
+  std::string operator()(const NotContains&) const { return "not-contains"; }
+  std::string operator()(const BoundedLength&) const {
+    return "bounded-length";
+  }
+};
+
+struct DescribeVisitor {
+  std::string operator()(const Equality& c) const {
+    return "generate string equal to '" + c.target + "'";
+  }
+  std::string operator()(const Concat& c) const {
+    return "concatenate '" + c.lhs + "' and '" + c.rhs + "'";
+  }
+  std::string operator()(const SubstringMatch& c) const {
+    std::ostringstream out;
+    out << "generate a string of length " << c.length
+        << " containing the substring '" << c.substring << "'";
+    return out.str();
+  }
+  std::string operator()(const Includes& c) const {
+    return "find where '" + c.substring + "' begins in '" + c.text + "'";
+  }
+  std::string operator()(const IndexOf& c) const {
+    std::ostringstream out;
+    out << "generate a string of length " << c.length
+        << " that contains the substring '" << c.substring << "' at index "
+        << c.index;
+    return out.str();
+  }
+  std::string operator()(const Length& c) const {
+    std::ostringstream out;
+    out << "check a string of " << c.string_length << " chars has length "
+        << c.desired_length << " (bit-prefix form)";
+    return out.str();
+  }
+  std::string operator()(const ReplaceAll& c) const {
+    std::ostringstream out;
+    out << "replace all '" << c.from << "' with '" << c.to << "' in '"
+        << c.input << "'";
+    return out.str();
+  }
+  std::string operator()(const Replace& c) const {
+    std::ostringstream out;
+    out << "replace first '" << c.from << "' with '" << c.to << "' in '"
+        << c.input << "'";
+    return out.str();
+  }
+  std::string operator()(const Reverse& c) const {
+    return "reverse '" + c.input + "'";
+  }
+  std::string operator()(const Palindrome& c) const {
+    std::ostringstream out;
+    out << "generate a palindrome with length " << c.length;
+    return out.str();
+  }
+  std::string operator()(const RegexMatch& c) const {
+    std::ostringstream out;
+    out << "generate the regex " << c.pattern << " with length " << c.length;
+    return out.str();
+  }
+  std::string operator()(const CharAt& c) const {
+    std::ostringstream out;
+    out << "generate a string of length " << c.length << " with '" << c.ch
+        << "' at index " << c.index;
+    return out.str();
+  }
+  std::string operator()(const NotContains& c) const {
+    std::ostringstream out;
+    out << "generate a string of length " << c.length
+        << " that does not contain '" << c.substring << "'";
+    return out.str();
+  }
+  std::string operator()(const BoundedLength& c) const {
+    std::ostringstream out;
+    out << "generate a buffer of " << c.capacity
+        << " chars whose content length is in [" << c.min_length << ", "
+        << c.max_length << "]";
+    return out.str();
+  }
+};
+
+struct NumVarsVisitor {
+  std::size_t operator()(const Equality& c) const {
+    return strenc::num_variables(c.target.size());
+  }
+  std::size_t operator()(const Concat& c) const {
+    return strenc::num_variables(c.lhs.size() + c.rhs.size());
+  }
+  std::size_t operator()(const SubstringMatch& c) const {
+    return strenc::num_variables(c.length);
+  }
+  std::size_t operator()(const Includes& c) const {
+    return c.text.size() >= c.substring.size()
+               ? c.text.size() - c.substring.size() + 1
+               : 0;
+  }
+  std::size_t operator()(const IndexOf& c) const {
+    return strenc::num_variables(c.length);
+  }
+  std::size_t operator()(const Length& c) const {
+    return strenc::num_variables(c.string_length);
+  }
+  std::size_t operator()(const ReplaceAll& c) const {
+    return strenc::num_variables(c.input.size());
+  }
+  std::size_t operator()(const Replace& c) const {
+    return strenc::num_variables(c.input.size());
+  }
+  std::size_t operator()(const Reverse& c) const {
+    return strenc::num_variables(c.input.size());
+  }
+  std::size_t operator()(const Palindrome& c) const {
+    return strenc::num_variables(c.length);
+  }
+  std::size_t operator()(const RegexMatch& c) const {
+    return strenc::num_variables(c.length);
+  }
+  std::size_t operator()(const CharAt& c) const {
+    return strenc::num_variables(c.length);
+  }
+  std::size_t operator()(const NotContains& c) const {
+    return strenc::num_variables(c.length);
+  }
+  std::size_t operator()(const BoundedLength& c) const {
+    return strenc::num_variables(c.capacity);
+  }
+};
+
+}  // namespace
+
+std::string constraint_name(const Constraint& constraint) {
+  return std::visit(NameVisitor{}, constraint);
+}
+
+std::string describe(const Constraint& constraint) {
+  return std::visit(DescribeVisitor{}, constraint);
+}
+
+std::size_t constraint_num_variables(const Constraint& constraint) {
+  return std::visit(NumVarsVisitor{}, constraint);
+}
+
+bool produces_string(const Constraint& constraint) {
+  return !std::holds_alternative<Includes>(constraint);
+}
+
+}  // namespace qsmt::strqubo

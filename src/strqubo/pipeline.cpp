@@ -1,0 +1,59 @@
+#include "strqubo/pipeline.hpp"
+
+#include "util/require.hpp"
+
+namespace qsmt::strqubo {
+
+Pipeline::Pipeline(Constraint first) : first_(std::move(first)) {
+  require(produces_string(first_),
+          "Pipeline: first stage must produce a string");
+}
+
+Pipeline& Pipeline::then(Transform transform) {
+  transforms_.push_back(std::move(transform));
+  return *this;
+}
+
+Constraint materialize(const Transform& transform, const std::string& input) {
+  return std::visit(
+      [&](const auto& t) -> Constraint {
+        using T = std::decay_t<decltype(t)>;
+        if constexpr (std::is_same_v<T, ThenReverse>) {
+          return Reverse{input};
+        } else if constexpr (std::is_same_v<T, ThenReplaceAll>) {
+          return ReplaceAll{input, t.from, t.to};
+        } else if constexpr (std::is_same_v<T, ThenReplace>) {
+          return Replace{input, t.from, t.to};
+        } else {
+          static_assert(std::is_same_v<T, ThenConcat>);
+          return Concat{input, t.suffix};
+        }
+      },
+      transform);
+}
+
+Pipeline::Result Pipeline::run(const StringConstraintSolver& solver) const {
+  Result result;
+  result.all_satisfied = true;
+
+  SolveResult first = solver.solve(first_);
+  require(first.text.has_value(),
+          "Pipeline::run: first stage produced no string");
+  result.all_satisfied &= first.satisfied;
+  std::string current = *first.text;
+  result.stages.push_back(StageResult{first_, std::move(first)});
+
+  for (const Transform& transform : transforms_) {
+    Constraint stage = materialize(transform, current);
+    SolveResult solved = solver.solve(stage);
+    require(solved.text.has_value(),
+            "Pipeline::run: transform stage produced no string");
+    result.all_satisfied &= solved.satisfied;
+    current = *solved.text;
+    result.stages.push_back(StageResult{std::move(stage), std::move(solved)});
+  }
+  result.final_value = std::move(current);
+  return result;
+}
+
+}  // namespace qsmt::strqubo

@@ -1,0 +1,68 @@
+// Sequential constraint combination (paper §4.12).
+//
+// "We perform each operation sequentially ... we will take the output
+// solution of the first iteration of our solver, and pass it through as the
+// input to the second solver." A Pipeline is a first generating constraint
+// followed by transforms; each transform is materialised into a fresh
+// constraint over the previous stage's decoded output and solved on the
+// annealer like any other.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "strqubo/solver.hpp"
+
+namespace qsmt::strqubo {
+
+/// Transforms applied to the previous stage's output string.
+struct ThenReverse {};
+struct ThenReplaceAll {
+  char from;
+  char to;
+};
+struct ThenReplace {
+  char from;
+  char to;
+};
+struct ThenConcat {
+  std::string suffix;
+};
+
+using Transform =
+    std::variant<ThenReverse, ThenReplaceAll, ThenReplace, ThenConcat>;
+
+class Pipeline {
+ public:
+  /// First stage: any string-producing constraint.
+  explicit Pipeline(Constraint first);
+
+  Pipeline& then(Transform transform);
+
+  struct StageResult {
+    Constraint constraint;  ///< The materialised constraint that was solved.
+    SolveResult result;
+  };
+
+  struct Result {
+    std::vector<StageResult> stages;
+    std::string final_value;
+    bool all_satisfied = false;
+  };
+
+  /// Runs every stage through `solver`, feeding outputs forward. Throws
+  /// std::invalid_argument when the first constraint is not string-producing.
+  Result run(const StringConstraintSolver& solver) const;
+
+  std::size_t num_stages() const noexcept { return 1 + transforms_.size(); }
+
+ private:
+  Constraint first_;
+  std::vector<Transform> transforms_;
+};
+
+/// The constraint a transform denotes once its input string is known.
+Constraint materialize(const Transform& transform, const std::string& input);
+
+}  // namespace qsmt::strqubo

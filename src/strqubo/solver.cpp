@@ -1,0 +1,138 @@
+#include "strqubo/solver.hpp"
+
+#include <algorithm>
+
+#include "strenc/ascii7.hpp"
+#include "strqubo/verify.hpp"
+#include "anneal/simulated_annealer.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace qsmt::strqubo {
+
+StringConstraintSolver::StringConstraintSolver(const anneal::Sampler& sampler,
+                                               BuildOptions options)
+    : sampler_(&sampler), options_(options) {}
+
+qubo::QuboModel StringConstraintSolver::build_model(
+    const Constraint& constraint) const {
+  return build(constraint, options_);
+}
+
+std::optional<std::size_t> decode_includes_position(
+    std::span<const std::uint8_t> bits) {
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) return i;
+  }
+  return std::nullopt;
+}
+
+RetryResult solve_with_retries(const Constraint& constraint,
+                               const RetryParams& params,
+                               const BuildOptions& options) {
+  require(params.max_attempts >= 1,
+          "solve_with_retries: max_attempts must be >= 1");
+  require(params.initial_sweeps >= 1 && params.num_reads >= 1,
+          "solve_with_retries: need positive reads and sweeps");
+  RetryResult retry;
+  std::size_t sweeps = params.initial_sweeps;
+  for (std::size_t attempt = 0; attempt < params.max_attempts; ++attempt) {
+    anneal::SimulatedAnnealerParams sa;
+    sa.num_reads = params.num_reads;
+    sa.num_sweeps = sweeps;
+    sa.seed = mix_seed(params.seed, attempt + 1);
+    const anneal::SimulatedAnnealer annealer(sa);
+    const StringConstraintSolver solver(annealer, options);
+    retry.result = solver.solve(constraint);
+    retry.final_sweeps = sweeps;
+    ++retry.attempts;
+    if (retry.result.satisfied) break;
+    sweeps *= 2;
+  }
+  return retry;
+}
+
+std::vector<std::string> enumerate_solutions(const Constraint& constraint,
+                                             const anneal::SampleSet& samples,
+                                             std::size_t limit) {
+  require(produces_string(constraint),
+          "enumerate_solutions: constraint must produce a string");
+  const std::size_t string_bits = constraint_num_variables(constraint);
+  std::vector<std::string> solutions;
+  for (const anneal::Sample& sample : samples) {
+    if (solutions.size() >= limit) break;
+    if (sample.bits.size() < string_bits) continue;
+    const std::string candidate = strenc::decode_string(
+        std::span(sample.bits).subspan(0, string_bits));
+    if (!verify_string(constraint, candidate)) continue;
+    if (std::find(solutions.begin(), solutions.end(), candidate) !=
+        solutions.end()) {
+      continue;
+    }
+    solutions.push_back(candidate);
+  }
+  return solutions;
+}
+
+SolveResult StringConstraintSolver::solve(const Constraint& constraint) const {
+  SolveResult result;
+
+  Stopwatch build_timer;
+  const qubo::QuboModel model = build(constraint, options_);
+  result.build_seconds = build_timer.elapsed_seconds();
+  result.num_variables = model.num_variables();
+  result.num_interactions = model.num_interactions();
+
+  Stopwatch sample_timer;
+  result.samples = sampler_->sample(model);
+  result.sample_seconds = sample_timer.elapsed_seconds();
+  require(!result.samples.empty(),
+          "StringConstraintSolver::solve: sampler returned no samples");
+
+  // Decode the best-energy sample first; when several states tie at the
+  // bottom of the landscape (common for class encodings), fall through the
+  // sample set in energy order and keep the first decoding that passes the
+  // classical consistency check — the paper's "transformed back to the
+  // original theory, and checked for consistency" step applied per sample.
+  if (const auto* includes = std::get_if<Includes>(&constraint)) {
+    result.position = decode_includes_position(result.samples[0].bits);
+    result.energy = result.samples[0].energy;
+    result.satisfied = verify_position(*includes, result.position);
+    for (std::size_t s = 1; !result.satisfied && s < result.samples.size();
+         ++s) {
+      const auto position = decode_includes_position(result.samples[s].bits);
+      if (verify_position(*includes, position)) {
+        result.position = position;
+        result.energy = result.samples[s].energy;
+        result.satisfied = true;
+      }
+    }
+    return result;
+  }
+
+  // String-producing constraints: the first 7 * length bits are the string;
+  // one-hot regex models append selector variables after them, which the
+  // decoder must ignore.
+  const std::size_t string_bits = constraint_num_variables(constraint);
+  auto decode = [&](const anneal::Sample& sample) {
+    return strenc::decode_string(std::span(sample.bits)
+                                     .subspan(0, std::min(string_bits,
+                                                          sample.bits.size())));
+  };
+  result.text = decode(result.samples[0]);
+  result.energy = result.samples[0].energy;
+  result.satisfied = verify_string(constraint, *result.text);
+  for (std::size_t s = 1; !result.satisfied && s < result.samples.size();
+       ++s) {
+    const std::string candidate = decode(result.samples[s]);
+    if (verify_string(constraint, candidate)) {
+      result.text = candidate;
+      result.energy = result.samples[s].energy;
+      result.satisfied = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace qsmt::strqubo

@@ -1,0 +1,96 @@
+// StringConstraintSolver: the public facade of the library.
+//
+// Implements the paper's Figure 1 pipeline end to end: constraint ->
+// binary variables -> QUBO matrix -> (simulated/quantum/embedded) annealer
+// -> decode -> classical consistency check.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "anneal/sampler.hpp"
+#include "strqubo/builders.hpp"
+#include "strqubo/constraint.hpp"
+
+namespace qsmt::strqubo {
+
+struct SolveResult {
+  /// Decoded string for string-producing constraints.
+  std::optional<std::string> text;
+  /// Decoded first-occurrence position for Includes (nullopt = "none
+  /// selected", i.e. the annealer asserts the substring does not occur).
+  std::optional<std::size_t> position;
+  /// Classical verification verdict on the decoded answer.
+  bool satisfied = false;
+  /// Energy of the sample the answer was decoded from (the lowest-energy
+  /// sample whose decoding verifies, else the overall lowest).
+  double energy = 0.0;
+  /// Number of QUBO variables in the built model.
+  std::size_t num_variables = 0;
+  /// Number of quadratic terms in the built model.
+  std::size_t num_interactions = 0;
+  /// Wall-clock seconds spent building the model / sampling.
+  double build_seconds = 0.0;
+  double sample_seconds = 0.0;
+  /// All samples, best-first (aggregated).
+  anneal::SampleSet samples;
+};
+
+class StringConstraintSolver {
+ public:
+  /// `sampler` must outlive the solver.
+  explicit StringConstraintSolver(const anneal::Sampler& sampler,
+                                  BuildOptions options = {});
+
+  /// Builds the constraint's QUBO, samples it, decodes and verifies the
+  /// best sample.
+  SolveResult solve(const Constraint& constraint) const;
+
+  /// Builds without solving (for inspection and the Table 1 harness).
+  qubo::QuboModel build_model(const Constraint& constraint) const;
+
+  const BuildOptions& options() const noexcept { return options_; }
+  const anneal::Sampler& sampler() const noexcept { return *sampler_; }
+
+ private:
+  const anneal::Sampler* sampler_;
+  BuildOptions options_;
+};
+
+/// Decodes the best sample of an Includes model: the selected position, or
+/// nullopt when no position variable is set. When several are set (one-hot
+/// penalty violated), the smallest selected index is reported.
+std::optional<std::size_t> decode_includes_position(
+    std::span<const std::uint8_t> bits);
+
+/// Solves with escalating annealer effort: runs the simulated annealer at a
+/// doubling sweep budget (initial_sweeps, 2x, 4x, ...) until the decoded
+/// answer verifies or max_attempts budgets were tried — the retry loop a
+/// production deployment wraps around an incomplete sampler. Each attempt
+/// uses a fresh RNG stream, so retries are genuinely independent.
+struct RetryParams {
+  std::size_t num_reads = 48;
+  std::size_t initial_sweeps = 64;
+  std::size_t max_attempts = 4;
+  std::uint64_t seed = 0;
+};
+struct RetryResult {
+  SolveResult result;          ///< The final (first verified) attempt.
+  std::size_t attempts = 0;    ///< Budgets tried.
+  std::size_t final_sweeps = 0;
+};
+RetryResult solve_with_retries(const Constraint& constraint,
+                               const RetryParams& params = {},
+                               const BuildOptions& options = {});
+
+/// Enumerates distinct verified solutions of a string-producing constraint
+/// from a sample set, best-energy first, up to `limit`. Open constraints
+/// (palindromes, regex, substring placement) often have many satisfying
+/// strings and a multi-read annealer visits several per call — this is how
+/// the suite exposes them (the paper: annealing "would produce a different
+/// string every time, while still obeying the given constraints").
+std::vector<std::string> enumerate_solutions(const Constraint& constraint,
+                                             const anneal::SampleSet& samples,
+                                             std::size_t limit = 16);
+
+}  // namespace qsmt::strqubo

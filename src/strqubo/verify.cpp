@@ -1,0 +1,121 @@
+#include "strqubo/verify.hpp"
+
+#include <algorithm>
+
+#include "regex/nfa.hpp"
+#include "strenc/ascii7.hpp"
+
+namespace qsmt::strqubo {
+
+std::string replace_all_chars(std::string input, char from, char to) {
+  std::replace(input.begin(), input.end(), from, to);
+  return input;
+}
+
+std::string replace_first_char(std::string input, char from, char to) {
+  const auto at = input.find(from);
+  if (at != std::string::npos) input[at] = to;
+  return input;
+}
+
+std::optional<std::string> expected_string(const Constraint& constraint) {
+  return std::visit(
+      [](const auto& c) -> std::optional<std::string> {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, Equality>) {
+          return c.target;
+        } else if constexpr (std::is_same_v<T, Concat>) {
+          return c.lhs + c.rhs;
+        } else if constexpr (std::is_same_v<T, ReplaceAll>) {
+          return replace_all_chars(c.input, c.from, c.to);
+        } else if constexpr (std::is_same_v<T, Replace>) {
+          return replace_first_char(c.input, c.from, c.to);
+        } else if constexpr (std::is_same_v<T, Reverse>) {
+          return std::string(c.input.rbegin(), c.input.rend());
+        } else if constexpr (std::is_same_v<T, Length>) {
+          // Paper-faithful bit-prefix form decodes to L DEL characters
+          // followed by NULs (all-ones then all-zeros bit blocks).
+          std::string s(c.string_length, '\0');
+          std::fill_n(s.begin(), c.desired_length, '\x7f');
+          return s;
+        } else {
+          return std::nullopt;
+        }
+      },
+      constraint);
+}
+
+bool verify_string(const Constraint& constraint, std::string_view candidate) {
+  return std::visit(
+      [&](const auto& c) -> bool {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, Equality>) {
+          return candidate == c.target;
+        } else if constexpr (std::is_same_v<T, Concat>) {
+          return candidate == c.lhs + c.rhs;
+        } else if constexpr (std::is_same_v<T, SubstringMatch>) {
+          return candidate.size() == c.length &&
+                 candidate.find(c.substring) != std::string_view::npos;
+        } else if constexpr (std::is_same_v<T, Includes>) {
+          return false;  // Produces a position; see verify_position.
+        } else if constexpr (std::is_same_v<T, IndexOf>) {
+          return candidate.size() == c.length &&
+                 candidate.compare(c.index, c.substring.size(), c.substring) ==
+                     0;
+        } else if constexpr (std::is_same_v<T, Length>) {
+          if (candidate.size() != c.string_length) return false;
+          for (std::size_t i = 0; i < candidate.size(); ++i) {
+            const char want = i < c.desired_length ? '\x7f' : '\0';
+            if (candidate[i] != want) return false;
+          }
+          return true;
+        } else if constexpr (std::is_same_v<T, ReplaceAll>) {
+          return candidate == replace_all_chars(c.input, c.from, c.to);
+        } else if constexpr (std::is_same_v<T, Replace>) {
+          return candidate == replace_first_char(c.input, c.from, c.to);
+        } else if constexpr (std::is_same_v<T, Reverse>) {
+          return candidate == std::string(c.input.rbegin(), c.input.rend());
+        } else if constexpr (std::is_same_v<T, Palindrome>) {
+          if (candidate.size() != c.length) return false;
+          return std::equal(candidate.begin(),
+                            candidate.begin() +
+                                static_cast<std::ptrdiff_t>(candidate.size() / 2),
+                            candidate.rbegin());
+        } else if constexpr (std::is_same_v<T, RegexMatch>) {
+          return candidate.size() == c.length &&
+                 regex::full_match(c.pattern, candidate);
+        } else if constexpr (std::is_same_v<T, CharAt>) {
+          return candidate.size() == c.length && c.index < candidate.size() &&
+                 candidate[c.index] == c.ch;
+        } else if constexpr (std::is_same_v<T, NotContains>) {
+          return candidate.size() == c.length &&
+                 candidate.find(c.substring) == std::string_view::npos;
+        } else {
+          static_assert(std::is_same_v<T, BoundedLength>);
+          if (candidate.size() != c.capacity) return false;
+          // Content length = position of the first NUL; everything after
+          // must be NUL padding.
+          std::size_t content = candidate.size();
+          for (std::size_t i = 0; i < candidate.size(); ++i) {
+            if (candidate[i] == '\0') {
+              content = i;
+              break;
+            }
+          }
+          for (std::size_t i = content; i < candidate.size(); ++i) {
+            if (candidate[i] != '\0') return false;
+          }
+          return content >= c.min_length && content <= c.max_length;
+        }
+      },
+      constraint);
+}
+
+bool verify_position(const Includes& constraint,
+                     std::optional<std::size_t> position) {
+  const auto found = constraint.text.find(constraint.substring);
+  if (found == std::string::npos) return !position.has_value();
+  return position.has_value() && *position == found;
+}
+
+}  // namespace qsmt::strqubo

@@ -1,0 +1,41 @@
+// Classical ground-truth checkers for every constraint.
+//
+// The annealer is a heuristic; a production solver must confirm that a
+// decoded sample actually satisfies the original constraint (the
+// "transformed back to the original theory, and checked for consistency"
+// step of the SMT loop the paper describes in §1). These checkers are also
+// the oracles for the test suite and the baseline solver.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "strqubo/constraint.hpp"
+
+namespace qsmt::strqubo {
+
+/// True when `candidate` satisfies a string-producing constraint.
+/// For Includes (which produces a position, not a string) this returns
+/// false; use verify_position instead.
+bool verify_string(const Constraint& constraint, std::string_view candidate);
+
+/// True when `position` is the correct answer for an Includes constraint:
+/// the first index where the substring occurs. std::nullopt represents
+/// "no occurrence".
+bool verify_position(const Includes& constraint,
+                     std::optional<std::size_t> position);
+
+/// The unique expected output for constraints that have one (equality,
+/// concat, replace, replaceAll, reverse, and the paper-faithful length
+/// formulation); std::nullopt for constraints with many valid outputs.
+std::optional<std::string> expected_string(const Constraint& constraint);
+
+/// Classical replaceAll used by both the builder and the verifier.
+std::string replace_all_chars(std::string input, char from, char to);
+
+/// Classical first-occurrence replace.
+std::string replace_first_char(std::string input, char from, char to);
+
+}  // namespace qsmt::strqubo

@@ -1,0 +1,24 @@
+// Precondition checking for public API boundaries.
+//
+// Following the C++ Core Guidelines (I.5 "State preconditions" and
+// E.12/E.13 on exceptions), public entry points validate their arguments
+// and throw std::invalid_argument / std::out_of_range on violation rather
+// than invoking UB. Hot inner loops use plain assert() instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qsmt {
+
+/// Throws std::invalid_argument with `msg` when `cond` is false.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+/// Throws std::out_of_range with `msg` when `cond` is false.
+inline void require_in_range(bool cond, const std::string& msg) {
+  if (!cond) throw std::out_of_range(msg);
+}
+
+}  // namespace qsmt

@@ -1,0 +1,15 @@
+#include "util/stopwatch.hpp"
+
+namespace qsmt {
+
+double Stopwatch::elapsed_seconds() const noexcept {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+std::int64_t Stopwatch::elapsed_us() const noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               start_)
+      .count();
+}
+
+}  // namespace qsmt

@@ -1,0 +1,27 @@
+// Monotonic wall-clock stopwatch used by benches and solver statistics.
+#pragma once
+
+#include <chrono>
+
+namespace qsmt {
+
+/// Starts running on construction; `elapsed_*()` reads do not stop it.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  double elapsed_seconds() const noexcept;
+
+  /// Microseconds since construction or the last reset().
+  std::int64_t elapsed_us() const noexcept;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qsmt

@@ -1,0 +1,163 @@
+#include "workload/generator.hpp"
+
+#include "util/require.hpp"
+
+namespace qsmt::workload {
+
+std::string kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kEquality:
+      return "equality";
+    case Kind::kConcat:
+      return "concat";
+    case Kind::kSubstringMatch:
+      return "substring-match";
+    case Kind::kIncludes:
+      return "includes";
+    case Kind::kIndexOf:
+      return "index-of";
+    case Kind::kReplaceAll:
+      return "replace-all";
+    case Kind::kReplace:
+      return "replace";
+    case Kind::kReverse:
+      return "reverse";
+    case Kind::kPalindrome:
+      return "palindrome";
+    case Kind::kRegexMatch:
+      return "regex-match";
+    case Kind::kCharAt:
+      return "char-at";
+    case Kind::kNotContains:
+      return "not-contains";
+    case Kind::kAny:
+      return "any";
+  }
+  return "?";
+}
+
+const std::vector<Kind>& all_kinds() {
+  static const std::vector<Kind> kKinds{
+      Kind::kEquality,   Kind::kConcat,  Kind::kSubstringMatch,
+      Kind::kIncludes,   Kind::kIndexOf, Kind::kReplaceAll,
+      Kind::kReplace,    Kind::kReverse, Kind::kPalindrome,
+      Kind::kRegexMatch, Kind::kCharAt,  Kind::kNotContains};
+  return kKinds;
+}
+
+Generator::Generator(GeneratorParams params)
+    : params_(params), rng_(params.seed, 0x6e6e72ULL) {
+  require(!params_.alphabet.empty(), "Generator: alphabet must be non-empty");
+  require(params_.min_length >= 1 && params_.min_length <= params_.max_length,
+          "Generator: need 1 <= min_length <= max_length");
+}
+
+char Generator::random_char() {
+  return params_.alphabet[rng_.below(params_.alphabet.size())];
+}
+
+std::size_t Generator::random_length() {
+  return params_.min_length +
+         rng_.below(params_.max_length - params_.min_length + 1);
+}
+
+std::string Generator::random_string() {
+  std::string s(random_length(), '\0');
+  for (char& c : s) c = random_char();
+  return s;
+}
+
+strqubo::Constraint Generator::next(Kind kind) {
+  if (kind == Kind::kAny) {
+    kind = all_kinds()[rng_.below(all_kinds().size())];
+  }
+  switch (kind) {
+    case Kind::kEquality:
+      return strqubo::Equality{random_string()};
+    case Kind::kConcat:
+      return strqubo::Concat{random_string(), random_string()};
+    case Kind::kSubstringMatch: {
+      const std::string text = random_string();
+      const std::size_t sub_len = 1 + rng_.below(text.size());
+      const std::size_t at = rng_.below(text.size() - sub_len + 1);
+      return strqubo::SubstringMatch{text.size(), text.substr(at, sub_len)};
+    }
+    case Kind::kIncludes: {
+      std::string text = random_string();
+      // Half the time plant the needle, half the time likely-miss.
+      std::string needle;
+      if (rng_.coin()) {
+        const std::size_t sub_len = 1 + rng_.below(text.size());
+        const std::size_t at = rng_.below(text.size() - sub_len + 1);
+        needle = text.substr(at, sub_len);
+      } else {
+        needle.push_back(random_char());
+        needle.push_back(random_char());
+        if (needle.size() > text.size()) text += random_string();
+      }
+      return strqubo::Includes{text, needle};
+    }
+    case Kind::kIndexOf: {
+      const std::size_t length = random_length();
+      const std::size_t sub_len = 1 + rng_.below(length);
+      const std::size_t index = rng_.below(length - sub_len + 1);
+      std::string sub(sub_len, '\0');
+      for (char& c : sub) c = random_char();
+      return strqubo::IndexOf{length, sub, index};
+    }
+    case Kind::kReplaceAll: {
+      const std::string input = random_string();
+      return strqubo::ReplaceAll{input, input[rng_.below(input.size())],
+                                 random_char()};
+    }
+    case Kind::kReplace: {
+      const std::string input = random_string();
+      return strqubo::Replace{input, input[rng_.below(input.size())],
+                              random_char()};
+    }
+    case Kind::kReverse:
+      return strqubo::Reverse{random_string()};
+    case Kind::kPalindrome:
+      return strqubo::Palindrome{random_length()};
+    case Kind::kRegexMatch: {
+      // literal [class]+ literal — always satisfiable at length >= 3.
+      std::string klass;
+      klass.push_back(random_char());
+      char second = random_char();
+      if (second == klass[0]) second = second == 'a' ? 'b' : 'a';
+      klass.push_back(second);
+      std::string pattern;
+      pattern.push_back(random_char());
+      pattern += "[" + klass + "]+";
+      pattern.push_back(random_char());
+      const std::size_t length =
+          std::max<std::size_t>(3, random_length());
+      return strqubo::RegexMatch{pattern, length};
+    }
+    case Kind::kCharAt: {
+      const std::size_t length = random_length();
+      return strqubo::CharAt{length, rng_.below(length), random_char()};
+    }
+    case Kind::kNotContains: {
+      const std::size_t length = random_length();
+      std::string forbidden;
+      forbidden.push_back(random_char());
+      if (rng_.coin()) forbidden.push_back(random_char());
+      return strqubo::NotContains{length, forbidden};
+    }
+    case Kind::kAny:
+      break;
+  }
+  throw std::invalid_argument("Generator::next: unreachable kind");
+}
+
+std::vector<strqubo::Constraint> Generator::suite(std::size_t count) {
+  std::vector<strqubo::Constraint> instances;
+  instances.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    instances.push_back(next(all_kinds()[i % all_kinds().size()]));
+  }
+  return instances;
+}
+
+}  // namespace qsmt::workload

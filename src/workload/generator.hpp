@@ -1,0 +1,73 @@
+// Seeded random constraint-instance generation.
+//
+// The SMT-LIB initiative the paper describes (§2.1.1) exists to provide
+// libraries of benchmarks; this module is the equivalent for the string
+// fragment implemented here: reproducible random instances of every
+// operation, used by the property-based test suites, the benchmark-suite
+// bench (E11), and as fuzz input for the SMT front end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "strqubo/constraint.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::workload {
+
+struct GeneratorParams {
+  std::size_t min_length = 2;
+  std::size_t max_length = 8;
+  /// Alphabet random strings are drawn from.
+  std::string alphabet = "abcdefghijklmnopqrstuvwxyz";
+  std::uint64_t seed = 0;
+};
+
+/// Which operation family to draw. kAny picks uniformly from all of them.
+enum class Kind {
+  kEquality,
+  kConcat,
+  kSubstringMatch,
+  kIncludes,
+  kIndexOf,
+  kReplaceAll,
+  kReplace,
+  kReverse,
+  kPalindrome,
+  kRegexMatch,
+  kCharAt,
+  kNotContains,
+  kAny,
+};
+
+/// Short name for reports ("equality", "regex-match", ...).
+std::string kind_name(Kind kind);
+
+/// All concrete kinds (everything except kAny), in declaration order.
+const std::vector<Kind>& all_kinds();
+
+class Generator {
+ public:
+  explicit Generator(GeneratorParams params = {});
+
+  /// Draws one random instance of `kind`. Every generated instance is
+  /// satisfiable by construction (the generator plants a witness).
+  strqubo::Constraint next(Kind kind = Kind::kAny);
+
+  /// Draws `count` instances cycling through all kinds (a balanced suite).
+  std::vector<strqubo::Constraint> suite(std::size_t count);
+
+  /// A random string over the configured alphabet with length in
+  /// [min_length, max_length].
+  std::string random_string();
+
+ private:
+  char random_char();
+  std::size_t random_length();
+
+  GeneratorParams params_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace qsmt::workload

@@ -1,0 +1,144 @@
+#include "workload/smt2_render.hpp"
+
+#include <sstream>
+
+#include "regex/pattern.hpp"
+
+namespace qsmt::workload {
+
+namespace {
+
+/// SMT-LIB string literal with "" quote doubling.
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    out.push_back(c);
+    if (c == '"') out.push_back('"');
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string length_fact(const std::string& variable, std::size_t length) {
+  std::ostringstream out;
+  out << "(assert (= (str.len " << variable << ") " << length << "))\n";
+  return out.str();
+}
+
+/// RegLan term for one pattern element (without its '+').
+std::string element_term(const regex::Element& element) {
+  if (!element.is_class || element.chars.size() == 1) {
+    return "(str.to_re " + quoted(std::string(1, element.chars[0])) + ")";
+  }
+  std::string out = "(re.union";
+  for (char c : element.chars) {
+    out += " (str.to_re " + quoted(std::string(1, c)) + ")";
+  }
+  out += ")";
+  return out;
+}
+
+std::string regex_term(const std::string& pattern) {
+  const regex::Pattern parsed = regex::parse_pattern(pattern);
+  std::vector<std::string> parts;
+  parts.reserve(parsed.elements.size());
+  for (const regex::Element& element : parsed.elements) {
+    std::string term = element_term(element);
+    switch (element.quantifier) {
+      case regex::Quantifier::kOne:
+        break;
+      case regex::Quantifier::kPlus:
+        term = "(re.+ " + term + ")";
+        break;
+      case regex::Quantifier::kStar:
+        term = "(re.* " + term + ")";
+        break;
+      case regex::Quantifier::kOpt:
+        term = "(re.opt " + term + ")";
+        break;
+    }
+    parts.push_back(std::move(term));
+  }
+  if (parts.size() == 1) return parts[0];
+  std::string out = "(re.++";
+  for (const std::string& part : parts) out += " " + part;
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::string> to_smt2_asserts(
+    const strqubo::Constraint& constraint, const std::string& variable) {
+  using namespace strqubo;
+  std::ostringstream out;
+  const bool ok = std::visit(
+      [&](const auto& c) -> bool {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, Equality>) {
+          out << "(assert (= " << variable << " " << quoted(c.target)
+              << "))\n";
+        } else if constexpr (std::is_same_v<T, Concat>) {
+          out << "(assert (= " << variable << " (str.++ " << quoted(c.lhs)
+              << " " << quoted(c.rhs) << ")))\n";
+        } else if constexpr (std::is_same_v<T, SubstringMatch>) {
+          out << length_fact(variable, c.length);
+          out << "(assert (str.contains " << variable << " "
+              << quoted(c.substring) << "))\n";
+        } else if constexpr (std::is_same_v<T, Includes>) {
+          return false;  // Ground position query; no free-variable form.
+        } else if constexpr (std::is_same_v<T, IndexOf>) {
+          out << length_fact(variable, c.length);
+          out << "(assert (= (str.indexof " << variable << " "
+              << quoted(c.substring) << " 0) " << c.index << "))\n";
+        } else if constexpr (std::is_same_v<T, Length>) {
+          return false;  // The paper's bit-prefix form has no SMT-LIB twin.
+        } else if constexpr (std::is_same_v<T, ReplaceAll>) {
+          out << "(assert (= " << variable << " (str.replace_all "
+              << quoted(c.input) << " " << quoted(std::string(1, c.from))
+              << " " << quoted(std::string(1, c.to)) << ")))\n";
+        } else if constexpr (std::is_same_v<T, Replace>) {
+          out << "(assert (= " << variable << " (str.replace "
+              << quoted(c.input) << " " << quoted(std::string(1, c.from))
+              << " " << quoted(std::string(1, c.to)) << ")))\n";
+        } else if constexpr (std::is_same_v<T, Reverse>) {
+          out << "(assert (= " << variable << " (str.rev " << quoted(c.input)
+              << ")))\n";
+        } else if constexpr (std::is_same_v<T, Palindrome>) {
+          out << length_fact(variable, c.length);
+          out << "(assert (qsmt.is_palindrome " << variable << "))\n";
+        } else if constexpr (std::is_same_v<T, RegexMatch>) {
+          out << length_fact(variable, c.length);
+          out << "(assert (str.in_re " << variable << " "
+              << regex_term(c.pattern) << "))\n";
+        } else if constexpr (std::is_same_v<T, CharAt>) {
+          out << length_fact(variable, c.length);
+          out << "(assert (= (str.at " << variable << " " << c.index << ") "
+              << quoted(std::string(1, c.ch)) << "))\n";
+        } else if constexpr (std::is_same_v<T, NotContains>) {
+          out << length_fact(variable, c.length);
+          out << "(assert (not (str.contains " << variable << " "
+              << quoted(c.substring) << ")))\n";
+        } else {
+          // BoundedLength: standard SMT-LIB has no NUL-padded-buffer form.
+          static_assert(std::is_same_v<T, BoundedLength>);
+          return false;
+        }
+        return true;
+      },
+      constraint);
+  if (!ok) return std::nullopt;
+  return out.str();
+}
+
+std::optional<std::string> to_smt2(const strqubo::Constraint& constraint,
+                                   const std::string& variable) {
+  const auto asserts = to_smt2_asserts(constraint, variable);
+  if (!asserts) return std::nullopt;
+  std::ostringstream out;
+  out << "(set-logic QF_S)\n(declare-const " << variable << " String)\n"
+      << *asserts << "(check-sat)\n(get-model)\n";
+  return out.str();
+}
+
+}  // namespace qsmt::workload

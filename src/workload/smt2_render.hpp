@@ -1,0 +1,27 @@
+// Rendering constraint instances as SMT-LIB 2 scripts.
+//
+// Turns generated instances into the .smt2 benchmark format (paper §2.1.1),
+// closing the loop generator -> script -> parser -> compiler -> solver.
+// Every supported constraint renders to a (declare-const)/(assert ...)
+// script ending in (check-sat)(get-model).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "strqubo/constraint.hpp"
+
+namespace qsmt::workload {
+
+/// Renders one constraint as a complete SMT-LIB script over variable
+/// `variable`. Returns std::nullopt for Includes (a ground position query
+/// with no free string variable in the SMT fragment used here).
+std::optional<std::string> to_smt2(const strqubo::Constraint& constraint,
+                                   const std::string& variable = "x");
+
+/// The assert lines only (no declare-const / check-sat), for embedding
+/// several constraints in one script. Same Includes caveat.
+std::optional<std::string> to_smt2_asserts(
+    const strqubo::Constraint& constraint, const std::string& variable);
+
+}  // namespace qsmt::workload

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qubo/adjacency.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::qubo {
+namespace {
+
+QuboModel random_model(std::size_t n, double density, Xoshiro256& rng) {
+  QuboModel model(n);
+  model.set_offset(rng.uniform() - 0.5);
+  for (std::size_t i = 0; i < n; ++i) {
+    model.add_linear(i, rng.uniform() * 4.0 - 2.0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.uniform() < density) {
+        model.add_quadratic(i, j, rng.uniform() * 4.0 - 2.0);
+      }
+    }
+  }
+  return model;
+}
+
+std::vector<std::uint8_t> random_bits(std::size_t n, Xoshiro256& rng) {
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.coin();
+  return bits;
+}
+
+TEST(QuboAdjacency, EnergyMatchesModel) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const QuboModel model = random_model(12, 0.4, rng);
+    const QuboAdjacency adjacency(model);
+    for (int a = 0; a < 10; ++a) {
+      const auto bits = random_bits(12, rng);
+      EXPECT_NEAR(adjacency.energy(bits), model.energy(bits), 1e-9);
+    }
+  }
+}
+
+TEST(QuboAdjacency, FlipDeltaMatchesEnergyDifference) {
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const QuboModel model = random_model(10, 0.5, rng);
+    const QuboAdjacency adjacency(model);
+    auto bits = random_bits(10, rng);
+    for (std::size_t i = 0; i < 10; ++i) {
+      const double before = adjacency.energy(bits);
+      const double delta = adjacency.flip_delta(bits, i);
+      bits[i] ^= 1;
+      const double after = adjacency.energy(bits);
+      bits[i] ^= 1;
+      EXPECT_NEAR(after - before, delta, 1e-9);
+    }
+  }
+}
+
+TEST(QuboAdjacency, LocalFieldSumsNeighbors) {
+  QuboModel model(3);
+  model.add_linear(0, 1.0);
+  model.add_quadratic(0, 1, 2.0);
+  model.add_quadratic(0, 2, -3.0);
+  const QuboAdjacency adjacency(model);
+
+  std::vector<std::uint8_t> bits{0, 1, 1};
+  EXPECT_DOUBLE_EQ(adjacency.local_field(bits, 0), 1.0 + 2.0 - 3.0);
+  bits[2] = 0;
+  EXPECT_DOUBLE_EQ(adjacency.local_field(bits, 0), 3.0);
+}
+
+TEST(QuboAdjacency, NeighborsAreSortedAndComplete) {
+  QuboModel model(4);
+  model.add_quadratic(2, 0, 1.0);
+  model.add_quadratic(0, 3, 2.0);
+  model.add_quadratic(0, 1, 3.0);
+  const QuboAdjacency adjacency(model);
+
+  const auto nb = adjacency.neighbors(0);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0].index, 1u);
+  EXPECT_EQ(nb[1].index, 2u);
+  EXPECT_EQ(nb[2].index, 3u);
+  EXPECT_DOUBLE_EQ(nb[0].coefficient, 3.0);
+  EXPECT_DOUBLE_EQ(nb[1].coefficient, 1.0);
+  EXPECT_DOUBLE_EQ(nb[2].coefficient, 2.0);
+}
+
+TEST(QuboAdjacency, ZeroCoefficientEdgesAreDropped) {
+  QuboModel model(3);
+  model.add_quadratic(0, 1, 1.0);
+  model.add_quadratic(0, 1, -1.0);
+  const QuboAdjacency adjacency(model);
+  EXPECT_EQ(adjacency.neighbors(0).size(), 0u);
+  EXPECT_EQ(adjacency.neighbors(1).size(), 0u);
+}
+
+TEST(QuboAdjacency, SnapshotIgnoresLaterModelEdits) {
+  QuboModel model(2);
+  model.add_linear(0, 1.0);
+  const QuboAdjacency adjacency(model);
+  model.add_linear(0, 100.0);
+  EXPECT_DOUBLE_EQ(adjacency.linear(0), 1.0);
+}
+
+TEST(QuboAdjacency, EnergySizeMismatchThrows) {
+  QuboModel model(3);
+  const QuboAdjacency adjacency(model);
+  const std::vector<std::uint8_t> bits{1, 0};
+  EXPECT_THROW(adjacency.energy(bits), std::invalid_argument);
+}
+
+TEST(QuboAdjacency, PreservesOffset) {
+  QuboModel model(1);
+  model.set_offset(4.5);
+  const QuboAdjacency adjacency(model);
+  EXPECT_DOUBLE_EQ(adjacency.offset(), 4.5);
+  const std::vector<std::uint8_t> bits{0};
+  EXPECT_DOUBLE_EQ(adjacency.energy(bits), 4.5);
+}
+
+}  // namespace
+}  // namespace qsmt::qubo

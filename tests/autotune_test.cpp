@@ -1,0 +1,141 @@
+// Tests for sweep auto-tuning and solution enumeration.
+#include <gtest/gtest.h>
+
+#include "anneal/autotune.hpp"
+#include "anneal/simulated_annealer.hpp"
+#include "strenc/ascii7.hpp"
+#include "strqubo/solver.hpp"
+#include "strqubo/verify.hpp"
+
+namespace qsmt {
+namespace {
+
+anneal::SampleJudge equality_judge(const std::string& target) {
+  return [target](std::span<const std::uint8_t> bits) {
+    return strenc::decode_string(bits) == target;
+  };
+}
+
+TEST(TuneSweeps, ValidatesArguments) {
+  qubo::QuboModel model(4);
+  EXPECT_THROW(anneal::tune_sweeps(model, nullptr), std::invalid_argument);
+  anneal::TuneParams p;
+  p.initial_sweeps = 0;
+  EXPECT_THROW(anneal::tune_sweeps(model, equality_judge(""), p),
+               std::invalid_argument);
+  p = {};
+  p.target_success = 0.0;
+  EXPECT_THROW(anneal::tune_sweeps(model, equality_judge(""), p),
+               std::invalid_argument);
+  p = {};
+  p.pilot_reads = 0;
+  EXPECT_THROW(anneal::tune_sweeps(model, equality_judge(""), p),
+               std::invalid_argument);
+}
+
+TEST(TuneSweeps, EasyModelMeetsTargetEarly) {
+  const auto model = strqubo::build_equality("ab");
+  anneal::TuneParams p;
+  p.seed = 1;
+  const auto result = anneal::tune_sweeps(model, equality_judge("ab"), p);
+  EXPECT_TRUE(result.target_met);
+  EXPECT_GE(result.success, p.target_success);
+  EXPECT_LE(result.sweeps, 128u);  // Diagonal models need very few sweeps.
+  EXPECT_GE(result.probes, 1u);
+}
+
+TEST(TuneSweeps, ImpossibleJudgeExhaustsBudget) {
+  const auto model = strqubo::build_equality("ab");
+  anneal::TuneParams p;
+  p.initial_sweeps = 8;
+  p.max_sweeps = 32;
+  const auto result = anneal::tune_sweeps(
+      model, [](std::span<const std::uint8_t>) { return false; }, p);
+  EXPECT_FALSE(result.target_met);
+  EXPECT_EQ(result.sweeps, 32u);
+  EXPECT_DOUBLE_EQ(result.success, 0.0);
+  EXPECT_EQ(result.probes, 3u);  // 8 -> 16 -> 32.
+}
+
+TEST(TuneSweeps, HarderTargetNeedsMoreSweeps) {
+  // A longer equality target needs more sweeps for per-read success; the
+  // tuner's chosen budget must be monotone-ish in difficulty.
+  anneal::TuneParams p;
+  p.seed = 3;
+  p.initial_sweeps = 1;
+  p.target_success = 0.9;
+  const auto easy = anneal::tune_sweeps(strqubo::build_equality("ab"),
+                                        equality_judge("ab"), p);
+  const auto hard = anneal::tune_sweeps(
+      strqubo::build_equality("a longer target string"),
+      equality_judge("a longer target string"), p);
+  EXPECT_TRUE(easy.target_met);
+  EXPECT_TRUE(hard.target_met);
+  EXPECT_GE(hard.sweeps, easy.sweeps);
+}
+
+TEST(TuneSweeps, DeterministicInSeed) {
+  const auto model = strqubo::build_palindrome(4);
+  const auto judge = [](std::span<const std::uint8_t> bits) {
+    const std::string s = strenc::decode_string(bits);
+    return strqubo::verify_string(strqubo::Palindrome{4}, s);
+  };
+  anneal::TuneParams p;
+  p.seed = 11;
+  const auto a = anneal::tune_sweeps(model, judge, p);
+  const auto b = anneal::tune_sweeps(model, judge, p);
+  EXPECT_EQ(a.sweeps, b.sweeps);
+  EXPECT_DOUBLE_EQ(a.success, b.success);
+}
+
+TEST(EnumerateSolutions, DistinctVerifiedBestFirst) {
+  anneal::SimulatedAnnealerParams p;
+  p.num_reads = 64;
+  p.num_sweeps = 256;
+  p.seed = 5;
+  const anneal::SimulatedAnnealer annealer(p);
+  const strqubo::Constraint constraint = strqubo::Palindrome{4};
+  const auto samples = annealer.sample(strqubo::build(constraint));
+
+  const auto solutions = strqubo::enumerate_solutions(constraint, samples);
+  ASSERT_GT(solutions.size(), 1u);  // Many reads -> several palindromes.
+  std::set<std::string> unique(solutions.begin(), solutions.end());
+  EXPECT_EQ(unique.size(), solutions.size());
+  for (const auto& s : solutions) {
+    EXPECT_TRUE(strqubo::verify_string(constraint, s)) << s;
+  }
+}
+
+TEST(EnumerateSolutions, RespectsLimit) {
+  anneal::SimulatedAnnealerParams p;
+  p.num_reads = 64;
+  p.num_sweeps = 256;
+  p.seed = 6;
+  const anneal::SimulatedAnnealer annealer(p);
+  const strqubo::Constraint constraint = strqubo::Palindrome{4};
+  const auto samples = annealer.sample(strqubo::build(constraint));
+  EXPECT_LE(strqubo::enumerate_solutions(constraint, samples, 2).size(), 2u);
+}
+
+TEST(EnumerateSolutions, UniqueSolutionConstraints) {
+  anneal::SimulatedAnnealerParams p;
+  p.num_reads = 32;
+  p.num_sweeps = 192;
+  p.seed = 7;
+  const anneal::SimulatedAnnealer annealer(p);
+  const strqubo::Constraint constraint = strqubo::Equality{"only"};
+  const auto samples = annealer.sample(strqubo::build(constraint));
+  const auto solutions = strqubo::enumerate_solutions(constraint, samples);
+  ASSERT_EQ(solutions.size(), 1u);
+  EXPECT_EQ(solutions[0], "only");
+}
+
+TEST(EnumerateSolutions, RejectsIncludes) {
+  anneal::SampleSet samples;
+  EXPECT_THROW(
+      strqubo::enumerate_solutions(strqubo::Includes{"ab", "a"}, samples),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qsmt

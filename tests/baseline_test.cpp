@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "baseline/classical.hpp"
+#include "strqubo/verify.hpp"
+
+namespace qsmt::baseline {
+namespace {
+
+using strqubo::Constraint;
+
+TEST(DirectBaseline, SolvesDeterministicConstraints) {
+  const DirectBaseline solver;
+  EXPECT_EQ(solver.solve(strqubo::Equality{"abc"}).text, "abc");
+  EXPECT_EQ(solver.solve(strqubo::Concat{"ab", "cd"}).text, "abcd");
+  EXPECT_EQ(solver.solve(strqubo::Reverse{"hello"}).text, "olleh");
+  EXPECT_EQ(solver.solve(strqubo::ReplaceAll{"hello", 'l', 'x'}).text,
+            "hexxo");
+  EXPECT_EQ(solver.solve(strqubo::Replace{"hello", 'l', 'x'}).text, "hexlo");
+}
+
+TEST(DirectBaseline, ConstructsWitnessesForOpenConstraints) {
+  const DirectBaseline solver;
+  const std::vector<Constraint> constraints{
+      strqubo::SubstringMatch{6, "hi"}, strqubo::IndexOf{6, "hi", 2},
+      strqubo::Palindrome{5}, strqubo::RegexMatch{"a[bc]+", 5}};
+  for (const auto& c : constraints) {
+    const BaselineResult result = solver.solve(c);
+    EXPECT_TRUE(result.satisfied) << strqubo::describe(c);
+    ASSERT_TRUE(result.text.has_value());
+    EXPECT_TRUE(strqubo::verify_string(c, *result.text));
+  }
+}
+
+TEST(DirectBaseline, SolvesIncludes) {
+  const DirectBaseline solver;
+  const BaselineResult found =
+      solver.solve(strqubo::Includes{"hello world", "world"});
+  EXPECT_EQ(found.position, 6u);
+  EXPECT_TRUE(found.satisfied);
+
+  const BaselineResult missing =
+      solver.solve(strqubo::Includes{"hello", "xyz"});
+  EXPECT_EQ(missing.position, std::nullopt);
+  EXPECT_TRUE(missing.satisfied);
+}
+
+TEST(EnumerationBaseline, SolvesSmallConstraints) {
+  const EnumerationBaseline solver;
+  const std::vector<Constraint> constraints{
+      strqubo::Equality{"cab"}, strqubo::SubstringMatch{4, "cat"},
+      strqubo::Palindrome{4}, strqubo::RegexMatch{"a[bc]+", 4},
+      strqubo::IndexOf{4, "hi", 1}};
+  for (const auto& c : constraints) {
+    const BaselineResult result = solver.solve(c);
+    EXPECT_TRUE(result.satisfied) << strqubo::describe(c);
+    ASSERT_TRUE(result.text.has_value());
+    EXPECT_TRUE(strqubo::verify_string(c, *result.text));
+    EXPECT_GT(result.nodes_explored, 0u);
+  }
+}
+
+TEST(EnumerationBaseline, IncludesCountsPositions) {
+  const EnumerationBaseline solver;
+  const BaselineResult result =
+      solver.solve(strqubo::Includes{"xxcat", "cat"});
+  EXPECT_EQ(result.position, 2u);
+  EXPECT_TRUE(result.satisfied);
+  EXPECT_EQ(result.nodes_explored, 3u);  // Positions 0, 1, 2.
+}
+
+TEST(EnumerationBaseline, FailsOutsideAlphabet) {
+  EnumerationBaseline::Params params;
+  params.alphabet = "ab";
+  params.max_nodes = 10000;
+  const EnumerationBaseline solver(params);
+  const BaselineResult result = solver.solve(strqubo::Equality{"xyz"});
+  EXPECT_FALSE(result.satisfied);
+  EXPECT_FALSE(result.text.has_value());
+  EXPECT_FALSE(result.budget_exhausted);  // Pruning exhausts quickly.
+}
+
+TEST(EnumerationBaseline, BudgetExhaustionIsReported) {
+  EnumerationBaseline::Params params;
+  params.max_nodes = 10;
+  params.prune = false;
+  const EnumerationBaseline solver(params);
+  const BaselineResult result = solver.solve(strqubo::Equality{"zzzz"});
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_FALSE(result.satisfied);
+}
+
+TEST(EnumerationBaseline, PruningReducesWork) {
+  EnumerationBaseline::Params pruned;
+  pruned.alphabet = "abcdefgh";
+  EnumerationBaseline::Params unpruned = pruned;
+  unpruned.prune = false;
+  const auto c = strqubo::Equality{"hhh"};
+  const auto with = EnumerationBaseline(pruned).solve(c);
+  const auto without = EnumerationBaseline(unpruned).solve(c);
+  EXPECT_TRUE(with.satisfied);
+  EXPECT_TRUE(without.satisfied);
+  EXPECT_LT(with.nodes_explored, without.nodes_explored);
+}
+
+TEST(EnumerationBaseline, WorkGrowsWithLength) {
+  EnumerationBaseline::Params params;
+  params.alphabet = "abcd";
+  params.prune = false;
+  const EnumerationBaseline solver(params);
+  // 'd...d' is the last string in enumeration order: full tree explored.
+  const auto n2 = solver.solve(strqubo::Equality{"dd"}).nodes_explored;
+  const auto n3 = solver.solve(strqubo::Equality{"ddd"}).nodes_explored;
+  const auto n4 = solver.solve(strqubo::Equality{"dddd"}).nodes_explored;
+  EXPECT_GT(n3, n2);
+  EXPECT_GT(n4, n3);
+  EXPECT_NEAR(static_cast<double>(n4) / static_cast<double>(n3), 4.0, 1.0);
+}
+
+TEST(EnumerationBaseline, RejectsEmptyAlphabet) {
+  EnumerationBaseline::Params params;
+  params.alphabet = "";
+  EXPECT_THROW(EnumerationBaseline{params}, std::invalid_argument);
+}
+
+TEST(EnumerationBaseline, EmptyTargetLength) {
+  const EnumerationBaseline solver;
+  const BaselineResult result = solver.solve(strqubo::Equality{""});
+  EXPECT_TRUE(result.satisfied);
+  EXPECT_EQ(result.text, "");
+}
+
+TEST(PrefixFeasible, NeverPrunesExtendablePrefixes) {
+  // Property: for every satisfying string over a tiny alphabet, every prefix
+  // of it must be considered feasible.
+  const std::string alphabet = "abc";
+  const std::vector<Constraint> constraints{
+      strqubo::Palindrome{4}, strqubo::SubstringMatch{4, "ab"},
+      strqubo::RegexMatch{"a[bc]+", 4}, strqubo::IndexOf{4, "b", 2},
+      strqubo::Equality{"acab"}};
+  for (const auto& c : constraints) {
+    const std::size_t length = strqubo::constraint_num_variables(c) / 7;
+    // Enumerate all strings of `length` over the alphabet.
+    std::vector<std::string> all{""};
+    for (std::size_t p = 0; p < length; ++p) {
+      std::vector<std::string> next;
+      for (const auto& prefix : all) {
+        for (char ch : alphabet) next.push_back(prefix + ch);
+      }
+      all = std::move(next);
+    }
+    for (const auto& candidate : all) {
+      if (!strqubo::verify_string(c, candidate)) continue;
+      for (std::size_t p = 0; p <= length; ++p) {
+        EXPECT_TRUE(prefix_feasible(c, candidate.substr(0, p), length))
+            << strqubo::describe(c) << " prefix of " << candidate;
+      }
+    }
+  }
+}
+
+TEST(PrefixFeasible, PrunesObviousDeadEnds) {
+  EXPECT_FALSE(prefix_feasible(strqubo::Equality{"abc"}, "x", 3));
+  EXPECT_FALSE(prefix_feasible(strqubo::Palindrome{4}, "abcb", 4));
+  EXPECT_FALSE(prefix_feasible(strqubo::IndexOf{4, "hi", 1}, "ax", 4));
+  EXPECT_FALSE(prefix_feasible(strqubo::SubstringMatch{3, "ab"}, "xxx", 3));
+}
+
+}  // namespace
+}  // namespace qsmt::baseline

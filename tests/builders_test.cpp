@@ -1,0 +1,412 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "anneal/exact.hpp"
+#include "qubo/serialize.hpp"
+#include "strenc/ascii7.hpp"
+#include "strqubo/builders.hpp"
+
+namespace qsmt::strqubo {
+namespace {
+
+using strenc::kBitsPerChar;
+using strenc::variable_index;
+
+// Decodes the ground state of a diagonal-only model: bit = 1 iff q_ii < 0.
+std::string decode_diagonal_ground(const qubo::QuboModel& model) {
+  std::vector<std::uint8_t> bits(model.num_variables());
+  for (std::size_t i = 0; i < model.num_variables(); ++i) {
+    bits[i] = model.linear_terms()[i] < 0.0 ? 1 : 0;
+  }
+  return strenc::decode_string(bits);
+}
+
+TEST(BuildEquality, PaperExampleCharacterA) {
+  // §4.1.2: generating "a" requires a 7x7 matrix with diagonal
+  // [-A, -A, +A, +A, +A, +A, -A].
+  const auto model = build_equality("a");
+  ASSERT_EQ(model.num_variables(), 7u);
+  EXPECT_EQ(model.num_interactions(), 0u);
+  const std::vector<double> expected{-1, -1, 1, 1, 1, 1, -1};
+  EXPECT_EQ(model.linear_terms(), expected);
+}
+
+TEST(BuildEquality, GroundStateDecodesToTarget) {
+  const auto model = build_equality("hello");
+  EXPECT_EQ(model.num_variables(), 35u);
+  EXPECT_EQ(decode_diagonal_ground(model), "hello");
+}
+
+TEST(BuildEquality, StrengthScalesEntries) {
+  BuildOptions options;
+  options.strength = 2.5;
+  const auto model = build_equality("a", options);
+  EXPECT_DOUBLE_EQ(model.linear_terms()[0], -2.5);
+  EXPECT_DOUBLE_EQ(model.linear_terms()[2], 2.5);
+}
+
+TEST(BuildEquality, EmptyStringGivesEmptyModel) {
+  const auto model = build_equality("");
+  EXPECT_EQ(model.num_variables(), 0u);
+}
+
+TEST(BuildEquality, RejectsNonAscii) {
+  EXPECT_THROW(build_equality("\x80"), std::invalid_argument);
+}
+
+TEST(BuildEquality, ExpectedGroundEnergyIsNegPopcount) {
+  // Ground energy = -A per 1-bit of the target encoding.
+  const std::string target = "hi";
+  const auto bits = strenc::encode_string(target);
+  int popcount = 0;
+  for (auto b : bits) popcount += b;
+  EXPECT_DOUBLE_EQ(expected_ground_energy(Equality{target}),
+                   -static_cast<double>(popcount));
+  EXPECT_DOUBLE_EQ(
+      anneal::ExactSolver().ground_energy(build_equality(target)),
+      expected_ground_energy(Equality{target}));
+}
+
+TEST(BuildConcat, EqualsEqualityOfJoinedString) {
+  EXPECT_TRUE(build_concat("he", "llo") == build_equality("hello"));
+}
+
+TEST(BuildSubstringMatch, PaperCatExampleEncodesCcat) {
+  // §4.3.2: 4-character string containing "cat" -> the overwrite semantics
+  // leave "ccat" encoded in the matrix.
+  const auto model = build_substring_match(4, "cat");
+  EXPECT_EQ(decode_diagonal_ground(model), "ccat");
+}
+
+TEST(BuildSubstringMatch, ExactFitIsEquality) {
+  EXPECT_TRUE(build_substring_match(3, "cat") == build_equality("cat"));
+}
+
+TEST(BuildSubstringMatch, OverwriteSemanticsForShortSubstring) {
+  // "hi" in length 6: every start position encoded, later wins -> "hhhhhi".
+  const auto model = build_substring_match(6, "hi");
+  EXPECT_EQ(decode_diagonal_ground(model), "hhhhhi");
+}
+
+TEST(BuildSubstringMatch, Validation) {
+  EXPECT_THROW(build_substring_match(2, "cat"), std::invalid_argument);
+  EXPECT_THROW(build_substring_match(4, ""), std::invalid_argument);
+}
+
+TEST(BuildIncludes, MatrixSizeIsStartPositionCount) {
+  // §4.4.4: substring of length 3 in a string of length 4 -> 2x2 matrix.
+  const auto model = build_includes("abcd", "bcd");
+  EXPECT_EQ(model.num_variables(), 2u);
+}
+
+TEST(BuildIncludes, RewardsMatchCountsPaperLiteralObjective) {
+  BuildOptions options;
+  options.includes_selection_cost = 0.0;  // §4.4's objective verbatim.
+  const auto model = build_includes("abab", "ab", options);
+  // Positions 0..2; char matches: pos0 = 2, pos1 = 0, pos2 = 2.
+  // First-match surcharge C: pos0 gets 0, pos2 gets D (one match before it).
+  EXPECT_DOUBLE_EQ(model.linear_terms()[0], -2.0);
+  EXPECT_DOUBLE_EQ(model.linear_terms()[1], 0.0);
+  EXPECT_DOUBLE_EQ(model.linear_terms()[2],
+                   -2.0 + options.first_match_increment);
+}
+
+TEST(BuildIncludes, DefaultSelectionCostSeparatesMatchesFromRest) {
+  const auto model = build_includes("abab", "ab");  // θ = 1.5 by default.
+  // Full matches sit below zero, non-matches above: the ground state is
+  // forced to pick a real occurrence or nothing.
+  EXPECT_DOUBLE_EQ(model.linear_terms()[0], -0.5);
+  EXPECT_DOUBLE_EQ(model.linear_terms()[1], 1.5);
+  EXPECT_DOUBLE_EQ(model.linear_terms()[2], 0.0);  // -0.5 + D.
+}
+
+TEST(BuildIncludes, PairwisePenaltyOnAllPairs) {
+  BuildOptions options;
+  const auto model = build_includes("aaaa", "a", options);
+  ASSERT_EQ(model.num_variables(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(model.quadratic(i, j), options.one_hot_penalty);
+    }
+  }
+}
+
+TEST(BuildIncludes, GroundStateSelectsFirstMatch) {
+  const auto model = build_includes("xxcatcat", "cat");
+  const auto samples = anneal::ExactSolver().sample(model);
+  const auto& best = samples.best();
+  // Exactly one position selected, and it is index 2 (the first match).
+  std::size_t selected = 99;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < best.bits.size(); ++i) {
+    if (best.bits[i]) {
+      selected = i;
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(selected, 2u);
+}
+
+TEST(BuildIncludes, NoMatchGroundEnergyIsZero) {
+  const auto model = build_includes("zzzz", "ab");
+  // No character ever matches, so all diagonals are 0 and ground is 0.
+  EXPECT_DOUBLE_EQ(anneal::ExactSolver().ground_energy(model), 0.0);
+  EXPECT_DOUBLE_EQ(expected_ground_energy(Includes{"zzzz", "ab"}), 0.0);
+}
+
+TEST(BuildIncludes, ExpectedGroundEnergyMatchesExact) {
+  const std::vector<std::pair<std::string, std::string>> cases{
+      {"hello world", "world"}, {"abab", "ab"}, {"aaaa", "aa"}};
+  for (const auto& [text, sub] : cases) {
+    EXPECT_NEAR(expected_ground_energy(Includes{text, sub}),
+                anneal::ExactSolver().ground_energy(build_includes(text, sub)),
+                1e-9)
+        << text << "/" << sub;
+  }
+}
+
+TEST(BuildIndexOf, StrongWindowSoftElsewhere) {
+  BuildOptions options;
+  const auto model = build_index_of(6, "hi", 2, options);
+  EXPECT_EQ(model.num_variables(), 42u);
+  const double strong = options.strong_multiplier * options.strength;
+  const double soft = options.soft_weight * options.strength;
+
+  // Window positions 2..3 carry +-strong entries matching 'h' and 'i'.
+  const auto h_bits = strenc::encode_char('h');
+  for (std::size_t b = 0; b < kBitsPerChar; ++b) {
+    EXPECT_DOUBLE_EQ(model.linear_terms()[variable_index(2, b)],
+                     h_bits[b] ? -strong : strong);
+  }
+  // Free positions carry the letter-prefix bias on bits 0 and 1 only.
+  EXPECT_DOUBLE_EQ(model.linear_terms()[variable_index(0, 0)], -soft);
+  EXPECT_DOUBLE_EQ(model.linear_terms()[variable_index(0, 1)], -soft);
+  for (std::size_t b = 2; b < kBitsPerChar; ++b) {
+    EXPECT_DOUBLE_EQ(model.linear_terms()[variable_index(0, b)], 0.0);
+  }
+}
+
+TEST(BuildIndexOf, Validation) {
+  EXPECT_THROW(build_index_of(4, "hi", 3, {}), std::invalid_argument);
+  EXPECT_THROW(build_index_of(4, "", 0, {}), std::invalid_argument);
+  EXPECT_NO_THROW(build_index_of(4, "hi", 2, {}));
+}
+
+TEST(BuildLength, PaperFaithfulBitPrefix) {
+  // §4.6: first 7L diagonal entries -A, the rest +A.
+  const auto model = build_length(3, 2);
+  ASSERT_EQ(model.num_variables(), 21u);
+  for (std::size_t i = 0; i < 14; ++i) {
+    EXPECT_DOUBLE_EQ(model.linear_terms()[i], -1.0);
+  }
+  for (std::size_t i = 14; i < 21; ++i) {
+    EXPECT_DOUBLE_EQ(model.linear_terms()[i], 1.0);
+  }
+}
+
+TEST(BuildLength, GroundDecodesToDelPrefix) {
+  const auto model = build_length(3, 2);
+  const std::string ground = decode_diagonal_ground(model);
+  EXPECT_EQ(ground, std::string("\x7f\x7f\0", 3));
+}
+
+TEST(BuildLength, Validation) {
+  EXPECT_THROW(build_length(2, 3), std::invalid_argument);
+  EXPECT_NO_THROW(build_length(3, 3));
+  EXPECT_NO_THROW(build_length(3, 0));
+}
+
+TEST(BuildLengthPrintable, TailPinnedToNul) {
+  const auto model = build_length_printable(4, 2);
+  // Positions 2..3 encode NUL: all bits biased to 0 (+A).
+  for (std::size_t pos = 2; pos < 4; ++pos) {
+    for (std::size_t b = 0; b < kBitsPerChar; ++b) {
+      EXPECT_DOUBLE_EQ(model.linear_terms()[variable_index(pos, b)], 1.0);
+    }
+  }
+  // Head positions carry the letter bias.
+  EXPECT_LT(model.linear_terms()[variable_index(0, 0)], 0.0);
+}
+
+TEST(BuildReplaceAll, ReplacesEveryOccurrence) {
+  // Table 1: concat "hello"+" world" then replace all 'l' with 'x' gives
+  // "hexxo worxd".
+  const auto model = build_replace_all("hello world", 'l', 'x');
+  EXPECT_EQ(decode_diagonal_ground(model), "hexxo worxd");
+}
+
+TEST(BuildReplace, ReplacesFirstOccurrenceOnly) {
+  const auto model = build_replace("hello", 'l', 'x');
+  EXPECT_EQ(decode_diagonal_ground(model), "hexlo");
+}
+
+TEST(BuildReplace, NoOccurrenceIsIdentity) {
+  EXPECT_TRUE(build_replace("abc", 'z', 'q') == build_equality("abc"));
+  EXPECT_TRUE(build_replace_all("abc", 'z', 'q') == build_equality("abc"));
+}
+
+TEST(BuildReverse, EncodesReversedString) {
+  const auto model = build_reverse("hello");
+  EXPECT_EQ(decode_diagonal_ground(model), "olleh");
+}
+
+TEST(BuildPalindrome, MatrixMatchesTable1Snippet) {
+  // Table 1 palindrome row: diagonal 1.00 with -2.00 couplings to the
+  // mirrored bit.
+  const auto model = build_palindrome(6);
+  ASSERT_EQ(model.num_variables(), 42u);
+  // Bit b of char 0 pairs with bit b of char 5.
+  for (std::size_t b = 0; b < kBitsPerChar; ++b) {
+    const std::size_t i = variable_index(0, b);
+    const std::size_t j = variable_index(5, b);
+    EXPECT_DOUBLE_EQ(model.linear_terms()[i], 1.0);
+    EXPECT_DOUBLE_EQ(model.linear_terms()[j], 1.0);
+    EXPECT_DOUBLE_EQ(model.quadratic(i, j), -2.0);
+  }
+  // 3 mirrored char pairs x 7 bits.
+  EXPECT_EQ(model.num_interactions(), 21u);
+}
+
+TEST(BuildPalindrome, OddLengthLeavesMiddleFree) {
+  const auto model = build_palindrome(5);
+  for (std::size_t b = 0; b < kBitsPerChar; ++b) {
+    EXPECT_DOUBLE_EQ(model.linear_terms()[variable_index(2, b)], 0.0);
+  }
+  EXPECT_EQ(model.num_interactions(), 14u);  // 2 pairs x 7 bits.
+}
+
+TEST(BuildPalindrome, GroundEnergyIsZero) {
+  EXPECT_DOUBLE_EQ(expected_ground_energy(Palindrome{4}), 0.0);
+  EXPECT_DOUBLE_EQ(anneal::ExactSolver().ground_energy(build_palindrome(2)),
+                   0.0);
+}
+
+TEST(BuildPalindrome, AnyPalindromeIsGroundAnyNonPalindromeIsNot) {
+  const auto model = build_palindrome(4);
+  for (const char* s : {"abba", "xyyx", "aaaa", "zzzz"}) {
+    const auto bits = strenc::encode_string(s);
+    EXPECT_DOUBLE_EQ(model.energy(bits), 0.0) << s;
+  }
+  for (const char* s : {"abcd", "abab"}) {
+    const auto bits = strenc::encode_string(s);
+    EXPECT_GT(model.energy(bits), 0.5) << s;
+  }
+}
+
+TEST(BuildPalindrome, PrintableBiasLowersLetterStates) {
+  BuildOptions options;
+  options.palindrome_printable_bias = 0.05;
+  const auto model = build_palindrome(2, options);
+  const auto letters = strenc::encode_string("aa");
+  const auto nulls = strenc::encode_string(std::string(2, '\0'));
+  EXPECT_LT(model.energy(letters), model.energy(nulls));
+  EXPECT_NEAR(expected_ground_energy(Palindrome{2}, options),
+              anneal::ExactSolver().ground_energy(model), 1e-9);
+}
+
+TEST(BuildPalindrome, RejectsZeroLength) {
+  EXPECT_THROW(build_palindrome(0), std::invalid_argument);
+}
+
+TEST(BuildRegex, LiteralPositionsUseEqualityRow) {
+  const auto model = build_regex("ab", 2);
+  EXPECT_TRUE(model == build_equality("ab"));
+}
+
+TEST(BuildRegex, AveragedClassSharesStrength) {
+  // §4.11: each class character contributes ±A/|chars| per bit.
+  const auto model = build_regex("[bc]", 1);
+  // b = 1100010, c = 1100011: bits 0,1 agree on 1 -> -1; bits 2..4 agree on
+  // 0 -> +1; bit 5 agrees on 1 -> -1; bit 6 differs -> 0.
+  const std::vector<double> expected{-1, -1, 1, 1, 1, -1, 0};
+  ASSERT_EQ(model.num_variables(), 7u);
+  for (std::size_t b = 0; b < 7; ++b) {
+    EXPECT_NEAR(model.linear_terms()[b], expected[b], 1e-12) << "bit " << b;
+  }
+}
+
+TEST(BuildRegex, AveragedGroundMatchesExpectedFormula) {
+  const Constraint constraint = RegexMatch{"a[bc]+", 3};
+  EXPECT_NEAR(expected_ground_energy(constraint),
+              anneal::ExactSolver().ground_energy(build_regex("a[bc]+", 3)),
+              1e-9);
+}
+
+TEST(BuildRegex, OneHotAddsSelectorVariables) {
+  BuildOptions options;
+  options.regex_encoding = RegexClassEncoding::kOneHotSelectors;
+  const auto model = build_regex("a[bc]", 2, options);
+  // 14 string bits + 2 selectors.
+  EXPECT_EQ(model.num_variables(), 16u);
+  EXPECT_EQ(regex_selector_base(2), 14u);
+  EXPECT_GT(model.num_interactions(), 0u);
+}
+
+TEST(BuildRegex, OneHotGroundStatesAreClassMembers) {
+  BuildOptions options;
+  options.regex_encoding = RegexClassEncoding::kOneHotSelectors;
+  const auto model = build_regex("[bd]", 1, options);  // b/d differ in 2 bits.
+  const auto samples = anneal::ExactSolver().sample(model);
+  // All tied ground states decode to 'b' or 'd' (never a merge artifact).
+  const double ground = samples.lowest_energy();
+  for (const auto& s : samples) {
+    if (s.energy > ground + 1e-9) break;
+    const std::string decoded =
+        strenc::decode_string(std::span(s.bits).subspan(0, 7));
+    EXPECT_TRUE(decoded == "b" || decoded == "d") << decoded;
+  }
+  EXPECT_NEAR(expected_ground_energy(RegexMatch{"[bd]", 1}, options), ground,
+              1e-9);
+}
+
+TEST(BuildRegex, AveragedDistantClassAdmitsArtifacts) {
+  // The paper-faithful averaged encoding leaves disagreeing bits unbiased:
+  // for [bd] the ground manifold includes bit patterns outside the class —
+  // the artifact the E6 ablation measures.
+  const auto model = build_regex("[bd]", 1);
+  const auto samples = anneal::ExactSolver().sample(model);
+  const double ground = samples.lowest_energy();
+  std::set<std::string> decoded;
+  for (const auto& s : samples) {
+    if (s.energy > ground + 1e-9) break;
+    decoded.insert(strenc::decode_string(s.bits));
+  }
+  EXPECT_GT(decoded.size(), 2u);  // More ground states than class members.
+}
+
+TEST(BuildDispatch, MatchesDirectBuilders) {
+  EXPECT_TRUE(build(Equality{"ab"}) == build_equality("ab"));
+  EXPECT_TRUE(build(Concat{"a", "b"}) == build_concat("a", "b"));
+  EXPECT_TRUE(build(SubstringMatch{4, "cat"}) ==
+              build_substring_match(4, "cat"));
+  EXPECT_TRUE(build(Includes{"abc", "b"}) == build_includes("abc", "b"));
+  EXPECT_TRUE(build(IndexOf{6, "hi", 2}) == build_index_of(6, "hi", 2));
+  EXPECT_TRUE(build(Length{3, 2}) == build_length(3, 2));
+  EXPECT_TRUE(build(ReplaceAll{"ll", 'l', 'x'}) ==
+              build_replace_all("ll", 'l', 'x'));
+  EXPECT_TRUE(build(Replace{"ll", 'l', 'x'}) == build_replace("ll", 'l', 'x'));
+  EXPECT_TRUE(build(Reverse{"ab"}) == build_reverse("ab"));
+  EXPECT_TRUE(build(Palindrome{4}) == build_palindrome(4));
+  EXPECT_TRUE(build(RegexMatch{"a[bc]", 2}) == build_regex("a[bc]", 2));
+}
+
+TEST(ConstraintMeta, NamesAndDescriptions) {
+  EXPECT_EQ(constraint_name(Equality{"x"}), "equality");
+  EXPECT_EQ(constraint_name(Palindrome{4}), "palindrome");
+  EXPECT_EQ(constraint_name(Includes{"ab", "b"}), "includes");
+  EXPECT_NE(describe(Reverse{"hello"}).find("hello"), std::string::npos);
+  EXPECT_NE(describe(RegexMatch{"a[bc]+", 5}).find("a[bc]+"),
+            std::string::npos);
+}
+
+TEST(ConstraintMeta, NumVariablesAndKind) {
+  EXPECT_EQ(constraint_num_variables(Equality{"hello"}), 35u);
+  EXPECT_EQ(constraint_num_variables(Includes{"abcd", "bc"}), 3u);
+  EXPECT_TRUE(produces_string(Equality{"x"}));
+  EXPECT_FALSE(produces_string(Includes{"ab", "a"}));
+}
+
+}  // namespace
+}  // namespace qsmt::strqubo

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sat/cdcl.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::sat {
+namespace {
+
+// Independent brute-force satisfiability oracle.
+bool brute_force_sat(std::size_t num_vars,
+                     const std::vector<std::vector<Literal>>& clauses) {
+  for (std::uint64_t mask = 0; mask < (1ULL << num_vars); ++mask) {
+    bool all_clauses = true;
+    for (const auto& clause : clauses) {
+      bool satisfied = false;
+      for (Literal lit : clause) {
+        const auto v = static_cast<std::size_t>(lit > 0 ? lit : -lit);
+        const bool value = (mask >> (v - 1)) & 1;
+        if ((lit > 0) == value) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) {
+        all_clauses = false;
+        break;
+      }
+    }
+    if (all_clauses) return true;
+  }
+  return false;
+}
+
+TEST(CdclSolver, EmptyInstanceIsSat) {
+  CdclSolver solver;
+  EXPECT_EQ(solver.solve(), SolveStatus::kSat);
+}
+
+TEST(CdclSolver, SingleUnit) {
+  CdclSolver solver;
+  const auto x = solver.add_variable();
+  solver.add_clause({x});
+  ASSERT_EQ(solver.solve(), SolveStatus::kSat);
+  EXPECT_TRUE(solver.value(x));
+}
+
+TEST(CdclSolver, ContradictoryUnitsAreUnsat) {
+  CdclSolver solver;
+  const auto x = solver.add_variable();
+  solver.add_clause({x});
+  solver.add_clause({-x});
+  EXPECT_EQ(solver.solve(), SolveStatus::kUnsat);
+}
+
+TEST(CdclSolver, EmptyClauseIsUnsat) {
+  CdclSolver solver;
+  solver.add_variable();
+  solver.add_clause({});
+  EXPECT_EQ(solver.solve(), SolveStatus::kUnsat);
+}
+
+TEST(CdclSolver, TautologiesAreDropped) {
+  CdclSolver solver;
+  const auto x = solver.add_variable();
+  solver.add_clause({x, -x});  // Tautology: no constraint.
+  ASSERT_EQ(solver.solve(), SolveStatus::kSat);
+}
+
+TEST(CdclSolver, DuplicateLiteralsDeduplicated) {
+  CdclSolver solver;
+  const auto x = solver.add_variable();
+  solver.add_clause({x, x, x});
+  ASSERT_EQ(solver.solve(), SolveStatus::kSat);
+  EXPECT_TRUE(solver.value(x));
+}
+
+TEST(CdclSolver, UnknownVariableThrows) {
+  CdclSolver solver;
+  solver.add_variable();
+  EXPECT_THROW(solver.add_clause({2}), std::invalid_argument);
+  EXPECT_THROW(solver.add_clause({0}), std::invalid_argument);
+}
+
+TEST(CdclSolver, ImplicationChainPropagates) {
+  CdclSolver solver;
+  std::vector<std::int32_t> v;
+  for (int i = 0; i < 10; ++i) v.push_back(solver.add_variable());
+  solver.add_clause({v[0]});
+  for (int i = 0; i + 1 < 10; ++i) solver.add_clause({-v[i], v[i + 1]});
+  ASSERT_EQ(solver.solve(), SolveStatus::kSat);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(solver.value(v[i]));
+  EXPECT_GT(solver.stats().propagations, 0u);
+}
+
+TEST(CdclSolver, PigeonholeThreeIntoTwoIsUnsat) {
+  // PHP(3,2): 3 pigeons, 2 holes. Var p_{i,h} = pigeon i in hole h.
+  CdclSolver solver;
+  std::int32_t p[3][2];
+  for (auto& row : p) {
+    for (auto& var : row) var = solver.add_variable();
+  }
+  for (auto& row : p) solver.add_clause({row[0], row[1]});
+  for (int h = 0; h < 2; ++h) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) {
+        solver.add_clause({-p[i][h], -p[j][h]});
+      }
+    }
+  }
+  EXPECT_EQ(solver.solve(), SolveStatus::kUnsat);
+  EXPECT_GT(solver.stats().conflicts, 0u);
+}
+
+TEST(CdclSolver, GraphColoringTriangleTwoColorsUnsat) {
+  CdclSolver solver;
+  // Node i gets color via boolean c_i; triangle needs adjacent different.
+  const auto a = solver.add_variable();
+  const auto b = solver.add_variable();
+  const auto c = solver.add_variable();
+  for (auto [u, v] : std::vector<std::pair<std::int32_t, std::int32_t>>{
+           {a, b}, {b, c}, {a, c}}) {
+    solver.add_clause({u, v});    // Not both color-0.
+    solver.add_clause({-u, -v});  // Not both color-1.
+  }
+  EXPECT_EQ(solver.solve(), SolveStatus::kUnsat);
+}
+
+TEST(CdclSolver, ModelReturnsAllVariables) {
+  CdclSolver solver;
+  const auto x = solver.add_variable();
+  const auto y = solver.add_variable();
+  solver.add_clause({x});
+  solver.add_clause({-y});
+  ASSERT_EQ(solver.solve(), SolveStatus::kSat);
+  const auto model = solver.model();
+  ASSERT_EQ(model.size(), 2u);
+  EXPECT_EQ(model[0], x);
+  EXPECT_EQ(model[1], -y);
+}
+
+TEST(CdclSolver, IncrementalBlockingEnumeratesAllModels) {
+  // 2 free variables: 4 models; blocking each in turn ends unsat after 4.
+  CdclSolver solver;
+  const auto x = solver.add_variable();
+  const auto y = solver.add_variable();
+  solver.add_clause({x, y, -x});  // Tautology, just to have a clause.
+  int models = 0;
+  while (solver.solve() == SolveStatus::kSat && models < 10) {
+    ++models;
+    solver.add_clause({solver.value(x) ? -x : x, solver.value(y) ? -y : y});
+  }
+  EXPECT_EQ(models, 4);
+}
+
+class RandomThreeSat : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomThreeSat, AgreesWithBruteForce) {
+  Xoshiro256 rng(GetParam());
+  for (int instance = 0; instance < 20; ++instance) {
+    const std::size_t num_vars = 8;
+    // ~4.3 clauses/var sits near the hard threshold.
+    const std::size_t num_clauses = 34;
+    std::vector<std::vector<Literal>> clauses;
+    CdclSolver solver;
+    for (std::size_t v = 0; v < num_vars; ++v) solver.add_variable();
+    for (std::size_t c = 0; c < num_clauses; ++c) {
+      std::vector<Literal> clause;
+      for (int k = 0; k < 3; ++k) {
+        const auto v = static_cast<Literal>(1 + rng.below(num_vars));
+        clause.push_back(rng.coin() ? v : -v);
+      }
+      clauses.push_back(clause);
+      solver.add_clause(clause);
+    }
+    const bool expected = brute_force_sat(num_vars, clauses);
+    const bool actual = solver.solve() == SolveStatus::kSat;
+    EXPECT_EQ(actual, expected) << "instance " << instance;
+    if (actual) {
+      // Verify the returned model satisfies every clause.
+      for (const auto& clause : clauses) {
+        bool satisfied = false;
+        for (Literal lit : clause) {
+          const auto v = lit > 0 ? lit : -lit;
+          if ((lit > 0) == solver.value(v)) {
+            satisfied = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(satisfied);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomThreeSat,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(CdclSolver, StatsAccumulate) {
+  CdclSolver solver;
+  std::vector<std::int32_t> v;
+  for (int i = 0; i < 6; ++i) v.push_back(solver.add_variable());
+  // A small unsat core buried under free variables forces real conflicts.
+  solver.add_clause({v[0], v[1]});
+  solver.add_clause({v[0], -v[1]});
+  solver.add_clause({-v[0], v[2]});
+  solver.add_clause({-v[0], -v[2]});
+  EXPECT_EQ(solver.solve(), SolveStatus::kUnsat);
+  EXPECT_GT(solver.stats().conflicts, 0u);
+}
+
+}  // namespace
+}  // namespace qsmt::sat

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include "smtlib/compiler.hpp"
+#include "smtlib/parser.hpp"
+
+namespace qsmt::smtlib {
+namespace {
+
+TermPtr term(const std::string& text) {
+  const auto exprs = parse_sexprs(text);
+  return parse_term(exprs.at(0));
+}
+
+std::map<std::string, Sort> string_var(const std::string& name) {
+  return {{name, Sort::kString}};
+}
+
+TEST(CompileAtom, EqualityWithLiteral) {
+  std::string error;
+  const auto c = compile_atom(term("(= x \"hi\")"), "x", std::nullopt, error);
+  ASSERT_TRUE(c.has_value()) << error;
+  EXPECT_EQ(std::get<strqubo::Equality>(*c).target, "hi");
+}
+
+TEST(CompileAtom, EqualityFlippedOperands) {
+  std::string error;
+  const auto c = compile_atom(term("(= \"hi\" x)"), "x", std::nullopt, error);
+  ASSERT_TRUE(c.has_value()) << error;
+  EXPECT_EQ(std::get<strqubo::Equality>(*c).target, "hi");
+}
+
+TEST(CompileAtom, ConcatDefinition) {
+  std::string error;
+  const auto c = compile_atom(term("(= x (str.++ \"ab\" \"cd\"))"), "x",
+                              std::nullopt, error);
+  ASSERT_TRUE(c.has_value()) << error;
+  const auto& concat = std::get<strqubo::Concat>(*c);
+  EXPECT_EQ(concat.lhs, "ab");
+  EXPECT_EQ(concat.rhs, "cd");
+}
+
+TEST(CompileAtom, MultiPartConcatFoldsTail) {
+  std::string error;
+  const auto c = compile_atom(term("(= x (str.++ \"a\" \"b\" \"c\"))"), "x",
+                              std::nullopt, error);
+  ASSERT_TRUE(c.has_value()) << error;
+  const auto& concat = std::get<strqubo::Concat>(*c);
+  EXPECT_EQ(concat.lhs, "a");
+  EXPECT_EQ(concat.rhs, "bc");
+}
+
+TEST(CompileAtom, ReplaceForms) {
+  std::string error;
+  const auto first = compile_atom(term("(= x (str.replace \"hello\" \"l\" \"x\"))"),
+                                  "x", std::nullopt, error);
+  ASSERT_TRUE(first.has_value()) << error;
+  EXPECT_TRUE(std::holds_alternative<strqubo::Replace>(*first));
+
+  const auto all = compile_atom(
+      term("(= x (str.replace_all \"hello\" \"l\" \"x\"))"), "x", std::nullopt,
+      error);
+  ASSERT_TRUE(all.has_value()) << error;
+  const auto& replace_all = std::get<strqubo::ReplaceAll>(*all);
+  EXPECT_EQ(replace_all.from, 'l');
+  EXPECT_EQ(replace_all.to, 'x');
+}
+
+TEST(CompileAtom, ReverseExtension) {
+  std::string error;
+  const auto c = compile_atom(term("(= x (str.rev \"abc\"))"), "x",
+                              std::nullopt, error);
+  ASSERT_TRUE(c.has_value()) << error;
+  EXPECT_EQ(std::get<strqubo::Reverse>(*c).input, "abc");
+}
+
+TEST(CompileAtom, ContainsNeedsLength) {
+  std::string error;
+  EXPECT_FALSE(compile_atom(term("(str.contains x \"hi\")"), "x", std::nullopt,
+                            error)
+                   .has_value());
+  EXPECT_NE(error.find("str.len"), std::string::npos);
+
+  const auto c =
+      compile_atom(term("(str.contains x \"hi\")"), "x", 6, error);
+  ASSERT_TRUE(c.has_value()) << error;
+  const auto& sub = std::get<strqubo::SubstringMatch>(*c);
+  EXPECT_EQ(sub.length, 6u);
+  EXPECT_EQ(sub.substring, "hi");
+}
+
+TEST(CompileAtom, IndexOf) {
+  std::string error;
+  const auto c = compile_atom(term("(= (str.indexof x \"hi\" 0) 2)"), "x", 6,
+                              error);
+  ASSERT_TRUE(c.has_value()) << error;
+  const auto& index_of = std::get<strqubo::IndexOf>(*c);
+  EXPECT_EQ(index_of.index, 2u);
+  EXPECT_EQ(index_of.substring, "hi");
+}
+
+TEST(CompileAtom, PrefixAndSuffix) {
+  std::string error;
+  const auto prefix =
+      compile_atom(term("(str.prefixof \"ab\" x)"), "x", 5, error);
+  ASSERT_TRUE(prefix.has_value()) << error;
+  EXPECT_EQ(std::get<strqubo::IndexOf>(*prefix).index, 0u);
+
+  const auto suffix =
+      compile_atom(term("(str.suffixof \"ab\" x)"), "x", 5, error);
+  ASSERT_TRUE(suffix.has_value()) << error;
+  EXPECT_EQ(std::get<strqubo::IndexOf>(*suffix).index, 3u);
+
+  EXPECT_FALSE(
+      compile_atom(term("(str.suffixof \"abcdef\" x)"), "x", 5, error)
+          .has_value());
+}
+
+TEST(CompileAtom, Palindrome) {
+  std::string error;
+  const auto c = compile_atom(term("(qsmt.is_palindrome x)"), "x", 6, error);
+  ASSERT_TRUE(c.has_value()) << error;
+  EXPECT_EQ(std::get<strqubo::Palindrome>(*c).length, 6u);
+}
+
+TEST(CompileAtom, RegexMembership) {
+  std::string error;
+  const auto c = compile_atom(
+      term("(str.in_re x (re.++ (str.to_re \"a\") "
+           "(re.+ (re.union (str.to_re \"b\") (str.to_re \"c\")))))"),
+      "x", 5, error);
+  ASSERT_TRUE(c.has_value()) << error;
+  const auto& regex = std::get<strqubo::RegexMatch>(*c);
+  EXPECT_EQ(regex.pattern, "a[bc]+");
+  EXPECT_EQ(regex.length, 5u);
+}
+
+TEST(CompileAtom, CharAtForm) {
+  std::string error;
+  const auto c =
+      compile_atom(term("(= (str.at x 2) \"q\")"), "x", 5, error);
+  ASSERT_TRUE(c.has_value()) << error;
+  const auto& at = std::get<strqubo::CharAt>(*c);
+  EXPECT_EQ(at.index, 2u);
+  EXPECT_EQ(at.ch, 'q');
+  EXPECT_EQ(at.length, 5u);
+
+  // Flipped operand order.
+  const auto flipped =
+      compile_atom(term("(= \"q\" (str.at x 2))"), "x", 5, error);
+  EXPECT_TRUE(flipped.has_value()) << error;
+
+  // Out-of-range index.
+  EXPECT_FALSE(
+      compile_atom(term("(= (str.at x 9) \"q\")"), "x", 5, error).has_value());
+  // Needs a length.
+  EXPECT_FALSE(compile_atom(term("(= (str.at x 2) \"q\")"), "x", std::nullopt,
+                            error)
+                   .has_value());
+}
+
+TEST(CompileAtom, NotContainsForm) {
+  std::string error;
+  const auto c =
+      compile_atom(term("(not (str.contains x \"ab\"))"), "x", 6, error);
+  ASSERT_TRUE(c.has_value()) << error;
+  const auto& nc = std::get<strqubo::NotContains>(*c);
+  EXPECT_EQ(nc.substring, "ab");
+  EXPECT_EQ(nc.length, 6u);
+  // Other negations stay out of fragment.
+  EXPECT_FALSE(
+      compile_atom(term("(not (= x \"ab\"))"), "x", 6, error).has_value());
+}
+
+TEST(EvaluateGround, StrAt) {
+  EXPECT_EQ(std::get<std::string>(*evaluate_ground(term("(str.at \"abc\" 1)"))),
+            "b");
+  EXPECT_EQ(std::get<std::string>(*evaluate_ground(term("(str.at \"abc\" 9)"))),
+            "");
+}
+
+TEST(CompileAtom, UnsupportedAtomsReportErrors) {
+  std::string error;
+  EXPECT_FALSE(
+      compile_atom(term("(str.lt x \"a\")"), "x", 5, error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(compile_atom(term("(= x y)"), "x", 5, error).has_value());
+}
+
+TEST(RegexTermToPattern, EscapesMetacharacters) {
+  EXPECT_EQ(regex_term_to_pattern(term("(str.to_re \"a+b\")")), R"(a\+b)");
+  EXPECT_EQ(regex_term_to_pattern(term("(str.to_re \"[x]\")")), R"(\[x\])");
+}
+
+TEST(RegexTermToPattern, StarAndOptional) {
+  EXPECT_EQ(regex_term_to_pattern(term("(re.* (str.to_re \"a\"))")), "a*");
+  EXPECT_EQ(regex_term_to_pattern(term("(re.opt (str.to_re \"b\"))")), "b?");
+}
+
+TEST(RegexTermToPattern, RejectsUnsupported) {
+  EXPECT_THROW(regex_term_to_pattern(term("(re.range \"a\" \"z\")")),
+               std::invalid_argument);
+  EXPECT_THROW(regex_term_to_pattern(
+                   term("(re.union (str.to_re \"ab\") (str.to_re \"c\"))")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      regex_term_to_pattern(term(
+          "(re.+ (re.++ (str.to_re \"a\") (str.to_re \"b\")))")),
+      std::invalid_argument);
+}
+
+TEST(EvaluateGround, StringOperations) {
+  EXPECT_EQ(std::get<std::int64_t>(*evaluate_ground(term("(str.len \"abc\")"))),
+            3);
+  EXPECT_EQ(std::get<std::string>(*evaluate_ground(term("(str.++ \"a\" \"b\")"))),
+            "ab");
+  EXPECT_TRUE(std::get<bool>(
+      *evaluate_ground(term("(str.contains \"hello\" \"ell\")"))));
+  EXPECT_EQ(std::get<std::int64_t>(
+                *evaluate_ground(term("(str.indexof \"hello\" \"l\" 0)"))),
+            2);
+  EXPECT_EQ(std::get<std::int64_t>(
+                *evaluate_ground(term("(str.indexof \"hello\" \"z\" 0)"))),
+            -1);
+  EXPECT_EQ(std::get<std::string>(*evaluate_ground(
+                term("(str.replace_all \"hello\" \"l\" \"x\")"))),
+            "hexxo");
+  EXPECT_EQ(std::get<std::string>(*evaluate_ground(term("(str.rev \"abc\")"))),
+            "cba");
+}
+
+TEST(EvaluateGround, BooleanStructure) {
+  EXPECT_TRUE(std::get<bool>(*evaluate_ground(term("(= \"a\" \"a\")"))));
+  EXPECT_FALSE(std::get<bool>(*evaluate_ground(term("(= \"a\" \"b\")"))));
+  EXPECT_TRUE(std::get<bool>(*evaluate_ground(term("(not (= 1 2))"))));
+  EXPECT_TRUE(std::get<bool>(
+      *evaluate_ground(term("(and (= 1 1) (or (= 1 2) (= 3 3)))"))));
+}
+
+TEST(EvaluateGround, NonGroundReturnsNullopt) {
+  EXPECT_FALSE(evaluate_ground(term("x")).has_value());
+  EXPECT_FALSE(evaluate_ground(term("(str.len x)")).has_value());
+}
+
+TEST(CompileAssertions, CollectsLengthAndConstraints) {
+  const std::vector<TermPtr> assertions{term("(= (str.len x) 6)"),
+                                        term("(str.contains x \"hi\")")};
+  const CompiledQuery query = compile_assertions(assertions, string_var("x"));
+  EXPECT_EQ(query.variable, "x");
+  EXPECT_EQ(query.declared_length, 6u);
+  ASSERT_EQ(query.constraints.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<strqubo::SubstringMatch>(
+      query.constraints[0]));
+  EXPECT_TRUE(query.unsupported.empty());
+}
+
+TEST(CompileAssertions, FlattensConjunctions) {
+  const std::vector<TermPtr> assertions{
+      term("(and (= (str.len x) 4) (and (qsmt.is_palindrome x) "
+           "(str.contains x \"ab\")))")};
+  const CompiledQuery query = compile_assertions(assertions, string_var("x"));
+  EXPECT_EQ(query.declared_length, 4u);
+  EXPECT_EQ(query.constraints.size(), 2u);
+}
+
+TEST(CompileAssertions, GroundFalseIsFalsified) {
+  const std::vector<TermPtr> assertions{term("(= \"a\" \"b\")")};
+  const CompiledQuery query = compile_assertions(assertions, {});
+  EXPECT_FALSE(query.falsified_ground.empty());
+}
+
+TEST(CompileAssertions, GroundTrueIsDischarged) {
+  const std::vector<TermPtr> assertions{term("(str.contains \"ab\" \"a\")")};
+  const CompiledQuery query = compile_assertions(assertions, {});
+  EXPECT_TRUE(query.falsified_ground.empty());
+  EXPECT_TRUE(query.unsupported.empty());
+  EXPECT_TRUE(query.constraints.empty());
+}
+
+TEST(CompileAssertions, ConflictingLengthsFalsify) {
+  const std::vector<TermPtr> assertions{term("(= (str.len x) 4)"),
+                                        term("(= (str.len x) 5)")};
+  const CompiledQuery query = compile_assertions(assertions, string_var("x"));
+  EXPECT_FALSE(query.falsified_ground.empty());
+}
+
+TEST(CompileAssertions, MultipleStringVariablesUnsupported) {
+  auto declared = string_var("x");
+  declared.emplace("y", Sort::kString);
+  const std::vector<TermPtr> assertions{term("(= x \"a\")"),
+                                        term("(= y \"b\")")};
+  const CompiledQuery query = compile_assertions(assertions, declared);
+  EXPECT_FALSE(query.unsupported.empty());
+}
+
+TEST(CompileAssertions, OrIsOutOfFragment) {
+  const std::vector<TermPtr> assertions{
+      term("(or (= x \"a\") (= x \"b\"))")};
+  const CompiledQuery query = compile_assertions(assertions, string_var("x"));
+  EXPECT_FALSE(query.unsupported.empty());
+  EXPECT_TRUE(query.constraints.empty());
+}
+
+}  // namespace
+}  // namespace qsmt::smtlib

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "sat/dimacs.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::sat {
+namespace {
+
+constexpr const char* kSimpleSat = R"(c a satisfiable instance
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+)";
+
+constexpr const char* kSimpleUnsat = R"(p cnf 1 2
+1 0
+-1 0
+)";
+
+TEST(ParseDimacs, ReadsHeaderAndClauses) {
+  const CnfInstance instance = parse_dimacs_string(kSimpleSat);
+  EXPECT_EQ(instance.num_variables, 3u);
+  ASSERT_EQ(instance.clauses.size(), 3u);
+  EXPECT_EQ(instance.clauses[0], (std::vector<Literal>{1, -2}));
+  EXPECT_EQ(instance.clauses[2], (std::vector<Literal>{-1}));
+}
+
+TEST(ParseDimacs, CommentsAndBlankLinesIgnored) {
+  const CnfInstance instance = parse_dimacs_string(
+      "c comment\n\np cnf 2 1\nc mid comment\n1 2 0\n");
+  EXPECT_EQ(instance.clauses.size(), 1u);
+}
+
+TEST(ParseDimacs, MultiLineClause) {
+  const CnfInstance instance =
+      parse_dimacs_string("p cnf 3 1\n1 2\n3 0\n");
+  ASSERT_EQ(instance.clauses.size(), 1u);
+  EXPECT_EQ(instance.clauses[0].size(), 3u);
+}
+
+TEST(ParseDimacs, Errors) {
+  EXPECT_THROW(parse_dimacs_string(""), std::invalid_argument);
+  EXPECT_THROW(parse_dimacs_string("1 2 0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1\n1 5 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1\n1 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 2\n1 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_dimacs_string("p dnf 2 1\n1 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_dimacs_string("p cnf 1 1\np cnf 1 1\n1 0\n"),
+               std::invalid_argument);
+}
+
+TEST(ToDimacs, RoundTrips) {
+  const CnfInstance original = parse_dimacs_string(kSimpleSat);
+  const CnfInstance round_tripped =
+      parse_dimacs_string(to_dimacs(original));
+  EXPECT_EQ(round_tripped.num_variables, original.num_variables);
+  EXPECT_EQ(round_tripped.clauses, original.clauses);
+}
+
+TEST(SolveDimacs, SatInstanceYieldsConsistentModel) {
+  const DimacsResult result = solve_dimacs(kSimpleSat);
+  ASSERT_EQ(result.status, SolveStatus::kSat);
+  ASSERT_EQ(result.model.size(), 3u);
+  // Model must satisfy every clause.
+  const CnfInstance instance = parse_dimacs_string(kSimpleSat);
+  for (const auto& clause : instance.clauses) {
+    bool satisfied = false;
+    for (Literal lit : clause) {
+      const auto v = static_cast<std::size_t>(lit > 0 ? lit : -lit);
+      if ((lit > 0) == (result.model[v - 1] > 0)) satisfied = true;
+    }
+    EXPECT_TRUE(satisfied);
+  }
+}
+
+TEST(SolveDimacs, UnsatInstance) {
+  EXPECT_EQ(solve_dimacs(kSimpleUnsat).status, SolveStatus::kUnsat);
+}
+
+TEST(LoadInto, RequiresFreshSolver) {
+  CdclSolver solver;
+  solver.add_variable();
+  const CnfInstance instance = parse_dimacs_string(kSimpleUnsat);
+  EXPECT_THROW(load_into(instance, solver), std::invalid_argument);
+}
+
+TEST(SolveDimacs, RandomInstancesRoundTripThroughText) {
+  // Generate random 3-SAT, solve directly and via text round trip: status
+  // must agree.
+  Xoshiro256 rng(10);
+  for (int trial = 0; trial < 10; ++trial) {
+    CnfInstance instance;
+    instance.num_variables = 8;
+    for (int c = 0; c < 30; ++c) {
+      std::vector<Literal> clause;
+      for (int k = 0; k < 3; ++k) {
+        const auto v = static_cast<Literal>(1 + rng.below(8));
+        clause.push_back(rng.coin() ? v : -v);
+      }
+      instance.clauses.push_back(std::move(clause));
+    }
+    CdclSolver direct;
+    load_into(instance, direct);
+    const SolveStatus expected = direct.solve();
+    EXPECT_EQ(solve_dimacs(to_dimacs(instance)).status, expected)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace qsmt::sat

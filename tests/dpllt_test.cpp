@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "anneal/simulated_annealer.hpp"
+#include "sat/dpllt.hpp"
+#include "smtlib/parser.hpp"
+
+namespace qsmt::sat {
+namespace {
+
+using smtlib::CheckSatStatus;
+
+anneal::SimulatedAnnealer fast_annealer(std::uint64_t seed) {
+  anneal::SimulatedAnnealerParams p;
+  p.num_reads = 48;
+  p.num_sweeps = 192;
+  p.seed = seed;
+  return anneal::SimulatedAnnealer(p);
+}
+
+struct Query {
+  std::vector<smtlib::TermPtr> assertions;
+  std::map<std::string, smtlib::Sort> declared;
+};
+
+Query parse_query(const std::string& script) {
+  Query query;
+  for (const auto& command : smtlib::parse_script(script)) {
+    if (const auto* decl = std::get_if<smtlib::DeclareConst>(&command)) {
+      query.declared.emplace(decl->name, decl->sort);
+    } else if (const auto* assert_cmd =
+                   std::get_if<smtlib::AssertCmd>(&command)) {
+      query.assertions.push_back(assert_cmd->term);
+    }
+  }
+  return query;
+}
+
+DpllTResult run(const std::string& script, std::uint64_t seed = 1) {
+  const auto annealer = fast_annealer(seed);
+  const DpllTSolver solver(annealer);
+  const Query query = parse_query(script);
+  return solver.solve(query.assertions, query.declared);
+}
+
+TEST(DpllT, PlainConjunctionStillWorks) {
+  const auto result = run(R"(
+    (declare-const x String)
+    (assert (= x "hello"))
+  )");
+  EXPECT_EQ(result.status, CheckSatStatus::kSat);
+  EXPECT_EQ(result.model_value, "hello");
+  EXPECT_EQ(result.theory_rounds, 1u);
+}
+
+TEST(DpllT, DisjunctionPicksABranch) {
+  const auto result = run(R"(
+    (declare-const x String)
+    (assert (or (= x "cat") (= x "dog")))
+  )");
+  EXPECT_EQ(result.status, CheckSatStatus::kSat);
+  EXPECT_TRUE(result.model_value == "cat" || result.model_value == "dog");
+}
+
+TEST(DpllT, NegationForcesTheOtherBranch) {
+  const auto result = run(R"(
+    (declare-const y String)
+    (assert (or (= y "cat") (= y "dog")))
+    (assert (not (= y "cat")))
+  )");
+  EXPECT_EQ(result.status, CheckSatStatus::kSat);
+  EXPECT_EQ(result.model_value, "dog");
+}
+
+TEST(DpllT, LengthDisjunctionSelectsConsistentLength) {
+  const auto result = run(R"(
+    (declare-const x String)
+    (assert (or (= (str.len x) 4) (= (str.len x) 6)))
+    (assert (str.contains x "hi"))
+  )");
+  EXPECT_EQ(result.status, CheckSatStatus::kSat);
+  EXPECT_TRUE(result.model_value.size() == 4 || result.model_value.size() == 6);
+  EXPECT_NE(result.model_value.find("hi"), std::string::npos);
+}
+
+TEST(DpllT, GroundContradictionIsUnsat) {
+  const auto result = run(R"(
+    (assert (and (= "a" "a") (= "b" "c")))
+  )");
+  EXPECT_EQ(result.status, CheckSatStatus::kUnsat);
+}
+
+TEST(DpllT, BooleanOnlyUnsat) {
+  const auto result = run(R"(
+    (declare-const x String)
+    (assert (= x "a"))
+    (assert (not (= x "a")))
+  )");
+  // The skeleton itself is a direct contradiction over one atom.
+  EXPECT_EQ(result.status, CheckSatStatus::kUnsat);
+}
+
+TEST(DpllT, ConflictingEqualityBranchesDegradeToUnknown) {
+  // Both branches are theory-conflicting with the fixed equality; since the
+  // annealer-based T-solver only blocks heuristically, the final boolean
+  // UNSAT cannot be trusted and must come back unknown.
+  const auto result = run(R"(
+    (declare-const x String)
+    (assert (= x "aa"))
+    (assert (or (= x "bb") (= x "cc")))
+  )");
+  EXPECT_EQ(result.status, CheckSatStatus::kUnknown);
+}
+
+TEST(DpllT, NestedStructure) {
+  const auto result = run(R"(
+    (declare-const x String)
+    (assert (and (or (= x "aba") (= x "zzz")) (not (= x "zzz"))))
+  )");
+  EXPECT_EQ(result.status, CheckSatStatus::kSat);
+  EXPECT_EQ(result.model_value, "aba");
+}
+
+TEST(DpllT, WitnessMustFalsifyNegatedAtoms) {
+  // "abab..." contains "ab"; branch picking only the equality must reject
+  // models that accidentally satisfy the negated contains atom.
+  const auto result = run(R"(
+    (declare-const x String)
+    (assert (= x "cdcd"))
+    (assert (not (str.contains x "ab")))
+  )");
+  EXPECT_EQ(result.status, CheckSatStatus::kSat);
+  EXPECT_EQ(result.model_value, "cdcd");
+}
+
+TEST(DpllT, ReportsSatStats) {
+  const auto result = run(R"(
+    (declare-const x String)
+    (assert (or (= x "a") (= x "b")))
+    (assert (or (not (= x "a")) (= x "b")))
+  )");
+  EXPECT_EQ(result.status, CheckSatStatus::kSat);
+  EXPECT_GE(result.theory_rounds, 1u);
+}
+
+TEST(DpllT, RoundBudgetExhaustionIsUnknown) {
+  const auto annealer = fast_annealer(3);
+  DpllTSolver::Params params;
+  params.max_rounds = 0;
+  const DpllTSolver solver(annealer, {}, params);
+  const Query query = parse_query(R"(
+    (declare-const x String)
+    (assert (= x "a"))
+  )");
+  const auto result = solver.solve(query.assertions, query.declared);
+  EXPECT_EQ(result.status, CheckSatStatus::kUnknown);
+  EXPECT_FALSE(result.notes.empty());
+}
+
+TEST(DpllT, PalindromeDisjunction) {
+  const auto result = run(R"(
+    (declare-const x String)
+    (assert (= (str.len x) 4))
+    (assert (or (qsmt.is_palindrome x) (= x "abcd")))
+  )");
+  EXPECT_EQ(result.status, CheckSatStatus::kSat);
+}
+
+}  // namespace
+}  // namespace qsmt::sat

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "anneal/exact.hpp"
+#include "graph/chimera.hpp"
+#include "graph/embedded_sampler.hpp"
+#include "strqubo/builders.hpp"
+
+namespace qsmt::graph {
+namespace {
+
+EmbeddedSamplerParams fast_params(std::uint64_t seed) {
+  EmbeddedSamplerParams p;
+  p.anneal.num_reads = 32;
+  p.anneal.num_sweeps = 256;
+  p.anneal.seed = seed;
+  p.embedding_seed = seed;
+  return p;
+}
+
+TEST(EmbeddedSampler, RequiresFinalizedTarget) {
+  Graph target(4);
+  target.add_edge(0, 1);
+  EXPECT_THROW(EmbeddedSampler(target, fast_params(0)),
+               std::invalid_argument);
+}
+
+TEST(EmbeddedSampler, SolvesDiagonalEqualityModel) {
+  const Graph target = make_chimera(3, 3, 4);
+  const EmbeddedSampler sampler(target, fast_params(1));
+  const auto model = strqubo::build_equality("hi");
+  const anneal::SampleSet samples = sampler.sample(model);
+  ASSERT_FALSE(samples.empty());
+  // Ground energy of a diagonal equality model is -popcount.
+  const double ground = anneal::ExactSolver().ground_energy(model);
+  EXPECT_NEAR(samples.lowest_energy(), ground, 1e-9);
+}
+
+TEST(EmbeddedSampler, SolvesPalindromeModel) {
+  const Graph target = make_chimera(4, 4, 4);
+  const EmbeddedSampler sampler(target, fast_params(2));
+  const auto model = strqubo::build_palindrome(4);
+  const anneal::SampleSet samples = sampler.sample(model);
+  EXPECT_NEAR(samples.lowest_energy(), 0.0, 1e-9);
+}
+
+TEST(EmbeddedSampler, ThrowsWhenTargetTooSmall) {
+  const Graph target = make_chimera(1, 1, 1);  // 2 qubits.
+  const EmbeddedSampler sampler(target, fast_params(3));
+  const auto model = strqubo::build_palindrome(4);  // 28 variables.
+  EXPECT_THROW(sampler.sample(model), std::runtime_error);
+}
+
+TEST(EmbeddedSampler, EmbedModelPreservesLogicalEnergiesWhenChainsAgree) {
+  const Graph target = make_chimera(2, 2, 4);
+  const EmbeddedSampler sampler(target, fast_params(4));
+
+  qubo::QuboModel logical(3);
+  logical.add_linear(0, -1.0);
+  logical.add_linear(1, 0.5);
+  logical.add_quadratic(0, 1, 1.5);
+  logical.add_quadratic(1, 2, -0.5);
+
+  const Graph lg = logical_graph(logical);
+  const auto embedding = find_embedding(lg, target, 4);
+  ASSERT_TRUE(embedding.has_value());
+  const double chain_strength = 4.0;
+  const qubo::QuboModel physical =
+      sampler.embed_model(logical, *embedding, chain_strength);
+
+  // For every logical assignment, setting every chain consistently must
+  // reproduce the logical energy (chain gadgets contribute zero).
+  for (unsigned mask = 0; mask < 8; ++mask) {
+    std::vector<std::uint8_t> logical_bits(3);
+    for (std::size_t v = 0; v < 3; ++v) logical_bits[v] = (mask >> v) & 1;
+    std::vector<std::uint8_t> physical_bits(target.num_nodes(), 0);
+    for (std::size_t v = 0; v < 3; ++v) {
+      for (std::uint32_t q : embedding->chains[v]) {
+        physical_bits[q] = logical_bits[v];
+      }
+    }
+    EXPECT_NEAR(physical.energy(physical_bits), logical.energy(logical_bits),
+                1e-9)
+        << "mask=" << mask;
+  }
+}
+
+TEST(EmbeddedSampler, BrokenChainsCostChainStrength) {
+  const Graph target = make_chimera(2, 2, 4);
+  const EmbeddedSampler sampler(target, fast_params(5));
+
+  qubo::QuboModel logical(2);
+  logical.add_quadratic(0, 1, 1.0);
+  const Graph lg = logical_graph(logical);
+  const auto embedding = find_embedding(lg, target, 2);
+  ASSERT_TRUE(embedding.has_value());
+  const qubo::QuboModel physical =
+      sampler.embed_model(logical, *embedding, 3.0);
+
+  // All-zero is a ground state; breaking one chain (if longer than one
+  // qubit) costs at least the chain strength.
+  std::vector<std::uint8_t> bits(target.num_nodes(), 0);
+  const double base = physical.energy(bits);
+  for (std::size_t v = 0; v < embedding->chains.size(); ++v) {
+    if (embedding->chains[v].size() < 2) continue;
+    bits[embedding->chains[v][0]] = 1;  // Break the chain.
+    EXPECT_GE(physical.energy(bits), base + 3.0 - 1e-9);
+    bits[embedding->chains[v][0]] = 0;
+  }
+}
+
+TEST(EmbeddedSampler, ReportsStats) {
+  const Graph target = make_chimera(3, 3, 4);
+  const EmbeddedSampler sampler(target, fast_params(6));
+  const auto model = strqubo::build_palindrome(3);
+
+  EmbeddedSampleStats stats;
+  const anneal::SampleSet samples = sampler.sample_with_stats(model, stats);
+  EXPECT_FALSE(samples.empty());
+  EXPECT_EQ(stats.embedding.num_logical(), model.num_variables());
+  EXPECT_GE(stats.physical_variables, model.num_variables());
+  EXPECT_GE(stats.chain_break_fraction, 0.0);
+  EXPECT_LE(stats.chain_break_fraction, 1.0);
+}
+
+TEST(EmbeddedSampler, DiscardModeDropsBrokenSamples) {
+  const Graph target = make_chimera(3, 3, 4);
+  EmbeddedSamplerParams params = fast_params(7);
+  params.chain_break_resolution = ChainBreakResolution::kDiscard;
+  // Deliberately weak chains to provoke breaks.
+  params.chain_strength = 0.05;
+  params.anneal.num_sweeps = 8;
+  const EmbeddedSampler sampler(target, params);
+
+  const auto model = strqubo::build_palindrome(4);
+  EmbeddedSampleStats stats;
+  const anneal::SampleSet samples = sampler.sample_with_stats(model, stats);
+  // Whatever survives plus what was discarded accounts for every read.
+  EXPECT_EQ(samples.total_reads() + stats.discarded_samples,
+            params.anneal.num_reads);
+}
+
+TEST(EmbeddedSampler, EmbeddingCacheReusesSameShapedProblems) {
+  const Graph target = make_chimera(3, 3, 4);
+  const EmbeddedSampler sampler(target, fast_params(8));
+  // Two palindromes of the same length share a logical edge set; a third
+  // of a different length does not.
+  const auto a = strqubo::build_palindrome(3);
+  const auto b = strqubo::build_palindrome(3);
+  const auto c = strqubo::build_palindrome(4);
+  (void)sampler.sample(a);
+  EXPECT_EQ(sampler.embedding_cache_hits(), 0u);
+  (void)sampler.sample(b);
+  EXPECT_EQ(sampler.embedding_cache_hits(), 1u);
+  (void)sampler.sample(c);
+  EXPECT_EQ(sampler.embedding_cache_hits(), 1u);
+  (void)sampler.sample(a);
+  EXPECT_EQ(sampler.embedding_cache_hits(), 2u);
+}
+
+TEST(EmbeddedSampler, CachedEmbeddingStillSolvesCorrectly) {
+  const Graph target = make_chimera(3, 3, 4);
+  const EmbeddedSampler sampler(target, fast_params(9));
+  const auto model = strqubo::build_palindrome(3);
+  const double first = sampler.sample(model).lowest_energy();
+  const double second = sampler.sample(model).lowest_energy();
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_NEAR(first, 0.0, 1e-9);
+}
+
+TEST(EmbeddedSampler, NameIsStable) {
+  const Graph target = make_chimera(1, 1, 2);
+  EXPECT_EQ(EmbeddedSampler(target, fast_params(0)).name(),
+            "embedded-annealer");
+}
+
+}  // namespace
+}  // namespace qsmt::graph

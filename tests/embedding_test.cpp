@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "graph/chimera.hpp"
+#include "graph/embedding.hpp"
+
+namespace qsmt::graph {
+namespace {
+
+Graph complete_graph(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) g.add_edge(i, j);
+  }
+  g.finalize();
+  return g;
+}
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  g.finalize();
+  return g;
+}
+
+TEST(LogicalGraph, BuildsFromQuadraticTerms) {
+  qubo::QuboModel model(4);
+  model.add_linear(0, -1.0);  // Linear terms contribute no edges.
+  model.add_quadratic(0, 1, 1.0);
+  model.add_quadratic(2, 3, -2.0);
+  const Graph g = logical_graph(model);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(LogicalGraph, IgnoresZeroCoefficients) {
+  qubo::QuboModel model(3);
+  model.add_quadratic(0, 1, 1.0);
+  model.add_quadratic(0, 1, -1.0);
+  EXPECT_EQ(logical_graph(model).num_edges(), 0u);
+}
+
+TEST(Embedding, Accounting) {
+  Embedding e;
+  e.chains = {{0, 1}, {2}, {3, 4, 5}};
+  EXPECT_EQ(e.num_logical(), 3u);
+  EXPECT_EQ(e.total_physical(), 6u);
+  EXPECT_EQ(e.max_chain_length(), 3u);
+}
+
+TEST(Embedding, ValidityChecks) {
+  const Graph logical = path_graph(2);
+  const Graph target = path_graph(4);
+
+  Embedding good;
+  good.chains = {{0}, {1}};
+  EXPECT_TRUE(good.is_valid(logical, target));
+
+  Embedding chains_touching_required;
+  chains_touching_required.chains = {{0}, {2}};  // 0-2 not adjacent.
+  EXPECT_FALSE(chains_touching_required.is_valid(logical, target));
+
+  Embedding overlapping;
+  overlapping.chains = {{0, 1}, {1}};
+  EXPECT_FALSE(overlapping.is_valid(logical, target));
+
+  Embedding disconnected_chain;
+  disconnected_chain.chains = {{0, 2}, {1}};  // {0,2} not connected w/o 1.
+  EXPECT_FALSE(disconnected_chain.is_valid(logical, target));
+
+  Embedding empty_chain;
+  empty_chain.chains = {{0}, {}};
+  EXPECT_FALSE(empty_chain.is_valid(logical, target));
+
+  Embedding out_of_range;
+  out_of_range.chains = {{0}, {9}};
+  EXPECT_FALSE(out_of_range.is_valid(logical, target));
+}
+
+TEST(FindEmbedding, IdentityWhenLogicalFitsDirectly) {
+  const Graph logical = path_graph(3);
+  const Graph target = path_graph(10);
+  const auto embedding = find_embedding(logical, target, 1);
+  ASSERT_TRUE(embedding.has_value());
+  EXPECT_TRUE(embedding->is_valid(logical, target));
+}
+
+TEST(FindEmbedding, EdgelessProblemNeedsOneQubitPerVariable) {
+  // Diagonal-only QUBOs (most of the paper's formulations) embed trivially.
+  Graph logical(5);
+  logical.finalize();
+  const Graph target = make_chimera(1, 1, 4);
+  const auto embedding = find_embedding(logical, target, 0);
+  ASSERT_TRUE(embedding.has_value());
+  EXPECT_EQ(embedding->total_physical(), 5u);
+  EXPECT_EQ(embedding->max_chain_length(), 1u);
+}
+
+class CompleteGraphEmbedding : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompleteGraphEmbedding, EmbedsIntoChimera) {
+  // K_n for n <= 2t+1 embeds into a Chimera block with short chains; the
+  // classic result is K_{4t+1} into C(t,t,t) — we stay well inside that.
+  const std::size_t n = GetParam();
+  const Graph logical = complete_graph(n);
+  const Graph target = make_chimera(4, 4, 4);
+  const auto embedding = find_embedding(logical, target, 7, 8);
+  ASSERT_TRUE(embedding.has_value()) << "K_" << n;
+  EXPECT_TRUE(embedding->is_valid(logical, target)) << "K_" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CompleteGraphEmbedding,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u));
+
+TEST(FindEmbedding, FailsWhenTargetTooSmall) {
+  const Graph logical = complete_graph(5);
+  const Graph target = path_graph(4);  // K5 cannot minor-embed into P4.
+  EXPECT_FALSE(find_embedding(logical, target, 0, 8).has_value());
+}
+
+TEST(FindEmbedding, DeterministicForFixedSeed) {
+  const Graph logical = complete_graph(4);
+  const Graph target = make_chimera(2, 2, 4);
+  const auto a = find_embedding(logical, target, 5);
+  const auto b = find_embedding(logical, target, 5);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->chains, b->chains);
+}
+
+TEST(FindEmbedding, RequiresFinalizedGraphs) {
+  Graph unfinished(3);
+  unfinished.add_edge(0, 1);
+  const Graph target = path_graph(4);
+  EXPECT_THROW(find_embedding(unfinished, target), std::invalid_argument);
+}
+
+TEST(FindEmbedding, PalindromeShapedProblemEmbeds) {
+  // The palindrome QUBO couples bit i with bit 7(n-1-j)+i — a perfect
+  // matching. Chains stay short on Chimera.
+  qubo::QuboModel model(14);
+  for (std::size_t b = 0; b < 7; ++b) {
+    model.add_quadratic(b, 7 + b, -2.0);
+  }
+  const Graph logical = logical_graph(model);
+  const Graph target = make_chimera(2, 2, 4);
+  const auto embedding = find_embedding(logical, target, 1);
+  ASSERT_TRUE(embedding.has_value());
+  EXPECT_TRUE(embedding->is_valid(logical, target));
+  EXPECT_LE(embedding->max_chain_length(), 3u);
+}
+
+}  // namespace
+}  // namespace qsmt::graph

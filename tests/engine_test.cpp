@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "anneal/simulated_annealer.hpp"
+#include "engine/engine.hpp"
+#include "smtlib/parser.hpp"
+
+namespace qsmt::engine {
+namespace {
+
+anneal::SimulatedAnnealer fast_annealer(std::uint64_t seed) {
+  anneal::SimulatedAnnealerParams p;
+  p.num_reads = 48;
+  p.num_sweeps = 256;
+  p.seed = seed;
+  return anneal::SimulatedAnnealer(p);
+}
+
+smtlib::TermPtr term(const std::string& text) {
+  return smtlib::parse_term(smtlib::parse_sexprs(text).at(0));
+}
+
+TEST(NeedsBooleanEngine, TermLevel) {
+  EXPECT_TRUE(term_needs_boolean_engine(term("(or (= x \"a\") (= x \"b\"))")));
+  EXPECT_TRUE(term_needs_boolean_engine(term("(not (= x \"a\"))")));
+  EXPECT_TRUE(term_needs_boolean_engine(
+      term("(and (= x \"a\") (or (= x \"b\") (= x \"c\")))")));
+  // The one supported negation stays conjunctive.
+  EXPECT_FALSE(term_needs_boolean_engine(term("(not (str.contains x \"a\"))")));
+  EXPECT_FALSE(term_needs_boolean_engine(term("(= x \"a\")")));
+  EXPECT_FALSE(term_needs_boolean_engine(term("(str.contains x \"a\")")));
+}
+
+TEST(NeedsBooleanEngine, CommandLevel) {
+  EXPECT_TRUE(needs_boolean_engine(smtlib::parse_script(
+      "(declare-const x String)(assert (or (= x \"a\") (= x \"b\")))")));
+  EXPECT_FALSE(needs_boolean_engine(smtlib::parse_script(
+      "(declare-const x String)(assert (= x \"a\"))(check-sat)")));
+}
+
+TEST(SolveScript, ConjunctiveRoute) {
+  const auto annealer = fast_annealer(1);
+  const ScriptResult result = solve_script(R"(
+    (declare-const x String)
+    (assert (= x "eng"))
+    (check-sat)
+    (get-model)
+  )",
+                                           annealer);
+  EXPECT_EQ(result.engine, EngineKind::kConjunctive);
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kSat);
+  EXPECT_EQ(result.model_value, "eng");
+  EXPECT_NE(result.transcript.find("sat\n"), std::string::npos);
+  EXPECT_NE(result.transcript.find("\"eng\""), std::string::npos);
+}
+
+TEST(SolveScript, AutoRoutesDisjunctionsToDpllT) {
+  const auto annealer = fast_annealer(2);
+  const ScriptResult result = solve_script(R"(
+    (declare-const x String)
+    (assert (or (= x "cat") (= x "dog")))
+    (assert (not (= x "cat")))
+  )",
+                                           annealer);
+  EXPECT_EQ(result.engine, EngineKind::kDpllT);
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kSat);
+  EXPECT_EQ(result.model_value, "dog");
+}
+
+TEST(SolveScript, ForceDpllTOnConjunctiveScript) {
+  const auto annealer = fast_annealer(3);
+  const ScriptResult result = solve_script(R"(
+    (declare-const x String)
+    (assert (= x "forced"))
+  )",
+                                           annealer, {}, /*force_dpllt=*/true);
+  EXPECT_EQ(result.engine, EngineKind::kDpllT);
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kSat);
+  EXPECT_EQ(result.model_value, "forced");
+}
+
+TEST(SolveScript, NotContainsStaysConjunctive) {
+  const auto annealer = fast_annealer(4);
+  const ScriptResult result = solve_script(R"(
+    (declare-const x String)
+    (assert (= (str.len x) 4))
+    (assert (not (str.contains x "zz")))
+    (check-sat)
+  )",
+                                           annealer);
+  EXPECT_EQ(result.engine, EngineKind::kConjunctive);
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kSat);
+}
+
+TEST(SolveScript, GroundUnsat) {
+  const auto annealer = fast_annealer(5);
+  const ScriptResult result =
+      solve_script("(assert (= \"a\" \"b\"))(check-sat)", annealer);
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kUnsat);
+}
+
+TEST(SolveScript, DpllTUnsat) {
+  const auto annealer = fast_annealer(6);
+  const ScriptResult result = solve_script(R"(
+    (declare-const x String)
+    (assert (= x "a"))
+    (assert (not (= x "a")))
+  )",
+                                           annealer);
+  EXPECT_EQ(result.engine, EngineKind::kDpllT);
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kUnsat);
+}
+
+TEST(SolveScript, ParseErrorsPropagate) {
+  const auto annealer = fast_annealer(7);
+  EXPECT_THROW(solve_script("(assert", annealer), std::invalid_argument);
+}
+
+TEST(SolveScript, ConjunctiveWithoutCheckSatIsUnknown) {
+  const auto annealer = fast_annealer(8);
+  const ScriptResult result =
+      solve_script("(declare-const x String)(assert (= x \"a\"))", annealer);
+  // No (check-sat) command: nothing was decided.
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kUnknown);
+  EXPECT_TRUE(result.transcript.empty());
+}
+
+}  // namespace
+}  // namespace qsmt::engine

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "anneal/exact.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::anneal {
+namespace {
+
+qubo::QuboModel random_model(std::size_t n, Xoshiro256& rng) {
+  qubo::QuboModel model(n);
+  for (std::size_t i = 0; i < n; ++i)
+    model.add_linear(i, rng.uniform() * 2.0 - 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.uniform() < 0.5)
+        model.add_quadratic(i, j, rng.uniform() * 2.0 - 1.0);
+    }
+  }
+  return model;
+}
+
+// Brute force without Gray-code tricks, as an independent oracle.
+double brute_force_ground(const qubo::QuboModel& model) {
+  const std::size_t n = model.num_variables();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    std::vector<std::uint8_t> bits(n);
+    for (std::size_t i = 0; i < n; ++i) bits[i] = (mask >> i) & 1;
+    best = std::min(best, model.energy(bits));
+  }
+  return best;
+}
+
+class ExactVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactVsBruteForce, GroundEnergyMatches) {
+  Xoshiro256 rng(GetParam());
+  const auto model = random_model(10, rng);
+  const ExactSolver solver;
+  EXPECT_NEAR(solver.ground_energy(model), brute_force_ground(model), 1e-9);
+}
+
+TEST_P(ExactVsBruteForce, BestSampleAchievesGroundEnergy) {
+  Xoshiro256 rng(GetParam() + 100);
+  const auto model = random_model(9, rng);
+  const ExactSolver solver;
+  const SampleSet samples = solver.sample(model);
+  ASSERT_FALSE(samples.empty());
+  EXPECT_NEAR(samples.lowest_energy(), brute_force_ground(model), 1e-9);
+  // Reported energies must be consistent with the model.
+  for (const Sample& s : samples) {
+    EXPECT_NEAR(model.energy(s.bits), s.energy, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsBruteForce,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(ExactSolver, SamplesAreSortedAscending) {
+  Xoshiro256 rng(42);
+  const auto model = random_model(8, rng);
+  const SampleSet samples = ExactSolver().sample(model);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(samples[i - 1].energy, samples[i].energy);
+  }
+}
+
+TEST(ExactSolver, RespectsMaxSamples) {
+  Xoshiro256 rng(7);
+  const auto model = random_model(10, rng);
+  ExactSolverParams params;
+  params.max_samples = 5;
+  const SampleSet samples = ExactSolver(params).sample(model);
+  EXPECT_EQ(samples.size(), 5u);
+}
+
+TEST(ExactSolver, RejectsOversizedModels) {
+  qubo::QuboModel model(31);
+  const ExactSolver solver;
+  EXPECT_THROW(solver.sample(model), std::invalid_argument);
+  EXPECT_THROW(solver.ground_energy(model), std::invalid_argument);
+}
+
+TEST(ExactSolver, CustomVariableCapIsEnforced) {
+  ExactSolverParams params;
+  params.max_variables = 4;
+  qubo::QuboModel model(5);
+  EXPECT_THROW(ExactSolver(params).sample(model), std::invalid_argument);
+}
+
+TEST(ExactSolver, ZeroMaxSamplesThrows) {
+  ExactSolverParams params;
+  params.max_samples = 0;
+  EXPECT_THROW(ExactSolver{params}, std::invalid_argument);
+}
+
+TEST(ExactSolver, HandlesOffsetOnlyModel) {
+  qubo::QuboModel model(2);
+  model.set_offset(3.5);
+  EXPECT_DOUBLE_EQ(ExactSolver().ground_energy(model), 3.5);
+}
+
+TEST(ExactSolver, FindsAllTiedGroundStates) {
+  // Two independent unbiased pairs with an equality gadget each: the four
+  // ground states are 00/11 x 00/11.
+  qubo::QuboModel model(4);
+  model.add_linear(0, 1.0);
+  model.add_linear(1, 1.0);
+  model.add_quadratic(0, 1, -2.0);
+  model.add_linear(2, 1.0);
+  model.add_linear(3, 1.0);
+  model.add_quadratic(2, 3, -2.0);
+
+  const SampleSet samples = ExactSolver().sample(model);
+  std::size_t ground_count = 0;
+  for (const Sample& s : samples) {
+    if (s.energy <= 1e-12) ++ground_count;
+  }
+  EXPECT_EQ(ground_count, 4u);
+}
+
+TEST(ExactSolver, NameIsStable) { EXPECT_EQ(ExactSolver().name(), "exact"); }
+
+}  // namespace
+}  // namespace qsmt::anneal

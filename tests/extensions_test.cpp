@@ -1,0 +1,353 @@
+// Tests for the extension operations (CharAt, NotContains), the
+// parallel-tempering sampler, and the extra hardware topologies.
+#include <gtest/gtest.h>
+
+#include "anneal/exact.hpp"
+#include "anneal/simulated_annealer.hpp"
+#include "anneal/population.hpp"
+#include "anneal/tempering.hpp"
+#include "graph/embedding.hpp"
+#include "graph/topologies.hpp"
+#include "strenc/ascii7.hpp"
+#include "strqubo/solver.hpp"
+#include "strqubo/verify.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt {
+namespace {
+
+anneal::SimulatedAnnealer fast_annealer(std::uint64_t seed) {
+  anneal::SimulatedAnnealerParams p;
+  p.num_reads = 48;
+  p.num_sweeps = 256;
+  p.seed = seed;
+  return anneal::SimulatedAnnealer(p);
+}
+
+// --- CharAt ------------------------------------------------------------------
+
+TEST(CharAt, BuildsStrongPinAndSoftBias) {
+  const auto model = strqubo::build_char_at(4, 2, 'q');
+  EXPECT_EQ(model.num_variables(), 28u);
+  EXPECT_EQ(model.num_interactions(), 0u);
+  // Pinned position uses ±2A; free positions only the 2-bit letter bias.
+  const auto q_bits = strenc::encode_char('q');
+  for (std::size_t b = 0; b < 7; ++b) {
+    EXPECT_DOUBLE_EQ(model.linear_terms()[strenc::variable_index(2, b)],
+                     q_bits[b] ? -2.0 : 2.0);
+  }
+  EXPECT_DOUBLE_EQ(model.linear_terms()[strenc::variable_index(0, 0)], -0.1);
+}
+
+TEST(CharAt, SolvesAndVerifies) {
+  const auto annealer = fast_annealer(1);
+  const strqubo::StringConstraintSolver solver(annealer);
+  const auto result = solver.solve(strqubo::CharAt{5, 3, 'Z'});
+  ASSERT_TRUE(result.text.has_value());
+  EXPECT_TRUE(result.satisfied);
+  EXPECT_EQ((*result.text)[3], 'Z');
+}
+
+TEST(CharAt, Validation) {
+  EXPECT_THROW(strqubo::build_char_at(4, 4, 'a'), std::invalid_argument);
+}
+
+TEST(CharAt, VerifyString) {
+  EXPECT_TRUE(strqubo::verify_string(strqubo::CharAt{3, 1, 'b'}, "abc"));
+  EXPECT_FALSE(strqubo::verify_string(strqubo::CharAt{3, 1, 'b'}, "acc"));
+  EXPECT_FALSE(strqubo::verify_string(strqubo::CharAt{3, 1, 'b'}, "ab"));
+}
+
+// --- NotContains ---------------------------------------------------------------
+
+TEST(NotContains, AppendsAncillasPerWindow) {
+  const auto model = strqubo::build_not_contains(4, "ab");
+  // 28 string bits + per window (3 windows): 14 literals -> NOT ancillas for
+  // the zero bits of "ab" plus 13 AND-chain ancillas.
+  EXPECT_GT(model.num_variables(), 28u);
+  EXPECT_GT(model.num_interactions(), 0u);
+}
+
+TEST(NotContains, GroundStatesAvoidSubstring) {
+  // Exact check on the smallest instance (7 string bits + one window's
+  // ancillas = 17 variables): no ground state may decode to "a".
+  const auto model = strqubo::build_not_contains(1, "a");
+  ASSERT_LE(model.num_variables(), 20u);
+  const auto samples = anneal::ExactSolver().sample(model);
+  const double ground = samples.lowest_energy();
+  for (const auto& s : samples) {
+    if (s.energy > ground + 1e-9) break;
+    const std::string decoded =
+        strenc::decode_string(std::span(s.bits).subspan(0, 7));
+    EXPECT_NE(decoded, "a");
+  }
+}
+
+TEST(NotContains, SolvesAndVerifies) {
+  const auto annealer = fast_annealer(2);
+  const strqubo::StringConstraintSolver solver(annealer);
+  const auto result = solver.solve(strqubo::NotContains{5, "ab"});
+  ASSERT_TRUE(result.text.has_value());
+  EXPECT_TRUE(result.satisfied) << *result.text;
+  EXPECT_EQ(result.text->find("ab"), std::string::npos);
+}
+
+TEST(NotContains, LongSubstringIsBiasOnly) {
+  const auto model = strqubo::build_not_contains(2, "abc");
+  EXPECT_EQ(model.num_variables(), 14u);  // Cannot occur: no windows.
+  EXPECT_EQ(model.num_interactions(), 0u);
+}
+
+TEST(NotContains, VerifyString) {
+  EXPECT_TRUE(strqubo::verify_string(strqubo::NotContains{4, "ab"}, "bbba"));
+  EXPECT_FALSE(strqubo::verify_string(strqubo::NotContains{4, "ab"}, "xaby"));
+  EXPECT_FALSE(strqubo::verify_string(strqubo::NotContains{4, "ab"}, "bba"));
+}
+
+TEST(NotContains, Validation) {
+  EXPECT_THROW(strqubo::build_not_contains(4, ""), std::invalid_argument);
+}
+
+TEST(NotContains, MetaFunctions) {
+  EXPECT_EQ(strqubo::constraint_name(strqubo::NotContains{4, "ab"}),
+            "not-contains");
+  EXPECT_EQ(strqubo::constraint_num_variables(strqubo::NotContains{4, "ab"}),
+            28u);
+  EXPECT_TRUE(strqubo::produces_string(strqubo::NotContains{4, "ab"}));
+  EXPECT_EQ(strqubo::constraint_name(strqubo::CharAt{4, 0, 'a'}), "char-at");
+}
+
+// --- BoundedLength -------------------------------------------------------------
+
+TEST(BoundedLength, AppendsOneSelectorPerCandidateLength) {
+  const auto model = strqubo::build_bounded_length(8, 2, 6);
+  EXPECT_EQ(model.num_variables(), 56u + 5u);  // 7*8 bits + 5 selectors.
+  EXPECT_GT(model.num_interactions(), 0u);
+}
+
+TEST(BoundedLength, GroundEnergyIsZero) {
+  EXPECT_DOUBLE_EQ(
+      strqubo::expected_ground_energy(strqubo::BoundedLength{4, 1, 3}), 0.0);
+  const auto model = strqubo::build_bounded_length(2, 1, 2);
+  EXPECT_NEAR(anneal::ExactSolver().ground_energy(model), 0.0, 1e-9);
+}
+
+TEST(BoundedLength, ExactGroundStatesAreWellFormedBuffers) {
+  const auto model = strqubo::build_bounded_length(2, 1, 2);  // 16 vars.
+  const auto samples = anneal::ExactSolver().sample(model);
+  const double ground = samples.lowest_energy();
+  std::size_t inspected = 0;
+  for (const auto& s : samples) {
+    if (s.energy > ground + 1e-9) break;
+    const std::string decoded =
+        strenc::decode_string(std::span(s.bits).subspan(0, 14));
+    EXPECT_TRUE(strqubo::verify_string(strqubo::BoundedLength{2, 1, 2},
+                                       decoded))
+        << "bits decode to invalid buffer";
+    ++inspected;
+  }
+  EXPECT_GT(inspected, 0u);
+}
+
+TEST(BoundedLength, SolvesAndVerifies) {
+  const auto annealer = fast_annealer(9);
+  const strqubo::StringConstraintSolver solver(annealer);
+  const auto result = solver.solve(strqubo::BoundedLength{8, 2, 6});
+  ASSERT_TRUE(result.text.has_value());
+  EXPECT_TRUE(result.satisfied);
+  const auto first_nul = result.text->find('\0');
+  const std::size_t content =
+      first_nul == std::string::npos ? result.text->size() : first_nul;
+  EXPECT_GE(content, 2u);
+  EXPECT_LE(content, 6u);
+}
+
+TEST(BoundedLength, VerifyString) {
+  using std::string_literals::operator""s;
+  const strqubo::BoundedLength c{4, 2, 3};
+  EXPECT_TRUE(strqubo::verify_string(c, "ab\0\0"s));
+  EXPECT_TRUE(strqubo::verify_string(c, "abc\0"s));
+  EXPECT_FALSE(strqubo::verify_string(c, "a\0\0\0"s));   // Too short.
+  EXPECT_FALSE(strqubo::verify_string(c, "abcd"s));      // Too long.
+  EXPECT_FALSE(strqubo::verify_string(c, "ab\0c"s));     // Hole in padding.
+  EXPECT_FALSE(strqubo::verify_string(c, "ab\0"s));      // Wrong capacity.
+}
+
+TEST(BoundedLength, Validation) {
+  EXPECT_THROW(strqubo::build_bounded_length(4, 3, 2), std::invalid_argument);
+  EXPECT_THROW(strqubo::build_bounded_length(4, 1, 5), std::invalid_argument);
+  EXPECT_NO_THROW(strqubo::build_bounded_length(4, 4, 4));
+}
+
+// --- ParallelTempering ---------------------------------------------------------
+
+qubo::QuboModel random_model(std::size_t n, Xoshiro256& rng) {
+  qubo::QuboModel model(n);
+  for (std::size_t i = 0; i < n; ++i)
+    model.add_linear(i, rng.uniform() * 2.0 - 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.uniform() < 0.4)
+        model.add_quadratic(i, j, rng.uniform() * 2.0 - 1.0);
+    }
+  }
+  return model;
+}
+
+TEST(ParallelTempering, RejectsInvalidParams) {
+  anneal::ParallelTemperingParams p;
+  p.num_replicas = 1;
+  EXPECT_THROW(anneal::ParallelTempering{p}, std::invalid_argument);
+  p = {};
+  p.num_reads = 0;
+  EXPECT_THROW(anneal::ParallelTempering{p}, std::invalid_argument);
+}
+
+TEST(ParallelTempering, FindsGroundOfRandomModels) {
+  for (std::uint64_t seed : {3u, 4u, 5u, 6u}) {
+    Xoshiro256 rng(seed);
+    const auto model = random_model(12, rng);
+    const double ground = anneal::ExactSolver().ground_energy(model);
+    anneal::ParallelTemperingParams p;
+    p.seed = seed;
+    const anneal::ParallelTempering sampler(p);
+    EXPECT_NEAR(sampler.sample(model).lowest_energy(), ground, 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(ParallelTempering, DeterministicForFixedSeed) {
+  Xoshiro256 rng(9);
+  const auto model = random_model(10, rng);
+  anneal::ParallelTemperingParams p;
+  p.seed = 33;
+  const anneal::ParallelTempering sampler(p);
+  const auto a = sampler.sample(model);
+  const auto b = sampler.sample(model);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].bits, b[i].bits);
+}
+
+TEST(ParallelTempering, SolvesStringConstraints) {
+  anneal::ParallelTemperingParams p;
+  p.seed = 8;
+  const anneal::ParallelTempering sampler(p);
+  const strqubo::StringConstraintSolver solver(sampler);
+  EXPECT_TRUE(solver.solve(strqubo::Palindrome{6}).satisfied);
+  EXPECT_TRUE(solver.solve(strqubo::Equality{"pt"}).satisfied);
+}
+
+TEST(ParallelTempering, NameIsStable) {
+  EXPECT_EQ(anneal::ParallelTempering().name(), "parallel-tempering");
+}
+
+// --- PopulationAnnealing -------------------------------------------------------
+
+TEST(PopulationAnnealing, RejectsInvalidParams) {
+  anneal::PopulationAnnealingParams p;
+  p.population_size = 1;
+  EXPECT_THROW(anneal::PopulationAnnealing{p}, std::invalid_argument);
+  p = {};
+  p.num_temperatures = 1;
+  EXPECT_THROW(anneal::PopulationAnnealing{p}, std::invalid_argument);
+  p = {};
+  p.sweeps_per_step = 0;
+  EXPECT_THROW(anneal::PopulationAnnealing{p}, std::invalid_argument);
+}
+
+TEST(PopulationAnnealing, FindsGroundOfRandomModels) {
+  for (std::uint64_t seed : {20u, 21u, 22u}) {
+    Xoshiro256 rng(seed);
+    const auto model = random_model(12, rng);
+    const double ground = anneal::ExactSolver().ground_energy(model);
+    anneal::PopulationAnnealingParams p;
+    p.seed = seed;
+    const anneal::PopulationAnnealing sampler(p);
+    EXPECT_NEAR(sampler.sample(model).lowest_energy(), ground, 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(PopulationAnnealing, DeterministicForFixedSeed) {
+  Xoshiro256 rng(23);
+  const auto model = random_model(10, rng);
+  anneal::PopulationAnnealingParams p;
+  p.seed = 4;
+  const anneal::PopulationAnnealing sampler(p);
+  const auto a = sampler.sample(model);
+  const auto b = sampler.sample(model);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].bits, b[i].bits);
+}
+
+TEST(PopulationAnnealing, SolvesStringConstraints) {
+  anneal::PopulationAnnealingParams p;
+  p.seed = 6;
+  const anneal::PopulationAnnealing sampler(p);
+  const strqubo::StringConstraintSolver solver(sampler);
+  EXPECT_TRUE(solver.solve(strqubo::Palindrome{6}).satisfied);
+  EXPECT_TRUE(solver.solve(strqubo::RegexMatch{"a[bc]+", 4}).satisfied);
+}
+
+TEST(PopulationAnnealing, NameIsStable) {
+  EXPECT_EQ(anneal::PopulationAnnealing().name(), "population-annealing");
+}
+
+// --- Topologies ---------------------------------------------------------------
+
+TEST(Topologies, GridCounts) {
+  const auto g = graph::make_grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3u + 2u * 4u);  // r*(c-1) + (r-1)*c.
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_FALSE(g.has_edge(0, 5));
+}
+
+TEST(Topologies, KingAddsDiagonals) {
+  const auto g = graph::make_king(3, 3);
+  EXPECT_EQ(g.num_nodes(), 9u);
+  EXPECT_TRUE(g.has_edge(0, 4));  // Diagonal.
+  EXPECT_TRUE(g.has_edge(1, 3));  // Anti-diagonal.
+  // Centre of a 3x3 king lattice touches everything.
+  EXPECT_EQ(g.degree(4), 8u);
+}
+
+TEST(Topologies, CompleteGraph) {
+  const auto g = graph::make_complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (std::size_t v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Topologies, CompleteBipartite) {
+  const auto g = graph::make_complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(0, 1));  // Same side.
+  EXPECT_FALSE(g.has_edge(3, 4));
+}
+
+TEST(Topologies, Validation) {
+  EXPECT_THROW(graph::make_grid(0, 3), std::invalid_argument);
+  EXPECT_THROW(graph::make_king(3, 0), std::invalid_argument);
+  EXPECT_THROW(graph::make_complete(0), std::invalid_argument);
+  EXPECT_THROW(graph::make_complete_bipartite(0, 2), std::invalid_argument);
+}
+
+TEST(Topologies, KingEmbedsDenserProblemsThanGrid) {
+  // K4 requires a minor with crossing connections: king handles it in one
+  // 2x2 block neighbourhood; the plain grid needs chains.
+  const auto k4 = graph::make_complete(4);
+  const auto king = graph::make_king(4, 4);
+  const auto grid = graph::make_grid(4, 4);
+  const auto king_embedding = graph::find_embedding(k4, king, 3, 8);
+  const auto grid_embedding = graph::find_embedding(k4, grid, 3, 8);
+  ASSERT_TRUE(king_embedding.has_value());
+  ASSERT_TRUE(grid_embedding.has_value());
+  EXPECT_LE(king_embedding->total_physical(),
+            grid_embedding->total_physical());
+}
+
+}  // namespace
+}  // namespace qsmt

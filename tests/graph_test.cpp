@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "graph/chimera.hpp"
+#include "graph/graph.hpp"
+
+namespace qsmt::graph {
+namespace {
+
+TEST(Graph, StartsEmpty) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, AddEdgeGrowsNodeCount) {
+  Graph g;
+  g.add_edge(0, 5);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, SelfLoopThrows) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, DuplicateEdgeDetectedAtFinalize) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // Same undirected edge.
+  EXPECT_THROW(g.finalize(), std::invalid_argument);
+}
+
+TEST(Graph, QueriesRequireFinalize) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.neighbors(0), std::invalid_argument);
+  EXPECT_THROW(g.has_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(g.degree(0), std::invalid_argument);
+  g.finalize();
+  EXPECT_NO_THROW(g.neighbors(0));
+}
+
+TEST(Graph, AddEdgeAfterFinalizeThrows) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.finalize();
+  EXPECT_THROW(g.add_edge(1, 2), std::invalid_argument);
+}
+
+TEST(Graph, NeighborsAreSortedBothDirections) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(0, 2);
+  g.add_edge(2, 1);
+  g.finalize();
+  const auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0], 0u);
+  EXPECT_EQ(nb[1], 1u);
+  EXPECT_EQ(nb[2], 4u);
+  EXPECT_EQ(g.neighbors(4).size(), 1u);
+  EXPECT_EQ(g.neighbors(4)[0], 2u);
+}
+
+TEST(Graph, HasEdgeAndDegree) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.finalize();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_FALSE(g.has_edge(0, 99));
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(Graph, IsolatedNodesAllowed) {
+  Graph g(10);
+  g.add_edge(0, 1);
+  g.finalize();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.degree(9), 0u);
+}
+
+// --- Chimera ---------------------------------------------------------------
+
+TEST(Chimera, NodeCount) {
+  // C(m, n, t) has 2 t m n qubits.
+  EXPECT_EQ(make_chimera(1, 1, 4).num_nodes(), 8u);
+  EXPECT_EQ(make_chimera(2, 3, 4).num_nodes(), 48u);
+  EXPECT_EQ(make_chimera(16, 16, 4).num_nodes(), 2048u);  // DW2000Q scale.
+}
+
+TEST(Chimera, EdgeCount) {
+  // Intra-cell: t^2 per cell. Inter: t per vertical and horizontal border.
+  // C(m, n, t): m n t^2 + (m-1) n t + m (n-1) t.
+  const auto count = [](std::size_t m, std::size_t n, std::size_t t) {
+    return m * n * t * t + (m - 1) * n * t + m * (n - 1) * t;
+  };
+  EXPECT_EQ(make_chimera(1, 1, 4).num_edges(), count(1, 1, 4));
+  EXPECT_EQ(make_chimera(2, 2, 4).num_edges(), count(2, 2, 4));
+  EXPECT_EQ(make_chimera(3, 2, 2).num_edges(), count(3, 2, 2));
+}
+
+TEST(Chimera, SingleCellIsCompleteBipartite) {
+  const Graph g = make_chimera(1, 1, 4);
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 4; b < 8; ++b) {
+      EXPECT_TRUE(g.has_edge(a, b));
+    }
+    for (std::size_t b = 0; b < 4; ++b) {
+      if (a != b) {
+        EXPECT_FALSE(g.has_edge(a, b));  // No intra-shore edges.
+      }
+    }
+  }
+}
+
+TEST(Chimera, CoordinateRoundTrip) {
+  const std::size_t cols = 3;
+  const std::size_t shore = 4;
+  for (std::size_t id = 0; id < 2 * 3 * cols * shore; ++id) {
+    const ChimeraCoord coord = chimera_from_linear(id, cols, shore);
+    EXPECT_EQ(chimera_to_linear(coord, cols, shore), id);
+    EXPECT_LT(coord.side, 2u);
+    EXPECT_LT(coord.offset, shore);
+  }
+}
+
+TEST(Chimera, VerticalCouplersConnectRows) {
+  const Graph g = make_chimera(2, 1, 2);
+  // Vertical-side qubit (0,0,0,k) couples to (1,0,0,k).
+  const auto a = chimera_to_linear({0, 0, 0, 0}, 1, 2);
+  const auto b = chimera_to_linear({1, 0, 0, 0}, 1, 2);
+  EXPECT_TRUE(g.has_edge(a, b));
+  // Horizontal-side qubits do not couple across rows.
+  const auto c = chimera_to_linear({0, 0, 1, 0}, 1, 2);
+  const auto d = chimera_to_linear({1, 0, 1, 0}, 1, 2);
+  EXPECT_FALSE(g.has_edge(c, d));
+}
+
+TEST(Chimera, HorizontalCouplersConnectColumns) {
+  const Graph g = make_chimera(1, 2, 2);
+  const auto a = chimera_to_linear({0, 0, 1, 1}, 2, 2);
+  const auto b = chimera_to_linear({0, 1, 1, 1}, 2, 2);
+  EXPECT_TRUE(g.has_edge(a, b));
+}
+
+TEST(Chimera, RejectsZeroDimensions) {
+  EXPECT_THROW(make_chimera(0, 1, 4), std::invalid_argument);
+  EXPECT_THROW(make_chimera(1, 0, 4), std::invalid_argument);
+  EXPECT_THROW(make_chimera(1, 1, 0), std::invalid_argument);
+}
+
+TEST(Chimera, MaxDegreeIsShorePlusTwo) {
+  const Graph g = make_chimera(3, 3, 4);
+  std::size_t max_degree = 0;
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    max_degree = std::max(max_degree, g.degree(v));
+  }
+  EXPECT_EQ(max_degree, 6u);  // t intra + 2 inter.
+}
+
+}  // namespace
+}  // namespace qsmt::graph

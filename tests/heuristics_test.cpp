@@ -1,0 +1,191 @@
+// Tests for the greedy, random, and tabu samplers.
+#include <gtest/gtest.h>
+
+#include "anneal/exact.hpp"
+#include "anneal/greedy.hpp"
+#include "anneal/random_sampler.hpp"
+#include "anneal/tabu.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::anneal {
+namespace {
+
+qubo::QuboModel random_model(std::size_t n, Xoshiro256& rng) {
+  qubo::QuboModel model(n);
+  for (std::size_t i = 0; i < n; ++i)
+    model.add_linear(i, rng.uniform() * 2.0 - 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.uniform() < 0.4)
+        model.add_quadratic(i, j, rng.uniform() * 2.0 - 1.0);
+    }
+  }
+  return model;
+}
+
+// --- GreedyDescent ---------------------------------------------------------
+
+TEST(GreedyDescend, ReachesLocalMinimum) {
+  Xoshiro256 rng(1);
+  const auto model = random_model(12, rng);
+  const qubo::QuboAdjacency adjacency(model);
+  std::vector<std::uint8_t> bits(12);
+  for (auto& b : bits) b = rng.coin();
+
+  detail::greedy_descend(adjacency, bits);
+  // No single flip may improve further.
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_GE(adjacency.flip_delta(bits, i), -1e-12);
+  }
+}
+
+TEST(GreedyDescend, NeverIncreasesEnergy) {
+  Xoshiro256 rng(2);
+  const auto model = random_model(10, rng);
+  const qubo::QuboAdjacency adjacency(model);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint8_t> bits(10);
+    for (auto& b : bits) b = rng.coin();
+    const double before = adjacency.energy(bits);
+    detail::greedy_descend(adjacency, bits);
+    EXPECT_LE(adjacency.energy(bits), before + 1e-12);
+  }
+}
+
+TEST(GreedyDescend, SolvesDiagonalModelFromAnyStart) {
+  qubo::QuboModel model(8);
+  for (std::size_t i = 0; i < 8; ++i) model.add_linear(i, -1.0);
+  const qubo::QuboAdjacency adjacency(model);
+  std::vector<std::uint8_t> bits(8, 0);
+  const std::size_t flips = detail::greedy_descend(adjacency, bits);
+  EXPECT_EQ(flips, 8u);
+  EXPECT_DOUBLE_EQ(adjacency.energy(bits), -8.0);
+}
+
+TEST(GreedyDescent, SamplerFindsGoodSolutions) {
+  Xoshiro256 rng(3);
+  const auto model = random_model(12, rng);
+  const double ground = ExactSolver().ground_energy(model);
+  GreedyDescentParams params;
+  params.num_reads = 128;
+  params.seed = 5;
+  const SampleSet samples = GreedyDescent(params).sample(model);
+  // Many restarts of steepest descent should come close to the ground state.
+  EXPECT_LE(samples.lowest_energy(), ground + 1.0);
+}
+
+TEST(GreedyDescent, DeterministicForFixedSeed) {
+  Xoshiro256 rng(4);
+  const auto model = random_model(10, rng);
+  GreedyDescentParams params;
+  params.seed = 9;
+  const SampleSet a = GreedyDescent(params).sample(model);
+  const SampleSet b = GreedyDescent(params).sample(model);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].bits, b[i].bits);
+}
+
+TEST(GreedyDescent, RejectsZeroReads) {
+  GreedyDescentParams params;
+  params.num_reads = 0;
+  EXPECT_THROW(GreedyDescent{params}, std::invalid_argument);
+}
+
+// --- RandomSampler -----------------------------------------------------------
+
+TEST(RandomSampler, ProducesRequestedReads) {
+  qubo::QuboModel model(6);
+  RandomSamplerParams params;
+  params.num_reads = 50;
+  const SampleSet samples = RandomSampler(params).sample(model);
+  EXPECT_EQ(samples.total_reads(), 50u);
+}
+
+TEST(RandomSampler, EnergiesMatchModel) {
+  Xoshiro256 rng(5);
+  const auto model = random_model(8, rng);
+  const SampleSet samples = RandomSampler().sample(model);
+  for (const Sample& s : samples) {
+    EXPECT_NEAR(model.energy(s.bits), s.energy, 1e-9);
+  }
+}
+
+TEST(RandomSampler, IsTypicallyWorseThanGreedy) {
+  Xoshiro256 rng(6);
+  const auto model = random_model(14, rng);
+  RandomSamplerParams rp;
+  rp.num_reads = 32;
+  GreedyDescentParams gp;
+  gp.num_reads = 32;
+  const double random_best = RandomSampler(rp).sample(model).lowest_energy();
+  const double greedy_best = GreedyDescent(gp).sample(model).lowest_energy();
+  EXPECT_LE(greedy_best, random_best + 1e-12);
+}
+
+TEST(RandomSampler, RejectsZeroReads) {
+  RandomSamplerParams params;
+  params.num_reads = 0;
+  EXPECT_THROW(RandomSampler{params}, std::invalid_argument);
+}
+
+// --- TabuSampler -------------------------------------------------------------
+
+TEST(TabuSampler, FindsGroundOfSmallModels) {
+  for (std::uint64_t seed : {10u, 11u, 12u, 13u}) {
+    Xoshiro256 rng(seed);
+    const auto model = random_model(12, rng);
+    const double ground = ExactSolver().ground_energy(model);
+    TabuParams params;
+    params.seed = seed;
+    const SampleSet samples = TabuSampler(params).sample(model);
+    EXPECT_NEAR(samples.lowest_energy(), ground, 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(TabuSampler, EscapesLocalMinimaViaUphillMoves) {
+  // Double-well: all-zero is a local minimum (every single flip costs 1 - 2
+  // + ... ), ground is all-ones. Greedy from all-zero-ish starts can stall;
+  // tabu's forced best-admissible move walks out.
+  qubo::QuboModel model(6);
+  for (std::size_t i = 0; i < 6; ++i) model.add_linear(i, 1.0);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) {
+      model.add_quadratic(i, j, -0.6);
+    }
+  }
+  // all ones: 6 - 0.6*15 = -3. single one: +1. zero: 0.
+  TabuParams params;
+  params.num_restarts = 4;
+  params.seed = 3;
+  const SampleSet samples = TabuSampler(params).sample(model);
+  EXPECT_NEAR(samples.lowest_energy(), -3.0, 1e-9);
+}
+
+TEST(TabuSampler, DeterministicForFixedSeed) {
+  Xoshiro256 rng(14);
+  const auto model = random_model(10, rng);
+  TabuParams params;
+  params.seed = 21;
+  const SampleSet a = TabuSampler(params).sample(model);
+  const SampleSet b = TabuSampler(params).sample(model);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].bits, b[i].bits);
+}
+
+TEST(TabuSampler, RejectsInvalidParams) {
+  TabuParams params;
+  params.num_restarts = 0;
+  EXPECT_THROW(TabuSampler{params}, std::invalid_argument);
+  params.num_restarts = 1;
+  params.max_stale_iterations = 0;
+  EXPECT_THROW(TabuSampler{params}, std::invalid_argument);
+}
+
+TEST(Samplers, NamesAreStable) {
+  EXPECT_EQ(GreedyDescent().name(), "greedy-descent");
+  EXPECT_EQ(RandomSampler().name(), "random");
+  EXPECT_EQ(TabuSampler().name(), "tabu");
+}
+
+}  // namespace
+}  // namespace qsmt::anneal

@@ -1,0 +1,150 @@
+// Second integration suite: cross-topology embedding, noise through the
+// string stack, refinement loops, and the generate -> render -> solve
+// workflow.
+#include <gtest/gtest.h>
+
+#include "anneal/autotune.hpp"
+#include "anneal/noise.hpp"
+#include "anneal/reverse.hpp"
+#include "anneal/simulated_annealer.hpp"
+#include "engine/engine.hpp"
+#include "graph/embedded_sampler.hpp"
+#include "graph/topologies.hpp"
+#include "strenc/ascii7.hpp"
+#include "strqubo/solver.hpp"
+#include "strqubo/verify.hpp"
+#include "workload/generator.hpp"
+#include "workload/smt2_render.hpp"
+
+namespace qsmt {
+namespace {
+
+TEST(CrossTopology, KingLatticeSolvesStringConstraints) {
+  const graph::Graph king = graph::make_king(10, 10);
+  graph::EmbeddedSamplerParams params;
+  params.anneal.num_reads = 48;
+  params.anneal.num_sweeps = 384;
+  params.anneal.seed = 3;
+  const graph::EmbeddedSampler sampler(king, params);
+  const strqubo::StringConstraintSolver solver(sampler);
+  EXPECT_TRUE(solver.solve(strqubo::Palindrome{2}).satisfied);
+}
+
+TEST(CrossTopology, CompleteGraphEmbedsChainFree) {
+  const auto model = strqubo::build_includes("abcabc", "abc");
+  const graph::Graph complete =
+      graph::make_complete(model.num_variables());
+  graph::EmbeddedSamplerParams params;
+  params.anneal.num_reads = 32;
+  params.anneal.seed = 4;
+  const graph::EmbeddedSampler sampler(complete, params);
+  graph::EmbeddedSampleStats stats;
+  const auto samples = sampler.sample_with_stats(model, stats);
+  EXPECT_EQ(stats.embedding.max_chain_length(), 1u);
+  EXPECT_EQ(stats.physical_variables, model.num_variables());
+  EXPECT_FALSE(samples.empty());
+}
+
+TEST(NoiseThroughStack, MildNoiseStillSolvesStrings) {
+  anneal::SimulatedAnnealerParams inner_params;
+  inner_params.num_reads = 48;
+  inner_params.num_sweeps = 384;
+  inner_params.seed = 5;
+  const anneal::SimulatedAnnealer inner(inner_params);
+  anneal::NoisySamplerParams noise;
+  noise.sigma = 0.05;  // Realistic hardware-ICE scale.
+  noise.seed = 6;
+  const anneal::NoisySampler sampler(inner, noise);
+  const strqubo::StringConstraintSolver solver(sampler);
+  EXPECT_TRUE(solver.solve(strqubo::Equality{"noise"}).satisfied);
+  EXPECT_TRUE(solver.solve(strqubo::Palindrome{4}).satisfied);
+}
+
+TEST(RefinementLoop, ReverseAnnealPolishesCorruptedSolution) {
+  // Forward-solve, corrupt two bits, reverse-anneal back to a verified
+  // solution: the iterative-refinement workflow real annealers use.
+  const strqubo::Constraint constraint = strqubo::RegexMatch{"a[bc]+", 5};
+  const auto model = strqubo::build(constraint);
+
+  anneal::SimulatedAnnealerParams forward_params;
+  forward_params.num_reads = 32;
+  forward_params.num_sweeps = 256;
+  forward_params.seed = 7;
+  const anneal::SimulatedAnnealer forward(forward_params);
+  const auto first = forward.sample(model);
+  std::vector<std::uint8_t> state = first.best().bits;
+  state[3] ^= 1;
+  state[17] ^= 1;
+
+  anneal::ReverseAnnealerParams reverse_params;
+  reverse_params.num_reads = 16;
+  reverse_params.num_sweeps = 128;
+  reverse_params.seed = 8;
+  const anneal::ReverseAnnealer refiner(state, reverse_params);
+  const auto refined = refiner.sample(model);
+  const std::string decoded = strenc::decode_string(
+      std::span(refined.best().bits).subspan(0, 35));
+  EXPECT_TRUE(strqubo::verify_string(constraint, decoded)) << decoded;
+}
+
+TEST(AutotuneThroughStack, TunedBudgetSolvesTheConstraint) {
+  const strqubo::Constraint constraint = strqubo::Palindrome{6};
+  const auto model = strqubo::build(constraint);
+  anneal::TuneParams tune;
+  tune.seed = 9;
+  tune.target_success = 0.8;
+  const auto tuned = anneal::tune_sweeps(
+      model,
+      [&](std::span<const std::uint8_t> bits) {
+        return strqubo::verify_string(
+            constraint, strenc::decode_string(bits.subspan(0, 42)));
+      },
+      tune);
+  ASSERT_TRUE(tuned.target_met);
+
+  anneal::SimulatedAnnealerParams params;
+  params.num_reads = 32;
+  params.num_sweeps = tuned.sweeps;
+  params.seed = 10;
+  const anneal::SimulatedAnnealer annealer(params);
+  const strqubo::StringConstraintSolver solver(annealer);
+  EXPECT_TRUE(solver.solve(constraint).satisfied);
+}
+
+TEST(GenerateRenderSolve, WholeWorkflowAgreesWithDirectSolve) {
+  // generator -> .smt2 -> engine::solve_script must agree (on sat-ness)
+  // with solving the original constraint directly.
+  anneal::SimulatedAnnealerParams params;
+  params.num_reads = 48;
+  params.num_sweeps = 384;
+  params.seed = 11;
+  const anneal::SimulatedAnnealer annealer(params);
+  const strqubo::StringConstraintSolver direct(annealer);
+
+  workload::GeneratorParams gp;
+  gp.seed = 12;
+  gp.max_length = 5;
+  workload::Generator generator(gp);
+
+  std::size_t compared = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto constraint = generator.next();
+    const auto script = workload::to_smt2(constraint);
+    if (!script) continue;
+    const auto via_script = engine::solve_script(*script, annealer);
+    const auto via_direct = direct.solve(constraint);
+    if (via_direct.satisfied) {
+      EXPECT_EQ(via_script.status, smtlib::CheckSatStatus::kSat)
+          << strqubo::describe(constraint);
+      EXPECT_TRUE(
+          strqubo::verify_string(constraint, via_script.model_value))
+          << strqubo::describe(constraint) << " model '"
+          << via_script.model_value << "'";
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 20u);
+}
+
+}  // namespace
+}  // namespace qsmt

@@ -1,0 +1,189 @@
+// Cross-module integration tests: the full Figure-1 pipeline driven through
+// every sampler backend, the SMT front end over the hardware-simulation
+// stack, and quantum/classical parity.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "anneal/exact.hpp"
+#include "anneal/greedy.hpp"
+#include "anneal/pimc.hpp"
+#include "anneal/simulated_annealer.hpp"
+#include "anneal/tabu.hpp"
+#include "graph/chimera.hpp"
+#include "qubo/serialize.hpp"
+#include "graph/embedded_sampler.hpp"
+#include "sat/dpllt.hpp"
+#include "smtlib/driver.hpp"
+#include "smtlib/parser.hpp"
+#include "strqubo/pipeline.hpp"
+
+namespace qsmt {
+namespace {
+
+// --- Every sampler backend solves the same constraint set -------------------
+
+class EverySamplerBackend
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<anneal::Sampler> make(const std::string& kind) const {
+    if (kind == "sa") {
+      anneal::SimulatedAnnealerParams p;
+      p.num_reads = 48;
+      p.num_sweeps = 256;
+      p.seed = 5;
+      return std::make_unique<anneal::SimulatedAnnealer>(p);
+    }
+    if (kind == "pimc") {
+      anneal::PathIntegralParams p;
+      p.num_reads = 24;
+      p.num_sweeps = 192;
+      p.seed = 5;
+      return std::make_unique<anneal::PathIntegralAnnealer>(p);
+    }
+    if (kind == "tabu") {
+      anneal::TabuParams p;
+      p.num_restarts = 24;
+      p.seed = 5;
+      return std::make_unique<anneal::TabuSampler>(p);
+    }
+    if (kind == "greedy") {
+      anneal::GreedyDescentParams p;
+      p.num_reads = 256;
+      p.seed = 5;
+      return std::make_unique<anneal::GreedyDescent>(p);
+    }
+    return std::make_unique<anneal::ExactSolver>();
+  }
+};
+
+TEST_P(EverySamplerBackend, SolvesCoreConstraints) {
+  const auto sampler = make(GetParam());
+  const strqubo::StringConstraintSolver solver(*sampler);
+  // Keep instances small enough for the exact backend too.
+  const std::vector<strqubo::Constraint> constraints{
+      strqubo::Equality{"hi"},
+      strqubo::Palindrome{2},
+      strqubo::Includes{"abcab", "ab"},
+  };
+  for (const auto& constraint : constraints) {
+    const auto result = solver.solve(constraint);
+    EXPECT_TRUE(result.satisfied)
+        << GetParam() << " on " << strqubo::describe(constraint);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EverySamplerBackend,
+                         ::testing::Values("sa", "pimc", "tabu", "greedy",
+                                           "exact"));
+
+// --- Hardware simulation stack end to end ----------------------------------
+
+TEST(HardwareStack, SmtScriptOverEmbeddedSampler) {
+  const graph::Graph chimera = graph::make_chimera(4, 4, 4);
+  graph::EmbeddedSamplerParams params;
+  params.anneal.num_reads = 48;
+  params.anneal.num_sweeps = 384;
+  params.anneal.seed = 3;
+  const graph::EmbeddedSampler sampler(chimera, params);
+
+  smtlib::SmtDriver driver(sampler);
+  const std::string out = driver.run_script(R"(
+    (declare-const x String)
+    (assert (= x "ok"))
+    (check-sat)
+    (get-model)
+  )");
+  EXPECT_NE(out.find("sat\n"), std::string::npos);
+  EXPECT_NE(out.find("\"ok\""), std::string::npos);
+}
+
+TEST(HardwareStack, PalindromeThroughEmbedding) {
+  const graph::Graph chimera = graph::make_chimera(4, 4, 4);
+  graph::EmbeddedSamplerParams params;
+  params.anneal.num_reads = 64;
+  params.anneal.num_sweeps = 512;
+  params.anneal.seed = 11;
+  const graph::EmbeddedSampler sampler(chimera, params);
+  const strqubo::StringConstraintSolver solver(sampler);
+  const auto result = solver.solve(strqubo::Palindrome{4});
+  EXPECT_TRUE(result.satisfied);
+}
+
+// --- Pipeline over the quantum simulator ------------------------------------
+
+TEST(QuantumPipeline, Table1RowOneOnPimc) {
+  anneal::PathIntegralParams p;
+  p.num_reads = 24;
+  p.num_sweeps = 256;
+  p.seed = 9;
+  const anneal::PathIntegralAnnealer annealer(p);
+  const strqubo::StringConstraintSolver solver(annealer);
+  strqubo::Pipeline pipeline{strqubo::Reverse{"hello"}};
+  pipeline.then(strqubo::ThenReplaceAll{'e', 'a'});
+  const auto result = pipeline.run(solver);
+  EXPECT_EQ(result.final_value, "ollah");
+  EXPECT_TRUE(result.all_satisfied);
+}
+
+TEST(QuantumClassicalParity, SameGroundEnergyOnPalindrome) {
+  const auto model = strqubo::build_palindrome(3);
+  anneal::SimulatedAnnealerParams sp;
+  sp.num_reads = 32;
+  sp.num_sweeps = 256;
+  sp.seed = 2;
+  anneal::PathIntegralParams qp;
+  qp.num_reads = 16;
+  qp.num_sweeps = 256;
+  qp.seed = 2;
+  const double classical =
+      anneal::SimulatedAnnealer(sp).sample(model).lowest_energy();
+  const double quantum =
+      anneal::PathIntegralAnnealer(qp).sample(model).lowest_energy();
+  EXPECT_DOUBLE_EQ(classical, quantum);
+  EXPECT_DOUBLE_EQ(classical, 0.0);
+}
+
+// --- DPLL(T) over the whole stack -------------------------------------------
+
+TEST(FullStack, DpllTWithRegexBranches) {
+  anneal::SimulatedAnnealerParams p;
+  p.num_reads = 48;
+  p.num_sweeps = 256;
+  p.seed = 21;
+  const anneal::SimulatedAnnealer annealer(p);
+  const sat::DpllTSolver solver(annealer);
+
+  std::vector<smtlib::TermPtr> assertions;
+  std::map<std::string, smtlib::Sort> declared;
+  for (const auto& command : smtlib::parse_script(R"(
+        (declare-const x String)
+        (assert (= (str.len x) 3))
+        (assert (or (str.in_re x (re.+ (str.to_re "z")))
+                    (str.contains x "ab")))
+        (assert (not (= x "zzz")))
+      )")) {
+    if (const auto* decl = std::get_if<smtlib::DeclareConst>(&command)) {
+      declared.emplace(decl->name, decl->sort);
+    } else if (const auto* a = std::get_if<smtlib::AssertCmd>(&command)) {
+      assertions.push_back(a->term);
+    }
+  }
+  const auto result = solver.solve(assertions, declared);
+  ASSERT_EQ(result.status, smtlib::CheckSatStatus::kSat);
+  // zzz is excluded, so the witness must take the contains branch.
+  EXPECT_NE(result.model_value.find("ab"), std::string::npos);
+}
+
+// --- Model serialization across the stack -----------------------------------
+
+TEST(FullStack, SerializedModelSolvesIdentically) {
+  const auto model = strqubo::build(strqubo::RegexMatch{"a[bc]+", 4});
+  const auto restored =
+      qubo::from_coo_string(qubo::to_coo_string(model));
+  const anneal::ExactSolver exact;
+  EXPECT_DOUBLE_EQ(exact.ground_energy(model), exact.ground_energy(restored));
+}
+
+}  // namespace
+}  // namespace qsmt

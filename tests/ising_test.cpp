@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qubo/ising.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::qubo {
+namespace {
+
+QuboModel random_model(std::size_t n, Xoshiro256& rng) {
+  QuboModel model(n);
+  model.set_offset(rng.uniform() - 0.5);
+  for (std::size_t i = 0; i < n; ++i)
+    model.add_linear(i, rng.uniform() * 2.0 - 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.uniform() < 0.5)
+        model.add_quadratic(i, j, rng.uniform() * 2.0 - 1.0);
+    }
+  }
+  return model;
+}
+
+TEST(SpinConversions, RoundTrip) {
+  const std::vector<std::uint8_t> bits{1, 0, 1, 1, 0};
+  const auto spins = bits_to_spins(bits);
+  ASSERT_EQ(spins.size(), 5u);
+  EXPECT_EQ(spins[0], 1);
+  EXPECT_EQ(spins[1], -1);
+  EXPECT_EQ(spins_to_bits(spins), bits);
+}
+
+TEST(IsingModel, AddCouplingSymmetricAndGrowing) {
+  IsingModel ising;
+  ising.h.resize(1, 0.0);
+  ising.add_coupling(3, 1, 0.5);
+  EXPECT_EQ(ising.num_variables(), 4u);
+  EXPECT_DOUBLE_EQ(ising.coupling_at(1, 3), 0.5);
+  EXPECT_DOUBLE_EQ(ising.coupling_at(3, 1), 0.5);
+  EXPECT_DOUBLE_EQ(ising.coupling_at(0, 1), 0.0);
+}
+
+TEST(IsingModel, SelfCouplingThrows) {
+  IsingModel ising;
+  EXPECT_THROW(ising.add_coupling(2, 2, 1.0), std::invalid_argument);
+}
+
+TEST(IsingModel, EnergyEvaluates) {
+  IsingModel ising;
+  ising.h = {1.0, -0.5};
+  ising.add_coupling(0, 1, 2.0);
+  ising.offset = 0.25;
+  const std::vector<std::int8_t> up_up{1, 1};
+  EXPECT_DOUBLE_EQ(ising.energy(up_up), 0.25 + 1.0 - 0.5 + 2.0);
+  const std::vector<std::int8_t> up_down{1, -1};
+  EXPECT_DOUBLE_EQ(ising.energy(up_down), 0.25 + 1.0 + 0.5 - 2.0);
+}
+
+TEST(IsingModel, EnergySizeMismatchThrows) {
+  IsingModel ising;
+  ising.h = {0.0, 0.0};
+  const std::vector<std::int8_t> spins{1};
+  EXPECT_THROW(ising.energy(spins), std::invalid_argument);
+}
+
+TEST(QuboToIsing, PreservesEnergyForAllAssignments) {
+  Xoshiro256 rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const QuboModel qubo = random_model(6, rng);
+    const IsingModel ising = qubo_to_ising(qubo);
+    for (int mask = 0; mask < 64; ++mask) {
+      std::vector<std::uint8_t> bits(6);
+      for (int i = 0; i < 6; ++i) bits[static_cast<std::size_t>(i)] = (mask >> i) & 1;
+      const auto spins = bits_to_spins(bits);
+      EXPECT_NEAR(qubo.energy(bits), ising.energy(spins), 1e-9);
+    }
+  }
+}
+
+TEST(IsingToQubo, PreservesEnergyForAllAssignments) {
+  IsingModel ising;
+  ising.h = {0.3, -0.7, 1.1};
+  ising.add_coupling(0, 1, -0.4);
+  ising.add_coupling(1, 2, 0.9);
+  ising.offset = -2.0;
+  const QuboModel qubo = ising_to_qubo(ising);
+  for (int mask = 0; mask < 8; ++mask) {
+    std::vector<std::uint8_t> bits(3);
+    for (int i = 0; i < 3; ++i) bits[static_cast<std::size_t>(i)] = (mask >> i) & 1;
+    const auto spins = bits_to_spins(bits);
+    EXPECT_NEAR(qubo.energy(bits), ising.energy(spins), 1e-9);
+  }
+}
+
+TEST(QuboIsingRoundTrip, RecoversEnergies) {
+  Xoshiro256 rng(9);
+  const QuboModel original = random_model(5, rng);
+  const QuboModel round_tripped = ising_to_qubo(qubo_to_ising(original));
+  for (int mask = 0; mask < 32; ++mask) {
+    std::vector<std::uint8_t> bits(5);
+    for (int i = 0; i < 5; ++i) bits[static_cast<std::size_t>(i)] = (mask >> i) & 1;
+    EXPECT_NEAR(original.energy(bits), round_tripped.energy(bits), 1e-9);
+  }
+}
+
+TEST(QuboToIsing, DiagonalOnlyModelHasNoCouplings) {
+  QuboModel qubo(4);
+  for (std::size_t i = 0; i < 4; ++i) qubo.add_linear(i, 1.0);
+  const IsingModel ising = qubo_to_ising(qubo);
+  EXPECT_TRUE(ising.coupling.empty());
+  for (double h : ising.h) EXPECT_DOUBLE_EQ(h, 0.5);
+  EXPECT_DOUBLE_EQ(ising.offset, 2.0);
+}
+
+}  // namespace
+}  // namespace qsmt::qubo

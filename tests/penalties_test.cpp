@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "qubo/penalties.hpp"
+
+namespace qsmt::qubo {
+namespace {
+
+// Enumerates all assignments of an n-variable model, returning the energy of
+// each mask (bit i of mask = variable i).
+std::vector<double> all_energies(const QuboModel& model) {
+  const std::size_t n = model.num_variables();
+  std::vector<double> energies;
+  energies.reserve(1u << n);
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    std::vector<std::uint8_t> bits(n);
+    for (std::size_t i = 0; i < n; ++i) bits[i] = (mask >> i) & 1;
+    energies.push_back(model.energy(bits));
+  }
+  return energies;
+}
+
+TEST(OneHot, GroundStatesAreExactlyOneHot) {
+  QuboModel model(4);
+  const std::vector<std::size_t> vars{0, 1, 2, 3};
+  add_one_hot(model, vars, 2.0);
+  const auto energies = all_energies(model);
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    if (std::popcount(mask) == 1) {
+      EXPECT_NEAR(energies[mask], 0.0, 1e-12) << "mask=" << mask;
+    } else {
+      EXPECT_GT(energies[mask], 0.5) << "mask=" << mask;
+    }
+  }
+}
+
+TEST(OneHot, SubsetOfVariables) {
+  QuboModel model(3);
+  const std::vector<std::size_t> vars{0, 2};
+  add_one_hot(model, vars, 1.0);
+  // Variable 1 must be unconstrained.
+  EXPECT_DOUBLE_EQ(model.linear(1), 0.0);
+  const auto energies = all_energies(model);
+  EXPECT_NEAR(energies[0b001], 0.0, 1e-12);
+  EXPECT_NEAR(energies[0b100], 0.0, 1e-12);
+  EXPECT_NEAR(energies[0b011], 0.0, 1e-12);  // var1 free.
+  EXPECT_GT(energies[0b101], 0.5);           // Both selected.
+  EXPECT_GT(energies[0b000], 0.5);           // None selected.
+}
+
+TEST(PairwiseExclusion, PenalizesPairsOnly) {
+  QuboModel model(3);
+  const std::vector<std::size_t> vars{0, 1, 2};
+  add_pairwise_exclusion(model, vars, 3.0);
+  const auto energies = all_energies(model);
+  EXPECT_DOUBLE_EQ(energies[0b000], 0.0);  // All zero allowed (unlike one-hot).
+  EXPECT_DOUBLE_EQ(energies[0b001], 0.0);
+  EXPECT_DOUBLE_EQ(energies[0b011], 3.0);
+  EXPECT_DOUBLE_EQ(energies[0b111], 9.0);  // Three pairs.
+}
+
+TEST(EqualBits, ZeroIffEqual) {
+  QuboModel model(2);
+  add_equal_bits(model, 0, 1, 5.0);
+  const auto energies = all_energies(model);
+  EXPECT_DOUBLE_EQ(energies[0b00], 0.0);
+  EXPECT_DOUBLE_EQ(energies[0b11], 0.0);
+  EXPECT_DOUBLE_EQ(energies[0b01], 5.0);
+  EXPECT_DOUBLE_EQ(energies[0b10], 5.0);
+}
+
+TEST(DifferBits, ZeroIffDifferent) {
+  QuboModel model(2);
+  add_differ_bits(model, 0, 1, 4.0);
+  const auto energies = all_energies(model);
+  EXPECT_DOUBLE_EQ(energies[0b01], 0.0);
+  EXPECT_DOUBLE_EQ(energies[0b10], 0.0);
+  EXPECT_DOUBLE_EQ(energies[0b00], 4.0);
+  EXPECT_DOUBLE_EQ(energies[0b11], 4.0);
+}
+
+class ExactlyKTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExactlyKTest, GroundStatesHavePopcountK) {
+  const std::size_t k = GetParam();
+  QuboModel model(5);
+  const std::vector<std::size_t> vars{0, 1, 2, 3, 4};
+  add_exactly_k(model, vars, k, 1.5);
+  const auto energies = all_energies(model);
+  for (unsigned mask = 0; mask < 32; ++mask) {
+    if (std::popcount(mask) == static_cast<int>(k)) {
+      EXPECT_NEAR(energies[mask], 0.0, 1e-12) << "mask=" << mask;
+    } else {
+      EXPECT_GT(energies[mask], 1.0) << "mask=" << mask;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllK, ExactlyKTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u));
+
+TEST(PinBit, BiasesTowardTarget) {
+  QuboModel model(2);
+  pin_bit(model, 0, true, 2.0);
+  pin_bit(model, 1, false, 2.0);
+  EXPECT_DOUBLE_EQ(model.linear(0), -2.0);
+  EXPECT_DOUBLE_EQ(model.linear(1), 2.0);
+  // Ground state is x0=1, x1=0.
+  std::vector<std::uint8_t> ground{1, 0};
+  std::vector<std::uint8_t> other{0, 1};
+  EXPECT_LT(model.energy(ground), model.energy(other));
+}
+
+TEST(Gadgets, ComposeAdditively) {
+  // One-hot over {0,1} plus equal_bits(1,2): ground states are 100 / 011.
+  QuboModel model(3);
+  const std::vector<std::size_t> vars{0, 1};
+  add_one_hot(model, vars, 1.0);
+  add_equal_bits(model, 1, 2, 1.0);
+  const auto energies = all_energies(model);
+  EXPECT_NEAR(energies[0b001], 0.0, 1e-12);  // x0=1, x1=0, x2=0.
+  EXPECT_NEAR(energies[0b110], 0.0, 1e-12);  // x0=0, x1=1, x2=1.
+  EXPECT_GT(energies[0b010], 0.5);
+  EXPECT_GT(energies[0b111], 0.5);
+}
+
+}  // namespace
+}  // namespace qsmt::qubo

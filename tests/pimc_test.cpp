@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "anneal/exact.hpp"
+#include "anneal/pimc.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::anneal {
+namespace {
+
+qubo::QuboModel random_model(std::size_t n, Xoshiro256& rng) {
+  qubo::QuboModel model(n);
+  for (std::size_t i = 0; i < n; ++i)
+    model.add_linear(i, rng.uniform() * 2.0 - 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.uniform() < 0.4)
+        model.add_quadratic(i, j, rng.uniform() * 2.0 - 1.0);
+    }
+  }
+  return model;
+}
+
+PathIntegralParams fast_params(std::uint64_t seed) {
+  PathIntegralParams p;
+  p.num_reads = 16;
+  p.num_sweeps = 128;
+  p.num_slices = 8;
+  p.seed = seed;
+  return p;
+}
+
+TEST(TrotterCoupling, IsPositive) {
+  EXPECT_GT(trotter_coupling(1.0, 16, 0.05), 0.0);
+  EXPECT_GT(trotter_coupling(0.01, 16, 0.05), 0.0);
+}
+
+TEST(TrotterCoupling, GrowsWithoutBoundAsFieldVanishes) {
+  // Γ -> 0 locks the replicas together (classical limit); the growth is
+  // logarithmic in 1/Γ.
+  const double at_01 = trotter_coupling(0.1, 16, 0.05);
+  const double at_1em6 = trotter_coupling(1e-6, 16, 0.05);
+  const double at_1em12 = trotter_coupling(1e-12, 16, 0.05);
+  EXPECT_GT(at_1em6, at_01);
+  EXPECT_GT(at_1em12, at_1em6);
+  // Doubling the exponent roughly doubles J⊥ in the deep-lock regime.
+  EXPECT_NEAR(at_1em12 / at_1em6, 2.0, 0.1);
+}
+
+TEST(TrotterCoupling, ShrinksAsFieldGrows) {
+  EXPECT_LT(trotter_coupling(5.0, 16, 0.05), trotter_coupling(0.5, 16, 0.05));
+}
+
+TEST(TrotterCoupling, ValidatesArguments) {
+  EXPECT_THROW(trotter_coupling(0.0, 16, 0.05), std::invalid_argument);
+  EXPECT_THROW(trotter_coupling(1.0, 1, 0.05), std::invalid_argument);
+  EXPECT_THROW(trotter_coupling(1.0, 16, 0.0), std::invalid_argument);
+}
+
+TEST(PathIntegralAnnealer, RejectsInvalidParams) {
+  PathIntegralParams p = fast_params(0);
+  p.num_slices = 1;
+  EXPECT_THROW(PathIntegralAnnealer{p}, std::invalid_argument);
+  p = fast_params(0);
+  p.gamma_cold = p.gamma_hot + 1.0;
+  EXPECT_THROW(PathIntegralAnnealer{p}, std::invalid_argument);
+  p = fast_params(0);
+  p.temperature = 0.0;
+  EXPECT_THROW(PathIntegralAnnealer{p}, std::invalid_argument);
+  p = fast_params(0);
+  p.num_reads = 0;
+  EXPECT_THROW(PathIntegralAnnealer{p}, std::invalid_argument);
+}
+
+TEST(PathIntegralAnnealer, SolvesDiagonalModel) {
+  qubo::QuboModel model(14);
+  for (std::size_t i = 0; i < 14; ++i) {
+    model.add_linear(i, i % 2 == 0 ? -1.0 : 1.0);
+  }
+  const PathIntegralAnnealer annealer(fast_params(1));
+  const SampleSet samples = annealer.sample(model);
+  EXPECT_DOUBLE_EQ(samples.lowest_energy(), -7.0);
+}
+
+class PimcVsExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PimcVsExact, FindsGroundOfSmallRandomModels) {
+  Xoshiro256 rng(GetParam());
+  const auto model = random_model(10, rng);
+  const double ground = ExactSolver().ground_energy(model);
+  const PathIntegralAnnealer annealer(fast_params(GetParam() + 40));
+  EXPECT_NEAR(annealer.sample(model).lowest_energy(), ground, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PimcVsExact, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(PathIntegralAnnealer, DeterministicForFixedSeed) {
+  Xoshiro256 rng(50);
+  const auto model = random_model(8, rng);
+  const PathIntegralAnnealer annealer(fast_params(12));
+  const SampleSet a = annealer.sample(model);
+  const SampleSet b = annealer.sample(model);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].bits, b[i].bits);
+}
+
+TEST(PathIntegralAnnealer, SolvesEqualityGadgetChain) {
+  // Mirrored-bit chain, the palindrome formulation's shape: ground energy 0.
+  qubo::QuboModel model(12);
+  for (std::size_t i = 0; i < 6; ++i) {
+    model.add_linear(i, 1.0);
+    model.add_linear(11 - i, 1.0);
+    model.add_quadratic(i, 11 - i, -2.0);
+  }
+  const PathIntegralAnnealer annealer(fast_params(3));
+  EXPECT_NEAR(annealer.sample(model).lowest_energy(), 0.0, 1e-9);
+}
+
+TEST(PathIntegralAnnealer, NameIsStable) {
+  EXPECT_EQ(PathIntegralAnnealer(fast_params(0)).name(),
+            "path-integral-quantum");
+}
+
+}  // namespace
+}  // namespace qsmt::anneal

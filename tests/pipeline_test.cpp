@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "anneal/simulated_annealer.hpp"
+#include "strqubo/pipeline.hpp"
+
+namespace qsmt::strqubo {
+namespace {
+
+anneal::SimulatedAnnealer fast_annealer(std::uint64_t seed) {
+  anneal::SimulatedAnnealerParams p;
+  p.num_reads = 48;
+  p.num_sweeps = 192;
+  p.seed = seed;
+  return anneal::SimulatedAnnealer(p);
+}
+
+TEST(Materialize, TransformsBecomeConstraints) {
+  EXPECT_TRUE(std::holds_alternative<Reverse>(
+      materialize(ThenReverse{}, "abc")));
+  EXPECT_EQ(std::get<Reverse>(materialize(ThenReverse{}, "abc")).input, "abc");
+
+  const auto replace_all = materialize(ThenReplaceAll{'a', 'b'}, "aaa");
+  EXPECT_EQ(std::get<ReplaceAll>(replace_all).input, "aaa");
+  EXPECT_EQ(std::get<ReplaceAll>(replace_all).from, 'a');
+
+  const auto replace = materialize(ThenReplace{'a', 'b'}, "aaa");
+  EXPECT_TRUE(std::holds_alternative<Replace>(replace));
+
+  const auto concat = materialize(ThenConcat{"xyz"}, "ab");
+  EXPECT_EQ(std::get<Concat>(concat).lhs, "ab");
+  EXPECT_EQ(std::get<Concat>(concat).rhs, "xyz");
+}
+
+TEST(Pipeline, Table1ReverseThenReplace) {
+  // Table 1 row 1: "Reverse 'hello' and replace 'e' with 'a'" -> "ollah".
+  const auto annealer = fast_annealer(1);
+  const StringConstraintSolver solver(annealer);
+  Pipeline pipeline{Reverse{"hello"}};
+  pipeline.then(ThenReplaceAll{'e', 'a'});
+  const auto result = pipeline.run(solver);
+  EXPECT_EQ(result.final_value, "ollah");
+  EXPECT_TRUE(result.all_satisfied);
+  ASSERT_EQ(result.stages.size(), 2u);
+  EXPECT_EQ(result.stages[0].result.text, "olleh");
+}
+
+TEST(Pipeline, Table1ConcatThenReplaceAll) {
+  // Table 1 row 4: concatenate 'hello' and ' world', replace all 'l' with
+  // 'x' -> "hexxo worxd".
+  const auto annealer = fast_annealer(2);
+  const StringConstraintSolver solver(annealer);
+  Pipeline pipeline{Concat{"hello", " world"}};
+  pipeline.then(ThenReplaceAll{'l', 'x'});
+  const auto result = pipeline.run(solver);
+  EXPECT_EQ(result.final_value, "hexxo worxd");
+  EXPECT_TRUE(result.all_satisfied);
+}
+
+TEST(Pipeline, ChainsManyTransforms) {
+  const auto annealer = fast_annealer(3);
+  const StringConstraintSolver solver(annealer);
+  Pipeline pipeline{Equality{"ab"}};
+  pipeline.then(ThenConcat{"cd"})
+      .then(ThenReverse{})
+      .then(ThenReplace{'d', 'x'});
+  const auto result = pipeline.run(solver);
+  // ab -> abcd -> dcba -> xcba.
+  EXPECT_EQ(result.final_value, "xcba");
+  EXPECT_TRUE(result.all_satisfied);
+  EXPECT_EQ(result.stages.size(), 4u);
+  EXPECT_EQ(pipeline.num_stages(), 4u);
+}
+
+TEST(Pipeline, StartingFromGeneratedPalindrome) {
+  const auto annealer = fast_annealer(4);
+  const StringConstraintSolver solver(annealer);
+  Pipeline pipeline{Palindrome{4}};
+  pipeline.then(ThenReverse{});
+  const auto result = pipeline.run(solver);
+  EXPECT_TRUE(result.all_satisfied);
+  // Reversing a palindrome returns it unchanged.
+  EXPECT_EQ(result.final_value, *result.stages[0].result.text);
+}
+
+TEST(Pipeline, RejectsIncludesAsFirstStage) {
+  EXPECT_THROW((Pipeline{Includes{"abc", "b"}}), std::invalid_argument);
+}
+
+TEST(Pipeline, RecordsPerStageStatistics) {
+  const auto annealer = fast_annealer(5);
+  const StringConstraintSolver solver(annealer);
+  Pipeline pipeline{Equality{"hi"}};
+  pipeline.then(ThenReverse{});
+  const auto result = pipeline.run(solver);
+  for (const auto& stage : result.stages) {
+    EXPECT_GT(stage.result.num_variables, 0u);
+    EXPECT_TRUE(stage.result.satisfied);
+  }
+  EXPECT_EQ(constraint_name(result.stages[1].constraint), "reverse");
+}
+
+}  // namespace
+}  // namespace qsmt::strqubo

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "qubo/quadratization.hpp"
+
+namespace qsmt::qubo {
+namespace {
+
+// Enumerates all assignments of `model`, invoking `visit(mask, energy)`.
+template <typename Visit>
+void for_all(const QuboModel& model, Visit&& visit) {
+  const std::size_t n = model.num_variables();
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    std::vector<std::uint8_t> bits(n);
+    for (std::size_t i = 0; i < n; ++i) bits[i] = (mask >> i) & 1;
+    visit(mask, model.energy(bits));
+  }
+}
+
+TEST(AndAncilla, GroundStatesImplementAnd) {
+  QuboModel model(2);
+  const std::size_t w = add_and_ancilla(model, 0, 1, 2.0);
+  EXPECT_EQ(w, 2u);
+  for_all(model, [&](unsigned mask, double energy) {
+    const bool x = mask & 1;
+    const bool y = (mask >> 1) & 1;
+    const bool ancilla = (mask >> 2) & 1;
+    if (ancilla == (x && y)) {
+      EXPECT_NEAR(energy, 0.0, 1e-12) << "mask=" << mask;
+    } else {
+      EXPECT_GE(energy, 2.0 - 1e-12) << "mask=" << mask;
+    }
+  });
+}
+
+TEST(AndAncilla, RejectsSelfAnd) {
+  QuboModel model(1);
+  EXPECT_THROW(add_and_ancilla(model, 0, 0, 1.0), std::invalid_argument);
+}
+
+TEST(NotAncilla, GroundStatesImplementNot) {
+  QuboModel model(1);
+  const std::size_t n = add_not_ancilla(model, 0, 3.0);
+  EXPECT_EQ(n, 1u);
+  for_all(model, [&](unsigned mask, double energy) {
+    const bool x = mask & 1;
+    const bool ancilla = (mask >> 1) & 1;
+    if (ancilla == !x) {
+      EXPECT_NEAR(energy, 0.0, 1e-12);
+    } else {
+      EXPECT_GE(energy, 3.0 - 1e-12);
+    }
+  });
+}
+
+TEST(Conjunction, SingleLiteralSpendsNoAncilla) {
+  QuboModel model(3);
+  const std::vector<BoolLiteral> literals{{1, true}};
+  EXPECT_EQ(add_conjunction(model, literals, 1.0), 1u);
+  EXPECT_EQ(model.num_variables(), 3u);
+  EXPECT_EQ(conjunction_ancilla_count(literals), 0u);
+}
+
+TEST(Conjunction, SingleNegatedLiteralSpendsOneAncilla) {
+  QuboModel model(1);
+  const std::vector<BoolLiteral> literals{{0, false}};
+  const std::size_t out = add_conjunction(model, literals, 1.0);
+  EXPECT_EQ(out, 1u);
+  EXPECT_EQ(conjunction_ancilla_count(literals), 1u);
+}
+
+TEST(Conjunction, ThreeWayAndIsExact) {
+  QuboModel model(3);
+  const std::vector<BoolLiteral> literals{{0, true}, {1, true}, {2, true}};
+  const std::size_t out = add_conjunction(model, literals, 2.0);
+  EXPECT_EQ(conjunction_ancilla_count(literals), 2u);
+  EXPECT_EQ(model.num_variables(), 5u);
+  for_all(model, [&](unsigned mask, double energy) {
+    if (energy > 1e-12) return;  // Only inspect gadget-consistent states.
+    const bool x = mask & 1;
+    const bool y = (mask >> 1) & 1;
+    const bool z = (mask >> 2) & 1;
+    const bool result = (mask >> out) & 1;
+    EXPECT_EQ(result, x && y && z) << "mask=" << mask;
+  });
+}
+
+TEST(Conjunction, EveryInputCombinationHasAZeroEnergyCompletion) {
+  // For each assignment of the 3 inputs there must exist ancilla values
+  // with total gadget energy zero (the gadgets never over-constrain).
+  QuboModel model(3);
+  const std::vector<BoolLiteral> literals{{0, true}, {1, false}, {2, true}};
+  add_conjunction(model, literals, 1.5);
+  const std::size_t total = model.num_variables();
+  for (unsigned inputs = 0; inputs < 8; ++inputs) {
+    double best = 1e18;
+    for (unsigned rest = 0; rest < (1u << (total - 3)); ++rest) {
+      const unsigned mask = inputs | (rest << 3);
+      std::vector<std::uint8_t> bits(total);
+      for (std::size_t i = 0; i < total; ++i) bits[i] = (mask >> i) & 1;
+      best = std::min(best, model.energy(bits));
+    }
+    EXPECT_NEAR(best, 0.0, 1e-12) << "inputs=" << inputs;
+  }
+}
+
+TEST(Conjunction, MixedLiteralsComputeCorrectFunction) {
+  // out = x AND (NOT y): check via minimum-energy completions.
+  QuboModel model(2);
+  const std::vector<BoolLiteral> literals{{0, true}, {1, false}};
+  const std::size_t out = add_conjunction(model, literals, 2.0);
+  const std::size_t total = model.num_variables();
+  for (unsigned inputs = 0; inputs < 4; ++inputs) {
+    const bool x = inputs & 1;
+    const bool y = (inputs >> 1) & 1;
+    bool found_consistent = false;
+    for (unsigned rest = 0; rest < (1u << (total - 2)); ++rest) {
+      const unsigned mask = inputs | (rest << 2);
+      std::vector<std::uint8_t> bits(total);
+      for (std::size_t i = 0; i < total; ++i) bits[i] = (mask >> i) & 1;
+      if (model.energy(bits) < 1e-12) {
+        found_consistent = true;
+        EXPECT_EQ(bits[out] != 0, x && !y) << "inputs=" << inputs;
+      }
+    }
+    EXPECT_TRUE(found_consistent);
+  }
+}
+
+TEST(Conjunction, PenaltyScaling) {
+  // A violated gadget must cost at least the requested penalty.
+  QuboModel model(2);
+  const std::vector<BoolLiteral> literals{{0, true}, {1, true}};
+  const std::size_t out = add_conjunction(model, literals, 5.0);
+  std::vector<std::uint8_t> bits(model.num_variables(), 0);
+  bits[out] = 1;  // out asserts x AND y but x = y = 0.
+  EXPECT_GE(model.energy(bits), 5.0 - 1e-12);
+}
+
+TEST(Conjunction, EmptyLiteralListThrows) {
+  QuboModel model(1);
+  const std::vector<BoolLiteral> none;
+  EXPECT_THROW(add_conjunction(model, none, 1.0), std::invalid_argument);
+}
+
+TEST(Conjunction, ComposesWithExistingObjective) {
+  // Penalizing the conjunction (NOT x0) AND (NOT x1) while rewarding zeros
+  // forces at least one variable to 1.
+  QuboModel model(2);
+  model.add_linear(0, 0.1);
+  model.add_linear(1, 0.1);
+  const std::vector<BoolLiteral> literals{{0, false}, {1, false}};
+  const std::size_t both_zero = add_conjunction(model, literals, 2.0);
+  model.add_linear(both_zero, 1.0);  // Firing the indicator costs 1.
+
+  // Minimum over completions for each input pattern.
+  const std::size_t total = model.num_variables();
+  auto best_for = [&](unsigned inputs) {
+    double best = 1e18;
+    for (unsigned rest = 0; rest < (1u << (total - 2)); ++rest) {
+      const unsigned mask = inputs | (rest << 2);
+      std::vector<std::uint8_t> bits(total);
+      for (std::size_t i = 0; i < total; ++i) bits[i] = (mask >> i) & 1;
+      best = std::min(best, model.energy(bits));
+    }
+    return best;
+  };
+  EXPECT_NEAR(best_for(0b01), 0.1, 1e-12);  // One variable set: no penalty.
+  EXPECT_NEAR(best_for(0b00), 1.0, 1e-12);  // All zero: indicator fires.
+}
+
+}  // namespace
+}  // namespace qsmt::qubo

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qubo/qubo_model.hpp"
+
+namespace qsmt::qubo {
+namespace {
+
+std::vector<std::uint8_t> bits(std::initializer_list<int> values) {
+  std::vector<std::uint8_t> out;
+  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+TEST(PackPair, OrdersBytes) {
+  EXPECT_EQ(pack_pair(0, 1), 1u);
+  EXPECT_EQ(pack_pair(1, 0), (1ULL << 32));
+  EXPECT_EQ(pack_pair(2, 3), (2ULL << 32) | 3);
+}
+
+TEST(QuboModel, StartsEmpty) {
+  QuboModel model;
+  EXPECT_EQ(model.num_variables(), 0u);
+  EXPECT_EQ(model.num_interactions(), 0u);
+  EXPECT_EQ(model.offset(), 0.0);
+}
+
+TEST(QuboModel, SizedConstructorAllocatesZeros) {
+  QuboModel model(5);
+  EXPECT_EQ(model.num_variables(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(model.linear(i), 0.0);
+}
+
+TEST(QuboModel, AddLinearAccumulates) {
+  QuboModel model(2);
+  model.add_linear(0, 1.5);
+  model.add_linear(0, -0.5);
+  EXPECT_DOUBLE_EQ(model.linear(0), 1.0);
+}
+
+TEST(QuboModel, SetLinearOverwrites) {
+  QuboModel model(1);
+  model.add_linear(0, 3.0);
+  model.set_linear(0, -2.0);
+  EXPECT_DOUBLE_EQ(model.linear(0), -2.0);
+}
+
+TEST(QuboModel, AddLinearGrowsModel) {
+  QuboModel model;
+  model.add_linear(7, 1.0);
+  EXPECT_EQ(model.num_variables(), 8u);
+}
+
+TEST(QuboModel, LinearOutOfRangeThrows) {
+  QuboModel model(3);
+  EXPECT_THROW(model.linear(3), std::out_of_range);
+}
+
+TEST(QuboModel, QuadraticIsSymmetricInArguments) {
+  QuboModel model(4);
+  model.add_quadratic(2, 1, 5.0);
+  EXPECT_DOUBLE_EQ(model.quadratic(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(model.quadratic(2, 1), 5.0);
+}
+
+TEST(QuboModel, QuadraticAccumulates) {
+  QuboModel model(3);
+  model.add_quadratic(0, 1, 2.0);
+  model.add_quadratic(1, 0, 3.0);
+  EXPECT_DOUBLE_EQ(model.quadratic(0, 1), 5.0);
+  EXPECT_EQ(model.num_interactions(), 1u);
+}
+
+TEST(QuboModel, SelfQuadraticRoutesToLinear) {
+  // x^2 == x for binary variables.
+  QuboModel model(2);
+  model.add_quadratic(1, 1, 4.0);
+  EXPECT_DOUBLE_EQ(model.linear(1), 4.0);
+  EXPECT_EQ(model.num_interactions(), 0u);
+}
+
+TEST(QuboModel, SetQuadraticOverwrites) {
+  QuboModel model(3);
+  model.add_quadratic(0, 2, 1.0);
+  model.set_quadratic(2, 0, -7.0);
+  EXPECT_DOUBLE_EQ(model.quadratic(0, 2), -7.0);
+}
+
+TEST(QuboModel, QuadraticOutOfRangeThrows) {
+  QuboModel model(2);
+  EXPECT_THROW(model.quadratic(0, 5), std::out_of_range);
+}
+
+TEST(QuboModel, UntouchedQuadraticIsZero) {
+  QuboModel model(3);
+  EXPECT_DOUBLE_EQ(model.quadratic(0, 1), 0.0);
+}
+
+TEST(QuboModel, EnergyEvaluatesAllTerms) {
+  QuboModel model(3);
+  model.set_offset(2.0);
+  model.add_linear(0, -1.0);
+  model.add_linear(1, 0.5);
+  model.add_quadratic(0, 1, 3.0);
+  model.add_quadratic(1, 2, -4.0);
+
+  EXPECT_DOUBLE_EQ(model.energy(bits({0, 0, 0})), 2.0);
+  EXPECT_DOUBLE_EQ(model.energy(bits({1, 0, 0})), 1.0);
+  EXPECT_DOUBLE_EQ(model.energy(bits({1, 1, 0})), 4.5);
+  EXPECT_DOUBLE_EQ(model.energy(bits({1, 1, 1})), 0.5);
+}
+
+TEST(QuboModel, EnergySizeMismatchThrows) {
+  QuboModel model(3);
+  const auto b = bits({1, 0});
+  EXPECT_THROW(model.energy(b), std::invalid_argument);
+}
+
+TEST(QuboModel, ScaleMultipliesEverything) {
+  QuboModel model(2);
+  model.set_offset(1.0);
+  model.add_linear(0, 2.0);
+  model.add_quadratic(0, 1, -3.0);
+  model.scale(2.0);
+  EXPECT_DOUBLE_EQ(model.offset(), 2.0);
+  EXPECT_DOUBLE_EQ(model.linear(0), 4.0);
+  EXPECT_DOUBLE_EQ(model.quadratic(0, 1), -6.0);
+}
+
+TEST(QuboModel, AddModelMergesTerms) {
+  QuboModel a(2);
+  a.add_linear(0, 1.0);
+  a.add_quadratic(0, 1, 2.0);
+  a.set_offset(0.5);
+
+  QuboModel b(2);
+  b.add_linear(0, -3.0);
+  b.add_quadratic(0, 1, 1.0);
+  b.set_offset(1.5);
+
+  a.add_model(b);
+  EXPECT_DOUBLE_EQ(a.linear(0), -2.0);
+  EXPECT_DOUBLE_EQ(a.quadratic(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(a.offset(), 2.0);
+}
+
+TEST(QuboModel, AddModelWithOffsetShiftsVariables) {
+  QuboModel a(1);
+  a.add_linear(0, 1.0);
+
+  QuboModel b(2);
+  b.add_linear(0, 5.0);
+  b.add_quadratic(0, 1, 7.0);
+
+  a.add_model(b, 3);
+  EXPECT_EQ(a.num_variables(), 5u);
+  EXPECT_DOUBLE_EQ(a.linear(3), 5.0);
+  EXPECT_DOUBLE_EQ(a.quadratic(3, 4), 7.0);
+  EXPECT_DOUBLE_EQ(a.linear(0), 1.0);
+}
+
+TEST(QuboModel, AddModelEnergyIsSumOfEnergies) {
+  QuboModel a(3);
+  a.add_linear(1, -2.0);
+  a.add_quadratic(0, 2, 1.5);
+  QuboModel b(3);
+  b.add_linear(0, 4.0);
+  b.add_quadratic(1, 2, -1.0);
+  b.set_offset(0.25);
+
+  QuboModel sum = a;
+  sum.add_model(b);
+  for (int mask = 0; mask < 8; ++mask) {
+    const auto x = bits({mask & 1, (mask >> 1) & 1, (mask >> 2) & 1});
+    EXPECT_DOUBLE_EQ(sum.energy(x), a.energy(x) + b.energy(x));
+  }
+}
+
+TEST(QuboModel, MaxAbsCoefficient) {
+  QuboModel model(3);
+  EXPECT_DOUBLE_EQ(model.max_abs_coefficient(), 0.0);
+  model.add_linear(0, -2.5);
+  model.add_quadratic(1, 2, 2.0);
+  EXPECT_DOUBLE_EQ(model.max_abs_coefficient(), 2.5);
+}
+
+TEST(QuboModel, MinAbsNonzeroCoefficient) {
+  QuboModel model(3);
+  EXPECT_DOUBLE_EQ(model.min_abs_nonzero_coefficient(), 0.0);
+  model.add_linear(0, -2.5);
+  model.add_quadratic(1, 2, 0.5);
+  EXPECT_DOUBLE_EQ(model.min_abs_nonzero_coefficient(), 0.5);
+}
+
+TEST(QuboModel, ToDensePlacesUpperTriangular) {
+  QuboModel model(3);
+  model.add_linear(0, 1.0);
+  model.add_quadratic(0, 2, -2.0);
+  const auto dense = model.to_dense();
+  ASSERT_EQ(dense.size(), 9u);
+  EXPECT_DOUBLE_EQ(dense[0 * 3 + 0], 1.0);
+  EXPECT_DOUBLE_EQ(dense[0 * 3 + 2], -2.0);
+  EXPECT_DOUBLE_EQ(dense[2 * 3 + 0], 0.0);  // Lower triangle untouched.
+}
+
+TEST(QuboModel, PruneZerosDropsExactZeroEntries) {
+  QuboModel model(3);
+  model.add_quadratic(0, 1, 1.0);
+  model.add_quadratic(0, 1, -1.0);
+  model.add_quadratic(1, 2, 2.0);
+  EXPECT_EQ(model.num_interactions(), 2u);
+  model.prune_zeros();
+  EXPECT_EQ(model.num_interactions(), 1u);
+  EXPECT_DOUBLE_EQ(model.quadratic(1, 2), 2.0);
+}
+
+TEST(QuboModel, EqualityComparesSemantically) {
+  QuboModel a(2);
+  a.add_quadratic(0, 1, 1.0);
+  a.add_quadratic(0, 1, -1.0);  // Stored zero entry.
+  QuboModel b(2);
+  EXPECT_TRUE(a == b);
+  b.add_linear(0, 0.1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(QuboModel, EnsureVariablesNeverShrinks) {
+  QuboModel model(4);
+  model.ensure_variables(2);
+  EXPECT_EQ(model.num_variables(), 4u);
+  model.ensure_variables(6);
+  EXPECT_EQ(model.num_variables(), 6u);
+}
+
+}  // namespace
+}  // namespace qsmt::qubo

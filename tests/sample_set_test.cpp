@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "anneal/sample_set.hpp"
+
+namespace qsmt::anneal {
+namespace {
+
+TEST(SampleSet, StartsEmpty) {
+  SampleSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.total_reads(), 0u);
+}
+
+TEST(SampleSet, BestThrowsWhenEmpty) {
+  SampleSet set;
+  EXPECT_THROW(set.best(), std::out_of_range);
+  EXPECT_THROW(set.lowest_energy(), std::out_of_range);
+}
+
+TEST(SampleSet, BestFindsLowestEnergy) {
+  SampleSet set;
+  set.add({1, 0}, 2.0);
+  set.add({0, 1}, -1.0);
+  set.add({1, 1}, 0.5);
+  EXPECT_DOUBLE_EQ(set.lowest_energy(), -1.0);
+  EXPECT_EQ(set.best().bits, (std::vector<std::uint8_t>{0, 1}));
+}
+
+TEST(SampleSet, SortByEnergyIsStable) {
+  SampleSet set;
+  set.add({0}, 1.0);
+  set.add({1}, 1.0);
+  set.add({0, 0}, 0.0);
+  set.sort_by_energy();
+  EXPECT_DOUBLE_EQ(set[0].energy, 0.0);
+  // Equal energies keep insertion order.
+  EXPECT_EQ(set[1].bits, (std::vector<std::uint8_t>{0}));
+  EXPECT_EQ(set[2].bits, (std::vector<std::uint8_t>{1}));
+}
+
+TEST(SampleSet, AggregateMergesDuplicates) {
+  SampleSet set;
+  set.add({1, 0}, 2.0);
+  set.add({1, 0}, 2.0);
+  set.add({0, 1}, 1.0, 3);
+  set.aggregate();
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set[0].bits, (std::vector<std::uint8_t>{0, 1}));
+  EXPECT_EQ(set[0].num_occurrences, 3u);
+  EXPECT_EQ(set[1].num_occurrences, 2u);
+  EXPECT_EQ(set.total_reads(), 5u);
+}
+
+TEST(SampleSet, AggregateSortsResult) {
+  SampleSet set;
+  set.add({1}, 5.0);
+  set.add({0}, -5.0);
+  set.aggregate();
+  EXPECT_DOUBLE_EQ(set[0].energy, -5.0);
+}
+
+TEST(SampleSet, TruncateKeepsPrefix) {
+  SampleSet set;
+  for (int i = 0; i < 5; ++i) set.add({static_cast<std::uint8_t>(i & 1)}, i);
+  set.sort_by_energy();
+  set.truncate(2);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set[1].energy, 1.0);
+  set.truncate(10);  // No-op when already smaller.
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(SampleSet, SuccessFractionCountsOccurrences) {
+  SampleSet set;
+  set.add({0}, 0.0, 3);   // Ground.
+  set.add({1}, 1.0, 1);   // Excited.
+  EXPECT_DOUBLE_EQ(set.success_fraction(0.0), 0.75);
+  EXPECT_DOUBLE_EQ(set.success_fraction(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(set.success_fraction(-1.0), 0.0);
+}
+
+TEST(SampleSet, SuccessFractionToleranceWindow) {
+  SampleSet set;
+  set.add({0}, 1.0000001, 1);
+  EXPECT_DOUBLE_EQ(set.success_fraction(1.0, 1e-6), 1.0);
+  EXPECT_DOUBLE_EQ(set.success_fraction(1.0, 1e-9), 0.0);
+}
+
+TEST(SampleSet, SuccessFractionEmptySetIsZero) {
+  SampleSet set;
+  EXPECT_DOUBLE_EQ(set.success_fraction(0.0), 0.0);
+}
+
+TEST(SampleSet, RangeForIteration) {
+  SampleSet set;
+  set.add({0}, 1.0);
+  set.add({1}, 2.0);
+  double sum = 0.0;
+  for (const Sample& s : set) sum += s.energy;
+  EXPECT_DOUBLE_EQ(sum, 3.0);
+}
+
+}  // namespace
+}  // namespace qsmt::anneal

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "anneal/schedule.hpp"
+
+namespace qsmt::anneal {
+namespace {
+
+TEST(MakeSchedule, LinearHitsEndpoints) {
+  const auto points = make_schedule(0.0, 10.0, 5, Interpolation::kLinear);
+  ASSERT_EQ(points.size(), 5u);
+  EXPECT_DOUBLE_EQ(points.front(), 0.0);
+  EXPECT_DOUBLE_EQ(points.back(), 10.0);
+  EXPECT_DOUBLE_EQ(points[2], 5.0);
+}
+
+TEST(MakeSchedule, GeometricHitsEndpoints) {
+  const auto points = make_schedule(1.0, 16.0, 5, Interpolation::kGeometric);
+  ASSERT_EQ(points.size(), 5u);
+  EXPECT_DOUBLE_EQ(points.front(), 1.0);
+  EXPECT_DOUBLE_EQ(points.back(), 16.0);
+  EXPECT_NEAR(points[1], 2.0, 1e-9);
+  EXPECT_NEAR(points[2], 4.0, 1e-9);
+}
+
+TEST(MakeSchedule, SinglePointIsFirstValue) {
+  const auto points = make_schedule(3.0, 99.0, 1, Interpolation::kLinear);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0], 3.0);
+}
+
+TEST(MakeSchedule, MonotonicWhenEndpointsOrdered) {
+  for (auto interpolation :
+       {Interpolation::kLinear, Interpolation::kGeometric}) {
+    const auto points = make_schedule(0.5, 8.0, 20, interpolation);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+      EXPECT_GE(points[i], points[i - 1]);
+    }
+  }
+}
+
+TEST(MakeSchedule, DecreasingSchedulesWork) {
+  const auto points = make_schedule(8.0, 0.5, 10, Interpolation::kGeometric);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i], points[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(points.back(), 0.5);
+}
+
+TEST(MakeSchedule, ZeroPointsThrows) {
+  EXPECT_THROW(make_schedule(0.0, 1.0, 0, Interpolation::kLinear),
+               std::invalid_argument);
+}
+
+TEST(MakeSchedule, GeometricRejectsNonPositiveEndpoints) {
+  EXPECT_THROW(make_schedule(0.0, 1.0, 3, Interpolation::kGeometric),
+               std::invalid_argument);
+  EXPECT_THROW(make_schedule(1.0, -1.0, 3, Interpolation::kGeometric),
+               std::invalid_argument);
+}
+
+TEST(DefaultBetaRange, HotBelowCold) {
+  qubo::QuboModel model(3);
+  model.add_linear(0, -1.0);
+  model.add_linear(1, 1.0);
+  model.add_quadratic(0, 1, 0.5);
+  const BetaRange range = default_beta_range(model);
+  EXPECT_GT(range.hot, 0.0);
+  EXPECT_GT(range.cold, range.hot);
+}
+
+TEST(DefaultBetaRange, FlatModelStillUsable) {
+  qubo::QuboModel model(4);
+  const BetaRange range = default_beta_range(model);
+  EXPECT_GT(range.hot, 0.0);
+  EXPECT_GE(range.cold, range.hot);
+}
+
+TEST(DefaultBetaRange, ScalesInverselyWithCoefficients) {
+  qubo::QuboModel small(2);
+  small.add_linear(0, -1.0);
+  small.add_linear(1, 1.0);
+  qubo::QuboModel large(2);
+  large.add_linear(0, -100.0);
+  large.add_linear(1, 100.0);
+  EXPECT_GT(default_beta_range(small).hot, default_beta_range(large).hot);
+}
+
+}  // namespace
+}  // namespace qsmt::anneal

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qubo/serialize.hpp"
+
+namespace qsmt::qubo {
+namespace {
+
+TEST(Serialize, RoundTripsModel) {
+  QuboModel model(4);
+  model.set_offset(1.25);
+  model.add_linear(0, -1.0);
+  model.add_linear(3, 2.5);
+  model.add_quadratic(0, 2, -3.5);
+  model.add_quadratic(1, 3, 0.75);
+
+  const QuboModel parsed = from_coo_string(to_coo_string(model));
+  EXPECT_TRUE(parsed == model);
+  EXPECT_EQ(parsed.num_variables(), 4u);
+  EXPECT_DOUBLE_EQ(parsed.offset(), 1.25);
+}
+
+TEST(Serialize, RoundTripsEmptyModel) {
+  QuboModel model(3);
+  const QuboModel parsed = from_coo_string(to_coo_string(model));
+  EXPECT_EQ(parsed.num_variables(), 3u);
+  EXPECT_EQ(parsed.num_interactions(), 0u);
+}
+
+TEST(Serialize, OutputIsDeterministic) {
+  QuboModel model(5);
+  model.add_quadratic(3, 4, 1.0);
+  model.add_quadratic(0, 1, 2.0);
+  model.add_quadratic(1, 2, 3.0);
+  EXPECT_EQ(to_coo_string(model), to_coo_string(model));
+  // Quadratic lines must come out sorted by (i, j).
+  const std::string text = to_coo_string(model);
+  const auto p01 = text.find("0 1 2");
+  const auto p12 = text.find("1 2 3");
+  const auto p34 = text.find("3 4 1");
+  ASSERT_NE(p01, std::string::npos);
+  ASSERT_NE(p12, std::string::npos);
+  ASSERT_NE(p34, std::string::npos);
+  EXPECT_LT(p01, p12);
+  EXPECT_LT(p12, p34);
+}
+
+TEST(Serialize, SkipsExactZeroEntries) {
+  QuboModel model(2);
+  model.add_quadratic(0, 1, 1.0);
+  model.add_quadratic(0, 1, -1.0);
+  const std::string text = to_coo_string(model);
+  EXPECT_NE(text.find("qubo 2 0"), std::string::npos);
+}
+
+TEST(Serialize, BadHeaderThrows) {
+  EXPECT_THROW(from_coo_string("ising 2 0 0"), std::invalid_argument);
+  EXPECT_THROW(from_coo_string(""), std::invalid_argument);
+  EXPECT_THROW(from_coo_string("qubo"), std::invalid_argument);
+}
+
+TEST(Serialize, TruncatedEntriesThrow) {
+  EXPECT_THROW(from_coo_string("qubo 2 2 0\n0 0 1.0\n"), std::invalid_argument);
+}
+
+TEST(Serialize, OutOfRangeIndexThrows) {
+  EXPECT_THROW(from_coo_string("qubo 2 1 0\n0 5 1.0\n"), std::invalid_argument);
+}
+
+TEST(Serialize, PreservesPrecision) {
+  QuboModel model(1);
+  model.add_linear(0, 1.0 / 3.0);
+  model.set_offset(0.1234567890123456);
+  const QuboModel parsed = from_coo_string(to_coo_string(model));
+  EXPECT_DOUBLE_EQ(parsed.linear(0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(parsed.offset(), 0.1234567890123456);
+}
+
+TEST(FormatDense, SmallModelShownInFull) {
+  QuboModel model(2);
+  model.add_linear(0, 1.0);
+  model.add_quadratic(0, 1, -2.0);
+  const std::string text = format_dense(model);
+  EXPECT_NE(text.find("1.00"), std::string::npos);
+  EXPECT_NE(text.find("-2.00"), std::string::npos);
+  EXPECT_EQ(text.find("..."), std::string::npos);
+}
+
+TEST(FormatDense, LargeModelIsAbbreviated) {
+  QuboModel model(20);
+  model.add_linear(0, 1.0);
+  const std::string text = format_dense(model, /*max_dim=*/4);
+  EXPECT_NE(text.find("..."), std::string::npos);
+  EXPECT_NE(text.find("(20 x 20 total)"), std::string::npos);
+}
+
+TEST(FormatDense, RespectsPrecision) {
+  QuboModel model(1);
+  model.add_linear(0, 1.0 / 3.0);
+  EXPECT_NE(format_dense(model, 10, 4).find("0.3333"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qsmt::qubo

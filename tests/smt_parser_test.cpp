@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "smtlib/parser.hpp"
+
+namespace qsmt::smtlib {
+namespace {
+
+TEST(ParseCommand, SetLogic) {
+  const auto commands = parse_script("(set-logic QF_S)");
+  ASSERT_EQ(commands.size(), 1u);
+  EXPECT_EQ(std::get<SetLogic>(commands[0]).logic, "QF_S");
+}
+
+TEST(ParseCommand, DeclareConstSorts) {
+  const auto commands = parse_script(
+      "(declare-const x String)(declare-const n Int)"
+      "(declare-const b Bool)(declare-const r RegLan)");
+  ASSERT_EQ(commands.size(), 4u);
+  EXPECT_EQ(std::get<DeclareConst>(commands[0]).sort, Sort::kString);
+  EXPECT_EQ(std::get<DeclareConst>(commands[1]).sort, Sort::kInt);
+  EXPECT_EQ(std::get<DeclareConst>(commands[2]).sort, Sort::kBool);
+  EXPECT_EQ(std::get<DeclareConst>(commands[3]).sort, Sort::kRegLan);
+}
+
+TEST(ParseCommand, ZeroArityDeclareFun) {
+  const auto commands = parse_script("(declare-fun x () String)");
+  const auto& decl = std::get<DeclareConst>(commands[0]);
+  EXPECT_EQ(decl.name, "x");
+  EXPECT_EQ(decl.sort, Sort::kString);
+}
+
+TEST(ParseCommand, NonZeroArityDeclareFunRejected) {
+  EXPECT_THROW(parse_script("(declare-fun f (Int) String)"),
+               std::invalid_argument);
+}
+
+TEST(ParseCommand, AssertBuildsTerm) {
+  const auto commands = parse_script("(assert (= x \"hi\"))");
+  const auto& assert_cmd = std::get<AssertCmd>(commands[0]);
+  ASSERT_TRUE(assert_cmd.term->is_apply("="));
+  EXPECT_EQ(assert_cmd.term->args[0]->kind, Term::Kind::kVariable);
+  EXPECT_EQ(assert_cmd.term->args[1]->kind, Term::Kind::kStringLit);
+  EXPECT_EQ(assert_cmd.term->args[1]->atom, "hi");
+}
+
+TEST(ParseCommand, SimpleCommands) {
+  const auto commands =
+      parse_script("(check-sat)(get-model)(echo \"hi\")(exit)");
+  EXPECT_TRUE(std::holds_alternative<CheckSat>(commands[0]));
+  EXPECT_TRUE(std::holds_alternative<GetModel>(commands[1]));
+  EXPECT_EQ(std::get<Echo>(commands[2]).message, "hi");
+  EXPECT_TRUE(std::holds_alternative<ExitCmd>(commands[3]));
+}
+
+TEST(ParseCommand, OptionsAndInfoAreRecorded) {
+  const auto commands = parse_script(
+      "(set-option :produce-models true)(set-info :status sat)");
+  EXPECT_TRUE(std::holds_alternative<SetOption>(commands[0]));
+  EXPECT_TRUE(std::holds_alternative<SetInfo>(commands[1]));
+}
+
+TEST(ParseCommand, UnsupportedCommandsThrow) {
+  EXPECT_THROW(parse_script("(define-fun f () Int 1)"), std::invalid_argument);
+  EXPECT_THROW(parse_script("(declare-const x (Array Int Int))"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_script("(get-assertions)"), std::invalid_argument);
+}
+
+TEST(ParseCommand, PushPopAndGetValue) {
+  const auto commands =
+      parse_script("(push)(push 2)(pop)(pop 3)(get-value (x y))");
+  EXPECT_EQ(std::get<Push>(commands[0]).levels, 1u);
+  EXPECT_EQ(std::get<Push>(commands[1]).levels, 2u);
+  EXPECT_EQ(std::get<Pop>(commands[2]).levels, 1u);
+  EXPECT_EQ(std::get<Pop>(commands[3]).levels, 3u);
+  const auto& get_value = std::get<GetValue>(commands[4]);
+  ASSERT_EQ(get_value.names.size(), 2u);
+  EXPECT_EQ(get_value.names[0], "x");
+  EXPECT_EQ(get_value.names[1], "y");
+  EXPECT_THROW(parse_script("(get-value ())"), std::invalid_argument);
+  EXPECT_THROW(parse_script("(push x)"), std::invalid_argument);
+}
+
+TEST(ParseCommand, MalformedCommandsThrow) {
+  EXPECT_THROW(parse_script("(assert)"), std::invalid_argument);
+  EXPECT_THROW(parse_script("(check-sat extra)"), std::invalid_argument);
+  EXPECT_THROW(parse_script("(declare-const x)"), std::invalid_argument);
+  EXPECT_THROW(parse_script("(echo notastring)"), std::invalid_argument);
+  EXPECT_THROW(parse_script("42"), std::invalid_argument);
+}
+
+TEST(ParseTerm, Literals) {
+  EXPECT_EQ(parse_term(SExpr::string("s"))->kind, Term::Kind::kStringLit);
+  EXPECT_EQ(parse_term(SExpr::number(7))->int_value, 7);
+  EXPECT_TRUE(parse_term(SExpr::symbol("true"))->bool_value);
+  EXPECT_FALSE(parse_term(SExpr::symbol("false"))->bool_value);
+  EXPECT_EQ(parse_term(SExpr::symbol("x"))->kind, Term::Kind::kVariable);
+}
+
+TEST(ParseTerm, NestedApplications) {
+  const auto exprs = parse_sexprs("(and (str.contains x \"a\") (not b))");
+  const TermPtr term = parse_term(exprs[0]);
+  ASSERT_TRUE(term->is_apply("and"));
+  ASSERT_EQ(term->args.size(), 2u);
+  EXPECT_TRUE(term->args[0]->is_apply("str.contains"));
+  EXPECT_TRUE(term->args[1]->is_apply("not"));
+}
+
+TEST(ParseTerm, EmptyApplicationThrows) {
+  const auto exprs = parse_sexprs("()");
+  EXPECT_THROW(parse_term(exprs[0]), std::invalid_argument);
+}
+
+TEST(ParseTerm, NonSymbolHeadThrows) {
+  const auto exprs = parse_sexprs("((f) x)");
+  EXPECT_THROW(parse_term(exprs[0]), std::invalid_argument);
+}
+
+TEST(TermToString, RendersSmtlibSyntax) {
+  const auto exprs = parse_sexprs("(= (str.len x) 5)");
+  EXPECT_EQ(to_string(parse_term(exprs[0])), "(= (str.len x) 5)");
+}
+
+TEST(SortName, AllSorts) {
+  EXPECT_EQ(sort_name(Sort::kBool), "Bool");
+  EXPECT_EQ(sort_name(Sort::kInt), "Int");
+  EXPECT_EQ(sort_name(Sort::kString), "String");
+  EXPECT_EQ(sort_name(Sort::kRegLan), "RegLan");
+}
+
+}  // namespace
+}  // namespace qsmt::smtlib

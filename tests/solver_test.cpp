@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "anneal/exact.hpp"
+#include "anneal/simulated_annealer.hpp"
+#include "strqubo/solver.hpp"
+
+namespace qsmt::strqubo {
+namespace {
+
+anneal::SimulatedAnnealer fast_annealer(std::uint64_t seed) {
+  anneal::SimulatedAnnealerParams p;
+  p.num_reads = 48;
+  p.num_sweeps = 192;
+  p.seed = seed;
+  return anneal::SimulatedAnnealer(p);
+}
+
+TEST(DecodeIncludesPosition, FirstSetBitWins) {
+  EXPECT_EQ(decode_includes_position(std::vector<std::uint8_t>{0, 0, 1}), 2u);
+  EXPECT_EQ(decode_includes_position(std::vector<std::uint8_t>{1, 0, 1}), 0u);
+  EXPECT_EQ(decode_includes_position(std::vector<std::uint8_t>{0, 0, 0}),
+            std::nullopt);
+  EXPECT_EQ(decode_includes_position(std::vector<std::uint8_t>{}),
+            std::nullopt);
+}
+
+class SolveEachOperation : public ::testing::TestWithParam<Constraint> {};
+
+TEST_P(SolveEachOperation, AnnealerSatisfiesConstraint) {
+  const auto annealer = fast_annealer(11);
+  const StringConstraintSolver solver(annealer);
+  const SolveResult result = solver.solve(GetParam());
+  EXPECT_TRUE(result.satisfied) << describe(GetParam());
+  if (produces_string(GetParam())) {
+    ASSERT_TRUE(result.text.has_value());
+  } else {
+    ASSERT_TRUE(result.position.has_value());
+  }
+  EXPECT_GT(result.num_variables, 0u);
+  EXPECT_FALSE(result.samples.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Operations, SolveEachOperation,
+    ::testing::Values(Constraint{Equality{"hello"}},
+                      Constraint{Concat{"hello", " world"}},
+                      Constraint{SubstringMatch{6, "hi"}},
+                      Constraint{Includes{"hello world", "world"}},
+                      Constraint{IndexOf{6, "hi", 2}},
+                      Constraint{Length{3, 2}},
+                      Constraint{ReplaceAll{"hello world", 'l', 'x'}},
+                      Constraint{Replace{"hello", 'e', 'a'}},
+                      Constraint{Reverse{"hello"}},
+                      Constraint{Palindrome{6}},
+                      Constraint{RegexMatch{"a[bc]+", 5}}));
+
+TEST(StringConstraintSolver, EqualityDecodesExactTarget) {
+  const auto annealer = fast_annealer(1);
+  const StringConstraintSolver solver(annealer);
+  const SolveResult result = solver.solve(Equality{"hello"});
+  EXPECT_EQ(result.text, "hello");
+  EXPECT_DOUBLE_EQ(result.energy, expected_ground_energy(Equality{"hello"}));
+}
+
+TEST(StringConstraintSolver, IncludesReportsFirstOccurrence) {
+  const auto annealer = fast_annealer(2);
+  const StringConstraintSolver solver(annealer);
+  const SolveResult result = solver.solve(Includes{"say hi hi", "hi"});
+  EXPECT_EQ(result.position, 4u);
+  EXPECT_TRUE(result.satisfied);
+}
+
+TEST(StringConstraintSolver, IncludesNoOccurrence) {
+  const auto annealer = fast_annealer(3);
+  const StringConstraintSolver solver(annealer);
+  const SolveResult result = solver.solve(Includes{"zzzz", "ab"});
+  EXPECT_EQ(result.position, std::nullopt);
+  EXPECT_TRUE(result.satisfied);
+}
+
+TEST(StringConstraintSolver, OneHotRegexDecoderIgnoresSelectors) {
+  BuildOptions options;
+  options.regex_encoding = RegexClassEncoding::kOneHotSelectors;
+  const auto annealer = fast_annealer(4);
+  const StringConstraintSolver solver(annealer, options);
+  const SolveResult result = solver.solve(RegexMatch{"a[bd]+", 4});
+  ASSERT_TRUE(result.text.has_value());
+  EXPECT_EQ(result.text->size(), 4u);
+  EXPECT_TRUE(result.satisfied);
+}
+
+TEST(StringConstraintSolver, ExactSamplerGivesDeterministicModel) {
+  const anneal::ExactSolver exact;
+  const StringConstraintSolver solver(exact);
+  const SolveResult a = solver.solve(Equality{"ab"});
+  const SolveResult b = solver.solve(Equality{"ab"});
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+}
+
+TEST(StringConstraintSolver, ReportsModelStatistics) {
+  const auto annealer = fast_annealer(5);
+  const StringConstraintSolver solver(annealer);
+  const SolveResult result = solver.solve(Palindrome{4});
+  EXPECT_EQ(result.num_variables, 28u);
+  EXPECT_EQ(result.num_interactions, 14u);
+  EXPECT_GE(result.build_seconds, 0.0);
+  EXPECT_GE(result.sample_seconds, 0.0);
+}
+
+TEST(StringConstraintSolver, BuildModelMatchesFreeFunction) {
+  const auto annealer = fast_annealer(6);
+  BuildOptions options;
+  options.strength = 2.0;
+  const StringConstraintSolver solver(annealer, options);
+  EXPECT_TRUE(solver.build_model(Equality{"ab"}) ==
+              build(Equality{"ab"}, options));
+}
+
+TEST(StringConstraintSolver, UnsatisfiableVerificationIsReported) {
+  // A frozen (hot, zero-sweep-budget) annealer rarely hits "hello"; the
+  // solver must report satisfied = false rather than lie.
+  anneal::SimulatedAnnealerParams p;
+  p.num_reads = 1;
+  p.num_sweeps = 1;
+  p.beta_hot = 1e-9;
+  p.beta_cold = 1e-9;
+  p.polish_with_greedy = false;
+  p.seed = 99;
+  const anneal::SimulatedAnnealer weak(p);
+  const StringConstraintSolver solver(weak);
+  const SolveResult result = solver.solve(Equality{"hello world, long"});
+  ASSERT_TRUE(result.text.has_value());
+  // With one unpolished read at infinite temperature the odds of decoding
+  // the exact 119-bit target are negligible.
+  EXPECT_FALSE(result.satisfied);
+}
+
+}  // namespace
+}  // namespace qsmt::strqubo

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "strenc/ascii7.hpp"
+
+namespace qsmt::strenc {
+namespace {
+
+TEST(EncodeChar, PaperExampleLowercaseA) {
+  // Paper §4.1.2: "a" (ASCII 97 = 1100001).
+  const auto bits = encode_char('a');
+  const std::array<std::uint8_t, 7> expected{1, 1, 0, 0, 0, 0, 1};
+  EXPECT_EQ(bits, expected);
+}
+
+TEST(EncodeChar, MsbFirstOrder) {
+  const auto bits = encode_char('\x40');  // 1000000
+  EXPECT_EQ(bits[0], 1);
+  for (std::size_t i = 1; i < 7; ++i) EXPECT_EQ(bits[i], 0);
+}
+
+TEST(EncodeChar, RejectsNonAscii) {
+  EXPECT_THROW(encode_char(static_cast<char>(0x80)), std::invalid_argument);
+  EXPECT_THROW(encode_char(static_cast<char>(0xff)), std::invalid_argument);
+}
+
+TEST(EncodeDecodeChar, RoundTripsAll128Characters) {
+  for (int c = 0; c < 128; ++c) {
+    const auto bits = encode_char(static_cast<char>(c));
+    EXPECT_EQ(decode_char(bits), static_cast<char>(c));
+  }
+}
+
+TEST(DecodeChar, ValidatesInput) {
+  std::vector<std::uint8_t> short_bits(6, 0);
+  EXPECT_THROW(decode_char(short_bits), std::invalid_argument);
+  std::vector<std::uint8_t> bad_values(7, 2);
+  EXPECT_THROW(decode_char(bad_values), std::invalid_argument);
+}
+
+TEST(EncodeString, ConcatenatesPerCharacterBlocks) {
+  const auto bits = encode_string("ab");
+  ASSERT_EQ(bits.size(), 14u);
+  const auto a = encode_char('a');
+  const auto b = encode_char('b');
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(bits[i], a[i]);
+    EXPECT_EQ(bits[7 + i], b[i]);
+  }
+}
+
+TEST(EncodeDecodeString, RoundTrips) {
+  for (const char* s : {"", "a", "hello world", "HELLO", "123!@#"}) {
+    EXPECT_EQ(decode_string(encode_string(s)), s);
+  }
+}
+
+TEST(DecodeString, RejectsNonMultipleOfSeven) {
+  std::vector<std::uint8_t> bits(10, 0);
+  EXPECT_THROW(decode_string(bits), std::invalid_argument);
+}
+
+TEST(VariableIndex, MatchesPaperLayout) {
+  // Bit i of character j is variable 7j + i.
+  EXPECT_EQ(variable_index(0, 0), 0u);
+  EXPECT_EQ(variable_index(0, 6), 6u);
+  EXPECT_EQ(variable_index(1, 0), 7u);
+  EXPECT_EQ(variable_index(3, 2), 23u);
+  EXPECT_EQ(num_variables(5), 35u);
+}
+
+TEST(IsAscii7, DetectsHighBytes) {
+  EXPECT_TRUE(is_ascii7("hello"));
+  EXPECT_TRUE(is_ascii7(""));
+  EXPECT_TRUE(is_ascii7(std::string_view("\x7f", 1)));
+  EXPECT_FALSE(is_ascii7("caf\xc3\xa9"));
+}
+
+TEST(IsPrintable, CharacterClassification) {
+  EXPECT_TRUE(is_printable(' '));
+  EXPECT_TRUE(is_printable('~'));
+  EXPECT_TRUE(is_printable('A'));
+  EXPECT_FALSE(is_printable('\x1f'));
+  EXPECT_FALSE(is_printable('\x7f'));
+  EXPECT_FALSE(is_printable('\0'));
+}
+
+TEST(IsPrintable, StringClassification) {
+  EXPECT_TRUE(is_printable("hello world!"));
+  EXPECT_FALSE(is_printable(std::string_view("a\0b", 3)));
+  EXPECT_TRUE(is_printable(""));
+}
+
+}  // namespace
+}  // namespace qsmt::strenc

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "sat/tseitin.hpp"
+#include "smtlib/parser.hpp"
+
+namespace qsmt::sat {
+namespace {
+
+smtlib::TermPtr term(const std::string& text) {
+  const auto exprs = smtlib::parse_sexprs(text);
+  return smtlib::parse_term(exprs.at(0));
+}
+
+// Asserts `text`, then enumerates all assignments to the registered atoms by
+// incremental blocking, returning each model as a vector of atom values.
+std::vector<std::vector<bool>> atom_models(const std::string& text) {
+  CdclSolver solver;
+  TseitinEncoder encoder(solver);
+  encoder.assert_term(term(text));
+
+  std::vector<std::vector<bool>> models;
+  while (solver.solve() == SolveStatus::kSat && models.size() < 64) {
+    std::vector<bool> model;
+    std::vector<Literal> blocking;
+    for (std::size_t a = 0; a < encoder.atoms().size(); ++a) {
+      const auto v = encoder.atom_variable(a);
+      model.push_back(solver.value(v));
+      blocking.push_back(solver.value(v) ? -v : v);
+    }
+    models.push_back(std::move(model));
+    if (blocking.empty()) break;  // No atoms: single propositional model.
+    solver.add_clause(std::move(blocking));
+  }
+  return models;
+}
+
+TEST(Tseitin, SingleAtomMustBeTrue) {
+  const auto models = atom_models("(= x \"a\")");
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_TRUE(models[0][0]);
+}
+
+TEST(Tseitin, NegatedAtomMustBeFalse) {
+  const auto models = atom_models("(not (= x \"a\"))");
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_FALSE(models[0][0]);
+}
+
+TEST(Tseitin, DisjunctionHasThreeModels) {
+  const auto models = atom_models("(or (= x \"a\") (= x \"b\"))");
+  // TT, TF, FT — everything except FF.
+  EXPECT_EQ(models.size(), 3u);
+  for (const auto& model : models) {
+    EXPECT_TRUE(model[0] || model[1]);
+  }
+}
+
+TEST(Tseitin, ConjunctionHasOneModel) {
+  const auto models = atom_models("(and (= x \"a\") (str.contains x \"b\"))");
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_TRUE(models[0][0]);
+  EXPECT_TRUE(models[0][1]);
+}
+
+TEST(Tseitin, XorShapedFormula) {
+  const auto models = atom_models(
+      "(or (and (= x \"a\") (not (= x \"b\"))) "
+      "(and (not (= x \"a\")) (= x \"b\")))");
+  ASSERT_EQ(models.size(), 2u);
+  for (const auto& model : models) {
+    EXPECT_NE(model[0], model[1]);
+  }
+}
+
+TEST(Tseitin, DuplicateAtomsShareVariables) {
+  CdclSolver solver;
+  TseitinEncoder encoder(solver);
+  encoder.assert_term(term("(or (= x \"a\") (= x \"a\"))"));
+  EXPECT_EQ(encoder.atoms().size(), 1u);
+}
+
+TEST(Tseitin, DeMorganEquivalence) {
+  // not(a and b) has the same atom-models as (or (not a) (not b)).
+  auto lhs = atom_models("(not (and (= x \"a\") (= x \"b\")))");
+  auto rhs = atom_models("(or (not (= x \"a\")) (not (= x \"b\")))");
+  auto key = [](std::vector<std::vector<bool>>& models) {
+    std::sort(models.begin(), models.end());
+    return models;
+  };
+  EXPECT_EQ(key(lhs), key(rhs));
+}
+
+TEST(Tseitin, BooleanConstants) {
+  const auto sat_models = atom_models("true");
+  EXPECT_EQ(sat_models.size(), 1u);  // No atoms; single propositional model.
+
+  CdclSolver solver;
+  TseitinEncoder encoder(solver);
+  encoder.assert_term(term("false"));
+  EXPECT_EQ(solver.solve(), SolveStatus::kUnsat);
+}
+
+TEST(Tseitin, ContradictionIsUnsat) {
+  CdclSolver solver;
+  TseitinEncoder encoder(solver);
+  encoder.assert_term(term("(and (= x \"a\") (not (= x \"a\")))"));
+  EXPECT_EQ(solver.solve(), SolveStatus::kUnsat);
+}
+
+TEST(Tseitin, NestedStructureCountsModels) {
+  // (a or b) and (not c) over 3 atoms: models = 3 * 1 = 3.
+  const auto models = atom_models(
+      "(and (or (= x \"a\") (= x \"b\")) (not (str.contains x \"c\")))");
+  EXPECT_EQ(models.size(), 3u);
+  for (const auto& model : models) {
+    EXPECT_TRUE(model[0] || model[1]);
+    EXPECT_FALSE(model[2]);
+  }
+}
+
+TEST(Tseitin, RejectsMalformedBooleans) {
+  CdclSolver solver;
+  TseitinEncoder encoder(solver);
+  EXPECT_THROW(encoder.assert_term(term("(not)")), std::invalid_argument);
+  EXPECT_THROW(encoder.assert_term(term("(and)")), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qsmt::sat

@@ -1,0 +1,33 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "qsmt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeader, ExposesTheWholeApi) {
+  // One symbol per module proves the includes resolved.
+  qsmt::Xoshiro256 rng(1);
+  (void)rng();
+  qsmt::qubo::QuboModel model(2);
+  model.add_linear(0, -1.0);
+  const qsmt::anneal::ExactSolver exact;
+  EXPECT_DOUBLE_EQ(exact.ground_energy(model), -1.0);
+  EXPECT_EQ(qsmt::graph::make_complete(3).num_edges(), 3u);
+  EXPECT_EQ(qsmt::strenc::encode_char('a')[0], 1);
+  EXPECT_TRUE(qsmt::regex::full_match("a+", "aa"));
+  EXPECT_EQ(qsmt::strqubo::constraint_name(qsmt::strqubo::Equality{"x"}),
+            "equality");
+  EXPECT_EQ(qsmt::smtlib::status_name(qsmt::smtlib::CheckSatStatus::kSat),
+            "sat");
+  qsmt::sat::CdclSolver sat_solver;
+  EXPECT_EQ(sat_solver.solve(), qsmt::sat::SolveStatus::kSat);
+  EXPECT_TRUE(qsmt::baseline::DirectBaseline()
+                  .solve(qsmt::strqubo::Equality{"ok"})
+                  .satisfied);
+  qsmt::workload::Generator generator;
+  (void)generator.next();
+  EXPECT_FALSE(qsmt::engine::term_needs_boolean_engine(nullptr));
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace qsmt {
+namespace {
+
+TEST(SplitMix64, ProducesKnownSequence) {
+  // Reference values for seed 0 from the splitmix64 reference
+  // implementation.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64_next(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64_next(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64_next(state), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t state = 42;
+  const std::uint64_t before = state;
+  (void)splitmix64_next(state);
+  EXPECT_NE(state, before);
+}
+
+TEST(MixSeed, DistinctStreamsGiveDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    seeds.insert(mix_seed(12345, stream));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(MixSeed, DependsOnBothArguments) {
+  EXPECT_NE(mix_seed(1, 0), mix_seed(2, 0));
+  EXPECT_NE(mix_seed(1, 0), mix_seed(1, 1));
+}
+
+TEST(Xoshiro256, DeterministicForFixedSeed) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, StreamConstructorMatchesMixSeed) {
+  Xoshiro256 direct(mix_seed(7, 3));
+  Xoshiro256 stream(7, 3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(direct(), stream());
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, BelowStaysInBounds) {
+  Xoshiro256 rng(17);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, BelowZeroBoundReturnsZero) {
+  Xoshiro256 rng(17);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Xoshiro256, BelowCoversAllResidues) {
+  Xoshiro256 rng(23);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(31);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Xoshiro256, CoinIsRoughlyFair) {
+  Xoshiro256 rng(3);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.coin();
+  EXPECT_NEAR(heads, 5000, 300);
+}
+
+TEST(Xoshiro256, JumpChangesSequence) {
+  Xoshiro256 a(11);
+  Xoshiro256 b(11);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  EXPECT_EQ(Xoshiro256::min(), 0u);
+  EXPECT_EQ(Xoshiro256::max(), ~0ULL);
+}
+
+TEST(Require, ThrowsOnViolation) {
+  EXPECT_THROW(require(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require_in_range(false, "oob"), std::out_of_range);
+  EXPECT_NO_THROW(require_in_range(true, "fine"));
+}
+
+TEST(Require, PropagatesMessage) {
+  try {
+    require(false, "specific message");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(sw.elapsed_us(), 15000);
+  EXPECT_GE(sw.elapsed_seconds(), 0.015);
+}
+
+TEST(Stopwatch, ResetRestartsFromZero) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.reset();
+  EXPECT_LT(sw.elapsed_us(), 15000);
+}
+
+TEST(Stopwatch, ReadsAreMonotonic) {
+  Stopwatch sw;
+  const auto first = sw.elapsed_us();
+  const auto second = sw.elapsed_us();
+  EXPECT_LE(first, second);
+}
+
+}  // namespace
+}  // namespace qsmt

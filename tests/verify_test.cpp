@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "strqubo/verify.hpp"
+
+namespace qsmt::strqubo {
+namespace {
+
+TEST(ReplaceHelpers, ReplaceAllChars) {
+  EXPECT_EQ(replace_all_chars("hello world", 'l', 'x'), "hexxo worxd");
+  EXPECT_EQ(replace_all_chars("aaa", 'a', 'b'), "bbb");
+  EXPECT_EQ(replace_all_chars("abc", 'z', 'q'), "abc");
+  EXPECT_EQ(replace_all_chars("", 'a', 'b'), "");
+}
+
+TEST(ReplaceHelpers, ReplaceFirstChar) {
+  EXPECT_EQ(replace_first_char("hello", 'l', 'x'), "hexlo");
+  EXPECT_EQ(replace_first_char("abc", 'z', 'q'), "abc");
+  EXPECT_EQ(replace_first_char("aaa", 'a', 'b'), "baa");
+}
+
+TEST(VerifyString, Equality) {
+  EXPECT_TRUE(verify_string(Equality{"abc"}, "abc"));
+  EXPECT_FALSE(verify_string(Equality{"abc"}, "abd"));
+  EXPECT_FALSE(verify_string(Equality{"abc"}, "ab"));
+  EXPECT_TRUE(verify_string(Equality{""}, ""));
+}
+
+TEST(VerifyString, Concat) {
+  EXPECT_TRUE(verify_string(Concat{"hello", " world"}, "hello world"));
+  EXPECT_FALSE(verify_string(Concat{"hello", "world"}, "hello world"));
+}
+
+TEST(VerifyString, SubstringMatch) {
+  EXPECT_TRUE(verify_string(SubstringMatch{4, "cat"}, "ccat"));
+  EXPECT_TRUE(verify_string(SubstringMatch{4, "cat"}, "cats"));
+  EXPECT_FALSE(verify_string(SubstringMatch{4, "cat"}, "cat"));   // Wrong len.
+  EXPECT_FALSE(verify_string(SubstringMatch{4, "cat"}, "dogs"));  // No match.
+}
+
+TEST(VerifyString, IncludesAlwaysFalse) {
+  // Includes produces a position, not a string.
+  EXPECT_FALSE(verify_string(Includes{"abc", "b"}, "b"));
+}
+
+TEST(VerifyString, IndexOf) {
+  EXPECT_TRUE(verify_string(IndexOf{6, "hi", 2}, "qphiqp"));  // Table 1.
+  EXPECT_FALSE(verify_string(IndexOf{6, "hi", 2}, "hiqpqp"));
+  EXPECT_FALSE(verify_string(IndexOf{6, "hi", 2}, "qphiq"));
+  EXPECT_TRUE(verify_string(IndexOf{2, "hi", 0}, "hi"));
+}
+
+TEST(VerifyString, LengthBitPrefixForm) {
+  EXPECT_TRUE(verify_string(Length{3, 2}, std::string("\x7f\x7f\0", 3)));
+  EXPECT_FALSE(verify_string(Length{3, 2}, std::string("\x7f\0\0", 3)));
+  EXPECT_FALSE(verify_string(Length{3, 2}, "ab"));
+  EXPECT_TRUE(verify_string(Length{2, 0}, std::string("\0\0", 2)));
+}
+
+TEST(VerifyString, ReplaceAllAndReplace) {
+  EXPECT_TRUE(verify_string(ReplaceAll{"hello", 'l', 'x'}, "hexxo"));
+  EXPECT_FALSE(verify_string(ReplaceAll{"hello", 'l', 'x'}, "hexlo"));
+  EXPECT_TRUE(verify_string(Replace{"hello", 'l', 'x'}, "hexlo"));
+  EXPECT_FALSE(verify_string(Replace{"hello", 'l', 'x'}, "hexxo"));
+}
+
+TEST(VerifyString, Reverse) {
+  EXPECT_TRUE(verify_string(Reverse{"hello"}, "olleh"));
+  EXPECT_FALSE(verify_string(Reverse{"hello"}, "hello"));
+  EXPECT_TRUE(verify_string(Reverse{"aba"}, "aba"));
+}
+
+TEST(VerifyString, Palindrome) {
+  EXPECT_TRUE(verify_string(Palindrome{4}, "abba"));
+  EXPECT_TRUE(verify_string(Palindrome{5}, "abcba"));
+  EXPECT_TRUE(verify_string(Palindrome{6}, "OnFFnO"));  // Table 1 output.
+  EXPECT_FALSE(verify_string(Palindrome{4}, "abab"));
+  EXPECT_FALSE(verify_string(Palindrome{4}, "abba?"));  // Wrong length.
+  EXPECT_TRUE(verify_string(Palindrome{1}, "x"));
+}
+
+TEST(VerifyString, RegexMatch) {
+  EXPECT_TRUE(verify_string(RegexMatch{"a[bc]+", 5}, "abcbb"));  // Table 1.
+  EXPECT_FALSE(verify_string(RegexMatch{"a[bc]+", 5}, "abcb"));
+  EXPECT_FALSE(verify_string(RegexMatch{"a[bc]+", 5}, "adbcb"));
+}
+
+TEST(VerifyPosition, FirstOccurrenceSemantics) {
+  const Includes includes{"abcabc", "bc"};
+  EXPECT_TRUE(verify_position(includes, 1));
+  EXPECT_FALSE(verify_position(includes, 4));  // A match, but not the first.
+  EXPECT_FALSE(verify_position(includes, 0));
+  EXPECT_FALSE(verify_position(includes, std::nullopt));
+}
+
+TEST(VerifyPosition, NoOccurrenceExpectsNullopt) {
+  const Includes includes{"xyz", "ab"};
+  EXPECT_TRUE(verify_position(includes, std::nullopt));
+  EXPECT_FALSE(verify_position(includes, 0));
+}
+
+TEST(ExpectedString, DeterministicConstraints) {
+  EXPECT_EQ(expected_string(Equality{"abc"}), "abc");
+  EXPECT_EQ(expected_string(Concat{"ab", "cd"}), "abcd");
+  EXPECT_EQ(expected_string(ReplaceAll{"hello", 'l', 'x'}), "hexxo");
+  EXPECT_EQ(expected_string(Replace{"hello", 'l', 'x'}), "hexlo");
+  EXPECT_EQ(expected_string(Reverse{"hello"}), "olleh");
+  EXPECT_EQ(expected_string(Length{3, 2}), std::string("\x7f\x7f\0", 3));
+}
+
+TEST(ExpectedString, OpenConstraintsHaveNone) {
+  EXPECT_FALSE(expected_string(SubstringMatch{4, "cat"}).has_value());
+  EXPECT_FALSE(expected_string(Palindrome{4}).has_value());
+  EXPECT_FALSE(expected_string(RegexMatch{"a+", 3}).has_value());
+  EXPECT_FALSE(expected_string(IndexOf{6, "hi", 2}).has_value());
+  EXPECT_FALSE(expected_string(Includes{"ab", "a"}).has_value());
+}
+
+TEST(ExpectedString, SatisfiesItsOwnConstraint) {
+  const std::vector<Constraint> deterministic{
+      Equality{"abc"}, Concat{"ab", "cd"}, ReplaceAll{"hello", 'l', 'x'},
+      Replace{"hello", 'l', 'x'}, Reverse{"hello"}};
+  for (const auto& c : deterministic) {
+    const auto witness = expected_string(c);
+    ASSERT_TRUE(witness.has_value());
+    EXPECT_TRUE(verify_string(c, *witness)) << describe(c);
+  }
+}
+
+}  // namespace
+}  // namespace qsmt::strqubo

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/classical.hpp"
+#include "smtlib/compiler.hpp"
+#include "smtlib/parser.hpp"
+#include "strqubo/verify.hpp"
+#include "workload/generator.hpp"
+#include "workload/smt2_render.hpp"
+
+namespace qsmt::workload {
+namespace {
+
+TEST(Generator, ValidatesParams) {
+  GeneratorParams params;
+  params.alphabet = "";
+  EXPECT_THROW(Generator{params}, std::invalid_argument);
+  params = {};
+  params.min_length = 0;
+  EXPECT_THROW(Generator{params}, std::invalid_argument);
+  params = {};
+  params.min_length = 5;
+  params.max_length = 3;
+  EXPECT_THROW(Generator{params}, std::invalid_argument);
+}
+
+TEST(Generator, DeterministicInSeed) {
+  GeneratorParams params;
+  params.seed = 11;
+  Generator a(params);
+  Generator b(params);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(strqubo::describe(a.next()), strqubo::describe(b.next()));
+  }
+}
+
+TEST(Generator, RandomStringsRespectBounds) {
+  GeneratorParams params;
+  params.min_length = 3;
+  params.max_length = 5;
+  params.alphabet = "xy";
+  Generator generator(params);
+  for (int i = 0; i < 100; ++i) {
+    const std::string s = generator.random_string();
+    EXPECT_GE(s.size(), 3u);
+    EXPECT_LE(s.size(), 5u);
+    for (char c : s) EXPECT_TRUE(c == 'x' || c == 'y');
+  }
+}
+
+TEST(Generator, ProducesEveryRequestedKind) {
+  Generator generator;
+  for (Kind kind : all_kinds()) {
+    const auto constraint = generator.next(kind);
+    EXPECT_EQ(strqubo::constraint_name(constraint), kind_name(kind))
+        << kind_name(kind);
+  }
+}
+
+TEST(Generator, SuiteCyclesThroughKinds) {
+  Generator generator;
+  const auto suite = generator.suite(2 * all_kinds().size());
+  ASSERT_EQ(suite.size(), 2 * all_kinds().size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(strqubo::constraint_name(suite[i]),
+              kind_name(all_kinds()[i % all_kinds().size()]));
+  }
+}
+
+TEST(Generator, InstancesAreClassicallySatisfiable) {
+  // Every generated instance must admit a witness — checked via the direct
+  // classical solver (positions for includes, strings otherwise).
+  GeneratorParams params;
+  params.seed = 3;
+  Generator generator(params);
+  const baseline::DirectBaseline solver;
+  for (int i = 0; i < 200; ++i) {
+    const auto constraint = generator.next();
+    const auto result = solver.solve(constraint);
+    EXPECT_TRUE(result.satisfied) << strqubo::describe(constraint);
+  }
+}
+
+TEST(Smt2Render, EverySupportedKindRenders) {
+  Generator generator;
+  for (Kind kind : all_kinds()) {
+    const auto constraint = generator.next(kind);
+    const auto script = to_smt2(constraint);
+    if (kind == Kind::kIncludes) {
+      EXPECT_FALSE(script.has_value());
+    } else {
+      ASSERT_TRUE(script.has_value()) << kind_name(kind);
+      EXPECT_NE(script->find("(check-sat)"), std::string::npos);
+      EXPECT_NE(script->find("(declare-const x String)"), std::string::npos);
+    }
+  }
+}
+
+TEST(Smt2Render, ScriptsParse) {
+  GeneratorParams params;
+  params.seed = 5;
+  Generator generator(params);
+  for (int i = 0; i < 100; ++i) {
+    const auto constraint = generator.next();
+    const auto script = to_smt2(constraint);
+    if (!script) continue;
+    EXPECT_NO_THROW(smtlib::parse_script(*script))
+        << strqubo::describe(constraint) << "\n"
+        << *script;
+  }
+}
+
+TEST(Smt2Render, RoundTripsThroughCompiler) {
+  // generator -> smt2 -> parse -> compile must reproduce a constraint whose
+  // witnesses coincide with the original's (checked on the direct witness).
+  GeneratorParams params;
+  params.seed = 9;
+  Generator generator(params);
+  const baseline::DirectBaseline direct;
+  std::size_t checked = 0;
+  for (int i = 0; i < 150; ++i) {
+    const auto original = generator.next();
+    const auto script = to_smt2(original);
+    if (!script) continue;
+
+    std::vector<smtlib::TermPtr> assertions;
+    std::map<std::string, smtlib::Sort> declared;
+    for (const auto& command : smtlib::parse_script(*script)) {
+      if (const auto* decl = std::get_if<smtlib::DeclareConst>(&command)) {
+        declared.emplace(decl->name, decl->sort);
+      } else if (const auto* a = std::get_if<smtlib::AssertCmd>(&command)) {
+        assertions.push_back(a->term);
+      }
+    }
+    const smtlib::CompiledQuery query =
+        smtlib::compile_assertions(assertions, declared);
+    EXPECT_TRUE(query.unsupported.empty())
+        << strqubo::describe(original) << ": "
+        << (query.unsupported.empty() ? "" : query.unsupported[0]);
+    EXPECT_TRUE(query.falsified_ground.empty());
+    ASSERT_GE(query.constraints.size(), 1u) << strqubo::describe(original);
+
+    // The original's classical witness must satisfy every compiled conjunct.
+    const auto witness = direct.solve(original);
+    ASSERT_TRUE(witness.text.has_value());
+    for (const auto& compiled : query.constraints) {
+      EXPECT_TRUE(strqubo::verify_string(compiled, *witness.text))
+          << strqubo::describe(original) << " -> "
+          << strqubo::describe(compiled);
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(KindName, CoversAll) {
+  std::set<std::string> names;
+  for (Kind kind : all_kinds()) names.insert(kind_name(kind));
+  EXPECT_EQ(names.size(), all_kinds().size());
+  EXPECT_EQ(kind_name(Kind::kAny), "any");
+}
+
+}  // namespace
+}  // namespace qsmt::workload
