@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_study.dir/embedding_study.cpp.o"
+  "CMakeFiles/embedding_study.dir/embedding_study.cpp.o.d"
+  "embedding_study"
+  "embedding_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/penalty_study.dir/penalty_study.cpp.o"
+  "CMakeFiles/penalty_study.dir/penalty_study.cpp.o.d"
+  "penalty_study"
+  "penalty_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/penalty_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_bench.dir/pipeline_bench.cpp.o"
+  "CMakeFiles/pipeline_bench.dir/pipeline_bench.cpp.o.d"
+  "pipeline_bench"
+  "pipeline_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

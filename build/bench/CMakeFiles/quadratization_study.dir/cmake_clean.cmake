@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadratization_study.dir/quadratization_study.cpp.o"
+  "CMakeFiles/quadratization_study.dir/quadratization_study.cpp.o.d"
+  "quadratization_study"
+  "quadratization_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadratization_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantum_study.dir/quantum_study.cpp.o"
+  "CMakeFiles/quantum_study.dir/quantum_study.cpp.o.d"
+  "quantum_study"
+  "quantum_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantum_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

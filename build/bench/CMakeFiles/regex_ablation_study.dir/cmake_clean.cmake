@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_ablation_study.dir/regex_ablation_study.cpp.o"
+  "CMakeFiles/regex_ablation_study.dir/regex_ablation_study.cpp.o.d"
+  "regex_ablation_study"
+  "regex_ablation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_ablation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

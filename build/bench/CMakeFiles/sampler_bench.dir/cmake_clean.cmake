@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampler_bench.dir/sampler_bench.cpp.o"
+  "CMakeFiles/sampler_bench.dir/sampler_bench.cpp.o.d"
+  "sampler_bench"
+  "sampler_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampler_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtlib_bench.dir/smtlib_bench.cpp.o"
+  "CMakeFiles/smtlib_bench.dir/smtlib_bench.cpp.o.d"
+  "smtlib_bench"
+  "smtlib_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtlib_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_study.dir/suite_study.cpp.o"
+  "CMakeFiles/suite_study.dir/suite_study.cpp.o.d"
+  "suite_study"
+  "suite_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

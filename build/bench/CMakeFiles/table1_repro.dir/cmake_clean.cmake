@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_repro.dir/table1_repro.cpp.o"
+  "CMakeFiles/table1_repro.dir/table1_repro.cpp.o.d"
+  "table1_repro"
+  "table1_repro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

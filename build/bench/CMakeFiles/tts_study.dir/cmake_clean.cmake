@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tts_study.dir/tts_study.cpp.o"
+  "CMakeFiles/tts_study.dir/tts_study.cpp.o.d"
+  "tts_study"
+  "tts_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tts_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_gen.dir/benchmark_gen.cpp.o"
+  "CMakeFiles/benchmark_gen.dir/benchmark_gen.cpp.o.d"
+  "benchmark_gen"
+  "benchmark_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

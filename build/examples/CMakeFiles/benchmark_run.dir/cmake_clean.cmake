@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_run.dir/benchmark_run.cpp.o"
+  "CMakeFiles/benchmark_run.dir/benchmark_run.cpp.o.d"
+  "benchmark_run"
+  "benchmark_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_config.dir/distributed_config.cpp.o"
+  "CMakeFiles/distributed_config.dir/distributed_config.cpp.o.d"
+  "distributed_config"
+  "distributed_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

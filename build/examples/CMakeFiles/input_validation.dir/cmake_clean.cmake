@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/input_validation.dir/input_validation.cpp.o"
+  "CMakeFiles/input_validation.dir/input_validation.cpp.o.d"
+  "input_validation"
+  "input_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/input_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/qubo_tool.cpp" "examples/CMakeFiles/qubo_tool.dir/qubo_tool.cpp.o" "gcc" "examples/CMakeFiles/qubo_tool.dir/qubo_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/qsmt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/qsmt_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/qsmt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/qsmt_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/qsmt_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/smtlib/CMakeFiles/qsmt_smtlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/strqubo/CMakeFiles/qsmt_strqubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/anneal/CMakeFiles/qsmt_anneal.dir/DependInfo.cmake"
+  "/root/repo/build/src/qubo/CMakeFiles/qsmt_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/strenc/CMakeFiles/qsmt_strenc.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/qsmt_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qsmt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qubo_tool.dir/qubo_tool.cpp.o"
+  "CMakeFiles/qubo_tool.dir/qubo_tool.cpp.o.d"
+  "qubo_tool"
+  "qubo_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qubo_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

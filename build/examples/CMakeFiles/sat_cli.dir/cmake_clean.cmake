@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_cli.dir/sat_cli.cpp.o"
+  "CMakeFiles/sat_cli.dir/sat_cli.cpp.o.d"
+  "sat_cli"
+  "sat_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_cli.dir/smt_cli.cpp.o"
+  "CMakeFiles/smt_cli.dir/smt_cli.cpp.o.d"
+  "smt_cli"
+  "smt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("qubo")
+subdirs("anneal")
+subdirs("graph")
+subdirs("strenc")
+subdirs("regex")
+subdirs("strqubo")
+subdirs("smtlib")
+subdirs("sat")
+subdirs("baseline")
+subdirs("workload")
+subdirs("engine")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anneal/autotune.cpp" "src/anneal/CMakeFiles/qsmt_anneal.dir/autotune.cpp.o" "gcc" "src/anneal/CMakeFiles/qsmt_anneal.dir/autotune.cpp.o.d"
+  "/root/repo/src/anneal/exact.cpp" "src/anneal/CMakeFiles/qsmt_anneal.dir/exact.cpp.o" "gcc" "src/anneal/CMakeFiles/qsmt_anneal.dir/exact.cpp.o.d"
+  "/root/repo/src/anneal/greedy.cpp" "src/anneal/CMakeFiles/qsmt_anneal.dir/greedy.cpp.o" "gcc" "src/anneal/CMakeFiles/qsmt_anneal.dir/greedy.cpp.o.d"
+  "/root/repo/src/anneal/noise.cpp" "src/anneal/CMakeFiles/qsmt_anneal.dir/noise.cpp.o" "gcc" "src/anneal/CMakeFiles/qsmt_anneal.dir/noise.cpp.o.d"
+  "/root/repo/src/anneal/pimc.cpp" "src/anneal/CMakeFiles/qsmt_anneal.dir/pimc.cpp.o" "gcc" "src/anneal/CMakeFiles/qsmt_anneal.dir/pimc.cpp.o.d"
+  "/root/repo/src/anneal/population.cpp" "src/anneal/CMakeFiles/qsmt_anneal.dir/population.cpp.o" "gcc" "src/anneal/CMakeFiles/qsmt_anneal.dir/population.cpp.o.d"
+  "/root/repo/src/anneal/random_sampler.cpp" "src/anneal/CMakeFiles/qsmt_anneal.dir/random_sampler.cpp.o" "gcc" "src/anneal/CMakeFiles/qsmt_anneal.dir/random_sampler.cpp.o.d"
+  "/root/repo/src/anneal/reverse.cpp" "src/anneal/CMakeFiles/qsmt_anneal.dir/reverse.cpp.o" "gcc" "src/anneal/CMakeFiles/qsmt_anneal.dir/reverse.cpp.o.d"
+  "/root/repo/src/anneal/sample_set.cpp" "src/anneal/CMakeFiles/qsmt_anneal.dir/sample_set.cpp.o" "gcc" "src/anneal/CMakeFiles/qsmt_anneal.dir/sample_set.cpp.o.d"
+  "/root/repo/src/anneal/schedule.cpp" "src/anneal/CMakeFiles/qsmt_anneal.dir/schedule.cpp.o" "gcc" "src/anneal/CMakeFiles/qsmt_anneal.dir/schedule.cpp.o.d"
+  "/root/repo/src/anneal/simulated_annealer.cpp" "src/anneal/CMakeFiles/qsmt_anneal.dir/simulated_annealer.cpp.o" "gcc" "src/anneal/CMakeFiles/qsmt_anneal.dir/simulated_annealer.cpp.o.d"
+  "/root/repo/src/anneal/tabu.cpp" "src/anneal/CMakeFiles/qsmt_anneal.dir/tabu.cpp.o" "gcc" "src/anneal/CMakeFiles/qsmt_anneal.dir/tabu.cpp.o.d"
+  "/root/repo/src/anneal/tempering.cpp" "src/anneal/CMakeFiles/qsmt_anneal.dir/tempering.cpp.o" "gcc" "src/anneal/CMakeFiles/qsmt_anneal.dir/tempering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qsmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/qubo/CMakeFiles/qsmt_qubo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsmt_anneal.dir/autotune.cpp.o"
+  "CMakeFiles/qsmt_anneal.dir/autotune.cpp.o.d"
+  "CMakeFiles/qsmt_anneal.dir/exact.cpp.o"
+  "CMakeFiles/qsmt_anneal.dir/exact.cpp.o.d"
+  "CMakeFiles/qsmt_anneal.dir/greedy.cpp.o"
+  "CMakeFiles/qsmt_anneal.dir/greedy.cpp.o.d"
+  "CMakeFiles/qsmt_anneal.dir/noise.cpp.o"
+  "CMakeFiles/qsmt_anneal.dir/noise.cpp.o.d"
+  "CMakeFiles/qsmt_anneal.dir/pimc.cpp.o"
+  "CMakeFiles/qsmt_anneal.dir/pimc.cpp.o.d"
+  "CMakeFiles/qsmt_anneal.dir/population.cpp.o"
+  "CMakeFiles/qsmt_anneal.dir/population.cpp.o.d"
+  "CMakeFiles/qsmt_anneal.dir/random_sampler.cpp.o"
+  "CMakeFiles/qsmt_anneal.dir/random_sampler.cpp.o.d"
+  "CMakeFiles/qsmt_anneal.dir/reverse.cpp.o"
+  "CMakeFiles/qsmt_anneal.dir/reverse.cpp.o.d"
+  "CMakeFiles/qsmt_anneal.dir/sample_set.cpp.o"
+  "CMakeFiles/qsmt_anneal.dir/sample_set.cpp.o.d"
+  "CMakeFiles/qsmt_anneal.dir/schedule.cpp.o"
+  "CMakeFiles/qsmt_anneal.dir/schedule.cpp.o.d"
+  "CMakeFiles/qsmt_anneal.dir/simulated_annealer.cpp.o"
+  "CMakeFiles/qsmt_anneal.dir/simulated_annealer.cpp.o.d"
+  "CMakeFiles/qsmt_anneal.dir/tabu.cpp.o"
+  "CMakeFiles/qsmt_anneal.dir/tabu.cpp.o.d"
+  "CMakeFiles/qsmt_anneal.dir/tempering.cpp.o"
+  "CMakeFiles/qsmt_anneal.dir/tempering.cpp.o.d"
+  "libqsmt_anneal.a"
+  "libqsmt_anneal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsmt_anneal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsmt_baseline.dir/classical.cpp.o"
+  "CMakeFiles/qsmt_baseline.dir/classical.cpp.o.d"
+  "libqsmt_baseline.a"
+  "libqsmt_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsmt_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

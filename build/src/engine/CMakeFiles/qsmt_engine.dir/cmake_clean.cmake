@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsmt_engine.dir/engine.cpp.o"
+  "CMakeFiles/qsmt_engine.dir/engine.cpp.o.d"
+  "libqsmt_engine.a"
+  "libqsmt_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsmt_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/chimera.cpp" "src/graph/CMakeFiles/qsmt_graph.dir/chimera.cpp.o" "gcc" "src/graph/CMakeFiles/qsmt_graph.dir/chimera.cpp.o.d"
+  "/root/repo/src/graph/embedded_sampler.cpp" "src/graph/CMakeFiles/qsmt_graph.dir/embedded_sampler.cpp.o" "gcc" "src/graph/CMakeFiles/qsmt_graph.dir/embedded_sampler.cpp.o.d"
+  "/root/repo/src/graph/embedding.cpp" "src/graph/CMakeFiles/qsmt_graph.dir/embedding.cpp.o" "gcc" "src/graph/CMakeFiles/qsmt_graph.dir/embedding.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/qsmt_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/qsmt_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/topologies.cpp" "src/graph/CMakeFiles/qsmt_graph.dir/topologies.cpp.o" "gcc" "src/graph/CMakeFiles/qsmt_graph.dir/topologies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qsmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/qubo/CMakeFiles/qsmt_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/anneal/CMakeFiles/qsmt_anneal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsmt_graph.dir/chimera.cpp.o"
+  "CMakeFiles/qsmt_graph.dir/chimera.cpp.o.d"
+  "CMakeFiles/qsmt_graph.dir/embedded_sampler.cpp.o"
+  "CMakeFiles/qsmt_graph.dir/embedded_sampler.cpp.o.d"
+  "CMakeFiles/qsmt_graph.dir/embedding.cpp.o"
+  "CMakeFiles/qsmt_graph.dir/embedding.cpp.o.d"
+  "CMakeFiles/qsmt_graph.dir/graph.cpp.o"
+  "CMakeFiles/qsmt_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/qsmt_graph.dir/topologies.cpp.o"
+  "CMakeFiles/qsmt_graph.dir/topologies.cpp.o.d"
+  "libqsmt_graph.a"
+  "libqsmt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsmt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qubo/adjacency.cpp" "src/qubo/CMakeFiles/qsmt_qubo.dir/adjacency.cpp.o" "gcc" "src/qubo/CMakeFiles/qsmt_qubo.dir/adjacency.cpp.o.d"
+  "/root/repo/src/qubo/ising.cpp" "src/qubo/CMakeFiles/qsmt_qubo.dir/ising.cpp.o" "gcc" "src/qubo/CMakeFiles/qsmt_qubo.dir/ising.cpp.o.d"
+  "/root/repo/src/qubo/penalties.cpp" "src/qubo/CMakeFiles/qsmt_qubo.dir/penalties.cpp.o" "gcc" "src/qubo/CMakeFiles/qsmt_qubo.dir/penalties.cpp.o.d"
+  "/root/repo/src/qubo/quadratization.cpp" "src/qubo/CMakeFiles/qsmt_qubo.dir/quadratization.cpp.o" "gcc" "src/qubo/CMakeFiles/qsmt_qubo.dir/quadratization.cpp.o.d"
+  "/root/repo/src/qubo/qubo_model.cpp" "src/qubo/CMakeFiles/qsmt_qubo.dir/qubo_model.cpp.o" "gcc" "src/qubo/CMakeFiles/qsmt_qubo.dir/qubo_model.cpp.o.d"
+  "/root/repo/src/qubo/serialize.cpp" "src/qubo/CMakeFiles/qsmt_qubo.dir/serialize.cpp.o" "gcc" "src/qubo/CMakeFiles/qsmt_qubo.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qsmt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

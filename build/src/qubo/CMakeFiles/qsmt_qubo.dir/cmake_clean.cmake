@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsmt_qubo.dir/adjacency.cpp.o"
+  "CMakeFiles/qsmt_qubo.dir/adjacency.cpp.o.d"
+  "CMakeFiles/qsmt_qubo.dir/ising.cpp.o"
+  "CMakeFiles/qsmt_qubo.dir/ising.cpp.o.d"
+  "CMakeFiles/qsmt_qubo.dir/penalties.cpp.o"
+  "CMakeFiles/qsmt_qubo.dir/penalties.cpp.o.d"
+  "CMakeFiles/qsmt_qubo.dir/quadratization.cpp.o"
+  "CMakeFiles/qsmt_qubo.dir/quadratization.cpp.o.d"
+  "CMakeFiles/qsmt_qubo.dir/qubo_model.cpp.o"
+  "CMakeFiles/qsmt_qubo.dir/qubo_model.cpp.o.d"
+  "CMakeFiles/qsmt_qubo.dir/serialize.cpp.o"
+  "CMakeFiles/qsmt_qubo.dir/serialize.cpp.o.d"
+  "libqsmt_qubo.a"
+  "libqsmt_qubo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsmt_qubo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsmt_regex.dir/nfa.cpp.o"
+  "CMakeFiles/qsmt_regex.dir/nfa.cpp.o.d"
+  "CMakeFiles/qsmt_regex.dir/pattern.cpp.o"
+  "CMakeFiles/qsmt_regex.dir/pattern.cpp.o.d"
+  "libqsmt_regex.a"
+  "libqsmt_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsmt_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

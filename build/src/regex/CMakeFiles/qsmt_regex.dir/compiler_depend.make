@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qsmt_regex.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsmt_sat.dir/cdcl.cpp.o"
+  "CMakeFiles/qsmt_sat.dir/cdcl.cpp.o.d"
+  "CMakeFiles/qsmt_sat.dir/dimacs.cpp.o"
+  "CMakeFiles/qsmt_sat.dir/dimacs.cpp.o.d"
+  "CMakeFiles/qsmt_sat.dir/dpllt.cpp.o"
+  "CMakeFiles/qsmt_sat.dir/dpllt.cpp.o.d"
+  "CMakeFiles/qsmt_sat.dir/tseitin.cpp.o"
+  "CMakeFiles/qsmt_sat.dir/tseitin.cpp.o.d"
+  "libqsmt_sat.a"
+  "libqsmt_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsmt_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsmt_smtlib.dir/ast.cpp.o"
+  "CMakeFiles/qsmt_smtlib.dir/ast.cpp.o.d"
+  "CMakeFiles/qsmt_smtlib.dir/compiler.cpp.o"
+  "CMakeFiles/qsmt_smtlib.dir/compiler.cpp.o.d"
+  "CMakeFiles/qsmt_smtlib.dir/driver.cpp.o"
+  "CMakeFiles/qsmt_smtlib.dir/driver.cpp.o.d"
+  "CMakeFiles/qsmt_smtlib.dir/parser.cpp.o"
+  "CMakeFiles/qsmt_smtlib.dir/parser.cpp.o.d"
+  "CMakeFiles/qsmt_smtlib.dir/sexpr.cpp.o"
+  "CMakeFiles/qsmt_smtlib.dir/sexpr.cpp.o.d"
+  "libqsmt_smtlib.a"
+  "libqsmt_smtlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsmt_smtlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

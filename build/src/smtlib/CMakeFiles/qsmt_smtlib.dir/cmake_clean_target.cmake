@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqsmt_smtlib.a"
+)

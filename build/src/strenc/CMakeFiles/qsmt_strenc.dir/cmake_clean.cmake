@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsmt_strenc.dir/ascii7.cpp.o"
+  "CMakeFiles/qsmt_strenc.dir/ascii7.cpp.o.d"
+  "libqsmt_strenc.a"
+  "libqsmt_strenc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsmt_strenc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qsmt_strenc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strqubo/builders.cpp" "src/strqubo/CMakeFiles/qsmt_strqubo.dir/builders.cpp.o" "gcc" "src/strqubo/CMakeFiles/qsmt_strqubo.dir/builders.cpp.o.d"
+  "/root/repo/src/strqubo/constraint.cpp" "src/strqubo/CMakeFiles/qsmt_strqubo.dir/constraint.cpp.o" "gcc" "src/strqubo/CMakeFiles/qsmt_strqubo.dir/constraint.cpp.o.d"
+  "/root/repo/src/strqubo/pipeline.cpp" "src/strqubo/CMakeFiles/qsmt_strqubo.dir/pipeline.cpp.o" "gcc" "src/strqubo/CMakeFiles/qsmt_strqubo.dir/pipeline.cpp.o.d"
+  "/root/repo/src/strqubo/solver.cpp" "src/strqubo/CMakeFiles/qsmt_strqubo.dir/solver.cpp.o" "gcc" "src/strqubo/CMakeFiles/qsmt_strqubo.dir/solver.cpp.o.d"
+  "/root/repo/src/strqubo/verify.cpp" "src/strqubo/CMakeFiles/qsmt_strqubo.dir/verify.cpp.o" "gcc" "src/strqubo/CMakeFiles/qsmt_strqubo.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qsmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/qubo/CMakeFiles/qsmt_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/anneal/CMakeFiles/qsmt_anneal.dir/DependInfo.cmake"
+  "/root/repo/build/src/strenc/CMakeFiles/qsmt_strenc.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/qsmt_regex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsmt_strqubo.dir/builders.cpp.o"
+  "CMakeFiles/qsmt_strqubo.dir/builders.cpp.o.d"
+  "CMakeFiles/qsmt_strqubo.dir/constraint.cpp.o"
+  "CMakeFiles/qsmt_strqubo.dir/constraint.cpp.o.d"
+  "CMakeFiles/qsmt_strqubo.dir/pipeline.cpp.o"
+  "CMakeFiles/qsmt_strqubo.dir/pipeline.cpp.o.d"
+  "CMakeFiles/qsmt_strqubo.dir/solver.cpp.o"
+  "CMakeFiles/qsmt_strqubo.dir/solver.cpp.o.d"
+  "CMakeFiles/qsmt_strqubo.dir/verify.cpp.o"
+  "CMakeFiles/qsmt_strqubo.dir/verify.cpp.o.d"
+  "libqsmt_strqubo.a"
+  "libqsmt_strqubo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsmt_strqubo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsmt_util.dir/rng.cpp.o"
+  "CMakeFiles/qsmt_util.dir/rng.cpp.o.d"
+  "CMakeFiles/qsmt_util.dir/stopwatch.cpp.o"
+  "CMakeFiles/qsmt_util.dir/stopwatch.cpp.o.d"
+  "libqsmt_util.a"
+  "libqsmt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsmt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

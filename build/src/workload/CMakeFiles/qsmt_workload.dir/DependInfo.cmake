@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/qsmt_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/qsmt_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/smt2_render.cpp" "src/workload/CMakeFiles/qsmt_workload.dir/smt2_render.cpp.o" "gcc" "src/workload/CMakeFiles/qsmt_workload.dir/smt2_render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qsmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/strqubo/CMakeFiles/qsmt_strqubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/qsmt_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/anneal/CMakeFiles/qsmt_anneal.dir/DependInfo.cmake"
+  "/root/repo/build/src/qubo/CMakeFiles/qsmt_qubo.dir/DependInfo.cmake"
+  "/root/repo/build/src/strenc/CMakeFiles/qsmt_strenc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsmt_workload.dir/generator.cpp.o"
+  "CMakeFiles/qsmt_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/qsmt_workload.dir/smt2_render.cpp.o"
+  "CMakeFiles/qsmt_workload.dir/smt2_render.cpp.o.d"
+  "libqsmt_workload.a"
+  "libqsmt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsmt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

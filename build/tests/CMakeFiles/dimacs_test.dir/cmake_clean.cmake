@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimacs_test.dir/dimacs_test.cpp.o"
+  "CMakeFiles/dimacs_test.dir/dimacs_test.cpp.o.d"
+  "dimacs_test"
+  "dimacs_test.pdb"
+  "dimacs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimacs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

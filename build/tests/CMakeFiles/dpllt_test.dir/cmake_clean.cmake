@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpllt_test.dir/dpllt_test.cpp.o"
+  "CMakeFiles/dpllt_test.dir/dpllt_test.cpp.o.d"
+  "dpllt_test"
+  "dpllt_test.pdb"
+  "dpllt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpllt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_sampler_test.dir/embedded_sampler_test.cpp.o"
+  "CMakeFiles/embedded_sampler_test.dir/embedded_sampler_test.cpp.o.d"
+  "embedded_sampler_test"
+  "embedded_sampler_test.pdb"
+  "embedded_sampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

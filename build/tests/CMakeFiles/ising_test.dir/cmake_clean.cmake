@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ising_test.dir/ising_test.cpp.o"
+  "CMakeFiles/ising_test.dir/ising_test.cpp.o.d"
+  "ising_test"
+  "ising_test.pdb"
+  "ising_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ising_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_reverse_test.dir/noise_reverse_test.cpp.o"
+  "CMakeFiles/noise_reverse_test.dir/noise_reverse_test.cpp.o.d"
+  "noise_reverse_test"
+  "noise_reverse_test.pdb"
+  "noise_reverse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_reverse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimc_test.dir/pimc_test.cpp.o"
+  "CMakeFiles/pimc_test.dir/pimc_test.cpp.o.d"
+  "pimc_test"
+  "pimc_test.pdb"
+  "pimc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadratization_test.dir/quadratization_test.cpp.o"
+  "CMakeFiles/quadratization_test.dir/quadratization_test.cpp.o.d"
+  "quadratization_test"
+  "quadratization_test.pdb"
+  "quadratization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadratization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

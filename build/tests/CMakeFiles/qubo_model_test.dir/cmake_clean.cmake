@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qubo_model_test.dir/qubo_model_test.cpp.o"
+  "CMakeFiles/qubo_model_test.dir/qubo_model_test.cpp.o.d"
+  "qubo_model_test"
+  "qubo_model_test.pdb"
+  "qubo_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qubo_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

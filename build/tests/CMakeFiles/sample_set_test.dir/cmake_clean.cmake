@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_set_test.dir/sample_set_test.cpp.o"
+  "CMakeFiles/sample_set_test.dir/sample_set_test.cpp.o.d"
+  "sample_set_test"
+  "sample_set_test.pdb"
+  "sample_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

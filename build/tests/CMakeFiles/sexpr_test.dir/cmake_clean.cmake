@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sexpr_test.dir/sexpr_test.cpp.o"
+  "CMakeFiles/sexpr_test.dir/sexpr_test.cpp.o.d"
+  "sexpr_test"
+  "sexpr_test.pdb"
+  "sexpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sexpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_parser_test.dir/smt_parser_test.cpp.o"
+  "CMakeFiles/smt_parser_test.dir/smt_parser_test.cpp.o.d"
+  "smt_parser_test"
+  "smt_parser_test.pdb"
+  "smt_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

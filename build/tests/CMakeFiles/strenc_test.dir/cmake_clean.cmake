@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strenc_test.dir/strenc_test.cpp.o"
+  "CMakeFiles/strenc_test.dir/strenc_test.cpp.o.d"
+  "strenc_test"
+  "strenc_test.pdb"
+  "strenc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strenc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

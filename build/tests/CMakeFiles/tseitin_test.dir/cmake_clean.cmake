@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tseitin_test.dir/tseitin_test.cpp.o"
+  "CMakeFiles/tseitin_test.dir/tseitin_test.cpp.o.d"
+  "tseitin_test"
+  "tseitin_test.pdb"
+  "tseitin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tseitin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[UmbrellaHeader.ExposesTheWholeApi]=]  /root/repo/build/tests/umbrella_test [==[--gtest_filter=UmbrellaHeader.ExposesTheWholeApi]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[UmbrellaHeader.ExposesTheWholeApi]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  umbrella_test_TESTS UmbrellaHeader.ExposesTheWholeApi)
