@@ -2,6 +2,7 @@
 
 #include "anneal/simulated_annealer.hpp"
 
+#include "qubo/adjacency.hpp"
 #include "util/rng.hpp"
 #include "util/require.hpp"
 
@@ -17,6 +18,10 @@ TuneResult tune_sweeps(const qubo::QuboModel& model, const SampleJudge& judge,
   require(params.target_success > 0.0 && params.target_success <= 1.0,
           "tune_sweeps: target_success must be in (0, 1]");
 
+  // Probes re-sample the same model at doubling budgets; build the CSR
+  // adjacency once and reuse it across every probe.
+  const qubo::QuboAdjacency adjacency(model);
+
   TuneResult result;
   std::size_t sweeps = params.initial_sweeps;
   while (true) {
@@ -26,7 +31,7 @@ TuneResult tune_sweeps(const qubo::QuboModel& model, const SampleJudge& judge,
     sa.num_sweeps = sweeps;
     // A fresh stream per probe so probes are independent but reproducible.
     sa.seed = mix_seed(params.seed, result.probes);
-    const SampleSet samples = SimulatedAnnealer(sa).sample(model);
+    const SampleSet samples = SimulatedAnnealer(sa).sample(adjacency);
 
     std::size_t good = 0;
     std::size_t total = 0;

@@ -1,0 +1,10 @@
+#include "anneal/context.hpp"
+
+namespace qsmt::anneal {
+
+AnnealContext& thread_local_context() {
+  thread_local AnnealContext context;
+  return context;
+}
+
+}  // namespace qsmt::anneal

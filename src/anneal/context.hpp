@@ -1,0 +1,42 @@
+// Reusable per-thread annealing workspace.
+//
+// Every annealing read needs three scratch buffers: the working bit
+// assignment, the incrementally-maintained local fields, and (for the
+// exp-free kernel) the per-sweep bulk uniform draws the Metropolis
+// acceptance test consumes.
+// Allocating them per read dominated sample() at small model sizes, so the
+// hot paths borrow a thread-local AnnealContext instead: buffers grow to the
+// largest model a thread has annealed and are reused verbatim afterwards.
+//
+// Reuse contract (see docs/hotpath.md):
+//  - prepare(n) must be called before a read; it resizes the buffers but
+//    deliberately does NOT clear them — kernels overwrite every entry they
+//    read (bits are re-initialised by the caller, fields by anneal_read).
+//  - A context may only be used by one read at a time. The thread_local
+//    accessor guarantees this within OpenMP worker threads as long as
+//    kernels do not recursively sample on the same thread (none do).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qsmt::anneal {
+
+struct AnnealContext {
+  std::vector<std::uint8_t> bits;   ///< Working assignment, one byte per var.
+  std::vector<double> field;        ///< Local fields q_ii + Σ q_ij x_j.
+  std::vector<double> uniforms;     ///< Per-sweep bulk U[0,1) draws.
+
+  /// Sizes all buffers for an n-variable model (contents unspecified).
+  void prepare(std::size_t n) {
+    bits.resize(n);
+    field.resize(n);
+    uniforms.resize(n);
+  }
+};
+
+/// The calling thread's reusable workspace. Buffers persist across reads and
+/// across sample() calls, so steady-state sampling performs no allocation.
+AnnealContext& thread_local_context();
+
+}  // namespace qsmt::anneal

@@ -2,6 +2,7 @@
 
 #include <omp.h>
 
+#include "anneal/context.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
 
@@ -10,11 +11,9 @@ namespace qsmt::anneal {
 namespace detail {
 
 std::size_t greedy_descend(const qubo::QuboAdjacency& adjacency,
-                           std::vector<std::uint8_t>& bits) {
+                           std::vector<std::uint8_t>& bits,
+                           std::vector<double>& field) {
   const std::size_t n = adjacency.num_variables();
-  std::vector<double> field(n);
-  for (std::size_t i = 0; i < n; ++i) field[i] = adjacency.local_field(bits, i);
-
   std::size_t flips = 0;
   bool improved = true;
   while (improved) {
@@ -42,6 +41,14 @@ std::size_t greedy_descend(const qubo::QuboAdjacency& adjacency,
   return flips;
 }
 
+std::size_t greedy_descend(const qubo::QuboAdjacency& adjacency,
+                           std::vector<std::uint8_t>& bits) {
+  const std::size_t n = adjacency.num_variables();
+  std::vector<double> field(n);
+  for (std::size_t i = 0; i < n; ++i) field[i] = adjacency.local_field(bits, i);
+  return greedy_descend(adjacency, bits, field);
+}
+
 }  // namespace detail
 
 GreedyDescent::GreedyDescent(GreedyDescentParams params) : params_(params) {
@@ -49,20 +56,26 @@ GreedyDescent::GreedyDescent(GreedyDescentParams params) : params_(params) {
 }
 
 SampleSet GreedyDescent::sample(const qubo::QuboModel& model) const {
-  const qubo::QuboAdjacency adjacency(model);
+  return sample(qubo::QuboAdjacency(model));
+}
+
+SampleSet GreedyDescent::sample(const qubo::QuboAdjacency& adjacency) const {
   const std::size_t n = adjacency.num_variables();
   const std::size_t reads = params_.num_reads;
   std::vector<Sample> results(reads);
 
 #pragma omp parallel for schedule(dynamic)
   for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(reads); ++r) {
+    AnnealContext& ctx = thread_local_context();
+    ctx.prepare(n);
     Xoshiro256 rng(params_.seed, static_cast<std::uint64_t>(r));
-    std::vector<std::uint8_t> bits(n);
-    for (auto& b : bits) b = rng.coin() ? 1 : 0;
-    detail::greedy_descend(adjacency, bits);
+    for (auto& b : ctx.bits) b = rng.coin() ? 1 : 0;
+    for (std::size_t i = 0; i < n; ++i)
+      ctx.field[i] = adjacency.local_field(ctx.bits, i);
+    detail::greedy_descend(adjacency, ctx.bits, ctx.field);
     auto& out = results[static_cast<std::size_t>(r)];
-    out.energy = adjacency.energy(bits);
-    out.bits = std::move(bits);
+    out.energy = adjacency.energy(ctx.bits);
+    out.bits.assign(ctx.bits.begin(), ctx.bits.end());
   }
 
   SampleSet set;

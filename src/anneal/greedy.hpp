@@ -18,6 +18,14 @@ namespace detail {
 /// Runs steepest descent in place; returns the number of flips performed.
 std::size_t greedy_descend(const qubo::QuboAdjacency& adjacency,
                            std::vector<std::uint8_t>& bits);
+
+/// Same, but reuses `field` as the local-field buffer. On entry `field`
+/// must hold the current local fields of `bits` (as maintained by
+/// anneal_read); it is kept consistent, so annealer → polish chains skip
+/// the O(n + m) field rebuild and allocate nothing.
+std::size_t greedy_descend(const qubo::QuboAdjacency& adjacency,
+                           std::vector<std::uint8_t>& bits,
+                           std::vector<double>& field);
 }  // namespace detail
 
 struct GreedyDescentParams {
@@ -30,7 +38,9 @@ class GreedyDescent final : public Sampler {
   explicit GreedyDescent(GreedyDescentParams params = {});
 
   SampleSet sample(const qubo::QuboModel& model) const override;
+  SampleSet sample(const qubo::QuboAdjacency& adjacency) const override;
   std::string name() const override { return "greedy-descent"; }
+  bool supports_adjacency_sampling() const noexcept override { return true; }
 
  private:
   GreedyDescentParams params_;

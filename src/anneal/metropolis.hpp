@@ -1,0 +1,32 @@
+// Exact Metropolis acceptance, transcendental-free outside a narrow band.
+//
+// The acceptance test u < exp(-x), x = β Δ, is sandwiched by elementary
+// bounds valid for every x >= 0:
+//
+//     1 - x + x²/2 - x³/6  <=  exp(-x)  <=  min(1/(1+x), 1 - x + x²/2)
+//
+// (both sides are the alternating Taylor envelopes; 1/(1+x) follows from
+// e^x >= 1+x). A draw that lands outside the sandwich is decided with a
+// couple of multiplies; only draws inside the O(x³) gap pay the real exp.
+// Cold sweeps — where β Δ is large and nearly every uphill move is
+// rejected — are decided almost entirely by the 1/(1+x) bound, which is
+// what makes the sweep kernel exp-free in the hot path.
+#pragma once
+
+#include <cmath>
+
+namespace qsmt::anneal::detail {
+
+/// Returns the exact Metropolis decision u < exp(-x) for x = β Δ.
+/// Downhill and flat moves (x <= 0) are always accepted, matching
+/// min(1, exp(-x)). `u` must lie in [0, 1).
+inline bool metropolis_accept(double x, double u) noexcept {
+  if (x <= 0.0) return true;
+  if (u * (1.0 + x) >= 1.0) return false;  // exp(-x) <= 1/(1+x)
+  const double upper = 1.0 - x + 0.5 * x * x;
+  if (u >= upper) return false;                        // exp(-x) <= upper
+  if (u < upper - x * x * x * (1.0 / 6.0)) return true;  // lower <= exp(-x)
+  return u < std::exp(-x);
+}
+
+}  // namespace qsmt::anneal::detail

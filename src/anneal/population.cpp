@@ -5,7 +5,9 @@
 #include <cmath>
 #include <vector>
 
+#include "anneal/context.hpp"
 #include "anneal/greedy.hpp"
+#include "anneal/metropolis.hpp"
 #include "anneal/simulated_annealer.hpp"
 #include "qubo/adjacency.hpp"
 #include "util/require.hpp"
@@ -31,17 +33,23 @@ struct Walker {
   double energy = 0.0;
 };
 
+// Exp-free Metropolis sweeps (screened accept, see simulated_annealer.hpp).
+// `ctx` supplies the field and uniform scratch buffers; walkers keep only
+// their bits and energy, so resampling copies stay cheap.
 void metropolis_sweeps(const qubo::QuboAdjacency& adjacency, Walker& walker,
-                       double beta, std::size_t sweeps, Xoshiro256& rng) {
+                       double beta, std::size_t sweeps, Xoshiro256& rng,
+                       AnnealContext& ctx) {
   const std::size_t n = adjacency.num_variables();
-  std::vector<double> field(n);
+  auto& field = ctx.field;
+  auto& uniforms = ctx.uniforms;
   for (std::size_t i = 0; i < n; ++i) {
     field[i] = adjacency.local_field(walker.bits, i);
   }
   for (std::size_t s = 0; s < sweeps; ++s) {
+    for (std::size_t i = 0; i < n; ++i) uniforms[i] = rng.uniform();
     for (std::size_t i = 0; i < n; ++i) {
       const double delta = walker.bits[i] ? -field[i] : field[i];
-      if (delta <= 0.0 || rng.uniform() < std::exp(-delta * beta)) {
+      if (detail::metropolis_accept(beta * delta, uniforms[i])) {
         const double step = walker.bits[i] ? -1.0 : 1.0;
         walker.bits[i] ^= 1u;
         walker.energy += delta;
@@ -56,10 +64,14 @@ void metropolis_sweeps(const qubo::QuboAdjacency& adjacency, Walker& walker,
 }  // namespace
 
 SampleSet PopulationAnnealing::sample(const qubo::QuboModel& model) const {
-  const qubo::QuboAdjacency adjacency(model);
+  return sample(qubo::QuboAdjacency(model));
+}
+
+SampleSet PopulationAnnealing::sample(
+    const qubo::QuboAdjacency& adjacency) const {
   const std::size_t n = adjacency.num_variables();
 
-  const BetaRange range = default_beta_range(model);
+  const BetaRange range = default_beta_range(adjacency);
   const std::vector<double> betas = make_schedule(
       params_.beta_hot.value_or(range.hot),
       params_.beta_cold.value_or(range.cold), params_.num_temperatures,
@@ -72,6 +84,8 @@ SampleSet PopulationAnnealing::sample(const qubo::QuboModel& model) const {
   for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(reads); ++r) {
     Xoshiro256 rng(params_.seed ^ 0x9090aaULL, static_cast<std::uint64_t>(r));
 
+    AnnealContext& ctx = thread_local_context();
+    ctx.prepare(n);
     std::vector<Walker> population(params_.population_size);
     for (Walker& walker : population) {
       walker.bits.resize(n);
@@ -132,7 +146,7 @@ SampleSet PopulationAnnealing::sample(const qubo::QuboModel& model) const {
 
       for (Walker& walker : population) {
         metropolis_sweeps(adjacency, walker, beta, params_.sweeps_per_step,
-                          rng);
+                          rng, ctx);
         consider(walker);
       }
     }

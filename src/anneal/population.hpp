@@ -38,7 +38,9 @@ class PopulationAnnealing final : public Sampler {
   explicit PopulationAnnealing(PopulationAnnealingParams params = {});
 
   SampleSet sample(const qubo::QuboModel& model) const override;
+  SampleSet sample(const qubo::QuboAdjacency& adjacency) const override;
   std::string name() const override { return "population-annealing"; }
+  bool supports_adjacency_sampling() const noexcept override { return true; }
 
   const PopulationAnnealingParams& params() const noexcept { return params_; }
 

@@ -2,6 +2,9 @@
 
 #include <omp.h>
 
+#include <algorithm>
+
+#include "anneal/context.hpp"
 #include "anneal/greedy.hpp"
 #include "anneal/simulated_annealer.hpp"
 #include "qubo/adjacency.hpp"
@@ -35,11 +38,15 @@ ReverseAnnealer::ReverseAnnealer(std::vector<std::uint8_t> initial_state,
 }
 
 SampleSet ReverseAnnealer::sample(const qubo::QuboModel& model) const {
-  require(initial_state_.size() == model.num_variables(),
-          "ReverseAnnealer: initial state size does not match model");
-  const qubo::QuboAdjacency adjacency(model);
+  return sample(qubo::QuboAdjacency(model));
+}
 
-  const BetaRange range = default_beta_range(model);
+SampleSet ReverseAnnealer::sample(const qubo::QuboAdjacency& adjacency) const {
+  const std::size_t n = adjacency.num_variables();
+  require(initial_state_.size() == n,
+          "ReverseAnnealer: initial state size does not match model");
+
+  const BetaRange range = default_beta_range(adjacency);
   const std::vector<double> betas = make_reverse_schedule(
       range.cold, range.cold * params_.reheat_fraction, params_.num_sweeps);
 
@@ -50,12 +57,15 @@ SampleSet ReverseAnnealer::sample(const qubo::QuboModel& model) const {
   for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(reads); ++r) {
     Xoshiro256 rng(params_.seed ^ 0x5e7e15edULL,
                    static_cast<std::uint64_t>(r));
-    std::vector<std::uint8_t> bits = initial_state_;
-    detail::anneal_read(adjacency, betas, rng, bits);
-    if (params_.polish_with_greedy) detail::greedy_descend(adjacency, bits);
+    AnnealContext& ctx = thread_local_context();
+    ctx.prepare(n);
+    std::copy(initial_state_.begin(), initial_state_.end(), ctx.bits.begin());
+    detail::anneal_read(adjacency, betas, rng, ctx);
+    if (params_.polish_with_greedy)
+      detail::greedy_descend(adjacency, ctx.bits, ctx.field);
     auto& out = results[static_cast<std::size_t>(r)];
-    out.energy = adjacency.energy(bits);
-    out.bits = std::move(bits);
+    out.energy = adjacency.energy(ctx.bits);
+    out.bits.assign(ctx.bits.begin(), ctx.bits.end());
   }
 
   SampleSet set;

@@ -35,7 +35,9 @@ class ReverseAnnealer final : public Sampler {
                   ReverseAnnealerParams params);
 
   SampleSet sample(const qubo::QuboModel& model) const override;
+  SampleSet sample(const qubo::QuboAdjacency& adjacency) const override;
   std::string name() const override { return "reverse-annealing"; }
+  bool supports_adjacency_sampling() const noexcept override { return true; }
 
  private:
   std::vector<std::uint8_t> initial_state_;

@@ -1,8 +1,9 @@
 #include "anneal/sample_set.hpp"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace qsmt::anneal {
 
@@ -32,16 +33,42 @@ void SampleSet::sort_by_energy() {
                    });
 }
 
+namespace {
+
+// FNV-1a over the bit vector: O(n) per sample versus the O(n log k)
+// lexicographic comparisons a std::map key pays on every insert.
+std::uint64_t hash_bits(const std::vector<std::uint8_t>& bits) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const std::uint8_t b : bits) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
 void SampleSet::aggregate() {
-  std::map<std::vector<std::uint8_t>, std::size_t> index;
+  // Buckets of merged-vector indices keyed by the bit-vector hash; bits are
+  // compared only within a bucket, so collisions stay correct. Merge order
+  // (first occurrence wins) and the final stable energy sort are unchanged.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> index;
+  index.reserve(samples_.size());
   std::vector<Sample> merged;
   merged.reserve(samples_.size());
   for (Sample& s : samples_) {
-    auto [it, inserted] = index.emplace(s.bits, merged.size());
-    if (inserted) {
+    std::vector<std::size_t>& bucket = index[hash_bits(s.bits)];
+    bool found = false;
+    for (const std::size_t slot : bucket) {
+      if (merged[slot].bits == s.bits) {
+        merged[slot].num_occurrences += s.num_occurrences;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      bucket.push_back(merged.size());
       merged.push_back(std::move(s));
-    } else {
-      merged[it->second].num_occurrences += s.num_occurrences;
     }
   }
   samples_ = std::move(merged);

@@ -1,0 +1,12 @@
+#include "anneal/sampler.hpp"
+
+namespace qsmt::anneal {
+
+SampleSet Sampler::sample(const qubo::QuboAdjacency& adjacency) const {
+  // Generic fallback for samplers without a native CSR path: reconstruct an
+  // equivalent model. Costs about one adjacency build; overriding samplers
+  // avoid it entirely.
+  return sample(adjacency.to_model());
+}
+
+}  // namespace qsmt::anneal

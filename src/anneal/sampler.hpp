@@ -3,11 +3,22 @@
 // Samplers are configured at construction (each has its own Params struct)
 // and are stateless across sample() calls apart from that configuration, so
 // one instance may be reused across models and threads.
+//
+// Two entry points:
+//  - sample(QuboModel): the convenience path; builds whatever internal view
+//    the sampler needs.
+//  - sample(QuboAdjacency): the hot path. Re-samplers (retry loops, sweep
+//    autotuning, escalation pipelines) build the CSR adjacency once and
+//    re-sample it at different budgets without paying the O(n + m) adjacency
+//    build per call. The annealing family overrides this natively; the base
+//    implementation round-trips through an equivalent QuboModel so every
+//    sampler accepts both inputs.
 #pragma once
 
 #include <string>
 
 #include "anneal/sample_set.hpp"
+#include "qubo/adjacency.hpp"
 #include "qubo/qubo_model.hpp"
 
 namespace qsmt::anneal {
@@ -19,6 +30,15 @@ class Sampler {
   /// Draws samples from (approximate) low-energy states of `model`.
   /// The returned set is aggregated and sorted best-first.
   virtual SampleSet sample(const qubo::QuboModel& model) const = 0;
+
+  /// Same, from a prebuilt adjacency. Samplers with a native CSR path
+  /// override this to skip the per-call adjacency rebuild.
+  virtual SampleSet sample(const qubo::QuboAdjacency& adjacency) const;
+
+  /// True when sample(QuboAdjacency) is native (no model round-trip).
+  /// Callers holding both representations use this to pick the cheaper
+  /// input; callers holding only an adjacency can always pass it.
+  virtual bool supports_adjacency_sampling() const noexcept { return false; }
 
   /// Human-readable sampler name for bench/report output.
   virtual std::string name() const = 0;

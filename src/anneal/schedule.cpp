@@ -35,6 +35,24 @@ std::vector<double> make_schedule(double first, double last,
   return points;
 }
 
+std::vector<double> make_quench_schedule(double hot, double cold,
+                                         std::size_t num_points,
+                                         Interpolation interpolation,
+                                         double tail_mult, double split) {
+  require(num_points >= 1, "make_quench_schedule: need at least one point");
+  const auto head = static_cast<std::size_t>(
+      split * static_cast<double>(num_points));
+  if (head < 1 || head >= num_points) {
+    return make_schedule(hot, cold, num_points, interpolation);
+  }
+  std::vector<double> points =
+      make_schedule(hot, cold, head, interpolation);
+  const std::vector<double> tail = make_schedule(
+      cold, cold * tail_mult, num_points - head, interpolation);
+  points.insert(points.end(), tail.begin(), tail.end());
+  return points;
+}
+
 BetaRange default_beta_range(const qubo::QuboModel& model) {
   // Largest plausible single-flip energy change: bound per variable by
   // |q_ii| + Σ_j |q_ij|.
@@ -49,6 +67,25 @@ BetaRange default_beta_range(const qubo::QuboModel& model) {
   for (double b : barrier) max_barrier = std::max(max_barrier, b);
 
   double min_barrier = model.min_abs_nonzero_coefficient();
+  if (max_barrier <= 0.0) max_barrier = 1.0;  // Flat model: any β works.
+  if (min_barrier <= 0.0) min_barrier = max_barrier;
+
+  return BetaRange{std::log(2.0) / max_barrier, std::log(100.0) / min_barrier};
+}
+
+BetaRange default_beta_range(const qubo::QuboAdjacency& adjacency) {
+  // barrier[i] = |q_ii| + Σ_j |q_ij|; the CSR rows already list each
+  // quadratic term under both endpoints, so one pass over the rows matches
+  // the model overload's double-counting loop exactly.
+  double max_barrier = 0.0;
+  for (std::size_t i = 0; i < adjacency.num_variables(); ++i) {
+    double barrier = std::abs(adjacency.linear(i));
+    for (const auto& nb : adjacency.neighbors(i))
+      barrier += std::abs(nb.coefficient);
+    max_barrier = std::max(max_barrier, barrier);
+  }
+
+  double min_barrier = adjacency.min_abs_nonzero_coefficient();
   if (max_barrier <= 0.0) max_barrier = 1.0;  // Flat model: any β works.
   if (min_barrier <= 0.0) min_barrier = max_barrier;
 

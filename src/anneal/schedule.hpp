@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "qubo/adjacency.hpp"
 #include "qubo/qubo_model.hpp"
 
 namespace qsmt::anneal {
@@ -25,6 +26,20 @@ std::vector<double> make_schedule(double first, double last,
                                   std::size_t num_points,
                                   Interpolation interpolation);
 
+/// Anneal-then-quench schedule: interpolates `hot` → `cold` over the first
+/// `split` fraction of the points, then keeps cooling `cold` →
+/// `cold * tail_mult` over the rest. The tail freezes the state quickly so
+/// a sweep kernel with a zero-flip early exit stops touching memory once
+/// the read has settled, instead of burning the back half of the schedule
+/// on all-reject sweeps; the preceding hot→cold segment is unchanged, so
+/// exploration quality matches the plain schedule (see docs/hotpath.md for
+/// measurements). Degenerates to make_schedule() when the tail is empty.
+std::vector<double> make_quench_schedule(double hot, double cold,
+                                         std::size_t num_points,
+                                         Interpolation interpolation,
+                                         double tail_mult = 32.0,
+                                         double split = 0.4);
+
 /// Derives a (β_hot, β_cold) range from the model's coefficients the same
 /// way dwave-neal does: hot enough that the largest single-flip barrier is
 /// accepted with probability ~1/2, cold enough that the smallest nonzero
@@ -34,5 +49,10 @@ struct BetaRange {
   double cold;
 };
 BetaRange default_beta_range(const qubo::QuboModel& model);
+
+/// Same derivation from a prebuilt adjacency — yields the same range as the
+/// model overload (zero-valued quadratic entries influence neither), so
+/// samplers can run entirely off the CSR view.
+BetaRange default_beta_range(const qubo::QuboAdjacency& adjacency);
 
 }  // namespace qsmt::anneal

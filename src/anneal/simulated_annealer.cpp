@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "anneal/greedy.hpp"
+#include "anneal/metropolis.hpp"
 #include "util/require.hpp"
 
 namespace qsmt::anneal {
@@ -19,11 +20,62 @@ SimulatedAnnealer::SimulatedAnnealer(SimulatedAnnealerParams params)
 
 namespace detail {
 
+std::size_t anneal_read(const qubo::QuboAdjacency& adjacency,
+                        std::span<const double> betas, Xoshiro256& rng,
+                        AnnealContext& ctx) {
+  const std::size_t n = adjacency.num_variables();
+  auto& bits = ctx.bits;
+  auto& field = ctx.field;
+  auto& uniforms = ctx.uniforms;
+  // Incrementally maintained local fields: field[i] = q_ii + Σ_j q_ij x_j.
+  for (std::size_t i = 0; i < n; ++i) field[i] = adjacency.local_field(bits, i);
+
+  std::size_t total_flips = 0;
+  for (std::size_t s = 0; s < betas.size(); ++s) {
+    const double beta = betas[s];
+    // Bulk uniforms up front (the generation loop is branch-free and
+    // independent of the sweep state); the acceptance test itself is the
+    // screened exact-Metropolis compare from metropolis.hpp, which touches
+    // std::exp only inside its narrow ambiguity band.
+    for (std::size_t i = 0; i < n; ++i) {
+      uniforms[i] = rng.uniform();
+    }
+    std::size_t flips = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double delta = bits[i] ? -field[i] : field[i];
+      if (metropolis_accept(beta * delta, uniforms[i])) {
+        const double step = bits[i] ? -1.0 : 1.0;
+        bits[i] ^= 1u;
+        ++flips;
+        for (const auto& nb : adjacency.neighbors(i)) {
+          field[nb.index] += nb.coefficient * step;
+        }
+      }
+    }
+    total_flips += flips;
+    // A zero-flip sweep means the state is a local minimum AND every uphill
+    // proposal was rejected; the remaining (colder) sweeps accept uphill
+    // moves with strictly smaller probability, and the greedy polish mops up
+    // any strictly-downhill chain, so the read is done.
+    if (flips == 0) break;
+  }
+  return total_flips;
+}
+
 void anneal_read(const qubo::QuboAdjacency& adjacency,
                  std::span<const double> betas, Xoshiro256& rng,
                  std::vector<std::uint8_t>& bits) {
+  AnnealContext& ctx = thread_local_context();
+  ctx.prepare(bits.size());
+  ctx.bits.swap(bits);
+  anneal_read(adjacency, betas, rng, ctx);
+  ctx.bits.swap(bits);
+}
+
+void anneal_read_reference(const qubo::QuboAdjacency& adjacency,
+                           std::span<const double> betas, Xoshiro256& rng,
+                           std::vector<std::uint8_t>& bits) {
   const std::size_t n = adjacency.num_variables();
-  // Incrementally maintained local fields: field[i] = q_ii + Σ_j q_ij x_j.
   std::vector<double> field(n);
   for (std::size_t i = 0; i < n; ++i) field[i] = adjacency.local_field(bits, i);
 
@@ -44,30 +96,49 @@ void anneal_read(const qubo::QuboAdjacency& adjacency,
 }  // namespace detail
 
 SampleSet SimulatedAnnealer::sample(const qubo::QuboModel& model) const {
-  const qubo::QuboAdjacency adjacency(model);
+  return sample(qubo::QuboAdjacency(model));
+}
+
+SampleSet SimulatedAnnealer::sample(
+    const qubo::QuboAdjacency& adjacency) const {
   const std::size_t n = adjacency.num_variables();
 
-  const BetaRange range = default_beta_range(model);
+  // With a fully defaulted β range, use the anneal-then-quench schedule: the
+  // quench tail freezes each read so the kernel's zero-flip early exit fires
+  // well before the nominal sweep count, which is where most of the measured
+  // sweep-throughput win comes from (see docs/hotpath.md). Explicitly set
+  // endpoints keep the plain interpolated schedule — the caller asked for
+  // exactly that β range, and tests rely on it being honoured.
+  const BetaRange range = default_beta_range(adjacency);
+  const bool defaulted = !params_.beta_hot && !params_.beta_cold;
   const double hot = params_.beta_hot.value_or(range.hot);
   const double cold = params_.beta_cold.value_or(range.cold);
   const std::vector<double> betas =
-      make_schedule(hot, cold, params_.num_sweeps, params_.beta_interpolation);
+      defaulted ? make_quench_schedule(hot, cold, params_.num_sweeps,
+                                       params_.beta_interpolation)
+                : make_schedule(hot, cold, params_.num_sweeps,
+                                params_.beta_interpolation);
 
   const std::size_t reads = params_.num_reads;
   std::vector<Sample> results(reads);
 
 #pragma omp parallel for schedule(dynamic)
   for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(reads); ++r) {
+    AnnealContext& ctx = thread_local_context();
+    ctx.prepare(n);
     Xoshiro256 rng(params_.seed, static_cast<std::uint64_t>(r));
-    std::vector<std::uint8_t> bits(n);
-    for (auto& b : bits) b = rng.coin() ? 1 : 0;
+    for (auto& b : ctx.bits) b = rng.coin() ? 1 : 0;
 
-    detail::anneal_read(adjacency, betas, rng, bits);
-    if (params_.polish_with_greedy) detail::greedy_descend(adjacency, bits);
+    detail::anneal_read(adjacency, betas, rng, ctx);
+    if (params_.polish_with_greedy) {
+      // ctx.field is current after the anneal, so the polish pass skips its
+      // own field rebuild.
+      detail::greedy_descend(adjacency, ctx.bits, ctx.field);
+    }
 
     auto& out = results[static_cast<std::size_t>(r)];
-    out.energy = adjacency.energy(bits);
-    out.bits = std::move(bits);
+    out.energy = adjacency.energy(ctx.bits);
+    out.bits.assign(ctx.bits.begin(), ctx.bits.end());
     out.num_occurrences = 1;
   }
 

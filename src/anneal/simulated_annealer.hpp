@@ -6,14 +6,31 @@
 // passes over the variables under a geometric β (inverse temperature)
 // schedule, accepting a flip with probability min(1, exp(-β Δ)).
 //
+// The sweep kernel is exp-free on the hot path: each sweep bulk-generates
+// n uniforms u_i up front and decides u_i < exp(-β Δ_i) through the
+// screened compare in metropolis.hpp — elementary bounds on exp(-x) settle
+// almost every move with a couple of multiplies, and std::exp runs only
+// inside the narrow O(x³) ambiguity band. Downhill and flat moves
+// (Δ <= 0) are accepted unconditionally. A read terminates early the first
+// time a sweep accepts zero flips — the state is a local minimum with every
+// uphill move rejected, later (colder) sweeps would almost surely be
+// no-ops, and the closing greedy polish covers any residual descent. When
+// the β range is defaulted the schedule is anneal-then-quench
+// (make_quench_schedule) so that freeze point arrives well before the
+// nominal sweep count. See docs/hotpath.md for the derivation and
+// measurements.
+//
 // Reads are independent, so they are distributed across OpenMP threads;
 // every read owns a counter-seeded RNG stream (see util/rng.hpp), making
 // the output deterministic for a fixed seed regardless of thread count.
+// Scratch buffers come from the thread-local AnnealContext, so steady-state
+// sampling allocates only the returned samples.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 
+#include "anneal/context.hpp"
 #include "anneal/sampler.hpp"
 #include "anneal/schedule.hpp"
 #include "qubo/adjacency.hpp"
@@ -39,7 +56,10 @@ class SimulatedAnnealer final : public Sampler {
   explicit SimulatedAnnealer(SimulatedAnnealerParams params = {});
 
   SampleSet sample(const qubo::QuboModel& model) const override;
+  /// Hot path: anneals a prebuilt adjacency (no per-call CSR rebuild).
+  SampleSet sample(const qubo::QuboAdjacency& adjacency) const override;
   std::string name() const override { return "simulated-annealing"; }
+  bool supports_adjacency_sampling() const noexcept override { return true; }
 
   const SimulatedAnnealerParams& params() const noexcept { return params_; }
 
@@ -48,12 +68,31 @@ class SimulatedAnnealer final : public Sampler {
 };
 
 namespace detail {
-/// One annealing read over a prebuilt adjacency: anneals `bits` in place
-/// following `betas`, maintaining local fields incrementally. Exposed for
-/// reuse by the embedded (hardware-simulation) sampler and for unit tests.
+
+/// One annealing read over a prebuilt adjacency using the exp-free threshold
+/// kernel: anneals `ctx.bits` in place following `betas`, maintaining
+/// `ctx.field` incrementally (both sized by the caller via ctx.prepare();
+/// bits initialised by the caller, fields by this function). Consumes
+/// exactly one uniform per variable per executed sweep. Returns the number
+/// of accepted flips. Exposed for the embedded (hardware-simulation)
+/// sampler, the benches, and unit tests.
+std::size_t anneal_read(const qubo::QuboAdjacency& adjacency,
+                        std::span<const double> betas, Xoshiro256& rng,
+                        AnnealContext& ctx);
+
+/// Compatibility wrapper around the context kernel for callers that hold a
+/// bare bit vector; borrows the thread-local context's scratch buffers.
 void anneal_read(const qubo::QuboAdjacency& adjacency,
                  std::span<const double> betas, Xoshiro256& rng,
                  std::vector<std::uint8_t>& bits);
+
+/// The pre-overhaul kernel (per-flip std::exp, uniform drawn only on uphill
+/// candidates, no early exit). Kept as the baseline the hot-path bench and
+/// the kernel-equivalence tests compare against.
+void anneal_read_reference(const qubo::QuboAdjacency& adjacency,
+                           std::span<const double> betas, Xoshiro256& rng,
+                           std::vector<std::uint8_t>& bits);
+
 }  // namespace detail
 
 }  // namespace qsmt::anneal

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <vector>
 
+#include "anneal/context.hpp"
 #include "anneal/greedy.hpp"
+#include "anneal/metropolis.hpp"
 #include "qubo/adjacency.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
@@ -27,13 +29,16 @@ struct Replica {
   double energy = 0.0;
 };
 
+// Exp-free Metropolis sweep (same screened-accept kernel as the SA sweep,
+// see simulated_annealer.hpp): uniforms are bulk-generated into `scratch`.
 void sweep(const qubo::QuboAdjacency& adjacency, Replica& replica,
-           double beta, Xoshiro256& rng) {
+           double beta, Xoshiro256& rng, std::vector<double>& scratch) {
   const std::size_t n = adjacency.num_variables();
+  for (std::size_t i = 0; i < n; ++i) scratch[i] = rng.uniform();
   for (std::size_t i = 0; i < n; ++i) {
     const double delta =
         replica.bits[i] ? -replica.field[i] : replica.field[i];
-    if (delta <= 0.0 || rng.uniform() < std::exp(-delta * beta)) {
+    if (detail::metropolis_accept(beta * delta, scratch[i])) {
       const double step = replica.bits[i] ? -1.0 : 1.0;
       replica.bits[i] ^= 1u;
       replica.energy += delta;
@@ -47,10 +52,14 @@ void sweep(const qubo::QuboAdjacency& adjacency, Replica& replica,
 }  // namespace
 
 SampleSet ParallelTempering::sample(const qubo::QuboModel& model) const {
-  const qubo::QuboAdjacency adjacency(model);
+  return sample(qubo::QuboAdjacency(model));
+}
+
+SampleSet ParallelTempering::sample(
+    const qubo::QuboAdjacency& adjacency) const {
   const std::size_t n = adjacency.num_variables();
 
-  const BetaRange range = default_beta_range(model);
+  const BetaRange range = default_beta_range(adjacency);
   const std::vector<double> betas = make_schedule(
       params_.beta_hot.value_or(range.hot),
       params_.beta_cold.value_or(range.cold), params_.num_replicas,
@@ -64,6 +73,8 @@ SampleSet ParallelTempering::sample(const qubo::QuboModel& model) const {
     Xoshiro256 rng(params_.seed ^ 0x7e57ab1eULL,
                    static_cast<std::uint64_t>(r));
 
+    AnnealContext& ctx = thread_local_context();
+    ctx.prepare(n);
     std::vector<Replica> ladder(params_.num_replicas);
     for (Replica& replica : ladder) {
       replica.bits.resize(n);
@@ -87,7 +98,7 @@ SampleSet ParallelTempering::sample(const qubo::QuboModel& model) const {
 
     for (std::size_t s = 0; s < params_.num_sweeps; ++s) {
       for (std::size_t k = 0; k < ladder.size(); ++k) {
-        sweep(adjacency, ladder[k], betas[k], rng);
+        sweep(adjacency, ladder[k], betas[k], rng, ctx.uniforms);
         consider(ladder[k]);
       }
       // Exchange round: alternate even/odd pairings so information can

@@ -36,7 +36,9 @@ class ParallelTempering final : public Sampler {
   explicit ParallelTempering(ParallelTemperingParams params = {});
 
   SampleSet sample(const qubo::QuboModel& model) const override;
+  SampleSet sample(const qubo::QuboAdjacency& adjacency) const override;
   std::string name() const override { return "parallel-tempering"; }
+  bool supports_adjacency_sampling() const noexcept override { return true; }
 
   const ParallelTemperingParams& params() const noexcept { return params_; }
 

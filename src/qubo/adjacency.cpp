@@ -1,6 +1,8 @@
 #include "qubo/adjacency.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "util/require.hpp"
 
@@ -64,6 +66,40 @@ double QuboAdjacency::flip_delta(std::span<const std::uint8_t> bits,
                                  std::size_t i) const {
   const double sign = bits[i] ? -1.0 : 1.0;
   return sign * local_field(bits, i);
+}
+
+double QuboAdjacency::max_abs_coefficient() const noexcept {
+  double best = 0.0;
+  for (double v : linear_) best = std::max(best, std::abs(v));
+  for (const Neighbor& nb : neighbors_)
+    best = std::max(best, std::abs(nb.coefficient));
+  return best;
+}
+
+double QuboAdjacency::min_abs_nonzero_coefficient() const noexcept {
+  double best = std::numeric_limits<double>::infinity();
+  for (double v : linear_)
+    if (v != 0.0) best = std::min(best, std::abs(v));
+  for (const Neighbor& nb : neighbors_)
+    if (nb.coefficient != 0.0) best = std::min(best, std::abs(nb.coefficient));
+  return std::isinf(best) ? 0.0 : best;
+}
+
+QuboModel QuboAdjacency::to_model() const {
+  const std::size_t n = linear_.size();
+  QuboModel model(n);
+  model.set_offset(offset_);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (linear_[i] != 0.0) model.set_linear(i, linear_[i]);
+  }
+  // Each edge is stored in both endpoint rows; emit it once from the lower
+  // endpoint's row (neighbor index greater than the row index).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Neighbor& nb : neighbors(i)) {
+      if (nb.index > i) model.add_quadratic(i, nb.index, nb.coefficient);
+    }
+  }
+  return model;
 }
 
 }  // namespace qsmt::qubo

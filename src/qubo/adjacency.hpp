@@ -22,6 +22,7 @@ class QuboAdjacency {
   explicit QuboAdjacency(const QuboModel& model);
 
   std::size_t num_variables() const noexcept { return linear_.size(); }
+  std::size_t num_interactions() const noexcept { return neighbors_.size() / 2; }
   double offset() const noexcept { return offset_; }
 
   double linear(std::size_t i) const noexcept { return linear_[i]; }
@@ -45,6 +46,18 @@ class QuboAdjacency {
   /// Local field q_ii + Σ_j q_ij x_j used by both flip_delta and samplers
   /// that maintain incremental fields themselves.
   double local_field(std::span<const std::uint8_t> bits, std::size_t i) const;
+
+  /// Largest |coefficient| across linear and quadratic terms (0 for an empty
+  /// adjacency). Matches QuboModel::max_abs_coefficient() for the source
+  /// model modulo exactly-zero quadratic entries, which both ignore.
+  double max_abs_coefficient() const noexcept;
+
+  /// Smallest nonzero |coefficient| (0 for an all-zero adjacency).
+  double min_abs_nonzero_coefficient() const noexcept;
+
+  /// Reconstructs an equivalent QuboModel (used by Sampler's generic
+  /// adjacency entry point for samplers without a native CSR path).
+  QuboModel to_model() const;
 
  private:
   std::vector<double> linear_;

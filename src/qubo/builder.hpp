@@ -1,0 +1,89 @@
+// Flat COO assembly of QuboModels.
+//
+// The string-constraint compilers emit long streams of quadratic terms
+// (pairwise one-hot penalties, AND-chain gadgets, mirror couplings) where
+// the same (i, j) pair recurs many times. Feeding those streams through
+// QuboModel::add_quadratic costs one hash probe — and the occasional
+// rehash — per term. QuboBuilder instead appends every term to a flat
+// (key, value) array and defers deduplication to build(), which merges
+// duplicates in encounter order (so floating-point sums are bit-identical
+// to the incremental map's accumulation order) — through a dense n×n
+// accumulator when that fits in cache, otherwise a stable counting sort —
+// then bulk-inserts the unique pairs into a pre-reserved QuboModel.
+//
+// The mutation API mirrors QuboModel so the penalty/quadratization gadget
+// templates (qubo/penalties.hpp, qubo/quadratization.hpp) and the strqubo
+// compilers work against either representation unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qubo/qubo_model.hpp"
+
+namespace qsmt::qubo {
+
+class QuboBuilder {
+ public:
+  /// A pending quadratic term: packed (i, j) pair plus its coefficient.
+  struct Term {
+    std::uint64_t key;
+    double value;
+  };
+
+  QuboBuilder() = default;
+  explicit QuboBuilder(std::size_t num_variables) : linear_(num_variables) {}
+
+  std::size_t num_variables() const noexcept { return linear_.size(); }
+  std::size_t num_pending_terms() const noexcept { return terms_.size(); }
+
+  /// Grows the builder to at least `n` variables (never shrinks).
+  void ensure_variables(std::size_t n) {
+    if (n > linear_.size()) linear_.resize(n, 0.0);
+  }
+
+  /// Reserves capacity for `n` further quadratic terms.
+  void reserve_terms(std::size_t n) { terms_.reserve(terms_.size() + n); }
+
+  void add_linear(std::size_t i, double value) {
+    ensure_variables(i + 1);
+    linear_[i] += value;
+  }
+
+  void set_linear(std::size_t i, double value) {
+    ensure_variables(i + 1);
+    linear_[i] = value;
+  }
+
+  /// Adds `value` to the quadratic coefficient q_ij (order of i/j does not
+  /// matter; i == j is routed to the linear term since x_i^2 = x_i).
+  void add_quadratic(std::size_t i, std::size_t j, double value) {
+    if (i == j) {
+      add_linear(i, value);
+      return;
+    }
+    if (i > j) std::swap(i, j);
+    ensure_variables(j + 1);
+    terms_.push_back(Term{pack_pair(static_cast<std::uint32_t>(i),
+                                    static_cast<std::uint32_t>(j)),
+                          value});
+  }
+
+  double offset() const noexcept { return offset_; }
+  void set_offset(double offset) noexcept { offset_ = offset; }
+  void add_offset(double delta) noexcept { offset_ += delta; }
+
+  /// Sorts and merges the accumulated terms into a QuboModel. Duplicate
+  /// (i, j) pairs are summed in insertion order; pairs whose merged sum is
+  /// exactly zero are dropped (QuboModel::operator== treats a missing entry
+  /// and a stored zero as equal). The builder may be reused afterwards; it
+  /// keeps its accumulated state.
+  QuboModel build() const;
+
+ private:
+  std::vector<double> linear_;
+  mutable std::vector<Term> terms_;  ///< build() sorts in place.
+  double offset_ = 0.0;
+};
+
+}  // namespace qsmt::qubo

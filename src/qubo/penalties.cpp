@@ -1,61 +1,36 @@
 #include "qubo/penalties.hpp"
 
+#include "qubo/builder.hpp"
+
 namespace qsmt::qubo {
 
-void add_one_hot(QuboModel& model, std::span<const std::size_t> variables,
-                 double strength) {
-  // (Σ x - 1)^2 = Σ x^2 - 2 Σ x + 2 Σ_{i<j} x_i x_j + 1
-  //             = -Σ x + 2 Σ_{i<j} x_i x_j + 1   (x^2 = x)
-  for (std::size_t v : variables) model.add_linear(v, -strength);
-  for (std::size_t a = 0; a < variables.size(); ++a) {
-    for (std::size_t b = a + 1; b < variables.size(); ++b) {
-      model.add_quadratic(variables[a], variables[b], 2.0 * strength);
-    }
-  }
-  model.add_offset(strength);
-}
-
-void add_pairwise_exclusion(QuboModel& model,
-                            std::span<const std::size_t> variables,
-                            double strength) {
-  for (std::size_t a = 0; a < variables.size(); ++a) {
-    for (std::size_t b = a + 1; b < variables.size(); ++b) {
-      model.add_quadratic(variables[a], variables[b], strength);
-    }
-  }
-}
-
-void add_equal_bits(QuboModel& model, std::size_t i, std::size_t j,
-                    double strength) {
-  model.add_linear(i, strength);
-  model.add_linear(j, strength);
-  model.add_quadratic(i, j, -2.0 * strength);
-}
-
-void add_differ_bits(QuboModel& model, std::size_t i, std::size_t j,
-                     double strength) {
-  model.add_offset(strength);
-  model.add_linear(i, -strength);
-  model.add_linear(j, -strength);
-  model.add_quadratic(i, j, 2.0 * strength);
-}
-
-void add_exactly_k(QuboModel& model, std::span<const std::size_t> variables,
-                   std::size_t k, double strength) {
-  // (Σ x - k)^2 = Σ x (1 - 2k) + 2 Σ_{i<j} x_i x_j + k^2
-  const double kd = static_cast<double>(k);
-  for (std::size_t v : variables)
-    model.add_linear(v, strength * (1.0 - 2.0 * kd));
-  for (std::size_t a = 0; a < variables.size(); ++a) {
-    for (std::size_t b = a + 1; b < variables.size(); ++b) {
-      model.add_quadratic(variables[a], variables[b], 2.0 * strength);
-    }
-  }
-  model.add_offset(strength * kd * kd);
-}
-
-void pin_bit(QuboModel& model, std::size_t i, bool bit, double strength) {
-  model.add_linear(i, bit ? -strength : strength);
-}
+// The gadgets are header templates (they must work for both QuboModel and
+// QuboBuilder); instantiate both here so each remains link-checked even when
+// a client only uses one of the two.
+template void add_one_hot<QuboModel>(QuboModel&, std::span<const std::size_t>,
+                                     double);
+template void add_one_hot<QuboBuilder>(QuboBuilder&,
+                                       std::span<const std::size_t>, double);
+template void add_pairwise_exclusion<QuboModel>(QuboModel&,
+                                                std::span<const std::size_t>,
+                                                double);
+template void add_pairwise_exclusion<QuboBuilder>(QuboBuilder&,
+                                                  std::span<const std::size_t>,
+                                                  double);
+template void add_equal_bits<QuboModel>(QuboModel&, std::size_t, std::size_t,
+                                        double);
+template void add_equal_bits<QuboBuilder>(QuboBuilder&, std::size_t,
+                                          std::size_t, double);
+template void add_differ_bits<QuboModel>(QuboModel&, std::size_t, std::size_t,
+                                         double);
+template void add_differ_bits<QuboBuilder>(QuboBuilder&, std::size_t,
+                                           std::size_t, double);
+template void add_exactly_k<QuboModel>(QuboModel&, std::span<const std::size_t>,
+                                       std::size_t, double);
+template void add_exactly_k<QuboBuilder>(QuboBuilder&,
+                                         std::span<const std::size_t>,
+                                         std::size_t, double);
+template void pin_bit<QuboModel>(QuboModel&, std::size_t, bool, double);
+template void pin_bit<QuboBuilder>(QuboBuilder&, std::size_t, bool, double);
 
 }  // namespace qsmt::qubo

@@ -4,6 +4,11 @@
 // into the objective ("penalty functions" in the paper's terminology,
 // §2.3). Each helper below adds a standard gadget whose minimum-energy
 // configurations are exactly the feasible assignments.
+//
+// The helpers are templates over the model representation so they work
+// against both the incremental QuboModel and the flat-assembly QuboBuilder
+// (qubo/builder.hpp); both expose the same add_linear / add_quadratic /
+// add_offset mutation surface.
 #pragma once
 
 #include <span>
@@ -16,35 +21,79 @@ namespace qsmt::qubo {
 /// exactly 0 after the constant) when exactly one variable is 1. This is the
 /// one-hot constraint used by the string-includes formulation (§4.4) and the
 /// one-hot regex class encoding extension.
-void add_one_hot(QuboModel& model, std::span<const std::size_t> variables,
-                 double strength);
+template <typename Model>
+void add_one_hot(Model& model, std::span<const std::size_t> variables,
+                 double strength) {
+  // (Σ x - 1)^2 = Σ x^2 - 2 Σ x + 2 Σ_{i<j} x_i x_j + 1
+  //             = -Σ x + 2 Σ_{i<j} x_i x_j + 1   (x^2 = x)
+  for (std::size_t v : variables) model.add_linear(v, -strength);
+  for (std::size_t a = 0; a < variables.size(); ++a) {
+    for (std::size_t b = a + 1; b < variables.size(); ++b) {
+      model.add_quadratic(variables[a], variables[b], 2.0 * strength);
+    }
+  }
+  model.add_offset(strength);
+}
 
 /// Adds strength * x_i x_j for every pair: penalises any two variables being
 /// 1 together but allows all-zero. The paper's §4.4 penalty
 /// B Σ_{i<j} x_i x_j is exactly this gadget.
-void add_pairwise_exclusion(QuboModel& model,
+template <typename Model>
+void add_pairwise_exclusion(Model& model,
                             std::span<const std::size_t> variables,
-                            double strength);
+                            double strength) {
+  for (std::size_t a = 0; a < variables.size(); ++a) {
+    for (std::size_t b = a + 1; b < variables.size(); ++b) {
+      model.add_quadratic(variables[a], variables[b], strength);
+    }
+  }
+}
 
 /// Adds strength * (x_i + x_j - 2 x_i x_j): zero when x_i == x_j, strength
 /// otherwise (an XNOR/equality gadget). The palindrome formulation (§4.10)
 /// applies this to mirrored bit positions.
-void add_equal_bits(QuboModel& model, std::size_t i, std::size_t j,
-                    double strength);
+template <typename Model>
+void add_equal_bits(Model& model, std::size_t i, std::size_t j,
+                    double strength) {
+  model.add_linear(i, strength);
+  model.add_linear(j, strength);
+  model.add_quadratic(i, j, -2.0 * strength);
+}
 
 /// Adds strength * (1 - x_i - x_j + 2 x_i x_j) - strength*0: zero when
 /// x_i != x_j, strength otherwise (an XOR/inequality gadget). Constant part
 /// goes to the offset so feasible assignments sit at energy 0.
-void add_differ_bits(QuboModel& model, std::size_t i, std::size_t j,
-                     double strength);
+template <typename Model>
+void add_differ_bits(Model& model, std::size_t i, std::size_t j,
+                     double strength) {
+  model.add_offset(strength);
+  model.add_linear(i, -strength);
+  model.add_linear(j, -strength);
+  model.add_quadratic(i, j, 2.0 * strength);
+}
 
 /// Adds strength * (Σ x_v - k)^2: minimised when exactly k of the variables
 /// are 1 (a cardinality constraint).
-void add_exactly_k(QuboModel& model, std::span<const std::size_t> variables,
-                   std::size_t k, double strength);
+template <typename Model>
+void add_exactly_k(Model& model, std::span<const std::size_t> variables,
+                   std::size_t k, double strength) {
+  // (Σ x - k)^2 = Σ x (1 - 2k) + 2 Σ_{i<j} x_i x_j + k^2
+  const double kd = static_cast<double>(k);
+  for (std::size_t v : variables)
+    model.add_linear(v, strength * (1.0 - 2.0 * kd));
+  for (std::size_t a = 0; a < variables.size(); ++a) {
+    for (std::size_t b = a + 1; b < variables.size(); ++b) {
+      model.add_quadratic(variables[a], variables[b], 2.0 * strength);
+    }
+  }
+  model.add_offset(strength * kd * kd);
+}
 
 /// Pins variable i toward `bit`: adds -strength when the target bit is 1 and
 /// +strength when 0, the paper's universal diagonal encoding (§4.1).
-void pin_bit(QuboModel& model, std::size_t i, bool bit, double strength);
+template <typename Model>
+void pin_bit(Model& model, std::size_t i, bool bit, double strength) {
+  model.add_linear(i, bit ? -strength : strength);
+}
 
 }  // namespace qsmt::qubo

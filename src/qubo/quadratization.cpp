@@ -1,30 +1,8 @@
 #include "qubo/quadratization.hpp"
 
-#include "qubo/penalties.hpp"
-#include "util/require.hpp"
+#include "qubo/builder.hpp"
 
 namespace qsmt::qubo {
-
-std::size_t add_and_ancilla(QuboModel& model, std::size_t x, std::size_t y,
-                            double penalty) {
-  require(x != y, "add_and_ancilla: x and y must differ (w = x AND x is x)");
-  const std::size_t w = model.num_variables();
-  model.ensure_variables(w + 1);
-  // penalty * (3w + xy - 2wx - 2wy): zero exactly when w == x*y, and every
-  // violating assignment costs >= penalty.
-  model.add_linear(w, 3.0 * penalty);
-  model.add_quadratic(x, y, penalty);
-  model.add_quadratic(w, x, -2.0 * penalty);
-  model.add_quadratic(w, y, -2.0 * penalty);
-  return w;
-}
-
-std::size_t add_not_ancilla(QuboModel& model, std::size_t x, double penalty) {
-  const std::size_t n = model.num_variables();
-  model.ensure_variables(n + 1);
-  add_differ_bits(model, x, n, penalty);
-  return n;
-}
 
 std::size_t conjunction_ancilla_count(std::span<const BoolLiteral> literals) {
   std::size_t negations = 0;
@@ -33,23 +11,21 @@ std::size_t conjunction_ancilla_count(std::span<const BoolLiteral> literals) {
   return negations + (k >= 2 ? k - 1 : 0);
 }
 
-std::size_t add_conjunction(QuboModel& model,
-                            std::span<const BoolLiteral> literals,
-                            double penalty) {
-  require(!literals.empty(), "add_conjunction: need at least one literal");
-  // Normalise to positive variable indices, spending NOT ancillas.
-  std::vector<std::size_t> inputs;
-  inputs.reserve(literals.size());
-  for (const BoolLiteral& lit : literals) {
-    inputs.push_back(lit.positive ? lit.variable
-                                  : add_not_ancilla(model, lit.variable,
-                                                    penalty));
-  }
-  std::size_t accumulator = inputs[0];
-  for (std::size_t i = 1; i < inputs.size(); ++i) {
-    accumulator = add_and_ancilla(model, accumulator, inputs[i], penalty);
-  }
-  return accumulator;
-}
+// Gadget templates instantiated for both model representations (see
+// penalties.cpp for rationale).
+template std::size_t add_and_ancilla<QuboModel>(QuboModel&, std::size_t,
+                                                std::size_t, double);
+template std::size_t add_and_ancilla<QuboBuilder>(QuboBuilder&, std::size_t,
+                                                  std::size_t, double);
+template std::size_t add_not_ancilla<QuboModel>(QuboModel&, std::size_t,
+                                                double);
+template std::size_t add_not_ancilla<QuboBuilder>(QuboBuilder&, std::size_t,
+                                                  double);
+template std::size_t add_conjunction<QuboModel>(QuboModel&,
+                                                std::span<const BoolLiteral>,
+                                                double);
+template std::size_t add_conjunction<QuboBuilder>(QuboBuilder&,
+                                                  std::span<const BoolLiteral>,
+                                                  double);
 
 }  // namespace qsmt::qubo

@@ -11,13 +11,18 @@
 // k-ary conjunctions chain the gadget left to right, spending k-1 ancillas.
 // Negated literals are realised with a NOT ancilla (an XOR gadget against
 // the source bit) first.
+//
+// Like the penalty gadgets, these are templates over the model
+// representation (QuboModel or QuboBuilder).
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "qubo/penalties.hpp"
 #include "qubo/qubo_model.hpp"
+#include "util/require.hpp"
 
 namespace qsmt::qubo {
 
@@ -31,20 +36,54 @@ struct BoolLiteral {
 /// strength `penalty`) to equal x AND y, and returns w's index. Any
 /// assignment with w != x*y costs at least `penalty` more than the repaired
 /// assignment.
-std::size_t add_and_ancilla(QuboModel& model, std::size_t x, std::size_t y,
-                            double penalty);
+template <typename Model>
+std::size_t add_and_ancilla(Model& model, std::size_t x, std::size_t y,
+                            double penalty) {
+  require(x != y, "add_and_ancilla: x and y must differ (w = x AND x is x)");
+  const std::size_t w = model.num_variables();
+  model.ensure_variables(w + 1);
+  // penalty * (3w + xy - 2wx - 2wy): zero exactly when w == x*y, and every
+  // violating assignment costs >= penalty.
+  model.add_linear(w, 3.0 * penalty);
+  model.add_quadratic(x, y, penalty);
+  model.add_quadratic(w, x, -2.0 * penalty);
+  model.add_quadratic(w, y, -2.0 * penalty);
+  return w;
+}
 
 /// Appends an ancilla n constrained to equal NOT x; returns n's index.
-std::size_t add_not_ancilla(QuboModel& model, std::size_t x, double penalty);
+template <typename Model>
+std::size_t add_not_ancilla(Model& model, std::size_t x, double penalty) {
+  const std::size_t n = model.num_variables();
+  model.ensure_variables(n + 1);
+  add_differ_bits(model, x, n, penalty);
+  return n;
+}
 
 /// Materialises the conjunction of `literals` into a single output variable
 /// (returned index) using a left-to-right chain of AND ancillas; NOT
 /// ancillas are inserted for negative literals. With one positive literal no
 /// ancilla is spent and the literal's own variable index is returned.
 /// Requires at least one literal.
-std::size_t add_conjunction(QuboModel& model,
+template <typename Model>
+std::size_t add_conjunction(Model& model,
                             std::span<const BoolLiteral> literals,
-                            double penalty);
+                            double penalty) {
+  require(!literals.empty(), "add_conjunction: need at least one literal");
+  // Normalise to positive variable indices, spending NOT ancillas.
+  std::vector<std::size_t> inputs;
+  inputs.reserve(literals.size());
+  for (const BoolLiteral& lit : literals) {
+    inputs.push_back(lit.positive ? lit.variable
+                                  : add_not_ancilla(model, lit.variable,
+                                                    penalty));
+  }
+  std::size_t accumulator = inputs[0];
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    accumulator = add_and_ancilla(model, accumulator, inputs[i], penalty);
+  }
+  return accumulator;
+}
 
 /// Number of ancilla variables add_conjunction will append for `literals`
 /// (NOT ancillas for the negative ones plus k-1 AND ancillas).

@@ -96,6 +96,10 @@ class QuboModel {
   /// Removes stored quadratic entries that are exactly zero.
   void prune_zeros();
 
+  /// Reserves hash capacity for `n` quadratic terms; bulk loaders (see
+  /// QuboBuilder) call this once so a term stream inserts without rehashing.
+  void reserve_interactions(std::size_t n) { quadratic_.reserve(n); }
+
   bool operator==(const QuboModel& other) const;
 
  private:

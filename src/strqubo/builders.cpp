@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "qubo/builder.hpp"
 #include "qubo/penalties.hpp"
 #include "qubo/quadratization.hpp"
 #include "strenc/ascii7.hpp"
@@ -18,7 +19,7 @@ using strenc::variable_index;
 /// Encodes character `c` at string position `pos` with strength `a`,
 /// overwriting any previous diagonal entries for those bits (the paper's
 /// "we overwrite the previous entries" semantics, §4.3).
-void pin_char(qubo::QuboModel& model, std::size_t pos, char c, double a) {
+void pin_char(qubo::QuboBuilder& model, std::size_t pos, char c, double a) {
   const auto bits = strenc::encode_char(c);
   for (std::size_t b = 0; b < kBitsPerChar; ++b) {
     model.set_linear(variable_index(pos, b), bits[b] ? -a : a);
@@ -27,7 +28,7 @@ void pin_char(qubo::QuboModel& model, std::size_t pos, char c, double a) {
 
 /// Soft bias toward the 11xxxxx bit prefix (ASCII 96-127: the letter
 /// region) used for "any character can appear" positions (§4.5).
-void bias_letter_prefix(qubo::QuboModel& model, std::size_t pos, double w) {
+void bias_letter_prefix(qubo::QuboBuilder& model, std::size_t pos, double w) {
   model.set_linear(variable_index(pos, 0), -w);
   model.set_linear(variable_index(pos, 1), -w);
 }
@@ -48,11 +49,11 @@ std::string apply_replace_first(std::string s, char from, char to) {
 qubo::QuboModel build_equality(const std::string& target,
                                const BuildOptions& options) {
   require(strenc::is_ascii7(target), "build_equality: target must be ASCII");
-  qubo::QuboModel model(strenc::num_variables(target.size()));
+  qubo::QuboBuilder model(strenc::num_variables(target.size()));
   for (std::size_t pos = 0; pos < target.size(); ++pos) {
     pin_char(model, pos, target[pos], options.strength);
   }
-  return model;
+  return model.build();
 }
 
 qubo::QuboModel build_concat(const std::string& lhs, const std::string& rhs,
@@ -68,7 +69,7 @@ qubo::QuboModel build_substring_match(std::size_t length,
           "build_substring_match: substring longer than target length");
   require(strenc::is_ascii7(substring),
           "build_substring_match: substring must be ASCII");
-  qubo::QuboModel model(strenc::num_variables(length));
+  qubo::QuboBuilder model(strenc::num_variables(length));
   // Encode the substring at every possible starting position; conflicting
   // entries overwrite, so the last start position wins and earlier starts
   // leave only their non-overlapping prefix (§4.3: "cat" in 4 -> "ccat").
@@ -78,7 +79,7 @@ qubo::QuboModel build_substring_match(std::size_t length,
       pin_char(model, start + k, substring[k], options.strength);
     }
   }
-  return model;
+  return model.build();
 }
 
 qubo::QuboModel build_includes(const std::string& text,
@@ -90,7 +91,7 @@ qubo::QuboModel build_includes(const std::string& text,
   const std::size_t n = text.size();
   const std::size_t m = substring.size();
   const std::size_t positions = n - m + 1;
-  qubo::QuboModel model(positions);
+  qubo::QuboBuilder model(positions);
 
   // Objective (§4.4.2): reward each candidate start by the number of
   // matching characters, Q(i,i) -= A * Σ_j δ(t_{i+j}, s_j). The uniform
@@ -125,7 +126,7 @@ qubo::QuboModel build_includes(const std::string& text,
       c += options.first_match_increment;
     }
   }
-  return model;
+  return model.build();
 }
 
 qubo::QuboModel build_index_of(std::size_t length,
@@ -136,7 +137,7 @@ qubo::QuboModel build_index_of(std::size_t length,
           "build_index_of: substring does not fit at index");
   require(strenc::is_ascii7(substring),
           "build_index_of: substring must be ASCII");
-  qubo::QuboModel model(strenc::num_variables(length));
+  qubo::QuboBuilder model(strenc::num_variables(length));
   const double strong = options.strong_multiplier * options.strength;
   const double soft = options.soft_weight * options.strength;
   for (std::size_t pos = 0; pos < length; ++pos) {
@@ -146,7 +147,7 @@ qubo::QuboModel build_index_of(std::size_t length,
       bias_letter_prefix(model, pos, soft);
     }
   }
-  return model;
+  return model.build();
 }
 
 qubo::QuboModel build_length(std::size_t string_length,
@@ -157,11 +158,11 @@ qubo::QuboModel build_length(std::size_t string_length,
   // Paper-faithful (§4.6): the first 7L bits should be 1, the rest 0.
   const std::size_t n = strenc::num_variables(string_length);
   const std::size_t boundary = strenc::num_variables(desired_length);
-  qubo::QuboModel model(n);
+  qubo::QuboBuilder model(n);
   for (std::size_t i = 0; i < n; ++i) {
     model.set_linear(i, i < boundary ? -options.strength : options.strength);
   }
-  return model;
+  return model.build();
 }
 
 qubo::QuboModel build_length_printable(std::size_t string_length,
@@ -169,7 +170,7 @@ qubo::QuboModel build_length_printable(std::size_t string_length,
                                        const BuildOptions& options) {
   require(desired_length <= string_length,
           "build_length_printable: desired length exceeds string length");
-  qubo::QuboModel model(strenc::num_variables(string_length));
+  qubo::QuboBuilder model(strenc::num_variables(string_length));
   const double soft = options.soft_weight * options.strength;
   for (std::size_t pos = 0; pos < string_length; ++pos) {
     if (pos < desired_length) {
@@ -178,7 +179,7 @@ qubo::QuboModel build_length_printable(std::size_t string_length,
       pin_char(model, pos, '\0', options.strength);
     }
   }
-  return model;
+  return model.build();
 }
 
 qubo::QuboModel build_replace_all(const std::string& input, char from, char to,
@@ -199,7 +200,7 @@ qubo::QuboModel build_reverse(const std::string& input,
 qubo::QuboModel build_palindrome(std::size_t length,
                                  const BuildOptions& options) {
   require(length >= 1, "build_palindrome: length must be positive");
-  qubo::QuboModel model(strenc::num_variables(length));
+  qubo::QuboBuilder model(strenc::num_variables(length));
   // §4.10: for each mirrored character pair and each bit, an XNOR gadget
   // A (x_i + x_j - 2 x_i x_j): zero energy iff the bits agree.
   for (std::size_t j = 0; j < length / 2; ++j) {
@@ -217,7 +218,7 @@ qubo::QuboModel build_palindrome(std::size_t length,
                        -options.palindrome_printable_bias);
     }
   }
-  return model;
+  return model.build();
 }
 
 std::size_t regex_selector_base(std::size_t length) {
@@ -228,7 +229,7 @@ qubo::QuboModel build_regex(const std::string& pattern, std::size_t length,
                             const BuildOptions& options) {
   const regex::Pattern parsed = regex::parse_pattern(pattern);
   const auto tokens = regex::expand_to_length(parsed, length);
-  qubo::QuboModel model(strenc::num_variables(length));
+  qubo::QuboBuilder model(strenc::num_variables(length));
 
   std::size_t next_selector = regex_selector_base(length);
   for (std::size_t pos = 0; pos < tokens.size(); ++pos) {
@@ -274,13 +275,13 @@ qubo::QuboModel build_regex(const std::string& pattern, std::size_t length,
       }
     }
   }
-  return model;
+  return model.build();
 }
 
 qubo::QuboModel build_char_at(std::size_t length, std::size_t index, char ch,
                               const BuildOptions& options) {
   require(index < length, "build_char_at: index out of range");
-  qubo::QuboModel model(strenc::num_variables(length));
+  qubo::QuboBuilder model(strenc::num_variables(length));
   const double strong = options.strong_multiplier * options.strength;
   const double soft = options.soft_weight * options.strength;
   for (std::size_t pos = 0; pos < length; ++pos) {
@@ -290,7 +291,7 @@ qubo::QuboModel build_char_at(std::size_t length, std::size_t index, char ch,
       bias_letter_prefix(model, pos, soft);
     }
   }
-  return model;
+  return model.build();
 }
 
 qubo::QuboModel build_not_contains(std::size_t length,
@@ -299,12 +300,12 @@ qubo::QuboModel build_not_contains(std::size_t length,
   require(!substring.empty(), "build_not_contains: empty substring");
   require(strenc::is_ascii7(substring),
           "build_not_contains: substring must be ASCII");
-  qubo::QuboModel model(strenc::num_variables(length));
+  qubo::QuboBuilder model(strenc::num_variables(length));
   const double soft = options.soft_weight * options.strength;
   for (std::size_t pos = 0; pos < length; ++pos) {
     bias_letter_prefix(model, pos, soft);
   }
-  if (substring.size() > length) return model;  // Cannot occur; bias only.
+  if (substring.size() > length) return model.build();  // Cannot occur; bias only.
 
   // For every window, an indicator y = AND over the window's 84 bit
   // agreements (bit set where the substring bit is 1, cleared where 0),
@@ -325,7 +326,7 @@ qubo::QuboModel build_not_contains(std::size_t length,
         qubo::add_conjunction(model, window, gadget);
     model.add_linear(indicator, violation);
   }
-  return model;
+  return model.build();
 }
 
 qubo::QuboModel build_bounded_length(std::size_t capacity,
@@ -334,7 +335,7 @@ qubo::QuboModel build_bounded_length(std::size_t capacity,
                                      const BuildOptions& options) {
   require(min_length <= max_length && max_length <= capacity,
           "build_bounded_length: need min <= max <= capacity");
-  qubo::QuboModel model(strenc::num_variables(capacity));
+  qubo::QuboBuilder model(strenc::num_variables(capacity));
   const double soft = options.soft_weight * options.strength;
 
   // One selector per candidate content length.
@@ -366,7 +367,7 @@ qubo::QuboModel build_bounded_length(std::size_t capacity,
       }
     }
   }
-  return model;
+  return model.build();
 }
 
 qubo::QuboModel build(const Constraint& constraint,

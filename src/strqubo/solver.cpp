@@ -35,6 +35,13 @@ RetryResult solve_with_retries(const Constraint& constraint,
           "solve_with_retries: max_attempts must be >= 1");
   require(params.initial_sweeps >= 1 && params.num_reads >= 1,
           "solve_with_retries: need positive reads and sweeps");
+  // Every attempt re-samples the same QUBO at a doubled budget; build the
+  // model and its CSR adjacency once and reuse them across attempts.
+  Stopwatch build_timer;
+  const qubo::QuboModel model = build(constraint, options);
+  const qubo::QuboAdjacency adjacency(model);
+  const double build_seconds = build_timer.elapsed_seconds();
+
   RetryResult retry;
   std::size_t sweeps = params.initial_sweeps;
   for (std::size_t attempt = 0; attempt < params.max_attempts; ++attempt) {
@@ -44,12 +51,13 @@ RetryResult solve_with_retries(const Constraint& constraint,
     sa.seed = mix_seed(params.seed, attempt + 1);
     const anneal::SimulatedAnnealer annealer(sa);
     const StringConstraintSolver solver(annealer, options);
-    retry.result = solver.solve(constraint);
+    retry.result = solver.solve(constraint, model, adjacency);
     retry.final_sweeps = sweeps;
     ++retry.attempts;
     if (retry.result.satisfied) break;
     sweeps *= 2;
   }
+  retry.result.build_seconds = build_seconds;
   return retry;
 }
 
@@ -76,16 +84,27 @@ std::vector<std::string> enumerate_solutions(const Constraint& constraint,
 }
 
 SolveResult StringConstraintSolver::solve(const Constraint& constraint) const {
-  SolveResult result;
-
   Stopwatch build_timer;
   const qubo::QuboModel model = build(constraint, options_);
-  result.build_seconds = build_timer.elapsed_seconds();
+  const qubo::QuboAdjacency adjacency(model);
+  const double build_seconds = build_timer.elapsed_seconds();
+
+  SolveResult result = solve(constraint, model, adjacency);
+  result.build_seconds = build_seconds;
+  return result;
+}
+
+SolveResult StringConstraintSolver::solve(
+    const Constraint& constraint, const qubo::QuboModel& model,
+    const qubo::QuboAdjacency& adjacency) const {
+  SolveResult result;
   result.num_variables = model.num_variables();
   result.num_interactions = model.num_interactions();
 
   Stopwatch sample_timer;
-  result.samples = sampler_->sample(model);
+  result.samples = sampler_->supports_adjacency_sampling()
+                       ? sampler_->sample(adjacency)
+                       : sampler_->sample(model);
   result.sample_seconds = sample_timer.elapsed_seconds();
   require(!result.samples.empty(),
           "StringConstraintSolver::solve: sampler returned no samples");

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "anneal/sampler.hpp"
+#include "qubo/adjacency.hpp"
 #include "strqubo/builders.hpp"
 #include "strqubo/constraint.hpp"
 
@@ -45,6 +46,14 @@ class StringConstraintSolver {
   /// Builds the constraint's QUBO, samples it, decodes and verifies the
   /// best sample.
   SolveResult solve(const Constraint& constraint) const;
+
+  /// Hot path: same, but with the model and its CSR adjacency prebuilt by
+  /// the caller — re-solvers (retry loops, sweep escalation) build both once
+  /// and re-sample at different budgets. `model`/`adjacency` must correspond
+  /// to `constraint` under this solver's options; build_seconds is reported
+  /// as 0 (the caller already paid it).
+  SolveResult solve(const Constraint& constraint, const qubo::QuboModel& model,
+                    const qubo::QuboAdjacency& adjacency) const;
 
   /// Builds without solving (for inspection and the Table 1 harness).
   qubo::QuboModel build_model(const Constraint& constraint) const;

@@ -1,0 +1,142 @@
+// QuboBuilder must be a drop-in replacement for incremental QuboModel
+// construction: for any term stream — duplicates, reversed index pairs,
+// diagonal terms, zero and cancelling coefficients — build() yields a
+// model equal to the one add_linear/add_quadratic would have produced.
+// The randomized sizes are chosen to drive all three merge strategies:
+// the stable_sort path (m < 64), the dense-accumulator path (small n·n),
+// and the counting-sort path (large n, long stream).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "qubo/builder.hpp"
+#include "qubo/qubo_model.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::qubo {
+namespace {
+
+struct Term {
+  std::size_t i;
+  std::size_t j;
+  double value;
+};
+
+std::vector<Term> random_stream(std::size_t n, std::size_t m,
+                                Xoshiro256& rng) {
+  std::vector<Term> terms;
+  terms.reserve(m);
+  for (std::size_t t = 0; t < m; ++t) {
+    const auto i = rng.below(n);
+    const auto j = rng.below(n);
+    double value = rng.uniform() * 2.0 - 1.0;
+    if (rng.uniform() < 0.05) value = 0.0;  // explicit zero coefficients
+    terms.push_back(Term{i, j, value});
+  }
+  // Make some duplicates cancel exactly, so merged sums hit 0.0.
+  for (std::size_t t = 16; t + 1 < terms.size(); t += 97) {
+    terms[t + 1] = Term{terms[t].j, terms[t].i, -terms[t].value};
+  }
+  return terms;
+}
+
+QuboModel incremental(std::size_t n, const std::vector<Term>& terms) {
+  QuboModel model(n);
+  for (const Term& t : terms) {
+    if (t.i == t.j) {
+      model.add_linear(t.i, t.value);
+    } else {
+      model.add_quadratic(t.i, t.j, t.value);
+    }
+  }
+  return model;
+}
+
+QuboModel built(std::size_t n, const std::vector<Term>& terms) {
+  QuboBuilder builder(n);
+  for (const Term& t : terms) builder.add_quadratic(t.i, t.j, t.value);
+  return builder.build();
+}
+
+class BuilderMatchesIncremental
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(BuilderMatchesIncremental, OnRandomStreams) {
+  const auto [n, m] = GetParam();
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Xoshiro256 rng(seed, n * 1000003 + m);
+    const std::vector<Term> terms = random_stream(n, m, rng);
+    EXPECT_EQ(incremental(n, terms), built(n, terms))
+        << "n=" << n << " m=" << m << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMergePaths, BuilderMatchesIncremental,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{8, 20},   // sort
+                      std::pair<std::size_t, std::size_t>{5, 400},  // dense
+                      std::pair<std::size_t, std::size_t>{64, 4000},  // dense
+                      std::pair<std::size_t, std::size_t>{1200, 5000},
+                      // ^ n*n too big for dense, n <= 4m: counting sort
+                      std::pair<std::size_t, std::size_t>{3000, 500}));
+                      // ^ n > 4m: stable_sort fallback
+
+TEST(QuboBuilder, MergesDuplicatesInInsertionOrder) {
+  // Three contributions to (1, 2) in an order whose floating-point sum
+  // depends on association; both paths must agree bit-for-bit.
+  const double a = 0.1, b = 0.3, c = -0.4;
+  QuboBuilder builder(4);
+  builder.add_quadratic(2, 1, a);  // reversed pair normalises to (1, 2)
+  builder.add_quadratic(1, 2, b);
+  builder.add_quadratic(1, 2, c);
+  QuboModel expected(4);
+  expected.add_quadratic(1, 2, a);
+  expected.add_quadratic(1, 2, b);
+  expected.add_quadratic(1, 2, c);
+  EXPECT_EQ(builder.build(), expected);
+}
+
+TEST(QuboBuilder, DiagonalTermsFoldIntoLinear) {
+  QuboBuilder builder(3);
+  builder.add_quadratic(1, 1, 2.5);  // x^2 = x for binaries
+  builder.add_linear(1, -1.0);
+  QuboModel expected(3);
+  expected.add_linear(1, 2.5);
+  expected.add_linear(1, -1.0);
+  EXPECT_EQ(builder.build(), expected);
+}
+
+TEST(QuboBuilder, ZeroSumPairsAreDropped) {
+  QuboBuilder builder(4);
+  builder.add_quadratic(0, 3, 1.25);
+  builder.add_quadratic(3, 0, -1.25);
+  const QuboModel model = builder.build();
+  EXPECT_EQ(model.quadratic_terms().size(), 0u);
+  EXPECT_EQ(model, QuboModel(4));
+}
+
+TEST(QuboBuilder, OffsetAndGrowthCarryThrough) {
+  QuboBuilder builder;
+  builder.set_offset(1.5);
+  builder.add_offset(0.25);
+  builder.add_quadratic(9, 2, -0.5);  // grows to 10 variables
+  const QuboModel model = builder.build();
+  EXPECT_EQ(model.num_variables(), 10u);
+  EXPECT_DOUBLE_EQ(model.offset(), 1.75);
+}
+
+TEST(QuboBuilder, ReusableAfterBuild) {
+  QuboBuilder builder(4);
+  builder.add_quadratic(0, 1, 1.0);
+  const QuboModel first = builder.build();
+  builder.add_quadratic(0, 1, 1.0);
+  const QuboModel second = builder.build();
+  QuboModel expected(4);
+  expected.add_quadratic(0, 1, 2.0);
+  EXPECT_EQ(second, expected);
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace qsmt::qubo
