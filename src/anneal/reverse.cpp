@@ -60,6 +60,10 @@ SampleSet ReverseAnnealer::sample(const qubo::QuboAdjacency& adjacency) const {
     AnnealContext& ctx = thread_local_context();
     ctx.prepare(n);
     std::copy(initial_state_.begin(), initial_state_.end(), ctx.bits.begin());
+    // The kernel arms its zero-flip exit only on the schedule's
+    // non-decreasing suffix, so the cold opening sweeps of this reverse
+    // schedule cannot abort the read before the reheat dip executes — a
+    // polished initial state always gets its escape attempt.
     detail::anneal_read(adjacency, betas, rng, ctx);
     if (params_.polish_with_greedy)
       detail::greedy_descend(adjacency, ctx.bits, ctx.field);

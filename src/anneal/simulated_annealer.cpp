@@ -22,13 +22,25 @@ namespace detail {
 
 std::size_t anneal_read(const qubo::QuboAdjacency& adjacency,
                         std::span<const double> betas, Xoshiro256& rng,
-                        AnnealContext& ctx) {
+                        AnnealContext& ctx, bool allow_early_exit) {
   const std::size_t n = adjacency.num_variables();
   auto& bits = ctx.bits;
   auto& field = ctx.field;
   auto& uniforms = ctx.uniforms;
   // Incrementally maintained local fields: field[i] = q_ii + Σ_j q_ij x_j.
   for (std::size_t i = 0; i < n; ++i) field[i] = adjacency.local_field(bits, i);
+
+  // The zero-flip early exit is sound only while every remaining sweep is at
+  // least as cold as the current one. Reverse-annealing schedules start cold,
+  // dip hot, and come back, so restrict the exit to the longest
+  // non-decreasing suffix of the schedule: before `monotone_from` (i.e.
+  // before the dip) a zero-flip sweep says nothing about the sweeps ahead.
+  std::size_t monotone_from = 0;
+  if (allow_early_exit && !betas.empty()) {
+    monotone_from = betas.size() - 1;
+    while (monotone_from > 0 && betas[monotone_from - 1] <= betas[monotone_from])
+      --monotone_from;
+  }
 
   std::size_t total_flips = 0;
   for (std::size_t s = 0; s < betas.size(); ++s) {
@@ -54,21 +66,22 @@ std::size_t anneal_read(const qubo::QuboAdjacency& adjacency,
     }
     total_flips += flips;
     // A zero-flip sweep means the state is a local minimum AND every uphill
-    // proposal was rejected; the remaining (colder) sweeps accept uphill
-    // moves with strictly smaller probability, and the greedy polish mops up
-    // any strictly-downhill chain, so the read is done.
-    if (flips == 0) break;
+    // proposal was rejected; once inside the non-decreasing suffix the
+    // remaining (colder) sweeps accept uphill moves with no greater
+    // probability, and the greedy polish mops up any strictly-downhill
+    // chain, so the read is done.
+    if (flips == 0 && allow_early_exit && s >= monotone_from) break;
   }
   return total_flips;
 }
 
 void anneal_read(const qubo::QuboAdjacency& adjacency,
                  std::span<const double> betas, Xoshiro256& rng,
-                 std::vector<std::uint8_t>& bits) {
+                 std::vector<std::uint8_t>& bits, bool allow_early_exit) {
   AnnealContext& ctx = thread_local_context();
   ctx.prepare(bits.size());
   ctx.bits.swap(bits);
-  anneal_read(adjacency, betas, rng, ctx);
+  anneal_read(adjacency, betas, rng, ctx, allow_early_exit);
   ctx.bits.swap(bits);
 }
 
@@ -129,7 +142,7 @@ SampleSet SimulatedAnnealer::sample(
     Xoshiro256 rng(params_.seed, static_cast<std::uint64_t>(r));
     for (auto& b : ctx.bits) b = rng.coin() ? 1 : 0;
 
-    detail::anneal_read(adjacency, betas, rng, ctx);
+    detail::anneal_read(adjacency, betas, rng, ctx, params_.early_exit);
     if (params_.polish_with_greedy) {
       // ctx.field is current after the anneal, so the polish pass skips its
       // own field rebuild.

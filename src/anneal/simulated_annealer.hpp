@@ -14,8 +14,13 @@
 // (Δ <= 0) are accepted unconditionally. A read terminates early the first
 // time a sweep accepts zero flips — the state is a local minimum with every
 // uphill move rejected, later (colder) sweeps would almost surely be
-// no-ops, and the closing greedy polish covers any residual descent. When
-// the β range is defaulted the schedule is anneal-then-quench
+// no-ops, and the closing greedy polish covers any residual descent. That
+// argument needs every remaining sweep to be at least as cold, so the exit
+// is armed only within the longest non-decreasing suffix of the β schedule
+// (a reverse-anneal schedule that dips hot cannot abort before its reheat),
+// and it can be disabled outright via SimulatedAnnealerParams::early_exit
+// for callers that sample distributions rather than optimize. When the β
+// range is defaulted the schedule is anneal-then-quench
 // (make_quench_schedule) so that freeze point arrives well before the
 // nominal sweep count. See docs/hotpath.md for the derivation and
 // measurements.
@@ -49,6 +54,11 @@ struct SimulatedAnnealerParams {
   /// Run a steepest-descent pass on each read's final state, the way
   /// dwave-greedy is commonly chained after neal.
   bool polish_with_greedy = true;
+  /// Stop a read at the first zero-flip sweep once the schedule's remaining
+  /// sweeps are all at least as cold (see the header comment). Exact for
+  /// optimization with greedy polish; turn off to keep full-length reads
+  /// when sampling the Boltzmann distribution with an explicit β range.
+  bool early_exit = true;
 };
 
 class SimulatedAnnealer final : public Sampler {
@@ -73,18 +83,21 @@ namespace detail {
 /// kernel: anneals `ctx.bits` in place following `betas`, maintaining
 /// `ctx.field` incrementally (both sized by the caller via ctx.prepare();
 /// bits initialised by the caller, fields by this function). Consumes
-/// exactly one uniform per variable per executed sweep. Returns the number
-/// of accepted flips. Exposed for the embedded (hardware-simulation)
-/// sampler, the benches, and unit tests.
+/// exactly one uniform per variable per executed sweep. `allow_early_exit`
+/// arms the zero-flip exit, which fires only within the schedule's longest
+/// non-decreasing suffix (so non-monotone reverse schedules run their
+/// reheat regardless). Returns the number of accepted flips. Exposed for
+/// the embedded (hardware-simulation) sampler, the benches, and unit tests.
 std::size_t anneal_read(const qubo::QuboAdjacency& adjacency,
                         std::span<const double> betas, Xoshiro256& rng,
-                        AnnealContext& ctx);
+                        AnnealContext& ctx, bool allow_early_exit = true);
 
 /// Compatibility wrapper around the context kernel for callers that hold a
 /// bare bit vector; borrows the thread-local context's scratch buffers.
 void anneal_read(const qubo::QuboAdjacency& adjacency,
                  std::span<const double> betas, Xoshiro256& rng,
-                 std::vector<std::uint8_t>& bits);
+                 std::vector<std::uint8_t>& bits,
+                 bool allow_early_exit = true);
 
 /// The pre-overhaul kernel (per-flip std::exp, uniform drawn only on uphill
 /// candidates, no early exit). Kept as the baseline the hot-path bench and

@@ -25,7 +25,7 @@ void counting_pass(const std::vector<Term>& in, std::vector<Term>& out,
 
 }  // namespace
 
-QuboModel QuboBuilder::build() const {
+QuboModel QuboBuilder::build() {
   const std::size_t n = linear_.size();
   const std::size_t m = terms_.size();
 

@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "qubo/qubo_model.hpp"
@@ -57,12 +59,20 @@ class QuboBuilder {
 
   /// Adds `value` to the quadratic coefficient q_ij (order of i/j does not
   /// matter; i == j is routed to the linear term since x_i^2 = x_i).
+  /// Indices are packed into 32-bit key halves, so they must be below 2^32;
+  /// larger indices throw rather than silently truncating into another cell.
   void add_quadratic(std::size_t i, std::size_t j, double value) {
     if (i == j) {
       add_linear(i, value);
       return;
     }
     if (i > j) std::swap(i, j);
+    // Open-coded rather than require(): building require's std::string
+    // message on every call costs an allocation in this hot loop.
+    if (j > std::numeric_limits<std::uint32_t>::max()) [[unlikely]] {
+      throw std::invalid_argument(
+          "QuboBuilder::add_quadratic: variable index exceeds 2^32 - 1");
+    }
     ensure_variables(j + 1);
     terms_.push_back(Term{pack_pair(static_cast<std::uint32_t>(i),
                                     static_cast<std::uint32_t>(j)),
@@ -77,12 +87,14 @@ class QuboBuilder {
   /// (i, j) pairs are summed in insertion order; pairs whose merged sum is
   /// exactly zero are dropped (QuboModel::operator== treats a missing entry
   /// and a stored zero as equal). The builder may be reused afterwards; it
-  /// keeps its accumulated state.
-  QuboModel build() const;
+  /// keeps its accumulated state (though the pending terms may have been
+  /// reordered in place — which is why this is a mutating operation, and
+  /// why a shared builder must not run build() concurrently with anything).
+  QuboModel build();
 
  private:
   std::vector<double> linear_;
-  mutable std::vector<Term> terms_;  ///< build() sorts in place.
+  std::vector<Term> terms_;
   double offset_ = 0.0;
 };
 

@@ -6,10 +6,13 @@
 #include <omp.h>
 
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "anneal/context.hpp"
+#include "anneal/greedy.hpp"
 #include "anneal/metropolis.hpp"
+#include "anneal/reverse.hpp"
 #include "anneal/schedule.hpp"
 #include "anneal/simulated_annealer.hpp"
 #include "qubo/adjacency.hpp"
@@ -113,6 +116,106 @@ TEST(SweepKernel, MatchesExpOracleDecisions) {
 
     ASSERT_EQ(std::vector<std::uint8_t>(ctx.bits.begin(), ctx.bits.end()),
               bits)
+        << "trajectory diverged on read " << read;
+  }
+}
+
+// Oracle identical to the kernel's acceptance rule but with no early exit
+// anywhere: every sweep of `betas` executes. Consumes one uniform per
+// variable per sweep, like the kernel.
+std::vector<std::uint8_t> full_length_oracle(
+    const qubo::QuboAdjacency& adjacency, std::span<const double> betas,
+    Xoshiro256& rng, std::vector<std::uint8_t> bits) {
+  const std::size_t n = adjacency.num_variables();
+  std::vector<double> field(n);
+  std::vector<double> uniforms(n);
+  for (std::size_t i = 0; i < n; ++i) field[i] = adjacency.local_field(bits, i);
+  for (const double beta : betas) {
+    for (std::size_t i = 0; i < n; ++i) uniforms[i] = rng.uniform();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double delta = bits[i] ? -field[i] : field[i];
+      if (delta <= 0.0 || uniforms[i] < std::exp(-beta * delta)) {
+        const double step = bits[i] ? -1.0 : 1.0;
+        bits[i] ^= 1u;
+        for (const auto& nb : adjacency.neighbors(i)) {
+          field[nb.index] += nb.coefficient * step;
+        }
+      }
+    }
+  }
+  return bits;
+}
+
+// Regression for the reverse-annealing degeneration: a read seeded with a
+// polished local minimum under a V-shaped (cold → hot → cold) schedule used
+// to hit a zero-flip sweep on the cold opening leg and return the initial
+// state without ever reheating. The early exit must stay disarmed until the
+// schedule's non-decreasing suffix, so the kernel's trajectory must match a
+// no-early-exit oracle on the same uniform stream.
+TEST(SweepKernel, ReverseScheduleRunsThroughTheReheatDip) {
+  Xoshiro256 model_rng(11, 0);
+  const qubo::QuboModel model = random_model(24, 0.3, model_rng);
+  const qubo::QuboAdjacency adjacency(model);
+  const std::size_t n = adjacency.num_variables();
+
+  // Deeply cold endpoints: the opening sweeps accept essentially nothing,
+  // which is exactly the zero-flip condition that used to abort the read.
+  const std::vector<double> betas = make_reverse_schedule(50.0, 0.05, 64);
+
+  std::size_t total_flips = 0;
+  for (std::uint64_t read = 0; read < 8; ++read) {
+    // A polished local-minimum start, as ReverseAnnealer provides.
+    std::vector<std::uint8_t> start(n);
+    Xoshiro256 seed_rng(123, read);
+    for (auto& b : start) b = seed_rng.coin() ? 1 : 0;
+    detail::greedy_descend(adjacency, start);
+
+    AnnealContext ctx;
+    ctx.prepare(n);
+    Xoshiro256 rng(17, read);
+    std::copy(start.begin(), start.end(), ctx.bits.begin());
+    total_flips += detail::anneal_read(adjacency, betas, rng, ctx);
+
+    Xoshiro256 oracle_rng(17, read);
+    ASSERT_EQ(std::vector<std::uint8_t>(ctx.bits.begin(), ctx.bits.end()),
+              full_length_oracle(adjacency, betas, oracle_rng, start))
+        << "trajectory diverged on read " << read;
+  }
+  // The reheat dip must actually have moved the state: a kernel that
+  // returned the initial local minima untouched would report zero flips.
+  EXPECT_GT(total_flips, 0u);
+}
+
+// With the early exit disarmed, every sweep of a monotone schedule must
+// execute even after the state freezes — distribution-sampling callers get
+// full-length reads.
+TEST(SweepKernel, EarlyExitDisabledRunsFullSchedule) {
+  Xoshiro256 model_rng(7, 0);
+  const qubo::QuboModel model = random_model(24, 0.3, model_rng);
+  const qubo::QuboAdjacency adjacency(model);
+  const std::size_t n = adjacency.num_variables();
+  const BetaRange range = default_beta_range(adjacency);
+  const std::vector<double> betas =
+      make_schedule(range.hot, range.cold * 100.0, 96,
+                    Interpolation::kGeometric);
+
+  for (std::uint64_t read = 0; read < 4; ++read) {
+    AnnealContext ctx;
+    ctx.prepare(n);
+    Xoshiro256 rng(41, read);
+    for (auto& b : ctx.bits) b = rng.coin() ? 1 : 0;
+    std::vector<std::uint8_t> start(ctx.bits.begin(), ctx.bits.end());
+    detail::anneal_read(adjacency, betas, rng, ctx,
+                        /*allow_early_exit=*/false);
+
+    // Replay the identical stream: the seeding coin flips line up because
+    // the oracle start state is regenerated the same way.
+    Xoshiro256 oracle_rng(41, read);
+    std::vector<std::uint8_t> oracle_start(n);
+    for (auto& b : oracle_start) b = oracle_rng.coin() ? 1 : 0;
+    ASSERT_EQ(oracle_start, start);
+    ASSERT_EQ(std::vector<std::uint8_t>(ctx.bits.begin(), ctx.bits.end()),
+              full_length_oracle(adjacency, betas, oracle_rng, oracle_start))
         << "trajectory diverged on read " << read;
   }
 }

@@ -126,6 +126,18 @@ TEST(QuboBuilder, OffsetAndGrowthCarryThrough) {
   EXPECT_DOUBLE_EQ(model.offset(), 1.75);
 }
 
+TEST(QuboBuilder, RejectsIndicesBeyondPackedKeyRange) {
+  // Packed keys hold 32 bits per index; larger indices must throw before
+  // any state changes rather than silently truncate into another cell.
+  QuboBuilder builder(4);
+  EXPECT_THROW(builder.add_quadratic(0, std::size_t{1} << 32, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(builder.add_quadratic(std::size_t{1} << 33, 1, 1.0),
+               std::invalid_argument);
+  EXPECT_EQ(builder.num_pending_terms(), 0u);
+  EXPECT_EQ(builder.num_variables(), 4u);
+}
+
 TEST(QuboBuilder, ReusableAfterBuild) {
   QuboBuilder builder(4);
   builder.add_quadratic(0, 1, 1.0);
