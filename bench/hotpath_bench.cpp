@@ -12,6 +12,14 @@
 //      minimum over interleaved repetitions — this host's wall-clock
 //      noise is far larger than the effect floor, and min-of-reps is the
 //      standard estimator for the undisturbed run.
+//
+// Measurement bookkeeping (min-of-reps, energy best/mean) goes through a
+// bench-local always-enabled telemetry::Registry rather than hand-rolled
+// accumulators: per-rep seconds and per-read energies are recorded into
+// histograms and the minima/means read back from one snapshot. The
+// process-global registry (QSMT_TELEMETRY) stays untouched, so running
+// this bench with telemetry off still measures the instrumented library's
+// disabled-path overhead honestly.
 //   2. Adjacency (CSR) build time from a QuboModel.
 //   3. QUBO assembly — QuboBuilder's COO sort/merge fast path vs
 //      incremental QuboModel::add_quadratic on the same term stream.
@@ -38,6 +46,7 @@
 #include "qubo/builder.hpp"
 #include "qubo/qubo_model.hpp"
 #include "strqubo/builders.hpp"
+#include "telemetry/registry.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -55,6 +64,34 @@ struct EnergyStats {
   double mean = 0.0;
 };
 
+// Bench-local metrics registry; always enabled, independent of the
+// QSMT_TELEMETRY gate on the process-global registry.
+telemetry::Registry& bench_registry() {
+  static telemetry::Registry registry;
+  return registry;
+}
+
+// Exact minimum of everything recorded under `name` (HistogramStat tracks
+// true min/max alongside the buckets, so min-of-reps loses no precision).
+double recorded_min(const telemetry::Snapshot& snapshot,
+                    const std::string& name) {
+  const telemetry::HistogramStat* h = snapshot.histogram(name);
+  return (h != nullptr && h->count > 0)
+             ? h->min
+             : std::numeric_limits<double>::infinity();
+}
+
+EnergyStats recorded_energy(const telemetry::Snapshot& snapshot,
+                            const std::string& name) {
+  EnergyStats stats;
+  const telemetry::HistogramStat* h = snapshot.histogram(name);
+  if (h != nullptr && h->count > 0) {
+    stats.best = h->min;
+    stats.mean = h->mean();
+  }
+  return stats;
+}
+
 struct KernelResult {
   std::string workload;
   std::size_t num_variables = 0;
@@ -69,47 +106,45 @@ struct KernelResult {
 
 // One timed repetition of the pre-overhaul read path: per-flip-exp kernel,
 // plain geometric schedule, greedy polish — what sample() did before the
-// overhaul. Returns wall seconds; fills `stats` with read-energy stats.
-double run_reference(const qubo::QuboAdjacency& adjacency,
-                     std::span<const double> betas, EnergyStats& stats) {
+// overhaul. Records wall seconds and per-read energies (energy recording
+// happens outside the timed region).
+void run_reference(const qubo::QuboAdjacency& adjacency,
+                   std::span<const double> betas,
+                   telemetry::Histogram seconds_hist,
+                   telemetry::Histogram energy_hist) {
   const std::size_t n = adjacency.num_variables();
   std::vector<std::uint8_t> bits(n);
-  stats = EnergyStats{};
+  std::vector<double> energies(kNumReads);
   Stopwatch timer;
   for (std::size_t read = 0; read < kNumReads; ++read) {
     Xoshiro256 rng(kSeed, read);
     for (std::size_t i = 0; i < n; ++i) bits[i] = rng.coin() ? 1 : 0;
     anneal::detail::anneal_read_reference(adjacency, betas, rng, bits);
     anneal::detail::greedy_descend(adjacency, bits);
-    const double energy = adjacency.energy(bits);
-    stats.best = std::min(stats.best, energy);
-    stats.mean += energy;
+    energies[read] = adjacency.energy(bits);
   }
-  const double seconds = timer.elapsed_seconds();
-  stats.mean /= static_cast<double>(kNumReads);
-  return seconds;
+  seconds_hist.record(timer.elapsed_seconds());
+  for (const double e : energies) energy_hist.record(e);
 }
 
 // One timed repetition of the post-overhaul read path: screened kernel,
 // quench schedule, early exit, context reuse, polish off the maintained
 // field — what sample() does now.
-double run_new(const qubo::QuboAdjacency& adjacency,
-               std::span<const double> betas, anneal::AnnealContext& ctx,
-               EnergyStats& stats) {
-  stats = EnergyStats{};
+void run_new(const qubo::QuboAdjacency& adjacency,
+             std::span<const double> betas, anneal::AnnealContext& ctx,
+             telemetry::Histogram seconds_hist,
+             telemetry::Histogram energy_hist) {
+  std::vector<double> energies(kNumReads);
   Stopwatch timer;
   for (std::size_t read = 0; read < kNumReads; ++read) {
     Xoshiro256 rng(kSeed, read);
     for (auto& b : ctx.bits) b = rng.coin() ? 1 : 0;
     anneal::detail::anneal_read(adjacency, betas, rng, ctx);
     anneal::detail::greedy_descend(adjacency, ctx.bits, ctx.field);
-    const double energy = adjacency.energy(ctx.bits);
-    stats.best = std::min(stats.best, energy);
-    stats.mean += energy;
+    energies[read] = adjacency.energy(ctx.bits);
   }
-  const double seconds = timer.elapsed_seconds();
-  stats.mean /= static_cast<double>(kNumReads);
-  return seconds;
+  seconds_hist.record(timer.elapsed_seconds());
+  for (const double e : energies) energy_hist.record(e);
 }
 
 KernelResult bench_kernels(const std::string& workload,
@@ -129,17 +164,26 @@ KernelResult bench_kernels(const std::string& workload,
   anneal::AnnealContext ctx;
   ctx.prepare(n);
 
+  telemetry::Registry& registry = bench_registry();
+  const std::string prefix = "sweep." + workload;
+  const auto ref_seconds = registry.histogram(prefix + ".reference.seconds",
+                                              telemetry::Unit::kSeconds);
+  const auto new_seconds =
+      registry.histogram(prefix + ".new.seconds", telemetry::Unit::kSeconds);
+  const auto ref_energy = registry.histogram(prefix + ".reference.energy");
+  const auto new_energy = registry.histogram(prefix + ".new.energy");
+
   // Interleave the two sides so slow drift on the host hits both equally;
-  // keep the per-side minimum.
-  result.reference_seconds = std::numeric_limits<double>::infinity();
-  result.new_seconds = std::numeric_limits<double>::infinity();
+  // the registry keeps exact per-side minima across the reps.
   for (std::size_t rep = 0; rep < kReps; ++rep) {
-    result.reference_seconds =
-        std::min(result.reference_seconds,
-                 run_reference(adjacency, plain, result.reference_energy));
-    result.new_seconds = std::min(
-        result.new_seconds, run_new(adjacency, quench, ctx, result.new_energy));
+    run_reference(adjacency, plain, ref_seconds, ref_energy);
+    run_new(adjacency, quench, ctx, new_seconds, new_energy);
   }
+  const telemetry::Snapshot snapshot = registry.snapshot();
+  result.reference_seconds = recorded_min(snapshot, prefix + ".reference.seconds");
+  result.new_seconds = recorded_min(snapshot, prefix + ".new.seconds");
+  result.reference_energy = recorded_energy(snapshot, prefix + ".reference.energy");
+  result.new_energy = recorded_energy(snapshot, prefix + ".new.energy");
 
   const double attempts =
       static_cast<double>(kNumReads) * static_cast<double>(kNumSweeps) *
@@ -163,7 +207,9 @@ AdjacencyResult bench_adjacency(const std::string& workload,
   AdjacencyResult result;
   result.workload = workload;
   result.num_variables = model.num_variables();
-  result.seconds_per_build = std::numeric_limits<double>::infinity();
+  telemetry::Registry& registry = bench_registry();
+  const std::string name = "adjacency." + workload + ".seconds_per_build";
+  const auto per_build = registry.histogram(name, telemetry::Unit::kSeconds);
   for (std::size_t rep = 0; rep < kReps; ++rep) {
     Stopwatch timer;
     std::size_t checksum = 0;
@@ -171,11 +217,10 @@ AdjacencyResult bench_adjacency(const std::string& workload,
       const qubo::QuboAdjacency adjacency(model);
       checksum += adjacency.num_interactions();
     }
-    result.seconds_per_build =
-        std::min(result.seconds_per_build,
-                 timer.elapsed_seconds() / static_cast<double>(kBuilds));
+    per_build.record(timer.elapsed_seconds() / static_cast<double>(kBuilds));
     result.num_interactions = checksum / kBuilds;
   }
+  result.seconds_per_build = recorded_min(registry.snapshot(), name);
   return result;
 }
 
@@ -213,8 +258,12 @@ AssemblyResult bench_assembly() {
   AssemblyResult result;
   result.num_variables = kVars;
   result.num_terms = kTerms;
-  result.incremental_seconds = std::numeric_limits<double>::infinity();
-  result.builder_seconds = std::numeric_limits<double>::infinity();
+
+  telemetry::Registry& registry = bench_registry();
+  const auto incremental_hist = registry.histogram(
+      "assembly.incremental.seconds", telemetry::Unit::kSeconds);
+  const auto builder_hist = registry.histogram("assembly.builder.seconds",
+                                               telemetry::Unit::kSeconds);
 
   // Assembly runs are cheap but allocation-heavy, which makes them the
   // noisiest section; extra repetitions keep the minima stable.
@@ -232,8 +281,7 @@ AssemblyResult bench_assembly() {
           model.add_quadratic(t.i, t.j, t.value);
         }
       }
-      result.incremental_seconds =
-          std::min(result.incremental_seconds, timer.elapsed_seconds());
+      incremental_hist.record(timer.elapsed_seconds());
       incremental = std::move(model);
     }
     {
@@ -242,10 +290,13 @@ AssemblyResult bench_assembly() {
       builder.reserve_terms(kTerms);
       for (const Term& t : terms) builder.add_quadratic(t.i, t.j, t.value);
       built = builder.build();
-      result.builder_seconds =
-          std::min(result.builder_seconds, timer.elapsed_seconds());
+      builder_hist.record(timer.elapsed_seconds());
     }
   }
+  const telemetry::Snapshot snapshot = registry.snapshot();
+  result.incremental_seconds =
+      recorded_min(snapshot, "assembly.incremental.seconds");
+  result.builder_seconds = recorded_min(snapshot, "assembly.builder.seconds");
 
   result.speedup = result.incremental_seconds / result.builder_seconds;
   result.models_equal = incremental == built;

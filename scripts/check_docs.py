@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Docs consistency checker, run by scripts/ci.sh.
+
+Two checks, both over the human-facing documentation set (README.md and
+docs/*.md, plus any root-level markdown they link to):
+
+1. Link integrity: every relative markdown link `[text](path)` or
+   `[text](path#anchor)` must point at an existing file, and when an
+   anchor is given, the target file must contain a heading that
+   GitHub-slugifies to that anchor.
+
+2. Formulation coverage: every public builder declared in
+   src/strqubo/builders.hpp (`qubo::QuboModel build_*`) must appear by
+   name in docs/FORMULATIONS.md, so the derivation catalog cannot
+   silently fall behind the API.
+
+Exits non-zero with one line per problem.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted([REPO / "README.md", *(REPO / "docs").glob("*.md")])
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+BUILDER_RE = re.compile(r"qubo::QuboModel\s+(build_\w+)\s*\(")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading → anchor slug rule (close enough for our docs)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    body = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(h) for h in HEADING_RE.findall(body)}
+
+
+def check_links() -> list:
+    errors = []
+    for doc in DOC_FILES:
+        body = CODE_FENCE_RE.sub("", doc.read_text(encoding="utf-8"))
+        for target in LINK_RE.findall(body):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            path_part, _, anchor = target.partition("#")
+            dest = doc if not path_part else (doc.parent / path_part).resolve()
+            if not dest.exists():
+                errors.append(f"{doc.relative_to(REPO)}: broken link -> {target}")
+                continue
+            if anchor and dest.suffix == ".md" and anchor not in anchors_of(dest):
+                errors.append(
+                    f"{doc.relative_to(REPO)}: missing anchor -> {target}"
+                )
+    return errors
+
+
+def check_formulation_coverage() -> list:
+    header = (REPO / "src/strqubo/builders.hpp").read_text(encoding="utf-8")
+    catalog = (REPO / "docs/FORMULATIONS.md").read_text(encoding="utf-8")
+    return [
+        f"docs/FORMULATIONS.md: public op `{name}` is undocumented"
+        for name in sorted(set(BUILDER_RE.findall(header)))
+        if name not in catalog
+    ]
+
+
+def main() -> int:
+    errors = check_links() + check_formulation_coverage()
+    for err in errors:
+        print(f"check_docs: {err}", file=sys.stderr)
+    names = ", ".join(str(d.relative_to(REPO)) for d in DOC_FILES)
+    if errors:
+        print(f"check_docs: FAILED ({len(errors)} problem(s))", file=sys.stderr)
+        return 1
+    print(f"check_docs: OK ({names})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,9 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
+echo "=== docs consistency (links + formulation coverage) ==="
+python3 scripts/check_docs.py
+
 if [[ "${skip_sanitizers}" == "1" ]]; then
   echo "=== sanitizer stages skipped ==="
   exit 0

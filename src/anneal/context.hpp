@@ -39,4 +39,17 @@ struct AnnealContext {
 /// across sample() calls, so steady-state sampling performs no allocation.
 AnnealContext& thread_local_context();
 
+/// Per-read introspection snapshot shared by every sampler kernel: one call
+/// at the end of each read (never per sweep) feeds the anneal.read.* metrics
+/// documented in docs/telemetry.md. With telemetry off this is a single
+/// branch, which is what keeps the read loop's overhead unmeasurable.
+struct ReadStats {
+  std::size_t num_variables = 0;
+  std::size_t flips = 0;             ///< Accepted moves over the whole read.
+  std::size_t sweeps_executed = 0;   ///< Sweeps actually run.
+  std::size_t sweeps_scheduled = 0;  ///< Sweeps the schedule asked for.
+  bool early_exit = false;           ///< Zero-flip exit fired.
+};
+void record_read_stats(const ReadStats& stats);
+
 }  // namespace qsmt::anneal

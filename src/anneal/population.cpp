@@ -10,6 +10,7 @@
 #include "anneal/metropolis.hpp"
 #include "anneal/simulated_annealer.hpp"
 #include "qubo/adjacency.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
 
@@ -36,10 +37,12 @@ struct Walker {
 // Exp-free Metropolis sweeps (screened accept, see simulated_annealer.hpp).
 // `ctx` supplies the field and uniform scratch buffers; walkers keep only
 // their bits and energy, so resampling copies stay cheap.
-void metropolis_sweeps(const qubo::QuboAdjacency& adjacency, Walker& walker,
-                       double beta, std::size_t sweeps, Xoshiro256& rng,
-                       AnnealContext& ctx) {
+// Returns the number of accepted flips (telemetry).
+std::size_t metropolis_sweeps(const qubo::QuboAdjacency& adjacency,
+                              Walker& walker, double beta, std::size_t sweeps,
+                              Xoshiro256& rng, AnnealContext& ctx) {
   const std::size_t n = adjacency.num_variables();
+  std::size_t flips = 0;
   auto& field = ctx.field;
   auto& uniforms = ctx.uniforms;
   for (std::size_t i = 0; i < n; ++i) {
@@ -52,6 +55,7 @@ void metropolis_sweeps(const qubo::QuboAdjacency& adjacency, Walker& walker,
       if (detail::metropolis_accept(beta * delta, uniforms[i])) {
         const double step = walker.bits[i] ? -1.0 : 1.0;
         walker.bits[i] ^= 1u;
+        ++flips;
         walker.energy += delta;
         for (const auto& nb : adjacency.neighbors(i)) {
           field[nb.index] += nb.coefficient * step;
@@ -59,6 +63,7 @@ void metropolis_sweeps(const qubo::QuboAdjacency& adjacency, Walker& walker,
       }
     }
   }
+  return flips;
 }
 
 }  // namespace
@@ -103,6 +108,8 @@ SampleSet PopulationAnnealing::sample(
     };
     for (const Walker& walker : population) consider(walker);
 
+    std::size_t read_flips = 0;
+    std::size_t read_sweeps = 0;
     double previous_beta = betas.front();
     for (double beta : betas) {
       const double delta_beta = beta - previous_beta;
@@ -145,11 +152,14 @@ SampleSet PopulationAnnealing::sample(
       }
 
       for (Walker& walker : population) {
-        metropolis_sweeps(adjacency, walker, beta, params_.sweeps_per_step,
-                          rng, ctx);
+        read_flips += metropolis_sweeps(adjacency, walker, beta,
+                                        params_.sweeps_per_step, rng, ctx);
+        read_sweeps += params_.sweeps_per_step;
         consider(walker);
       }
     }
+    record_read_stats(ReadStats{n, read_flips, read_sweeps, read_sweeps,
+                                false});
 
     if (params_.polish_with_greedy) {
       detail::greedy_descend(adjacency, best_bits);

@@ -7,6 +7,7 @@
 
 #include "anneal/greedy.hpp"
 #include "anneal/metropolis.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/require.hpp"
 
 namespace qsmt::anneal {
@@ -43,7 +44,10 @@ std::size_t anneal_read(const qubo::QuboAdjacency& adjacency,
   }
 
   std::size_t total_flips = 0;
+  std::size_t executed = 0;
+  bool exited_early = false;
   for (std::size_t s = 0; s < betas.size(); ++s) {
+    ++executed;
     const double beta = betas[s];
     // Bulk uniforms up front (the generation loop is branch-free and
     // independent of the sweep state); the acceptance test itself is the
@@ -70,8 +74,13 @@ std::size_t anneal_read(const qubo::QuboAdjacency& adjacency,
     // remaining (colder) sweeps accept uphill moves with no greater
     // probability, and the greedy polish mops up any strictly-downhill
     // chain, so the read is done.
-    if (flips == 0 && allow_early_exit && s >= monotone_from) break;
+    if (flips == 0 && allow_early_exit && s >= monotone_from) {
+      exited_early = s + 1 < betas.size();
+      break;
+    }
   }
+  record_read_stats(ReadStats{n, total_flips, executed, betas.size(),
+                              exited_early});
   return total_flips;
 }
 
@@ -132,11 +141,29 @@ SampleSet SimulatedAnnealer::sample(
                 : make_schedule(hot, cold, params_.num_sweeps,
                                 params_.beta_interpolation);
 
+  telemetry::Span span("anneal.sample");
+  span.arg("num_variables", static_cast<double>(n));
+  span.arg("num_reads", static_cast<double>(params_.num_reads));
+  span.arg("num_sweeps", static_cast<double>(params_.num_sweeps));
+  span.arg("beta_hot", betas.empty() ? hot : betas.front());
+  span.arg("beta_cold", betas.empty() ? cold : betas.back());
+  const bool telemetry_on = telemetry::enabled();
+  const bool trace_on = telemetry::trace_enabled();
+  telemetry::Histogram read_energy;
+  if (telemetry_on) {
+    static const auto beta_hot_gauge = telemetry::gauge("anneal.beta.hot");
+    static const auto beta_cold_gauge = telemetry::gauge("anneal.beta.cold");
+    beta_hot_gauge.set(betas.empty() ? hot : betas.front());
+    beta_cold_gauge.set(betas.empty() ? cold : betas.back());
+    read_energy = telemetry::histogram("anneal.read.energy");
+  }
+
   const std::size_t reads = params_.num_reads;
   std::vector<Sample> results(reads);
 
 #pragma omp parallel for schedule(dynamic)
   for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(reads); ++r) {
+    const double read_start_us = trace_on ? telemetry::trace_now_us() : 0.0;
     AnnealContext& ctx = thread_local_context();
     ctx.prepare(n);
     Xoshiro256 rng(params_.seed, static_cast<std::uint64_t>(r));
@@ -153,6 +180,20 @@ SampleSet SimulatedAnnealer::sample(
     out.energy = adjacency.energy(ctx.bits);
     out.bits.assign(ctx.bits.begin(), ctx.bits.end());
     out.num_occurrences = 1;
+    if (telemetry_on) read_energy.record(out.energy);
+    if (trace_on) {
+      // Per-read trajectory: one trace slice per read with its final
+      // energy, so chrome://tracing shows how reads spread over threads
+      // and where the best energies landed.
+      telemetry::TraceEvent event;
+      event.name = "anneal.read";
+      event.tid = telemetry::current_thread_id();
+      event.ts_us = read_start_us;
+      event.dur_us = telemetry::trace_now_us() - read_start_us;
+      event.args = {{"read", static_cast<double>(r)},
+                    {"energy", out.energy}};
+      telemetry::add_trace_event(std::move(event));
+    }
   }
 
   SampleSet set;

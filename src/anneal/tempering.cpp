@@ -9,6 +9,7 @@
 #include "anneal/greedy.hpp"
 #include "anneal/metropolis.hpp"
 #include "qubo/adjacency.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
 
@@ -31,9 +32,12 @@ struct Replica {
 
 // Exp-free Metropolis sweep (same screened-accept kernel as the SA sweep,
 // see simulated_annealer.hpp): uniforms are bulk-generated into `scratch`.
-void sweep(const qubo::QuboAdjacency& adjacency, Replica& replica,
-           double beta, Xoshiro256& rng, std::vector<double>& scratch) {
+// Returns the number of accepted flips (telemetry).
+std::size_t sweep(const qubo::QuboAdjacency& adjacency, Replica& replica,
+                  double beta, Xoshiro256& rng,
+                  std::vector<double>& scratch) {
   const std::size_t n = adjacency.num_variables();
+  std::size_t flips = 0;
   for (std::size_t i = 0; i < n; ++i) scratch[i] = rng.uniform();
   for (std::size_t i = 0; i < n; ++i) {
     const double delta =
@@ -41,12 +45,14 @@ void sweep(const qubo::QuboAdjacency& adjacency, Replica& replica,
     if (detail::metropolis_accept(beta * delta, scratch[i])) {
       const double step = replica.bits[i] ? -1.0 : 1.0;
       replica.bits[i] ^= 1u;
+      ++flips;
       replica.energy += delta;
       for (const auto& nb : adjacency.neighbors(i)) {
         replica.field[nb.index] += nb.coefficient * step;
       }
     }
   }
+  return flips;
 }
 
 }  // namespace
@@ -96,9 +102,10 @@ SampleSet ParallelTempering::sample(
     };
     for (const Replica& replica : ladder) consider(replica);
 
+    std::size_t read_flips = 0;
     for (std::size_t s = 0; s < params_.num_sweeps; ++s) {
       for (std::size_t k = 0; k < ladder.size(); ++k) {
-        sweep(adjacency, ladder[k], betas[k], rng, ctx.uniforms);
+        read_flips += sweep(adjacency, ladder[k], betas[k], rng, ctx.uniforms);
         consider(ladder[k]);
       }
       // Exchange round: alternate even/odd pairings so information can
@@ -116,6 +123,9 @@ SampleSet ParallelTempering::sample(
       detail::greedy_descend(adjacency, best_bits);
       best_energy = adjacency.energy(best_bits);
     }
+    const std::size_t ladder_sweeps = params_.num_sweeps * ladder.size();
+    record_read_stats(ReadStats{n, read_flips, ladder_sweeps, ladder_sweeps,
+                                false});
     auto& out = results[static_cast<std::size_t>(r)];
     out.energy = best_energy;
     out.bits = std::move(best_bits);

@@ -4,6 +4,7 @@
 
 #include "sat/dpllt.hpp"
 #include "smtlib/parser.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace qsmt::engine {
 
@@ -95,17 +96,40 @@ ScriptResult run_dpllt(const std::vector<smtlib::Command>& commands,
   return result;
 }
 
+// Final-status counters let a batch run's sat/unsat/unknown split (and the
+// conjunctive/DPLL(T) routing decision) show up in the telemetry summary.
+void record_script_result(const ScriptResult& result) {
+  if (!telemetry::enabled()) return;
+  telemetry::counter(result.engine == EngineKind::kDpllT
+                         ? "engine.route.dpllt"
+                         : "engine.route.conjunctive")
+      .add();
+  switch (result.status) {
+    case smtlib::CheckSatStatus::kSat:
+      telemetry::counter("engine.verdict.sat").add();
+      break;
+    case smtlib::CheckSatStatus::kUnsat:
+      telemetry::counter("engine.verdict.unsat").add();
+      break;
+    case smtlib::CheckSatStatus::kUnknown:
+      telemetry::counter("engine.verdict.unknown").add();
+      break;
+  }
+}
+
 }  // namespace
 
 ScriptResult solve_script(const std::string& script,
                           const anneal::Sampler& sampler,
                           const strqubo::BuildOptions& options,
                           bool force_dpllt) {
+  telemetry::Span span("engine.solve_script");
   const std::vector<smtlib::Command> commands = smtlib::parse_script(script);
-  if (force_dpllt || needs_boolean_engine(commands)) {
-    return run_dpllt(commands, sampler, options);
-  }
-  return run_conjunctive(commands, sampler, options);
+  ScriptResult result = (force_dpllt || needs_boolean_engine(commands))
+                            ? run_dpllt(commands, sampler, options)
+                            : run_conjunctive(commands, sampler, options);
+  record_script_result(result);
+  return result;
 }
 
 }  // namespace qsmt::engine

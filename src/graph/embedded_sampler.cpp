@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
 #include "util/require.hpp"
 
 namespace qsmt::graph {
@@ -80,6 +81,9 @@ std::size_t EmbeddedSampler::embedding_cache_hits() const {
 
 anneal::SampleSet EmbeddedSampler::sample_with_stats(
     const qubo::QuboModel& model, EmbeddedSampleStats& stats) const {
+  telemetry::Span span("graph.embedded_sample");
+  span.arg("num_variables", static_cast<double>(model.num_variables()));
+  const bool telemetry_on = telemetry::enabled();
   const Graph logical = logical_graph(model);
 
   GraphKey key{logical.num_nodes(), {}};
@@ -92,11 +96,19 @@ anneal::SampleSet EmbeddedSampler::sample_with_stats(
     if (it != embedding_cache_.end()) {
       embedding = it->second;
       ++cache_hits_;
+      if (telemetry_on) {
+        telemetry::counter("graph.embedding.cache_hits").add();
+      }
     }
   }
   if (!embedding) {
+    if (telemetry_on) {
+      telemetry::counter("graph.embedding.cache_misses").add();
+    }
+    telemetry::Span find_span("graph.find_embedding");
     embedding = find_embedding(logical, target_, params_.embedding_seed,
                                params_.embedding_attempts);
+    find_span.close();
     if (embedding) {
       const std::lock_guard<std::mutex> lock(cache_mutex_);
       embedding_cache_.emplace(std::move(key), *embedding);
@@ -107,14 +119,30 @@ anneal::SampleSet EmbeddedSampler::sample_with_stats(
         "EmbeddedSampler: could not embed model onto target topology");
   }
 
+  if (telemetry_on) {
+    static const auto chain_length = telemetry::histogram(
+        "graph.chain_length", telemetry::Unit::kCount);
+    for (const auto& chain : embedding->chains) {
+      chain_length.record(static_cast<double>(chain.size()));
+    }
+  }
+
   const double chain_strength = params_.chain_strength.value_or(
       1.5 * std::max(model.max_abs_coefficient(), 1.0));
+  telemetry::Span embed_span("graph.embed_model");
   const qubo::QuboModel physical =
       embed_model(model, *embedding, chain_strength);
+  embed_span.close();
+  if (telemetry_on) {
+    telemetry::gauge("graph.chain_strength").set(chain_strength);
+    telemetry::gauge("graph.physical_variables")
+        .set(static_cast<double>(embedding->total_physical()));
+  }
 
   const anneal::SimulatedAnnealer inner(params_.anneal);
   const anneal::SampleSet physical_samples = inner.sample(physical);
 
+  telemetry::Span unembed_span("graph.unembed");
   anneal::SampleSet logical_samples;
   std::size_t broken_chains = 0;
   std::size_t chain_checks = 0;
@@ -143,6 +171,20 @@ anneal::SampleSet EmbeddedSampler::sample_with_stats(
     logical_samples.add(std::move(bits), energy, phys.num_occurrences);
   }
   logical_samples.aggregate();
+  unembed_span.close();
+  if (telemetry_on) {
+    telemetry::counter("graph.chain_checks")
+        .add(static_cast<std::uint64_t>(chain_checks));
+    telemetry::counter("graph.chain_breaks")
+        .add(static_cast<std::uint64_t>(broken_chains));
+    telemetry::counter("graph.discarded_samples")
+        .add(static_cast<std::uint64_t>(discarded));
+    if (chain_checks != 0) {
+      telemetry::histogram("graph.chain_break_rate", telemetry::Unit::kRatio)
+          .record(static_cast<double>(broken_chains) /
+                  static_cast<double>(chain_checks));
+    }
+  }
 
   stats.embedding = std::move(*embedding);
   stats.chain_break_fraction =

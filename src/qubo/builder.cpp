@@ -1,12 +1,34 @@
 #include "qubo/builder.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
 
 namespace qsmt::qubo {
 
 namespace {
 
 using Term = QuboBuilder::Term;
+
+// Records which merge path build() took plus term/density stats; one call
+// per build, gated on mode so the disabled path stays a single branch.
+void record_build(const char* path, std::size_t n, std::size_t m) {
+  if (!telemetry::enabled()) return;
+  telemetry::counter(std::string("qubo.build.path.") + path).add();
+  static const auto terms =
+      telemetry::histogram("qubo.build.terms", telemetry::Unit::kCount);
+  static const auto variables =
+      telemetry::histogram("qubo.build.variables", telemetry::Unit::kCount);
+  static const auto density =
+      telemetry::histogram("qubo.build.density", telemetry::Unit::kRatio);
+  terms.record(static_cast<double>(m));
+  variables.record(static_cast<double>(n));
+  if (n > 0) {
+    density.record(static_cast<double>(m) / (static_cast<double>(n) *
+                                             static_cast<double>(n)));
+  }
+}
 
 // One stable counting-sort pass over a 32-bit half of the packed key.
 // `count` must have at least max_digit+1 entries; contents are clobbered.
@@ -35,8 +57,10 @@ QuboModel QuboBuilder::build() {
   // in stream order, so the sums are bit-identical to the incremental
   // map's). Worth it when the n² scratch is small relative to the term
   // stream and fits comfortably in cache.
+  telemetry::Span span("qubo.build");
   constexpr std::size_t kDenseCells = std::size_t{1} << 20;
   if (m >= 64 && n * n <= kDenseCells && n * n <= 8 * m) {
+    record_build("dense", n, m);
     std::vector<double> value(n * n, 0.0);
     std::vector<std::uint8_t> seen(n * n, 0);
     std::vector<std::uint32_t> touched;
@@ -70,11 +94,13 @@ QuboModel QuboBuilder::build() {
   // O(m + n); the comparison sort remains as the fallback for sparse
   // streams where the O(n) count arrays would dominate.
   if (m >= 64 && n <= 4 * m) {
+    record_build("counting_sort", n, m);
     std::vector<Term> tmp(m);
     std::vector<std::size_t> count(n);
     counting_pass(terms_, tmp, count, 0);    // minor key: j
     counting_pass(tmp, terms_, count, 32);   // major key: i
   } else {
+    record_build("stable_sort", n, m);
     std::stable_sort(
         terms_.begin(), terms_.end(),
         [](const Term& a, const Term& b) { return a.key < b.key; });

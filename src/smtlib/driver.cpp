@@ -6,9 +6,31 @@
 #include "strenc/ascii7.hpp"
 #include "strqubo/solver.hpp"
 #include "strqubo/verify.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/require.hpp"
 
 namespace qsmt::smtlib {
+
+namespace {
+
+// One counter per verdict so a run's sat/unsat/unknown split shows up in the
+// summary table without post-processing.
+void record_verdict(CheckSatStatus status) {
+  if (!telemetry::enabled()) return;
+  switch (status) {
+    case CheckSatStatus::kSat:
+      telemetry::counter("smtlib.verdict.sat").add();
+      break;
+    case CheckSatStatus::kUnsat:
+      telemetry::counter("smtlib.verdict.unsat").add();
+      break;
+    case CheckSatStatus::kUnknown:
+      telemetry::counter("smtlib.verdict.unknown").add();
+      break;
+  }
+}
+
+}  // namespace
 
 std::string status_name(CheckSatStatus status) {
   switch (status) {
@@ -27,6 +49,8 @@ ConjunctionResult solve_conjunction(
     const anneal::Sampler& sampler, const strqubo::BuildOptions& options,
     const std::function<bool(const std::string&)>& accept) {
   ConjunctionResult result;
+  telemetry::Span span("smtlib.solve_conjunction");
+  span.arg("num_constraints", static_cast<double>(constraints.size()));
   if (constraints.empty()) {
     result.solved = !accept || accept(std::string());
     if (!result.solved) result.note = "empty witness rejected by filter";
@@ -57,6 +81,7 @@ ConjunctionResult solve_conjunction(
   // fresh range at the end of the merged model.
   qubo::QuboModel merged(string_bits);
   std::size_t aux_base = string_bits;
+  telemetry::Span merge_span("smtlib.merge_qubo");
   for (const auto& constraint : constraints) {
     const qubo::QuboModel part = strqubo::build(constraint, options);
     const std::size_t part_aux =
@@ -78,6 +103,11 @@ ConjunctionResult solve_conjunction(
     aux_base += part_aux;
   }
   result.num_qubo_variables = std::max(merged.num_variables(), string_bits);
+  merge_span.close();
+  if (telemetry::enabled()) {
+    telemetry::gauge("smtlib.qubo_variables")
+        .set(static_cast<double>(result.num_qubo_variables));
+  }
 
   const anneal::SampleSet samples = sampler.sample(merged);
   if (samples.empty()) {
@@ -86,6 +116,7 @@ ConjunctionResult solve_conjunction(
   }
   // Take the lowest-energy sample whose decoding satisfies every conjunct
   // (and the caller's acceptance filter, when given).
+  telemetry::Span verify_span("smtlib.verify");
   for (const auto& sample : samples) {
     const std::string value = strenc::decode_string(
         std::span(sample.bits).subspan(0, string_bits));
@@ -100,10 +131,16 @@ ConjunctionResult solve_conjunction(
     if (all_satisfied) {
       result.solved = true;
       result.value = value;
+      if (telemetry::enabled()) {
+        telemetry::counter("smtlib.conjunction.solved").add();
+      }
       return result;
     }
   }
   result.note = "no sample satisfied every conjunct";
+  if (telemetry::enabled()) {
+    telemetry::counter("smtlib.conjunction.unsolved").add();
+  }
   return result;
 }
 
@@ -119,7 +156,17 @@ void SmtDriver::reset() {
 
 CheckSatRecord SmtDriver::check_sat() {
   CheckSatRecord record;
+  telemetry::Span span("smtlib.check_sat");
+  telemetry::Span compile_span("smtlib.compile");
   const CompiledQuery query = compile_assertions(assertions_, declared_);
+  compile_span.close();
+  span.arg("num_assertions", static_cast<double>(assertions_.size()));
+  span.arg("num_constraints", static_cast<double>(query.constraints.size()));
+  if (telemetry::enabled()) {
+    telemetry::counter("smtlib.check_sat.calls").add();
+    telemetry::counter("smtlib.check_sat.constraints")
+        .add(static_cast<std::uint64_t>(query.constraints.size()));
+  }
   record.variable = query.variable;
   record.num_constraints = query.constraints.size();
   record.notes = query.unsupported;
@@ -129,15 +176,18 @@ CheckSatRecord SmtDriver::check_sat() {
     for (const auto& fact : query.falsified_ground) {
       record.notes.push_back("falsified: " + fact);
     }
+    record_verdict(record.status);
     return record;
   }
   if (!query.unsupported.empty()) {
     record.status = CheckSatStatus::kUnknown;
+    record_verdict(record.status);
     return record;
   }
   if (query.constraints.empty()) {
     // All assertions were ground and true (or there were none).
     record.status = CheckSatStatus::kSat;
+    record_verdict(record.status);
     return record;
   }
 
@@ -151,6 +201,7 @@ CheckSatRecord SmtDriver::check_sat() {
     record.status = CheckSatStatus::kUnknown;
     record.notes.push_back(solved.note);
   }
+  record_verdict(record.status);
   return record;
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
 #include "util/require.hpp"
 
 namespace qsmt::smtlib {
@@ -132,10 +133,13 @@ Command parse_command(const SExpr& expr) {
 }
 
 std::vector<Command> parse_script(std::string_view input) {
+  telemetry::Span span("smtlib.parse");
+  span.arg("bytes", static_cast<double>(input.size()));
   std::vector<Command> commands;
   for (const SExpr& expr : parse_sexprs(input)) {
     commands.push_back(parse_command(expr));
   }
+  span.arg("num_commands", static_cast<double>(commands.size()));
   return commands;
 }
 

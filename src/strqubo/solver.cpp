@@ -5,11 +5,23 @@
 #include "strenc/ascii7.hpp"
 #include "strqubo/verify.hpp"
 #include "anneal/simulated_annealer.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
 namespace qsmt::strqubo {
+
+namespace {
+
+void record_solve_verdict(bool satisfied) {
+  if (!telemetry::enabled()) return;
+  telemetry::counter(satisfied ? "strqubo.solve.satisfied"
+                               : "strqubo.solve.unsatisfied")
+      .add();
+}
+
+}  // namespace
 
 StringConstraintSolver::StringConstraintSolver(const anneal::Sampler& sampler,
                                                BuildOptions options)
@@ -38,8 +50,10 @@ RetryResult solve_with_retries(const Constraint& constraint,
   // Every attempt re-samples the same QUBO at a doubled budget; build the
   // model and its CSR adjacency once and reuse them across attempts.
   Stopwatch build_timer;
+  telemetry::Span build_span("strqubo.build");
   const qubo::QuboModel model = build(constraint, options);
   const qubo::QuboAdjacency adjacency(model);
+  build_span.close();
   const double build_seconds = build_timer.elapsed_seconds();
 
   RetryResult retry;
@@ -54,10 +68,17 @@ RetryResult solve_with_retries(const Constraint& constraint,
     retry.result = solver.solve(constraint, model, adjacency);
     retry.final_sweeps = sweeps;
     ++retry.attempts;
+    if (telemetry::enabled()) {
+      telemetry::counter("strqubo.retry.attempts").add();
+    }
     if (retry.result.satisfied) break;
     sweeps *= 2;
   }
   retry.result.build_seconds = build_seconds;
+  if (telemetry::enabled()) {
+    telemetry::histogram("strqubo.retry.final_sweeps", telemetry::Unit::kCount)
+        .record(static_cast<double>(retry.final_sweeps));
+  }
   return retry;
 }
 
@@ -85,8 +106,10 @@ std::vector<std::string> enumerate_solutions(const Constraint& constraint,
 
 SolveResult StringConstraintSolver::solve(const Constraint& constraint) const {
   Stopwatch build_timer;
+  telemetry::Span build_span("strqubo.build");
   const qubo::QuboModel model = build(constraint, options_);
   const qubo::QuboAdjacency adjacency(model);
+  build_span.close();
   const double build_seconds = build_timer.elapsed_seconds();
 
   SolveResult result = solve(constraint, model, adjacency);
@@ -102,12 +125,18 @@ SolveResult StringConstraintSolver::solve(
   result.num_interactions = model.num_interactions();
 
   Stopwatch sample_timer;
-  result.samples = sampler_->supports_adjacency_sampling()
-                       ? sampler_->sample(adjacency)
-                       : sampler_->sample(model);
+  {
+    telemetry::Span sample_span("strqubo.sample");
+    sample_span.arg("num_variables",
+                    static_cast<double>(result.num_variables));
+    result.samples = sampler_->supports_adjacency_sampling()
+                         ? sampler_->sample(adjacency)
+                         : sampler_->sample(model);
+  }
   result.sample_seconds = sample_timer.elapsed_seconds();
   require(!result.samples.empty(),
           "StringConstraintSolver::solve: sampler returned no samples");
+  telemetry::Span verify_span("strqubo.verify");
 
   // Decode the best-energy sample first; when several states tie at the
   // bottom of the landscape (common for class encodings), fall through the
@@ -127,6 +156,7 @@ SolveResult StringConstraintSolver::solve(
         result.satisfied = true;
       }
     }
+    record_solve_verdict(result.satisfied);
     return result;
   }
 
@@ -151,6 +181,7 @@ SolveResult StringConstraintSolver::solve(
       result.satisfied = true;
     }
   }
+  record_solve_verdict(result.satisfied);
   return result;
 }
 

@@ -1,0 +1,193 @@
+#include "telemetry/sink.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace qsmt::telemetry {
+
+namespace {
+
+// Metric names are dotted identifiers we mint ourselves, but escape anyway
+// so a hostile name cannot break the JSON framing.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// JSON has no Infinity/NaN literals; clamp them to null.
+void write_number(std::ostream& out, double v) {
+  if (std::isfinite(v)) {
+    out << v;
+  } else {
+    out << "null";
+  }
+}
+
+std::string format_value(double v, Unit unit) {
+  std::ostringstream out;
+  if (unit == Unit::kSeconds) {
+    if (v < 1e-3) {
+      out << std::fixed << std::setprecision(1) << v * 1e6 << " us";
+    } else if (v < 1.0) {
+      out << std::fixed << std::setprecision(2) << v * 1e3 << " ms";
+    } else {
+      out << std::fixed << std::setprecision(3) << v << " s";
+    }
+  } else {
+    out << std::setprecision(6) << v;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+void JsonLinesSink::write(const Snapshot& snapshot) {
+  std::ostream& out = *out_;
+  out << std::setprecision(17);
+  for (const auto& c : snapshot.counters) {
+    if (c.value == 0) continue;
+    out << "{\"kind\":\"counter\",\"name\":\"" << json_escape(c.name)
+        << "\",\"unit\":\"" << unit_name(c.unit) << "\",\"value\":" << c.value
+        << "}\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    if (!g.set) continue;
+    out << "{\"kind\":\"gauge\",\"name\":\"" << json_escape(g.name)
+        << "\",\"unit\":\"" << unit_name(g.unit) << "\",\"value\":";
+    write_number(out, g.value);
+    out << "}\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    if (h.count == 0) continue;
+    out << "{\"kind\":\"histogram\",\"name\":\"" << json_escape(h.name)
+        << "\",\"unit\":\"" << unit_name(h.unit)
+        << "\",\"count\":" << h.count << ",\"sum\":";
+    write_number(out, h.sum);
+    out << ",\"min\":";
+    write_number(out, h.min);
+    out << ",\"max\":";
+    write_number(out, h.max);
+    out << ",\"mean\":";
+    write_number(out, h.mean());
+    out << ",\"p50\":";
+    write_number(out, h.quantile(0.5));
+    out << ",\"p99\":";
+    write_number(out, h.quantile(0.99));
+    out << "}\n";
+  }
+}
+
+void TableSink::write(const Snapshot& snapshot) {
+  std::ostream& out = *out_;
+
+  std::size_t width = 0;
+  for (const auto& c : snapshot.counters) {
+    if (c.value != 0) width = std::max(width, c.name.size());
+  }
+  for (const auto& g : snapshot.gauges) {
+    if (g.set) width = std::max(width, g.name.size());
+  }
+  for (const auto& h : snapshot.histograms) {
+    if (h.count != 0) width = std::max(width, h.name.size());
+  }
+  if (width == 0) return;  // Nothing recorded: emit nothing.
+
+  bool header = false;
+  for (const auto& c : snapshot.counters) {
+    if (c.value == 0) continue;
+    if (!header) {
+      out << "counters:\n";
+      header = true;
+    }
+    out << "  " << std::left << std::setw(static_cast<int>(width)) << c.name
+        << "  " << c.value << '\n';
+  }
+  header = false;
+  for (const auto& g : snapshot.gauges) {
+    if (!g.set) continue;
+    if (!header) {
+      out << "gauges:\n";
+      header = true;
+    }
+    out << "  " << std::left << std::setw(static_cast<int>(width)) << g.name
+        << "  " << format_value(g.value, g.unit) << '\n';
+  }
+  header = false;
+  for (const auto& h : snapshot.histograms) {
+    if (h.count == 0) continue;
+    if (!header) {
+      out << "histograms:\n";
+      out << "  " << std::left << std::setw(static_cast<int>(width)) << ""
+          << "  " << std::right << std::setw(9) << "count" << "  "
+          << std::setw(10) << "mean" << "  " << std::setw(10) << "min"
+          << "  " << std::setw(10) << "p50" << "  " << std::setw(10) << "max"
+          << '\n';
+      header = true;
+    }
+    out << "  " << std::left << std::setw(static_cast<int>(width)) << h.name
+        << "  " << std::right << std::setw(9) << h.count << "  "
+        << std::setw(10) << format_value(h.mean(), h.unit) << "  "
+        << std::setw(10) << format_value(h.min, h.unit) << "  "
+        << std::setw(10) << format_value(h.quantile(0.5), h.unit) << "  "
+        << std::setw(10) << format_value(h.max, h.unit) << '\n';
+  }
+}
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events) {
+  out << std::setprecision(17);
+  out << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out << ',';
+    out << "\n{\"name\":\"" << json_escape(e.name)
+        << "\",\"cat\":\"qsmt\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+        << ",\"ts\":";
+    write_number(out, e.ts_us);
+    out << ",\"dur\":";
+    write_number(out, e.dur_us);
+    if (!e.args.empty()) {
+      out << ",\"args\":{";
+      for (std::size_t a = 0; a < e.args.size(); ++a) {
+        if (a > 0) out << ',';
+        out << '"' << json_escape(e.args[a].first) << "\":";
+        write_number(out, e.args[a].second);
+      }
+      out << '}';
+    }
+    out << '}';
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace qsmt::telemetry

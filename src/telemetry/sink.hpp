@@ -1,0 +1,53 @@
+// Telemetry exporters: the TelemetrySink interface, a JSON-lines sink for
+// machine consumption, a human-readable table sink for terminals, and the
+// Chrome trace_event writer for span buffers.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
+
+namespace qsmt::telemetry {
+
+/// Consumes a metrics snapshot. Implementations decide formatting and
+/// destination; all shipped sinks skip metrics that never recorded data,
+/// so a fully idle registry emits nothing.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void write(const Snapshot& snapshot) = 0;
+};
+
+/// One JSON object per metric per line, e.g.
+///   {"kind":"counter","name":"engine.verdict.sat","value":3}
+///   {"kind":"histogram","name":"anneal.read.flips","count":64,...}
+class JsonLinesSink final : public TelemetrySink {
+ public:
+  /// `out` must outlive the sink.
+  explicit JsonLinesSink(std::ostream& out) : out_(&out) {}
+  void write(const Snapshot& snapshot) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Aligned, unit-annotated table grouped by metric kind — what
+/// QSMT_TELEMETRY=summary prints on process exit.
+class TableSink final : public TelemetrySink {
+ public:
+  /// `out` must outlive the sink.
+  explicit TableSink(std::ostream& out) : out_(&out) {}
+  void write(const Snapshot& snapshot) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Writes a Chrome trace_event JSON document ({"traceEvents": [...]}) that
+/// chrome://tracing and Perfetto load directly.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events);
+
+}  // namespace qsmt::telemetry

@@ -1,0 +1,91 @@
+#include "telemetry/span.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "telemetry/telemetry.hpp"
+
+namespace qsmt::telemetry {
+
+namespace {
+
+std::mutex g_trace_mutex;
+std::vector<TraceEvent>& trace_buffer() {
+  static auto* buffer = new std::vector<TraceEvent>();
+  return *buffer;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::atomic<std::uint32_t> g_next_thread_id{0};
+
+}  // namespace
+
+std::uint32_t current_thread_id() {
+  thread_local const std::uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+double trace_now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+void add_trace_event(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(g_trace_mutex);
+  trace_buffer().push_back(std::move(event));
+}
+
+std::vector<TraceEvent> trace_events() {
+  const std::lock_guard<std::mutex> lock(g_trace_mutex);
+  return trace_buffer();
+}
+
+void clear_trace_events() {
+  const std::lock_guard<std::mutex> lock(g_trace_mutex);
+  trace_buffer().clear();
+}
+
+Span::Span(std::string_view name) {
+  const Mode m = mode();
+  if (m == Mode::kOff) return;
+  active_ = true;
+  trace_ = m == Mode::kTrace;
+  name_.assign(name);
+  start_ = std::chrono::steady_clock::now();
+}
+
+void Span::arg(std::string_view key, double value) {
+  if (!trace_) return;
+  args_.emplace_back(std::string(key), value);
+}
+
+void Span::close() {
+  if (!active_) return;
+  active_ = false;
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration<double>(end - start_).count();
+  registry().histogram(name_ + ".seconds", Unit::kSeconds).record(seconds);
+  if (trace_) {
+    TraceEvent event;
+    event.name = std::move(name_);
+    event.tid = current_thread_id();
+    event.dur_us = seconds * 1e6;
+    event.ts_us = std::chrono::duration<double, std::micro>(start_ -
+                                                            trace_epoch())
+                      .count();
+    event.args = std::move(args_);
+    add_trace_event(std::move(event));
+  }
+}
+
+Span::~Span() { close(); }
+
+}  // namespace qsmt::telemetry

@@ -1,0 +1,80 @@
+// RAII trace spans and the global trace-event buffer.
+//
+// A Span marks one stage of the solve path (parse, compile, QUBO merge,
+// sample, verify, ...). Construction checks the global telemetry mode once:
+//
+//  - off:     the span is inert (one relaxed load + branch, no clock read).
+//  - summary: the span's duration feeds the histogram "<name>.seconds" in
+//             the global registry, so per-stage timing shows up in the
+//             summary table.
+//  - trace:   additionally, a Chrome trace_event "complete" event (ph "X")
+//             is appended to the process trace buffer, with any arg()s
+//             attached. Load the exported file in chrome://tracing or
+//             https://ui.perfetto.dev (docs/telemetry.md walks through it).
+//
+// Events are appended at span end under a global mutex — span frequency is
+// per-stage, not per-sweep, so contention is irrelevant; the metrics hot
+// path stays on the lock-free registry shards.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qsmt::telemetry {
+
+/// One completed Chrome trace_event (ph "X") in microseconds since the
+/// process trace epoch (first telemetry use).
+struct TraceEvent {
+  std::string name;
+  std::uint32_t tid = 0;  ///< Small per-thread sequence id, not the OS tid.
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::vector<std::pair<std::string, double>> args;
+};
+
+/// Small stable id for the calling thread (0, 1, 2, ... in first-use order).
+std::uint32_t current_thread_id();
+
+/// Microseconds since the process trace epoch.
+double trace_now_us();
+
+/// Appends an event to the process trace buffer (thread-safe). Used by Span
+/// and by instrumentation that synthesises events without RAII timing (the
+/// annealer's per-read trajectory).
+void add_trace_event(TraceEvent event);
+
+/// Copies the buffered events (in completion order).
+std::vector<TraceEvent> trace_events();
+
+/// Discards all buffered events.
+void clear_trace_events();
+
+class Span {
+ public:
+  /// `name` should be a stable dotted identifier ("smtlib.compile"); it is
+  /// copied only when telemetry is on.
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a numeric argument to the trace event (kept only in trace
+  /// mode; ignored otherwise).
+  void arg(std::string_view key, double value);
+
+  /// Ends the span now (idempotent; the destructor becomes a no-op).
+  void close();
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> args_;
+  std::chrono::steady_clock::time_point start_;
+  bool active_ = false;
+  bool trace_ = false;
+};
+
+}  // namespace qsmt::telemetry

@@ -1,0 +1,128 @@
+#include "telemetry/telemetry.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string_view>
+
+#include "telemetry/sink.hpp"
+
+namespace qsmt::telemetry {
+
+namespace {
+
+std::atomic<int> g_mode{-1};  // -1 = not yet initialised from the env.
+
+void report_at_exit() {
+  const auto m = static_cast<Mode>(g_mode.load(std::memory_order_acquire));
+  if (m == Mode::kOff) return;
+  if (m == Mode::kTrace) {
+    const char* path = std::getenv("QSMT_TRACE_FILE");
+    write_trace_file(path != nullptr && *path != '\0' ? path
+                                                      : "qsmt_trace.json");
+  }
+  const Snapshot snapshot = registry().snapshot();
+  if (snapshot.empty()) return;
+  std::cerr << "=== qsmt telemetry (" << mode_name(m) << ") ===\n";
+  TableSink(std::cerr).write(snapshot);
+}
+
+Mode parse_mode_env() {
+  const char* env = std::getenv("QSMT_TELEMETRY");
+  if (env == nullptr) return Mode::kOff;
+  const std::string_view value(env);
+  if (value.empty() || value == "off" || value == "0") return Mode::kOff;
+  if (value == "summary") return Mode::kSummary;
+  if (value == "trace") return Mode::kTrace;
+  std::cerr << "qsmt: unknown QSMT_TELEMETRY value '" << value
+            << "' (want off|summary|trace); telemetry stays off\n";
+  return Mode::kOff;
+}
+
+void init_mode_once() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    const Mode m = parse_mode_env();
+    g_mode.store(static_cast<int>(m), std::memory_order_release);
+    registry().set_enabled(m != Mode::kOff);
+    if (m != Mode::kOff) std::atexit(report_at_exit);
+  });
+}
+
+}  // namespace
+
+const char* mode_name(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::kOff:
+      return "off";
+    case Mode::kSummary:
+      return "summary";
+    case Mode::kTrace:
+      return "trace";
+  }
+  return "off";
+}
+
+Mode mode() noexcept {
+  const int m = g_mode.load(std::memory_order_acquire);
+  if (m >= 0) return static_cast<Mode>(m);
+  init_mode_once();
+  return static_cast<Mode>(g_mode.load(std::memory_order_acquire));
+}
+
+void set_mode(Mode m) noexcept {
+  init_mode_once();
+  g_mode.store(static_cast<int>(m), std::memory_order_release);
+  registry().set_enabled(m != Mode::kOff);
+}
+
+Registry& registry() {
+  // Leaked on purpose: instrumentation may fire from worker threads and
+  // atexit handlers after static destructors would have run. Starts
+  // disabled; the mode initialisation (or set_mode) opens the gate, so a
+  // record racing ahead of the first mode() read is dropped, never leaked.
+  static auto* instance = [] {
+    auto* r = new Registry();
+    r->set_enabled(false);
+    return r;
+  }();
+  return *instance;
+}
+
+Counter counter(std::string_view name, Unit unit) {
+  mode();  // Ensure the enable gate reflects QSMT_TELEMETRY.
+  return registry().counter(name, unit);
+}
+
+Gauge gauge(std::string_view name, Unit unit) {
+  mode();
+  return registry().gauge(name, unit);
+}
+
+Histogram histogram(std::string_view name, Unit unit) {
+  mode();
+  return registry().histogram(name, unit);
+}
+
+void report(std::ostream& out) { TableSink(out).write(registry().snapshot()); }
+
+bool write_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "qsmt: cannot write trace file '" << path << "'\n";
+    return false;
+  }
+  write_chrome_trace(out, trace_events());
+  std::cerr << "qsmt: wrote Chrome trace to " << path
+            << " (load in chrome://tracing or ui.perfetto.dev)\n";
+  return true;
+}
+
+void reset() {
+  registry().reset();
+  clear_trace_events();
+}
+
+}  // namespace qsmt::telemetry

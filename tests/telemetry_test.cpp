@@ -1,0 +1,230 @@
+// qsmt::telemetry — registry merge semantics, span export, mode gating,
+// and the engine-level contract that a solve emits the metric names
+// documented in docs/telemetry.md.
+//
+// These tests mutate the process-global telemetry mode; gtest_discover_tests
+// runs every TEST in its own process, so they cannot interfere with each
+// other or with other suites.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "anneal/simulated_annealer.hpp"
+#include "engine/engine.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace qsmt::telemetry {
+namespace {
+
+TEST(Registry, CounterMergesAcrossConcurrentWriters) {
+  Registry registry;
+  const Counter hits = registry.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&hits] {
+      for (int i = 0; i < kAddsPerThread; ++i) hits.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const Snapshot snapshot = registry.snapshot();
+  const CounterStat* stat = snapshot.counter("hits");
+  ASSERT_NE(stat, nullptr);
+  EXPECT_EQ(stat->value,
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(Registry, HistogramMergesAcrossConcurrentWriters) {
+  Registry registry;
+  const Histogram latency = registry.histogram("latency", Unit::kSeconds);
+  constexpr int kThreads = 6;
+  constexpr int kRecordsPerThread = 5000;
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&latency, t] {
+      // Thread t records the constant t+1, so count/sum/min/max of the
+      // merged histogram are all exactly predictable.
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        latency.record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const Snapshot snapshot = registry.snapshot();
+  const HistogramStat* stat = snapshot.histogram("latency");
+  ASSERT_NE(stat, nullptr);
+  EXPECT_EQ(stat->count,
+            static_cast<std::uint64_t>(kThreads) * kRecordsPerThread);
+  double expected_sum = 0.0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum += static_cast<double>(t + 1) * kRecordsPerThread;
+  }
+  EXPECT_DOUBLE_EQ(stat->sum, expected_sum);
+  EXPECT_DOUBLE_EQ(stat->min, 1.0);
+  EXPECT_DOUBLE_EQ(stat->max, static_cast<double>(kThreads));
+  EXPECT_DOUBLE_EQ(stat->mean(), expected_sum / stat->count);
+}
+
+TEST(Registry, GaugeIsLastWriteWinsAcrossThreads) {
+  Registry registry;
+  const Gauge level = registry.gauge("level");
+  level.set(1.0);
+  std::thread([&level] { level.set(2.0); }).join();
+  // The joined thread's set happened-after the first: its sequence number
+  // is higher, so the merge must pick it even though the writes live in
+  // different shards.
+  const GaugeStat* stat = registry.snapshot().gauge("level");
+  ASSERT_NE(stat, nullptr);
+  EXPECT_TRUE(stat->set);
+  EXPECT_DOUBLE_EQ(stat->value, 2.0);
+}
+
+TEST(Registry, ResetClearsValuesButKeepsNames) {
+  Registry registry;
+  registry.counter("c").add(7);
+  registry.histogram("h").record(3.0);
+  registry.reset();
+  const Snapshot snapshot = registry.snapshot();
+  ASSERT_NE(snapshot.counter("c"), nullptr);
+  EXPECT_EQ(snapshot.counter("c")->value, 0u);
+  ASSERT_NE(snapshot.histogram("h"), nullptr);
+  EXPECT_EQ(snapshot.histogram("h")->count, 0u);
+  EXPECT_TRUE(snapshot.empty());
+}
+
+TEST(Registry, DisabledRegistryDropsWrites) {
+  Registry registry;
+  const Counter c = registry.counter("c");
+  registry.set_enabled(false);
+  c.add();
+  registry.set_enabled(true);
+  c.add();
+  EXPECT_EQ(registry.snapshot().counter("c")->value, 1u);
+}
+
+TEST(Span, NestedSpansExportOrderedTraceEvents) {
+  set_mode(Mode::kTrace);
+  reset();
+  {
+    Span outer("outer");
+    outer.arg("depth", 0.0);
+    {
+      Span inner("inner");
+      inner.arg("depth", 1.0);
+    }
+  }
+  const std::vector<TraceEvent> events = trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  // Completion order: the inner span closes first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  // Proper nesting: outer starts no later and ends no earlier than inner.
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+  EXPECT_GE(events[1].ts_us + events[1].dur_us,
+            events[0].ts_us + events[0].dur_us);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "depth");
+  EXPECT_DOUBLE_EQ(events[0].args[0].second, 1.0);
+
+  // The same spans land in the summary histograms.
+  const Snapshot snapshot = registry().snapshot();
+  ASSERT_NE(snapshot.histogram("outer.seconds"), nullptr);
+  EXPECT_EQ(snapshot.histogram("outer.seconds")->count, 1u);
+  EXPECT_EQ(snapshot.histogram("inner.seconds")->count, 1u);
+}
+
+TEST(Span, ChromeTraceJsonIsWellFormed) {
+  set_mode(Mode::kTrace);
+  reset();
+  {
+    Span span("stage.alpha");
+    span.arg("k", 2.0);
+  }
+  std::ostringstream out;
+  write_chrome_trace(out, trace_events());
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"stage.alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"k\":2}"), std::string::npos);
+}
+
+TEST(Mode, OffEmitsNothing) {
+  set_mode(Mode::kOff);
+  reset();
+  counter("should.not.record").add();
+  histogram("also.not").record(1.0);
+  { Span span("silent.stage"); }
+  EXPECT_TRUE(registry().snapshot().empty());
+  EXPECT_TRUE(trace_events().empty());
+  std::ostringstream out;
+  report(out);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(Mode, SummaryRecordsMetricsButNoTraceEvents) {
+  set_mode(Mode::kSummary);
+  reset();
+  counter("recorded").add();
+  { Span span("timed.stage"); }
+  const Snapshot snapshot = registry().snapshot();
+  EXPECT_EQ(snapshot.counter("recorded")->value, 1u);
+  ASSERT_NE(snapshot.histogram("timed.stage.seconds"), nullptr);
+  EXPECT_EQ(snapshot.histogram("timed.stage.seconds")->count, 1u);
+  EXPECT_TRUE(trace_events().empty());
+}
+
+// End-to-end contract with docs/telemetry.md: a real solve through the
+// engine emits the documented per-stage and anneal metric names.
+TEST(EngineTelemetry, PalindromeSolveEmitsDocumentedMetrics) {
+  set_mode(Mode::kSummary);
+  reset();
+
+  anneal::SimulatedAnnealerParams params;
+  params.num_reads = 32;
+  params.num_sweeps = 256;
+  params.seed = 7;
+  const anneal::SimulatedAnnealer annealer(params);
+  const engine::ScriptResult result = engine::solve_script(
+      "(declare-const x String)"
+      "(assert (= (str.len x) 2))"
+      "(assert (qsmt.is_palindrome x))"
+      "(check-sat)",
+      annealer);
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kSat);
+
+  const Snapshot snapshot = registry().snapshot();
+  for (const char* name :
+       {"smtlib.parse.seconds", "smtlib.compile.seconds",
+        "smtlib.check_sat.seconds", "smtlib.merge_qubo.seconds",
+        "smtlib.verify.seconds", "qubo.build.seconds", "qubo.build.terms",
+        "anneal.sample.seconds", "anneal.read.flips", "anneal.read.sweeps",
+        "anneal.read.acceptance", "anneal.read.energy"}) {
+    const HistogramStat* h = snapshot.histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GT(h->count, 0u) << name;
+  }
+  for (const char* name :
+       {"engine.route.conjunctive", "engine.verdict.sat", "anneal.reads",
+        "smtlib.check_sat.calls", "smtlib.conjunction.solved"}) {
+    const CounterStat* c = snapshot.counter(name);
+    ASSERT_NE(c, nullptr) << name;
+    EXPECT_GT(c->value, 0u) << name;
+  }
+  const CounterStat* reads = snapshot.counter("anneal.reads");
+  EXPECT_EQ(reads->value, params.num_reads);
+}
+
+}  // namespace
+}  // namespace qsmt::telemetry
