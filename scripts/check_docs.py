@@ -14,6 +14,10 @@ docs/*.md, plus any root-level markdown they link to):
    name in docs/FORMULATIONS.md, so the derivation catalog cannot
    silently fall behind the API.
 
+3. Service coverage: every public class/struct and free function declared
+   in src/service/*.hpp must appear by name in docs/ARCHITECTURE.md, so
+   the serving-layer docs cannot silently fall behind the API.
+
 Exits non-zero with one line per problem.
 """
 
@@ -29,6 +33,12 @@ LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
 BUILDER_RE = re.compile(r"qubo::QuboModel\s+(build_\w+)\s*\(")
+# Public service API surface: top-level types, and free functions declared
+# at column 0 (member functions are indented and thus excluded).
+SERVICE_TYPE_RE = re.compile(r"^(?:class|struct)\s+(\w+)", re.MULTILINE)
+SERVICE_FUNC_RE = re.compile(
+    r"^[A-Za-z_][\w:<>, ]*\s+(\w+)\s*\(", re.MULTILINE
+)
 
 
 def github_slug(heading: str) -> str:
@@ -72,8 +82,22 @@ def check_formulation_coverage() -> list:
     ]
 
 
+def check_service_coverage() -> list:
+    doc = (REPO / "docs/ARCHITECTURE.md").read_text(encoding="utf-8")
+    names = set()
+    for header in sorted((REPO / "src/service").glob("*.hpp")):
+        body = header.read_text(encoding="utf-8")
+        names.update(SERVICE_TYPE_RE.findall(body))
+        names.update(SERVICE_FUNC_RE.findall(body))
+    return [
+        f"docs/ARCHITECTURE.md: service API `{name}` is undocumented"
+        for name in sorted(names)
+        if name not in doc
+    ]
+
+
 def main() -> int:
-    errors = check_links() + check_formulation_coverage()
+    errors = check_links() + check_formulation_coverage() + check_service_coverage()
     for err in errors:
         print(f"check_docs: {err}", file=sys.stderr)
     names = ", ".join(str(d.relative_to(REPO)) for d in DOC_FILES)

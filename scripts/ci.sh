@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI driver: full build + test, then sanitizer builds over the anneal/qubo
-# hot-path subset (the code the annealing overhaul touches most).
+# CI driver: build, then the labelled test-stage matrix (tier1 -> stress ->
+# fuzz; see tests/CMakeLists.txt for what each label covers), then sanitizer
+# builds over the concurrency + anneal/qubo hot-path subset.
 #
 # Usage: scripts/ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -12,10 +13,16 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 skip_sanitizers=0
 [[ "${1:-}" == "--skip-sanitizers" ]] && skip_sanitizers=1
 
-echo "=== build + full test suite (build/) ==="
+echo "=== build (build/) ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}"
-ctest --test-dir build --output-on-failure -j "${jobs}"
+
+# Stage matrix: fast per-module suites gate first, then the service
+# concurrency stress, then differential fuzzing vs the classical baseline.
+for label in tier1 stress fuzz; do
+  echo "=== tests: ctest -L ${label} ==="
+  ctest --test-dir build -L "${label}" --output-on-failure -j "${jobs}"
+done
 
 echo "=== docs consistency (links + formulation coverage) ==="
 python3 scripts/check_docs.py
@@ -25,11 +32,14 @@ if [[ "${skip_sanitizers}" == "1" ]]; then
   exit 0
 fi
 
-# Hot-path test subset for the (slower) sanitizer builds. The binaries run
-# directly (rather than via ctest) so the subset is exact regardless of
-# which gtest case names discovery registered.
+# Test subset for the (slower) sanitizer builds: the anneal/qubo hot path
+# plus the service worker pool — the threaded cancellation/racing schedules
+# are exactly what ASan/UBSan should see. The binaries run directly (rather
+# than via ctest) so the subset is exact regardless of which gtest case
+# names discovery registered.
 subset=(annealer_test hotpath_test qubo_builder_test qubo_model_test
-        adjacency_test sample_set_test schedule_test builders_test)
+        adjacency_test sample_set_test schedule_test builders_test
+        service_test)
 
 for san in address undefined; do
   echo "=== ${san} sanitizer build (build-${san}/) ==="

@@ -97,6 +97,8 @@ SampleSet PathIntegralAnnealer::sample(const qubo::QuboModel& model) const {
 
   const std::size_t reads = params_.num_reads;
   std::vector<Sample> results(reads);
+  const CancelToken* cancel =
+      params_.cancel.cancellable() ? &params_.cancel : nullptr;
 
 #pragma omp parallel for schedule(dynamic)
   for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(reads); ++r) {
@@ -119,6 +121,9 @@ SampleSet PathIntegralAnnealer::sample(const qubo::QuboModel& model) const {
     };
 
     for (double gamma : gammas) {
+      // Polled once per Γ step; the Trotter slices are consistent between
+      // steps and `best_bits_spins` holds the best slice seen so far.
+      if (cancel && cancel->cancelled()) break;
       const double j_perp = trotter_coupling(gamma, slices, params_.temperature);
       // Local single-spin moves across all slices.
       for (std::size_t k = 0; k < slices; ++k) {
@@ -153,7 +158,9 @@ SampleSet PathIntegralAnnealer::sample(const qubo::QuboModel& model) const {
     }
 
     std::vector<std::uint8_t> bits = qubo::spins_to_bits(best_bits_spins);
-    if (params_.polish_with_greedy) detail::greedy_descend(qubo_adjacency, bits);
+    if (params_.polish_with_greedy && !(cancel && cancel->cancelled())) {
+      detail::greedy_descend(qubo_adjacency, bits);
+    }
     auto& out = results[static_cast<std::size_t>(r)];
     out.energy = qubo_adjacency.energy(bits);
     out.bits = std::move(bits);

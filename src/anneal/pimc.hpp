@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "anneal/sampler.hpp"
+#include "util/cancel.hpp"
 
 namespace qsmt::anneal {
 
@@ -33,6 +34,9 @@ struct PathIntegralParams {
   double gamma_cold = 1e-3;       ///< Final transverse field.
   std::uint64_t seed = 0;
   bool polish_with_greedy = true; ///< Quench the winning slice classically.
+  /// Cooperative cancellation, polled once per Γ step. See
+  /// SimulatedAnnealerParams::cancel for the contract.
+  CancelToken cancel;
 };
 
 class PathIntegralAnnealer final : public Sampler {

@@ -23,7 +23,8 @@ namespace detail {
 
 std::size_t anneal_read(const qubo::QuboAdjacency& adjacency,
                         std::span<const double> betas, Xoshiro256& rng,
-                        AnnealContext& ctx, bool allow_early_exit) {
+                        AnnealContext& ctx, bool allow_early_exit,
+                        const CancelToken* cancel) {
   const std::size_t n = adjacency.num_variables();
   auto& bits = ctx.bits;
   auto& field = ctx.field;
@@ -47,6 +48,10 @@ std::size_t anneal_read(const qubo::QuboAdjacency& adjacency,
   std::size_t executed = 0;
   bool exited_early = false;
   for (std::size_t s = 0; s < betas.size(); ++s) {
+    // Cooperative cancellation rides the same per-sweep plumbing as the
+    // zero-flip exit: between sweeps the state is consistent, so a
+    // cancelled read simply returns what it has annealed so far.
+    if (cancel && cancel->cancelled()) break;
     ++executed;
     const double beta = betas[s];
     // Bulk uniforms up front (the generation loop is branch-free and
@@ -160,6 +165,8 @@ SampleSet SimulatedAnnealer::sample(
 
   const std::size_t reads = params_.num_reads;
   std::vector<Sample> results(reads);
+  const CancelToken* cancel =
+      params_.cancel.cancellable() ? &params_.cancel : nullptr;
 
 #pragma omp parallel for schedule(dynamic)
   for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(reads); ++r) {
@@ -169,8 +176,15 @@ SampleSet SimulatedAnnealer::sample(
     Xoshiro256 rng(params_.seed, static_cast<std::uint64_t>(r));
     for (auto& b : ctx.bits) b = rng.coin() ? 1 : 0;
 
-    detail::anneal_read(adjacency, betas, rng, ctx, params_.early_exit);
-    if (params_.polish_with_greedy) {
+    // A cancelled run still fills every slot (SampleSet must stay
+    // well-formed), but pending reads return their random initial state and
+    // skip the polish — the caller asked us to stop spending cycles.
+    const bool cancelled_before_read = cancel && cancel->cancelled();
+    if (!cancelled_before_read) {
+      detail::anneal_read(adjacency, betas, rng, ctx, params_.early_exit,
+                          cancel);
+    }
+    if (params_.polish_with_greedy && !(cancel && cancel->cancelled())) {
       // ctx.field is current after the anneal, so the polish pass skips its
       // own field rebuild.
       detail::greedy_descend(adjacency, ctx.bits, ctx.field);

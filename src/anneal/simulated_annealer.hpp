@@ -39,6 +39,7 @@
 #include "anneal/sampler.hpp"
 #include "anneal/schedule.hpp"
 #include "qubo/adjacency.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace qsmt::anneal {
@@ -59,6 +60,13 @@ struct SimulatedAnnealerParams {
   /// optimization with greedy polish; turn off to keep full-length reads
   /// when sampling the Boltzmann distribution with an explicit β range.
   bool early_exit = true;
+  /// Cooperative cancellation: polled once per sweep (the same plumbing the
+  /// zero-flip early exit uses) and before each read starts. On
+  /// cancellation, in-flight reads stop after the current sweep and pending
+  /// reads return their initial states unannealed; sample() still returns a
+  /// well-formed (but low-quality) SampleSet, which callers like
+  /// qsmt::service discard. A default token never cancels.
+  CancelToken cancel;
 };
 
 class SimulatedAnnealer final : public Sampler {
@@ -86,11 +94,15 @@ namespace detail {
 /// exactly one uniform per variable per executed sweep. `allow_early_exit`
 /// arms the zero-flip exit, which fires only within the schedule's longest
 /// non-decreasing suffix (so non-monotone reverse schedules run their
-/// reheat regardless). Returns the number of accepted flips. Exposed for
-/// the embedded (hardware-simulation) sampler, the benches, and unit tests.
+/// reheat regardless). A non-null `cancel` token is polled once per sweep;
+/// when it reports cancellation the read stops after the sweep in progress
+/// (bits/fields stay consistent). Returns the number of accepted flips.
+/// Exposed for the embedded (hardware-simulation) sampler, the benches, and
+/// unit tests.
 std::size_t anneal_read(const qubo::QuboAdjacency& adjacency,
                         std::span<const double> betas, Xoshiro256& rng,
-                        AnnealContext& ctx, bool allow_early_exit = true);
+                        AnnealContext& ctx, bool allow_early_exit = true,
+                        const CancelToken* cancel = nullptr);
 
 /// Compatibility wrapper around the context kernel for callers that hold a
 /// bare bit vector; borrows the thread-local context's scratch buffers.

@@ -73,6 +73,8 @@ SampleSet ParallelTempering::sample(
 
   const std::size_t reads = params_.num_reads;
   std::vector<Sample> results(reads);
+  const CancelToken* cancel =
+      params_.cancel.cancellable() ? &params_.cancel : nullptr;
 
 #pragma omp parallel for schedule(dynamic)
   for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(reads); ++r) {
@@ -104,6 +106,10 @@ SampleSet ParallelTempering::sample(
 
     std::size_t read_flips = 0;
     for (std::size_t s = 0; s < params_.num_sweeps; ++s) {
+      // Cancellation is polled once per exchange round: the ladder is
+      // consistent between rounds, and `best_bits` already holds the best
+      // state seen, so a cancelled read returns it immediately.
+      if (cancel && cancel->cancelled()) break;
       for (std::size_t k = 0; k < ladder.size(); ++k) {
         read_flips += sweep(adjacency, ladder[k], betas[k], rng, ctx.uniforms);
         consider(ladder[k]);
@@ -119,7 +125,7 @@ SampleSet ParallelTempering::sample(
       }
     }
 
-    if (params_.polish_with_greedy) {
+    if (params_.polish_with_greedy && !(cancel && cancel->cancelled())) {
       detail::greedy_descend(adjacency, best_bits);
       best_energy = adjacency.energy(best_bits);
     }

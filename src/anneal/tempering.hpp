@@ -17,6 +17,7 @@
 
 #include "anneal/sampler.hpp"
 #include "anneal/schedule.hpp"
+#include "util/cancel.hpp"
 
 namespace qsmt::anneal {
 
@@ -29,6 +30,10 @@ struct ParallelTemperingParams {
   std::optional<double> beta_hot;
   std::optional<double> beta_cold;
   bool polish_with_greedy = true;
+  /// Cooperative cancellation, polled once per exchange round (i.e. per
+  /// ladder sweep) and before each read. See SimulatedAnnealerParams::cancel
+  /// for the contract.
+  CancelToken cancel;
 };
 
 class ParallelTempering final : public Sampler {

@@ -132,4 +132,16 @@ ScriptResult solve_script(const std::string& script,
   return result;
 }
 
+std::vector<ScriptResult> solve_scripts(const std::vector<std::string>& scripts,
+                                        const anneal::Sampler& sampler,
+                                        const strqubo::BuildOptions& options,
+                                        bool force_dpllt) {
+  std::vector<ScriptResult> results;
+  results.reserve(scripts.size());
+  for (const std::string& script : scripts) {
+    results.push_back(solve_script(script, sampler, options, force_dpllt));
+  }
+  return results;
+}
+
 }  // namespace qsmt::engine

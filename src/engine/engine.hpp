@@ -50,4 +50,15 @@ ScriptResult solve_script(const std::string& script,
                           const strqubo::BuildOptions& options = {},
                           bool force_dpllt = false);
 
+/// Batch entry point: solves every script in order with the same sampler and
+/// options, one blocking solve at a time. This is the sequential baseline
+/// the concurrent batching layer (qsmt::service::SolveService, and the
+/// bench/service_bench throughput comparison) is measured against; callers
+/// that want worker-pool parallelism, portfolio racing, deadlines, or
+/// cancellation use the service instead.
+std::vector<ScriptResult> solve_scripts(const std::vector<std::string>& scripts,
+                                        const anneal::Sampler& sampler,
+                                        const strqubo::BuildOptions& options = {},
+                                        bool force_dpllt = false);
+
 }  // namespace qsmt::engine

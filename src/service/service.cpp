@@ -1,0 +1,644 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+
+#include "engine/engine.hpp"
+#include "strqubo/solver.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace qsmt::service {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+// Exact structural key for the prepared-model cache. describe() is for
+// humans and may collide (or change); this enumerates every field of every
+// variant with unambiguous separators, so two constraints share a cache
+// entry iff they build the same QUBO under the service's fixed options.
+std::string cache_key(const strqubo::Constraint& constraint) {
+  std::ostringstream out;
+  const char sep = '\x1f';
+  std::visit(
+      Overloaded{
+          [&](const strqubo::Equality& c) { out << "eq" << sep << c.target; },
+          [&](const strqubo::Concat& c) {
+            out << "concat" << sep << c.lhs << sep << c.rhs;
+          },
+          [&](const strqubo::SubstringMatch& c) {
+            out << "substr" << sep << c.length << sep << c.substring;
+          },
+          [&](const strqubo::Includes& c) {
+            out << "includes" << sep << c.text << sep << c.substring;
+          },
+          [&](const strqubo::IndexOf& c) {
+            out << "indexof" << sep << c.length << sep << c.substring << sep
+                << c.index;
+          },
+          [&](const strqubo::Length& c) {
+            out << "length" << sep << c.string_length << sep
+                << c.desired_length;
+          },
+          [&](const strqubo::ReplaceAll& c) {
+            out << "replaceall" << sep << c.input << sep << c.from << sep
+                << c.to;
+          },
+          [&](const strqubo::Replace& c) {
+            out << "replace" << sep << c.input << sep << c.from << sep << c.to;
+          },
+          [&](const strqubo::Reverse& c) {
+            out << "reverse" << sep << c.input;
+          },
+          [&](const strqubo::Palindrome& c) {
+            out << "palindrome" << sep << c.length;
+          },
+          [&](const strqubo::RegexMatch& c) {
+            out << "regex" << sep << c.pattern << sep << c.length;
+          },
+          [&](const strqubo::CharAt& c) {
+            out << "charat" << sep << c.length << sep << c.index << sep << c.ch;
+          },
+          [&](const strqubo::NotContains& c) {
+            out << "notcontains" << sep << c.length << sep << c.substring;
+          },
+          [&](const strqubo::BoundedLength& c) {
+            out << "boundedlen" << sep << c.capacity << sep << c.min_length
+                << sep << c.max_length;
+          },
+      },
+      constraint);
+  return out.str();
+}
+
+}  // namespace
+
+PortfolioMember simulated_annealing_member(
+    std::string name, anneal::SimulatedAnnealerParams base) {
+  PortfolioMember member;
+  member.name = std::move(name);
+  member.make = [base](std::uint64_t seed,
+                       CancelToken cancel) -> std::unique_ptr<anneal::Sampler> {
+    anneal::SimulatedAnnealerParams params = base;
+    params.seed = seed;
+    params.cancel = std::move(cancel);
+    return std::make_unique<anneal::SimulatedAnnealer>(params);
+  };
+  return member;
+}
+
+PortfolioMember parallel_tempering_member(std::string name,
+                                          anneal::ParallelTemperingParams base) {
+  PortfolioMember member;
+  member.name = std::move(name);
+  member.make = [base](std::uint64_t seed,
+                       CancelToken cancel) -> std::unique_ptr<anneal::Sampler> {
+    anneal::ParallelTemperingParams params = base;
+    params.seed = seed;
+    params.cancel = std::move(cancel);
+    return std::make_unique<anneal::ParallelTempering>(params);
+  };
+  return member;
+}
+
+PortfolioMember path_integral_member(std::string name,
+                                     anneal::PathIntegralParams base) {
+  PortfolioMember member;
+  member.name = std::move(name);
+  member.make = [base](std::uint64_t seed,
+                       CancelToken cancel) -> std::unique_ptr<anneal::Sampler> {
+    anneal::PathIntegralParams params = base;
+    params.seed = seed;
+    params.cancel = std::move(cancel);
+    return std::make_unique<anneal::PathIntegralAnnealer>(params);
+  };
+  return member;
+}
+
+PortfolioMember embedded_member(std::string name, const graph::Graph& target,
+                                graph::EmbeddedSamplerParams base) {
+  PortfolioMember member;
+  member.name = std::move(name);
+  member.make = [base, &target](
+                    std::uint64_t seed,
+                    CancelToken cancel) -> std::unique_ptr<anneal::Sampler> {
+    graph::EmbeddedSamplerParams params = base;
+    params.anneal.seed = seed;
+    params.anneal.cancel = std::move(cancel);
+    return std::make_unique<graph::EmbeddedSampler>(target, params);
+  };
+  return member;
+}
+
+std::vector<PortfolioMember> default_portfolio() {
+  anneal::SimulatedAnnealerParams fast;
+  fast.num_reads = 16;
+  fast.num_sweeps = 64;
+  anneal::SimulatedAnnealerParams deep;
+  deep.num_reads = 64;
+  deep.num_sweeps = 512;
+  std::vector<PortfolioMember> portfolio;
+  portfolio.push_back(simulated_annealing_member("sa-fast", fast));
+  portfolio.push_back(simulated_annealing_member("sa-deep", deep));
+  return portfolio;
+}
+
+struct SolveService::Impl {
+  struct Job {
+    std::variant<strqubo::Constraint, std::string> payload;
+    JobOptions options;
+    SteadyClock::time_point enqueued;
+    bool has_deadline = false;
+    CancelSource cancel;
+    std::promise<JobResult> promise;
+    /// Owner election: the member (or shutdown path) that flips this from
+    /// false fills the result and fulfils the promise — nobody else touches
+    /// either afterwards.
+    std::atomic<bool> decided{false};
+    /// First member to pick the job up records the queue latency.
+    std::atomic<bool> started{false};
+    double queue_seconds = 0.0;
+    /// Countdown to the last loser, which must emit the kUnknown verdict.
+    std::atomic<std::size_t> members_left{0};
+    std::atomic<std::size_t> attempts{0};
+    std::atomic<std::size_t> cancelled_members{0};
+    /// Built once per job (all members share it) under build_once; on
+    /// failure build_error carries the message instead.
+    std::once_flag build_once;
+    std::shared_ptr<const strqubo::PreparedConstraint> prepared;
+    std::string build_error;
+  };
+
+  struct Task {
+    std::shared_ptr<Job> job;
+    std::size_t member = 0;
+  };
+
+  explicit Impl(ServiceOptions opts) : options(std::move(opts)) {
+    if (options.portfolio.empty()) options.portfolio = default_portfolio();
+    for (const PortfolioMember& member : options.portfolio) {
+      if (!member.make) {
+        throw std::invalid_argument(
+            "SolveService: portfolio member '" + member.name +
+            "' has no sampler factory");
+      }
+    }
+    if (options.num_workers == 0) {
+      options.num_workers =
+          std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    if (options.model_cache_capacity == 0) options.model_cache_capacity = 1;
+    workers.reserve(options.num_workers);
+    for (std::size_t i = 0; i < options.num_workers; ++i) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      stopping = true;
+    }
+    queue_cv.notify_all();
+    for (std::thread& worker : workers) worker.join();
+    // Whatever is still queued can no longer run; resolve every pending
+    // promise exactly once so no caller blocks on a dead service.
+    for (Task& task : queue) {
+      resolve_unrun(*task.job, "service stopped before solve");
+    }
+    queue.clear();
+  }
+
+  std::future<JobResult> enqueue(
+      std::variant<strqubo::Constraint, std::string> payload,
+      JobOptions job_options) {
+    auto job = std::make_shared<Job>();
+    job->payload = std::move(payload);
+    job->options = job_options;
+    job->enqueued = SteadyClock::now();
+    job->members_left.store(options.portfolio.size(),
+                            std::memory_order_relaxed);
+    std::chrono::nanoseconds deadline = job_options.deadline;
+    if (deadline.count() == 0) deadline = options.default_deadline;
+    if (deadline.count() != 0) {
+      job->has_deadline = true;
+      job->cancel.set_deadline_after(deadline);
+    }
+    std::future<JobResult> future = job->promise.get_future();
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      if (stopping) {
+        resolve_unrun(*job, "service stopped before solve");
+        return future;
+      }
+      // All member tasks adjacent: the portfolio race for one job starts
+      // as soon as workers free up, instead of interleaving with later
+      // jobs' members.
+      for (std::size_t m = 0; m < options.portfolio.size(); ++m) {
+        queue.push_back(Task{job, m});
+      }
+      publish_queue_depth_locked();
+    }
+    queue_cv.notify_all();
+    stats_submitted.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      telemetry::counter("service.jobs.submitted").add();
+    }
+    return future;
+  }
+
+  void worker_loop() {
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex);
+        queue_cv.wait(lock, [this] { return stopping || !queue.empty(); });
+        if (stopping) return;
+        task = std::move(queue.front());
+        queue.pop_front();
+        publish_queue_depth_locked();
+      }
+      run_member(*task.job, task.member);
+    }
+  }
+
+  void run_member(Job& job, std::size_t member_index) {
+    const PortfolioMember& member = options.portfolio[member_index];
+    const CancelToken token = job.cancel.token();
+
+    if (!job.started.exchange(true, std::memory_order_acq_rel)) {
+      job.queue_seconds =
+          std::chrono::duration<double>(SteadyClock::now() - job.enqueued)
+              .count();
+      if (telemetry::enabled()) {
+        telemetry::histogram("service.job.wait_seconds",
+                             telemetry::Unit::kSeconds)
+            .record(job.queue_seconds);
+      }
+    }
+
+    // Already cancelled before this member ran a single sweep: either a
+    // sibling won (count the cancellation) or the deadline expired while
+    // queued (this member may be the one that must emit the timeout).
+    if (token.cancelled()) {
+      if (job.decided.load(std::memory_order_acquire)) {
+        record_member_cancelled(job);
+        release_member(job);
+      } else {
+        finish_if_last(job, {});
+      }
+      return;
+    }
+
+    for (std::size_t attempt = 0; attempt <= options.max_verify_retries;
+         ++attempt) {
+      if (job.decided.load(std::memory_order_acquire) || token.cancelled()) {
+        break;
+      }
+      if (attempt > 0) {
+        stats_retries.fetch_add(1, std::memory_order_relaxed);
+        if (telemetry::enabled()) {
+          telemetry::counter("service.retry.attempts").add();
+        }
+      }
+      job.attempts.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t seed = mix_seed(
+          mix_seed(job.options.seed, member_index + 1), attempt + 1);
+      const std::unique_ptr<anneal::Sampler> sampler =
+          member.make(seed, token);
+
+      if (std::holds_alternative<strqubo::Constraint>(job.payload)) {
+        const strqubo::PreparedConstraint* prepared = prepare_job(job);
+        if (prepared == nullptr) {
+          // Build failed; the error is deterministic, so retrying or
+          // letting other members run the same build would only repeat it.
+          if (!claim_and_finish(job, [&](JobResult& result) {
+                result.notes.push_back("model build failed: " +
+                                       job.build_error);
+              })) {
+            release_member(job);
+          }
+          return;
+        }
+        const strqubo::StringConstraintSolver solver(*sampler, options.build);
+        const strqubo::SolveResult solved = solver.solve(*prepared);
+        if (solved.satisfied) {
+          if (claim_and_finish(job, [&](JobResult& result) {
+                result.status = smtlib::CheckSatStatus::kSat;
+                result.text = solved.text;
+                result.position = solved.position;
+                result.winner = member.name;
+                // Inside the claim so the increment is sequenced before the
+                // promise resolves — a caller snapshotting telemetry right
+                // after .get() must see this job's winner.
+                record_winner(member.name);
+              })) {
+            return;
+          }
+          break;  // Sibling won between our solve and the claim.
+        }
+        // Decoded model failed verification: loop for a reseeded attempt.
+      } else {
+        const std::string& script = std::get<std::string>(job.payload);
+        engine::ScriptResult solved;
+        try {
+          solved = engine::solve_script(script, *sampler, options.build);
+        } catch (const std::invalid_argument& error) {
+          if (!claim_and_finish(job, [&, message = std::string(error.what())](
+                                         JobResult& result) {
+                result.notes.push_back("parse error: " + message);
+              })) {
+            release_member(job);
+          }
+          return;
+        }
+        if (solved.status != smtlib::CheckSatStatus::kUnknown) {
+          if (claim_and_finish(job, [&](JobResult& result) {
+                result.status = solved.status;
+                result.variable = solved.variable;
+                result.model_value = solved.model_value;
+                result.notes = solved.notes;
+                result.winner = member.name;
+                record_winner(member.name);
+              })) {
+            return;
+          }
+          break;
+        }
+        // kUnknown from a complete run: loop for a reseeded attempt.
+      }
+    }
+
+    // This member lost: a sibling decided, the deadline expired mid-solve,
+    // or every reseeded attempt came back unverified.
+    if (token.cancelled() && job.decided.load(std::memory_order_acquire)) {
+      record_member_cancelled(job);
+    }
+    finish_if_last(job, {});
+  }
+
+  /// Builds (or fetches from the cache) the job's PreparedConstraint.
+  /// Returns nullptr when the build threw; job.build_error has the message.
+  const strqubo::PreparedConstraint* prepare_job(Job& job) {
+    std::call_once(job.build_once, [&] {
+      const auto& constraint = std::get<strqubo::Constraint>(job.payload);
+      const std::string key = cache_key(constraint);
+      {
+        std::lock_guard<std::mutex> lock(cache_mutex);
+        auto it = cache.find(key);
+        if (it != cache.end()) {
+          job.prepared = it->second->prepared;
+          cache_lru.splice(cache_lru.begin(), cache_lru, it->second);
+          stats_cache_hits.fetch_add(1, std::memory_order_relaxed);
+          if (telemetry::enabled()) {
+            telemetry::counter("service.model_cache.hits").add();
+          }
+          return;
+        }
+      }
+      stats_cache_misses.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::enabled()) {
+        telemetry::counter("service.model_cache.misses").add();
+      }
+      try {
+        // Build outside the cache lock: builds dominate and would serialise
+        // every worker otherwise. Two threads may race the same key; the
+        // loser's insert is a no-op and its build is wasted once.
+        auto prepared = std::make_shared<const strqubo::PreparedConstraint>(
+            strqubo::prepare(constraint, options.build));
+        std::lock_guard<std::mutex> lock(cache_mutex);
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+          cache_lru.push_front(CacheEntry{key, prepared});
+          cache.emplace(key, cache_lru.begin());
+          while (cache.size() > options.model_cache_capacity) {
+            cache.erase(cache_lru.back().key);
+            cache_lru.pop_back();
+          }
+        }
+        job.prepared = std::move(prepared);
+      } catch (const std::exception& error) {
+        job.build_error = error.what();
+      }
+    });
+    return job.prepared.get();
+  }
+
+  /// Atomically claims the verdict for the calling member. On success runs
+  /// `fill` on a fresh JobResult, cancels the siblings, fulfils the promise
+  /// and records completion telemetry. Returns false when a sibling already
+  /// claimed (the caller simply finishes as a loser).
+  template <typename Fill>
+  bool claim_and_finish(Job& job, Fill&& fill) {
+    bool expected = false;
+    if (!job.decided.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+      return false;
+    }
+    job.cancel.cancel();
+    JobResult result;
+    fill(result);
+    complete(job, std::move(result));
+    release_member(job);
+    return true;
+  }
+
+  /// Resolves a job whose member tasks will never run (shutdown races).
+  /// Idempotent across members: only the first call claims the verdict.
+  void resolve_unrun(Job& job, const std::string& note) {
+    bool expected = false;
+    if (!job.decided.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+      return;
+    }
+    JobResult result;
+    result.notes.push_back(note);
+    complete(job, std::move(result));
+  }
+
+  /// Loser bookkeeping: the last member to finish an undecided job owns the
+  /// kUnknown (or timeout) verdict. `note` is attached when non-empty.
+  void finish_if_last(Job& job, const std::string& note) {
+    if (job.members_left.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+      return;
+    }
+    bool expected = false;
+    if (!job.decided.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+      return;
+    }
+    JobResult result;
+    result.timed_out =
+        job.has_deadline && job.cancel.token().cancelled() && note.empty();
+    if (result.timed_out) {
+      result.notes.push_back("deadline expired");
+      stats_timeouts.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::enabled()) {
+        telemetry::counter("service.job.timeouts").add();
+      }
+    } else if (!note.empty()) {
+      result.notes.push_back(note);
+    } else {
+      result.notes.push_back("no portfolio member produced a verified model");
+    }
+    complete(job, std::move(result));
+  }
+
+  void complete(Job& job, JobResult result) {
+    result.tag = job.options.tag;
+    result.attempts = job.attempts.load(std::memory_order_relaxed);
+    result.members_cancelled =
+        job.cancelled_members.load(std::memory_order_relaxed);
+    result.queue_seconds = job.queue_seconds;
+    result.solve_seconds =
+        std::chrono::duration<double>(SteadyClock::now() - job.enqueued)
+            .count();
+    stats_completed.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      telemetry::counter("service.jobs.completed").add();
+      telemetry::histogram("service.job.seconds", telemetry::Unit::kSeconds)
+          .record(result.solve_seconds);
+    }
+    job.promise.set_value(std::move(result));
+  }
+
+  void release_member(Job& job) {
+    job.members_left.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  void record_member_cancelled(Job& job) {
+    job.cancelled_members.fetch_add(1, std::memory_order_relaxed);
+    stats_cancelled.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      telemetry::counter("service.member.cancelled").add();
+    }
+  }
+
+  void record_winner(const std::string& name) {
+    if (telemetry::enabled()) {
+      telemetry::counter("service.winner." + name).add();
+    }
+  }
+
+  void publish_queue_depth_locked() {
+    if (telemetry::enabled()) {
+      telemetry::gauge("service.queue.depth")
+          .set(static_cast<double>(queue.size()));
+    }
+  }
+
+  ServiceOptions options;
+
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<Task> queue;
+  bool stopping = false;
+  std::vector<std::thread> workers;
+
+  struct CacheEntry {
+    std::string key;
+    std::shared_ptr<const strqubo::PreparedConstraint> prepared;
+  };
+  std::mutex cache_mutex;
+  std::list<CacheEntry> cache_lru;  // Front = most recently used.
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache;
+
+  std::atomic<std::uint64_t> stats_submitted{0};
+  std::atomic<std::uint64_t> stats_completed{0};
+  std::atomic<std::uint64_t> stats_timeouts{0};
+  std::atomic<std::uint64_t> stats_cancelled{0};
+  std::atomic<std::uint64_t> stats_retries{0};
+  std::atomic<std::uint64_t> stats_cache_hits{0};
+  std::atomic<std::uint64_t> stats_cache_misses{0};
+};
+
+SolveService::SolveService(ServiceOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+SolveService::~SolveService() = default;
+
+std::future<JobResult> SolveService::submit(strqubo::Constraint constraint,
+                                            JobOptions options) {
+  return impl_->enqueue(std::move(constraint), options);
+}
+
+std::future<JobResult> SolveService::submit_script(std::string script,
+                                                   JobOptions options) {
+  return impl_->enqueue(std::move(script), options);
+}
+
+std::vector<JobResult> SolveService::solve_constraints(
+    const std::vector<strqubo::Constraint>& constraints, JobOptions options) {
+  std::vector<std::future<JobResult>> futures;
+  futures.reserve(constraints.size());
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    JobOptions job = options;
+    job.seed = mix_seed(options.seed, i);
+    if (job.tag == 0) job.tag = i;
+    futures.push_back(submit(constraints[i], job));
+  }
+  std::vector<JobResult> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+std::vector<JobResult> SolveService::solve_scripts(
+    const std::vector<std::string>& scripts, JobOptions options) {
+  std::vector<std::future<JobResult>> futures;
+  futures.reserve(scripts.size());
+  for (std::size_t i = 0; i < scripts.size(); ++i) {
+    JobOptions job = options;
+    job.seed = mix_seed(options.seed, i);
+    if (job.tag == 0) job.tag = i;
+    futures.push_back(submit_script(scripts[i], job));
+  }
+  std::vector<JobResult> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+std::size_t SolveService::num_workers() const noexcept {
+  return impl_->workers.size();
+}
+
+std::size_t SolveService::portfolio_size() const noexcept {
+  return impl_->options.portfolio.size();
+}
+
+SolveService::Stats SolveService::stats() const noexcept {
+  Stats stats;
+  stats.jobs_submitted = impl_->stats_submitted.load(std::memory_order_relaxed);
+  stats.jobs_completed = impl_->stats_completed.load(std::memory_order_relaxed);
+  stats.jobs_timed_out = impl_->stats_timeouts.load(std::memory_order_relaxed);
+  stats.members_cancelled =
+      impl_->stats_cancelled.load(std::memory_order_relaxed);
+  stats.verify_retries = impl_->stats_retries.load(std::memory_order_relaxed);
+  stats.model_cache_hits =
+      impl_->stats_cache_hits.load(std::memory_order_relaxed);
+  stats.model_cache_misses =
+      impl_->stats_cache_misses.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace qsmt::service

@@ -1,0 +1,193 @@
+// qsmt::service — the serving layer: concurrent batch solving with
+// portfolio racing, cancellation, and deadlines.
+//
+// SolveService owns a fixed-size worker pool. Every submitted job (an
+// SMT-LIB script or a strqubo::Constraint) is raced by a configurable
+// portfolio of samplers — simulated annealing, parallel tempering,
+// path-integral quantum simulation, minor-embedded annealing, or any
+// custom anneal::Sampler — with first-verified-SAT-wins semantics:
+//
+//  * the first portfolio member whose decoded model passes classical
+//    verification (or, for scripts, whose engine verdict is decisively
+//    sat/unsat) fulfils the job's future and cancels the job's
+//    CancelSource;
+//  * losing members observe the shared CancelToken inside their sweep
+//    loops (the same per-sweep plumbing as the annealer's zero-flip early
+//    exit) and stop within one sweep, returning their cycles to the pool;
+//  * per-job deadlines ride the same token: an expired deadline cancels
+//    in-flight members and the job resolves to a graceful kUnknown with
+//    timed_out set — deadlines never throw and never lose other jobs;
+//  * a member whose decoded model fails verification retries with a
+//    reseeded sampler up to ServiceOptions::max_verify_retries times
+//    (annealing is stochastic; a fresh RNG stream is often all it takes).
+//
+// Constraint jobs run the prebuilt-adjacency hot path: the QUBO model and
+// its CSR adjacency are built once per distinct constraint (keyed cache,
+// shared across jobs and portfolio members) and re-sampled at every
+// attempt — see strqubo::PreparedConstraint.
+//
+// The unit of queued work is one (job, member) pair, so workers never
+// block waiting on other tasks and the pool cannot deadlock regardless of
+// worker count. Emitted telemetry (docs/telemetry.md): queue depth gauge,
+// job latency histograms, portfolio-winner/timeout/cancellation counters.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "anneal/pimc.hpp"
+#include "anneal/sampler.hpp"
+#include "anneal/simulated_annealer.hpp"
+#include "anneal/tempering.hpp"
+#include "graph/embedded_sampler.hpp"
+#include "smtlib/driver.hpp"
+#include "strqubo/builders.hpp"
+#include "strqubo/constraint.hpp"
+#include "util/cancel.hpp"
+
+namespace qsmt::service {
+
+/// One lane of the portfolio race: a display name plus a thread-safe
+/// factory producing the sampler for a given (seed, cancel token) pair.
+/// Factories are invoked per (job, member, attempt), so retry-with-reseed
+/// gets genuinely independent RNG streams.
+struct PortfolioMember {
+  std::string name;
+  std::function<std::unique_ptr<anneal::Sampler>(std::uint64_t seed,
+                                                 CancelToken cancel)>
+      make;
+};
+
+/// Simulated-annealing lane. `base.seed` and `base.cancel` are overwritten
+/// per attempt; every other field is honoured.
+PortfolioMember simulated_annealing_member(
+    std::string name, anneal::SimulatedAnnealerParams base = {});
+
+/// Parallel-tempering (replica exchange) lane.
+PortfolioMember parallel_tempering_member(
+    std::string name, anneal::ParallelTemperingParams base = {});
+
+/// Path-integral (simulated quantum annealing) lane.
+PortfolioMember path_integral_member(std::string name,
+                                     anneal::PathIntegralParams base = {});
+
+/// Minor-embedded hardware-simulation lane. `target` must outlive the
+/// service; the cancel token threads through the inner annealer.
+PortfolioMember embedded_member(std::string name, const graph::Graph& target,
+                                graph::EmbeddedSamplerParams base = {});
+
+/// The default race: a fast low-budget annealer (wins easy jobs in
+/// milliseconds) against a deep high-budget one (catches what the fast
+/// lane misses). Bian et al.'s portfolio observation for annealing-based
+/// SAT: heterogeneous effort levels beat any single configuration.
+std::vector<PortfolioMember> default_portfolio();
+
+struct ServiceOptions {
+  /// Worker threads. 0 = hardware concurrency (at least 1).
+  std::size_t num_workers = 0;
+  /// QUBO build options shared by every job.
+  strqubo::BuildOptions build;
+  /// The race lanes. Empty = default_portfolio().
+  std::vector<PortfolioMember> portfolio;
+  /// Extra reseeded attempts per member after a failed verification.
+  std::size_t max_verify_retries = 2;
+  /// Deadline applied to jobs that do not set their own (0 = none).
+  std::chrono::nanoseconds default_deadline{0};
+  /// Upper bound on distinct prepared constraints kept in the model cache
+  /// (an unbounded cache would grow with the stream of distinct jobs).
+  std::size_t model_cache_capacity = 256;
+};
+
+struct JobOptions {
+  /// Per-job deadline from submission (0 = service default; negative =
+  /// already expired, resolves kUnknown/timed_out without sampling).
+  std::chrono::nanoseconds deadline{0};
+  /// Master seed for this job's sampler streams.
+  std::uint64_t seed = 0;
+  /// Opaque caller id echoed into JobResult (batch bookkeeping, tests).
+  std::uint64_t tag = 0;
+};
+
+struct JobResult {
+  smtlib::CheckSatStatus status = smtlib::CheckSatStatus::kUnknown;
+  /// Constraint jobs: decoded string (string-producing ops).
+  std::optional<std::string> text;
+  /// Constraint jobs: decoded first-occurrence position (Includes).
+  std::optional<std::size_t> position;
+  /// Script jobs: model variable and value when status == kSat.
+  std::string variable;
+  std::string model_value;
+  /// Portfolio member that produced the decisive verdict (empty when none).
+  std::string winner;
+  std::vector<std::string> notes;
+  /// True when the job's deadline expired before any member won.
+  bool timed_out = false;
+  /// Sampling attempts across all members at the time the verdict landed.
+  std::size_t attempts = 0;
+  /// Losing members that had observed their cancel token by verdict time.
+  std::size_t members_cancelled = 0;
+  std::uint64_t tag = 0;
+  /// Seconds from submission to first member pickup / to the verdict
+  /// (steady clock).
+  double queue_seconds = 0.0;
+  double solve_seconds = 0.0;
+};
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceOptions options = {});
+  /// Joins the pool. Jobs still queued resolve kUnknown with a
+  /// "service stopped" note; nothing hangs and no future is broken.
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Enqueues one constraint job; the future resolves when the portfolio
+  /// race decides (or the deadline expires).
+  std::future<JobResult> submit(strqubo::Constraint constraint,
+                                JobOptions options = {});
+
+  /// Enqueues one SMT-LIB script job (parse errors resolve the future with
+  /// kUnknown and an explanatory note — they never throw across the pool).
+  std::future<JobResult> submit_script(std::string script,
+                                       JobOptions options = {});
+
+  /// Batch conveniences: submit everything, then wait; results are in
+  /// input order. `options` applies to every job; seeds are offset by the
+  /// job index so jobs stay independent.
+  std::vector<JobResult> solve_constraints(
+      const std::vector<strqubo::Constraint>& constraints,
+      JobOptions options = {});
+  std::vector<JobResult> solve_scripts(const std::vector<std::string>& scripts,
+                                       JobOptions options = {});
+
+  std::size_t num_workers() const noexcept;
+  std::size_t portfolio_size() const noexcept;
+
+  /// Monotonic whole-service counters (tests, monitoring).
+  struct Stats {
+    std::uint64_t jobs_submitted = 0;
+    std::uint64_t jobs_completed = 0;
+    std::uint64_t jobs_timed_out = 0;
+    /// Losing members that observed their token and aborted.
+    std::uint64_t members_cancelled = 0;
+    /// Reseeded re-attempts after failed verification.
+    std::uint64_t verify_retries = 0;
+    std::uint64_t model_cache_hits = 0;
+    std::uint64_t model_cache_misses = 0;
+  };
+  Stats stats() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace qsmt::service

@@ -27,6 +27,17 @@ StringConstraintSolver::StringConstraintSolver(const anneal::Sampler& sampler,
                                                BuildOptions options)
     : sampler_(&sampler), options_(options) {}
 
+PreparedConstraint prepare(const Constraint& constraint,
+                           const BuildOptions& options) {
+  Stopwatch build_timer;
+  telemetry::Span build_span("strqubo.build");
+  qubo::QuboModel model = build(constraint, options);
+  qubo::QuboAdjacency adjacency(model);
+  build_span.close();
+  return PreparedConstraint{constraint, std::move(model), std::move(adjacency),
+                            build_timer.elapsed_seconds()};
+}
+
 qubo::QuboModel StringConstraintSolver::build_model(
     const Constraint& constraint) const {
   return build(constraint, options_);
@@ -49,12 +60,7 @@ RetryResult solve_with_retries(const Constraint& constraint,
           "solve_with_retries: need positive reads and sweeps");
   // Every attempt re-samples the same QUBO at a doubled budget; build the
   // model and its CSR adjacency once and reuse them across attempts.
-  Stopwatch build_timer;
-  telemetry::Span build_span("strqubo.build");
-  const qubo::QuboModel model = build(constraint, options);
-  const qubo::QuboAdjacency adjacency(model);
-  build_span.close();
-  const double build_seconds = build_timer.elapsed_seconds();
+  const PreparedConstraint prepared = prepare(constraint, options);
 
   RetryResult retry;
   std::size_t sweeps = params.initial_sweeps;
@@ -65,7 +71,7 @@ RetryResult solve_with_retries(const Constraint& constraint,
     sa.seed = mix_seed(params.seed, attempt + 1);
     const anneal::SimulatedAnnealer annealer(sa);
     const StringConstraintSolver solver(annealer, options);
-    retry.result = solver.solve(constraint, model, adjacency);
+    retry.result = solver.solve(prepared);
     retry.final_sweeps = sweeps;
     ++retry.attempts;
     if (telemetry::enabled()) {
@@ -74,7 +80,7 @@ RetryResult solve_with_retries(const Constraint& constraint,
     if (retry.result.satisfied) break;
     sweeps *= 2;
   }
-  retry.result.build_seconds = build_seconds;
+  retry.result.build_seconds = prepared.build_seconds;
   if (telemetry::enabled()) {
     telemetry::histogram("strqubo.retry.final_sweeps", telemetry::Unit::kCount)
         .record(static_cast<double>(retry.final_sweeps));
@@ -105,15 +111,14 @@ std::vector<std::string> enumerate_solutions(const Constraint& constraint,
 }
 
 SolveResult StringConstraintSolver::solve(const Constraint& constraint) const {
-  Stopwatch build_timer;
-  telemetry::Span build_span("strqubo.build");
-  const qubo::QuboModel model = build(constraint, options_);
-  const qubo::QuboAdjacency adjacency(model);
-  build_span.close();
-  const double build_seconds = build_timer.elapsed_seconds();
+  return solve(prepare(constraint, options_));
+}
 
-  SolveResult result = solve(constraint, model, adjacency);
-  result.build_seconds = build_seconds;
+SolveResult StringConstraintSolver::solve(
+    const PreparedConstraint& prepared) const {
+  SolveResult result =
+      solve(prepared.constraint, prepared.model, prepared.adjacency);
+  result.build_seconds = prepared.build_seconds;
   return result;
 }
 

@@ -37,6 +37,24 @@ struct SolveResult {
   anneal::SampleSet samples;
 };
 
+/// A constraint with its QUBO model and CSR adjacency prebuilt: the unit of
+/// reuse for re-solvers. Retry loops, sweep escalation, and the portfolio
+/// racing service (src/service) build one of these per distinct constraint
+/// and re-sample it across samplers, attempts, and jobs without paying the
+/// build again. Immutable after prepare(); safe to share across threads.
+struct PreparedConstraint {
+  Constraint constraint;
+  qubo::QuboModel model;
+  qubo::QuboAdjacency adjacency;
+  /// Wall-clock seconds the one-time build took (steady clock).
+  double build_seconds = 0.0;
+};
+
+/// Builds `constraint`'s model and adjacency once, under the `strqubo.build`
+/// telemetry span — the entry point of the prebuilt-adjacency hot path.
+PreparedConstraint prepare(const Constraint& constraint,
+                           const BuildOptions& options = {});
+
 class StringConstraintSolver {
  public:
   /// `sampler` must outlive the solver.
@@ -54,6 +72,10 @@ class StringConstraintSolver {
   /// as 0 (the caller already paid it).
   SolveResult solve(const Constraint& constraint, const qubo::QuboModel& model,
                     const qubo::QuboAdjacency& adjacency) const;
+
+  /// Hot path over a PreparedConstraint; build_seconds is copied from the
+  /// preparation (the one-time cost the caller already paid).
+  SolveResult solve(const PreparedConstraint& prepared) const;
 
   /// Builds without solving (for inspection and the Table 1 harness).
   qubo::QuboModel build_model(const Constraint& constraint) const;

@@ -21,6 +21,13 @@ class Stopwatch {
 
  private:
   using Clock = std::chrono::steady_clock;
+  // Solver-wide rule: every duration the solver reports or acts on
+  // (SolveResult::build_seconds/sample_seconds, bench timers, service
+  // deadlines) comes from a monotonic clock, so NTP steps cannot produce
+  // negative or inflated timings under load. system_clock and the
+  // sometimes-non-steady high_resolution_clock are banned from timing code.
+  static_assert(Clock::is_steady,
+                "Stopwatch must be backed by a monotonic clock");
   Clock::time_point start_;
 };
 

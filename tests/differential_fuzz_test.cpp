@@ -1,0 +1,188 @@
+// Differential fuzzing: the portfolio solve service against the classical
+// DirectBaseline over seeded random constraints (40 cases per operation,
+// 240 total). The contract checked per case:
+//
+//  * verdict agreement — a service kSat implies the baseline finds the
+//    constraint satisfiable, and a baseline-unsatisfiable constraint is
+//    never kSat from the service;
+//  * exact-output agreement — operations with a unique satisfying string
+//    (equality, concat, the bit-prefix length form, replace, reverse) must
+//    produce the baseline's witness verbatim, and Includes must report the
+//    baseline's first-occurrence position (including "absent" = nullopt).
+//
+// Every generator is seeded, annealer reads are counter-seeded, and the
+// portfolio race only selects which member claims a verified verdict — so
+// the verdicts themselves are deterministic and the suite can demand a
+// 100% solve rate, not just non-contradiction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "baseline/classical.hpp"
+#include "service/service.hpp"
+#include "smtlib/driver.hpp"
+#include "strqubo/constraint.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt {
+namespace {
+
+constexpr std::size_t kCasesPerKind = 40;
+
+// Small alphabet so Includes substrings occur naturally a useful fraction
+// of the time (and Replace's `from` character actually appears).
+std::string random_word(Xoshiro256& rng, std::size_t min_len,
+                        std::size_t max_len) {
+  std::string word(min_len + rng.below(max_len - min_len + 1), 'a');
+  for (char& c : word) c = static_cast<char>('a' + rng.below(5));
+  return word;
+}
+
+std::vector<strqubo::Constraint> equality_cases(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<strqubo::Constraint> cases;
+  for (std::size_t i = 0; i < kCasesPerKind; ++i) {
+    cases.push_back(strqubo::Equality{random_word(rng, 2, 6)});
+  }
+  return cases;
+}
+
+std::vector<strqubo::Constraint> concat_cases(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<strqubo::Constraint> cases;
+  for (std::size_t i = 0; i < kCasesPerKind; ++i) {
+    cases.push_back(
+        strqubo::Concat{random_word(rng, 1, 3), random_word(rng, 1, 3)});
+  }
+  return cases;
+}
+
+std::vector<strqubo::Constraint> includes_cases(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<strqubo::Constraint> cases;
+  for (std::size_t i = 0; i < kCasesPerKind; ++i) {
+    const std::string text = random_word(rng, 3, 7);
+    std::string substring;
+    if (rng.coin()) {
+      // Guaranteed-present: a random substring of the text.
+      const std::size_t len = 1 + rng.below(std::min<std::size_t>(3, text.size()));
+      substring = text.substr(rng.below(text.size() - len + 1), len);
+    } else {
+      // May or may not occur; over alphabet {a..e} both happen often.
+      substring = random_word(rng, 1, 3);
+    }
+    cases.push_back(strqubo::Includes{text, substring});
+  }
+  return cases;
+}
+
+std::vector<strqubo::Constraint> length_cases(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<strqubo::Constraint> cases;
+  for (std::size_t i = 0; i < kCasesPerKind; ++i) {
+    // desired <= string_length always: the bit-prefix form has no
+    // satisfying assignment (and no defined expected string) beyond it.
+    const std::size_t string_length = 2 + rng.below(5);
+    cases.push_back(
+        strqubo::Length{string_length, rng.below(string_length + 1)});
+  }
+  return cases;
+}
+
+std::vector<strqubo::Constraint> replace_cases(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<strqubo::Constraint> cases;
+  for (std::size_t i = 0; i < kCasesPerKind; ++i) {
+    cases.push_back(strqubo::Replace{
+        random_word(rng, 2, 6), static_cast<char>('a' + rng.below(5)),
+        static_cast<char>('a' + rng.below(5))});
+  }
+  return cases;
+}
+
+std::vector<strqubo::Constraint> reverse_cases(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<strqubo::Constraint> cases;
+  for (std::size_t i = 0; i < kCasesPerKind; ++i) {
+    cases.push_back(strqubo::Reverse{random_word(rng, 2, 6)});
+  }
+  return cases;
+}
+
+/// Solves every case through a fresh service and differentially checks each
+/// result against DirectBaseline. `exact_text` demands the baseline witness
+/// verbatim (only valid for unique-output operations).
+void run_differential(const std::vector<strqubo::Constraint>& cases,
+                      std::uint64_t job_seed, bool exact_text) {
+  service::ServiceOptions options;
+  options.num_workers = 2;
+  service::SolveService service(options);
+  service::JobOptions job;
+  job.seed = job_seed;
+  const std::vector<service::JobResult> results =
+      service.solve_constraints(cases, job);
+  ASSERT_EQ(results.size(), cases.size());
+
+  const baseline::DirectBaseline direct;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    SCOPED_TRACE("case " + std::to_string(i) + ": " +
+                 strqubo::describe(cases[i]));
+    const baseline::BaselineResult expected = direct.solve(cases[i]);
+    const service::JobResult& got = results[i];
+
+    // Verdict agreement, both directions.
+    if (got.status == smtlib::CheckSatStatus::kSat) {
+      EXPECT_TRUE(expected.satisfied);
+    }
+    if (!expected.satisfied) {
+      EXPECT_NE(got.status, smtlib::CheckSatStatus::kSat);
+    }
+
+    // These generators only emit satisfiable constraints, and the anneal
+    // budgets are sized so the portfolio always verifies them: demand the
+    // strong form, not mere non-contradiction.
+    ASSERT_EQ(got.status, smtlib::CheckSatStatus::kSat);
+    EXPECT_FALSE(got.winner.empty());
+
+    if (std::holds_alternative<strqubo::Includes>(cases[i])) {
+      // First-occurrence semantics make the position unique (nullopt for
+      // an absent substring) — it must match the classical answer exactly.
+      EXPECT_EQ(got.position, expected.position);
+    } else if (exact_text) {
+      ASSERT_TRUE(got.text.has_value());
+      ASSERT_TRUE(expected.text.has_value());
+      EXPECT_EQ(*got.text, *expected.text);
+    }
+  }
+}
+
+TEST(DifferentialFuzz, Equality) {
+  run_differential(equality_cases(0xE0), 0xE1, /*exact_text=*/true);
+}
+
+TEST(DifferentialFuzz, Concat) {
+  run_differential(concat_cases(0xC0), 0xC1, /*exact_text=*/true);
+}
+
+TEST(DifferentialFuzz, Includes) {
+  run_differential(includes_cases(0x1C), 0x1D, /*exact_text=*/false);
+}
+
+TEST(DifferentialFuzz, Length) {
+  run_differential(length_cases(0x10), 0x11, /*exact_text=*/true);
+}
+
+TEST(DifferentialFuzz, Replace) {
+  run_differential(replace_cases(0xF0), 0xF1, /*exact_text=*/true);
+}
+
+TEST(DifferentialFuzz, Reverse) {
+  run_differential(reverse_cases(0xFE), 0xFF, /*exact_text=*/true);
+}
+
+}  // namespace
+}  // namespace qsmt

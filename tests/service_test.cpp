@@ -1,0 +1,309 @@
+// qsmt::service — worker pool, portfolio racing, cancellation, deadlines.
+//
+// The stress tests drive the service from several submitter threads at once
+// with mixed deadlines and check the accounting invariants a job queue must
+// keep under contention: every future resolves, no result is lost or
+// duplicated, tags round-trip, expired deadlines become graceful kUnknown
+// timeouts, and losing portfolio members actually observe their cancel
+// token. The suite is part of the sanitizer matrix (scripts/ci.sh), so the
+// same schedules run under ASan and UBSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "anneal/simulated_annealer.hpp"
+#include "qubo/qubo_model.hpp"
+#include "service/service.hpp"
+#include "smtlib/driver.hpp"
+#include "strqubo/constraint.hpp"
+#include "util/cancel.hpp"
+#include "util/stopwatch.hpp"
+
+namespace qsmt {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+// A QUBO big enough that a high-budget anneal takes seconds — the workload
+// the cancellation tests must be able to abort in well under that.
+qubo::QuboModel chain_model(std::size_t n) {
+  qubo::QuboModel model(n);
+  for (std::size_t i = 0; i < n; ++i) model.add_linear(i, i % 2 ? 1.0 : -1.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) model.add_quadratic(i, i + 1, 0.5);
+  return model;
+}
+
+TEST(Cancel, DefaultTokenNeverCancels) {
+  const CancelToken token;
+  EXPECT_FALSE(token.cancellable());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(Cancel, SourceCancelIsVisibleToToken) {
+  CancelSource source;
+  const CancelToken token = source.token();
+  EXPECT_TRUE(token.cancellable());
+  EXPECT_FALSE(token.cancelled());
+  source.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(source.cancel_requested());
+}
+
+TEST(Cancel, DeadlineExpiryLatches) {
+  CancelSource source;
+  source.set_deadline_after(nanoseconds(1));
+  const CancelToken token = source.token();
+  std::this_thread::sleep_for(milliseconds(1));
+  EXPECT_TRUE(token.cancelled());
+  // Latched: still cancelled on every later poll.
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(Cancel, PreCancelledTokenAbortsSampleFast) {
+  CancelSource source;
+  source.cancel();
+  anneal::SimulatedAnnealerParams params;
+  params.num_reads = 4;
+  params.num_sweeps = 200000;  // Minutes of work if the token were ignored.
+  params.seed = 3;
+  params.cancel = source.token();
+  const anneal::SimulatedAnnealer annealer(params);
+
+  Stopwatch timer;
+  const anneal::SampleSet samples = annealer.sample(chain_model(256));
+  EXPECT_LT(timer.elapsed_seconds(), 5.0);
+  // A cancelled sample is still a well-formed SampleSet.
+  ASSERT_FALSE(samples.empty());
+  for (const anneal::Sample& sample : samples) {
+    EXPECT_EQ(sample.bits.size(), 256u);
+  }
+}
+
+TEST(Cancel, DeadlineAbortsLongSampleMidFlight) {
+  CancelSource source;
+  source.set_deadline_after(milliseconds(50));
+  anneal::SimulatedAnnealerParams params;
+  params.num_reads = 4;
+  params.num_sweeps = 200000;
+  params.seed = 5;
+  params.early_exit = false;  // Only the deadline can stop the sweeps.
+  params.cancel = source.token();
+  const anneal::SimulatedAnnealer annealer(params);
+
+  Stopwatch timer;
+  const anneal::SampleSet samples = annealer.sample(chain_model(256));
+  // One sweep of slack past the deadline, not the full budget.
+  EXPECT_LT(timer.elapsed_seconds(), 5.0);
+  ASSERT_FALSE(samples.empty());
+}
+
+TEST(Service, SolvesEasyConstraintAndReportsWinner) {
+  service::SolveService service;
+  service::JobResult result =
+      service.submit(strqubo::Equality{"abc"}).get();
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kSat);
+  ASSERT_TRUE(result.text.has_value());
+  EXPECT_EQ(*result.text, "abc");
+  EXPECT_FALSE(result.winner.empty());
+  EXPECT_GE(result.attempts, 1u);
+  EXPECT_GE(result.solve_seconds, 0.0);
+}
+
+TEST(Service, SolvesScriptJobs) {
+  service::SolveService service;
+  service::JobResult result = service
+                                  .submit_script(
+                                      "(declare-const x String)"
+                                      "(assert (= x \"hi\"))"
+                                      "(check-sat)(get-model)")
+                                  .get();
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kSat);
+  EXPECT_EQ(result.variable, "x");
+  EXPECT_EQ(result.model_value, "hi");
+}
+
+TEST(Service, ScriptParseErrorResolvesUnknownWithNote) {
+  service::SolveService service;
+  const service::JobResult result =
+      service.submit_script("(assert (= x").get();
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kUnknown);
+  ASSERT_FALSE(result.notes.empty());
+  EXPECT_NE(result.notes[0].find("parse error"), std::string::npos);
+}
+
+TEST(Service, LosingMemberObservesCancellation) {
+  // sa-fast wins the race on a trivial constraint; sa-deep must then see
+  // the shared token and be counted as cancelled — on a single worker it
+  // is cancelled before it even starts, on many workers mid-sweep. The
+  // winner fulfils the future before the loser necessarily runs, so the
+  // observation shows up in the service-wide stats, not the JobResult;
+  // on one FIFO worker the loser is guaranteed to have run by the time a
+  // second job resolves.
+  service::ServiceOptions options;
+  options.num_workers = 1;
+  service::SolveService service(options);
+  const service::JobResult result =
+      service.submit(strqubo::Equality{"ab"}).get();
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kSat);
+  service.submit(strqubo::Equality{"cd"}).get();
+  EXPECT_GE(service.stats().members_cancelled, 1u);
+}
+
+TEST(Service, ExpiredDeadlineTimesOutGracefully) {
+  service::SolveService service;
+  service::JobOptions job;
+  job.deadline = nanoseconds(1);
+  const service::JobResult result =
+      service.submit(strqubo::Equality{"abcde"}, job).get();
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kUnknown);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_EQ(service.stats().jobs_timed_out, 1u);
+}
+
+TEST(Service, DefaultDeadlineAppliesToEveryJob) {
+  service::ServiceOptions options;
+  options.default_deadline = nanoseconds(1);
+  service::SolveService service(options);
+  const service::JobResult result =
+      service.submit(strqubo::Equality{"abc"}).get();
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kUnknown);
+}
+
+TEST(Service, ModelCacheSharesPreparedConstraints) {
+  service::ServiceOptions options;
+  options.num_workers = 1;
+  service::SolveService service(options);
+  const strqubo::Constraint constraint = strqubo::Equality{"abcd"};
+  service.submit(constraint).get();
+  service.submit(constraint).get();
+  const service::SolveService::Stats stats = service.stats();
+  EXPECT_GE(stats.model_cache_hits, 1u);
+  EXPECT_GE(stats.model_cache_misses, 1u);
+}
+
+TEST(Service, DestructorResolvesQueuedJobs) {
+  std::vector<std::future<service::JobResult>> futures;
+  {
+    service::ServiceOptions options;
+    options.num_workers = 1;
+    service::SolveService service(options);
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(service.submit(strqubo::Palindrome{6}));
+    }
+    // Destroyed with most jobs still queued.
+  }
+  for (auto& future : futures) {
+    const service::JobResult result = future.get();  // Must not hang.
+    if (result.status == smtlib::CheckSatStatus::kUnknown) {
+      ASSERT_FALSE(result.notes.empty());
+    }
+  }
+}
+
+// The headline stress: N submitter threads x M jobs with mixed deadlines,
+// racing the pool from outside while the portfolio races inside. Checks
+// that results are neither lost nor duplicated (every tag resolves exactly
+// once), timeouts are reported as timeouts, and normal jobs solve.
+TEST(ServiceStress, ConcurrentSubmittersMixedDeadlines) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kJobsPerThread = 12;
+
+  service::ServiceOptions options;
+  options.num_workers = 4;
+  service::SolveService service(options);
+
+  struct Submitted {
+    std::uint64_t tag = 0;
+    bool expect_timeout = false;
+    std::future<service::JobResult> future;
+  };
+  std::vector<std::vector<Submitted>> per_thread(kThreads);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&service, &per_thread, t] {
+      const std::string words[] = {"ab", "abc", "abcd", "abcde"};
+      for (std::size_t j = 0; j < kJobsPerThread; ++j) {
+        Submitted submitted;
+        submitted.tag = t * 1000 + j + 1;
+        // Every third job gets an already-expired deadline.
+        submitted.expect_timeout = (j % 3 == 2);
+        service::JobOptions job;
+        job.tag = submitted.tag;
+        job.seed = submitted.tag;
+        if (submitted.expect_timeout) job.deadline = nanoseconds(1);
+        submitted.future = service.submit(
+            strqubo::Equality{words[(t + j) % std::size(words)]}, job);
+        per_thread[t].push_back(std::move(submitted));
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+
+  std::map<std::uint64_t, int> seen;
+  std::size_t timeouts = 0;
+  for (std::vector<Submitted>& jobs : per_thread) {
+    for (Submitted& submitted : jobs) {
+      const service::JobResult result = submitted.future.get();
+      // The result the future delivers is the one for this submission.
+      EXPECT_EQ(result.tag, submitted.tag);
+      ++seen[result.tag];
+      if (submitted.expect_timeout) {
+        EXPECT_TRUE(result.timed_out) << "tag " << submitted.tag;
+        EXPECT_EQ(result.status, smtlib::CheckSatStatus::kUnknown);
+        ++timeouts;
+      } else {
+        EXPECT_FALSE(result.timed_out) << "tag " << submitted.tag;
+        EXPECT_EQ(result.status, smtlib::CheckSatStatus::kSat)
+            << "tag " << submitted.tag;
+      }
+    }
+  }
+  // No lost and no duplicated results: every tag exactly once.
+  EXPECT_EQ(seen.size(), kThreads * kJobsPerThread);
+  for (const auto& [tag, count] : seen) {
+    EXPECT_EQ(count, 1) << "tag " << tag;
+  }
+
+  const service::SolveService::Stats stats = service.stats();
+  EXPECT_EQ(stats.jobs_submitted, kThreads * kJobsPerThread);
+  EXPECT_EQ(stats.jobs_completed, kThreads * kJobsPerThread);
+  EXPECT_EQ(stats.jobs_timed_out, timeouts);
+}
+
+// Batch API under load: input order is preserved even though completion
+// order is arbitrary.
+TEST(ServiceStress, BatchPreservesInputOrder) {
+  service::ServiceOptions options;
+  options.num_workers = 4;
+  service::SolveService service(options);
+  const std::vector<std::string> words = {"a",  "ab",  "abc", "abcd",
+                                          "b",  "bc",  "bcd", "bcde",
+                                          "c",  "cd",  "cde", "cdef"};
+  std::vector<strqubo::Constraint> constraints;
+  constraints.reserve(words.size());
+  for (const std::string& word : words) {
+    constraints.push_back(strqubo::Equality{word});
+  }
+  const std::vector<service::JobResult> results =
+      service.solve_constraints(constraints);
+  ASSERT_EQ(results.size(), words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    ASSERT_EQ(results[i].status, smtlib::CheckSatStatus::kSat) << i;
+    ASSERT_TRUE(results[i].text.has_value());
+    EXPECT_EQ(*results[i].text, words[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace qsmt

@@ -8,12 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "anneal/simulated_annealer.hpp"
 #include "engine/engine.hpp"
+#include "service/service.hpp"
 #include "telemetry/sink.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -224,6 +226,82 @@ TEST(EngineTelemetry, PalindromeSolveEmitsDocumentedMetrics) {
   }
   const CounterStat* reads = snapshot.counter("anneal.reads");
   EXPECT_EQ(reads->value, params.num_reads);
+}
+
+// Same contract for the service layer: a concurrent batch through the
+// worker pool emits the documented service.* names — from worker threads,
+// not just the submitting one — with counts that match the workload.
+TEST(ServiceTelemetry, ConcurrentBatchEmitsDocumentedMetrics) {
+  set_mode(Mode::kSummary);
+  reset();
+
+  service::ServiceOptions options;
+  options.num_workers = 4;
+  service::SolveService service(options);
+  // Repeat one constraint so the model cache records a hit, and give one
+  // job an already-expired deadline so the timeout path records too.
+  std::vector<strqubo::Constraint> constraints = {
+      strqubo::Equality{"ab"}, strqubo::Equality{"abc"},
+      strqubo::Equality{"ab"}, strqubo::Equality{"abcd"}};
+  const std::vector<service::JobResult> results =
+      service.solve_constraints(constraints);
+  ASSERT_EQ(results.size(), constraints.size());
+  service::JobOptions expired;
+  expired.deadline = std::chrono::nanoseconds(1);
+  service.submit(strqubo::Equality{"abcde"}, expired).get();
+
+  const Snapshot snapshot = registry().snapshot();
+  const CounterStat* submitted = snapshot.counter("service.jobs.submitted");
+  ASSERT_NE(submitted, nullptr);
+  EXPECT_EQ(submitted->value, 5u);
+  const CounterStat* completed = snapshot.counter("service.jobs.completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_EQ(completed->value, 5u);
+  const CounterStat* timeouts = snapshot.counter("service.job.timeouts");
+  ASSERT_NE(timeouts, nullptr);
+  EXPECT_EQ(timeouts->value, 1u);
+  const CounterStat* misses = snapshot.counter("service.model_cache.misses");
+  ASSERT_NE(misses, nullptr);
+  EXPECT_GT(misses->value, 0u);
+  ASSERT_NE(snapshot.counter("service.model_cache.hits"), nullptr);
+
+  for (const char* name :
+       {"service.job.seconds", "service.job.wait_seconds"}) {
+    const HistogramStat* h = snapshot.histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_EQ(h->count, 5u) << name;
+    EXPECT_EQ(h->unit, Unit::kSeconds) << name;
+  }
+  const GaugeStat* depth = snapshot.gauge("service.queue.depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_TRUE(depth->set);
+
+  // Four solved jobs -> four winner increments across the per-member
+  // counters of the default portfolio.
+  std::uint64_t winner_total = 0;
+  for (const CounterStat& stat : snapshot.counters) {
+    if (stat.name.rfind("service.winner.", 0) == 0) {
+      winner_total += stat.value;
+    }
+  }
+  EXPECT_EQ(winner_total, 4u);
+}
+
+TEST(ServiceTelemetry, OffModeIsSilentFromWorkerThreads) {
+  set_mode(Mode::kOff);
+  reset();
+  service::ServiceOptions options;
+  options.num_workers = 2;
+  service::SolveService service(options);
+  const std::vector<strqubo::Constraint> constraints = {
+      strqubo::Equality{"ab"}, strqubo::Reverse{"abc"}};
+  const std::vector<service::JobResult> results =
+      service.solve_constraints(constraints);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].status, smtlib::CheckSatStatus::kSat);
+  // Worker threads ran real solves; with telemetry off none of them may
+  // have interned or recorded anything.
+  EXPECT_TRUE(registry().snapshot().empty());
 }
 
 }  // namespace

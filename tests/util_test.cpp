@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -166,6 +167,35 @@ TEST(Stopwatch, ReadsAreMonotonic) {
   const auto first = sw.elapsed_us();
   const auto second = sw.elapsed_us();
   EXPECT_LE(first, second);
+}
+
+// Pins the solver-wide monotonic-clock rule (see the static_assert in
+// stopwatch.hpp): a tight read loop must never observe time going
+// backwards, which a system_clock-backed stopwatch cannot promise across
+// NTP steps.
+TEST(Stopwatch, ElapsedNeverDecreasesAcrossManyReads) {
+  Stopwatch sw;
+  std::int64_t last = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t now = sw.elapsed_us();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+// CancelSource deadlines are steady_clock time points by signature — the
+// other half of the monotonic-clock rule. A deadline an hour out must not
+// read as already expired, and one in the past must.
+TEST(CancelDeadline, UsesMonotonicClock) {
+  CancelSource future_deadline;
+  future_deadline.set_deadline(std::chrono::steady_clock::now() +
+                               std::chrono::hours(1));
+  EXPECT_FALSE(future_deadline.token().cancelled());
+
+  CancelSource past_deadline;
+  past_deadline.set_deadline(std::chrono::steady_clock::now() -
+                             std::chrono::milliseconds(1));
+  EXPECT_TRUE(past_deadline.token().cancelled());
 }
 
 }  // namespace
