@@ -174,13 +174,24 @@ struct SolveService::Impl {
     /// false fills the result and fulfils the promise — nobody else touches
     /// either afterwards.
     std::atomic<bool> decided{false};
-    /// First member to pick the job up records the queue latency.
+    /// First member to pick the job up records the queue latency. Atomic:
+    /// a sibling that wins fast reads it in complete() concurrently.
     std::atomic<bool> started{false};
-    double queue_seconds = 0.0;
+    std::atomic<double> queue_seconds{0.0};
     /// Countdown to the last loser, which must emit the kUnknown verdict.
     std::atomic<std::size_t> members_left{0};
     std::atomic<std::size_t> attempts{0};
     std::atomic<std::size_t> cancelled_members{0};
+    /// Set when a member's work was actually interrupted by the deadline
+    /// (cancelled while queued, between attempts, or mid-solve) — as
+    /// opposed to every member exhausting its attempts unverified while
+    /// the deadline happened to expire concurrently. Only the former is a
+    /// timeout.
+    std::atomic<bool> deadline_cut_short{false};
+    /// Diagnostics from members whose sampler/solve threw (e.g. an
+    /// embedding failure); attached to the verdict when no member wins.
+    std::mutex error_notes_mutex;
+    std::vector<std::string> error_notes;
     /// Built once per job (all members share it) under build_once; on
     /// failure build_error carries the message instead.
     std::once_flag build_once;
@@ -286,13 +297,14 @@ struct SolveService::Impl {
     const CancelToken token = job.cancel.token();
 
     if (!job.started.exchange(true, std::memory_order_acq_rel)) {
-      job.queue_seconds =
+      const double waited =
           std::chrono::duration<double>(SteadyClock::now() - job.enqueued)
               .count();
+      job.queue_seconds.store(waited, std::memory_order_relaxed);
       if (telemetry::enabled()) {
         telemetry::histogram("service.job.wait_seconds",
                              telemetry::Unit::kSeconds)
-            .record(job.queue_seconds);
+            .record(waited);
       }
     }
 
@@ -304,16 +316,31 @@ struct SolveService::Impl {
         record_member_cancelled(job);
         release_member(job);
       } else {
-        finish_if_last(job, {});
+        // The deadline fired before this member could run at all: the job
+        // was genuinely cut short, not merely exhausted.
+        job.deadline_cut_short.store(true, std::memory_order_relaxed);
+        finish_if_last(job);
       }
       return;
     }
 
+    // True when this member must stop racing. A cancelled token on an
+    // undecided job can only mean the deadline (a winner flips `decided`
+    // before cancelling), so observing it here — between attempts or right
+    // after a sweep loop aborted — marks the job as cut short by its
+    // deadline rather than exhausted.
+    const auto aborted = [&]() -> bool {
+      if (job.decided.load(std::memory_order_acquire)) return true;
+      if (token.cancelled()) {
+        job.deadline_cut_short.store(true, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
+    };
+
     for (std::size_t attempt = 0; attempt <= options.max_verify_retries;
          ++attempt) {
-      if (job.decided.load(std::memory_order_acquire) || token.cancelled()) {
-        break;
-      }
+      if (aborted()) break;
       if (attempt > 0) {
         stats_retries.fetch_add(1, std::memory_order_relaxed);
         if (telemetry::enabled()) {
@@ -323,8 +350,13 @@ struct SolveService::Impl {
       job.attempts.fetch_add(1, std::memory_order_relaxed);
       const std::uint64_t seed = mix_seed(
           mix_seed(job.options.seed, member_index + 1), attempt + 1);
-      const std::unique_ptr<anneal::Sampler> sampler =
-          member.make(seed, token);
+      std::unique_ptr<anneal::Sampler> sampler;
+      try {
+        sampler = member.make(seed, token);
+      } catch (const std::exception& error) {
+        fail_member(job, member, error.what());
+        return;
+      }
 
       if (std::holds_alternative<strqubo::Constraint>(job.payload)) {
         const strqubo::PreparedConstraint* prepared = prepare_job(job);
@@ -339,8 +371,18 @@ struct SolveService::Impl {
           }
           return;
         }
-        const strqubo::StringConstraintSolver solver(*sampler, options.build);
-        const strqubo::SolveResult solved = solver.solve(*prepared);
+        strqubo::SolveResult solved;
+        try {
+          const strqubo::StringConstraintSolver solver(*sampler,
+                                                       options.build);
+          solved = solver.solve(*prepared);
+        } catch (const std::exception& error) {
+          // E.g. EmbeddedSampler failing to embed the model. Worker threads
+          // must never let an exception escape (std::terminate); the member
+          // drops out of the race and its siblings keep going.
+          fail_member(job, member, error.what());
+          return;
+        }
         if (solved.satisfied) {
           if (claim_and_finish(job, [&](JobResult& result) {
                 result.status = smtlib::CheckSatStatus::kSat;
@@ -356,19 +398,27 @@ struct SolveService::Impl {
           }
           break;  // Sibling won between our solve and the claim.
         }
-        // Decoded model failed verification: loop for a reseeded attempt.
+        // Decoded model failed verification: loop for a reseeded attempt
+        // (noting first whether the deadline aborted this solve mid-sweep —
+        // the top-of-loop check never runs after the last attempt).
+        if (aborted()) break;
       } else {
         const std::string& script = std::get<std::string>(job.payload);
         engine::ScriptResult solved;
         try {
           solved = engine::solve_script(script, *sampler, options.build);
         } catch (const std::invalid_argument& error) {
+          // Parse errors are deterministic for the whole job: no sibling
+          // can do better, so claim the verdict instead of dropping out.
           if (!claim_and_finish(job, [&, message = std::string(error.what())](
                                          JobResult& result) {
                 result.notes.push_back("parse error: " + message);
               })) {
             release_member(job);
           }
+          return;
+        } catch (const std::exception& error) {
+          fail_member(job, member, error.what());
           return;
         }
         if (solved.status != smtlib::CheckSatStatus::kUnknown) {
@@ -385,6 +435,7 @@ struct SolveService::Impl {
           break;
         }
         // kUnknown from a complete run: loop for a reseeded attempt.
+        if (aborted()) break;
       }
     }
 
@@ -393,7 +444,26 @@ struct SolveService::Impl {
     if (token.cancelled() && job.decided.load(std::memory_order_acquire)) {
       record_member_cancelled(job);
     }
-    finish_if_last(job, {});
+    finish_if_last(job);
+  }
+
+  /// A member's sampler threw (e.g. no embedding onto the target topology):
+  /// record the diagnostic and drop the member out of the race. Siblings
+  /// keep racing; if none wins, the error notes ride the kUnknown verdict.
+  /// Nothing may propagate out of a worker thread — an escaped exception
+  /// would std::terminate the whole service.
+  void fail_member(Job& job, const PortfolioMember& member,
+                   const std::string& message) {
+    {
+      std::lock_guard<std::mutex> lock(job.error_notes_mutex);
+      job.error_notes.push_back("portfolio member '" + member.name +
+                                "' failed: " + message);
+    }
+    stats_member_errors.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      telemetry::counter("service.member.errors").add();
+    }
+    finish_if_last(job);
   }
 
   /// Builds (or fetches from the cache) the job's PreparedConstraint.
@@ -476,8 +546,8 @@ struct SolveService::Impl {
   }
 
   /// Loser bookkeeping: the last member to finish an undecided job owns the
-  /// kUnknown (or timeout) verdict. `note` is attached when non-empty.
-  void finish_if_last(Job& job, const std::string& note) {
+  /// kUnknown (or timeout) verdict.
+  void finish_if_last(Job& job) {
     if (job.members_left.fetch_sub(1, std::memory_order_acq_rel) != 1) {
       return;
     }
@@ -487,18 +557,29 @@ struct SolveService::Impl {
       return;
     }
     JobResult result;
+    // timed_out only when the deadline actually interrupted work — not when
+    // every member ran its full attempt budget unverified and the deadline
+    // merely expired concurrently with the bookkeeping.
     result.timed_out =
-        job.has_deadline && job.cancel.token().cancelled() && note.empty();
+        job.has_deadline &&
+        job.deadline_cut_short.load(std::memory_order_relaxed);
     if (result.timed_out) {
       result.notes.push_back("deadline expired");
       stats_timeouts.fetch_add(1, std::memory_order_relaxed);
       if (telemetry::enabled()) {
         telemetry::counter("service.job.timeouts").add();
       }
-    } else if (!note.empty()) {
-      result.notes.push_back(note);
     } else {
       result.notes.push_back("no portfolio member produced a verified model");
+    }
+    {
+      // The countdown hitting zero means every member finished, so all
+      // appends happened-before this read; the lock keeps ASan/TSan happy
+      // about a racing append from a member that failed after the claim.
+      std::lock_guard<std::mutex> lock(job.error_notes_mutex);
+      for (std::string& note : job.error_notes) {
+        result.notes.push_back(std::move(note));
+      }
     }
     complete(job, std::move(result));
   }
@@ -508,7 +589,7 @@ struct SolveService::Impl {
     result.attempts = job.attempts.load(std::memory_order_relaxed);
     result.members_cancelled =
         job.cancelled_members.load(std::memory_order_relaxed);
-    result.queue_seconds = job.queue_seconds;
+    result.queue_seconds = job.queue_seconds.load(std::memory_order_relaxed);
     result.solve_seconds =
         std::chrono::duration<double>(SteadyClock::now() - job.enqueued)
             .count();
@@ -566,6 +647,7 @@ struct SolveService::Impl {
   std::atomic<std::uint64_t> stats_completed{0};
   std::atomic<std::uint64_t> stats_timeouts{0};
   std::atomic<std::uint64_t> stats_cancelled{0};
+  std::atomic<std::uint64_t> stats_member_errors{0};
   std::atomic<std::uint64_t> stats_retries{0};
   std::atomic<std::uint64_t> stats_cache_hits{0};
   std::atomic<std::uint64_t> stats_cache_misses{0};
@@ -633,6 +715,8 @@ SolveService::Stats SolveService::stats() const noexcept {
   stats.jobs_timed_out = impl_->stats_timeouts.load(std::memory_order_relaxed);
   stats.members_cancelled =
       impl_->stats_cancelled.load(std::memory_order_relaxed);
+  stats.member_errors =
+      impl_->stats_member_errors.load(std::memory_order_relaxed);
   stats.verify_retries = impl_->stats_retries.load(std::memory_order_relaxed);
   stats.model_cache_hits =
       impl_->stats_cache_hits.load(std::memory_order_relaxed);

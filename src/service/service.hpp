@@ -126,7 +126,10 @@ struct JobResult {
   /// Portfolio member that produced the decisive verdict (empty when none).
   std::string winner;
   std::vector<std::string> notes;
-  /// True when the job's deadline expired before any member won.
+  /// True when the job's deadline actually cut work short (a member was
+  /// cancelled while queued, between attempts, or mid-solve) before any
+  /// member won. A job whose members exhausted every attempt unverified
+  /// while the deadline expired concurrently is kUnknown, not a timeout.
   bool timed_out = false;
   /// Sampling attempts across all members at the time the verdict landed.
   std::size_t attempts = 0;
@@ -178,6 +181,9 @@ class SolveService {
     std::uint64_t jobs_timed_out = 0;
     /// Losing members that observed their token and aborted.
     std::uint64_t members_cancelled = 0;
+    /// Members whose sampler threw (e.g. embedding failure); the member
+    /// drops out of its race, the job and the service keep running.
+    std::uint64_t member_errors = 0;
     /// Reseeded re-attempts after failed verification.
     std::uint64_t verify_retries = 0;
     std::uint64_t model_cache_hits = 0;

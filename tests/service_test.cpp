@@ -12,9 +12,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -177,6 +179,136 @@ TEST(Service, DefaultDeadlineAppliesToEveryJob) {
       service.submit(strqubo::Equality{"abc"}).get();
   EXPECT_TRUE(result.timed_out);
   EXPECT_EQ(result.status, smtlib::CheckSatStatus::kUnknown);
+}
+
+// Sampler that always throws from sample() — the shape of an
+// EmbeddedSampler that cannot embed the model onto its target topology.
+// A worker thread must absorb this, not std::terminate the process.
+class ThrowingSampler : public anneal::Sampler {
+ public:
+  anneal::SampleSet sample(const qubo::QuboModel&) const override {
+    throw std::runtime_error("could not embed model onto target topology");
+  }
+  std::string name() const override { return "throwing"; }
+};
+
+// Sampler that completes instantly but only ever produces an assignment
+// that fails classical verification — exercises the attempt-exhaustion
+// path without any member being cut short.
+class GarbageSampler : public anneal::Sampler {
+ public:
+  explicit GarbageSampler(milliseconds delay = milliseconds(0))
+      : delay_(delay) {}
+  anneal::SampleSet sample(const qubo::QuboModel& model) const override {
+    if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
+    anneal::SampleSet set;
+    set.add(std::vector<std::uint8_t>(model.num_variables(), 0), 0.0);
+    return set;
+  }
+  std::string name() const override { return "garbage"; }
+
+ private:
+  milliseconds delay_;
+};
+
+template <typename SamplerT, typename... Args>
+service::PortfolioMember member_of(std::string name, Args... args) {
+  service::PortfolioMember member;
+  member.name = std::move(name);
+  member.make = [args...](std::uint64_t, CancelToken) {
+    return std::make_unique<SamplerT>(args...);
+  };
+  return member;
+}
+
+TEST(Service, ThrowingMemberLosesRaceWithoutKillingService) {
+  // One FIFO worker with the thrower queued first: it deterministically
+  // runs (and throws) before the SA lane gets a chance to win.
+  service::ServiceOptions options;
+  options.num_workers = 1;
+  options.portfolio.push_back(member_of<ThrowingSampler>("thrower"));
+  options.portfolio.push_back(service::simulated_annealing_member("sa"));
+  service::SolveService service(options);
+
+  const service::JobResult result =
+      service.submit(strqubo::Equality{"ab"}).get();
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kSat);
+  EXPECT_EQ(result.winner, "sa");
+  EXPECT_GE(service.stats().member_errors, 1u);
+
+  // The pool survived the exception and keeps serving.
+  const service::JobResult again =
+      service.submit(strqubo::Equality{"cd"}).get();
+  EXPECT_EQ(again.status, smtlib::CheckSatStatus::kSat);
+}
+
+TEST(Service, AllMembersThrowingResolvesUnknownWithErrorNote) {
+  service::ServiceOptions options;
+  options.portfolio.push_back(member_of<ThrowingSampler>("thrower"));
+  service::SolveService service(options);
+
+  const service::JobResult result =
+      service.submit(strqubo::Equality{"ab"}).get();
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kUnknown);
+  EXPECT_FALSE(result.timed_out);
+  const auto mentions_failure = [&](const std::string& note) {
+    return note.find("thrower") != std::string::npos &&
+           note.find("failed") != std::string::npos;
+  };
+  EXPECT_TRUE(std::any_of(result.notes.begin(), result.notes.end(),
+                          mentions_failure));
+
+  // Script jobs route sampler exceptions through the same guard.
+  const service::JobResult script_result =
+      service
+          .submit_script(
+              "(declare-const x String)"
+              "(assert (= x \"hi\"))"
+              "(check-sat)")
+          .get();
+  EXPECT_EQ(script_result.status, smtlib::CheckSatStatus::kUnknown);
+  EXPECT_TRUE(std::any_of(script_result.notes.begin(),
+                          script_result.notes.end(), mentions_failure));
+  EXPECT_GE(service.stats().member_errors, 2u);
+}
+
+TEST(Service, ExhaustedAttemptsWithPendingDeadlineIsNotTimeout) {
+  // Every attempt completes and merely fails verification; the deadline is
+  // nowhere near expiring. The verdict is kUnknown-exhausted, not timeout.
+  service::ServiceOptions options;
+  options.num_workers = 1;
+  options.max_verify_retries = 1;
+  options.portfolio.push_back(member_of<GarbageSampler>("garbage"));
+  service::SolveService service(options);
+
+  service::JobOptions job;
+  job.deadline = std::chrono::hours(1);
+  const service::JobResult result =
+      service.submit(strqubo::Equality{"ab"}, job).get();
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kUnknown);
+  EXPECT_FALSE(result.timed_out);
+  ASSERT_FALSE(result.notes.empty());
+  EXPECT_NE(result.notes[0].find("no portfolio member"), std::string::npos);
+  EXPECT_EQ(service.stats().jobs_timed_out, 0u);
+}
+
+TEST(Service, DeadlineExpiringMidAttemptIsTimeout) {
+  // The sampler holds the worker past the deadline (ignoring the token, as
+  // a worst-case member would) — the job was genuinely cut short mid-work.
+  service::ServiceOptions options;
+  options.num_workers = 1;
+  options.max_verify_retries = 0;
+  options.portfolio.push_back(
+      member_of<GarbageSampler>("slow-garbage", milliseconds(100)));
+  service::SolveService service(options);
+
+  service::JobOptions job;
+  job.deadline = milliseconds(5);
+  const service::JobResult result =
+      service.submit(strqubo::Equality{"ab"}, job).get();
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kUnknown);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_EQ(service.stats().jobs_timed_out, 1u);
 }
 
 TEST(Service, ModelCacheSharesPreparedConstraints) {
