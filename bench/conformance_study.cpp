@@ -1,0 +1,68 @@
+// Conformance study: sweeps the full 2^n spectrum of every registered
+// encoding-conformance case (src/conformance/registry.cpp) and reports the
+// three §4 properties per formulation — soundness, completeness over the
+// documented ground domain, and the measured minimum gap against the
+// per-op floor. Writes BENCH_conformance.json (in the CWD; run from the
+// repo root so the tracked artifact gets refreshed in place).
+//
+// Expected shape: every case reports as_expected=true — exact formulations
+// sound+complete, biased formulations sound+complete over their letter-band
+// domains, and the §4.11 hamming-2 averaged-class negative control UNSOUND
+// (that row failing to fail would mean the checker lost its teeth). The
+// min_gap column is the quantity annealing success rides on (Bian et al.);
+// the thinnest margins in the catalog are the 2*soft_weight floors of the
+// length-printable / bounded-length family.
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+#include "conformance/conformance.hpp"
+#include "conformance/registry.hpp"
+
+int main() {
+  using namespace qsmt::conformance;
+
+  std::cout << "Encoding conformance study — exhaustive spectrum sweeps\n\n";
+  std::cout << std::left << std::setw(36) << "case" << std::right
+            << std::setw(6) << "vars" << std::setw(10) << "states"
+            << std::setw(11) << "ground" << std::setw(10) << "min_gap"
+            << std::setw(7) << "floor" << "  S C G  verdict\n";
+  std::cout << std::string(96, '-') << '\n';
+
+  std::size_t failures = 0;
+  std::string json = "{\"cases\": [\n";
+  bool first = true;
+  for (const ConformanceCase& c : all_cases()) {
+    const ConformanceReport report = check_case(c);
+    std::cout << std::left << std::setw(36) << report.name << std::right
+              << std::setw(6) << report.num_variables << std::setw(10)
+              << report.num_states << std::setw(11) << std::setprecision(3)
+              << report.ground_energy << std::setw(10) << report.min_gap
+              << std::setw(7) << report.gap_floor << "  "
+              << (report.sound ? 'S' : '-') << ' '
+              << (report.complete ? 'C' : '-') << ' '
+              << (report.gap_safe ? 'G' : '-') << "  "
+              << (report.as_expected ? "ok" : "UNEXPECTED");
+    if (!c.expect_sound || !c.expect_complete) std::cout << " (neg control)";
+    std::cout << '\n';
+    if (!report.as_expected) {
+      ++failures;
+      for (const std::string& f : report.failures) {
+        std::cout << "    ! " << f << '\n';
+      }
+    }
+    if (!first) json += ",\n";
+    json += "  " + report_json(report);
+    first = false;
+  }
+  json += "\n]}\n";
+
+  std::ofstream out("BENCH_conformance.json");
+  out << json;
+  std::cout << "\nwrote BENCH_conformance.json\n";
+  if (failures != 0) {
+    std::cout << failures << " case(s) deviated from expectations\n";
+    return 1;
+  }
+  return 0;
+}

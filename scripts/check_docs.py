@@ -18,6 +18,11 @@ docs/*.md, plus any root-level markdown they link to):
    in src/service/*.hpp must appear by name in docs/ARCHITECTURE.md, so
    the serving-layer docs cannot silently fall behind the API.
 
+4. Conformance coverage: every public class/struct and free function
+   declared in src/conformance/*.hpp must appear by name in
+   docs/conformance.md, so the encoding-proof kit's docs cannot silently
+   fall behind the API.
+
 Exits non-zero with one line per problem.
 """
 
@@ -96,8 +101,27 @@ def check_service_coverage() -> list:
     ]
 
 
+def check_conformance_coverage() -> list:
+    doc = (REPO / "docs/conformance.md").read_text(encoding="utf-8")
+    names = set()
+    for header in sorted((REPO / "src/conformance").glob("*.hpp")):
+        body = header.read_text(encoding="utf-8")
+        names.update(SERVICE_TYPE_RE.findall(body))
+        names.update(SERVICE_FUNC_RE.findall(body))
+    return [
+        f"docs/conformance.md: conformance API `{name}` is undocumented"
+        for name in sorted(names)
+        if name not in doc
+    ]
+
+
 def main() -> int:
-    errors = check_links() + check_formulation_coverage() + check_service_coverage()
+    errors = (
+        check_links()
+        + check_formulation_coverage()
+        + check_service_coverage()
+        + check_conformance_coverage()
+    )
     for err in errors:
         print(f"check_docs: {err}", file=sys.stderr)
     names = ", ".join(str(d.relative_to(REPO)) for d in DOC_FILES)

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI driver: build, then the labelled test-stage matrix (tier1 -> stress ->
-# fuzz; see tests/CMakeLists.txt for what each label covers), then sanitizer
-# builds over the concurrency + anneal/qubo hot-path subset.
+# fuzz -> conformance; see tests/CMakeLists.txt for what each label covers),
+# then sanitizer builds over the concurrency + anneal/qubo hot-path +
+# conformance subset.
 #
 # Usage: scripts/ci.sh [--skip-sanitizers]
 set -euo pipefail
@@ -18,8 +19,9 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}"
 
 # Stage matrix: fast per-module suites gate first, then the service
-# concurrency stress, then differential fuzzing vs the classical baseline.
-for label in tier1 stress fuzz; do
+# concurrency stress, then differential fuzzing vs the classical baseline,
+# then the exhaustive-spectrum encoding proofs + golden SMT-LIB corpus.
+for label in tier1 stress fuzz conformance; do
   echo "=== tests: ctest -L ${label} ==="
   ctest --test-dir build -L "${label}" --output-on-failure -j "${jobs}"
 done
@@ -34,12 +36,14 @@ fi
 
 # Test subset for the (slower) sanitizer builds: the anneal/qubo hot path
 # plus the service worker pool — the threaded cancellation/racing schedules
-# are exactly what ASan/UBSan should see. The binaries run directly (rather
+# are exactly what ASan/UBSan should see — plus the conformance suites,
+# whose Gray-code spectrum sweeps and exact-solver corpus replays touch
+# every builder's full state space. The binaries run directly (rather
 # than via ctest) so the subset is exact regardless of which gtest case
 # names discovery registered.
 subset=(annealer_test hotpath_test qubo_builder_test qubo_model_test
         adjacency_test sample_set_test schedule_test builders_test
-        service_test)
+        service_test conformance_test corpus_test)
 
 for san in address undefined; do
   echo "=== ${san} sanitizer build (build-${san}/) ==="

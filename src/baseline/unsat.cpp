@@ -1,0 +1,126 @@
+#include "baseline/unsat.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+#include "baseline/classical.hpp"
+#include "regex/pattern.hpp"
+#include "strenc/ascii7.hpp"
+#include "strqubo/verify.hpp"
+
+namespace qsmt::baseline {
+
+namespace {
+
+std::size_t constraint_length(const strqubo::Constraint& constraint) {
+  return strqubo::constraint_num_variables(constraint) / strenc::kBitsPerChar;
+}
+
+/// Depth-first search over all 7-bit strings of `length`, pruning prefixes
+/// no constraint can extend. prefix_feasible is conservative-true, so the
+/// search is complete: returning false proves no witness exists.
+bool witness_exists(const std::vector<strqubo::Constraint>& constraints,
+                    std::string& prefix, std::size_t length) {
+  if (prefix.size() == length) {
+    for (const auto& c : constraints) {
+      if (!strqubo::verify_string(c, prefix)) return false;
+    }
+    return true;
+  }
+  for (int ch = 0; ch < 128; ++ch) {
+    prefix.push_back(static_cast<char>(ch));
+    bool live = true;
+    for (const auto& c : constraints) {
+      if (!prefix_feasible(c, prefix, length)) {
+        live = false;
+        break;
+      }
+    }
+    const bool found = live && witness_exists(constraints, prefix, length);
+    prefix.pop_back();
+    if (found) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+UnsatCertificate certify_unsat(
+    const std::vector<strqubo::Constraint>& constraints) {
+  UnsatCertificate certificate;
+  if (constraints.empty()) return certificate;  // Trivially satisfiable.
+  for (const auto& c : constraints) {
+    if (!strqubo::produces_string(c)) return certificate;
+  }
+
+  // Route 1: length conflict.
+  const std::size_t length = constraint_length(constraints.front());
+  for (const auto& c : constraints) {
+    if (constraint_length(c) != length) {
+      certificate.proven = true;
+      certificate.reason = "conjuncts pin different string lengths: '" +
+                           strqubo::describe(constraints.front()) + "' needs " +
+                           std::to_string(length) + " characters but '" +
+                           strqubo::describe(c) + "' needs " +
+                           std::to_string(constraint_length(c));
+      return certificate;
+    }
+  }
+
+  // Route 2: a regex pattern whose expansion cannot reach the length.
+  for (const auto& c : constraints) {
+    const auto* re = std::get_if<strqubo::RegexMatch>(&c);
+    if (re == nullptr) continue;
+    regex::Pattern pattern;
+    try {
+      pattern = regex::parse_pattern(re->pattern);
+    } catch (const std::invalid_argument&) {
+      // Malformed pattern: the builder reports it, not us — and the later
+      // routes must not run, since verifying any witness against this
+      // constraint would rethrow the parse error.
+      return certificate;
+    }
+    try {
+      regex::expand_to_length(pattern, re->length);
+    } catch (const std::invalid_argument& e) {
+      certificate.proven = true;
+      certificate.reason = "regex '" + re->pattern +
+                           "' matches no string of length " +
+                           std::to_string(re->length) + " (" + e.what() + ")";
+      return certificate;
+    }
+  }
+
+  // Route 3: a conjunct with a unique satisfying string that violates a
+  // sibling conjunct refutes the whole conjunction.
+  for (const auto& pinned : constraints) {
+    const std::optional<std::string> witness = strqubo::expected_string(pinned);
+    if (!witness) continue;
+    for (const auto& other : constraints) {
+      if (strqubo::verify_string(other, *witness)) continue;
+      certificate.proven = true;
+      certificate.reason = "the only string satisfying '" +
+                           strqubo::describe(pinned) + "' (" +
+                           (strenc::is_printable(*witness)
+                                ? "\"" + *witness + "\""
+                                : std::to_string(witness->size()) + " chars") +
+                           ") violates '" + strqubo::describe(other) + "'";
+      return certificate;
+    }
+  }
+
+  // Route 4: exhaustive search with conservative pruning.
+  if (length <= kMaxExhaustiveLength) {
+    std::string prefix;
+    prefix.reserve(length);
+    if (!witness_exists(constraints, prefix, length)) {
+      certificate.proven = true;
+      certificate.reason =
+          "exhaustive search over all 128^" + std::to_string(length) +
+          " strings of length " + std::to_string(length) + " found no witness";
+    }
+  }
+  return certificate;
+}
+
+}  // namespace qsmt::baseline

@@ -1,0 +1,52 @@
+// Exact unsatisfiability certificates for small string conjunctions.
+//
+// The annealer is one-sided: it can exhibit witnesses but never prove their
+// absence, so without this module every genuinely-unsatisfiable query
+// degrades to `unknown`. certify_unsat() closes that gap for the cases
+// where a classical proof is cheap, and is *sound by construction* — it
+// reports `proven` only when one of its routes is a complete argument:
+//
+//   1. length conflict   — every string-producing constraint fixes the
+//                          generated string's character count exactly (all
+//                          verify_string implementations check size first),
+//                          so conjuncts that disagree admit no witness;
+//   2. impossible regex  — the pattern's fixed-length expansion does not
+//                          reach the demanded length (reachable lengths are
+//                          an interval, so failure to expand is a proof);
+//   3. pinned witness    — a conjunct with a *unique* satisfying string
+//                          (strqubo::expected_string) that violates another
+//                          conjunct rules out every assignment at once;
+//   4. bounded search    — exhaustive DFS over the full 7-bit alphabet with
+//                          conservative prefix pruning (prefix_feasible
+//                          never discards a live prefix), run only when the
+//                          string is at most kMaxExhaustiveLength chars.
+//
+// A `proven = false` result means nothing: the query may still be
+// unsatisfiable, just not provably so within these routes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "strqubo/constraint.hpp"
+
+namespace qsmt::baseline {
+
+/// Strings up to this many characters (128^3 candidates) are searched
+/// exhaustively by route 4.
+inline constexpr std::size_t kMaxExhaustiveLength = 3;
+
+struct UnsatCertificate {
+  /// True only when unsatisfiability was PROVED (never heuristic).
+  bool proven = false;
+  /// Human-readable certificate ("conjuncts pin different lengths ...").
+  std::string reason;
+};
+
+/// Attempts to prove a conjunction of string-producing constraints over one
+/// shared variable unsatisfiable. Conjunctions containing Includes (which
+/// produces a position, not a string) are never certified here.
+UnsatCertificate certify_unsat(
+    const std::vector<strqubo::Constraint>& constraints);
+
+}  // namespace qsmt::baseline

@@ -1,0 +1,127 @@
+#include "conformance/conformance.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "conformance/spectrum.hpp"
+#include "util/require.hpp"
+
+namespace qsmt::conformance {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void record_failure(ConformanceReport& report, const ConformanceCase& c,
+                    const std::string& what, std::uint64_t object,
+                    double energy) {
+  if (report.failures.size() >= kMaxReportedFailures) return;
+  std::ostringstream out;
+  out << what << ": object " << (c.describe ? c.describe(object)
+                                            : std::to_string(object))
+      << " at energy " << energy;
+  report.failures.push_back(out.str());
+}
+
+}  // namespace
+
+ConformanceReport check_case(const ConformanceCase& c) {
+  require(static_cast<bool>(c.classify),
+          "check_case: case '" + c.name + "' has no classifier");
+  const Spectrum spectrum = sweep_spectrum(c.model, c.object_bits);
+
+  ConformanceReport report;
+  report.name = c.name;
+  report.op = c.op;
+  report.num_variables = spectrum.num_variables;
+  report.object_bits = spectrum.object_bits;
+  report.num_states = spectrum.num_states;
+  report.num_objects = spectrum.object_min_energy.size();
+  report.ground_energy = spectrum.ground_energy;
+  report.gap_floor = c.gap_floor;
+  report.satisfying_band_max = -kInf;
+  report.violating_min = kInf;
+  report.sound = true;
+  report.complete = true;
+
+  const double ground_ceiling = spectrum.ground_energy + kEnergyTolerance;
+  for (std::uint64_t object = 0; object < report.num_objects; ++object) {
+    const double energy = spectrum.object_min_energy[object];
+    const Classified verdict = c.classify(object);
+    const bool in_ground_band = energy <= ground_ceiling;
+    if (in_ground_band) ++report.ground_band_size;
+
+    if (verdict.satisfies) {
+      ++report.num_satisfying;
+      if (energy > report.satisfying_band_max) {
+        report.satisfying_band_max = energy;
+      }
+    } else {
+      ++report.num_violating;
+      if (energy < report.violating_min) report.violating_min = energy;
+      if (in_ground_band) {
+        // A violating object in the ground band: the annealer's minimum is
+        // not a solution — the formulation is unsound.
+        if (report.sound) report.sound = false;
+        record_failure(report, c, "unsound ground state", object, energy);
+      }
+    }
+
+    if (verdict.in_ground_domain) {
+      require(verdict.satisfies,
+              "check_case: case '" + c.name +
+                  "' classifies an object as ground-domain but unsatisfying");
+      ++report.num_ground_domain;
+      if (!in_ground_band) {
+        // A documented-ground object the encoding prices above the minimum:
+        // the annealer can never return it — the formulation is incomplete.
+        if (report.complete) report.complete = false;
+        record_failure(report, c, "missing from ground band", object, energy);
+      }
+    }
+  }
+
+  require(report.num_ground_domain > 0,
+          "check_case: case '" + c.name + "' has an empty ground domain");
+  report.min_gap = report.violating_min - report.ground_energy;
+  report.gap_safe = report.min_gap >= c.gap_floor - kEnergyTolerance;
+  if (!report.gap_safe) {
+    std::ostringstream out;
+    out << "gap " << report.min_gap << " below floor " << c.gap_floor;
+    report.failures.push_back(out.str());
+  }
+  report.as_expected = report.sound == c.expect_sound &&
+                       report.complete == c.expect_complete && report.gap_safe;
+  return report;
+}
+
+std::string report_json(const ConformanceReport& report) {
+  std::ostringstream out;
+  out.precision(12);
+  const auto finite = [](double v) {
+    return std::isfinite(v) ? v : (v > 0 ? 1e300 : -1e300);
+  };
+  out << "{\"name\": \"" << report.name << "\", \"op\": \"" << report.op
+      << "\", \"num_variables\": " << report.num_variables
+      << ", \"object_bits\": " << report.object_bits
+      << ", \"num_states\": " << report.num_states
+      << ", \"num_objects\": " << report.num_objects
+      << ", \"num_satisfying\": " << report.num_satisfying
+      << ", \"num_ground_domain\": " << report.num_ground_domain
+      << ", \"num_violating\": " << report.num_violating
+      << ", \"ground_band_size\": " << report.ground_band_size
+      << ", \"ground_energy\": " << report.ground_energy
+      << ", \"satisfying_band_max\": " << finite(report.satisfying_band_max)
+      << ", \"violating_min\": " << finite(report.violating_min)
+      << ", \"min_gap\": " << finite(report.min_gap)
+      << ", \"gap_floor\": " << report.gap_floor
+      << ", \"sound\": " << (report.sound ? "true" : "false")
+      << ", \"complete\": " << (report.complete ? "true" : "false")
+      << ", \"gap_safe\": " << (report.gap_safe ? "true" : "false")
+      << ", \"as_expected\": " << (report.as_expected ? "true" : "false")
+      << "}";
+  return out.str();
+}
+
+}  // namespace qsmt::conformance

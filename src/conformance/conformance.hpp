@@ -1,0 +1,114 @@
+// Encoding conformance kit: machine-checks that a §4 QUBO formulation's
+// energy landscape matches the operation's classical SMT semantics.
+//
+// Each ConformanceCase binds one built model to a classical classifier over
+// decoded objects and three properties:
+//
+//  * soundness     — every object in the ground band (minimum energy, up to
+//                    kEnergyTolerance) classically satisfies the operation;
+//  * completeness  — every object of the spec's documented ground domain
+//                    achieves the ground energy (for exact formulations the
+//                    domain is the full satisfying set; biased formulations
+//                    like §4.5 indexOf document the letter-band restriction
+//                    their soft terms impose);
+//  * gap safety    — the best classically-violating object sits at least
+//                    `gap_floor` above the ground energy, so penalty-weight
+//                    mistunes cannot silently shrink the margin annealing
+//                    success depends on (Bian et al.).
+//
+// Negative controls (expect_sound = false) pin documented paper artifacts —
+// e.g. the §4.11 averaged class encoding admitting out-of-class characters —
+// and double as a self-test that the checker actually detects violations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "qubo/qubo_model.hpp"
+
+namespace qsmt::conformance {
+
+/// Energies within this tolerance of the minimum count as the ground band
+/// (coefficients like the 0.1A letter bias make energies non-integral).
+inline constexpr double kEnergyTolerance = 1e-6;
+
+/// Classical classification of one decoded object.
+struct Classified {
+  /// The operation's SMT semantics hold for this object.
+  bool satisfies = false;
+  /// The object belongs to the spec's documented ground domain (must imply
+  /// `satisfies`; equal to it for exact formulations).
+  bool in_ground_domain = false;
+};
+
+struct ConformanceCase {
+  /// Unique id, "op/instance" style ("index_of/len3_b_at_1").
+  std::string name;
+  /// Operation key as reported by strqubo::constraint_name ("index_of").
+  std::string op;
+  /// Public builder functions this case exercises ("build_index_of").
+  std::vector<std::string> builders;
+  /// The formulation under test.
+  qubo::QuboModel model;
+  /// Width of the decoded-object prefix (7L string bits; position count for
+  /// includes). Variables past it are auxiliaries minimised per object.
+  std::size_t object_bits = 0;
+  /// Classical oracle over object indices (bit i of the index is QUBO
+  /// variable i, so strings decode MSB-first per character via strenc).
+  std::function<Classified(std::uint64_t)> classify;
+  /// Human-readable rendering of an object for failure messages.
+  std::function<std::string(std::uint64_t)> describe;
+  /// Required minimum energy of the best violating object above ground.
+  double gap_floor = 0.0;
+  /// Negative controls document known-by-design violations; the kit then
+  /// asserts the defect IS detected (a self-test of the checker's teeth).
+  bool expect_sound = true;
+  bool expect_complete = true;
+  /// One-line rationale shown in reports (gap-floor provenance, artifacts).
+  std::string notes;
+};
+
+struct ConformanceReport {
+  std::string name;
+  std::string op;
+  std::size_t num_variables = 0;
+  std::size_t object_bits = 0;
+  std::uint64_t num_states = 0;
+  std::uint64_t num_objects = 0;
+  std::uint64_t num_satisfying = 0;      ///< Objects satisfying classically.
+  std::uint64_t num_ground_domain = 0;   ///< Objects the spec puts at ground.
+  std::uint64_t num_violating = 0;
+  std::uint64_t ground_band_size = 0;    ///< Objects in the ground band.
+  double ground_energy = 0.0;
+  /// Max over satisfying objects of their best energy (how far the worst
+  /// satisfying object sits above ground; bias spread for soft encodings).
+  double satisfying_band_max = 0.0;
+  /// Min over violating objects of their best energy; +inf when every
+  /// object satisfies (e.g. palindrome of length 1).
+  double violating_min = 0.0;
+  /// violating_min - ground_energy (+inf when nothing violates).
+  double min_gap = 0.0;
+  double gap_floor = 0.0;
+  bool sound = false;
+  bool complete = false;
+  bool gap_safe = false;
+  /// True when measured properties match the case's expectations (negative
+  /// controls pass by *failing* soundness/completeness as documented).
+  bool as_expected = false;
+  /// Up to kMaxReportedFailures decoded counterexamples per property.
+  std::vector<std::string> failures;
+};
+
+inline constexpr std::size_t kMaxReportedFailures = 4;
+
+/// Sweeps the case's full spectrum and evaluates all three properties.
+/// Throws std::invalid_argument when the model exceeds the spectrum caps.
+ConformanceReport check_case(const ConformanceCase& c);
+
+/// Renders a report as a JSON object (one line, stable key order) for the
+/// tracked BENCH_conformance.json artifact.
+std::string report_json(const ConformanceReport& report);
+
+}  // namespace qsmt::conformance

@@ -1,0 +1,491 @@
+#include "conformance/registry.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "strqubo/builders.hpp"
+#include "strqubo/constraint.hpp"
+#include "strqubo/verify.hpp"
+#include "util/require.hpp"
+
+// Case specs use designated initializers and deliberately omit fields that
+// keep their defaults (domain, options, expectations).
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+
+namespace qsmt::conformance {
+
+namespace {
+
+using strqubo::BuildOptions;
+using strqubo::Constraint;
+
+/// Letter band of the 7-bit alphabet: both soft-bias bits (0 and 1, the two
+/// most significant) set, i.e. ASCII 96-127. The indexOf/charAt soft terms
+/// and the bounded-length content couplings all pull free positions here.
+bool letter_band(char c) {
+  const auto u = static_cast<unsigned char>(c);
+  return u >= 96 && u <= 127;
+}
+
+bool all_letter_band(const std::string& s) {
+  for (char c : s) {
+    if (!letter_band(c)) return false;
+  }
+  return true;
+}
+
+/// Letter-band content followed by NUL padding (bounded-length ground shape).
+bool letters_then_padding(const std::string& s) {
+  for (char c : s) {
+    if (c == '\0') break;
+    if (!letter_band(c)) return false;
+  }
+  return true;
+}
+
+struct StringSpec {
+  std::string name;
+  Constraint constraint;
+  std::size_t length;  ///< Characters in the decoded object prefix.
+  double gap_floor;
+  std::vector<std::string> builders;
+  std::string notes;
+  /// Restriction of the satisfying set that the encoding prices at ground;
+  /// empty means the formulation is exact (domain == full satisfying set).
+  std::function<bool(const std::string&)> domain;
+  BuildOptions options{};
+  bool expect_sound = true;
+  bool expect_complete = true;
+};
+
+ConformanceCase make_string_case(StringSpec spec) {
+  ConformanceCase c;
+  c.name = std::move(spec.name);
+  c.op = strqubo::constraint_name(spec.constraint);
+  c.builders = std::move(spec.builders);
+  c.model = strqubo::build(spec.constraint, spec.options);
+  c.object_bits = 7 * spec.length;
+  c.classify = [constraint = spec.constraint, domain = std::move(spec.domain),
+                length = spec.length](std::uint64_t object) {
+    const std::string s = decode_object_string(object, length);
+    Classified v;
+    v.satisfies = strqubo::verify_string(constraint, s);
+    v.in_ground_domain = v.satisfies && (!domain || domain(s));
+    return v;
+  };
+  c.describe = [length = spec.length](std::uint64_t object) {
+    return printable(decode_object_string(object, length));
+  };
+  c.gap_floor = spec.gap_floor;
+  c.expect_sound = spec.expect_sound;
+  c.expect_complete = spec.expect_complete;
+  c.notes = std::move(spec.notes);
+  return c;
+}
+
+/// Includes (§4.4) decodes a set of selected start positions, not a string:
+/// the object is the raw selection mask over the n-m+1 position variables.
+ConformanceCase make_includes_case(std::string name, strqubo::Includes op,
+                                   double gap_floor, std::string notes) {
+  const std::size_t positions = op.text.size() - op.substring.size() + 1;
+  ConformanceCase c;
+  c.name = std::move(name);
+  c.op = strqubo::constraint_name(Constraint{op});
+  c.builders = {"build_includes"};
+  c.model = strqubo::build_includes(op.text, op.substring);
+  c.object_bits = positions;
+  c.classify = [op](std::uint64_t mask) {
+    Classified v;
+    if (std::popcount(mask) > 1) return v;  // Multi-select never satisfies.
+    std::optional<std::size_t> position;
+    if (mask != 0) position = static_cast<std::size_t>(std::countr_zero(mask));
+    v.satisfies = strqubo::verify_position(op, position);
+    v.in_ground_domain = v.satisfies;  // Exact: the answer is unique.
+    return v;
+  };
+  c.describe = [positions](std::uint64_t mask) {
+    std::string out = "positions{";
+    bool first = true;
+    for (std::size_t p = 0; p < positions; ++p) {
+      if (!(mask >> p & 1ULL)) continue;
+      if (!first) out += ',';
+      out += std::to_string(p);
+      first = false;
+    }
+    out += '}';
+    return out;
+  };
+  c.gap_floor = gap_floor;
+  c.notes = std::move(notes);
+  return c;
+}
+
+/// build_length_printable has no Constraint alternative (it is a composition
+/// aid, see DESIGN.md), so it gets an explicit case under its own op key.
+ConformanceCase make_length_printable_case() {
+  ConformanceCase c;
+  c.name = "length_printable/cap2_len1";
+  c.op = "length-printable";
+  c.builders = {"build_length_printable"};
+  c.model = strqubo::build_length_printable(2, 1);
+  c.object_bits = 14;
+  c.classify = [](std::uint64_t object) {
+    const std::string s = decode_object_string(object, 2);
+    Classified v;
+    v.satisfies = s[0] != '\0' && s[1] == '\0';
+    v.in_ground_domain = v.satisfies && letter_band(s[0]);
+    return v;
+  };
+  c.describe = [](std::uint64_t object) {
+    return printable(decode_object_string(object, 2));
+  };
+  // The thinnest margin in the catalog: the all-NUL buffer escapes only the
+  // letter bias, 2 x soft_weight = 0.2 (FORMULATIONS.md).
+  c.gap_floor = 0.2;
+  c.notes = "all-NUL sits at exactly 2*soft_weight above ground";
+  return c;
+}
+
+}  // namespace
+
+std::string decode_object_string(std::uint64_t object, std::size_t length) {
+  require(length * 7 <= 64, "decode_object_string: length exceeds 64 bits");
+  std::string s(length, '\0');
+  for (std::size_t pos = 0; pos < length; ++pos) {
+    unsigned value = 0;
+    for (std::size_t bit = 0; bit < 7; ++bit) {  // bit 0 is the MSB (strenc).
+      value = (value << 1) | static_cast<unsigned>(object >> (pos * 7 + bit) & 1ULL);
+    }
+    s[pos] = static_cast<char>(value);
+  }
+  return s;
+}
+
+std::string printable(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u >= 0x20 && u < 0x7f) {
+      out += c;
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\x%02x", u);
+      out += buf;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<ConformanceCase> all_cases() {
+  std::vector<ConformanceCase> cases;
+
+  // §4.1 equality — diagonal-only, unique ground state, gap A per wrong bit.
+  cases.push_back(make_string_case(
+      {.name = "equality/a",
+       .constraint = strqubo::Equality{"a"},
+       .length = 1,
+       .gap_floor = 1.0,
+       .builders = {"build_equality"},
+       .notes = "one wrong bit costs A"}));
+  cases.push_back(make_string_case(
+      {.name = "equality/abc",
+       .constraint = strqubo::Equality{"abc"},
+       .length = 3,
+       .gap_floor = 1.0,
+       .builders = {"build_equality"},
+       .notes = "gap independent of length"}));
+
+  // §4.2 concat — equality against lhs + rhs.
+  cases.push_back(make_string_case(
+      {.name = "concat/a_b",
+       .constraint = strqubo::Concat{"a", "b"},
+       .length = 2,
+       .gap_floor = 1.0,
+       .builders = {"build_concat"},
+       .notes = "inherits the equality gap"}));
+
+  // §4.3 substring-match — substring stamped at every start, later starts
+  // overwrite earlier; the documented ground is that overwrite witness.
+  cases.push_back(make_string_case(
+      {.name = "substring_match/len2_a",
+       .constraint = strqubo::SubstringMatch{2, "a"},
+       .length = 2,
+       .gap_floor = 2.0,
+       .builders = {"build_substring_match"},
+       .notes = "every position stamped 'a'; a violator must miss at both",
+       .domain = [](const std::string& s) { return s == "aa"; }}));
+  cases.push_back(make_string_case(
+      {.name = "substring_match/len3_ab",
+       .constraint = strqubo::SubstringMatch{3, "ab"},
+       .length = 3,
+       .gap_floor = 1.0,
+       .builders = {"build_substring_match"},
+       .notes = "overwrite witness: start 1 wins the middle position",
+       .domain = [](const std::string& s) { return s == "aab"; }}));
+
+  // §4.4 includes — position selection; theta = A(m - 1/2) makes the ground
+  // exactly "first full match, or nothing" (DESIGN.md).
+  cases.push_back(make_includes_case(
+      "includes/first_of_two", strqubo::Includes{"abab", "ab"}, 0.5,
+      "second full match pays the first-match increment C"));
+  cases.push_back(make_includes_case(
+      "includes/single_interior", strqubo::Includes{"abcab", "ca"}, 0.5,
+      "empty selection sits at m*A - theta = A/2"));
+  cases.push_back(make_includes_case(
+      "includes/absent", strqubo::Includes{"aaa", "b"}, 0.5,
+      "no occurrence: ground is the empty selection"));
+
+  // §4.5 indexOf — strong window (2A per wrong bit), soft letter bias on
+  // free positions; the documented ground restricts free chars to 96-127.
+  cases.push_back(make_string_case(
+      {.name = "index_of/len2_a_at_0",
+       .constraint = strqubo::IndexOf{2, "a", 0},
+       .length = 2,
+       .gap_floor = 2.0,
+       .builders = {"build_index_of"},
+       .notes = "window violation costs strong_multiplier*A per bit",
+       .domain = [](const std::string& s) { return letter_band(s[1]); }}));
+  cases.push_back(make_string_case(
+      {.name = "index_of/len3_b_at_1",
+       .constraint = strqubo::IndexOf{3, "b", 1},
+       .length = 3,
+       .gap_floor = 2.0,
+       .builders = {"build_index_of"},
+       .notes = "interior window, two biased free positions",
+       .domain =
+           [](const std::string& s) {
+             return letter_band(s[0]) && letter_band(s[2]);
+           }}));
+
+  // §4.6 length — paper-faithful bit-prefix form (DEL-prefix ground).
+  cases.push_back(make_string_case(
+      {.name = "length/len2_one",
+       .constraint = strqubo::Length{2, 1},
+       .length = 2,
+       .gap_floor = 1.0,
+       .builders = {"build_length"},
+       .notes = "unique ground \\x7f\\x00 per the paper's bit-prefix reading"}));
+  cases.push_back(make_string_case(
+      {.name = "length/len2_zero",
+       .constraint = strqubo::Length{2, 0},
+       .length = 2,
+       .gap_floor = 1.0,
+       .builders = {"build_length"},
+       .notes = "degenerate desired length 0: all-NUL ground"}));
+
+  // Extension: length over printable strings (composable form).
+  cases.push_back(make_length_printable_case());
+
+  // §4.7 / §4.8 replace-all and replace — equality against the classically
+  // transformed string; covers both the rewrite and from-char-absent regimes.
+  cases.push_back(make_string_case(
+      {.name = "replace_all/aba_a_to_b",
+       .constraint = strqubo::ReplaceAll{"aba", 'a', 'b'},
+       .length = 3,
+       .gap_floor = 1.0,
+       .builders = {"build_replace_all"},
+       .notes = "every occurrence rewritten: ground bbb"}));
+  cases.push_back(make_string_case(
+      {.name = "replace_all/absent_from",
+       .constraint = strqubo::ReplaceAll{"ab", 'c', 'a'},
+       .length = 2,
+       .gap_floor = 1.0,
+       .builders = {"build_replace_all"},
+       .notes = "from-char absent: identity rewrite"}));
+  cases.push_back(make_string_case(
+      {.name = "replace/aba_first_only",
+       .constraint = strqubo::Replace{"aba", 'a', 'c'},
+       .length = 3,
+       .gap_floor = 1.0,
+       .builders = {"build_replace"},
+       .notes = "only the first occurrence rewritten: ground cba"}));
+  cases.push_back(make_string_case(
+      {.name = "replace/absent_from",
+       .constraint = strqubo::Replace{"ab", 'c', 'a'},
+       .length = 2,
+       .gap_floor = 1.0,
+       .builders = {"build_replace"},
+       .notes = "from-char absent: identity rewrite"}));
+
+  // §4.9 reverse.
+  cases.push_back(make_string_case(
+      {.name = "reverse/abc",
+       .constraint = strqubo::Reverse{"abc"},
+       .length = 3,
+       .gap_floor = 1.0,
+       .builders = {"build_reverse"},
+       .notes = "equality against the reversal"}));
+
+  // §4.10 palindrome — mirrored-bit XNOR gadgets; exact over all strings.
+  cases.push_back(make_string_case(
+      {.name = "palindrome/len1",
+       .constraint = strqubo::Palindrome{1},
+       .length = 1,
+       .gap_floor = 0.0,
+       .builders = {"build_palindrome"},
+       .notes = "degenerate: every string satisfies, no violating band"}));
+  cases.push_back(make_string_case(
+      {.name = "palindrome/len2",
+       .constraint = strqubo::Palindrome{2},
+       .length = 2,
+       .gap_floor = 1.0,
+       .builders = {"build_palindrome"},
+       .notes = "one disagreeing mirrored bit pair costs A"}));
+  cases.push_back(make_string_case(
+      {.name = "palindrome/len3",
+       .constraint = strqubo::Palindrome{3},
+       .length = 3,
+       .gap_floor = 1.0,
+       .builders = {"build_palindrome"},
+       .notes = "odd length: the middle character stays free"}));
+  {
+    BuildOptions biased;
+    biased.palindrome_printable_bias = 0.05;
+    cases.push_back(make_string_case(
+        {.name = "palindrome/len2_printable_bias",
+         .constraint = strqubo::Palindrome{2},
+         .length = 2,
+         .gap_floor = 1.0,
+         .builders = {"build_palindrome"},
+         .notes = "bias shrinks the ground band to letter palindromes, "
+                  "mirror gap unaffected",
+         .domain = all_letter_band,
+         .options = biased}));
+  }
+
+  // §4.11 regex — literal tokens are exact; class behaviour depends on the
+  // encoding and on the Hamming spread of the class (FORMULATIONS.md E6).
+  cases.push_back(make_string_case(
+      {.name = "regex/literal_ab",
+       .constraint = strqubo::RegexMatch{"ab", 2},
+       .length = 2,
+       .gap_floor = 1.0,
+       .builders = {"build_regex"},
+       .notes = "pure literals reduce to equality"}));
+  cases.push_back(make_string_case(
+      {.name = "regex/plus_literal",
+       .constraint = strqubo::RegexMatch{"a+b", 3},
+       .length = 3,
+       .gap_floor = 1.0,
+       .builders = {"build_regex"},
+       .notes = "a+ expands to two literal positions at length 3"}));
+  cases.push_back(make_string_case(
+      {.name = "regex/plus_ambiguous",
+       .constraint = strqubo::RegexMatch{"a+b+", 3},
+       .length = 3,
+       .gap_floor = 1.0,
+       .builders = {"build_regex"},
+       .notes = "expansion picks the leftmost split aab; the other match "
+                "abb sits above ground but is still satisfying",
+       .domain = [](const std::string& s) { return s == "aab"; }}));
+  cases.push_back(make_string_case(
+      {.name = "regex/class_hamming1",
+       .constraint = strqubo::RegexMatch{"[ac]b", 2},
+       .length = 2,
+       .gap_floor = 1.0,
+       .builders = {"build_regex"},
+       .notes = "averaged class is exact when members differ in one bit: "
+                "the single unbiased bit spans exactly {a,c}"}));
+  cases.push_back(make_string_case(
+      {.name = "regex/class_hamming2_artifact",
+       .constraint = strqubo::RegexMatch{"[ab]c", 2},
+       .length = 2,
+       .gap_floor = 0.0,
+       .builders = {"build_regex"},
+       .notes = "negative control (paper artifact, FORMULATIONS.md E6): a,b "
+                "differ in two bits, so the averaged class also grounds ` "
+                "and c; the kit must detect the unsoundness",
+       .expect_sound = false}));
+  {
+    BuildOptions one_hot;
+    one_hot.regex_encoding = strqubo::RegexClassEncoding::kOneHotSelectors;
+    cases.push_back(make_string_case(
+        {.name = "regex/class_one_hot",
+         .constraint = strqubo::RegexMatch{"[ab]c", 2},
+         .length = 2,
+         .gap_floor = 1.0,
+         .builders = {"build_regex"},
+         .notes = "one-hot selectors repair the hamming-2 class exactly",
+         .options = one_hot}));
+  }
+
+  // Extension: charAt — a one-character strong window plus soft bias.
+  cases.push_back(make_string_case(
+      {.name = "char_at/len2_a_at_0",
+       .constraint = strqubo::CharAt{2, 0, 'a'},
+       .length = 2,
+       .gap_floor = 2.0,
+       .builders = {"build_char_at"},
+       .notes = "pinned character at strong_multiplier*A per bit",
+       .domain = [](const std::string& s) { return letter_band(s[1]); }}));
+  cases.push_back(make_string_case(
+      {.name = "char_at/len1_z",
+       .constraint = strqubo::CharAt{1, 0, 'z'},
+       .length = 1,
+       .gap_floor = 2.0,
+       .builders = {"build_char_at"},
+       .notes = "no free positions: the whole string is the window"}));
+
+  // Extension: not-contains — quadratized window indicators.
+  cases.push_back(make_string_case(
+      {.name = "not_contains/len1_b",
+       .constraint = strqubo::NotContains{1, "b"},
+       .length = 1,
+       .gap_floor = 1.0,
+       .builders = {"build_not_contains"},
+       .notes = "the excluded string's cheapest escape is one ancilla lie "
+                "in the Boros-Hammer gadget (cost A)",
+       .domain =
+           [](const std::string& s) {
+             return all_letter_band(s) && s != "b";
+           }}));
+
+  // Extension: bounded-length — one-hot length selectors over a NUL-padded
+  // buffer; the neutraliser holds every admissible length at ground 0.
+  cases.push_back(make_string_case(
+      {.name = "bounded_length/cap2_exact1",
+       .constraint = strqubo::BoundedLength{2, 1, 1},
+       .length = 2,
+       .gap_floor = 0.2,
+       .builders = {"build_bounded_length"},
+       .notes = "empty buffer escapes only the content bias (2*soft_weight)",
+       .domain = letters_then_padding}));
+  cases.push_back(make_string_case(
+      {.name = "bounded_length/cap2_range",
+       .constraint = strqubo::BoundedLength{2, 0, 2},
+       .length = 2,
+       .gap_floor = 0.2,
+       .builders = {"build_bounded_length"},
+       .notes = "all lengths 0-2 admissible and level at ground 0; garbage "
+                "after the first NUL must stay penalised",
+       .domain = letters_then_padding}));
+  cases.push_back(make_string_case(
+      {.name = "bounded_length/cap3_range",
+       .constraint = strqubo::BoundedLength{3, 1, 2},
+       .length = 3,
+       .gap_floor = 0.2,
+       .builders = {"build_bounded_length"},
+       .notes = "largest sweep in the kit (23 variables)",
+       .domain = letters_then_padding}));
+
+  return cases;
+}
+
+std::set<std::string> covered_ops() {
+  std::set<std::string> ops;
+  for (const auto& c : all_cases()) ops.insert(c.op);
+  return ops;
+}
+
+std::set<std::string> covered_builders() {
+  std::set<std::string> builders;
+  for (const auto& c : all_cases()) {
+    builders.insert(c.builders.begin(), c.builders.end());
+  }
+  return builders;
+}
+
+}  // namespace qsmt::conformance

@@ -1,0 +1,44 @@
+// The conformance case registry: one (or more) exhaustively-checkable
+// instances per §4.1-§4.12 string-operation builder.
+//
+// Coverage is enforced two ways by tests/conformance_test.cpp:
+//  * every alternative of the strqubo::Constraint variant must be the `op`
+//    of at least one case (iterated at compile time, so extending the IR
+//    without a spec fails the suite);
+//  * every public `build_*` function declared in src/strqubo/builders.hpp
+//    must appear in some case's `builders` list (the header is parsed at
+//    test runtime, so a new builder without a spec fails the suite).
+//
+// Instances are sized for the full-spectrum sweep (<= 24 object bits,
+// <= 26 total variables): lengths 1-3, small alphabets, every structural
+// regime of each op (match present/absent, overlapping matches, odd/even
+// palindromes, class vs literal regex tokens, ...).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "conformance/conformance.hpp"
+
+namespace qsmt::conformance {
+
+/// Decodes the 7L-bit object prefix into a string (bit i of the object is
+/// QUBO variable i; strenc layout, MSB-first per character).
+std::string decode_object_string(std::uint64_t object, std::size_t length);
+
+/// Human-readable string rendering with non-printables escaped as \xNN.
+std::string printable(const std::string& s);
+
+/// All registered conformance cases, registry order.
+std::vector<ConformanceCase> all_cases();
+
+/// Distinct `op` keys (strqubo::constraint_name vocabulary, plus
+/// "length-printable" for the builder-only extension).
+std::set<std::string> covered_ops();
+
+/// Distinct builder function names covered by some case.
+std::set<std::string> covered_builders();
+
+}  // namespace qsmt::conformance

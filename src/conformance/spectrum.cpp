@@ -1,0 +1,68 @@
+#include "conformance/spectrum.hpp"
+
+#include <limits>
+
+#include "qubo/adjacency.hpp"
+#include "util/require.hpp"
+
+namespace qsmt::conformance {
+
+namespace {
+
+// Index of the bit that changes between Gray codes of k and k+1.
+inline std::size_t gray_flip_index(std::uint64_t k) noexcept {
+  return static_cast<std::size_t>(__builtin_ctzll(k + 1));
+}
+
+}  // namespace
+
+Spectrum sweep_spectrum(const qubo::QuboModel& model, std::size_t object_bits) {
+  const std::size_t n = model.num_variables();
+  require(n <= kMaxSpectrumVariables,
+          "sweep_spectrum: model exceeds kMaxSpectrumVariables");
+  require(object_bits <= n,
+          "sweep_spectrum: object_bits exceeds the model's variable count");
+  require(object_bits <= kMaxObjectBits,
+          "sweep_spectrum: object_bits exceeds kMaxObjectBits");
+
+  Spectrum spectrum;
+  spectrum.num_variables = n;
+  spectrum.object_bits = object_bits;
+  spectrum.num_states = 1ULL << n;
+  spectrum.object_min_energy.assign(
+      1ULL << object_bits, std::numeric_limits<double>::infinity());
+
+  const qubo::QuboAdjacency adjacency(model);
+  const std::uint64_t object_mask = (1ULL << object_bits) - 1ULL;
+
+  // Gray-code sweep: `field[i]` is the energy delta of flipping variable i
+  // to 1 given the other bits (linear term plus active couplings); each
+  // visited state updates its object's running minimum.
+  std::vector<std::uint8_t> bits(n, 0);
+  std::vector<double> field(n);
+  for (std::size_t i = 0; i < n; ++i) field[i] = adjacency.linear(i);
+
+  std::uint64_t mask = 0;
+  double energy = adjacency.offset();
+  double ground = energy;
+  spectrum.object_min_energy[0] = energy;
+
+  for (std::uint64_t k = 0; k + 1 < spectrum.num_states; ++k) {
+    const std::size_t i = gray_flip_index(k);
+    energy += bits[i] ? -field[i] : field[i];
+    const double step = bits[i] ? -1.0 : 1.0;
+    bits[i] ^= 1u;
+    mask ^= 1ULL << i;
+    for (const auto& nb : adjacency.neighbors(i)) {
+      field[nb.index] += nb.coefficient * step;
+    }
+    double& slot = spectrum.object_min_energy[mask & object_mask];
+    if (energy < slot) slot = energy;
+    if (energy < ground) ground = energy;
+  }
+
+  spectrum.ground_energy = ground;
+  return spectrum;
+}
+
+}  // namespace qsmt::conformance

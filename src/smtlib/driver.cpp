@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "baseline/unsat.hpp"
 #include "smtlib/parser.hpp"
 #include "strenc/ascii7.hpp"
 #include "strqubo/solver.hpp"
@@ -187,6 +188,21 @@ CheckSatRecord SmtDriver::check_sat() {
   if (query.constraints.empty()) {
     // All assertions were ground and true (or there were none).
     record.status = CheckSatStatus::kSat;
+    record_verdict(record.status);
+    return record;
+  }
+
+  // A cheap exact refutation (length conflicts, impossible regex lengths,
+  // pinned witnesses, bounded exhaustive search) upgrades the verdict from
+  // the annealer's best-effort `unknown` to a certified `unsat`.
+  const baseline::UnsatCertificate certificate =
+      baseline::certify_unsat(query.constraints);
+  if (certificate.proven) {
+    record.status = CheckSatStatus::kUnsat;
+    record.notes.push_back("certified: " + certificate.reason);
+    if (telemetry::enabled()) {
+      telemetry::counter("smtlib.check_sat.certified_unsat").add();
+    }
     record_verdict(record.status);
     return record;
   }

@@ -2,8 +2,10 @@
 //
 // The interactive surface of the system: feed it a .smt2 script, it answers
 // check-sat with `sat` (annealer found a verified model), `unsat` (a ground
-// assertion is false — the only case where this incomplete solver may claim
-// unsatisfiability), or `unknown` (out of fragment, or the annealer's best
+// assertion is false, or baseline::certify_unsat produced an exact proof —
+// length conflicts, impossible regex lengths, pinned witnesses, bounded
+// exhaustive search; the solver never claims unsatisfiability without a
+// certificate), or `unknown` (out of fragment, or the annealer's best
 // sample failed classical verification).
 #pragma once
 

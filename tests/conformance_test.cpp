@@ -1,0 +1,307 @@
+// Conformance suite (ctest label: conformance): exhaustively proves every
+// §4 QUBO formulation sound, complete over its documented ground domain,
+// and gap-safe, via the spectrum oracle in src/conformance.
+//
+// Alongside the per-case property checks the suite enforces registry
+// coverage from both ends:
+//   * every alternative of the strqubo::Constraint variant must appear as
+//     the `op` of some registered case (compile-time enumeration), and
+//   * every `build_*` function declared in src/strqubo/builders.hpp must be
+//     exercised by some case (the header is parsed at test runtime via the
+//     QSMT_BUILDERS_HPP path injected by CMake),
+// so adding an operation without a conformance spec fails this suite.
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "anneal/exact.hpp"
+#include "conformance/conformance.hpp"
+#include "conformance/registry.hpp"
+#include "conformance/spectrum.hpp"
+#include "qubo/qubo_model.hpp"
+#include "strenc/ascii7.hpp"
+#include "strqubo/builders.hpp"
+#include "strqubo/constraint.hpp"
+
+namespace qsmt::conformance {
+namespace {
+
+std::string failure_details(const ConformanceReport& report) {
+  std::ostringstream out;
+  out << report_json(report);
+  for (const std::string& f : report.failures) out << "\n  " << f;
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// The kit itself: one parameterised test per registered case.
+
+class ConformanceCaseTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ConformanceCaseTest, PropertiesMatchSpec) {
+  const std::vector<ConformanceCase> cases = all_cases();
+  const ConformanceCase& c = cases.at(GetParam());
+  const ConformanceReport report = check_case(c);
+
+  EXPECT_EQ(report.sound, c.expect_sound)
+      << c.name << ": " << failure_details(report);
+  EXPECT_EQ(report.complete, c.expect_complete)
+      << c.name << ": " << failure_details(report);
+  EXPECT_TRUE(report.gap_safe) << c.name << ": " << failure_details(report);
+  EXPECT_TRUE(report.as_expected) << c.name << ": " << failure_details(report);
+
+  // Structural sanity: the sweep saw every object, the ground band is
+  // non-empty, and counts partition the object space.
+  EXPECT_GT(report.ground_band_size, 0u);
+  EXPECT_EQ(report.num_satisfying + report.num_violating, report.num_objects);
+  EXPECT_GE(report.num_satisfying, report.num_ground_domain);
+}
+
+std::string case_test_name(const ::testing::TestParamInfo<std::size_t>& info) {
+  std::string name = all_cases().at(info.param).name;
+  for (char& c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, ConformanceCaseTest,
+                         ::testing::Range<std::size_t>(0, all_cases().size()),
+                         case_test_name);
+
+// ---------------------------------------------------------------------------
+// Registry coverage: the two auto-discovery directions.
+
+template <std::size_t... I>
+std::set<std::string> variant_op_names(std::index_sequence<I...>) {
+  return {strqubo::constraint_name(strqubo::Constraint{
+      std::variant_alternative_t<I, strqubo::Constraint>{}})...};
+}
+
+TEST(ConformanceRegistry, CoversEveryConstraintAlternative) {
+  const std::set<std::string> ops = covered_ops();
+  for (const std::string& op : variant_op_names(
+           std::make_index_sequence<
+               std::variant_size_v<strqubo::Constraint>>())) {
+    EXPECT_TRUE(ops.count(op))
+        << "Constraint alternative '" << op
+        << "' has no conformance case; add one to src/conformance/registry.cpp";
+  }
+}
+
+TEST(ConformanceRegistry, CoversEveryDeclaredBuilder) {
+  std::ifstream in(QSMT_BUILDERS_HPP);
+  ASSERT_TRUE(in) << "cannot open " << QSMT_BUILDERS_HPP;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string header = buffer.str();
+
+  const std::regex builder_re(R"(qubo::QuboModel\s+(build_\w+)\s*\()");
+  const std::set<std::string> covered = covered_builders();
+  std::size_t declared = 0;
+  for (auto it = std::sregex_iterator(header.begin(), header.end(), builder_re);
+       it != std::sregex_iterator(); ++it) {
+    const std::string builder = (*it)[1];
+    if (builder == "build") continue;  // The dispatcher, not a formulation.
+    ++declared;
+    EXPECT_TRUE(covered.count(builder))
+        << "builders.hpp declares '" << builder
+        << "' but no conformance case lists it; add one to "
+           "src/conformance/registry.cpp";
+  }
+  // The regex must actually be finding the catalog (guards against a
+  // signature-style change silently turning this test into a no-op).
+  EXPECT_GE(declared, 15u);
+  for (const std::string& builder : covered) {
+    EXPECT_NE(header.find(builder), std::string::npos)
+        << "registry lists unknown builder '" << builder << "'";
+  }
+}
+
+TEST(ConformanceRegistry, CaseNamesUniqueAndWellFormed) {
+  std::set<std::string> names;
+  for (const ConformanceCase& c : all_cases()) {
+    EXPECT_TRUE(names.insert(c.name).second) << "duplicate case " << c.name;
+    EXPECT_FALSE(c.op.empty()) << c.name;
+    EXPECT_FALSE(c.builders.empty()) << c.name;
+    EXPECT_TRUE(static_cast<bool>(c.classify)) << c.name;
+    EXPECT_TRUE(static_cast<bool>(c.describe)) << c.name;
+    EXPECT_GE(c.gap_floor, 0.0) << c.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spectrum oracle self-tests: the sweep must agree with brute force and
+// with the existing exact solver.
+
+TEST(SpectrumOracle, MatchesBruteForceOnHandBuiltModel) {
+  // 4 variables: 2 object bits, 2 auxiliaries, with couplings across the
+  // boundary so per-object minimisation actually has work to do.
+  qubo::QuboModel model(4);
+  model.set_offset(0.25);
+  model.set_linear(0, -1.0);
+  model.set_linear(1, 0.5);
+  model.set_linear(2, 1.5);
+  model.set_linear(3, -0.75);
+  model.add_quadratic(0, 1, 2.0);
+  model.add_quadratic(0, 2, -1.0);
+  model.add_quadratic(1, 3, -2.5);
+  model.add_quadratic(2, 3, 1.0);
+
+  const Spectrum spectrum = sweep_spectrum(model, 2);
+  ASSERT_EQ(spectrum.object_min_energy.size(), 4u);
+
+  double ground = std::numeric_limits<double>::infinity();
+  std::vector<double> expect(4, std::numeric_limits<double>::infinity());
+  for (std::uint64_t state = 0; state < 16; ++state) {
+    std::vector<std::uint8_t> bits(4);
+    for (std::size_t i = 0; i < 4; ++i) bits[i] = state >> i & 1ULL;
+    const double e = model.energy(bits);
+    ground = std::min(ground, e);
+    expect[state & 3] = std::min(expect[state & 3], e);
+  }
+  EXPECT_DOUBLE_EQ(spectrum.ground_energy, ground);
+  for (std::size_t object = 0; object < 4; ++object) {
+    EXPECT_DOUBLE_EQ(spectrum.object_min_energy[object], expect[object])
+        << "object " << object;
+  }
+}
+
+TEST(SpectrumOracle, GroundEnergyMatchesExactSolver) {
+  const qubo::QuboModel model = strqubo::build_equality("hi");
+  const Spectrum spectrum = sweep_spectrum(model, 14);
+  const anneal::ExactSolver exact;
+  EXPECT_DOUBLE_EQ(spectrum.ground_energy, exact.ground_energy(model));
+}
+
+TEST(SpectrumOracle, RejectsOversizedModels) {
+  EXPECT_THROW(sweep_spectrum(qubo::QuboModel(kMaxSpectrumVariables + 1), 1),
+               std::invalid_argument);
+  EXPECT_THROW(sweep_spectrum(qubo::QuboModel(4), 5), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Checker teeth: deliberately wrong specs must be caught, not absorbed.
+
+ConformanceCase tiny_equality_case() {
+  ConformanceCase c;
+  c.name = "selftest/equality_a";
+  c.op = "equality";
+  c.builders = {"build_equality"};
+  c.model = strqubo::build_equality("a");
+  c.object_bits = 7;
+  c.classify = [](std::uint64_t object) {
+    const std::string s = decode_object_string(object, 1);
+    Classified v;
+    v.satisfies = s == "a";
+    v.in_ground_domain = v.satisfies;
+    return v;
+  };
+  c.gap_floor = 1.0;
+  return c;
+}
+
+TEST(CheckerSelfTest, DetectsUnsoundGround) {
+  ConformanceCase c = tiny_equality_case();
+  // Lie: claim the true ground state violates. The checker must flag the
+  // formulation unsound (a violating object in the ground band).
+  c.classify = [](std::uint64_t object) {
+    const std::string s = decode_object_string(object, 1);
+    Classified v;
+    v.satisfies = s == "b";
+    v.in_ground_domain = v.satisfies;
+    return v;
+  };
+  const ConformanceReport report = check_case(c);
+  EXPECT_FALSE(report.sound);
+  EXPECT_FALSE(report.as_expected);
+  ASSERT_FALSE(report.failures.empty());
+  // The lie also breaks completeness ("b" is not at ground), and objects are
+  // scanned in numeric order, so search every failure for the unsound flag.
+  std::string joined;
+  for (const std::string& failure : report.failures) joined += failure + "\n";
+  EXPECT_NE(joined.find("unsound"), std::string::npos) << joined;
+}
+
+TEST(CheckerSelfTest, DetectsIncompleteGroundDomain) {
+  ConformanceCase c = tiny_equality_case();
+  // Lie: claim both "a" and "b" should be at ground. "b" is not, so the
+  // checker must flag incompleteness.
+  c.classify = [](std::uint64_t object) {
+    const std::string s = decode_object_string(object, 1);
+    Classified v;
+    v.satisfies = s == "a" || s == "b";
+    v.in_ground_domain = v.satisfies;
+    return v;
+  };
+  const ConformanceReport report = check_case(c);
+  EXPECT_TRUE(report.sound);
+  EXPECT_FALSE(report.complete);
+  EXPECT_FALSE(report.as_expected);
+}
+
+TEST(CheckerSelfTest, DetectsGapBelowFloor) {
+  ConformanceCase c = tiny_equality_case();
+  c.gap_floor = 1.5;  // The true gap is exactly A = 1.
+  const ConformanceReport report = check_case(c);
+  EXPECT_TRUE(report.sound);
+  EXPECT_TRUE(report.complete);
+  EXPECT_FALSE(report.gap_safe);
+  EXPECT_FALSE(report.as_expected);
+}
+
+TEST(CheckerSelfTest, RejectsEmptyGroundDomain) {
+  ConformanceCase c = tiny_equality_case();
+  c.classify = [](std::uint64_t) { return Classified{}; };
+  EXPECT_THROW(check_case(c), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Decoder adapter: must invert the strenc encoding exactly.
+
+TEST(DecodeObjectString, RoundTripsThroughStrenc) {
+  for (const std::string& s : {std::string("a"), std::string("zyx"),
+                               std::string("\x7f\x00\x41", 3)}) {
+    const std::vector<std::uint8_t> bits = strenc::encode_string(s);
+    std::uint64_t object = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      object |= static_cast<std::uint64_t>(bits[i]) << i;
+    }
+    EXPECT_EQ(decode_object_string(object, s.size()), s);
+  }
+}
+
+TEST(DecodeObjectString, EscapesNonPrintables) {
+  EXPECT_EQ(printable(std::string("a\x01", 2)), "\"a\\x01\"");
+  EXPECT_EQ(printable("ok"), "\"ok\"");
+}
+
+// ---------------------------------------------------------------------------
+// Report serialisation.
+
+TEST(ReportJson, EmitsStableKeysAndFiniteSentinels) {
+  const std::vector<ConformanceCase> cases = all_cases();
+  const ConformanceReport report = check_case(cases.front());
+  const std::string json = report_json(report);
+  for (const char* key :
+       {"\"name\"", "\"op\"", "\"num_variables\"", "\"ground_energy\"",
+        "\"min_gap\"", "\"gap_floor\"", "\"sound\"", "\"complete\"",
+        "\"gap_safe\"", "\"as_expected\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qsmt::conformance

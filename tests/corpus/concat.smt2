@@ -1,0 +1,7 @@
+; §4.2 concatenation: the witness is lhs + rhs.
+; expect: sat
+; expect-model: abc
+(declare-const x String)
+(assert (= x (str.++ "ab" "c")))
+(check-sat)
+(get-model)

@@ -1,0 +1,8 @@
+; §4.3 contains with the mandatory length companion. The overwrite witness
+; (later start positions win) makes the ground state unique: bbc.
+; expect: sat
+; expect-model: bbc
+(declare-const x String)
+(assert (= (str.len x) 3))
+(assert (str.contains x "bc"))
+(check-sat)

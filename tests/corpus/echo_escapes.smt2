@@ -1,0 +1,9 @@
+; Echo output, embedded "" quote escapes, and a model containing a quote.
+; expect: sat
+; expect-contains: hello from corpus
+; expect-model: a"b
+(declare-const x String)
+(echo "hello from corpus")
+(assert (= x "a""b"))
+(check-sat)
+(get-model)

@@ -1,0 +1,9 @@
+; §4.1 equality through the full SMT-LIB pipeline.
+; expect: sat
+; expect-model: ab
+(set-logic QF_S)
+(set-info :source |conformance corpus|)
+(declare-const x String)
+(assert (= x "ab"))
+(check-sat)
+(get-model)

@@ -1,0 +1,10 @@
+; §4.5 indexOf joined with charAt pins: every position forced, unique model.
+; expect: sat
+; expect-model: abc
+(declare-const x String)
+(assert (= (str.len x) 3))
+(assert (= (str.indexof x "b" 0) 1))
+(assert (= (str.at x 0) "a"))
+(assert (= (str.at x 2) "c"))
+(check-sat)
+(get-model)

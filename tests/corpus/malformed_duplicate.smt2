@@ -1,0 +1,3 @@
+; expect-throw: duplicate
+(declare-const x String)
+(declare-const x Int)

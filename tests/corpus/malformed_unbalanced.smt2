@@ -1,0 +1,3 @@
+; expect-throw:
+(declare-const x String)
+(assert (= x "ab")

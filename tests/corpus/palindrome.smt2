@@ -1,0 +1,9 @@
+; §4.10 palindrome: the mirror gadget forces position 2 to copy position 0.
+; expect: sat
+; expect-model: aba
+(declare-const x String)
+(assert (= (str.len x) 3))
+(assert (qsmt.is_palindrome x))
+(assert (= (str.at x 0) "a"))
+(assert (= (str.at x 1) "b"))
+(check-sat)

@@ -1,0 +1,8 @@
+; prefixof/suffixof both lower to indexOf windows; all positions pinned.
+; expect: sat
+; expect-model: abz
+(declare-const x String)
+(assert (= (str.len x) 3))
+(assert (str.prefixof "ab" x))
+(assert (str.suffixof "z" x))
+(check-sat)

@@ -1,0 +1,14 @@
+; Three verdicts from one script: the pushed contradiction is certified
+; unsat (pinned witness), and the pop restores satisfiability.
+; expect: sat
+; expect: unsat
+; expect: sat
+; expect-model: aa
+(declare-const x String)
+(assert (= x "aa"))
+(check-sat)
+(push)
+(assert (= x "bb"))
+(check-sat)
+(pop)
+(check-sat)

@@ -1,0 +1,9 @@
+; §4.11 regex a[bc]+ via re.++ / re.+ / re.union. The class members differ
+; in one bit, so the paper-averaged encoding is exact here.
+; expect: sat
+(declare-const x String)
+(assert (= (str.len x) 3))
+(assert (str.in_re x (re.++ (str.to_re "a")
+                            (re.+ (re.union (str.to_re "b")
+                                            (str.to_re "c"))))))
+(check-sat)

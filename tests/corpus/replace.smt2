@@ -1,0 +1,6 @@
+; §4.8 replace rewrites only the first occurrence.
+; expect: sat
+; expect-model: cba
+(declare-const x String)
+(assert (= x (str.replace "aba" "a" "c")))
+(check-sat)

@@ -1,0 +1,6 @@
+; §4.7 replaceAll rewrites every occurrence.
+; expect: sat
+; expect-model: bbb
+(declare-const x String)
+(assert (= x (qsmt.replace_all "aba" "a" "b")))
+(check-sat)

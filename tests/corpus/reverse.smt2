@@ -1,0 +1,7 @@
+; §4.9 reverse; comment noise with )( unbalanced "quotes to stress the lexer.
+; expect: sat
+; expect-model: cba
+(declare-const x String)
+(assert (= x (str.rev "abc")))
+(check-sat)
+(get-model)

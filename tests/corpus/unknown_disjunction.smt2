@@ -1,0 +1,5 @@
+; Boolean structure is outside the conjunctive driver's fragment.
+; expect: unknown
+(declare-const x String)
+(assert (or (= x "a") (= x "b")))
+(check-sat)

@@ -1,0 +1,10 @@
+; Certified refutation route 4: no conjunct has a unique witness, bounded
+; exhaustive search proves the mirror conflict.
+; expect: unsat
+; expect-note: exhaustive
+(declare-const x String)
+(assert (= (str.len x) 2))
+(assert (qsmt.is_palindrome x))
+(assert (= (str.at x 0) "a"))
+(assert (= (str.at x 1) "b"))
+(check-sat)

@@ -1,0 +1,5 @@
+; A falsified ground fact refutes the script before any solving.
+; expect: unsat
+; expect-note: falsified
+(assert (= "a" "b"))
+(check-sat)

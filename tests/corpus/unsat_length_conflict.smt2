@@ -1,0 +1,7 @@
+; Certified refutation route 1: conjuncts pin different lengths.
+; expect: unsat
+; expect-note: certified
+(declare-const x String)
+(assert (= x "ab"))
+(assert (= x "abc"))
+(check-sat)

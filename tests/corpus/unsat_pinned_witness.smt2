@@ -1,0 +1,9 @@
+; Certified refutation route 3: "ab" is the equality's unique witness and
+; contains no "z".
+; expect: unsat
+; expect-note: only string
+(declare-const x String)
+(assert (= (str.len x) 2))
+(assert (= x "ab"))
+(assert (str.contains x "z"))
+(check-sat)

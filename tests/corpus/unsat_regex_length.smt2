@@ -1,0 +1,7 @@
+; Certified refutation route 2: "ab" cannot be matched by one character.
+; expect: unsat
+; expect-note: regex
+(declare-const x String)
+(assert (= (str.len x) 1))
+(assert (str.in_re x (re.++ (str.to_re "a") (str.to_re "b"))))
+(check-sat)

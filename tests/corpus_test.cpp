@@ -1,0 +1,175 @@
+// Golden-file corpus (ctest label: conformance): every .smt2 script under
+// tests/corpus/ carries pinned expectations in its leading comments and is
+// replayed through the full smtlib::SmtDriver pipeline with the exact
+// solver (deterministic — no annealing noise in golden verdicts):
+//
+//   ; expect: sat|unsat|unknown   one per check-sat, in order
+//   ; expect-model: <text>        model value of the last check-sat, verbatim
+//   ; expect-note: <substr>       last check-sat's notes must contain this
+//   ; expect-contains: <substr>   full transcript must contain this
+//   ; expect-throw: <substr>      running the script throws invalid_argument
+//
+// The corpus pins the user-visible contract: witnesses for every §4 op
+// family, all four certified-unsat routes, out-of-fragment degradation,
+// comment/escape lexing, and malformed-input errors.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "anneal/exact.hpp"
+#include "smtlib/driver.hpp"
+
+namespace qsmt::smtlib {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Expectations {
+  std::vector<std::string> verdicts;
+  std::optional<std::string> model;
+  std::vector<std::string> notes;
+  std::vector<std::string> contains;
+  bool expect_throw = false;
+  std::string throw_substring;
+
+  bool empty() const {
+    return verdicts.empty() && !model && notes.empty() && contains.empty() &&
+           !expect_throw;
+  }
+};
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Returns the remainder after `prefix`, stripped of one leading space.
+std::optional<std::string> after(const std::string& line,
+                                 const std::string& prefix) {
+  if (line.rfind(prefix, 0) != 0) return std::nullopt;
+  std::string rest = line.substr(prefix.size());
+  if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+  return rest;
+}
+
+Expectations parse_expectations(const std::string& text) {
+  Expectations expect;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (auto rest = after(line, "; expect:")) {
+      expect.verdicts.push_back(*rest);
+    } else if (auto rest = after(line, "; expect-model:")) {
+      expect.model = *rest;
+    } else if (auto rest = after(line, "; expect-note:")) {
+      expect.notes.push_back(*rest);
+    } else if (auto rest = after(line, "; expect-contains:")) {
+      expect.contains.push_back(*rest);
+    } else if (auto rest = after(line, "; expect-throw:")) {
+      expect.expect_throw = true;
+      expect.throw_substring = *rest;
+    }
+  }
+  return expect;
+}
+
+std::vector<std::string> verdict_lines(const std::string& output) {
+  std::vector<std::string> verdicts;
+  std::istringstream lines(output);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line == "sat" || line == "unsat" || line == "unknown") {
+      verdicts.push_back(line);
+    }
+  }
+  return verdicts;
+}
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(QSMT_CORPUS_DIR)) {
+    if (entry.path().extension() == ".smt2") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+class CorpusTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CorpusTest, MatchesPinnedExpectations) {
+  const fs::path path = corpus_files().at(GetParam());
+  const std::string script = read_file(path);
+  const Expectations expect = parse_expectations(script);
+  ASSERT_FALSE(expect.empty())
+      << path << " declares no expectations; pin at least one";
+
+  const anneal::ExactSolver exact;
+  SmtDriver driver(exact);
+
+  if (expect.expect_throw) {
+    try {
+      driver.run_script(script);
+      FAIL() << path << " was expected to throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(expect.throw_substring),
+                std::string::npos)
+          << path << ": exception '" << e.what() << "' lacks '"
+          << expect.throw_substring << "'";
+    }
+    return;
+  }
+
+  const std::string output = driver.run_script(script);
+  EXPECT_EQ(verdict_lines(output), expect.verdicts) << path << "\n" << output;
+
+  for (const std::string& needle : expect.contains) {
+    EXPECT_NE(output.find(needle), std::string::npos)
+        << path << ": transcript lacks '" << needle << "'\n"
+        << output;
+  }
+  if (expect.model || !expect.notes.empty()) {
+    ASSERT_FALSE(driver.history().empty()) << path;
+    const CheckSatRecord& last = driver.history().back();
+    if (expect.model) {
+      EXPECT_EQ(last.model_value, *expect.model) << path;
+    }
+    std::string joined;
+    for (const std::string& note : last.notes) joined += note + "\n";
+    for (const std::string& needle : expect.notes) {
+      EXPECT_NE(joined.find(needle), std::string::npos)
+          << path << ": notes lack '" << needle << "'\n"
+          << joined;
+    }
+  }
+}
+
+std::string corpus_test_name(const ::testing::TestParamInfo<std::size_t>& info) {
+  std::string name = corpus_files().at(info.param).stem().string();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Golden, CorpusTest,
+                         ::testing::Range<std::size_t>(0,
+                                                       corpus_files().size()),
+                         corpus_test_name);
+
+TEST(Corpus, HasFullOperationSpread) {
+  // The corpus is a contract surface: keep it at least this wide.
+  EXPECT_GE(corpus_files().size(), 15u);
+}
+
+}  // namespace
+}  // namespace qsmt::smtlib

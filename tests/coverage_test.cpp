@@ -134,9 +134,10 @@ TEST(CheckSatAssuming, AssumptionsAreScopedToOneCheck) {
     (check-sat-assuming ((= x "other")))
     (check-sat)
   )");
-  // With the conflicting assumption: unknown (unsatisfiable conjunction);
-  // afterwards the assumption is gone and the base assertion holds.
-  EXPECT_EQ(out, "unknown\nsat\n");
+  // With the conflicting assumption the lengths disagree, which the baseline
+  // certifier refutes exactly; afterwards the assumption is gone and the base
+  // assertion holds.
+  EXPECT_EQ(out, "unsat\nsat\n");
   EXPECT_EQ(driver.history().back().model_value, "base");
 }
 

@@ -1,14 +1,19 @@
 // Differential fuzzing: the portfolio solve service against the classical
 // DirectBaseline over seeded random constraints (40 cases per operation,
-// 240 total). The contract checked per case:
+// 440 total). The contract checked per case:
 //
 //  * verdict agreement — a service kSat implies the baseline finds the
 //    constraint satisfiable, and a baseline-unsatisfiable constraint is
 //    never kSat from the service;
 //  * exact-output agreement — operations with a unique satisfying string
-//    (equality, concat, the bit-prefix length form, replace, reverse) must
-//    produce the baseline's witness verbatim, and Includes must report the
-//    baseline's first-occurrence position (including "absent" = nullopt).
+//    (equality, concat, the bit-prefix length form, replace, replace-all,
+//    reverse) must produce the baseline's witness verbatim, and Includes
+//    must report the baseline's first-occurrence position (including
+//    "absent" = nullopt). Operations with degenerate grounds (substring
+//    match, indexOf, charAt, palindrome, regex membership) are held to
+//    verified-verdict agreement only: any witness the service returns has
+//    already passed strqubo::verify_string for the same constraint the
+//    baseline solved.
 //
 // Every generator is seeded, annealer reads are counter-seeded, and the
 // portfolio race only selects which member claims a verified verdict — so
@@ -19,6 +24,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -113,6 +119,80 @@ std::vector<strqubo::Constraint> reverse_cases(std::uint64_t seed) {
   return cases;
 }
 
+std::vector<strqubo::Constraint> replace_all_cases(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<strqubo::Constraint> cases;
+  for (std::size_t i = 0; i < kCasesPerKind; ++i) {
+    cases.push_back(strqubo::ReplaceAll{
+        random_word(rng, 2, 6), static_cast<char>('a' + rng.below(5)),
+        static_cast<char>('a' + rng.below(5))});
+  }
+  return cases;
+}
+
+std::vector<strqubo::Constraint> substring_match_cases(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<strqubo::Constraint> cases;
+  for (std::size_t i = 0; i < kCasesPerKind; ++i) {
+    const std::size_t length = 3 + rng.below(3);
+    cases.push_back(
+        strqubo::SubstringMatch{length, random_word(rng, 1, 2)});
+  }
+  return cases;
+}
+
+std::vector<strqubo::Constraint> index_of_cases(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<strqubo::Constraint> cases;
+  for (std::size_t i = 0; i < kCasesPerKind; ++i) {
+    const std::size_t length = 3 + rng.below(2);
+    const std::string substring = random_word(rng, 1, 2);
+    cases.push_back(strqubo::IndexOf{
+        length, substring, rng.below(length - substring.size() + 1)});
+  }
+  return cases;
+}
+
+std::vector<strqubo::Constraint> char_at_cases(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<strqubo::Constraint> cases;
+  for (std::size_t i = 0; i < kCasesPerKind; ++i) {
+    const std::size_t length = 2 + rng.below(4);
+    cases.push_back(strqubo::CharAt{length, rng.below(length),
+                                    static_cast<char>('a' + rng.below(5))});
+  }
+  return cases;
+}
+
+std::vector<strqubo::Constraint> palindrome_cases(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<strqubo::Constraint> cases;
+  for (std::size_t i = 0; i < kCasesPerKind; ++i) {
+    cases.push_back(strqubo::Palindrome{1 + rng.below(5)});
+  }
+  return cases;
+}
+
+std::vector<strqubo::Constraint> regex_cases(std::uint64_t seed) {
+  // Pattern pool restricted to shapes the default paper-averaged class
+  // encoding solves exactly: literals, '+', and Hamming-distance-1 classes
+  // ('a'/'c' and 'b'/'c' differ in one ASCII bit; '[ab]' differs in two and
+  // is the documented §4.11 averaging artifact — see the conformance
+  // registry's regex/class_hamming2_artifact case).
+  static const std::vector<std::pair<std::string, std::size_t>> kPool = {
+      {"ab", 2},      {"abc", 3},    {"a+b", 2},      {"a+b", 3},
+      {"ab+", 3},     {"a+", 3},     {"a+b+", 3},     {"[ac]b", 2},
+      {"a[bc]", 2},   {"[ac]b+", 3}, {"[bc][ac]", 2}, {"abc+", 4},
+  };
+  Xoshiro256 rng(seed);
+  std::vector<strqubo::Constraint> cases;
+  for (std::size_t i = 0; i < kCasesPerKind; ++i) {
+    const auto& [pattern, length] = kPool[rng.below(kPool.size())];
+    cases.push_back(strqubo::RegexMatch{pattern, length});
+  }
+  return cases;
+}
+
 /// Solves every case through a fresh service and differentially checks each
 /// result against DirectBaseline. `exact_text` demands the baseline witness
 /// verbatim (only valid for unique-output operations).
@@ -182,6 +262,30 @@ TEST(DifferentialFuzz, Replace) {
 
 TEST(DifferentialFuzz, Reverse) {
   run_differential(reverse_cases(0xFE), 0xFF, /*exact_text=*/true);
+}
+
+TEST(DifferentialFuzz, ReplaceAll) {
+  run_differential(replace_all_cases(0xA0), 0xA1, /*exact_text=*/true);
+}
+
+TEST(DifferentialFuzz, SubstringMatch) {
+  run_differential(substring_match_cases(0x50), 0x51, /*exact_text=*/false);
+}
+
+TEST(DifferentialFuzz, IndexOf) {
+  run_differential(index_of_cases(0x60), 0x61, /*exact_text=*/false);
+}
+
+TEST(DifferentialFuzz, CharAt) {
+  run_differential(char_at_cases(0x70), 0x71, /*exact_text=*/false);
+}
+
+TEST(DifferentialFuzz, Palindrome) {
+  run_differential(palindrome_cases(0x80), 0x81, /*exact_text=*/false);
+}
+
+TEST(DifferentialFuzz, RegexMembership) {
+  run_differential(regex_cases(0x90), 0x91, /*exact_text=*/false);
 }
 
 }  // namespace

@@ -139,7 +139,7 @@ TEST(SmtDriver, UnknownOnOutOfFragmentAtoms) {
   EXPECT_FALSE(driver.history().back().notes.empty());
 }
 
-TEST(SmtDriver, UnknownWhenLengthsDisagree) {
+TEST(SmtDriver, UnsatWhenLengthsDisagree) {
   const auto annealer = fast_annealer(7);
   SmtDriver driver(annealer);
   const std::string out = driver.run_script(R"(
@@ -148,9 +148,57 @@ TEST(SmtDriver, UnknownWhenLengthsDisagree) {
     (assert (= x "abc"))
     (check-sat)
   )");
-  // Conjuncts of different lengths cannot be merged; the driver degrades to
-  // unknown rather than guessing.
-  EXPECT_EQ(out, "unknown\n");
+  // Every conjunct pins the generated string's length exactly, so a length
+  // disagreement is a certified refutation, not an unknown.
+  EXPECT_EQ(out, "unsat\n");
+  ASSERT_FALSE(driver.history().back().notes.empty());
+  EXPECT_NE(driver.history().back().notes.back().find("certified"),
+            std::string::npos);
+}
+
+TEST(SmtDriver, UnsatOnContradictorySameLengthEqualities) {
+  const auto annealer = fast_annealer(16);
+  SmtDriver driver(annealer);
+  const std::string out = driver.run_script(R"(
+    (declare-const x String)
+    (assert (= x "ab"))
+    (assert (= x "cd"))
+    (check-sat)
+  )");
+  // The pinned-witness route: "ab" is the unique satisfier of the first
+  // conjunct and violates the second.
+  EXPECT_EQ(out, "unsat\n");
+}
+
+TEST(SmtDriver, UnsatByExhaustiveSearch) {
+  const auto annealer = fast_annealer(17);
+  SmtDriver driver(annealer);
+  // A palindrome of length 2 whose two halves are forced to differ: no
+  // unique-witness conjunct exists, so only the exhaustive route proves it.
+  const std::string out = driver.run_script(R"(
+    (declare-const x String)
+    (assert (= (str.len x) 2))
+    (assert (qsmt.is_palindrome x))
+    (assert (= (str.at x 0) "a"))
+    (assert (= (str.at x 1) "b"))
+    (check-sat)
+  )");
+  EXPECT_EQ(out, "unsat\n");
+  ASSERT_FALSE(driver.history().back().notes.empty());
+  EXPECT_NE(driver.history().back().notes.back().find("exhaustive"),
+            std::string::npos);
+}
+
+TEST(SmtDriver, UnsatOnImpossibleRegexLength) {
+  const auto annealer = fast_annealer(18);
+  SmtDriver driver(annealer);
+  const std::string out = driver.run_script(R"(
+    (declare-const x String)
+    (assert (= (str.len x) 1))
+    (assert (str.in_re x (re.++ (str.to_re "a") (str.to_re "b"))))
+    (check-sat)
+  )");
+  EXPECT_EQ(out, "unsat\n");
 }
 
 TEST(SmtDriver, GetModelWithoutSatIsError) {
@@ -219,9 +267,9 @@ TEST(SmtDriver, PushPopRestoresAssertions) {
     (pop)
     (check-sat)
   )");
-  // Inside the push the two equalities conflict (same length, contradictory
-  // targets) -> unknown; after the pop only the base assertion remains.
-  EXPECT_EQ(out, "unknown\nsat\n");
+  // Inside the push the two equalities pin different lengths -> certified
+  // unsat; after the pop only the base assertion remains.
+  EXPECT_EQ(out, "unsat\nsat\n");
   EXPECT_EQ(driver.history().back().model_value, "base");
 }
 

@@ -53,6 +53,22 @@ TEST(SolveScript, ConjunctiveRoute) {
   EXPECT_NE(result.transcript.find("\"eng\""), std::string::npos);
 }
 
+TEST(SolveScript, CertifiedUnsatOnConjunctiveRoute) {
+  const auto annealer = fast_annealer(9);
+  const ScriptResult result = solve_script(R"(
+    (declare-const x String)
+    (assert (= x "ab"))
+    (assert (= x "xyz"))
+    (check-sat)
+  )",
+                                           annealer);
+  EXPECT_EQ(result.engine, EngineKind::kConjunctive);
+  // The length conflict is a certified refutation: the engine must report
+  // kUnsat, not degrade to kUnknown.
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kUnsat);
+  EXPECT_NE(result.transcript.find("unsat\n"), std::string::npos);
+}
+
 TEST(SolveScript, AutoRoutesDisjunctionsToDpllT) {
   const auto annealer = fast_annealer(2);
   const ScriptResult result = solve_script(R"(

@@ -120,6 +120,22 @@ TEST(Service, SolvesEasyConstraintAndReportsWinner) {
   EXPECT_GE(result.solve_seconds, 0.0);
 }
 
+TEST(Service, ScriptJobsPropagateCertifiedUnsat) {
+  service::SolveService service;
+  const service::JobResult result =
+      service
+          .submit_script(
+              "(declare-const x String)"
+              "(assert (= x \"ab\"))"
+              "(assert (= x \"cd\"))"
+              "(check-sat)")
+          .get();
+  // Any portfolio member's certified refutation must claim the race: a
+  // provably-unsatisfiable script resolves kUnsat, never kUnknown.
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kUnsat);
+  EXPECT_FALSE(result.winner.empty());
+}
+
 TEST(Service, SolvesScriptJobs) {
   service::SolveService service;
   service::JobResult result = service
