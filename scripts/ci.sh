@@ -29,6 +29,13 @@ done
 echo "=== docs consistency (links + formulation coverage) ==="
 python3 scripts/check_docs.py
 
+# Seconds-scale correctness pass over the quantum hot path: kernel
+# best-energy parity vs the retained reference and a bit-identical warm
+# embedding-cache hit. Perf gates stay in the full (JSON-writing) run —
+# CI machines are too noisy to threshold throughput.
+echo "=== quantum_bench --smoke ==="
+./build/bench/quantum_bench --smoke
+
 if [[ "${skip_sanitizers}" == "1" ]]; then
   echo "=== sanitizer stages skipped ==="
   exit 0
@@ -43,6 +50,8 @@ fi
 # names discovery registered.
 subset=(annealer_test hotpath_test qubo_builder_test qubo_model_test
         adjacency_test sample_set_test schedule_test builders_test
+        pimc_test embedding_test embedded_sampler_test
+        quantum_hotpath_test quantum_conformance_test
         service_test conformance_test corpus_test)
 
 for san in address undefined; do

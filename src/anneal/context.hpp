@@ -27,11 +27,29 @@ struct AnnealContext {
   std::vector<double> field;        ///< Local fields q_ii + Σ q_ij x_j.
   std::vector<double> uniforms;     ///< Per-sweep bulk U[0,1) draws.
 
+  // Slice-major PIMC workspace (see docs/hotpath.md, "The quantum path").
+  // spins[k*n + i] is spin i of Trotter slice k; slice_field mirrors it with
+  // the incrementally-maintained classical local fields h_i + Σ_j J_ij s_j^k,
+  // and slice_energy[k] tracks each slice's classical Ising energy so the
+  // best-slice scan is O(P) instead of O(P·(n+E)) per Γ step.
+  std::vector<std::int8_t> spins;
+  std::vector<double> slice_field;
+  std::vector<double> slice_energy;
+
   /// Sizes all buffers for an n-variable model (contents unspecified).
   void prepare(std::size_t n) {
     bits.resize(n);
     field.resize(n);
     uniforms.resize(n);
+  }
+
+  /// Additionally sizes the slice-major PIMC buffers for `slices` Trotter
+  /// replicas (contents unspecified, like prepare()).
+  void prepare_pimc(std::size_t n, std::size_t slices) {
+    prepare(n);
+    spins.resize(n * slices);
+    slice_field.resize(n * slices);
+    slice_energy.resize(slices);
   }
 };
 

@@ -14,8 +14,14 @@
 // sample of a read is the best slice encountered, scored by the true
 // problem Hamiltonian.
 //
+// The inner loop runs the same hot-path treatment as the classical SA
+// kernel (docs/hotpath.md, "The quantum path"): per-slice classical local
+// fields are maintained incrementally in slice-major AnnealContext buffers,
+// so a proposal is O(1) and an accepted flip O(degree); acceptance is the
+// screened exp-free Metropolis compare with bulk-generated uniforms.
+//
 // Reads are OpenMP-parallel with counter-seeded RNG streams like the
-// classical annealer.
+// classical annealer, and bit-for-bit deterministic across thread counts.
 #pragma once
 
 #include <cstdint>
@@ -34,7 +40,9 @@ struct PathIntegralParams {
   double gamma_cold = 1e-3;       ///< Final transverse field.
   std::uint64_t seed = 0;
   bool polish_with_greedy = true; ///< Quench the winning slice classically.
-  /// Cooperative cancellation, polled once per Γ step. See
+  /// Cooperative cancellation, polled once per slice sweep (the same
+  /// granularity as the classical SA/PT kernels, so service deadlines cut
+  /// large models short within one sweep). See
   /// SimulatedAnnealerParams::cancel for the contract.
   CancelToken cancel;
 };
@@ -57,5 +65,24 @@ class PathIntegralAnnealer final : public Sampler {
 /// J⊥ → ∞ as gamma → 0 (slices lock) and → 0 as gamma grows (slices free).
 double trotter_coupling(double gamma, std::size_t num_slices,
                         double temperature);
+
+namespace detail {
+
+/// The pre-overhaul PIMC kernel: per-proposal adjacency walks, lazy uniform
+/// draws, textbook `exp` acceptance, per-Γ-step slice rescoring. Kept
+/// verbatim as the bench baseline (BENCH_quantum.json) and for the
+/// conformance suite's ground-state parity checks.
+SampleSet pimc_sample_reference(const qubo::QuboModel& model,
+                                const PathIntegralParams& params);
+
+/// Field-cache audit oracle: runs the incremental-field kernel and, after
+/// every Γ step, recomputes each cached slice field and each slice energy
+/// directly from the adjacency. Returns the maximum absolute deviation
+/// observed across all reads/steps — the kernel-equivalence bound asserted
+/// by tests/quantum_hotpath_test.cpp.
+double pimc_field_drift(const qubo::QuboModel& model,
+                        const PathIntegralParams& params);
+
+}  // namespace detail
 
 }  // namespace qsmt::anneal

@@ -45,6 +45,12 @@ std::size_t metropolis_sweeps(const qubo::QuboAdjacency& adjacency,
   std::size_t flips = 0;
   auto& field = ctx.field;
   auto& uniforms = ctx.uniforms;
+  // One O(n·deg) field build per (walker, beta) call, then incremental
+  // updates for all `sweeps` sweeps. The rebuild cannot be hoisted across
+  // calls: resampling duplicates and kills walkers between beta steps, and
+  // Walker deliberately carries no field array (copies during resampling
+  // would then cost O(n) doubles each) — so the shared ctx.field must be
+  // refreshed for whichever bits this walker now holds.
   for (std::size_t i = 0; i < n; ++i) {
     field[i] = adjacency.local_field(walker.bits, i);
   }

@@ -83,6 +83,10 @@ SampleSet ParallelTempering::sample(
 
     AnnealContext& ctx = thread_local_context();
     ctx.prepare(n);
+    // The O(n·deg) field build runs exactly once per replica, here. It never
+    // needs repeating: sweep() maintains fields incrementally, and exchange
+    // moves below swap whole Replica structs, so each field array travels
+    // with the bits it describes.
     std::vector<Replica> ladder(params_.num_replicas);
     for (Replica& replica : ladder) {
       replica.bits.resize(n);
@@ -120,6 +124,10 @@ SampleSet ParallelTempering::sample(
         const double exponent = (betas[k] - betas[k + 1]) *
                                 (ladder[k].energy - ladder[k + 1].energy);
         if (exponent >= 0.0 || rng.uniform() < std::exp(exponent)) {
+          // Swapping the full structs (bits + field + energy, all vector
+          // moves) keeps the cached fields attached to their configuration —
+          // an exchange only re-labels which temperature a state sweeps at,
+          // so no field rebuild is needed afterwards.
           std::swap(ladder[k], ladder[k + 1]);
         }
       }

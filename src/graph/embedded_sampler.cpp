@@ -10,7 +10,11 @@ namespace qsmt::graph {
 
 EmbeddedSampler::EmbeddedSampler(const Graph& target,
                                  EmbeddedSamplerParams params)
-    : target_(target), params_(std::move(params)) {
+    : target_(target),
+      params_(std::move(params)),
+      cache_(params_.embedding_cache
+                 ? params_.embedding_cache
+                 : std::make_shared<EmbeddingCache>()) {
   require(target_.finalized(), "EmbeddedSampler: target graph not finalized");
 }
 
@@ -75,8 +79,7 @@ anneal::SampleSet EmbeddedSampler::sample(const qubo::QuboModel& model) const {
 }
 
 std::size_t EmbeddedSampler::embedding_cache_hits() const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  return cache_hits_;
+  return cache_->hits();
 }
 
 anneal::SampleSet EmbeddedSampler::sample_with_stats(
@@ -86,33 +89,16 @@ anneal::SampleSet EmbeddedSampler::sample_with_stats(
   const bool telemetry_on = telemetry::enabled();
   const Graph logical = logical_graph(model);
 
-  GraphKey key{logical.num_nodes(), {}};
-  key.second.assign(logical.edges().begin(), logical.edges().end());
-
-  std::optional<Embedding> embedding;
-  {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
-    auto it = embedding_cache_.find(key);
-    if (it != embedding_cache_.end()) {
-      embedding = it->second;
-      ++cache_hits_;
-      if (telemetry_on) {
-        telemetry::counter("graph.embedding.cache_hits").add();
-      }
-    }
-  }
+  // The cache emits embed.cache.hits/.misses itself; a hit skips
+  // find_embedding entirely, which is the whole point for the redundant
+  // structure of string QUBOs.
+  std::optional<Embedding> embedding = cache_->lookup(logical);
   if (!embedding) {
-    if (telemetry_on) {
-      telemetry::counter("graph.embedding.cache_misses").add();
-    }
     telemetry::Span find_span("graph.find_embedding");
     embedding = find_embedding(logical, target_, params_.embedding_seed,
                                params_.embedding_attempts);
     find_span.close();
-    if (embedding) {
-      const std::lock_guard<std::mutex> lock(cache_mutex_);
-      embedding_cache_.emplace(std::move(key), *embedding);
-    }
+    if (embedding) cache_->insert(logical, *embedding);
   }
   if (!embedding) {
     throw std::runtime_error(

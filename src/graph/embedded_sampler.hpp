@@ -10,9 +10,7 @@
 // of broken chains is reported so benches can study chain-strength tradeoffs.
 #pragma once
 
-#include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -20,6 +18,7 @@
 #include "anneal/sampler.hpp"
 #include "anneal/simulated_annealer.hpp"
 #include "graph/embedding.hpp"
+#include "graph/embedding_cache.hpp"
 #include "graph/graph.hpp"
 
 namespace qsmt::graph {
@@ -39,6 +38,11 @@ struct EmbeddedSamplerParams {
   anneal::SimulatedAnnealerParams anneal;
   std::uint64_t embedding_seed = 0;
   std::size_t embedding_attempts = 4;
+  /// Structure-keyed embedding cache (see graph/embedding_cache.hpp). When
+  /// null the sampler creates a private one; pass a shared instance so
+  /// several samplers — e.g. every attempt of a service portfolio lane —
+  /// reuse each other's warm embeddings.
+  std::shared_ptr<EmbeddingCache> embedding_cache;
 };
 
 struct EmbeddedSampleStats {
@@ -69,24 +73,22 @@ class EmbeddedSampler final : public anneal::Sampler {
                               const Embedding& embedding,
                               double chain_strength) const;
 
-  /// Number of embeddings served from the cache so far (monitoring /
-  /// tests). Embeddings are keyed by the logical problem's edge set, so
-  /// repeated solves of same-shaped models (the common case: every
-  /// palindrome of one length shares a graph) skip the embedding search.
+  /// Number of embeddings this sampler has been served from its cache
+  /// (monitoring / tests). Embeddings are keyed by the logical problem's
+  /// edge set, so repeated solves of same-shaped models (the common case:
+  /// every palindrome of one length shares a graph) skip the embedding
+  /// search. With a shared cache this counts the shared instance's hits.
   std::size_t embedding_cache_hits() const;
+
+  /// The cache this sampler resolves embeddings through (never null).
+  const std::shared_ptr<EmbeddingCache>& embedding_cache() const noexcept {
+    return cache_;
+  }
 
  private:
   const Graph& target_;
   EmbeddedSamplerParams params_;
-
-  // Embedding search dominates small-problem solve time, so results are
-  // memoised per logical edge set. Guarded: sample() is const and may be
-  // called from several threads.
-  using GraphKey = std::pair<std::size_t,
-                             std::vector<std::pair<std::uint32_t, std::uint32_t>>>;
-  mutable std::mutex cache_mutex_;
-  mutable std::map<GraphKey, Embedding> embedding_cache_;
-  mutable std::size_t cache_hits_ = 0;
+  std::shared_ptr<EmbeddingCache> cache_;
 };
 
 }  // namespace qsmt::graph

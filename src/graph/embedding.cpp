@@ -1,9 +1,10 @@
 #include "graph/embedding.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <numeric>
-#include <queue>
+#include <vector>
 
 #include "util/require.hpp"
 #include "util/rng.hpp"
@@ -24,27 +25,34 @@ std::size_t Embedding::max_chain_length() const {
 
 bool Embedding::is_valid(const Graph& logical, const Graph& target) const {
   if (chains.size() < logical.num_nodes()) return false;
-  std::vector<std::int64_t> owner(target.num_nodes(), -1);
+  const std::size_t nt = target.num_nodes();
+  std::vector<std::int64_t> owner(nt, -1);
   for (std::size_t v = 0; v < chains.size(); ++v) {
     if (chains[v].empty()) return false;
     for (std::uint32_t q : chains[v]) {
-      if (q >= target.num_nodes() || owner[q] != -1) return false;
+      if (q >= nt || owner[q] != -1) return false;
       owner[q] = static_cast<std::int64_t>(v);
     }
   }
-  // Chain connectivity via BFS inside each chain.
-  for (const auto& chain : chains) {
-    std::vector<std::uint32_t> frontier{chain.front()};
-    std::vector<bool> seen_chain(target.num_nodes(), false);
-    seen_chain[chain.front()] = true;
+  // Chain connectivity via BFS inside each chain. One epoch-stamped `seen`
+  // buffer serves every chain (no per-chain allocation or clear), and the
+  // owner array doubles as the O(1) chain-membership test.
+  std::vector<std::uint32_t> seen(nt, 0);
+  std::uint32_t epoch = 0;
+  std::vector<std::uint32_t> frontier;
+  for (std::size_t v = 0; v < chains.size(); ++v) {
+    const auto& chain = chains[v];
+    ++epoch;
+    frontier.assign(1, chain.front());
+    seen[chain.front()] = epoch;
     std::size_t visited = 1;
     while (!frontier.empty()) {
       const std::uint32_t u = frontier.back();
       frontier.pop_back();
       for (std::uint32_t w : target.neighbors(u)) {
-        if (seen_chain[w]) continue;
-        if (std::find(chain.begin(), chain.end(), w) == chain.end()) continue;
-        seen_chain[w] = true;
+        if (seen[w] == epoch) continue;
+        if (owner[w] != static_cast<std::int64_t>(v)) continue;
+        seen[w] = epoch;
         ++visited;
         frontier.push_back(w);
       }
@@ -82,42 +90,88 @@ namespace {
 
 constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
 
+// Epoch-stamped BFS field: dist/parent entries are meaningful only where
+// stamp[q] == epoch, so starting a fresh BFS is a counter bump instead of two
+// O(V) buffer reassignments (which dominated embed_once on large hardware
+// graphs). One field per placed logical neighbour, reused across variables
+// and — via the caller's scratch vector — across the whole attempt.
+struct BfsField {
+  std::vector<std::uint32_t> dist;
+  std::vector<std::uint32_t> parent;
+  std::vector<std::uint32_t> stamp;
+  std::vector<std::uint32_t> queue;
+  std::uint32_t epoch = 0;
+
+  void begin(std::size_t n) {
+    if (stamp.size() != n) {
+      dist.resize(n);
+      parent.resize(n);
+      stamp.assign(n, 0);
+      epoch = 0;
+    }
+    if (++epoch == 0) {  // Wrapped: one explicit invalidation, then restart.
+      std::fill(stamp.begin(), stamp.end(), 0);
+      epoch = 1;
+    }
+    queue.clear();
+  }
+  bool reached(std::uint32_t q) const { return stamp[q] == epoch; }
+  void set(std::uint32_t q, std::uint32_t d, std::uint32_t p) {
+    dist[q] = d;
+    parent[q] = p;
+    stamp[q] = epoch;
+  }
+};
+
 // BFS over free qubits from every qubit adjacent to `chain`, recording
 // distance and a parent pointer for path reconstruction. Qubits inside any
-// chain are obstacles; qubits adjacent to `chain` get distance 1.
+// chain are obstacles; qubits adjacent to `chain` get distance 1 with their
+// parent inside the source chain (which terminates the path walk).
 void bfs_from_chain(const Graph& target, const std::vector<std::uint32_t>& chain,
-                    const std::vector<std::int64_t>& owner,
-                    std::vector<std::uint32_t>& dist,
-                    std::vector<std::uint32_t>& parent) {
-  dist.assign(target.num_nodes(), kUnreached);
-  parent.assign(target.num_nodes(), kUnreached);
-  std::queue<std::uint32_t> queue;
+                    const std::vector<std::int64_t>& owner, BfsField& field) {
+  field.begin(target.num_nodes());
   for (std::uint32_t q : chain) {
     for (std::uint32_t w : target.neighbors(q)) {
-      if (owner[w] != -1 || dist[w] != kUnreached) continue;
-      dist[w] = 1;
-      parent[w] = q;  // Parent inside the source chain terminates the path.
-      queue.push(w);
+      if (owner[w] != -1 || field.reached(w)) continue;
+      field.set(w, 1, q);
+      field.queue.push_back(w);
     }
   }
-  while (!queue.empty()) {
-    const std::uint32_t u = queue.front();
-    queue.pop();
+  for (std::size_t head = 0; head < field.queue.size(); ++head) {
+    const std::uint32_t u = field.queue[head];
     for (std::uint32_t w : target.neighbors(u)) {
-      if (owner[w] != -1 || dist[w] != kUnreached) continue;
-      dist[w] = dist[u] + 1;
-      parent[w] = u;
-      queue.push(w);
+      if (owner[w] != -1 || field.reached(w)) continue;
+      field.set(w, field.dist[u] + 1, u);
+      field.queue.push_back(w);
     }
   }
 }
 
 std::optional<Embedding> embed_once(const Graph& logical, const Graph& target,
-                                    Xoshiro256& rng) {
+                                    Xoshiro256& rng,
+                                    std::vector<BfsField>& fields) {
   const std::size_t nl = logical.num_nodes();
+  const std::size_t nt = target.num_nodes();
   Embedding embedding;
   embedding.chains.assign(nl, {});
-  std::vector<std::int64_t> owner(target.num_nodes(), -1);
+  std::vector<std::int64_t> owner(nt, -1);
+
+  // Maintained free list: free_nodes holds every unowned qubit, pos[q] its
+  // slot, and claiming swap-pops in O(1). Pops scramble the iteration order,
+  // so every consumer below breaks ties on the qubit id explicitly — which
+  // reproduces the old ascending owner-array scans bit for bit.
+  std::vector<std::uint32_t> free_nodes(nt);
+  std::iota(free_nodes.begin(), free_nodes.end(), 0);
+  std::vector<std::uint32_t> pos(nt);
+  std::iota(pos.begin(), pos.end(), 0);
+  auto claim_node = [&](std::uint32_t q, std::size_t v) {
+    owner[q] = static_cast<std::int64_t>(v);
+    const std::uint32_t slot = pos[q];
+    const std::uint32_t last = free_nodes.back();
+    free_nodes[slot] = last;
+    pos[last] = slot;
+    free_nodes.pop_back();
+  };
 
   // Descending degree with random tie-break.
   std::vector<std::size_t> order(nl);
@@ -130,55 +184,61 @@ std::optional<Embedding> embed_once(const Graph& logical, const Graph& target,
     return da != db ? da > db : tie[a] > tie[b];
   });
 
-  std::vector<std::uint32_t> dist;
-  std::vector<std::uint32_t> parent;
-
+  std::vector<std::size_t> placed_neighbors;
   for (std::size_t v : order) {
-    std::vector<std::size_t> placed_neighbors;
+    placed_neighbors.clear();
     for (std::uint32_t u : logical.neighbors(v)) {
       if (!embedding.chains[u].empty()) placed_neighbors.push_back(u);
     }
 
     if (placed_neighbors.empty()) {
-      // Seed anywhere free.
-      std::vector<std::uint32_t> free_nodes;
-      for (std::uint32_t q = 0; q < target.num_nodes(); ++q) {
-        if (owner[q] == -1) free_nodes.push_back(q);
-      }
+      // Seed anywhere free: uniform pick over the free qubits in ascending-id
+      // order, matching the pre-free-list behaviour (which indexed a sorted
+      // free vector). Runs once per connected component, so the O(V) order
+      // walk is cold; every hot consumer uses the free list.
       if (free_nodes.empty()) return std::nullopt;
-      const std::uint32_t pick =
-          free_nodes[rng.below(free_nodes.size())];
+      std::size_t k = rng.below(free_nodes.size());
+      std::uint32_t pick = kUnreached;
+      for (std::uint32_t q = 0; q < nt; ++q) {
+        if (owner[q] != -1) continue;
+        if (k == 0) {
+          pick = q;
+          break;
+        }
+        --k;
+      }
       embedding.chains[v].push_back(pick);
-      owner[pick] = static_cast<std::int64_t>(v);
+      claim_node(pick, v);
       continue;
     }
 
     // Distance fields from each placed neighbour chain.
-    std::vector<std::vector<std::uint32_t>> dists(placed_neighbors.size());
-    std::vector<std::vector<std::uint32_t>> parents(placed_neighbors.size());
+    if (fields.size() < placed_neighbors.size()) {
+      fields.resize(placed_neighbors.size());
+    }
     for (std::size_t k = 0; k < placed_neighbors.size(); ++k) {
       bfs_from_chain(target, embedding.chains[placed_neighbors[k]], owner,
-                     dist, parent);
-      dists[k] = dist;
-      parents[k] = parent;
+                     fields[k]);
     }
 
     // Root = free qubit reachable from all neighbour chains with minimum
-    // total distance.
+    // (total distance, qubit id). Iterates the free list instead of all V
+    // qubits; the id tie-break keeps the winner identical to the old
+    // ascending full scan.
     std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
     std::uint32_t root = kUnreached;
-    for (std::uint32_t q = 0; q < target.num_nodes(); ++q) {
-      if (owner[q] != -1) continue;
+    for (std::uint32_t q : free_nodes) {
       std::uint64_t cost = 0;
       bool reachable = true;
-      for (const auto& d : dists) {
-        if (d[q] == kUnreached) {
+      for (std::size_t k = 0; k < placed_neighbors.size(); ++k) {
+        if (!fields[k].reached(q)) {
           reachable = false;
           break;
         }
-        cost += d[q];
+        cost += fields[k].dist[q];
       }
-      if (reachable && cost < best_cost) {
+      if (!reachable) continue;
+      if (cost < best_cost || (cost == best_cost && q < root)) {
         best_cost = cost;
         root = q;
       }
@@ -188,17 +248,18 @@ std::optional<Embedding> embed_once(const Graph& logical, const Graph& target,
     // Chain = root plus the path back toward each neighbour chain.
     auto claim = [&](std::uint32_t q) {
       if (owner[q] == -1) {
-        owner[q] = static_cast<std::int64_t>(v);
+        claim_node(q, v);
         embedding.chains[v].push_back(q);
       }
     };
     claim(root);
     for (std::size_t k = 0; k < placed_neighbors.size(); ++k) {
+      const BfsField& field = fields[k];
       std::uint32_t cur = root;
-      // Walk parents until we step into the neighbour chain.
-      while (true) {
-        const std::uint32_t p = parents[k][cur];
-        if (p == kUnreached) break;  // cur is adjacent to the chain already.
+      // Walk parents until we step into the neighbour chain. Every walked
+      // qubit was reached by BFS k, so its parent entry is current.
+      while (field.reached(cur)) {
+        const std::uint32_t p = field.parent[cur];
         if (owner[p] == static_cast<std::int64_t>(placed_neighbors[k])) break;
         // p may already belong to v's chain (shared prefix) — claim is
         // idempotent for v but must not steal from other chains.
@@ -219,14 +280,44 @@ std::optional<Embedding> find_embedding(const Graph& logical,
                                         std::size_t num_attempts) {
   require(logical.finalized() && target.finalized(),
           "find_embedding: graphs must be finalized");
-  std::optional<Embedding> best;
-  for (std::size_t attempt = 0; attempt < num_attempts; ++attempt) {
+  const std::size_t nl = logical.num_nodes();
+  std::vector<std::optional<Embedding>> results(num_attempts);
+
+  // Attempts are independent restarts (counter-seeded RNG per attempt), so
+  // they run in parallel. Early exit: once some attempt produces a *perfect*
+  // embedding (every chain a single qubit — the minimum possible total),
+  // attempts with a HIGHER index are skipped. A skipped attempt could at
+  // best tie that total and would lose the lowest-index tie-break below, so
+  // the exit never changes the selected winner and the result stays
+  // bit-identical across thread counts and schedules.
+  std::atomic<std::size_t> first_perfect{num_attempts};
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::ptrdiff_t a = 0; a < static_cast<std::ptrdiff_t>(num_attempts);
+       ++a) {
+    const auto attempt = static_cast<std::size_t>(a);
+    if (attempt > first_perfect.load(std::memory_order_relaxed)) continue;
     Xoshiro256 rng(seed, attempt);
-    auto candidate = embed_once(logical, target, rng);
+    std::vector<BfsField> fields;
+    auto candidate = embed_once(logical, target, rng, fields);
+    if (!candidate || !candidate->is_valid(logical, target)) continue;
+    if (candidate->total_physical() == nl) {
+      std::size_t cur = first_perfect.load(std::memory_order_relaxed);
+      while (attempt < cur &&
+             !first_perfect.compare_exchange_weak(cur, attempt,
+                                                  std::memory_order_relaxed)) {
+      }
+    }
+    results[attempt] = std::move(candidate);
+  }
+
+  // Winner: fewest total qubits, lowest attempt index on ties — exactly the
+  // sequential keep-only-if-strictly-better rule this loop replaced.
+  std::optional<Embedding> best;
+  for (auto& candidate : results) {
     if (!candidate) continue;
-    if (!candidate->is_valid(logical, target)) continue;
     if (!best || candidate->total_physical() < best->total_physical()) {
-      best = std::move(candidate);
+      best = std::move(*candidate);
     }
   }
   return best;

@@ -1,0 +1,100 @@
+#include "graph/embedding_cache.hpp"
+
+#include <algorithm>
+
+#include "telemetry/telemetry.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt::graph {
+
+std::uint64_t structure_hash(const Graph& graph) {
+  require(graph.finalized(), "structure_hash: graph must be finalized");
+  // splitmix64 as the per-word mixer — the same finalizer the RNG seeding
+  // uses, strong enough that collisions are handled (verified edge lists),
+  // not feared.
+  std::uint64_t h = mix_seed(0x9e3779b97f4a7c15ULL, graph.num_nodes());
+  for (const auto& [u, v] : graph.edges()) {
+    h = mix_seed(h, (static_cast<std::uint64_t>(u) << 32) | v);
+  }
+  return h;
+}
+
+EmbeddingCache::EmbeddingCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+bool EmbeddingCache::matches(const Entry& entry, const Graph& logical) const {
+  return entry.num_nodes == logical.num_nodes() &&
+         std::equal(entry.edges.begin(), entry.edges.end(),
+                    logical.edges().begin(), logical.edges().end());
+}
+
+std::optional<Embedding> EmbeddingCache::lookup(const Graph& logical) {
+  const std::uint64_t hash = structure_hash(logical);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, end] = index_.equal_range(hash);
+  for (; it != end; ++it) {
+    if (!matches(*it->second, logical)) continue;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    if (telemetry::enabled()) telemetry::counter("embed.cache.hits").add();
+    return lru_.front().embedding;
+  }
+  ++misses_;
+  if (telemetry::enabled()) telemetry::counter("embed.cache.misses").add();
+  return std::nullopt;
+}
+
+void EmbeddingCache::insert(const Graph& logical, const Embedding& embedding) {
+  const std::uint64_t hash = structure_hash(logical);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto [it, end] = index_.equal_range(hash); it != end; ++it) {
+    if (matches(*it->second, logical)) return;  // Racing inserts: keep first.
+  }
+  Entry entry;
+  entry.hash = hash;
+  entry.num_nodes = logical.num_nodes();
+  entry.edges.assign(logical.edges().begin(), logical.edges().end());
+  entry.embedding = embedding;
+  lru_.push_front(std::move(entry));
+  index_.emplace(hash, lru_.begin());
+  if (lru_.size() > capacity_) {
+    const auto victim = std::prev(lru_.end());
+    for (auto [it, end] = index_.equal_range(victim->hash); it != end; ++it) {
+      if (it->second == victim) {
+        index_.erase(it);
+        break;
+      }
+    }
+    lru_.pop_back();
+    ++evictions_;
+    if (telemetry::enabled()) {
+      telemetry::counter("embed.cache.evictions").add();
+    }
+  }
+  if (telemetry::enabled()) {
+    telemetry::gauge("embed.cache.size").set(static_cast<double>(lru_.size()));
+  }
+}
+
+std::size_t EmbeddingCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t EmbeddingCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t EmbeddingCache::evictions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+std::size_t EmbeddingCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace qsmt::graph

@@ -1,0 +1,78 @@
+// Structure-keyed minor-embedding cache.
+//
+// String QUBOs are highly redundant in shape: every palindrome constraint of
+// one length yields the same logical graph, every equality of one operand
+// size likewise — only the coefficients differ, and an embedding depends on
+// the structure alone. Caching embeddings by the canonical logical edge set
+// therefore turns the minor-embedding search (which dominates small-problem
+// embedded solves) into a hash lookup for all but the first solve of each
+// shape.
+//
+// Entries are keyed by a 64-bit hash of (node count, sorted edge list) and
+// verified against the stored edge list on every hit, so a hash collision
+// costs one extra compare instead of ever serving a wrong embedding. The
+// cache is bounded LRU and thread-safe: one instance can be shared across
+// samplers (EmbeddedSamplerParams::embedding_cache), which is how the solve
+// service lets every attempt of a portfolio lane reuse warm embeddings.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/embedding.hpp"
+#include "graph/graph.hpp"
+
+namespace qsmt::graph {
+
+/// Canonical 64-bit structure hash of a finalized graph: node count plus the
+/// sorted edge list (Graph::finalize sorts edges, so isomorphic *labelled*
+/// graphs — same node ids, same edges — hash identically regardless of
+/// insertion order). Exposed for tests.
+std::uint64_t structure_hash(const Graph& graph);
+
+class EmbeddingCache {
+ public:
+  /// `capacity` bounds the number of distinct graph shapes retained; the
+  /// least-recently-used entry is evicted beyond that.
+  explicit EmbeddingCache(std::size_t capacity = 64);
+
+  /// Returns the cached embedding for `logical`'s structure, refreshing its
+  /// LRU position, or std::nullopt. Emits embed.cache.hits / .misses.
+  std::optional<Embedding> lookup(const Graph& logical);
+
+  /// Stores `embedding` for `logical`'s structure (no-op if already
+  /// present). Evicts the LRU entry when over capacity and keeps the
+  /// embed.cache.size gauge current.
+  void insert(const Graph& logical, const Embedding& embedding);
+
+  std::size_t hits() const;
+  std::size_t misses() const;
+  std::size_t evictions() const;
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::size_t num_nodes = 0;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    Embedding embedding;
+  };
+
+  bool matches(const Entry& entry, const Graph& logical) const;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_multimap<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace qsmt::graph

@@ -136,6 +136,13 @@ PortfolioMember path_integral_member(std::string name,
 
 PortfolioMember embedded_member(std::string name, const graph::Graph& target,
                                 graph::EmbeddedSamplerParams base) {
+  // One embedding cache for every sampler this lane ever constructs:
+  // attempts get fresh samplers (independent RNG streams), but the first
+  // solve of each graph shape pays for the embedding search exactly once —
+  // warm solves of structurally-identical QUBOs skip find_embedding.
+  if (!base.embedding_cache) {
+    base.embedding_cache = std::make_shared<graph::EmbeddingCache>();
+  }
   PortfolioMember member;
   member.name = std::move(name);
   member.make = [base, &target](
@@ -159,6 +166,29 @@ std::vector<PortfolioMember> default_portfolio() {
   std::vector<PortfolioMember> portfolio;
   portfolio.push_back(simulated_annealing_member("sa-fast", fast));
   portfolio.push_back(simulated_annealing_member("sa-deep", deep));
+  return portfolio;
+}
+
+std::vector<PortfolioMember> quantum_portfolio(const graph::Graph& target) {
+  anneal::SimulatedAnnealerParams fast;
+  fast.num_reads = 16;
+  fast.num_sweeps = 64;
+  // Light PIMC lane: with the incremental-field kernel a low-budget
+  // transverse-field schedule is competitive with sa-fast on quantum-friendly
+  // (frustrated / degenerate) workloads instead of losing every race.
+  anneal::PathIntegralParams pimc;
+  pimc.num_reads = 4;
+  pimc.num_sweeps = 48;
+  pimc.num_slices = 8;
+  // Embedded lane: the shared embedding cache inside embedded_member means
+  // only the first job of each graph shape pays the minor-embedding search.
+  graph::EmbeddedSamplerParams embedded;
+  embedded.anneal.num_reads = 16;
+  embedded.anneal.num_sweeps = 96;
+  std::vector<PortfolioMember> portfolio;
+  portfolio.push_back(simulated_annealing_member("sa-fast", fast));
+  portfolio.push_back(path_integral_member("pimc-light", pimc));
+  portfolio.push_back(embedded_member("embedded", target, embedded));
   return portfolio;
 }
 

@@ -88,6 +88,13 @@ PortfolioMember embedded_member(std::string name, const graph::Graph& target,
 /// SAT: heterogeneous effort levels beat any single configuration.
 std::vector<PortfolioMember> default_portfolio();
 
+/// A quantum-inclusive race: sa-fast plus a light path-integral lane and a
+/// minor-embedded lane onto `target` (which must outlive the service). The
+/// embedded lane shares one structure-keyed embedding cache across all of
+/// its attempts, so batches of same-shaped string QUBOs embed once and then
+/// race warm — the workload Abel et al. describe for annealer model building.
+std::vector<PortfolioMember> quantum_portfolio(const graph::Graph& target);
+
 struct ServiceOptions {
   /// Worker threads. 0 = hardware concurrency (at least 1).
   std::size_t num_workers = 0;
