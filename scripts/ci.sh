@@ -26,6 +26,12 @@ for label in tier1 stress fuzz conformance; do
   ctest --test-dir build -L "${label}" --output-on-failure -j "${jobs}"
 done
 
+# The batched annealing substrate dispatches between an AVX2 sweep and a
+# portable scalar fallback at runtime; run tier1 again with the fallback
+# pinned so both code paths stay green on every change.
+echo "=== tests: ctest -L tier1 (QSMT_NO_AVX2=1 scalar fallback) ==="
+QSMT_NO_AVX2=1 ctest --test-dir build -L tier1 --output-on-failure -j "${jobs}"
+
 echo "=== docs consistency (links + formulation coverage) ==="
 python3 scripts/check_docs.py
 
@@ -35,6 +41,13 @@ python3 scripts/check_docs.py
 # CI machines are too noisy to threshold throughput.
 echo "=== quantum_bench --smoke ==="
 ./build/bench/quantum_bench --smoke
+
+# Same seconds-scale pass over the batched annealing substrate: every
+# replica-count/fusion configuration must stay bit-identical to the scalar
+# single-read path (the throughput gate, like above, only fires in the
+# full run).
+echo "=== batch_bench --smoke ==="
+./build/bench/batch_bench --smoke
 
 if [[ "${skip_sanitizers}" == "1" ]]; then
   echo "=== sanitizer stages skipped ==="
@@ -48,9 +61,9 @@ fi
 # every builder's full state space. The binaries run directly (rather
 # than via ctest) so the subset is exact regardless of which gtest case
 # names discovery registered.
-subset=(annealer_test hotpath_test qubo_builder_test qubo_model_test
-        adjacency_test sample_set_test schedule_test builders_test
-        pimc_test embedding_test embedded_sampler_test
+subset=(annealer_test hotpath_test batched_kernel_test qubo_builder_test
+        qubo_model_test adjacency_test sample_set_test schedule_test
+        builders_test pimc_test embedding_test embedded_sampler_test
         quantum_hotpath_test quantum_conformance_test
         service_test conformance_test corpus_test)
 

@@ -1,0 +1,345 @@
+// AVX2 lane-parallel paths of the batched sweep kernel. This translation
+// unit is the only one compiled with -mavx2 (see src/anneal/CMakeLists.txt);
+// everything else in the library stays at the baseline ISA and the choice
+// between these routines and the scalar ones is made at runtime
+// (batched_avx2_enabled).
+//
+// Bit-identity contract: every lane must produce exactly the doubles the
+// scalar kernel produces. Three things guarantee it here:
+//  * the screened Metropolis bounds are evaluated with explicit
+//    _mm256_mul_pd/_mm256_add_pd in the same operation order as
+//    metropolis.hpp — no FMA (this file must not be compiled with -mfma;
+//    fused rounding would diverge from the baseline mul+add code), and the
+//    source-level COMPILE_OPTIONS pin -ffp-contract=off as insurance;
+//  * xoshiro256** advances four interleaved lane states with 64-bit integer
+//    ops (the *5/*9 multiplies become shift+add, exactly the same modular
+//    arithmetic), and the u64→[0,1) conversion is the exact two-part
+//    integer-to-double trick, matching static_cast<double>(v >> 11) bit for
+//    bit;
+//  * neighbor updates add coefficient * step with step ∈ {-1.0, 0.0, +1.0};
+//    non-flipped lanes add coefficient * 0.0, which can only flip the sign
+//    of a zero field — IEEE comparisons treat ±0.0 identically and energies
+//    are recomputed from bits, so no later decision can diverge.
+#include "anneal/batched_kernel.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cmath>
+
+namespace qsmt::anneal::detail {
+
+namespace {
+
+/// kLaneMask[m] is a 4-lane all-ones/all-zeros mask with lane j set when
+/// bit j of m is set; indexed by a 4-bit nibble of a spin/flip word.
+alignas(32) constexpr std::uint64_t kLaneMask[16][4] = {
+    {0, 0, 0, 0},   {~0ULL, 0, 0, 0},
+    {0, ~0ULL, 0, 0},   {~0ULL, ~0ULL, 0, 0},
+    {0, 0, ~0ULL, 0},   {~0ULL, 0, ~0ULL, 0},
+    {0, ~0ULL, ~0ULL, 0},   {~0ULL, ~0ULL, ~0ULL, 0},
+    {0, 0, 0, ~0ULL},   {~0ULL, 0, 0, ~0ULL},
+    {0, ~0ULL, 0, ~0ULL},   {~0ULL, ~0ULL, 0, ~0ULL},
+    {0, 0, ~0ULL, ~0ULL},   {~0ULL, 0, ~0ULL, ~0ULL},
+    {0, ~0ULL, ~0ULL, ~0ULL},   {~0ULL, ~0ULL, ~0ULL, ~0ULL},
+};
+
+inline __m256i nibble_mask(std::uint64_t word, unsigned quad) {
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(
+      kLaneMask[(word >> (4 * quad)) & 0xF]));
+}
+
+/// Exact u64 >> 11 → double conversion for all 53-bit inputs: split into a
+/// 52-bit low part (magic-number trick) plus the top bit scaled by 2^52;
+/// both parts and their sum are exact, so the result equals
+/// static_cast<double>(v >> 11) on every lane.
+inline __m256d uniform_from_bits(__m256i v) {
+  const __m256i mant = _mm256_srli_epi64(v, 11);
+  const __m256i lo =
+      _mm256_and_si256(mant, _mm256_set1_epi64x(0x000FFFFFFFFFFFFFLL));
+  const __m256i hi = _mm256_srli_epi64(mant, 52);
+  const __m256d lo_d = _mm256_sub_pd(
+      _mm256_castsi256_pd(
+          _mm256_or_si256(lo, _mm256_set1_epi64x(0x4330000000000000LL))),
+      _mm256_set1_pd(0x1.0p52));
+  const __m256d hi_mask = _mm256_castsi256_pd(
+      _mm256_cmpeq_epi64(hi, _mm256_set1_epi64x(1)));
+  const __m256d hi_d = _mm256_and_pd(hi_mask, _mm256_set1_pd(0x1.0p52));
+  return _mm256_mul_pd(_mm256_add_pd(lo_d, hi_d), _mm256_set1_pd(0x1.0p-53));
+}
+
+inline __m256i rotl_epi64(__m256i x, int k) {
+  return _mm256_or_si256(_mm256_slli_epi64(x, k),
+                         _mm256_srli_epi64(x, 64 - k));
+}
+
+}  // namespace
+
+bool batched_avx2_compiled() noexcept { return true; }
+
+void fill_uniforms_avx2(const BatchedBlockView& view, Xoshiro256* rngs) {
+  const std::size_t n = view.num_variables;
+  for (unsigned q = 0; q < kBatchedLanes / 4; ++q) {
+    if (((view.active >> (4 * q)) & 0xF) == 0) continue;
+    // Load the quad's four xoshiro256** states into word-major registers.
+    // This loop is call-free, so the states stay resident in ymm registers
+    // for the whole pass — fusing generation into the sweep (which calls
+    // std::exp on its tail path) would force them through the stack every
+    // iteration and measures slower.
+    std::array<std::uint64_t, 4> st[4];
+    for (unsigned j = 0; j < 4; ++j) st[j] = rngs[4 * q + j].state();
+    __m256i s0 = _mm256_setr_epi64x(
+        static_cast<long long>(st[0][0]), static_cast<long long>(st[1][0]),
+        static_cast<long long>(st[2][0]), static_cast<long long>(st[3][0]));
+    __m256i s1 = _mm256_setr_epi64x(
+        static_cast<long long>(st[0][1]), static_cast<long long>(st[1][1]),
+        static_cast<long long>(st[2][1]), static_cast<long long>(st[3][1]));
+    __m256i s2 = _mm256_setr_epi64x(
+        static_cast<long long>(st[0][2]), static_cast<long long>(st[1][2]),
+        static_cast<long long>(st[2][2]), static_cast<long long>(st[3][2]));
+    __m256i s3 = _mm256_setr_epi64x(
+        static_cast<long long>(st[0][3]), static_cast<long long>(st[1][3]),
+        static_cast<long long>(st[2][3]), static_cast<long long>(st[3][3]));
+
+    double* out = view.uniforms + 4 * q;
+    for (std::size_t i = 0; i < n; ++i) {
+      // xoshiro256**: result = rotl(s1 * 5, 7) * 9, with the constant
+      // multiplies as shift+add (identical modular arithmetic).
+      const __m256i x5 = _mm256_add_epi64(s1, _mm256_slli_epi64(s1, 2));
+      const __m256i r7 = rotl_epi64(x5, 7);
+      const __m256i result = _mm256_add_epi64(r7, _mm256_slli_epi64(r7, 3));
+      const __m256i t = _mm256_slli_epi64(s1, 17);
+      s2 = _mm256_xor_si256(s2, s0);
+      s3 = _mm256_xor_si256(s3, s1);
+      s1 = _mm256_xor_si256(s1, s2);
+      s0 = _mm256_xor_si256(s0, s3);
+      s2 = _mm256_xor_si256(s2, t);
+      s3 = rotl_epi64(s3, 45);
+      _mm256_storeu_pd(out + i * kBatchedLanes, uniform_from_bits(result));
+    }
+
+    alignas(32) std::uint64_t back[4][4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(back[0]), s0);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(back[1]), s1);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(back[2]), s2);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(back[3]), s3);
+    for (unsigned j = 0; j < 4; ++j) {
+      rngs[4 * q + j].set_state(
+          {back[0][j], back[1][j], back[2][j], back[3][j]});
+    }
+  }
+}
+
+std::uint64_t sweep_avx2(const BatchedBlockView& view, double beta,
+                         std::uint64_t* lane_flips) {
+  const std::size_t n = view.num_variables;
+  const qubo::QuboAdjacency& adjacency = *view.adjacency;
+  const std::uint64_t active = view.active;
+  // Quads that contain at least one active lane; trailing empty quads cost
+  // nothing (small replica counts live in quad 0 only).
+  const unsigned quads =
+      (static_cast<unsigned>(std::bit_width(active)) + 3) / 4;
+
+  const __m256d beta_v = _mm256_set1_pd(beta);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d sixth = _mm256_set1_pd(1.0 / 6.0);
+  const __m256d neg_zero = _mm256_set1_pd(-0.0);
+  const __m256d minus_one = _mm256_set1_pd(-1.0);
+
+  // Per-lane flip tallies live in vector accumulators for the whole sweep;
+  // a flipped word bumps them with a masked subtract of -1 per quad instead
+  // of a data-dependent iterate-the-set-bits loop (those mispredict every
+  // exit in the mixed-acceptance midschedule).
+  __m256i flip_tally[kBatchedLanes / 4];
+  for (unsigned q = 0; q < kBatchedLanes / 4; ++q) {
+    flip_tally[q] = _mm256_setzero_si256();
+  }
+
+  std::uint64_t flipped_lanes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t word = view.spins[i];
+    double* field_i = view.field + i * kBatchedLanes;
+    const double* u_i = view.uniforms + i * kBatchedLanes;
+
+    std::uint64_t flips = 0;
+    unsigned var_undecided = 0;
+    alignas(32) double xs[kBatchedLanes];
+    for (unsigned q = 0; q < quads; ++q) {
+      const unsigned qactive =
+          static_cast<unsigned>((active >> (4 * q)) & 0xF);
+      if (qactive == 0) continue;
+      const __m256d f = _mm256_loadu_pd(field_i + 4 * q);
+      // delta = spin ? -field : field, as a sign-bit flip.
+      const __m256d sign =
+          _mm256_and_pd(_mm256_castsi256_pd(nibble_mask(word, q)), neg_zero);
+      const __m256d delta = _mm256_xor_pd(f, sign);
+      const __m256d x = _mm256_mul_pd(beta_v, delta);
+      _mm256_store_pd(xs + 4 * q, x);
+
+      // The screened exact-Metropolis compare of metropolis.hpp, evaluated
+      // branch-free with the identical operation sequence per bound — the
+      // acceptance masks are pure dataflow, so the midschedule's mixed
+      // accept/reject pattern costs no branch mispredicts. (Quad-level
+      // early-out branches were tried and measure slower for exactly that
+      // reason.)
+      const __m256d acc_flat = _mm256_cmp_pd(x, zero, _CMP_LE_OQ);
+      const __m256d u = _mm256_loadu_pd(u_i + 4 * q);
+      const __m256d rej_inv = _mm256_cmp_pd(
+          _mm256_mul_pd(u, _mm256_add_pd(one, x)), one, _CMP_GE_OQ);
+      const __m256d upper = _mm256_add_pd(
+          _mm256_sub_pd(one, x),
+          _mm256_mul_pd(_mm256_mul_pd(half, x), x));
+      const __m256d rej_upper = _mm256_cmp_pd(u, upper, _CMP_GE_OQ);
+      const __m256d lower = _mm256_sub_pd(
+          upper,
+          _mm256_mul_pd(_mm256_mul_pd(_mm256_mul_pd(x, x), x), sixth));
+      const __m256d acc_lower = _mm256_cmp_pd(u, lower, _CMP_LT_OQ);
+
+      // Tail-thinning screen, exclusive to the vector path: reject when
+      // u * (1 + x + x²/2 + x³/6) >= 1. The cubic sum underestimates e^x
+      // by at least x⁴/24, so in exact arithmetic the screen only fires
+      // when u >= e^-x — the same verdict the exp tail would reach. The
+      // x >= 1/64 guard keeps that margin (>= 2^-24/24 relative) ten
+      // orders of magnitude above the few-ulp rounding noise of this
+      // evaluation and of std::exp itself, so no decision can differ from
+      // the scalar kernel's. For moderately uphill moves (x in [1, 4]) it
+      // shrinks the exp band from ~1/(1+x) of lanes to ~e^-x of lanes.
+      const __m256d s3 = _mm256_add_pd(
+          _mm256_add_pd(one, x),
+          _mm256_add_pd(
+              _mm256_mul_pd(_mm256_mul_pd(half, x), x),
+              _mm256_mul_pd(_mm256_mul_pd(_mm256_mul_pd(x, x), x), sixth)));
+      const __m256d rej_tail = _mm256_and_pd(
+          _mm256_cmp_pd(x, _mm256_set1_pd(0.015625), _CMP_GE_OQ),
+          _mm256_cmp_pd(_mm256_mul_pd(u, s3), one, _CMP_GE_OQ));
+
+      // Accept-side counterpart: e^x <= S4 / (1 - x⁵/120) for x⁵ < 120
+      // (Lagrange remainder), so u * S4 < 1 - x⁵/120 implies u < e^-x.
+      // Guarded to x in [1/16, 2.5], where the bound's slack (~x⁶/720,
+      // >= 6e-11) again dwarfs rounding noise; below 1/16 the quartic
+      // `lower` screen already leaves a vanishing band, above 2.5 the
+      // threshold goes negative and the screen can never fire.
+      const __m256d x4 = _mm256_mul_pd(_mm256_mul_pd(x, x),
+                                       _mm256_mul_pd(x, x));
+      const __m256d s4 = _mm256_add_pd(
+          s3, _mm256_mul_pd(x4, _mm256_set1_pd(1.0 / 24.0)));
+      const __m256d acc_thresh = _mm256_sub_pd(
+          one, _mm256_mul_pd(_mm256_mul_pd(x4, x),
+                             _mm256_set1_pd(1.0 / 120.0)));
+      const __m256d acc_tail = _mm256_and_pd(
+          _mm256_and_pd(
+              _mm256_cmp_pd(x, _mm256_set1_pd(0.0625), _CMP_GE_OQ),
+              _mm256_cmp_pd(x, _mm256_set1_pd(2.5), _CMP_LE_OQ)),
+          _mm256_cmp_pd(_mm256_mul_pd(u, s4), acc_thresh, _CMP_LT_OQ));
+
+      const __m256d rejected = _mm256_andnot_pd(
+          acc_flat,
+          _mm256_or_pd(_mm256_or_pd(rej_inv, rej_upper), rej_tail));
+      const __m256d accepted = _mm256_or_pd(
+          acc_flat,
+          _mm256_andnot_pd(rejected, _mm256_or_pd(acc_lower, acc_tail)));
+      const unsigned accept_mask =
+          static_cast<unsigned>(_mm256_movemask_pd(accepted)) & qactive;
+      const unsigned undecided_mask =
+          qactive & ~accept_mask &
+          ~static_cast<unsigned>(_mm256_movemask_pd(rejected));
+      var_undecided |= undecided_mask << (4 * q);
+      flips |= static_cast<std::uint64_t>(accept_mask) << (4 * q);
+    }
+    if (var_undecided != 0) [[unlikely]] {
+      // The narrow ambiguity band left by the screens pays the real exp,
+      // one lane at a time — same compare as the scalar kernel's tail
+      // case. Kept out of the quad loop so the only call in this function
+      // sits on a once-per-variable cold path.
+      for (unsigned m = var_undecided; m != 0; m &= m - 1) {
+        const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+        if (u_i[l] < std::exp(-xs[l])) flips |= 1ULL << l;
+      }
+    }
+
+    if (flips == 0) continue;
+    view.spins[i] = word ^ flips;
+    flipped_lanes |= flips;
+    for (unsigned q = 0; q < quads; ++q) {
+      flip_tally[q] =
+          _mm256_sub_epi64(flip_tally[q], nibble_mask(flips, q));
+    }
+
+    const auto row = adjacency.neighbors(i);
+    if (std::popcount(flips) < 3) {
+      // Sparse flips (cold sweeps): per-lane scalar updates beat paying
+      // four vector lanes per quad for one flipped lane. Same mul+add per
+      // flipped lane as the vector path, so still bit-identical.
+      for (std::uint64_t m = flips; m != 0; m &= m - 1) {
+        const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+        const double step = ((word >> l) & 1u) ? -1.0 : 1.0;
+        for (const auto& nb : row) {
+          view.field[nb.index * kBatchedLanes + l] += nb.coefficient * step;
+        }
+      }
+    } else {
+      // Dense flips (hot sweeps): one fused row update per neighbor.
+      // step = flips ? (spin ? -1 : +1) : 0 per lane. Only quads that
+      // actually contain a flip enter the update loop — an all-zero step
+      // quad would just add coefficient * 0.0 to every lane, so skipping
+      // it drops work without touching any field bit that matters.
+      alignas(32) double step[kBatchedLanes];
+      unsigned upd_quads[kBatchedLanes / 4];
+      unsigned num_upd = 0;
+      for (unsigned q = 0; q < quads; ++q) {
+        if (((flips >> (4 * q)) & 0xF) == 0) continue;
+        const __m256d fm = _mm256_castsi256_pd(nibble_mask(flips, q));
+        const __m256d wm = _mm256_castsi256_pd(nibble_mask(word, q));
+        const __m256d pm1 = _mm256_or_pd(_mm256_and_pd(wm, minus_one),
+                                         _mm256_andnot_pd(wm, one));
+        _mm256_store_pd(step + 4 * q, _mm256_and_pd(fm, pm1));
+        upd_quads[num_upd++] = q;
+      }
+      for (const auto& nb : row) {
+        double* fnb = view.field + nb.index * kBatchedLanes;
+        const __m256d c = _mm256_set1_pd(nb.coefficient);
+        for (unsigned k = 0; k < num_upd; ++k) {
+          const unsigned q = upd_quads[k];
+          const __m256d upd =
+              _mm256_mul_pd(c, _mm256_load_pd(step + 4 * q));
+          _mm256_storeu_pd(fnb + 4 * q,
+                           _mm256_add_pd(_mm256_loadu_pd(fnb + 4 * q), upd));
+        }
+      }
+    }
+  }
+
+  for (unsigned q = 0; q < quads; ++q) {
+    alignas(32) std::uint64_t tally[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tally), flip_tally[q]);
+    for (unsigned j = 0; j < 4; ++j) lane_flips[4 * q + j] += tally[j];
+  }
+  return flipped_lanes;
+}
+
+}  // namespace qsmt::anneal::detail
+
+#else  // !defined(__AVX2__)
+
+namespace qsmt::anneal::detail {
+
+bool batched_avx2_compiled() noexcept { return false; }
+
+// Never reached: batched_avx2_enabled() is false when the AVX2 TU is not
+// compiled in, so the dispatcher always takes the scalar routines.
+void fill_uniforms_avx2(const BatchedBlockView& view, Xoshiro256* rngs) {
+  fill_uniforms_scalar(view, rngs);
+}
+
+std::uint64_t sweep_avx2(const BatchedBlockView& view, double beta,
+                         std::uint64_t* lane_flips) {
+  return sweep_scalar(view, beta, lane_flips);
+}
+
+}  // namespace qsmt::anneal::detail
+
+#endif

@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/rng.hpp"
+
 namespace qsmt::anneal {
 
 struct AnnealContext {
@@ -36,6 +38,20 @@ struct AnnealContext {
   std::vector<double> slice_field;
   std::vector<double> slice_energy;
 
+  // Replica-major batched-kernel workspace (docs/hotpath.md, "The batched
+  // substrate"): one bit-packed spin word per variable plus lane-strided
+  // field/uniform rows, sized for one block of the BatchedSweepKernel. The
+  // block loop borrows these through the thread-local context, so fused
+  // service invocations reuse the same buffers sweep after sweep.
+  struct BatchedScratch {
+    std::vector<std::uint64_t> spins;     ///< [n] spin words, bit l = lane l.
+    std::vector<double> field;            ///< [n * lanes] lane-strided.
+    std::vector<double> uniforms;         ///< [n * lanes] lane-strided.
+    std::vector<Xoshiro256> rngs;         ///< One per lane.
+    std::vector<std::uint64_t> lane_flips;
+  };
+  BatchedScratch batched;
+
   /// Sizes all buffers for an n-variable model (contents unspecified).
   void prepare(std::size_t n) {
     bits.resize(n);
@@ -50,6 +66,16 @@ struct AnnealContext {
     spins.resize(n * slices);
     slice_field.resize(n * slices);
     slice_energy.resize(slices);
+  }
+
+  /// Sizes the batched-kernel workspace for one `lanes`-wide block over an
+  /// n-variable model (contents unspecified, like prepare()).
+  void prepare_batched(std::size_t n, std::size_t lanes) {
+    batched.spins.resize(n);
+    batched.field.resize(n * lanes);
+    batched.uniforms.resize(n * lanes);
+    batched.rngs.resize(lanes, Xoshiro256(0));
+    batched.lane_flips.resize(lanes);
   }
 };
 

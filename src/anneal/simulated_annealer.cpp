@@ -122,6 +122,119 @@ void anneal_read_reference(const qubo::QuboAdjacency& adjacency,
 
 }  // namespace detail
 
+namespace {
+
+/// The β schedule sample() runs, shared by the scalar and batched paths.
+/// With a fully defaulted β range, use the anneal-then-quench schedule: the
+/// quench tail freezes each read so the kernel's zero-flip early exit fires
+/// well before the nominal sweep count, which is where most of the measured
+/// sweep-throughput win comes from (see docs/hotpath.md). Explicitly set
+/// endpoints keep the plain interpolated schedule — the caller asked for
+/// exactly that β range, and tests rely on it being honoured.
+std::vector<double> sample_schedule(const qubo::QuboAdjacency& adjacency,
+                                    const SimulatedAnnealerParams& params) {
+  const BetaRange range = default_beta_range(adjacency);
+  const bool defaulted = !params.beta_hot && !params.beta_cold;
+  const double hot = params.beta_hot.value_or(range.hot);
+  const double cold = params.beta_cold.value_or(range.cold);
+  return defaulted ? make_quench_schedule(hot, cold, params.num_sweeps,
+                                          params.beta_interpolation)
+                   : make_schedule(hot, cold, params.num_sweeps,
+                                   params.beta_interpolation);
+}
+
+}  // namespace
+
+std::vector<SampleSet> sample_batched(const qubo::QuboAdjacency& adjacency,
+                                      const SimulatedAnnealerParams& params,
+                                      std::span<const BatchedGroup> groups) {
+  require(!groups.empty(), "sample_batched: need at least one group");
+  require(params.num_sweeps >= 1, "sample_batched: num_sweeps must be >= 1");
+  for (const BatchedGroup& group : groups) {
+    require(group.num_replicas >= 1,
+            "sample_batched: every group needs >= 1 replica");
+  }
+  const std::size_t n = adjacency.num_variables();
+  const std::vector<double> betas = sample_schedule(adjacency, params);
+
+  BatchedSweepKernel kernel(adjacency,
+                            std::vector<BatchedGroup>(groups.begin(),
+                                                      groups.end()));
+  const std::size_t lanes = kernel.num_lanes();
+
+  telemetry::Span span("anneal.sample");
+  span.arg("num_variables", static_cast<double>(n));
+  span.arg("num_reads", static_cast<double>(lanes));
+  span.arg("num_sweeps", static_cast<double>(params.num_sweeps));
+  const bool telemetry_on = telemetry::enabled();
+  telemetry::Histogram read_energy;
+  if (telemetry_on) {
+    static const auto beta_hot_gauge = telemetry::gauge("anneal.beta.hot");
+    static const auto beta_cold_gauge = telemetry::gauge("anneal.beta.cold");
+    if (!betas.empty()) {
+      beta_hot_gauge.set(betas.front());
+      beta_cold_gauge.set(betas.back());
+    }
+    read_energy = telemetry::histogram("anneal.read.energy");
+  }
+
+  kernel.run(betas, params.early_exit);
+
+  if (telemetry_on) {
+    static const auto invocations =
+        telemetry::counter("anneal.batch.invocations");
+    static const auto replicas = telemetry::counter("anneal.batch.replicas");
+    invocations.add();
+    replicas.add(static_cast<std::uint64_t>(lanes));
+    if (kernel.used_avx2()) {
+      // Interned lazily so scalar-fallback hosts never surface the name.
+      static const auto avx2_runs = telemetry::counter("anneal.batch.avx2");
+      avx2_runs.add();
+    }
+  }
+
+  // Per-lane greedy polish + energy off the kernel's final bits/fields —
+  // identical to the scalar path's per-read tail, and embarrassingly
+  // parallel for the same reason.
+  std::vector<Sample> results(lanes);
+#pragma omp parallel for schedule(dynamic)
+  for (std::ptrdiff_t lane = 0; lane < static_cast<std::ptrdiff_t>(lanes);
+       ++lane) {
+    const std::size_t l = static_cast<std::size_t>(lane);
+    AnnealContext& ctx = thread_local_context();
+    ctx.prepare(n);
+    const auto bits = kernel.lane_bits(l);
+    const auto field = kernel.lane_field(l);
+    ctx.bits.assign(bits.begin(), bits.end());
+    ctx.field.assign(field.begin(), field.end());
+    const BatchedGroup& group = groups[kernel.lane_group(l)];
+    const bool cancelled =
+        group.cancel.cancellable() && group.cancel.cancelled();
+    if (kernel.lane_annealed(l)) record_read_stats(kernel.lane_stats(l));
+    if (params.polish_with_greedy && !cancelled) {
+      detail::greedy_descend(adjacency, ctx.bits, ctx.field);
+    }
+    auto& out = results[l];
+    out.energy = adjacency.energy(ctx.bits);
+    out.bits.assign(ctx.bits.begin(), ctx.bits.end());
+    out.num_occurrences = 1;
+    if (telemetry_on) read_energy.record(out.energy);
+  }
+
+  std::vector<SampleSet> sets;
+  sets.reserve(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    SampleSet set;
+    const std::size_t first = kernel.group_first_lane(g);
+    for (std::size_t r = 0; r < groups[g].num_replicas; ++r) {
+      set.add(std::move(results[first + r]));
+    }
+    set.aggregate();
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
 SampleSet SimulatedAnnealer::sample(const qubo::QuboModel& model) const {
   return sample(qubo::QuboAdjacency(model));
 }
@@ -130,21 +243,27 @@ SampleSet SimulatedAnnealer::sample(
     const qubo::QuboAdjacency& adjacency) const {
   const std::size_t n = adjacency.num_variables();
 
-  // With a fully defaulted β range, use the anneal-then-quench schedule: the
-  // quench tail freezes each read so the kernel's zero-flip early exit fires
-  // well before the nominal sweep count, which is where most of the measured
-  // sweep-throughput win comes from (see docs/hotpath.md). Explicitly set
-  // endpoints keep the plain interpolated schedule — the caller asked for
-  // exactly that β range, and tests rely on it being honoured.
-  const BetaRange range = default_beta_range(adjacency);
-  const bool defaulted = !params_.beta_hot && !params_.beta_cold;
-  const double hot = params_.beta_hot.value_or(range.hot);
-  const double cold = params_.beta_cold.value_or(range.cold);
-  const std::vector<double> betas =
-      defaulted ? make_quench_schedule(hot, cold, params_.num_sweeps,
-                                       params_.beta_interpolation)
-                : make_schedule(hot, cold, params_.num_sweeps,
-                                params_.beta_interpolation);
+  // Route multi-read runs through the batched substrate (bit-identical to
+  // the scalar loop below, see batched_kernel.hpp). Trace-mode telemetry
+  // stays on the scalar path for its per-read trace events; SweepMode
+  // overrides pick a substrate explicitly.
+  const bool batched =
+      params_.sweep_mode == SweepMode::kBatched ||
+      (params_.sweep_mode == SweepMode::kAuto && params_.num_reads >= 2 &&
+       !telemetry::trace_enabled());
+  if (batched) {
+    BatchedGroup group;
+    group.seed = params_.seed;
+    group.num_replicas = params_.num_reads;
+    group.cancel = params_.cancel;
+    std::vector<SampleSet> sets =
+        sample_batched(adjacency, params_, std::span(&group, 1));
+    return std::move(sets.front());
+  }
+
+  const std::vector<double> betas = sample_schedule(adjacency, params_);
+  const double hot = betas.empty() ? 0.0 : betas.front();
+  const double cold = betas.empty() ? 0.0 : betas.back();
 
   telemetry::Span span("anneal.sample");
   span.arg("num_variables", static_cast<double>(n));

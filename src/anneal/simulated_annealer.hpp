@@ -34,7 +34,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <vector>
 
+#include "anneal/batched_kernel.hpp"
 #include "anneal/context.hpp"
 #include "anneal/sampler.hpp"
 #include "anneal/schedule.hpp"
@@ -43,6 +46,21 @@
 #include "util/rng.hpp"
 
 namespace qsmt::anneal {
+
+/// Which sweep substrate sample() runs on (docs/hotpath.md, "The batched
+/// substrate"). The batched kernel is bit-identical to the scalar one for
+/// the same seed, so this is purely a performance/diagnostics knob.
+enum class SweepMode {
+  /// Batched multi-replica kernel for multi-read runs; the scalar per-read
+  /// loop for single reads and under trace-mode telemetry (which wants its
+  /// per-read trace events).
+  kAuto,
+  /// Force the batched kernel regardless of read count.
+  kBatched,
+  /// Force the per-read scalar kernel — the bit-equivalence oracle the
+  /// batched paths are tested and benched against.
+  kScalar,
+};
 
 struct SimulatedAnnealerParams {
   std::size_t num_reads = 64;    ///< Independent annealing runs.
@@ -67,6 +85,9 @@ struct SimulatedAnnealerParams {
   /// well-formed (but low-quality) SampleSet, which callers like
   /// qsmt::service discard. A default token never cancels.
   CancelToken cancel;
+  /// Sweep substrate selection; see SweepMode. Outputs are bit-identical
+  /// across modes, so only throughput (and per-read trace fidelity) differ.
+  SweepMode sweep_mode = SweepMode::kAuto;
 };
 
 class SimulatedAnnealer final : public Sampler {
@@ -84,6 +105,20 @@ class SimulatedAnnealer final : public Sampler {
  private:
   SimulatedAnnealerParams params_;
 };
+
+/// Batched multi-group sampling: anneals every group's replicas through ONE
+/// BatchedSweepKernel invocation over the shared `adjacency`, polishes each
+/// replica, and returns one aggregated SampleSet per group (in group
+/// order). Each group's output is bit-identical to a solo
+/// SimulatedAnnealer::sample run whose params are `params` with seed and
+/// cancel replaced by the group's — this is how the service fuses many
+/// independent jobs into one kernel pass and de-multiplexes the results.
+/// `params.seed` and `params.cancel` are ignored; schedule, polish, and
+/// early-exit fields are honoured. Emits the anneal.batch.* counters
+/// (docs/telemetry.md).
+std::vector<SampleSet> sample_batched(const qubo::QuboAdjacency& adjacency,
+                                      const SimulatedAnnealerParams& params,
+                                      std::span<const BatchedGroup> groups);
 
 namespace detail {
 

@@ -62,6 +62,32 @@ double QuboAdjacency::local_field(std::span<const std::uint8_t> bits,
   return field;
 }
 
+void QuboAdjacency::bulk_local_fields(
+    std::span<const std::uint64_t> replica_words, std::size_t num_replicas,
+    std::size_t stride, std::span<double> fields) const {
+  const std::size_t n = linear_.size();
+  require(replica_words.size() == n,
+          "QuboAdjacency::bulk_local_fields: replica word count mismatch");
+  require(num_replicas >= 1 && num_replicas <= stride && num_replicas <= 64,
+          "QuboAdjacency::bulk_local_fields: bad replica count");
+  require(fields.size() >= n * stride,
+          "QuboAdjacency::bulk_local_fields: field buffer too small");
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::span<const Neighbor> row = neighbors(i);
+    double* out = fields.data() + i * stride;
+    for (std::size_t r = 0; r < num_replicas; ++r) {
+      // Same conditional accumulation, in the same CSR order, as
+      // local_field(): the batched kernel's starting fields must match the
+      // scalar oracle's to the last bit.
+      double field = linear_[i];
+      for (const Neighbor& nb : row) {
+        if ((replica_words[nb.index] >> r) & 1u) field += nb.coefficient;
+      }
+      out[r] = field;
+    }
+  }
+}
+
 double QuboAdjacency::flip_delta(std::span<const std::uint8_t> bits,
                                  std::size_t i) const {
   const double sign = bits[i] ? -1.0 : 1.0;

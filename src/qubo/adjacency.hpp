@@ -47,6 +47,17 @@ class QuboAdjacency {
   /// that maintain incremental fields themselves.
   double local_field(std::span<const std::uint8_t> bits, std::size_t i) const;
 
+  /// Replica-major bulk local fields for the batched sweep kernel
+  /// (docs/hotpath.md, "The batched substrate"). `replica_words[i]` packs
+  /// one bit per replica lane of variable i (bit r = lane r's value);
+  /// writes fields[i * stride + r] = q_ii + Σ_j q_ij x_j^(r) for every
+  /// lane r < num_replicas, accumulating neighbors in CSR order so each
+  /// lane's value is bit-identical to local_field() on that lane's
+  /// unpacked assignment. Lanes in [num_replicas, stride) are untouched.
+  void bulk_local_fields(std::span<const std::uint64_t> replica_words,
+                         std::size_t num_replicas, std::size_t stride,
+                         std::span<double> fields) const;
+
   /// Largest |coefficient| across linear and quadratic terms (0 for an empty
   /// adjacency). Matches QuboModel::max_abs_coefficient() for the source
   /// model modulo exactly-zero quadratic entries, which both ignore.

@@ -122,26 +122,11 @@ SolveResult StringConstraintSolver::solve(
   return result;
 }
 
-SolveResult StringConstraintSolver::solve(
-    const Constraint& constraint, const qubo::QuboModel& model,
-    const qubo::QuboAdjacency& adjacency) const {
-  SolveResult result;
-  result.num_variables = model.num_variables();
-  result.num_interactions = model.num_interactions();
-
-  Stopwatch sample_timer;
-  {
-    telemetry::Span sample_span("strqubo.sample");
-    sample_span.arg("num_variables",
-                    static_cast<double>(result.num_variables));
-    result.samples = sampler_->supports_adjacency_sampling()
-                         ? sampler_->sample(adjacency)
-                         : sampler_->sample(model);
-  }
-  result.sample_seconds = sample_timer.elapsed_seconds();
-  require(!result.samples.empty(),
-          "StringConstraintSolver::solve: sampler returned no samples");
+SolveResult decode_and_verify(const Constraint& constraint,
+                              const anneal::SampleSet& samples) {
+  require(!samples.empty(), "decode_and_verify: sample set is empty");
   telemetry::Span verify_span("strqubo.verify");
+  SolveResult result;
 
   // Decode the best-energy sample first; when several states tie at the
   // bottom of the landscape (common for class encodings), fall through the
@@ -149,15 +134,14 @@ SolveResult StringConstraintSolver::solve(
   // classical consistency check — the paper's "transformed back to the
   // original theory, and checked for consistency" step applied per sample.
   if (const auto* includes = std::get_if<Includes>(&constraint)) {
-    result.position = decode_includes_position(result.samples[0].bits);
-    result.energy = result.samples[0].energy;
+    result.position = decode_includes_position(samples[0].bits);
+    result.energy = samples[0].energy;
     result.satisfied = verify_position(*includes, result.position);
-    for (std::size_t s = 1; !result.satisfied && s < result.samples.size();
-         ++s) {
-      const auto position = decode_includes_position(result.samples[s].bits);
+    for (std::size_t s = 1; !result.satisfied && s < samples.size(); ++s) {
+      const auto position = decode_includes_position(samples[s].bits);
       if (verify_position(*includes, position)) {
         result.position = position;
-        result.energy = result.samples[s].energy;
+        result.energy = samples[s].energy;
         result.satisfied = true;
       }
     }
@@ -174,19 +158,46 @@ SolveResult StringConstraintSolver::solve(
                                      .subspan(0, std::min(string_bits,
                                                           sample.bits.size())));
   };
-  result.text = decode(result.samples[0]);
-  result.energy = result.samples[0].energy;
+  result.text = decode(samples[0]);
+  result.energy = samples[0].energy;
   result.satisfied = verify_string(constraint, *result.text);
-  for (std::size_t s = 1; !result.satisfied && s < result.samples.size();
-       ++s) {
-    const std::string candidate = decode(result.samples[s]);
+  for (std::size_t s = 1; !result.satisfied && s < samples.size(); ++s) {
+    const std::string candidate = decode(samples[s]);
     if (verify_string(constraint, candidate)) {
       result.text = candidate;
-      result.energy = result.samples[s].energy;
+      result.energy = samples[s].energy;
       result.satisfied = true;
     }
   }
   record_solve_verdict(result.satisfied);
+  return result;
+}
+
+SolveResult StringConstraintSolver::solve(
+    const Constraint& constraint, const qubo::QuboModel& model,
+    const qubo::QuboAdjacency& adjacency) const {
+  SolveResult result;
+
+  Stopwatch sample_timer;
+  {
+    telemetry::Span sample_span("strqubo.sample");
+    sample_span.arg("num_variables",
+                    static_cast<double>(model.num_variables()));
+    result.samples = sampler_->supports_adjacency_sampling()
+                         ? sampler_->sample(adjacency)
+                         : sampler_->sample(model);
+  }
+  result.sample_seconds = sample_timer.elapsed_seconds();
+  require(!result.samples.empty(),
+          "StringConstraintSolver::solve: sampler returned no samples");
+
+  SolveResult verdict = decode_and_verify(constraint, result.samples);
+  result.text = std::move(verdict.text);
+  result.position = verdict.position;
+  result.satisfied = verdict.satisfied;
+  result.energy = verdict.energy;
+  result.num_variables = model.num_variables();
+  result.num_interactions = model.num_interactions();
   return result;
 }
 

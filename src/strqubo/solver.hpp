@@ -94,6 +94,17 @@ class StringConstraintSolver {
 std::optional<std::size_t> decode_includes_position(
     std::span<const std::uint8_t> bits);
 
+/// The post-sampling half of StringConstraintSolver::solve: decodes
+/// `samples` (best-energy first, falling through the set in energy order)
+/// and classically verifies each decoding against `constraint`, under the
+/// strqubo.verify telemetry span. Returns a SolveResult with satisfied /
+/// text / position / energy filled in; model-size, timing, and samples
+/// fields are left for the caller. Exposed so the service's cross-job
+/// batching can de-multiplex one fused kernel invocation into per-job
+/// verdicts without re-entering the solver facade.
+SolveResult decode_and_verify(const Constraint& constraint,
+                              const anneal::SampleSet& samples);
+
 /// Solves with escalating annealer effort: runs the simulated annealer at a
 /// doubling sweep budget (initial_sweeps, 2x, 4x, ...) until the decoded
 /// answer verifies or max_attempts budgets were tried — the retry loop a

@@ -57,6 +57,15 @@ class Xoshiro256 {
   /// sequences when counter seeding is not appropriate.
   void jump() noexcept;
 
+  /// Snapshot / restore of the full 256-bit state. The batched sweep kernel
+  /// runs four interleaved lane streams through SIMD registers and writes
+  /// the advanced states back, so each lane's sequence stays bit-identical
+  /// to a scalar generator that was stepped on its own.
+  std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    state_ = state;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

@@ -8,13 +8,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <future>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "anneal/simulated_annealer.hpp"
 #include "engine/engine.hpp"
+#include "qubo/qubo_model.hpp"
 #include "service/service.hpp"
 #include "telemetry/sink.hpp"
 #include "telemetry/telemetry.hpp"
@@ -285,6 +290,90 @@ TEST(ServiceTelemetry, ConcurrentBatchEmitsDocumentedMetrics) {
     }
   }
   EXPECT_EQ(winner_total, 4u);
+}
+
+// Pins the batched-substrate metric names from docs/telemetry.md: a
+// multi-read sample() routes onto the batched kernel and emits the
+// anneal.batch.* counters with workload-matched values.
+TEST(BatchTelemetry, BatchedSampleEmitsDocumentedMetrics) {
+  set_mode(Mode::kSummary);
+  reset();
+
+  anneal::SimulatedAnnealerParams params;
+  params.num_reads = 8;
+  params.num_sweeps = 32;
+  params.seed = 3;
+  const anneal::SimulatedAnnealer annealer(params);
+  qubo::QuboModel model(6);
+  for (std::size_t i = 0; i < 6; ++i) model.add_linear(i, i % 2 ? 1.0 : -1.0);
+  model.add_quadratic(0, 1, 0.5);
+  annealer.sample(model);
+
+  const Snapshot snapshot = registry().snapshot();
+  const CounterStat* invocations = snapshot.counter("anneal.batch.invocations");
+  ASSERT_NE(invocations, nullptr);
+  EXPECT_EQ(invocations->value, 1u);
+  const CounterStat* replicas = snapshot.counter("anneal.batch.replicas");
+  ASSERT_NE(replicas, nullptr);
+  EXPECT_EQ(replicas->value, params.num_reads);
+  const CounterStat* avx2 = snapshot.counter("anneal.batch.avx2");
+  if (anneal::batched_avx2_enabled()) {
+    ASSERT_NE(avx2, nullptr);
+    EXPECT_EQ(avx2->value, 1u);
+  } else {
+    // Never interned on hosts without the AVX2 path.
+    EXPECT_EQ(avx2, nullptr);
+  }
+}
+
+// Same pin for the service fusion counters: a deterministic fused batch
+// (single worker parked by a blocking member factory while structure-
+// sharing siblings queue up) emits service.batch.* with exact values.
+TEST(BatchTelemetry, ServiceFusionEmitsDocumentedMetrics) {
+  set_mode(Mode::kSummary);
+  reset();
+
+  auto entered = std::make_shared<std::atomic<int>>(0);
+  auto released = std::make_shared<std::atomic<bool>>(false);
+  service::PortfolioMember gate;
+  gate.name = "gate";
+  gate.make = [entered, released](
+                  std::uint64_t,
+                  CancelToken) -> std::unique_ptr<anneal::Sampler> {
+    if (entered->fetch_add(1) == 0) {
+      while (!released->load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    throw std::runtime_error("gate");
+  };
+
+  service::ServiceOptions options;
+  options.num_workers = 1;
+  options.portfolio.push_back(std::move(gate));
+  options.portfolio.push_back(service::simulated_annealing_member("sa"));
+  service::SolveService service(options);
+
+  std::vector<std::future<service::JobResult>> futures;
+  futures.push_back(service.submit(strqubo::Equality{"ab"}));
+  while (entered->load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  futures.push_back(service.submit(strqubo::Equality{"ab"}));
+  futures.push_back(service.submit(strqubo::Equality{"ab"}));
+  released->store(true);
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().status, smtlib::CheckSatStatus::kSat);
+  }
+
+  const Snapshot snapshot = registry().snapshot();
+  const CounterStat* invocations =
+      snapshot.counter("service.batch.invocations");
+  ASSERT_NE(invocations, nullptr);
+  EXPECT_EQ(invocations->value, 1u);
+  const CounterStat* fused = snapshot.counter("service.batch.fused_jobs");
+  ASSERT_NE(fused, nullptr);
+  EXPECT_EQ(fused->value, 3u);
 }
 
 TEST(ServiceTelemetry, OffModeIsSilentFromWorkerThreads) {
