@@ -23,6 +23,10 @@ docs/*.md, plus any root-level markdown they link to):
    docs/conformance.md, so the encoding-proof kit's docs cannot silently
    fall behind the API.
 
+5. Server coverage: every public class/struct and free function declared
+   in src/server/*.hpp must appear by name in docs/server.md, so the
+   operator's manual cannot silently fall behind the daemon's API.
+
 Exits non-zero with one line per problem.
 """
 
@@ -115,12 +119,27 @@ def check_conformance_coverage() -> list:
     ]
 
 
+def check_server_coverage() -> list:
+    doc = (REPO / "docs/server.md").read_text(encoding="utf-8")
+    names = set()
+    for header in sorted((REPO / "src/server").glob("*.hpp")):
+        body = header.read_text(encoding="utf-8")
+        names.update(SERVICE_TYPE_RE.findall(body))
+        names.update(SERVICE_FUNC_RE.findall(body))
+    return [
+        f"docs/server.md: server API `{name}` is undocumented"
+        for name in sorted(names)
+        if name not in doc
+    ]
+
+
 def main() -> int:
     errors = (
         check_links()
         + check_formulation_coverage()
         + check_service_coverage()
         + check_conformance_coverage()
+        + check_server_coverage()
     )
     for err in errors:
         print(f"check_docs: {err}", file=sys.stderr)

@@ -49,6 +49,15 @@ echo "=== quantum_bench --smoke ==="
 echo "=== batch_bench --smoke ==="
 ./build/bench/batch_bench --smoke
 
+# Server stage: the daemon's tier1/stress/conformance suites already ran in
+# the label matrix above (server_test, server_stress_test,
+# server_corpus_test); this is the seconds-scale end-to-end pass — the full
+# socket path under one and eight concurrent connections, verdict-only
+# replies, no session leaks. Throughput gates, as above, only fire in the
+# full (JSON-writing) run.
+echo "=== server_bench --smoke ==="
+./build/bench/server_bench --smoke
+
 if [[ "${skip_sanitizers}" == "1" ]]; then
   echo "=== sanitizer stages skipped ==="
   exit 0
@@ -58,14 +67,16 @@ fi
 # plus the service worker pool — the threaded cancellation/racing schedules
 # are exactly what ASan/UBSan should see — plus the conformance suites,
 # whose Gray-code spectrum sweeps and exact-solver corpus replays touch
-# every builder's full state space. The binaries run directly (rather
-# than via ctest) so the subset is exact regardless of which gtest case
-# names discovery registered.
+# every builder's full state space, plus the server suites (the socket
+# transport's reader threads, admission gate, and disconnect-cancellation
+# races). The binaries run directly (rather than via ctest) so the subset
+# is exact regardless of which gtest case names discovery registered.
 subset=(annealer_test hotpath_test batched_kernel_test qubo_builder_test
         qubo_model_test adjacency_test sample_set_test schedule_test
         builders_test pimc_test embedding_test embedded_sampler_test
         quantum_hotpath_test quantum_conformance_test
-        service_test conformance_test corpus_test)
+        service_test conformance_test corpus_test
+        server_test server_stress_test)
 
 for san in address undefined; do
   echo "=== ${san} sanitizer build (build-${san}/) ==="

@@ -1,0 +1,80 @@
+#include "server/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace qsmt::server {
+
+Client::~Client() { close(); }
+
+void Client::connect(std::uint16_t port) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("qsmt client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    throw std::runtime_error(std::string("qsmt client: connect() failed: ") +
+                             std::strerror(errno));
+  }
+  fd_ = fd;
+  decoder_ = FrameDecoder();
+}
+
+void Client::send(std::string_view script) {
+  if (fd_ < 0) throw std::runtime_error("qsmt client: not connected");
+  const std::string frame = encode_frame(script);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      throw std::runtime_error("qsmt client: send() failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Client::read_reply() {
+  if (fd_ < 0) throw std::runtime_error("qsmt client: not connected");
+  for (;;) {
+    if (auto payload = decoder_.next()) return *payload;
+    if (decoder_.error() != FrameError::kNone) {
+      close();
+      throw std::runtime_error("qsmt client: malformed reply frame");
+    }
+    char buffer[4096];
+    const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      close();
+      throw std::runtime_error("qsmt client: server closed the connection");
+    }
+    decoder_.feed({buffer, static_cast<std::size_t>(n)});
+  }
+}
+
+std::string Client::request(std::string_view script) {
+  send(script);
+  return read_reply();
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace qsmt::server

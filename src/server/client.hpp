@@ -1,0 +1,51 @@
+// Minimal blocking client for the qsmt-server socket protocol.
+//
+// Speaks the length-prefixed frame protocol (server/protocol.hpp) over a
+// localhost TCP connection: request() sends one frame of SMT-LIB text and
+// blocks for the matching reply frame. Used by the server tests, the
+// server bench, and as the reference client implementation the protocol
+// section of docs/server.md walks through — production clients in other
+// languages need ~30 lines to do the same.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/protocol.hpp"
+
+namespace qsmt::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:`port`. Throws std::runtime_error on failure.
+  void connect(std::uint16_t port);
+
+  /// True between a successful connect() and close() / a stream error.
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  /// One round trip: frames `script`, sends it, blocks for the reply
+  /// frame, returns its payload (the printed SMT-LIB output; may be
+  /// empty). Throws std::runtime_error on protocol errors or disconnect.
+  std::string request(std::string_view script);
+
+  /// Fire-and-forget send (pipelining); pair with read_reply().
+  void send(std::string_view script);
+
+  /// Blocks for the next reply frame payload.
+  std::string read_reply();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace qsmt::server

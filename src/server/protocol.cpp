@@ -1,0 +1,159 @@
+#include "server/protocol.hpp"
+
+namespace qsmt::server {
+
+std::string encode_frame(std::string_view payload) {
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame += kFrameMagic;
+  frame += static_cast<char>((length >> 24) & 0xff);
+  frame += static_cast<char>((length >> 16) & 0xff);
+  frame += static_cast<char>((length >> 8) & 0xff);
+  frame += static_cast<char>(length & 0xff);
+  frame += payload;
+  return frame;
+}
+
+std::string error_reply(std::string_view message) {
+  std::string out = "(error \"";
+  for (char c : message) {
+    out += c;
+    if (c == '"') out += '"';
+  }
+  out += "\")\n";
+  return out;
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_payload)
+    : max_payload_(max_payload) {}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  if (error_ != FrameError::kNone) return;
+  // Validate the header as soon as its bytes land so a bad prefix or a
+  // hostile length announcement never buffers past these 5 bytes.
+  buffer_.append(bytes.data(), bytes.size());
+  if (!buffer_.empty() && buffer_.front() != kFrameMagic) {
+    error_ = FrameError::kBadMagic;
+    buffer_.clear();
+    return;
+  }
+  if (buffer_.size() >= kFrameHeaderBytes) {
+    const auto byte = [&](std::size_t i) {
+      return static_cast<std::uint32_t>(
+          static_cast<unsigned char>(buffer_[i]));
+    };
+    const std::uint32_t length =
+        (byte(1) << 24) | (byte(2) << 16) | (byte(3) << 8) | byte(4);
+    if (length > max_payload_) {
+      error_ = FrameError::kOversized;
+      buffer_.clear();
+    }
+  }
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (error_ != FrameError::kNone) return std::nullopt;
+  if (buffer_.size() < kFrameHeaderBytes) return std::nullopt;
+  const auto byte = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t length =
+      (byte(1) << 24) | (byte(2) << 16) | (byte(3) << 8) | byte(4);
+  if (buffer_.size() < kFrameHeaderBytes + length) return std::nullopt;
+  std::string payload = buffer_.substr(kFrameHeaderBytes, length);
+  buffer_.erase(0, kFrameHeaderBytes + length);
+  // The next frame's header may already be buffered; validate it now so
+  // errors latch as early as possible (feed() only checks on arrival).
+  if (!buffer_.empty() && buffer_.front() != kFrameMagic) {
+    error_ = FrameError::kBadMagic;
+    buffer_.clear();
+  } else if (buffer_.size() >= kFrameHeaderBytes) {
+    const std::uint32_t next_length =
+        (byte(1) << 24) | (byte(2) << 16) | (byte(3) << 8) | byte(4);
+    if (next_length > max_payload_) {
+      error_ = FrameError::kOversized;
+      buffer_.clear();
+    }
+  }
+  return payload;
+}
+
+void CommandScanner::feed(std::string_view text) {
+  if (failed_) return;
+  buffer_.append(text.data(), text.size());
+}
+
+std::optional<std::string> CommandScanner::next() {
+  if (failed_) return std::nullopt;
+  std::size_t depth = 0;
+  bool in_string = false;
+  bool in_comment = false;
+  std::size_t start = std::string::npos;
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    const char c = buffer_[i];
+    if (in_comment) {
+      if (c == '\n') in_comment = false;
+      continue;
+    }
+    if (in_string) {
+      // "" is an escaped quote; a lone " closes the literal. A trailing
+      // lone " at the buffer end is ambiguous until the next byte arrives,
+      // but that only matters inside an unclosed command, which is a
+      // partial command either way.
+      if (c == '"') {
+        if (i + 1 < buffer_.size() && buffer_[i + 1] == '"') {
+          ++i;
+        } else {
+          in_string = false;
+        }
+      }
+      continue;
+    }
+    switch (c) {
+      case ';':
+        in_comment = true;
+        break;
+      case '"':
+        in_string = true;
+        break;
+      case '(':
+        if (depth == 0) start = i;
+        ++depth;
+        break;
+      case ')':
+        if (depth == 0) {
+          failed_ = true;
+          return std::nullopt;
+        }
+        if (--depth == 0) {
+          std::string command = buffer_.substr(start, i + 1 - start);
+          buffer_.erase(0, i + 1);
+          return command;
+        }
+        break;
+      default:
+        // Atoms outside any parentheses are not commands; SMT-LIB scripts
+        // are lists at the top level.
+        if (depth == 0 && c != ' ' && c != '\t' && c != '\r' && c != '\n') {
+          failed_ = true;
+          return std::nullopt;
+        }
+        break;
+    }
+  }
+  if (depth == 0 && start == std::string::npos && !in_comment && !in_string) {
+    // Only whitespace / finished comments buffered: nothing pending. (An
+    // unterminated trailing comment must stay buffered — its continuation
+    // arrives with the next feed.)
+    buffer_.clear();
+  }
+  return std::nullopt;
+}
+
+void CommandScanner::reset() {
+  buffer_.clear();
+  failed_ = false;
+}
+
+}  // namespace qsmt::server

@@ -1,0 +1,107 @@
+// Wire protocol of qsmt-server (docs/server.md is the reference).
+//
+// Two transports share one command layer:
+//
+//  * stdio — raw SMT-LIB text; commands are delimited by balanced
+//    parentheses (CommandScanner), so a command may arrive split across
+//    arbitrarily many reads and several commands may share one read.
+//  * socket — length-prefixed frames on localhost: one magic byte 'Q',
+//    a 32-bit big-endian payload length, then that many bytes of SMT-LIB
+//    text. Every request frame gets exactly one reply frame carrying the
+//    printed output (possibly empty). FrameDecoder reassembles frames from
+//    partial reads and rejects malformed prefixes and oversized
+//    announcements *before* allocating payload space.
+//
+// Error replies are SMT-LIB style: (error "message") with embedded quotes
+// doubled, one per line (error_reply).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace qsmt::server {
+
+/// First byte of every socket frame; anything else is a protocol error.
+inline constexpr char kFrameMagic = 'Q';
+
+/// Bytes before the payload: magic + 32-bit big-endian payload length.
+inline constexpr std::size_t kFrameHeaderBytes = 5;
+
+/// Default ceiling on a frame payload (1 MiB of SMT-LIB text).
+inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;
+
+/// Wraps `payload` in a frame: magic byte, big-endian length, payload.
+std::string encode_frame(std::string_view payload);
+
+/// Renders an SMT-LIB error reply: (error "message") with quote doubling
+/// and a trailing newline.
+std::string error_reply(std::string_view message);
+
+/// Why a FrameDecoder refused its input stream.
+enum class FrameError {
+  kNone,
+  kBadMagic,   ///< First byte of a frame was not kFrameMagic.
+  kOversized,  ///< Announced payload length exceeded the decoder's limit.
+};
+
+/// Incremental frame reassembler. Feed it raw bytes as they arrive; next()
+/// yields complete payloads in order. Partial frames wait for more bytes.
+/// A malformed prefix (bad magic) or an announced length above the limit
+/// latches an error *from the 5 header bytes alone* — the payload is never
+/// buffered, so a hostile 4 GiB announcement costs nothing.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxFrameBytes);
+
+  /// Appends raw wire bytes. No-op once an error latched.
+  void feed(std::string_view bytes);
+
+  /// Extracts the next complete frame payload, or nullopt when none is
+  /// fully buffered yet (or the decoder is in an error state).
+  std::optional<std::string> next();
+
+  /// The latched protocol error (kNone while the stream is well-formed).
+  FrameError error() const noexcept { return error_; }
+
+  /// Bytes currently buffered (partial header + partial payload).
+  std::size_t buffered_bytes() const noexcept { return buffer_.size(); }
+
+ private:
+  std::size_t max_payload_;
+  std::string buffer_;
+  FrameError error_ = FrameError::kNone;
+};
+
+/// Incremental SMT-LIB command splitter for the stdio transport: feed()
+/// arbitrary text fragments, next() yields one complete top-level
+/// s-expression at a time. Understands string literals (with "" escapes)
+/// and ; comments, so parentheses inside either do not count. A stray
+/// top-level ')' or a bare atom latches an error; reset() clears it along
+/// with any buffered text (the stdio loop replies with an error and keeps
+/// the session alive).
+class CommandScanner {
+ public:
+  void feed(std::string_view text);
+
+  /// Next complete (...) command, or nullopt when the buffer holds only a
+  /// prefix (or the scanner is in an error state).
+  std::optional<std::string> next();
+
+  /// True once malformed top-level input latched.
+  bool failed() const noexcept { return failed_; }
+
+  /// True when buffered text is a partial command awaiting more input.
+  bool partial() const noexcept { return !failed_ && !buffer_.empty(); }
+
+  /// Drops buffered text and clears the error latch.
+  void reset();
+
+ private:
+  std::string buffer_;
+  bool failed_ = false;
+};
+
+}  // namespace qsmt::server

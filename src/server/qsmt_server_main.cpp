@@ -1,0 +1,103 @@
+// qsmt-server binary: the SMT-LIB solver daemon (docs/server.md).
+//
+//   qsmt-server                       # stdio session (default)
+//   qsmt-server --listen 0            # localhost socket, ephemeral port
+//   qsmt-server --listen 7411 --workers 8 --deadline-ms 2000
+//   qsmt-server --exact               # deterministic exhaustive portfolio
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "server/server.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+void usage() {
+  std::cout <<
+      R"(qsmt-server: SMT-LIB v2 string-solver daemon (see docs/server.md)
+
+  --stdio                serve one SMT-LIB session on stdin/stdout (default)
+  --listen PORT          serve the framed socket protocol on 127.0.0.1:PORT
+                         (0 picks an ephemeral port, printed on stderr)
+  --workers N            solve-service worker threads (0 = hardware)
+  --exact                single exhaustive-enumeration portfolio lane:
+                         deterministic verdicts, <= 30 QUBO variables
+  --deadline-ms N        per-check-sat deadline (0 = none)
+  --max-inflight N       concurrently admitted check-sats (0 = per worker)
+  --max-waiting N        admission line length before overload rejection
+  --max-frame-bytes N    socket frame payload ceiling
+  --seed N               base RNG seed for tenant streams
+  --help                 this text
+)";
+}
+
+std::uint64_t parse_u64(const std::string& flag, const char* value) {
+  if (value == nullptr) {
+    std::cerr << "qsmt-server: " << flag << " needs a value\n";
+    std::exit(2);
+  }
+  return std::strtoull(value, nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qsmt;
+
+  server::ServerOptions options;
+  bool use_socket = false;
+  std::uint16_t port = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--stdio") {
+      use_socket = false;
+    } else if (arg == "--listen") {
+      use_socket = true;
+      port = static_cast<std::uint16_t>(parse_u64(arg, value));
+      ++i;
+    } else if (arg == "--workers") {
+      options.service.num_workers =
+          static_cast<std::size_t>(parse_u64(arg, value));
+      ++i;
+    } else if (arg == "--exact") {
+      options.service.portfolio = {service::exact_member("exact")};
+    } else if (arg == "--deadline-ms") {
+      options.check_sat_deadline =
+          std::chrono::milliseconds(parse_u64(arg, value));
+      ++i;
+    } else if (arg == "--max-inflight") {
+      options.max_inflight = static_cast<std::size_t>(parse_u64(arg, value));
+      ++i;
+    } else if (arg == "--max-waiting") {
+      options.max_waiting = static_cast<std::size_t>(parse_u64(arg, value));
+      ++i;
+    } else if (arg == "--max-frame-bytes") {
+      options.max_frame_bytes =
+          static_cast<std::size_t>(parse_u64(arg, value));
+      ++i;
+    } else if (arg == "--seed") {
+      options.seed = parse_u64(arg, value);
+      ++i;
+    } else {
+      std::cerr << "qsmt-server: unknown flag " << arg << " (--help)\n";
+      return 2;
+    }
+  }
+
+  server::Server server(options);
+  if (!use_socket) {
+    return server.run_stdio(std::cin, std::cout);
+  }
+  const std::uint16_t bound = server.listen(port);
+  std::cerr << "qsmt-server: listening on 127.0.0.1:" << bound << "\n";
+  server.serve();
+  return 0;
+}

@@ -192,6 +192,19 @@ PortfolioMember embedded_member(std::string name, const graph::Graph& target,
   return member;
 }
 
+PortfolioMember exact_member(std::string name,
+                             anneal::ExactSolverParams base) {
+  PortfolioMember member;
+  member.name = std::move(name);
+  // Enumeration is deterministic and fast at corpus scale, so the seed is
+  // irrelevant and cancellation lands between jobs, not mid-enumeration.
+  member.make = [base](std::uint64_t /*seed*/, CancelToken /*cancel*/)
+      -> std::unique_ptr<anneal::Sampler> {
+    return std::make_unique<anneal::ExactSolver>(base);
+  };
+  return member;
+}
+
 std::vector<PortfolioMember> default_portfolio() {
   anneal::SimulatedAnnealerParams fast;
   fast.num_reads = 16;
@@ -324,6 +337,10 @@ struct SolveService::Impl {
     job->enqueued = SteadyClock::now();
     job->members_left.store(options.portfolio.size(),
                             std::memory_order_relaxed);
+    // Adopt an external cancellation handle before arming the deadline so
+    // both signals share one state: the caller's cancel() and the deadline
+    // race to the same token every member polls.
+    if (job_options.cancel) job->cancel = *job_options.cancel;
     std::chrono::nanoseconds deadline = job_options.deadline;
     if (deadline.count() == 0) deadline = options.default_deadline;
     if (deadline.count() != 0) {

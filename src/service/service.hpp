@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "anneal/exact.hpp"
 #include "anneal/pimc.hpp"
 #include "anneal/sampler.hpp"
 #include "anneal/simulated_annealer.hpp"
@@ -90,6 +91,13 @@ PortfolioMember path_integral_member(std::string name,
 PortfolioMember embedded_member(std::string name, const graph::Graph& target,
                                 graph::EmbeddedSamplerParams base = {});
 
+/// Exhaustive-enumeration lane (anneal::ExactSolver, <= 30 QUBO variables —
+/// larger models throw and the member drops out of its race). Deterministic
+/// verdicts for corpus-sized jobs: the server's tests and `qsmt-server
+/// --exact` run a single-member exact portfolio so replies are pinnable.
+PortfolioMember exact_member(std::string name,
+                             anneal::ExactSolverParams base = {});
+
 /// The default race: a fast low-budget annealer (wins easy jobs in
 /// milliseconds) against a deep high-budget one (catches what the fast
 /// lane misses). Bian et al.'s portfolio observation for annealing-based
@@ -131,6 +139,11 @@ struct JobOptions {
   std::uint64_t seed = 0;
   /// Opaque caller id echoed into JobResult (batch bookkeeping, tests).
   std::uint64_t tag = 0;
+  /// External cancellation handle the job adopts when set: cancelling the
+  /// source cancels the job's whole portfolio race (the server session uses
+  /// this to abort in-flight work when a client disconnects mid-check-sat).
+  /// The job's deadline, when any, is armed on this same source.
+  std::optional<CancelSource> cancel;
 };
 
 struct JobResult {

@@ -89,11 +89,12 @@ struct GetValue {
 struct CheckSatAssuming {
   std::vector<TermPtr> assumptions;  ///< Extra conjuncts for this check only.
 };
+struct ResetCmd {};
 struct ExitCmd {};
 
 using Command =
     std::variant<SetLogic, SetOption, SetInfo, DeclareConst, AssertCmd,
                  CheckSat, GetModel, Echo, Push, Pop, GetValue,
-                 CheckSatAssuming, ExitCmd>;
+                 CheckSatAssuming, ResetCmd, ExitCmd>;
 
 }  // namespace qsmt::smtlib

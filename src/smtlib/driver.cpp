@@ -1,7 +1,5 @@
 #include "smtlib/driver.hpp"
 
-#include <sstream>
-
 #include "baseline/unsat.hpp"
 #include "smtlib/parser.hpp"
 #include "strenc/ascii7.hpp"
@@ -13,6 +11,18 @@
 namespace qsmt::smtlib {
 
 namespace {
+
+// SMT-LIB string literals double embedded quotes.
+void append_quoted(std::string& out, const std::string& value) {
+  out += '"';
+  for (char c : value) {
+    out += c;
+    if (c == '"') out += '"';
+  }
+  out += '"';
+}
+
+}  // namespace
 
 // One counter per verdict so a run's sat/unsat/unknown split shows up in the
 // summary table without post-processing.
@@ -30,8 +40,6 @@ void record_verdict(CheckSatStatus status) {
       break;
   }
 }
-
-}  // namespace
 
 std::string status_name(CheckSatStatus status) {
   switch (status) {
@@ -145,24 +153,15 @@ ConjunctionResult solve_conjunction(
   return result;
 }
 
-SmtDriver::SmtDriver(const anneal::Sampler& sampler,
-                     strqubo::BuildOptions options)
-    : sampler_(&sampler), options_(options) {}
-
-void SmtDriver::reset() {
-  declared_.clear();
-  assertions_.clear();
-  frames_.clear();
-}
-
-CheckSatRecord SmtDriver::check_sat() {
-  CheckSatRecord record;
-  telemetry::Span span("smtlib.check_sat");
+PresolveResult presolve_check_sat(
+    const std::vector<TermPtr>& assertions,
+    const std::map<std::string, Sort>& declared) {
+  PresolveResult result;
+  CheckSatRecord& record = result.record;
   telemetry::Span compile_span("smtlib.compile");
-  const CompiledQuery query = compile_assertions(assertions_, declared_);
+  result.query = compile_assertions(assertions, declared);
   compile_span.close();
-  span.arg("num_assertions", static_cast<double>(assertions_.size()));
-  span.arg("num_constraints", static_cast<double>(query.constraints.size()));
+  const CompiledQuery& query = result.query;
   if (telemetry::enabled()) {
     telemetry::counter("smtlib.check_sat.calls").add();
     telemetry::counter("smtlib.check_sat.constraints")
@@ -177,19 +176,22 @@ CheckSatRecord SmtDriver::check_sat() {
     for (const auto& fact : query.falsified_ground) {
       record.notes.push_back("falsified: " + fact);
     }
+    result.decided = true;
     record_verdict(record.status);
-    return record;
+    return result;
   }
   if (!query.unsupported.empty()) {
     record.status = CheckSatStatus::kUnknown;
+    result.decided = true;
     record_verdict(record.status);
-    return record;
+    return result;
   }
   if (query.constraints.empty()) {
     // All assertions were ground and true (or there were none).
     record.status = CheckSatStatus::kSat;
+    result.decided = true;
     record_verdict(record.status);
-    return record;
+    return result;
   }
 
   // A cheap exact refutation (length conflicts, impossible regex lengths,
@@ -203,12 +205,72 @@ CheckSatRecord SmtDriver::check_sat() {
     if (telemetry::enabled()) {
       telemetry::counter("smtlib.check_sat.certified_unsat").add();
     }
+    result.decided = true;
     record_verdict(record.status);
-    return record;
+    return result;
   }
+  return result;
+}
+
+std::string render_model(const CheckSatRecord* last) {
+  if (last == nullptr || last->status != CheckSatStatus::kSat) {
+    return "(error \"no model available\")\n";
+  }
+  if (last->variable.empty()) return "(model)\n";
+  std::string out = "(model (define-fun " + last->variable + " () String ";
+  append_quoted(out, last->model_value);
+  out += "))\n";
+  return out;
+}
+
+std::string render_get_value(const std::vector<std::string>& names,
+                             const CheckSatRecord* last) {
+  if (last == nullptr || last->status != CheckSatStatus::kSat) {
+    return "(error \"no model available\")\n";
+  }
+  std::string out = "(";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += '(';
+    out += names[i];
+    out += ' ';
+    if (names[i] == last->variable) {
+      append_quoted(out, last->model_value);
+    } else {
+      out += "(error \"unknown constant\")";
+    }
+    out += ')';
+  }
+  out += ")\n";
+  return out;
+}
+
+SmtDriver::SmtDriver(const anneal::Sampler& sampler,
+                     strqubo::BuildOptions options)
+    : sampler_(&sampler), options_(options) {}
+
+SmtDriver::SmtDriver(strqubo::BuildOptions options)
+    : sampler_(nullptr), options_(options) {}
+
+void SmtDriver::reset() {
+  declared_.clear();
+  assertions_.clear();
+  frames_.clear();
+}
+
+CheckSatRecord SmtDriver::check_sat() {
+  telemetry::Span span("smtlib.check_sat");
+  span.arg("num_assertions", static_cast<double>(assertions_.size()));
+  PresolveResult presolved = presolve_check_sat(assertions_, declared_);
+  span.arg("num_constraints",
+           static_cast<double>(presolved.query.constraints.size()));
+  if (presolved.decided) return presolved.record;
+  CheckSatRecord record = std::move(presolved.record);
+  require(sampler_ != nullptr,
+          "smtlib: SmtDriver without a sampler must override check_sat");
 
   const ConjunctionResult solved =
-      solve_conjunction(query.constraints, *sampler_, options_);
+      solve_conjunction(presolved.query.constraints, *sampler_, options_);
   record.num_qubo_variables = solved.num_qubo_variables;
   if (solved.solved) {
     record.status = CheckSatStatus::kSat;
@@ -243,24 +305,7 @@ bool SmtDriver::execute(const Command& command, std::string& out) {
           out += '\n';
           return true;
         } else if constexpr (std::is_same_v<T, GetModel>) {
-          if (history_.empty() ||
-              history_.back().status != CheckSatStatus::kSat) {
-            out += "(error \"no model available\")\n";
-          } else if (history_.back().variable.empty()) {
-            out += "(model)\n";
-          } else {
-            std::ostringstream model;
-            model << "(model (define-fun " << history_.back().variable
-                  << " () String ";
-            model << '"';
-            for (char c : history_.back().model_value) {
-              model << c;
-              if (c == '"') model << '"';
-            }
-            model << '"';
-            model << "))\n";
-            out += model.str();
-          }
+          out += render_model(history_.empty() ? nullptr : &history_.back());
           return true;
         } else if constexpr (std::is_same_v<T, Echo>) {
           out += cmd.message;
@@ -292,30 +337,15 @@ bool SmtDriver::execute(const Command& command, std::string& out) {
           out += '\n';
           return true;
         } else if constexpr (std::is_same_v<T, GetValue>) {
-          if (history_.empty() ||
-              history_.back().status != CheckSatStatus::kSat) {
-            out += "(error \"no model available\")\n";
-            return true;
-          }
-          out += '(';
-          for (std::size_t i = 0; i < cmd.names.size(); ++i) {
-            if (i > 0) out += ' ';
-            out += '(';
-            out += cmd.names[i];
-            out += ' ';
-            if (cmd.names[i] == history_.back().variable) {
-              out += '"';
-              for (char c : history_.back().model_value) {
-                out += c;
-                if (c == '"') out += '"';
-              }
-              out += '"';
-            } else {
-              out += "(error \"unknown constant\")";
-            }
-            out += ')';
-          }
-          out += ")\n";
+          out += render_get_value(cmd.names,
+                                  history_.empty() ? nullptr
+                                                   : &history_.back());
+          return true;
+        } else if constexpr (std::is_same_v<T, ResetCmd>) {
+          // (reset) erases everything, including the model history — a
+          // subsequent (get-model) reports no model, per SMT-LIB.
+          reset();
+          history_.clear();
           return true;
         } else {
           static_assert(std::is_same_v<T, ExitCmd>);

@@ -36,11 +36,46 @@ struct CheckSatRecord {
   std::size_t num_qubo_variables = 0;
 };
 
+/// Outcome of the deterministic pre-solve decision tree every check-sat
+/// runs before touching a sampler: compile, then falsified ground fact ->
+/// unsat, unsupported atom -> unknown, no residual constraints -> sat,
+/// exact certificate -> unsat. `decided` means `record` carries the final
+/// verdict; otherwise `query.constraints` still needs a solver. Shared by
+/// SmtDriver::check_sat and the server's service-backed session so both
+/// front ends answer the cheap cases identically without a round trip.
+struct PresolveResult {
+  bool decided = false;
+  CheckSatRecord record;
+  CompiledQuery query;
+};
+
+/// Runs the deterministic pre-solve tree over the current assertion set.
+/// Records the smtlib.verdict.* counter when the verdict is decided.
+PresolveResult presolve_check_sat(const std::vector<TermPtr>& assertions,
+                                  const std::map<std::string, Sort>& declared);
+
+/// Bumps the smtlib.verdict.{sat,unsat,unknown} counter for a verdict
+/// reached outside presolve_check_sat (i.e. after an actual solve).
+void record_verdict(CheckSatStatus status);
+
+/// Renders the (get-model) reply for the most recent check-sat record
+/// (nullptr when no check-sat has run). z3-style: an error when the last
+/// verdict was not sat, `(model)` for variable-free sat scripts, otherwise
+/// a single define-fun with SMT-LIB quote escaping.
+std::string render_model(const CheckSatRecord* last);
+
+/// Renders the (get-value (...)) reply against the most recent check-sat
+/// record, mirroring render_model's error behaviour.
+std::string render_get_value(const std::vector<std::string>& names,
+                             const CheckSatRecord* last);
+
 class SmtDriver {
  public:
   /// `sampler` must outlive the driver.
   explicit SmtDriver(const anneal::Sampler& sampler,
                      strqubo::BuildOptions options = {});
+
+  virtual ~SmtDriver() = default;
 
   /// Executes a whole script; returns the printed output (one line per
   /// check-sat / echo / get-model, z3-style).
@@ -55,15 +90,34 @@ class SmtDriver {
     return history_;
   }
 
-  /// Resets declarations, assertions, and the push/pop stack.
+  /// Resets declarations, assertions, and the push/pop stack. The
+  /// check-sat history survives; the (reset) command clears it too.
   void reset();
 
   /// Current push/pop nesting depth.
   std::size_t scope_depth() const noexcept { return frames_.size(); }
 
- private:
-  CheckSatRecord check_sat();
+ protected:
+  /// For subclasses that answer check-sat without a local sampler (the
+  /// server session dispatches to the service pool instead).
+  explicit SmtDriver(strqubo::BuildOptions options);
 
+  /// The check-sat strategy. The base runs presolve + an in-process
+  /// solve_conjunction; overrides keep every other command's semantics
+  /// (push/pop, get-model, ...) from execute() by construction.
+  virtual CheckSatRecord check_sat();
+
+  const std::vector<TermPtr>& assertions() const noexcept {
+    return assertions_;
+  }
+  const std::map<std::string, Sort>& declared() const noexcept {
+    return declared_;
+  }
+  const strqubo::BuildOptions& build_options() const noexcept {
+    return options_;
+  }
+
+ private:
   /// One (push) scope: everything to restore on the matching (pop).
   struct Frame {
     std::size_t num_assertions;

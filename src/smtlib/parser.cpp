@@ -128,6 +128,10 @@ Command parse_command(const SExpr& expr) {
     }
     return get_value;
   }
+  if (name == "reset") {
+    require(arity == 0, "smtlib: reset expects no arguments");
+    return ResetCmd{};
+  }
   if (name == "exit") return ExitCmd{};
   unsupported("command " + name);
 }

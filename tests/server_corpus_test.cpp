@@ -1,0 +1,165 @@
+// Server/driver parity over the golden corpus (ctest label: conformance):
+// every .smt2 script under tests/corpus/ is replayed through a live
+// `qsmt-server --exact --stdio` subprocess and the reply transcript must
+// equal the in-process SmtDriver+ExactSolver transcript byte for byte —
+// verdicts, models, get-value frames, echoes, everything. Scripts pinned
+// as expect-throw (malformed input) must instead draw an (error ...)
+// reply carrying the pinned substring; the unterminated-command script
+// exercises the end-of-stream error path.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "anneal/exact.hpp"
+#include "smtlib/driver.hpp"
+
+namespace qsmt::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(QSMT_CORPUS_DIR)) {
+    if (entry.path().extension() == ".smt2") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// The `; expect-throw: <substr>` pin, if the script carries one.
+struct ThrowPin {
+  bool expected = false;
+  std::string substring;
+};
+
+ThrowPin parse_throw_pin(const std::string& script) {
+  ThrowPin pin;
+  std::istringstream lines(script);
+  std::string line;
+  const std::string prefix = "; expect-throw:";
+  while (std::getline(lines, line)) {
+    if (line.rfind(prefix, 0) != 0) continue;
+    pin.expected = true;
+    pin.substring = line.substr(prefix.size());
+    if (!pin.substring.empty() && pin.substring.front() == ' ') {
+      pin.substring.erase(0, 1);
+    }
+  }
+  return pin;
+}
+
+/// Pipes `script` into a fresh `qsmt-server --exact --stdio` subprocess and
+/// returns everything the daemon wrote to stdout up to end of stream.
+std::string run_server_stdio(const std::string& script) {
+  int to_child[2] = {-1, -1};
+  int from_child[2] = {-1, -1};
+  if (pipe(to_child) != 0 || pipe(from_child) != 0) {
+    throw std::runtime_error("pipe() failed");
+  }
+  const pid_t pid = fork();
+  if (pid < 0) throw std::runtime_error("fork() failed");
+  if (pid == 0) {
+    dup2(to_child[0], STDIN_FILENO);
+    dup2(from_child[1], STDOUT_FILENO);
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    execl(QSMT_SERVER_BIN, "qsmt-server", "--exact", "--stdio",
+          static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+
+  std::size_t written = 0;
+  while (written < script.size()) {
+    const ssize_t n = write(to_child[1], script.data() + written,
+                            script.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // Child exited early; its transcript tells the story.
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  close(to_child[1]);
+
+  std::string output;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = read(from_child[0], buffer, sizeof(buffer));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    output.append(buffer, static_cast<std::size_t>(n));
+  }
+  close(from_child[0]);
+
+  int status = 0;
+  waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status)) << "server did not exit cleanly";
+  if (WIFEXITED(status)) {
+    EXPECT_NE(WEXITSTATUS(status), 127) << "could not exec " QSMT_SERVER_BIN;
+  }
+  return output;
+}
+
+class ServerCorpusTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ServerCorpusTest, MatchesInProcessDriverTranscript) {
+  const fs::path path = corpus_files().at(GetParam());
+  const std::string script = read_file(path);
+  const ThrowPin pin = parse_throw_pin(script);
+  const std::string served = run_server_stdio(script);
+
+  if (pin.expected) {
+    // The in-process driver throws; the daemon answers (error ...) and
+    // keeps the session alive. Parity here means the pinned failure
+    // substring reaches the client.
+    EXPECT_NE(served.find("(error"), std::string::npos)
+        << path << ": no error reply in\n"
+        << served;
+    EXPECT_NE(served.find(pin.substring), std::string::npos)
+        << path << ": error reply lacks '" << pin.substring << "'\n"
+        << served;
+    return;
+  }
+
+  const anneal::ExactSolver exact;
+  smtlib::SmtDriver driver(exact);
+  const std::string expected = driver.run_script(script);
+  EXPECT_EQ(served, expected) << path;
+}
+
+std::string corpus_test_name(const ::testing::TestParamInfo<std::size_t>& info) {
+  std::string name = corpus_files().at(info.param).stem().string();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Golden, ServerCorpusTest,
+                         ::testing::Range<std::size_t>(0,
+                                                       corpus_files().size()),
+                         corpus_test_name);
+
+}  // namespace
+}  // namespace qsmt::server

@@ -1,0 +1,302 @@
+// Server concurrency stress: >= 8 simultaneous socket sessions with
+// exactly-once correct verdicts and no starvation, cross-connection
+// sharing of the fused-batch path and the embedding cache, exactly-once
+// cancellation of in-flight work on mid-session disconnect, and
+// deterministic overload rejection under a saturated admission gate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "anneal/simulated_annealer.hpp"
+#include "graph/chimera.hpp"
+#include "graph/embedding_cache.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using namespace qsmt;
+using namespace std::chrono_literals;
+
+constexpr std::size_t kNumClients = 8;
+
+service::ServiceOptions exact_service(std::size_t workers) {
+  service::ServiceOptions options;
+  options.num_workers = workers;
+  options.portfolio = {service::exact_member("exact")};
+  return options;
+}
+
+/// Eight concurrent socket sessions, each replaying a battery of scripts
+/// with pinned verdicts over one connection (reset between scripts).
+/// Every session must complete every script with the correct verdict —
+/// exactly once, no starvation, no cross-tenant contamination.
+TEST(ServerStress, ConcurrentSocketSessionsExactlyOnceVerdicts) {
+  struct Script {
+    const char* text;
+    const char* expect;  // Expected reply to the whole batch.
+  };
+  const std::vector<Script> scripts = {
+      {"(declare-const x String)(assert (= x \"ab\"))(check-sat)(get-model)",
+       "sat\n(model (define-fun x () String \"ab\"))\n"},
+      {"(assert (= \"a\" \"b\"))(check-sat)", "unsat\n"},
+      {"(declare-const x String)(assert (= x \"k\"))(check-sat)"
+       "(get-value (x))",
+       "sat\n((x \"k\"))\n"},
+      {"(declare-const x String)(assert (str.contains x \"q\"))"
+       "(assert (= (str.len x) 2))(check-sat)",
+       "sat\n"},
+      {"(declare-const x String)(assert (= (str.len x) 3))"
+       "(assert (= (str.len x) 4))(check-sat)",
+       "unsat\n"},
+  };
+
+  server::ServerOptions options;
+  options.service = exact_service(4);
+  options.max_waiting = kNumClients * 2;
+  server::Server node(options);
+  const std::uint16_t port = node.listen(0);
+  node.start();
+
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kNumClients);
+  for (std::size_t c = 0; c < kNumClients; ++c) {
+    clients.emplace_back([&, c] {
+      server::Client client;
+      client.connect(port);
+      // Each tenant cycles the battery from a different offset so the
+      // pool sees a heterogeneous interleaving.
+      for (std::size_t round = 0; round < 2 * scripts.size(); ++round) {
+        const Script& script = scripts[(c + round) % scripts.size()];
+        const std::string reply = client.request(script.text);
+        if (reply != script.expect) failures.fetch_add(1);
+        if (client.request("(reset)") != "") failures.fetch_add(1);
+      }
+      client.request("(exit)");
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0u);
+
+  node.shutdown();
+  const server::Server::Stats stats = node.stats();
+  EXPECT_EQ(stats.sessions_opened, kNumClients);
+  EXPECT_EQ(stats.sessions_closed, kNumClients);
+  // Exactly-once accounting end to end: every check-sat the clients sent
+  // became exactly one completed service job or a presolved local answer.
+  const service::SolveService::Stats pool = node.service().stats();
+  EXPECT_EQ(pool.jobs_submitted, pool.jobs_completed);
+}
+
+/// Cross-connection batch fusion: one worker, a batchable SA lane whose
+/// first sampler construction blocks until every sibling session has
+/// submitted. When the lane unblocks, the queued structure-identical jobs
+/// from *different connections* must fuse into shared kernel invocations.
+TEST(ServerStress, SiblingSessionsFuseIntoBatchedInvocations) {
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool release = false;
+  std::atomic<bool> first{true};
+
+  anneal::SimulatedAnnealerParams params;
+  params.num_reads = 4;
+  params.num_sweeps = 16;
+  service::PortfolioMember member =
+      service::simulated_annealing_member("sa", params);
+  const auto original = member.make;
+  member.make = [&, original](std::uint64_t seed, CancelToken cancel) {
+    if (first.exchange(false)) {
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      gate_cv.wait(lock, [&] { return release; });
+    }
+    return original(seed, cancel);
+  };
+
+  server::ServerOptions options;
+  options.service.num_workers = 1;
+  options.service.portfolio = {member};
+  options.service.max_fused_jobs = 16;
+  options.max_inflight = kNumClients;  // Admission must not serialize.
+  server::Server node(options);
+  const std::uint16_t port = node.listen(0);
+  node.start();
+
+  // All sessions assert the same structure (same length, same shape), so
+  // their jobs share a structure key and are fusable.
+  std::vector<std::thread> clients;
+  std::atomic<std::size_t> sat_replies{0};
+  for (std::size_t c = 0; c < kNumClients; ++c) {
+    clients.emplace_back([&] {
+      server::Client client;
+      client.connect(port);
+      const std::string reply = client.request(
+          "(declare-const x String)(assert (= x \"fuse\"))(check-sat)");
+      if (reply == "sat\n") sat_replies.fetch_add(1);
+      client.request("(exit)");
+    });
+  }
+  // Wait until every connection's job is queued behind the blocked lane,
+  // then open the gate: the lone worker fuses the backlog.
+  while (node.service().stats().jobs_submitted < kNumClients) {
+    std::this_thread::sleep_for(1ms);
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release = true;
+  }
+  gate_cv.notify_all();
+  for (std::thread& client : clients) client.join();
+  node.shutdown();
+
+  EXPECT_EQ(sat_replies.load(), kNumClients);
+  const service::SolveService::Stats pool = node.service().stats();
+  // The first job ran solo (it was blocking the worker); the other seven
+  // were queued and must have fused: at least one multi-job invocation.
+  EXPECT_GE(pool.batch_invocations, 1u);
+  EXPECT_GE(pool.jobs_fused, 2u);
+  // Structure-identical jobs also share the prepared-model cache.
+  EXPECT_GE(pool.model_cache_hits, 1u);
+}
+
+/// Cross-connection embedding-cache sharing: a single embedded lane with
+/// an explicitly shared cache; eight sessions solve same-shaped queries,
+/// so only the first pays the minor-embedding search.
+TEST(ServerStress, SessionsShareTheEmbeddingCache) {
+  auto cache = std::make_shared<graph::EmbeddingCache>();
+  static graph::Graph target = graph::make_chimera(4, 4, 4);
+  graph::EmbeddedSamplerParams embedded;
+  embedded.anneal.num_reads = 8;
+  embedded.anneal.num_sweeps = 48;
+  embedded.embedding_cache = cache;
+
+  server::ServerOptions options;
+  options.service.num_workers = 2;
+  options.service.portfolio = {
+      service::embedded_member("embedded", target, embedded)};
+  server::Server node(options);
+  const std::uint16_t port = node.listen(0);
+  node.start();
+
+  std::vector<std::thread> clients;
+  std::atomic<std::size_t> decided{0};
+  for (std::size_t c = 0; c < kNumClients; ++c) {
+    clients.emplace_back([&] {
+      server::Client client;
+      client.connect(port);
+      const std::string reply = client.request(
+          "(declare-const x String)(assert (= x \"ab\"))(check-sat)");
+      if (reply == "sat\n") decided.fetch_add(1);
+      client.request("(exit)");
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  node.shutdown();
+
+  EXPECT_EQ(decided.load(), kNumClients);
+  // All eight tenants solved the same shape: one embedding search, the
+  // rest warm hits on the shared cache.
+  EXPECT_GE(cache->hits(), 1u);
+  EXPECT_GE(cache->misses(), 1u);
+}
+
+/// A client that hangs up mid-solve gets its in-flight job cancelled
+/// exactly once, the workers return to the pool, and the server keeps
+/// serving other tenants.
+TEST(ServerStress, MidSessionDisconnectCancelsInFlightExactlyOnce) {
+  // A deep SA lane: long enough that the client's disconnect lands while
+  // the solve is in flight, cancellable per sweep so the test stays fast.
+  anneal::SimulatedAnnealerParams slow;
+  slow.num_reads = 64;
+  slow.num_sweeps = 300000;
+  slow.early_exit = false;
+
+  server::ServerOptions options;
+  options.service.num_workers = 2;
+  options.service.portfolio = {
+      service::simulated_annealing_member("sa-slow", slow)};
+  server::Server node(options);
+  const std::uint16_t port = node.listen(0);
+  node.start();
+
+  {
+    server::Client client;
+    client.connect(port);
+    client.request("(declare-const x String)");
+    // Fire the check-sat and vanish without reading the reply.
+    client.send("(assert (str.contains x \"abc\"))"
+                "(assert (= (str.len x) 6))(check-sat)");
+    std::this_thread::sleep_for(50ms);
+    client.close();
+  }
+
+  // The liveness probe notices the disconnect, cancels the job exactly
+  // once, and the session drains.
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  while (node.stats().sessions_closed < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(node.stats().sessions_closed, 1u);
+  EXPECT_EQ(node.stats().disconnect_cancels, 1u);
+
+  // The pool is healthy: a fresh tenant gets served immediately.
+  server::Client verify;
+  verify.connect(port);
+  EXPECT_EQ(verify.request("(assert (= \"a\" \"a\"))(check-sat)"), "sat\n");
+  verify.request("(exit)");
+  node.shutdown();
+  EXPECT_EQ(node.service().stats().jobs_submitted,
+            node.service().stats().jobs_completed);
+}
+
+/// Deterministic overload: with the single admission slot held and a line
+/// of length one, the second queued tenant is turned away with an error
+/// reply while the first eventually completes.
+TEST(ServerStress, OverloadRejectsBeyondTheWaitingLine) {
+  server::ServerOptions options;
+  options.service = exact_service(2);
+  options.max_inflight = 1;
+  options.max_waiting = 1;
+  server::Server node(options);
+  const std::uint16_t port = node.listen(0);
+  node.start();
+
+  // Hold the only slot so check-sats queue deterministically.
+  ASSERT_EQ(node.gate().acquire(),
+            server::AdmissionGate::Outcome::kAdmitted);
+
+  server::Client waiter;
+  waiter.connect(port);
+  waiter.request("(declare-const x String)");
+  waiter.send("(assert (= x \"w\"))(check-sat)");
+  while (node.gate().stats().waiting < 1) {
+    std::this_thread::sleep_for(1ms);
+  }
+
+  server::Client rejected;
+  rejected.connect(port);
+  rejected.request("(declare-const x String)");
+  const std::string reply =
+      rejected.request("(assert (= x \"r\"))(check-sat)");
+  EXPECT_NE(reply.find("(error \"server overloaded"), std::string::npos);
+
+  node.gate().release();
+  EXPECT_EQ(waiter.read_reply(), "sat\n");
+  // The rejected tenant retries after backoff and now succeeds.
+  EXPECT_EQ(rejected.request("(check-sat)"), "sat\n");
+  waiter.request("(exit)");
+  rejected.request("(exit)");
+  node.shutdown();
+  EXPECT_GE(node.gate().stats().rejected, 1u);
+}
+
+}  // namespace

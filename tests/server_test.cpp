@@ -1,0 +1,449 @@
+// Tier-1 server tests: wire protocol units (frame reassembly across
+// partial reads, malformed prefixes, oversized announcements rejected
+// without buffering), the incremental SMT-LIB command scanner, admission
+// gate semantics, session behaviour over fragmented input, and one live
+// localhost socket round trip. The heavier concurrency scenarios live in
+// server_stress_test.cpp; corpus parity in server_corpus_test.cpp.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "server/admission.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "server/session.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using namespace qsmt;
+using server::AdmissionGate;
+using server::CommandScanner;
+using server::FrameDecoder;
+using server::FrameError;
+
+service::ServiceOptions exact_service(std::size_t workers = 2) {
+  service::ServiceOptions options;
+  options.num_workers = workers;
+  options.portfolio = {service::exact_member("exact")};
+  return options;
+}
+
+// ---- Frame protocol -------------------------------------------------------
+
+TEST(FrameProtocol, RoundTripsOneByteAtATime) {
+  const std::string frame = server::encode_frame("(check-sat)");
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_FALSE(decoder.next().has_value());
+    decoder.feed({frame.data() + i, 1});
+  }
+  const auto payload = decoder.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "(check-sat)");
+  EXPECT_EQ(decoder.error(), FrameError::kNone);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameProtocol, ReassemblesManyFramesFromArbitrarySplits) {
+  std::string wire;
+  for (int i = 0; i < 5; ++i) {
+    wire += server::encode_frame("payload-" + std::to_string(i));
+  }
+  // Feed in ragged chunks that straddle frame boundaries.
+  FrameDecoder decoder;
+  std::vector<std::string> payloads;
+  std::size_t offset = 0;
+  const std::size_t chunks[] = {3, 7, 1, 11, 2, 13, 100000};
+  for (std::size_t chunk : chunks) {
+    const std::size_t n = std::min(chunk, wire.size() - offset);
+    decoder.feed({wire.data() + offset, n});
+    offset += n;
+    while (auto payload = decoder.next()) payloads.push_back(*payload);
+    if (offset == wire.size()) break;
+  }
+  ASSERT_EQ(payloads.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(payloads[i], "payload-" + std::to_string(i));
+  }
+}
+
+TEST(FrameProtocol, EmptyPayloadFrameIsValid) {
+  FrameDecoder decoder;
+  decoder.feed(server::encode_frame(""));
+  const auto payload = decoder.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_TRUE(payload->empty());
+}
+
+TEST(FrameProtocol, BadMagicLatchesError) {
+  FrameDecoder decoder;
+  decoder.feed("X");  // Not 'Q'.
+  EXPECT_EQ(decoder.error(), FrameError::kBadMagic);
+  EXPECT_FALSE(decoder.next().has_value());
+  // Later feeds are ignored; the error stays latched.
+  decoder.feed(server::encode_frame("(check-sat)"));
+  EXPECT_EQ(decoder.error(), FrameError::kBadMagic);
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(FrameProtocol, BadMagicAfterValidFrameLatches) {
+  FrameDecoder decoder;
+  decoder.feed(server::encode_frame("ok") + "Z");
+  ASSERT_TRUE(decoder.next().has_value());
+  EXPECT_EQ(decoder.error(), FrameError::kBadMagic);
+}
+
+TEST(FrameProtocol, OversizedAnnouncementRejectedFromHeaderAlone) {
+  // A hostile 4 GiB length announcement must be refused from the 5 header
+  // bytes, before any payload is buffered (or allocated).
+  FrameDecoder decoder(1 << 20);
+  const char header[5] = {'Q', '\xff', '\xff', '\xff', '\xff'};
+  decoder.feed({header, 5});
+  EXPECT_EQ(decoder.error(), FrameError::kOversized);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(FrameProtocol, PayloadAtLimitAccepted) {
+  FrameDecoder decoder(8);
+  decoder.feed(server::encode_frame("12345678"));
+  ASSERT_TRUE(decoder.next().has_value());
+  FrameDecoder strict(7);
+  strict.feed(server::encode_frame("12345678"));
+  EXPECT_EQ(strict.error(), FrameError::kOversized);
+}
+
+TEST(FrameProtocol, ErrorReplyDoublesQuotes) {
+  EXPECT_EQ(server::error_reply("bad \"thing\""),
+            "(error \"bad \"\"thing\"\"\")\n");
+}
+
+// ---- Command scanner ------------------------------------------------------
+
+TEST(CommandScannerTest, ReassemblesCommandAcrossPartialFeeds) {
+  CommandScanner scanner;
+  scanner.feed("(assert (= x \"a");
+  EXPECT_FALSE(scanner.next().has_value());
+  EXPECT_TRUE(scanner.partial());
+  scanner.feed("b\"))(check-");
+  const auto first = scanner.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, "(assert (= x \"ab\"))");
+  EXPECT_FALSE(scanner.next().has_value());
+  scanner.feed("sat)");
+  const auto second = scanner.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, "(check-sat)");
+  EXPECT_FALSE(scanner.partial());
+}
+
+TEST(CommandScannerTest, ParensInsideStringsAndCommentsDoNotCount) {
+  CommandScanner scanner;
+  scanner.feed("(echo \")((((\") ; comment with )))\n(check-sat)");
+  const auto echo = scanner.next();
+  ASSERT_TRUE(echo.has_value());
+  EXPECT_EQ(*echo, "(echo \")((((\")");
+  const auto check = scanner.next();
+  ASSERT_TRUE(check.has_value());
+  EXPECT_EQ(*check, "(check-sat)");
+}
+
+TEST(CommandScannerTest, EscapedQuoteStaysInsideString) {
+  CommandScanner scanner;
+  scanner.feed("(assert (= x \"a\"\")\"))");
+  const auto cmd = scanner.next();
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(*cmd, "(assert (= x \"a\"\")\"))");
+}
+
+TEST(CommandScannerTest, StrayCloseParenFails) {
+  CommandScanner scanner;
+  scanner.feed(")(check-sat)");
+  EXPECT_FALSE(scanner.next().has_value());
+  EXPECT_TRUE(scanner.failed());
+  scanner.reset();
+  EXPECT_FALSE(scanner.failed());
+  scanner.feed("(check-sat)");
+  EXPECT_TRUE(scanner.next().has_value());
+}
+
+TEST(CommandScannerTest, BareAtomAtTopLevelFails) {
+  CommandScanner scanner;
+  scanner.feed("hello (check-sat)");
+  EXPECT_FALSE(scanner.next().has_value());
+  EXPECT_TRUE(scanner.failed());
+}
+
+TEST(CommandScannerTest, TrailingCommentWaitsForItsNewline) {
+  CommandScanner scanner;
+  scanner.feed("; half a comment");
+  EXPECT_FALSE(scanner.next().has_value());
+  // The rest of the comment line must not be mistaken for fresh input.
+  scanner.feed(" still the comment\n(check-sat)");
+  const auto cmd = scanner.next();
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(*cmd, "(check-sat)");
+  EXPECT_FALSE(scanner.failed());
+}
+
+// ---- Admission gate -------------------------------------------------------
+
+TEST(AdmissionGateTest, AdmitsUpToLimitThenQueuesFifo) {
+  AdmissionGate gate(1, 4);
+  ASSERT_EQ(gate.acquire(), AdmissionGate::Outcome::kAdmitted);
+
+  std::atomic<int> order{0};
+  std::atomic<int> first_pos{-1};
+  std::atomic<int> second_pos{-1};
+  std::thread first([&] {
+    EXPECT_EQ(gate.acquire(), AdmissionGate::Outcome::kAdmitted);
+    first_pos = order.fetch_add(1);
+    gate.release();
+  });
+  // Ensure `first` is in line before `second` joins it.
+  while (gate.stats().waiting < 1) std::this_thread::yield();
+  std::thread second([&] {
+    EXPECT_EQ(gate.acquire(), AdmissionGate::Outcome::kAdmitted);
+    second_pos = order.fetch_add(1);
+    gate.release();
+  });
+  while (gate.stats().waiting < 2) std::this_thread::yield();
+
+  gate.release();
+  first.join();
+  second.join();
+  EXPECT_LT(first_pos.load(), second_pos.load());
+  const AdmissionGate::Stats stats = gate.stats();
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.waiting, 0u);
+}
+
+TEST(AdmissionGateTest, RejectsWhenLineFull) {
+  AdmissionGate gate(1, 0);
+  ASSERT_EQ(gate.acquire(), AdmissionGate::Outcome::kAdmitted);
+  EXPECT_EQ(gate.acquire(), AdmissionGate::Outcome::kRejected);
+  EXPECT_EQ(gate.stats().rejected, 1u);
+  gate.release();
+  EXPECT_EQ(gate.acquire(), AdmissionGate::Outcome::kAdmitted);
+  gate.release();
+}
+
+TEST(AdmissionGateTest, CloseUnblocksWaitersAndFailsFast) {
+  AdmissionGate gate(1, 4);
+  ASSERT_EQ(gate.acquire(), AdmissionGate::Outcome::kAdmitted);
+  std::thread waiter([&] {
+    EXPECT_EQ(gate.acquire(), AdmissionGate::Outcome::kClosed);
+  });
+  while (gate.stats().waiting < 1) std::this_thread::yield();
+  gate.close();
+  waiter.join();
+  EXPECT_EQ(gate.acquire(), AdmissionGate::Outcome::kClosed);
+}
+
+TEST(AdmissionGateTest, AbandonedWaiterLeavesTheLine) {
+  AdmissionGate gate(1, 4);
+  ASSERT_EQ(gate.acquire(), AdmissionGate::Outcome::kAdmitted);
+  std::atomic<bool> gone{false};
+  std::thread waiter([&] {
+    EXPECT_EQ(gate.acquire([&] { return gone.load(); }),
+              AdmissionGate::Outcome::kAbandoned);
+  });
+  while (gate.stats().waiting < 1) std::this_thread::yield();
+  gone = true;
+  waiter.join();
+  EXPECT_EQ(gate.stats().abandoned, 1u);
+  EXPECT_EQ(gate.stats().waiting, 0u);
+  gate.release();
+}
+
+// ---- Session --------------------------------------------------------------
+
+TEST(SessionTest, AnswersAcrossFragmentedInput) {
+  service::SolveService service(exact_service());
+  server::Session session(service);
+  EXPECT_EQ(session.consume("(declare-const x Str"), "");
+  EXPECT_EQ(session.consume("ing)(assert (= x \"hi\"))(check-"), "");
+  const std::string verdict = session.consume("sat)");
+  EXPECT_EQ(verdict, "sat\n");
+  EXPECT_EQ(session.consume("(get-model)"),
+            "(model (define-fun x () String \"hi\"))\n");
+  EXPECT_FALSE(session.exited());
+  session.consume("(exit)");
+  EXPECT_TRUE(session.exited());
+}
+
+TEST(SessionTest, PresolvedVerdictsNeedNoPool) {
+  service::SolveService service(exact_service());
+  server::Session session(service);
+  // Ground-false assertion: certified unsat without any sampling.
+  EXPECT_EQ(session.consume("(assert (= \"a\" \"b\"))(check-sat)"),
+            "unsat\n");
+  EXPECT_EQ(session.consume("(reset)"), "");
+  EXPECT_EQ(session.consume("(check-sat)"), "sat\n");
+}
+
+TEST(SessionTest, CommandErrorsAreRepliedAndSurvived) {
+  service::SolveService service(exact_service());
+  server::Session session(service);
+  session.consume("(declare-const x String)");
+  const std::string dup = session.consume("(declare-const x Int)");
+  EXPECT_NE(dup.find("(error \""), std::string::npos);
+  EXPECT_NE(dup.find("duplicate declaration"), std::string::npos);
+  // Unknown command is an error, not a session killer.
+  const std::string bad = session.consume("(frobnicate)");
+  EXPECT_NE(bad.find("(error \""), std::string::npos);
+  EXPECT_EQ(session.consume("(assert (= x \"q\"))(check-sat)"), "sat\n");
+  EXPECT_EQ(session.stats().errors, 2u);
+}
+
+TEST(SessionTest, MalformedTopLevelInputDiscardsBuffer) {
+  service::SolveService service(exact_service());
+  server::Session session(service);
+  const std::string reply = session.consume("))) nonsense");
+  EXPECT_NE(reply.find("(error \"malformed input"), std::string::npos);
+  // The session is still alive and parses fresh input.
+  EXPECT_EQ(session.consume("(check-sat)"), "sat\n");
+}
+
+TEST(SessionTest, OverloadedGateRejectsGracefully) {
+  service::SolveService service(exact_service());
+  server::AdmissionGate gate(1, 0);
+  ASSERT_EQ(gate.acquire(), AdmissionGate::Outcome::kAdmitted);
+
+  server::Session session(service, &gate, {});
+  session.consume("(declare-const x String)(assert (= x \"zz\"))");
+  const std::string reply = session.consume("(check-sat)");
+  EXPECT_NE(reply.find("(error \"server overloaded"), std::string::npos);
+  EXPECT_EQ(session.stats().overload_rejects, 1u);
+  // The assertion context is untouched: after the flood passes, the same
+  // query succeeds.
+  gate.release();
+  EXPECT_EQ(session.consume("(check-sat)"), "sat\n");
+  EXPECT_EQ(session.consume("(get-model)"),
+            "(model (define-fun x () String \"zz\"))\n");
+}
+
+TEST(SessionTest, DisconnectBeforeDispatchShortCircuits) {
+  service::SolveService service(exact_service());
+  server::Session session(service);
+  session.disconnect();
+  session.disconnect();  // Idempotent.
+  EXPECT_TRUE(session.exited());
+  EXPECT_EQ(session.consume("(check-sat)"), "");
+  EXPECT_EQ(session.stats().disconnect_cancels, 0u);
+}
+
+// ---- Socket server --------------------------------------------------------
+
+TEST(ServerSocket, RoundTripAndExit) {
+  server::ServerOptions options;
+  options.service = exact_service();
+  server::Server node(options);
+  const std::uint16_t port = node.listen(0);
+  ASSERT_GT(port, 0);
+  node.start();
+
+  server::Client client;
+  client.connect(port);
+  EXPECT_EQ(client.request("(declare-const x String)"), "");
+  EXPECT_EQ(client.request("(assert (= x \"ab\"))"), "");
+  EXPECT_EQ(client.request("(check-sat)"), "sat\n");
+  const std::string model = client.request("(get-model)");
+  EXPECT_NE(model.find("(define-fun x () String \"ab\")"),
+            std::string::npos);
+  EXPECT_EQ(client.request("(exit)"), "");
+  client.close();
+
+  node.shutdown();
+  const server::Server::Stats stats = node.stats();
+  EXPECT_EQ(stats.sessions_opened, 1u);
+  EXPECT_EQ(stats.sessions_closed, 1u);
+  EXPECT_EQ(stats.frames, 5u);
+  EXPECT_EQ(stats.frame_errors, 0u);
+}
+
+TEST(ServerSocket, RequestSplitAcrossFramesIsOneCommandStream) {
+  server::ServerOptions options;
+  options.service = exact_service();
+  server::Server node(options);
+  const std::uint16_t port = node.listen(0);
+  node.start();
+
+  server::Client client;
+  client.connect(port);
+  // A command split across two frames: the first reply is empty, the
+  // second completes the command and carries the verdict.
+  EXPECT_EQ(client.request("(assert (= \"x\" "), "");
+  EXPECT_EQ(client.request("\"x\"))(check-sat)"), "sat\n");
+  client.close();
+  node.shutdown();
+}
+
+TEST(ServerSocket, MalformedFrameGetsErrorReplyAndDisconnect) {
+  server::ServerOptions options;
+  options.service = exact_service();
+  server::Server node(options);
+  const std::uint16_t port = node.listen(0);
+  node.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  const char garbage[] = "GET / HTTP/1.1\r\n";
+  ASSERT_GT(::send(fd, garbage, sizeof garbage - 1, MSG_NOSIGNAL), 0);
+
+  // The server answers one framed error reply, then closes.
+  server::FrameDecoder decoder;
+  std::string reply;
+  for (;;) {
+    char buffer[512];
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n <= 0) break;
+    decoder.feed({buffer, static_cast<std::size_t>(n)});
+    if (auto payload = decoder.next()) {
+      reply = *payload;
+    }
+  }
+  ::close(fd);
+  EXPECT_NE(reply.find("(error \"protocol error: bad frame magic\")"),
+            std::string::npos);
+  node.shutdown();
+  EXPECT_EQ(node.stats().frame_errors, 1u);
+}
+
+TEST(ServerStdio, ServesScriptsAndFlushesPerCommand) {
+  server::ServerOptions options;
+  options.service = exact_service();
+  server::Server node(options);
+  std::istringstream in(
+      "(declare-const x String)\n"
+      "(assert (= x \"ok\"))\n"
+      "(check-sat)\n"
+      "(get-value (x))\n"
+      "(exit)\n");
+  std::ostringstream out;
+  EXPECT_EQ(node.run_stdio(in, out), 0);
+  EXPECT_EQ(out.str(), "sat\n((x \"ok\"))\n");
+  EXPECT_EQ(node.stats().sessions_opened, 1u);
+  EXPECT_EQ(node.stats().sessions_closed, 1u);
+}
+
+}  // namespace

@@ -20,6 +20,8 @@
 #include "anneal/simulated_annealer.hpp"
 #include "engine/engine.hpp"
 #include "qubo/qubo_model.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
 #include "service/service.hpp"
 #include "telemetry/sink.hpp"
 #include "telemetry/telemetry.hpp"
@@ -374,6 +376,65 @@ TEST(BatchTelemetry, ServiceFusionEmitsDocumentedMetrics) {
   const CounterStat* fused = snapshot.counter("service.batch.fused_jobs");
   ASSERT_NE(fused, nullptr);
   EXPECT_EQ(fused->value, 3u);
+}
+
+// Same pin for the daemon layer: one socket session through qsmt-server's
+// full request path (frame decode -> session -> admission -> service)
+// emits the server.* names documented in docs/telemetry.md, including the
+// admission-reject counter when the gate is saturated.
+TEST(ServerTelemetry, SocketSessionEmitsDocumentedMetrics) {
+  set_mode(Mode::kSummary);
+  reset();
+
+  server::ServerOptions options;
+  options.service.num_workers = 2;
+  options.service.portfolio = {service::exact_member("exact")};
+  options.max_inflight = 1;
+  options.max_waiting = 0;  // No line: a busy gate rejects instantly.
+  server::Server node(options);
+  const std::uint16_t port = node.listen(0);
+  node.start();
+
+  server::Client client;
+  client.connect(port);
+  EXPECT_EQ(client.request("(declare-const x String)"
+                           "(assert (= x \"ab\"))(check-sat)"),
+            "sat\n");
+  // Saturate the admission gate from outside, then watch the session's
+  // next check-sat bounce off it.
+  ASSERT_EQ(node.gate().acquire(), server::AdmissionGate::Outcome::kAdmitted);
+  const std::string rejected = client.request("(check-sat)");
+  EXPECT_NE(rejected.find("server overloaded"), std::string::npos);
+  node.gate().release();
+  client.request("(exit)");
+  node.shutdown();
+
+  const Snapshot snapshot = registry().snapshot();
+  for (const auto& [name, value] :
+       {std::pair<const char*, std::uint64_t>{"server.sessions.opened", 1},
+        {"server.sessions.closed", 1},
+        {"server.admission.rejects", 1}}) {
+    const CounterStat* stat = snapshot.counter(name);
+    ASSERT_NE(stat, nullptr) << name;
+    EXPECT_EQ(stat->value, value) << name;
+  }
+  const CounterStat* commands = snapshot.counter("server.commands");
+  ASSERT_NE(commands, nullptr);
+  EXPECT_GE(commands->value, 3u);
+  const CounterStat* frames = snapshot.counter("server.frames");
+  ASSERT_NE(frames, nullptr);
+  EXPECT_GE(frames->value, 3u);
+  for (const char* name : {"server.sessions.active", "server.queue.depth"}) {
+    const GaugeStat* gauge = snapshot.gauge(name);
+    ASSERT_NE(gauge, nullptr) << name;
+    EXPECT_TRUE(gauge->set) << name;
+  }
+  // Only the dispatched (admitted) check-sat reaches the solve timer; the
+  // presolved and rejected ones never do.
+  const HistogramStat* seconds = snapshot.histogram("server.checksat.seconds");
+  ASSERT_NE(seconds, nullptr);
+  EXPECT_EQ(seconds->count, 1u);
+  EXPECT_EQ(seconds->unit, Unit::kSeconds);
 }
 
 TEST(ServiceTelemetry, OffModeIsSilentFromWorkerThreads) {
