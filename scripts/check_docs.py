@@ -27,6 +27,11 @@ docs/*.md, plus any root-level markdown they link to):
    in src/server/*.hpp must appear by name in docs/server.md, so the
    operator's manual cannot silently fall behind the daemon's API.
 
+6. Incremental coverage: every public class/struct and free function
+   declared in src/smtlib/incremental.hpp must appear by name in
+   docs/incremental.md, so the hot re-solve contract (invalidation rules,
+   warm-start semantics) cannot silently fall behind the API.
+
 Exits non-zero with one line per problem.
 """
 
@@ -133,6 +138,18 @@ def check_server_coverage() -> list:
     ]
 
 
+def check_incremental_coverage() -> list:
+    doc = (REPO / "docs/incremental.md").read_text(encoding="utf-8")
+    body = (REPO / "src/smtlib/incremental.hpp").read_text(encoding="utf-8")
+    names = set(SERVICE_TYPE_RE.findall(body))
+    names.update(SERVICE_FUNC_RE.findall(body))
+    return [
+        f"docs/incremental.md: incremental API `{name}` is undocumented"
+        for name in sorted(names)
+        if name not in doc
+    ]
+
+
 def main() -> int:
     errors = (
         check_links()
@@ -140,6 +157,7 @@ def main() -> int:
         + check_service_coverage()
         + check_conformance_coverage()
         + check_server_coverage()
+        + check_incremental_coverage()
     )
     for err in errors:
         print(f"check_docs: {err}", file=sys.stderr)

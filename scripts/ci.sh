@@ -58,6 +58,13 @@ echo "=== batch_bench --smoke ==="
 echo "=== server_bench --smoke ==="
 ./build/bench/server_bench --smoke
 
+# Incremental stage: warm and cold drivers replay the same forced-witness
+# mutate-one-conjunct chain and must agree byte-for-byte on every verdict
+# and model. The >= 3x warm-vs-cold speedup gate, as above, only fires in
+# the full (JSON-writing) run.
+echo "=== incremental_bench --smoke ==="
+./build/bench/incremental_bench --smoke
+
 if [[ "${skip_sanitizers}" == "1" ]]; then
   echo "=== sanitizer stages skipped ==="
   exit 0
@@ -69,14 +76,17 @@ fi
 # whose Gray-code spectrum sweeps and exact-solver corpus replays touch
 # every builder's full state space, plus the server suites (the socket
 # transport's reader threads, admission gate, and disconnect-cancellation
-# races). The binaries run directly (rather than via ctest) so the subset
-# is exact regardless of which gtest case names discovery registered.
+# races), plus the incremental differential chains (fragment-cache LRU
+# mutation under reuse, context-carried clause memory, and the shared-cache
+# concurrency schedules). The binaries run directly (rather than via ctest)
+# so the subset is exact regardless of which gtest case names discovery
+# registered.
 subset=(annealer_test hotpath_test batched_kernel_test qubo_builder_test
         qubo_model_test adjacency_test sample_set_test schedule_test
         builders_test pimc_test embedding_test embedded_sampler_test
         quantum_hotpath_test quantum_conformance_test
         service_test conformance_test corpus_test
-        server_test server_stress_test)
+        server_test server_stress_test incremental_test)
 
 for san in address undefined; do
   echo "=== ${san} sanitizer build (build-${san}/) ==="

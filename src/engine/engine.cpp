@@ -40,10 +40,17 @@ namespace {
 
 ScriptResult run_conjunctive(const std::vector<smtlib::Command>& commands,
                              const anneal::Sampler& sampler,
-                             const strqubo::BuildOptions& options) {
+                             const strqubo::BuildOptions& options,
+                             smtlib::SolveContext* context) {
   ScriptResult result;
   result.engine = EngineKind::kConjunctive;
   smtlib::SmtDriver driver(sampler, options);
+  if (context != nullptr) {
+    // Non-owning alias: the caller keeps the context alive across scripts.
+    driver.adopt_context(
+        std::shared_ptr<smtlib::SolveContext>(std::shared_ptr<void>(),
+                                              context));
+  }
   for (const auto& command : commands) {
     if (!driver.execute(command, result.transcript)) break;
   }
@@ -59,11 +66,13 @@ ScriptResult run_conjunctive(const std::vector<smtlib::Command>& commands,
 
 ScriptResult run_dpllt(const std::vector<smtlib::Command>& commands,
                        const anneal::Sampler& sampler,
-                       const strqubo::BuildOptions& options) {
+                       const strqubo::BuildOptions& options,
+                       smtlib::SolveContext* context) {
   ScriptResult result;
   result.engine = EngineKind::kDpllT;
 
   std::vector<smtlib::TermPtr> assertions;
+  std::vector<smtlib::TermPtr> assumptions;
   std::map<std::string, smtlib::Sort> declared;
   for (const auto& command : commands) {
     if (const auto* decl = std::get_if<smtlib::DeclareConst>(&command)) {
@@ -73,15 +82,17 @@ ScriptResult run_dpllt(const std::vector<smtlib::Command>& commands,
       assertions.push_back(assert_cmd->term);
     } else if (const auto* check =
                    std::get_if<smtlib::CheckSatAssuming>(&command)) {
-      // DPLL(T) has no incremental scope; assumptions become assertions.
+      // Assumptions stay assumptions: forced first decisions in the CDCL
+      // engine, so learned clauses remain valid without them.
       for (const auto& assumption : check->assumptions) {
-        assertions.push_back(assumption);
+        assumptions.push_back(assumption);
       }
     }
   }
 
   const sat::DpllTSolver solver(sampler, options, {});
-  const sat::DpllTResult solved = solver.solve(assertions, declared);
+  const sat::DpllTResult solved =
+      solver.solve(assertions, assumptions, declared, context);
   result.status = solved.status;
   result.variable = solved.variable;
   result.model_value = solved.model_value;
@@ -122,12 +133,13 @@ void record_script_result(const ScriptResult& result) {
 ScriptResult solve_script(const std::string& script,
                           const anneal::Sampler& sampler,
                           const strqubo::BuildOptions& options,
-                          bool force_dpllt) {
+                          bool force_dpllt, smtlib::SolveContext* context) {
   telemetry::Span span("engine.solve_script");
   const std::vector<smtlib::Command> commands = smtlib::parse_script(script);
-  ScriptResult result = (force_dpllt || needs_boolean_engine(commands))
-                            ? run_dpllt(commands, sampler, options)
-                            : run_conjunctive(commands, sampler, options);
+  ScriptResult result =
+      (force_dpllt || needs_boolean_engine(commands))
+          ? run_dpllt(commands, sampler, options, context)
+          : run_conjunctive(commands, sampler, options, context);
   record_script_result(result);
   return result;
 }
@@ -135,11 +147,13 @@ ScriptResult solve_script(const std::string& script,
 std::vector<ScriptResult> solve_scripts(const std::vector<std::string>& scripts,
                                         const anneal::Sampler& sampler,
                                         const strqubo::BuildOptions& options,
-                                        bool force_dpllt) {
+                                        bool force_dpllt,
+                                        smtlib::SolveContext* context) {
   std::vector<ScriptResult> results;
   results.reserve(scripts.size());
   for (const std::string& script : scripts) {
-    results.push_back(solve_script(script, sampler, options, force_dpllt));
+    results.push_back(
+        solve_script(script, sampler, options, force_dpllt, context));
   }
   return results;
 }

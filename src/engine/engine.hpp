@@ -45,10 +45,17 @@ bool term_needs_boolean_engine(const smtlib::TermPtr& term);
 /// Parses and solves `script`, auto-selecting the engine. `force_dpllt`
 /// routes to DPLL(T) regardless. Parse errors propagate as
 /// std::invalid_argument.
+///
+/// `context`, when given, carries incremental state across calls (must
+/// outlive them): the conjunctive engine adopts it for fragment reuse,
+/// witness reuse, and warm starts; DPLL(T) retains exact theory lemmas in
+/// it and treats check-sat-assuming assumptions as true CDCL assumptions
+/// instead of flattening them into the assertion set.
 ScriptResult solve_script(const std::string& script,
                           const anneal::Sampler& sampler,
                           const strqubo::BuildOptions& options = {},
-                          bool force_dpllt = false);
+                          bool force_dpllt = false,
+                          smtlib::SolveContext* context = nullptr);
 
 /// Batch entry point: solves every script in order with the same sampler and
 /// options, one blocking solve at a time. This is the sequential baseline
@@ -59,6 +66,7 @@ ScriptResult solve_script(const std::string& script,
 std::vector<ScriptResult> solve_scripts(const std::vector<std::string>& scripts,
                                         const anneal::Sampler& sampler,
                                         const strqubo::BuildOptions& options = {},
-                                        bool force_dpllt = false);
+                                        bool force_dpllt = false,
+                                        smtlib::SolveContext* context = nullptr);
 
 }  // namespace qsmt::engine

@@ -217,8 +217,15 @@ Literal CdclSolver::pick_branch() {
   return phase ? best : -best;
 }
 
-SolveStatus CdclSolver::solve() {
+SolveStatus CdclSolver::solve() { return solve(std::vector<Literal>{}); }
+
+SolveStatus CdclSolver::solve(const std::vector<Literal>& assumptions) {
   if (trivially_unsat_) return SolveStatus::kUnsat;
+  for (Literal lit : assumptions) {
+    require(variable_of(lit) >= 1 &&
+                static_cast<std::size_t>(variable_of(lit)) <= num_vars_,
+            "CdclSolver::solve: assumption references unknown variable");
+  }
 
   // Reset all search state (clauses and activities persist across calls).
   trail_.clear();
@@ -255,6 +262,11 @@ SolveStatus CdclSolver::solve() {
       backtrack(backjump_level);
 
       if (learned.size() == 1) {
+        // Stored (unwatched — solve()'s level-0 sweep handles size-1
+        // clauses) so the derived fact survives into later solve calls
+        // instead of dying with this call's trail.
+        clauses_.push_back(learned);
+        ++stats_.learned_clauses;
         assign(learned[0], kNoReason);
       } else {
         clauses_.push_back(learned);
@@ -265,6 +277,38 @@ SolveStatus CdclSolver::solve() {
       }
       decay_activities();
       continue;
+    }
+
+    // Install assumptions as forced decisions, one decision level each,
+    // before any free decision. Because restarts and backjumps land below
+    // these levels, the loop re-installs whatever was undone; an assumption
+    // already true gets an empty level so level k always corresponds to
+    // assumptions[0..k). An assumption found false — by a unit clause, a
+    // learned clause, or propagation from earlier assumptions — makes the
+    // instance unsat *under the assumptions*; clauses learned so far stay
+    // valid without them, since assumptions never enter any clause.
+    {
+      Literal forced = 0;
+      bool falsified = false;
+      while (decision_level() < assumptions.size()) {
+        const Literal a = assumptions[decision_level()];
+        const std::int8_t v = literal_value(a);
+        if (v == kFalse) {
+          falsified = true;
+          break;
+        }
+        trail_limits_.push_back(trail_.size());
+        if (v == kUnassigned) {
+          assign(a, kNoReason);
+          forced = a;
+          break;
+        }
+      }
+      if (falsified) return SolveStatus::kUnsat;
+      if (forced != 0) {
+        ++stats_.decisions;
+        continue;  // Propagate the assumption before installing the next.
+      }
     }
 
     if (trail_.size() == num_vars_) return SolveStatus::kSat;

@@ -45,6 +45,13 @@ class CdclSolver {
   /// DPLL(T) loop's blocking clauses).
   SolveStatus solve();
 
+  /// Decides satisfiability under `assumptions` (Minisat-style): each
+  /// assumption literal is forced as a decision before the free search, so
+  /// kUnsat means "unsatisfiable together with the assumptions" while every
+  /// clause learned along the way is valid WITHOUT them — assumptions are
+  /// decisions, never clauses — and is retained for later calls.
+  SolveStatus solve(const std::vector<Literal>& assumptions);
+
   /// Value of variable v in the satisfying assignment (only after kSat).
   bool value(std::int32_t v) const;
 

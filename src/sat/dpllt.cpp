@@ -2,6 +2,7 @@
 
 #include "sat/tseitin.hpp"
 #include "strqubo/verify.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace qsmt::sat {
 
@@ -48,18 +49,62 @@ DpllTSolver::DpllTSolver(const anneal::Sampler& sampler,
 DpllTResult DpllTSolver::solve(
     const std::vector<smtlib::TermPtr>& assertions,
     const std::map<std::string, smtlib::Sort>& declared) const {
+  return solve(assertions, {}, declared, nullptr);
+}
+
+DpllTResult DpllTSolver::solve(
+    const std::vector<smtlib::TermPtr>& assertions,
+    const std::vector<smtlib::TermPtr>& assumptions,
+    const std::map<std::string, smtlib::Sort>& declared,
+    smtlib::SolveContext* context) const {
   DpllTResult result;
 
   CdclSolver sat;
   TseitinEncoder encoder(sat);
   for (const auto& assertion : assertions) encoder.assert_term(assertion);
 
+  // Assumptions are encoded (their defining clauses are valid regardless of
+  // the assumed truth value) but NOT asserted: their literals are handed to
+  // the CDCL engine as forced first decisions instead.
+  std::vector<Literal> assumption_lits;
+  assumption_lits.reserve(assumptions.size());
+  for (const auto& assumption : assumptions) {
+    assumption_lits.push_back(encoder.encode(assumption));
+  }
+
+  // Re-add remembered exact lemmas whose atoms all exist in this encoding.
+  // Content keying by printed atom form makes this sound across calls even
+  // though the SAT variable numbering is fresh each time.
+  if (context != nullptr) {
+    for (const auto& lemma : context->clause_memory().lemmas()) {
+      std::vector<Literal> clause;
+      clause.reserve(lemma.literals.size());
+      bool all_present = true;
+      for (const auto& [printed, positive] : lemma.literals) {
+        const std::int32_t v = encoder.find_atom_variable(printed);
+        if (v == 0) {
+          all_present = false;
+          break;
+        }
+        clause.push_back(positive ? v : -v);
+      }
+      if (!all_present) continue;
+      sat.add_clause(std::move(clause));
+      ++result.lemmas_retained;
+    }
+    context->stats().clauses_retained += result.lemmas_retained;
+    if (telemetry::enabled() && result.lemmas_retained > 0) {
+      telemetry::counter("incremental.clauses.retained")
+          .add(result.lemmas_retained);
+    }
+  }
+
   // When blocking clauses are only approximations of theory conflicts
   // (annealer gave up), a final boolean UNSAT proves nothing.
   bool all_blocks_exact = true;
 
   for (std::size_t round = 0; round < params_.max_rounds; ++round) {
-    if (sat.solve() == SolveStatus::kUnsat) {
+    if (sat.solve(assumption_lits) == SolveStatus::kUnsat) {
       result.status = all_blocks_exact ? CheckSatStatus::kUnsat
                                        : CheckSatStatus::kUnknown;
       if (!all_blocks_exact) {
@@ -86,9 +131,20 @@ DpllTResult DpllTSolver::solve(
       all_blocks_exact &= exact;
       std::vector<Literal> clause;
       clause.reserve(encoder.atoms().size());
+      std::vector<std::pair<std::string, bool>> lemma;
+      if (exact && context != nullptr) lemma.reserve(encoder.atoms().size());
       for (std::size_t a = 0; a < encoder.atoms().size(); ++a) {
         const std::int32_t v = encoder.atom_variable(a);
-        clause.push_back(sat.value(v) ? -v : v);
+        const bool now_true = sat.value(v);
+        clause.push_back(now_true ? -v : v);
+        if (exact && context != nullptr) {
+          lemma.emplace_back(smtlib::to_string(encoder.atoms()[a]), !now_true);
+        }
+      }
+      // Only exact conflicts are sound in later calls; heuristic blocks
+      // (the annealer merely gave up) die with this solve.
+      if (exact && context != nullptr) {
+        context->clause_memory().remember(context->depth(), std::move(lemma));
       }
       sat.add_clause(std::move(clause));
     };

@@ -33,6 +33,7 @@ struct DpllTResult {
   std::string model_value;
   std::vector<std::string> notes;
   std::size_t theory_rounds = 0;  ///< Boolean models handed to the T-solver.
+  std::size_t lemmas_retained = 0;  ///< Remembered lemmas re-added this call.
   SolverStats sat_stats;
 };
 
@@ -52,6 +53,19 @@ class DpllTSolver {
   /// string atoms) for the string constants in `declared`.
   DpllTResult solve(const std::vector<smtlib::TermPtr>& assertions,
                     const std::map<std::string, smtlib::Sort>& declared) const;
+
+  /// Incremental form. `assumptions` are installed as CDCL assumptions —
+  /// forced first decisions, never clauses — so `unsat` means "unsat
+  /// together with the assumptions" while learned clauses stay valid
+  /// without them. When `context` is non-null, exact theory lemmas (ground
+  /// conflicts) discovered this call are remembered in its ClauseMemory at
+  /// the context's current depth, and previously remembered lemmas whose
+  /// atoms all appear in this call's encoding are re-added up front
+  /// (incremental.clauses.retained).
+  DpllTResult solve(const std::vector<smtlib::TermPtr>& assertions,
+                    const std::vector<smtlib::TermPtr>& assumptions,
+                    const std::map<std::string, smtlib::Sort>& declared,
+                    smtlib::SolveContext* context) const;
 
  private:
   const anneal::Sampler* sampler_;

@@ -35,6 +35,15 @@ class TseitinEncoder {
     return atom_vars_.at(index);
   }
 
+  /// SAT variable registered for the atom with printed form `printed`
+  /// (smtlib::to_string), or 0 when no such atom was encoded. Lets callers
+  /// re-target content-keyed clauses (retained theory lemmas) at a fresh
+  /// encoding of the same assertions.
+  std::int32_t find_atom_variable(const std::string& printed) const {
+    const auto it = atom_cache_.find(printed);
+    return it == atom_cache_.end() ? 0 : it->second;
+  }
+
  private:
   Literal encode_atom(const smtlib::TermPtr& term);
 

@@ -79,6 +79,13 @@ class Session::Driver final : public smtlib::SmtDriver {
     job.seed = derive_seed(session.options_.seed, ++check_sat_ordinal_);
     job.tag = session.options_.tenant;
     job.cancel = session.install_in_flight();
+    // Incremental hot re-solve: this session's previous sat witness seeds
+    // the service's warm-start refinement. Session-local state only — the
+    // witness never enters the shared prepared-model cache, so tenants
+    // cannot observe each other's models; and every warm result is
+    // classically verified, so a stale witness can only cost time, never
+    // change a verdict.
+    job.warm_start = last_model_;
 
     std::future<service::JobResult> future;
     const auto& constraints = presolved.query.constraints;
@@ -110,6 +117,9 @@ class Session::Driver final : public smtlib::SmtDriver {
       record.model_value = *result.text;
     } else {
       record.model_value = result.model_value;
+    }
+    if (record.status == smtlib::CheckSatStatus::kSat) {
+      last_model_ = record.model_value;
     }
     for (const std::string& note : result.notes) {
       record.notes.push_back(note);
@@ -148,6 +158,9 @@ class Session::Driver final : public smtlib::SmtDriver {
 
   Session* session_;
   std::uint64_t check_sat_ordinal_ = 0;
+  /// Last sat witness this session produced (warm-start seed for the next
+  /// check-sat). Never shared across sessions.
+  std::optional<std::string> last_model_;
 };
 
 Session::Session(service::SolveService& service, SessionOptions options)

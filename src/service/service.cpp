@@ -13,7 +13,9 @@
 #include <utility>
 #include <variant>
 
+#include "anneal/reverse.hpp"
 #include "engine/engine.hpp"
+#include "strenc/ascii7.hpp"
 #include "strqubo/solver.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
@@ -25,69 +27,11 @@ namespace {
 
 using SteadyClock = std::chrono::steady_clock;
 
-template <class... Ts>
-struct Overloaded : Ts... {
-  using Ts::operator()...;
-};
-template <class... Ts>
-Overloaded(Ts...) -> Overloaded<Ts...>;
-
-// Exact structural key for the prepared-model cache. describe() is for
-// humans and may collide (or change); this enumerates every field of every
-// variant with unambiguous separators, so two constraints share a cache
-// entry iff they build the same QUBO under the service's fixed options.
+// Exact structural key for the prepared-model cache (now the shared
+// strqubo::structure_key, which the incremental fragment cache keys by
+// too, so both layers agree on what "structurally identical" means).
 std::string cache_key(const strqubo::Constraint& constraint) {
-  std::ostringstream out;
-  const char sep = '\x1f';
-  std::visit(
-      Overloaded{
-          [&](const strqubo::Equality& c) { out << "eq" << sep << c.target; },
-          [&](const strqubo::Concat& c) {
-            out << "concat" << sep << c.lhs << sep << c.rhs;
-          },
-          [&](const strqubo::SubstringMatch& c) {
-            out << "substr" << sep << c.length << sep << c.substring;
-          },
-          [&](const strqubo::Includes& c) {
-            out << "includes" << sep << c.text << sep << c.substring;
-          },
-          [&](const strqubo::IndexOf& c) {
-            out << "indexof" << sep << c.length << sep << c.substring << sep
-                << c.index;
-          },
-          [&](const strqubo::Length& c) {
-            out << "length" << sep << c.string_length << sep
-                << c.desired_length;
-          },
-          [&](const strqubo::ReplaceAll& c) {
-            out << "replaceall" << sep << c.input << sep << c.from << sep
-                << c.to;
-          },
-          [&](const strqubo::Replace& c) {
-            out << "replace" << sep << c.input << sep << c.from << sep << c.to;
-          },
-          [&](const strqubo::Reverse& c) {
-            out << "reverse" << sep << c.input;
-          },
-          [&](const strqubo::Palindrome& c) {
-            out << "palindrome" << sep << c.length;
-          },
-          [&](const strqubo::RegexMatch& c) {
-            out << "regex" << sep << c.pattern << sep << c.length;
-          },
-          [&](const strqubo::CharAt& c) {
-            out << "charat" << sep << c.length << sep << c.index << sep << c.ch;
-          },
-          [&](const strqubo::NotContains& c) {
-            out << "notcontains" << sep << c.length << sep << c.substring;
-          },
-          [&](const strqubo::BoundedLength& c) {
-            out << "boundedlen" << sep << c.capacity << sep << c.min_length
-                << sep << c.max_length;
-          },
-      },
-      constraint);
-  return out.str();
+  return strqubo::structure_key(constraint);
 }
 
 }  // namespace
@@ -276,6 +220,9 @@ struct SolveService::Impl {
     /// embedding failure); attached to the verdict when no member wins.
     std::mutex error_notes_mutex;
     std::vector<std::string> error_notes;
+    /// The warm-start refinement (JobOptions::warm_start) runs at most once
+    /// per job, from whichever member reaches the prepared model first.
+    std::atomic<bool> warm_tried{false};
     /// Built once per job (all members share it) under build_once; on
     /// failure build_error carries the message instead.
     std::once_flag build_once;
@@ -454,6 +401,64 @@ struct SolveService::Impl {
     run_member_attempts(job, member_index, token, 0);
   }
 
+  /// One cheap reverse-anneal refinement seeded from the caller's previous
+  /// witness (JobOptions::warm_start), run at most once per job by
+  /// whichever member reaches the prepared model first. A refined sample
+  /// that passes classical verification decides the job before anyone pays
+  /// a full-budget solve; any miss (witness no longer type-checks against
+  /// the model, refinement unverified, refiner threw) silently falls back
+  /// to the cold path. Returns true when this call claimed the verdict
+  /// (member bookkeeping fully settled via claim_and_finish).
+  bool try_warm_start(Job& job, const PortfolioMember& member,
+                      const strqubo::PreparedConstraint& prepared) {
+    if (!job.options.warm_start.has_value()) return false;
+    if (job.warm_tried.exchange(true, std::memory_order_acq_rel)) {
+      return false;
+    }
+    const std::string& witness = *job.options.warm_start;
+    if (!strenc::is_ascii7(witness)) return false;
+    std::vector<std::uint8_t> initial = strenc::encode_string(witness);
+    if (initial.size() > prepared.model.num_variables()) return false;
+    initial.resize(prepared.model.num_variables(), 0);
+
+    stats_warm_starts.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      telemetry::counter("incremental.warm.starts").add();
+    }
+    try {
+      anneal::ReverseAnnealerParams params;
+      params.num_reads = 8;
+      params.num_sweeps = 64;
+      params.reheat_fraction = 0.35;
+      params.seed = mix_seed(job.options.seed, 0x77a7);
+      const anneal::ReverseAnnealer refiner(std::move(initial), params);
+      const anneal::SampleSet samples = refiner.sample(prepared.adjacency);
+      const strqubo::SolveResult solved = strqubo::decode_and_verify(
+          std::get<strqubo::Constraint>(job.payload), samples);
+      if (!solved.satisfied) return false;
+      if (claim_and_finish(job, [&](JobResult& result) {
+            result.status = smtlib::CheckSatStatus::kSat;
+            result.text = solved.text;
+            result.position = solved.position;
+            result.winner = member.name;
+            result.notes.push_back("warm start");
+            record_winner(member.name);
+            // Inside the claim so the increment is sequenced before the
+            // promise resolves (a caller snapshotting stats right after
+            // .get() must see this hit).
+            stats_warm_hits.fetch_add(1, std::memory_order_relaxed);
+            if (telemetry::enabled()) {
+              telemetry::counter("incremental.warm.hits").add();
+            }
+          })) {
+        return true;
+      }
+    } catch (const std::exception&) {
+      // The refinement is opportunistic; the cold attempt still runs.
+    }
+    return false;
+  }
+
   /// The attempt loop of one (job, member) race lane, starting at
   /// `first_attempt` (0 for a solo run; 1 when a fused kernel invocation
   /// already consumed attempt 0 and the decoded model failed verification).
@@ -510,6 +515,8 @@ struct SolveService::Impl {
           }
           return;
         }
+        if (try_warm_start(job, member, *prepared)) return;
+        if (aborted()) break;  // A sibling's warm start may have claimed.
         strqubo::SolveResult solved;
         try {
           const strqubo::StringConstraintSolver solver(*sampler,
@@ -625,6 +632,11 @@ struct SolveService::Impl {
             })) {
           release_member(job);
         }
+        continue;
+      }
+      if (try_warm_start(job, member, *prepared)) continue;
+      if (job.decided.load(std::memory_order_acquire)) {
+        finish_as_loser(job, token);
         continue;
       }
       runnable.push_back(FusedJob{task.job, std::move(token), prepared});
@@ -909,6 +921,8 @@ struct SolveService::Impl {
   std::atomic<std::uint64_t> stats_cache_misses{0};
   std::atomic<std::uint64_t> stats_batch_invocations{0};
   std::atomic<std::uint64_t> stats_jobs_fused{0};
+  std::atomic<std::uint64_t> stats_warm_starts{0};
+  std::atomic<std::uint64_t> stats_warm_hits{0};
 };
 
 SolveService::SolveService(ServiceOptions options)
@@ -983,6 +997,8 @@ SolveService::Stats SolveService::stats() const noexcept {
   stats.batch_invocations =
       impl_->stats_batch_invocations.load(std::memory_order_relaxed);
   stats.jobs_fused = impl_->stats_jobs_fused.load(std::memory_order_relaxed);
+  stats.warm_starts = impl_->stats_warm_starts.load(std::memory_order_relaxed);
+  stats.warm_hits = impl_->stats_warm_hits.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -144,6 +144,14 @@ struct JobOptions {
   /// this to abort in-flight work when a client disconnects mid-check-sat).
   /// The job's deadline, when any, is armed on this same source.
   std::optional<CancelSource> cancel;
+  /// Warm-start seed for constraint jobs: a previously verified witness
+  /// from the same logical session (the server's incremental sessions pass
+  /// their last sat model). The first member to pick the job up runs one
+  /// cheap reverse-anneal refinement from this string before its cold
+  /// attempt; if the refined sample verifies, the job is decided without a
+  /// full-budget solve. A witness whose length no longer matches the job's
+  /// constraint is ignored (cold start). Script jobs ignore this field.
+  std::optional<std::string> warm_start;
 };
 
 struct JobResult {
@@ -226,6 +234,11 @@ class SolveService {
     /// whose build or sampler then failed are still included; each is
     /// completed exactly once through the normal race bookkeeping).
     std::uint64_t jobs_fused = 0;
+    /// Warm-start refinements attempted (JobOptions::warm_start present and
+    /// the witness type-checked against the prepared model) / refinements
+    /// whose verified sample decided the job.
+    std::uint64_t warm_starts = 0;
+    std::uint64_t warm_hits = 0;
   };
   Stats stats() const noexcept;
 

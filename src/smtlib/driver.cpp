@@ -22,6 +22,28 @@ void append_quoted(std::string& out, const std::string& value) {
   out += '"';
 }
 
+// SMT-LIB (error "...") reply, same quote-doubling as the server transport
+// so driver and daemon transcripts stay byte-compatible.
+void append_error(std::string& out, const std::string& message) {
+  out += "(error ";
+  append_quoted(out, message);
+  out += ")\n";
+}
+
+// First undeclared free variable in `term`, if any. Operators are kApply
+// nodes, so every kVariable leaf is a symbol that must be declared.
+const std::string* find_undeclared(const TermPtr& term,
+                                   const std::map<std::string, Sort>& declared) {
+  if (!term) return nullptr;
+  if (term->kind == Term::Kind::kVariable) {
+    return declared.contains(term->atom) ? nullptr : &term->atom;
+  }
+  for (const auto& arg : term->args) {
+    if (const std::string* hit = find_undeclared(arg, declared)) return hit;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 // One counter per verdict so a run's sat/unsat/unknown split shows up in the
@@ -51,106 +73,6 @@ std::string status_name(CheckSatStatus status) {
       return "unknown";
   }
   return "unknown";
-}
-
-ConjunctionResult solve_conjunction(
-    const std::vector<strqubo::Constraint>& constraints,
-    const anneal::Sampler& sampler, const strqubo::BuildOptions& options,
-    const std::function<bool(const std::string&)>& accept) {
-  ConjunctionResult result;
-  telemetry::Span span("smtlib.solve_conjunction");
-  span.arg("num_constraints", static_cast<double>(constraints.size()));
-  if (constraints.empty()) {
-    result.solved = !accept || accept(std::string());
-    if (!result.solved) result.note = "empty witness rejected by filter";
-    return result;
-  }
-  for (const auto& constraint : constraints) {
-    if (!strqubo::produces_string(constraint)) {
-      result.note = "includes-style atoms cannot join a generation conjunction";
-      return result;
-    }
-  }
-
-  // All conjuncts must generate the same number of characters so their QUBO
-  // matrices can be summed variable-for-variable.
-  const std::size_t string_bits =
-      strqubo::constraint_num_variables(constraints.front());
-  for (const auto& constraint : constraints) {
-    if (strqubo::constraint_num_variables(constraint) != string_bits) {
-      result.note =
-          "conjuncts disagree on string length; cannot merge QUBO models";
-      return result;
-    }
-  }
-
-  // Merged models share the string bits at the same indices. Auxiliary
-  // variables past the string block (regex one-hot selectors) would collide
-  // across conjuncts, so each conjunct's auxiliary block is remapped to a
-  // fresh range at the end of the merged model.
-  qubo::QuboModel merged(string_bits);
-  std::size_t aux_base = string_bits;
-  telemetry::Span merge_span("smtlib.merge_qubo");
-  for (const auto& constraint : constraints) {
-    const qubo::QuboModel part = strqubo::build(constraint, options);
-    const std::size_t part_aux =
-        part.num_variables() > string_bits ? part.num_variables() - string_bits
-                                           : 0;
-    auto remap = [&](std::size_t v) {
-      return v < string_bits ? v : aux_base + (v - string_bits);
-    };
-    merged.add_offset(part.offset());
-    for (std::size_t v = 0; v < part.num_variables(); ++v) {
-      const double lin = part.linear_terms()[v];
-      if (lin != 0.0) merged.add_linear(remap(v), lin);
-    }
-    for (const auto& [key, value] : part.quadratic_terms()) {
-      if (value == 0.0) continue;
-      merged.add_quadratic(remap(key >> 32), remap(key & 0xffffffffULL),
-                           value);
-    }
-    aux_base += part_aux;
-  }
-  result.num_qubo_variables = std::max(merged.num_variables(), string_bits);
-  merge_span.close();
-  if (telemetry::enabled()) {
-    telemetry::gauge("smtlib.qubo_variables")
-        .set(static_cast<double>(result.num_qubo_variables));
-  }
-
-  const anneal::SampleSet samples = sampler.sample(merged);
-  if (samples.empty()) {
-    result.note = "sampler returned no samples";
-    return result;
-  }
-  // Take the lowest-energy sample whose decoding satisfies every conjunct
-  // (and the caller's acceptance filter, when given).
-  telemetry::Span verify_span("smtlib.verify");
-  for (const auto& sample : samples) {
-    const std::string value = strenc::decode_string(
-        std::span(sample.bits).subspan(0, string_bits));
-    bool all_satisfied = true;
-    for (const auto& constraint : constraints) {
-      if (!strqubo::verify_string(constraint, value)) {
-        all_satisfied = false;
-        break;
-      }
-    }
-    if (all_satisfied && accept && !accept(value)) all_satisfied = false;
-    if (all_satisfied) {
-      result.solved = true;
-      result.value = value;
-      if (telemetry::enabled()) {
-        telemetry::counter("smtlib.conjunction.solved").add();
-      }
-      return result;
-    }
-  }
-  result.note = "no sample satisfied every conjunct";
-  if (telemetry::enabled()) {
-    telemetry::counter("smtlib.conjunction.unsolved").add();
-  }
-  return result;
 }
 
 PresolveResult presolve_check_sat(
@@ -246,16 +168,28 @@ std::string render_get_value(const std::vector<std::string>& names,
 }
 
 SmtDriver::SmtDriver(const anneal::Sampler& sampler,
-                     strqubo::BuildOptions options)
-    : sampler_(&sampler), options_(options) {}
+                     strqubo::BuildOptions options,
+                     std::shared_ptr<FragmentCache> fragments)
+    : sampler_(&sampler),
+      options_(options),
+      context_(std::make_shared<SolveContext>(IncrementalParams{},
+                                              std::move(fragments))) {}
 
 SmtDriver::SmtDriver(strqubo::BuildOptions options)
-    : sampler_(nullptr), options_(options) {}
+    : sampler_(nullptr),
+      options_(options),
+      context_(std::make_shared<SolveContext>()) {}
+
+void SmtDriver::adopt_context(std::shared_ptr<SolveContext> context) {
+  require(context != nullptr, "smtlib: adopt_context requires a context");
+  context_ = std::move(context);
+}
 
 void SmtDriver::reset() {
   declared_.clear();
   assertions_.clear();
   frames_.clear();
+  context_->clear();
 }
 
 CheckSatRecord SmtDriver::check_sat() {
@@ -269,8 +203,8 @@ CheckSatRecord SmtDriver::check_sat() {
   require(sampler_ != nullptr,
           "smtlib: SmtDriver without a sampler must override check_sat");
 
-  const ConjunctionResult solved =
-      solve_conjunction(presolved.query.constraints, *sampler_, options_);
+  const ConjunctionResult solved = solve_conjunction_incremental(
+      presolved.query.constraints, *sampler_, options_, *context_);
   record.num_qubo_variables = solved.num_qubo_variables;
   if (solved.solved) {
     record.status = CheckSatStatus::kSat;
@@ -315,17 +249,33 @@ bool SmtDriver::execute(const Command& command, std::string& out) {
           for (std::size_t k = 0; k < cmd.levels; ++k) {
             frames_.push_back(Frame{assertions_.size(), declared_});
           }
+          context_->push(cmd.levels);
           return true;
         } else if constexpr (std::is_same_v<T, Pop>) {
-          require(cmd.levels <= frames_.size(),
-                  "smtlib: pop below the bottom of the assertion stack");
+          if (cmd.levels > frames_.size()) {
+            // SMT-LIB error reply, not a thrown exception: the session
+            // (and a scripted transcript) survives and the stack is
+            // untouched, matching z3's behaviour.
+            append_error(out,
+                         "pop below the bottom of the assertion stack");
+            return true;
+          }
           for (std::size_t k = 0; k < cmd.levels; ++k) {
             assertions_.resize(frames_.back().num_assertions);
             declared_ = std::move(frames_.back().declared);
             frames_.pop_back();
           }
+          context_->pop(cmd.levels);
           return true;
         } else if constexpr (std::is_same_v<T, CheckSatAssuming>) {
+          for (const auto& assumption : cmd.assumptions) {
+            if (const std::string* name =
+                    find_undeclared(assumption, declared_)) {
+              append_error(out, "check-sat-assuming: undeclared symbol '" +
+                                    *name + "'");
+              return true;
+            }
+          }
           // Assumptions join the assertion set for this check only.
           const std::size_t restore = assertions_.size();
           for (const auto& assumption : cmd.assumptions) {

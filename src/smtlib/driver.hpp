@@ -11,12 +11,14 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "anneal/sampler.hpp"
 #include "smtlib/ast.hpp"
 #include "smtlib/compiler.hpp"
+#include "smtlib/incremental.hpp"
 #include "strqubo/builders.hpp"
 
 namespace qsmt::smtlib {
@@ -71,9 +73,12 @@ std::string render_get_value(const std::vector<std::string>& names,
 
 class SmtDriver {
  public:
-  /// `sampler` must outlive the driver.
+  /// `sampler` must outlive the driver. `fragments`, when given, shares a
+  /// compiled-fragment cache across drivers (blocks are immutable, so
+  /// sharing is tenant-safe); by default the driver owns a private one.
   explicit SmtDriver(const anneal::Sampler& sampler,
-                     strqubo::BuildOptions options = {});
+                     strqubo::BuildOptions options = {},
+                     std::shared_ptr<FragmentCache> fragments = nullptr);
 
   virtual ~SmtDriver() = default;
 
@@ -96,6 +101,15 @@ class SmtDriver {
 
   /// Current push/pop nesting depth.
   std::size_t scope_depth() const noexcept { return frames_.size(); }
+
+  /// The incremental state carried across check-sats: compiled-fragment
+  /// cache, witness memory, retained theory lemmas, per-context counters.
+  SolveContext& solve_context() noexcept { return *context_; }
+  const SolveContext& solve_context() const noexcept { return *context_; }
+
+  /// Replaces the context (engine/bench plumbing: share one context across
+  /// several driver instantiations of the same logical session).
+  void adopt_context(std::shared_ptr<SolveContext> context);
 
  protected:
   /// For subclasses that answer check-sat without a local sampler (the
@@ -126,32 +140,18 @@ class SmtDriver {
 
   const anneal::Sampler* sampler_;
   strqubo::BuildOptions options_;
+  std::shared_ptr<SolveContext> context_;
   std::map<std::string, Sort> declared_;
   std::vector<TermPtr> assertions_;
   std::vector<Frame> frames_;
   std::vector<CheckSatRecord> history_;
 };
 
-/// Solves a conjunction of same-variable constraints by summing their QUBO
-/// models (an extension over the paper's sequential §4.12 combination; see
-/// DESIGN.md), sampling once, and returning the lowest-energy sample whose
-/// decoding classically verifies every conjunct. Auxiliary variables past
-/// the shared string block (regex one-hot selectors) are remapped to fresh
-/// ranges so any mix of encodings merges soundly.
-///
-/// `accept`, when set, is an extra predicate the witness must pass — the
-/// DPLL(T) layer uses it to require that atoms assigned false actually fail
-/// on the witness, steering the scan toward a fully consistent model
-/// instead of rejecting the whole boolean assignment.
-struct ConjunctionResult {
-  bool solved = false;      ///< A sample satisfying all conjuncts was found.
-  std::string value;        ///< The witness when solved.
-  std::string note;         ///< Why not, otherwise.
-  std::size_t num_qubo_variables = 0;
-};
-ConjunctionResult solve_conjunction(
-    const std::vector<strqubo::Constraint>& constraints,
-    const anneal::Sampler& sampler, const strqubo::BuildOptions& options,
-    const std::function<bool(const std::string&)>& accept = {});
+// ConjunctionResult, solve_conjunction and the incremental variant live in
+// smtlib/incremental.hpp (included above); solve_conjunction merges the
+// per-constraint QUBO models — an extension over the paper's sequential
+// §4.12 combination, see DESIGN.md — samples once, and returns the
+// lowest-energy sample whose decoding classically verifies every conjunct.
+// `accept` is the DPLL(T) false-atom falsification filter.
 
 }  // namespace qsmt::smtlib

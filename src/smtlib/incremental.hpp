@@ -1,0 +1,213 @@
+// Incremental solving substrate: compiled-fragment reuse, witness memory,
+// retained theory lemmas, and warm-started re-annealing.
+//
+// The paper's workload is chains of near-identical queries (each §5
+// benchmark is solved as a sequence of mutated instances), and the server
+// exposes push/pop sessions, so repeated check-sats should cost a delta:
+//
+//  * FragmentCache — a thread-safe LRU mapping each assertion's constraint
+//    (hash-consed by strqubo::structure_key + a build-options fingerprint)
+//    to its built QUBO block. An N-assertion re-solve with one mutated
+//    constraint rebuilds ONE block; the others are re-linked at their
+//    offsets during the merge.
+//  * SolveContext — per-session state an SmtDriver keeps across check-sats,
+//    keyed to the push/pop stack: a (pop) invalidates only the witnesses
+//    and lemmas recorded in the frames it removes. Holds the last verified
+//    witness (warm-start seed), the retained exact theory lemmas
+//    (ClauseMemory), and deterministic per-context counters mirroring the
+//    incremental.* telemetry.
+//  * solve_conjunction_incremental — the hot re-solve: try the remembered
+//    witness outright, then a cheap ReverseAnnealer refinement seeded from
+//    it, then fall back to the caller's cold sampler. Every answer is
+//    classically verified, so the shortcuts can never change a verdict,
+//    only reach it faster.
+//
+// Invalidation rules and warm-start semantics: docs/incremental.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "anneal/reverse.hpp"
+#include "anneal/sampler.hpp"
+#include "qubo/qubo_model.hpp"
+#include "strqubo/builders.hpp"
+#include "strqubo/constraint.hpp"
+
+namespace qsmt::smtlib {
+
+/// Cache key of one compiled fragment: the constraint's structural key
+/// plus a fingerprint of every BuildOptions field that changes the QUBO.
+std::string fragment_key(const strqubo::Constraint& constraint,
+                         const strqubo::BuildOptions& options);
+
+/// Thread-safe LRU of built QUBO blocks, shareable across drivers and
+/// server sessions (blocks are immutable; per-session state never enters
+/// the cache, so sharing cannot leak anything between tenants).
+class FragmentCache {
+ public:
+  explicit FragmentCache(std::size_t capacity = 256);
+
+  /// Returns the cached block for `constraint` under `options`, building
+  /// and inserting it on a miss. Emits incremental.fragment.{hits,misses}.
+  std::shared_ptr<const qubo::QuboModel> get_or_build(
+      const strqubo::Constraint& constraint,
+      const strqubo::BuildOptions& options);
+
+  std::size_t size() const;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const qubo::QuboModel> block;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+/// One retained theory lemma: a clause over (printed atom, polarity)
+/// pairs, valid in any solve whose atom set contains every one of them.
+/// Only *exact* conflicts (ground-fact refutations) are remembered —
+/// heuristic blocks (the annealer merely gave up) are not sound lemmas.
+struct TheoryLemma {
+  /// Push/pop depth at which the lemma was learned; a pop below this
+  /// depth drops it (conservative: the lemma may mention assumption
+  /// atoms that only exist in the popped frames).
+  std::size_t depth = 0;
+  /// (printed atom form, polarity): true = the atom appears positively.
+  std::vector<std::pair<std::string, bool>> literals;
+};
+
+/// Learned-lemma store carried across DPLL(T) calls by a SolveContext.
+class ClauseMemory {
+ public:
+  void remember(std::size_t depth,
+                std::vector<std::pair<std::string, bool>> literals);
+
+  /// Drops every lemma learned at a depth greater than `depth` (the
+  /// frames a pop removes).
+  void drop_deeper_than(std::size_t depth);
+
+  void clear() { lemmas_.clear(); }
+  std::size_t size() const noexcept { return lemmas_.size(); }
+  const std::vector<TheoryLemma>& lemmas() const noexcept { return lemmas_; }
+
+ private:
+  std::vector<TheoryLemma> lemmas_;
+};
+
+struct IncrementalParams {
+  /// Budget of the warm-start refinement pass (ReverseAnnealer seeded from
+  /// the previous witness). Deliberately small: it either polishes the old
+  /// model into the new constraints in a few sweeps or the cold sampler
+  /// takes over.
+  anneal::ReverseAnnealerParams warm;
+  std::size_t fragment_capacity = 256;
+  bool enabled = true;
+
+  IncrementalParams() {
+    warm.num_reads = 8;
+    warm.num_sweeps = 64;
+    warm.reheat_fraction = 0.35;
+  }
+};
+
+/// Deterministic per-context mirror of the incremental.* counters, so
+/// tests and benches can assert cache behaviour without telemetry.
+struct IncrementalStats {
+  std::uint64_t witness_reuses = 0;   ///< Old witness still verified.
+  std::uint64_t warm_starts = 0;      ///< Reverse-anneal passes attempted.
+  std::uint64_t warm_hits = 0;        ///< ... that produced the verdict.
+  std::uint64_t cold_starts = 0;      ///< Full-budget sampler passes.
+  std::uint64_t clauses_retained = 0; ///< Lemmas re-added to a later solve.
+};
+
+/// Per-session incremental state, keyed to the push/pop stack.
+class SolveContext {
+ public:
+  explicit SolveContext(IncrementalParams params = {},
+                        std::shared_ptr<FragmentCache> fragments = nullptr);
+
+  FragmentCache& fragments() noexcept { return *fragments_; }
+  const std::shared_ptr<FragmentCache>& shared_fragments() const noexcept {
+    return fragments_;
+  }
+  const IncrementalParams& params() const noexcept { return params_; }
+
+  /// Push/pop bookkeeping (mirrors the driver's frame stack).
+  void push(std::size_t levels) { depth_ += levels; }
+  void pop(std::size_t levels);
+  std::size_t depth() const noexcept { return depth_; }
+
+  /// Records a verified witness at the current depth; it seeds witness
+  /// reuse and warm starts until a pop drops its frame.
+  void note_witness(std::string value);
+  /// Deepest surviving witness, if any.
+  const std::string* last_witness() const;
+
+  ClauseMemory& clause_memory() noexcept { return clauses_; }
+
+  /// Full reset — the (reset) command and tests.
+  void clear();
+
+  IncrementalStats& stats() noexcept { return stats_; }
+  const IncrementalStats& stats() const noexcept { return stats_; }
+
+ private:
+  IncrementalParams params_;
+  std::shared_ptr<FragmentCache> fragments_;
+  std::size_t depth_ = 0;
+  /// (depth, witness), shallowest first; pops truncate from the back.
+  std::vector<std::pair<std::size_t, std::string>> witnesses_;
+  ClauseMemory clauses_;
+  IncrementalStats stats_;
+};
+
+/// Result of a conjunction solve (cold or incremental). Declared here —
+/// driver.hpp re-exports it — so the incremental layer has no dependency
+/// on the driver.
+struct ConjunctionResult {
+  bool solved = false;      ///< A sample satisfying all conjuncts was found.
+  std::string value;        ///< The witness when solved.
+  std::string note;         ///< Why not, otherwise.
+  std::size_t num_qubo_variables = 0;
+};
+
+/// Cold-path conjunction solve: merge per-constraint QUBO blocks, sample
+/// once with `sampler`, return the lowest-energy sample whose decoding
+/// classically verifies every conjunct (and `accept`, when given).
+ConjunctionResult solve_conjunction(
+    const std::vector<strqubo::Constraint>& constraints,
+    const anneal::Sampler& sampler, const strqubo::BuildOptions& options,
+    const std::function<bool(const std::string&)>& accept = {});
+
+/// Incremental conjunction solve: per-assertion blocks come from the
+/// context's FragmentCache (rebuild one block on a single-constraint
+/// mutation), the previous witness is tried outright and then used to seed
+/// a small ReverseAnnealer pass, and only when both miss does the cold
+/// sampler run. Verified-sat witnesses are recorded back into the context.
+ConjunctionResult solve_conjunction_incremental(
+    const std::vector<strqubo::Constraint>& constraints,
+    const anneal::Sampler& sampler, const strqubo::BuildOptions& options,
+    SolveContext& context,
+    const std::function<bool(const std::string&)>& accept = {});
+
+}  // namespace qsmt::smtlib

@@ -169,4 +169,62 @@ bool produces_string(const Constraint& constraint) {
   return !std::holds_alternative<Includes>(constraint);
 }
 
+namespace {
+
+struct KeyVisitor {
+  std::ostringstream& out;
+  static constexpr char sep = '\x1f';
+
+  void operator()(const Equality& c) const { out << "eq" << sep << c.target; }
+  void operator()(const Concat& c) const {
+    out << "concat" << sep << c.lhs << sep << c.rhs;
+  }
+  void operator()(const SubstringMatch& c) const {
+    out << "substr" << sep << c.length << sep << c.substring;
+  }
+  void operator()(const Includes& c) const {
+    out << "includes" << sep << c.text << sep << c.substring;
+  }
+  void operator()(const IndexOf& c) const {
+    out << "indexof" << sep << c.length << sep << c.substring << sep
+        << c.index;
+  }
+  void operator()(const Length& c) const {
+    out << "length" << sep << c.string_length << sep << c.desired_length;
+  }
+  void operator()(const ReplaceAll& c) const {
+    out << "replaceall" << sep << c.input << sep << c.from << sep << c.to;
+  }
+  void operator()(const Replace& c) const {
+    out << "replace" << sep << c.input << sep << c.from << sep << c.to;
+  }
+  void operator()(const Reverse& c) const {
+    out << "reverse" << sep << c.input;
+  }
+  void operator()(const Palindrome& c) const {
+    out << "palindrome" << sep << c.length;
+  }
+  void operator()(const RegexMatch& c) const {
+    out << "regex" << sep << c.pattern << sep << c.length;
+  }
+  void operator()(const CharAt& c) const {
+    out << "charat" << sep << c.length << sep << c.index << sep << c.ch;
+  }
+  void operator()(const NotContains& c) const {
+    out << "notcontains" << sep << c.length << sep << c.substring;
+  }
+  void operator()(const BoundedLength& c) const {
+    out << "boundedlen" << sep << c.capacity << sep << c.min_length << sep
+        << c.max_length;
+  }
+};
+
+}  // namespace
+
+std::string structure_key(const Constraint& constraint) {
+  std::ostringstream out;
+  std::visit(KeyVisitor{out}, constraint);
+  return out.str();
+}
+
 }  // namespace qsmt::strqubo

@@ -197,6 +197,38 @@ TEST_P(RandomThreeSat, AgreesWithBruteForce) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomThreeSat,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
 
+TEST(CdclSolver, AssumptionsGuideTheModelButDoNotPersist) {
+  CdclSolver solver;
+  const auto a = solver.add_variable();
+  const auto b = solver.add_variable();
+  solver.add_clause({a, b});
+
+  EXPECT_EQ(solver.solve({-a}), SolveStatus::kSat);
+  EXPECT_FALSE(solver.value(a));
+  EXPECT_TRUE(solver.value(b));
+
+  // The previous assumption leaves no trace: its negation is satisfiable.
+  EXPECT_EQ(solver.solve({a, -b}), SolveStatus::kSat);
+  EXPECT_TRUE(solver.value(a));
+  EXPECT_FALSE(solver.value(b));
+
+  EXPECT_EQ(solver.solve(), SolveStatus::kSat);
+}
+
+TEST(CdclSolver, FalsifiedAssumptionIsUnsatWithoutPoisoningTheSolver) {
+  CdclSolver solver;
+  const auto a = solver.add_variable();
+  const auto b = solver.add_variable();
+  // a|b and ~a|b together imply b, so assuming ~b must fail...
+  solver.add_clause({a, b});
+  solver.add_clause({-a, b});
+  EXPECT_EQ(solver.solve({-b}), SolveStatus::kUnsat);
+  // ... and the clause learned doing so is valid without the assumption.
+  EXPECT_GT(solver.stats().learned_clauses, 0u);
+  EXPECT_EQ(solver.solve(), SolveStatus::kSat);
+  EXPECT_TRUE(solver.value(b));
+}
+
 TEST(CdclSolver, StatsAccumulate) {
   CdclSolver solver;
   std::vector<std::int32_t> v;

@@ -1,0 +1,14 @@
+; check-sat-assuming: assumptions are extra conjuncts for one check only —
+; the contradiction in the middle leaves no trace on the next query. Every
+; sat witness is forced, keeping server/driver parity exact.
+; expect: sat
+; expect: unsat
+; expect: sat
+; expect-model: ac
+(declare-const x String)
+(assert (= (str.len x) 2))
+(assert (str.prefixof "a" x))
+(check-sat-assuming ((str.suffixof "b" x)))
+(check-sat-assuming ((= x "cb")))
+(check-sat-assuming ((str.suffixof "c" x)))
+(get-model)

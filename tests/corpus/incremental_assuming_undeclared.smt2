@@ -1,0 +1,8 @@
+; check-sat-assuming over an undeclared symbol draws an (error ...) reply
+; instead of a verdict; the session survives and later checks answer.
+; expect: sat
+; expect-contains: (error "check-sat-assuming: undeclared symbol 'y'")
+(declare-const x String)
+(assert (= x "ab"))
+(check-sat-assuming ((= y "b")))
+(check-sat)

@@ -1,0 +1,22 @@
+; Mutate-one-conjunct re-solves: each pop/push swaps a single prefix
+; constraint while the suffix conjunct's compiled fragment is reused from
+; the session cache. All three witnesses are forced.
+; expect: sat
+; expect: sat
+; expect: sat
+; expect-model: ca
+(declare-const x String)
+(assert (= (str.len x) 2))
+(assert (str.suffixof "a" x))
+(push)
+(assert (str.prefixof "a" x))
+(check-sat)
+(pop)
+(push)
+(assert (str.prefixof "b" x))
+(check-sat)
+(pop)
+(push)
+(assert (str.prefixof "c" x))
+(check-sat)
+(get-model)

@@ -1,0 +1,11 @@
+; Popping below the bottom of the assertion stack is well-formed SMT-LIB
+; misuse: the reply is an (error ...) S-expression, the session survives,
+; and the next check-sat still answers.
+; expect: sat
+; expect: sat
+; expect-contains: (error "pop below the bottom of the assertion stack")
+(declare-const x String)
+(assert (= x "ab"))
+(check-sat)
+(pop)
+(check-sat)

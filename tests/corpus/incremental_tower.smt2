@@ -1,0 +1,24 @@
+; Incremental push/pop tower: each frame narrows the model, the pinned
+; contradiction is certified unsat, and popping restores satisfiability.
+; The final query's witness is forced (prefix+suffix pin both characters)
+; so driver and server transcripts agree byte for byte.
+; expect: sat
+; expect: sat
+; expect: unsat
+; expect: sat
+; expect-model: ab
+(declare-const x String)
+(assert (= (str.len x) 2))
+(assert (str.prefixof "a" x))
+(check-sat)
+(push)
+(assert (str.suffixof "b" x))
+(check-sat)
+(push)
+(assert (= x "cc"))
+(check-sat)
+(pop 2)
+(push)
+(assert (str.suffixof "b" x))
+(check-sat)
+(get-model)

@@ -1,0 +1,25 @@
+; Warm tower: a growing incremental chain where every hot re-solve may
+; reuse the previous witness or warm-start from it — shortcuts that can
+; only accelerate the pinned verdicts, never change them. The final model
+; is forced (all three positions pinned by prefix/suffix/char-at).
+; expect: sat
+; expect: sat
+; expect: sat
+; expect: unsat
+; expect: sat
+; expect-model: aba
+(declare-const x String)
+(assert (= (str.len x) 3))
+(assert (str.prefixof "a" x))
+(check-sat)
+(assert (str.suffixof "a" x))
+(check-sat)
+(push)
+(assert (= (str.at x 1) "b"))
+(check-sat)
+(push)
+(assert (= x "aaa"))
+(check-sat)
+(pop)
+(check-sat)
+(get-model)

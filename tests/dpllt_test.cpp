@@ -2,6 +2,7 @@
 
 #include "anneal/simulated_annealer.hpp"
 #include "sat/dpllt.hpp"
+#include "smtlib/incremental.hpp"
 #include "smtlib/parser.hpp"
 
 namespace qsmt::sat {
@@ -154,6 +155,72 @@ TEST(DpllT, RoundBudgetExhaustionIsUnknown) {
   const auto result = solver.solve(query.assertions, query.declared);
   EXPECT_EQ(result.status, CheckSatStatus::kUnknown);
   EXPECT_FALSE(result.notes.empty());
+}
+
+TEST(DpllT, AssumptionsRestrictOnlyTheCurrentSolve) {
+  const auto annealer = fast_annealer(7);
+  const DpllTSolver solver(annealer);
+  const Query query = parse_query(R"(
+    (declare-const x String)
+    (assert (or (= x "cat") (= x "dog")))
+  )");
+  const Query assumption = parse_query(R"(
+    (declare-const x String)
+    (assert (not (= x "cat")))
+  )");
+
+  const auto restricted = solver.solve(query.assertions,
+                                       assumption.assertions, query.declared,
+                                       /*context=*/nullptr);
+  EXPECT_EQ(restricted.status, CheckSatStatus::kSat);
+  EXPECT_EQ(restricted.model_value, "dog");
+
+  // The same solver without the assumption is free to pick either branch.
+  const auto free = solver.solve(query.assertions, query.declared);
+  EXPECT_EQ(free.status, CheckSatStatus::kSat);
+}
+
+TEST(DpllT, ContradictoryAssumptionIsUnsat) {
+  const auto annealer = fast_annealer(8);
+  const DpllTSolver solver(annealer);
+  const Query query = parse_query(R"(
+    (declare-const x String)
+    (assert (= x "cat"))
+  )");
+  const Query assumption = parse_query(R"(
+    (declare-const x String)
+    (assert (not (= x "cat")))
+  )");
+  const auto result = solver.solve(query.assertions, assumption.assertions,
+                                   query.declared, /*context=*/nullptr);
+  EXPECT_EQ(result.status, CheckSatStatus::kUnsat);
+}
+
+TEST(DpllT, ExactLemmasRetainAcrossSolvesThroughContext) {
+  const auto annealer = fast_annealer(9);
+  const DpllTSolver solver(annealer);
+  // Every boolean model must pick a second str.len fact that contradicts
+  // the asserted one, so each round hits an exact ground conflict and the
+  // final verdict is a certified unsat.
+  const Query query = parse_query(R"(
+    (declare-const x String)
+    (assert (= (str.len x) 1))
+    (assert (or (= (str.len x) 2) (= (str.len x) 3)))
+  )");
+
+  smtlib::SolveContext context;
+  const auto first = solver.solve(query.assertions, {}, query.declared,
+                                  &context);
+  EXPECT_EQ(first.status, CheckSatStatus::kUnsat);
+  EXPECT_EQ(first.lemmas_retained, 0u);
+  EXPECT_GT(context.clause_memory().size(), 0u);
+
+  // The re-solve starts from the remembered conflicts.
+  const auto second = solver.solve(query.assertions, {}, query.declared,
+                                   &context);
+  EXPECT_EQ(second.status, CheckSatStatus::kUnsat);
+  EXPECT_GT(second.lemmas_retained, 0u);
+  EXPECT_EQ(context.stats().clauses_retained, second.lemmas_retained);
 }
 
 TEST(DpllT, PalindromeDisjunction) {

@@ -288,10 +288,39 @@ TEST(SmtDriver, PushPopRestoresDeclarations) {
   EXPECT_EQ(driver.scope_depth(), 0u);
 }
 
-TEST(SmtDriver, PopBelowBottomThrows) {
+TEST(SmtDriver, PopBelowBottomRepliesErrorAndSurvives) {
   const auto annealer = fast_annealer(23);
   SmtDriver driver(annealer);
-  EXPECT_THROW(driver.run_script("(pop)"), std::invalid_argument);
+  // z3-style: (pop) below depth 0 is an (error ...) reply, not an
+  // exception — the stack is untouched and the session keeps working.
+  std::string out = driver.run_script("(pop)");
+  EXPECT_EQ(out, "(error \"pop below the bottom of the assertion stack\")\n");
+  EXPECT_EQ(driver.scope_depth(), 0u);
+  out = driver.run_script(R"(
+    (declare-const x String)
+    (assert (= x "ok"))
+    (check-sat)
+    (pop 2)
+    (check-sat)
+  )");
+  EXPECT_EQ(out,
+            "sat\n(error \"pop below the bottom of the assertion stack\")\n"
+            "sat\n");
+}
+
+TEST(SmtDriver, CheckSatAssumingUndeclaredSymbolRepliesError) {
+  const auto annealer = fast_annealer(27);
+  SmtDriver driver(annealer);
+  const std::string out = driver.run_script(R"(
+    (declare-const x String)
+    (assert (= x "ab"))
+    (check-sat-assuming ((= (str.len y) 2)))
+    (check-sat)
+  )");
+  EXPECT_EQ(out,
+            "(error \"check-sat-assuming: undeclared symbol 'y'\")\nsat\n");
+  // The failed check left no verdict behind.
+  EXPECT_EQ(driver.history().size(), 1u);
 }
 
 TEST(SmtDriver, PushPopWithLevels) {

@@ -260,12 +260,19 @@ TEST(SmtFuzz, MalformedInputsThrowCleanly) {
       "(declare-const)",
       "(assert (= x))(",
       "\"unterminated",
-      "(declare-const x String)(assert (= x \"a\"))(pop)",
       "(get-value x)",
   };
   for (const char* script : bad_scripts) {
     smtlib::SmtDriver driver(annealer);
     EXPECT_THROW(driver.run_script(script), std::invalid_argument) << script;
+  }
+  // Stack misuse is well-formed SMT-LIB with a bad state, not a parse
+  // error: it replies (error ...) in the transcript and the session lives.
+  {
+    smtlib::SmtDriver driver(annealer);
+    const std::string out = driver.run_script(
+        "(declare-const x String)(assert (= x \"a\"))(pop)");
+    EXPECT_NE(out.find("(error "), std::string::npos);
   }
 }
 

@@ -14,10 +14,12 @@
 #include <thread>
 #include <vector>
 
+#include "anneal/exact.hpp"
 #include "anneal/simulated_annealer.hpp"
 #include "graph/chimera.hpp"
 #include "graph/embedding_cache.hpp"
 #include "server/client.hpp"
+#include "smtlib/driver.hpp"
 #include "server/server.hpp"
 #include "service/service.hpp"
 
@@ -256,6 +258,117 @@ TEST(ServerStress, MidSessionDisconnectCancelsInFlightExactlyOnce) {
   node.shutdown();
   EXPECT_EQ(node.service().stats().jobs_submitted,
             node.service().stats().jobs_completed);
+}
+
+/// Long incremental chains from eight concurrent socket sessions: every
+/// tenant's push/pop tower pins per-tenant forced witnesses, so any state
+/// bleeding between sessions (witness memory, warm starts, assertion
+/// stacks) would surface as a wrong model. The identical warm-up query all
+/// tenants start with must share the service's structure-keyed prepared
+/// cache across connections.
+TEST(ServerStress, ConcurrentIncrementalChainsStayTenantIsolated) {
+  server::ServerOptions options;
+  options.service = exact_service(4);
+  options.max_waiting = kNumClients * 4;
+  server::Server node(options);
+  const std::uint16_t port = node.listen(0);
+  node.start();
+
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kNumClients);
+  for (std::size_t c = 0; c < kNumClients; ++c) {
+    clients.emplace_back([&, c] {
+      const char p = static_cast<char>('a' + c);
+      const auto expect_model = [](char a, char b) {
+        return "sat\n(model (define-fun x () String \"" + std::string(1, a) +
+               std::string(1, b) + "\"))\n";
+      };
+      server::Client client;
+      client.connect(port);
+      client.request("(declare-const x String)"
+                     "(assert (= (str.len x) 2))");
+      // Shared warm-up: structurally identical across all tenants, so the
+      // pool's prepared-model cache must serve most of them warm.
+      if (client.request("(push 1)(assert (= x \"st\"))"
+                         "(check-sat)(get-model)") != expect_model('s', 't')) {
+        failures.fetch_add(1);
+      }
+      client.request("(pop 1)");
+      // Private tower: per-tenant prefix, mutated suffix every round.
+      client.request("(assert (str.prefixof \"" + std::string(1, p) +
+                     "\" x))(push 1)");
+      char q = 'k';
+      for (std::size_t round = 0; round < 6; ++round) {
+        q = static_cast<char>('k' + (c + round) % 6);
+        const std::string reply = client.request(
+            "(pop 1)(push 1)(assert (str.suffixof \"" + std::string(1, q) +
+            "\" x))(check-sat)(get-model)");
+        if (reply != expect_model(p, q)) failures.fetch_add(1);
+      }
+      // A pinned contradiction, then recovery to the surviving frame.
+      if (client.request("(push 1)(assert (= x \"zz\"))(check-sat)") !=
+          "unsat\n") {
+        failures.fetch_add(1);
+      }
+      if (client.request("(pop 1)(check-sat)(get-model)") !=
+          expect_model(p, q)) {
+        failures.fetch_add(1);
+      }
+      client.request("(exit)");
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  node.shutdown();
+
+  EXPECT_EQ(failures.load(), 0u);
+  const service::SolveService::Stats pool = node.service().stats();
+  EXPECT_EQ(pool.jobs_submitted, pool.jobs_completed);
+  // Eight tenants submitted the same warm-up structure; with four workers
+  // at most four can miss the prepared cache concurrently.
+  EXPECT_GE(pool.model_cache_hits, 1u);
+}
+
+/// The driver-level compiled-fragment cache is explicitly shareable across
+/// drivers (server embeddings, bench harnesses). Blocks are immutable and
+/// per-session state never enters the cache, so concurrent tenants sharing
+/// one cache must still get their own forced witnesses.
+TEST(ServerStress, SharedFragmentCacheNeverLeaksAcrossTenantDrivers) {
+  const anneal::ExactSolver exact;
+  const auto cache = std::make_shared<smtlib::FragmentCache>();
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> tenants;
+  tenants.reserve(kNumClients);
+  for (std::size_t c = 0; c < kNumClients; ++c) {
+    tenants.emplace_back([&, c] {
+      smtlib::SmtDriver driver(exact, strqubo::BuildOptions{}, cache);
+      driver.run_script("(declare-const x String)"
+                        "(assert (= (str.len x) 2))");
+      // Shared phase: every tenant compiles the same two fragments.
+      driver.run_script("(push 1)(assert (str.prefixof \"a\" x))"
+                        "(assert (str.suffixof \"b\" x))(check-sat)");
+      if (driver.history().back().model_value != "ab") failures.fetch_add(1);
+      driver.run_script("(pop 1)");
+      // Private phase: per-tenant, per-round forced equalities.
+      for (std::size_t round = 0; round < 6; ++round) {
+        const std::string target{static_cast<char>('a' + c),
+                                 static_cast<char>('k' + round)};
+        driver.run_script("(push 1)(assert (= x \"" + target +
+                          "\"))(check-sat)(pop 1)");
+        const auto& record = driver.history().back();
+        if (record.status != smtlib::CheckSatStatus::kSat ||
+            record.model_value != target) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& tenant : tenants) tenant.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  // The shared phase's fragments were built at most once per concurrent
+  // miss; later tenants must have hit the shared cache.
+  EXPECT_GE(cache->stats().hits, 1u);
 }
 
 /// Deterministic overload: with the single admission slot held and a line

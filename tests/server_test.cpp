@@ -284,6 +284,53 @@ TEST(SessionTest, AnswersAcrossFragmentedInput) {
   EXPECT_TRUE(session.exited());
 }
 
+TEST(SessionTest, PopBelowBottomRepliesErrorAndSurvives) {
+  service::SolveService service(exact_service());
+  server::Session session(service);
+  EXPECT_EQ(session.consume("(pop)"),
+            "(error \"pop below the bottom of the assertion stack\")\n");
+  EXPECT_FALSE(session.exited());
+  // The stack is untouched: the session keeps answering.
+  EXPECT_EQ(session.consume(
+                "(declare-const x String)(assert (= x \"ok\"))(check-sat)"),
+            "sat\n");
+  EXPECT_EQ(session.consume("(pop 3)"),
+            "(error \"pop below the bottom of the assertion stack\")\n");
+  EXPECT_EQ(session.consume("(check-sat)"), "sat\n");
+}
+
+TEST(SessionTest, CheckSatAssumingUndeclaredSymbolRepliesError) {
+  service::SolveService service(exact_service());
+  server::Session session(service);
+  session.consume("(declare-const x String)(assert (= x \"ab\"))");
+  EXPECT_EQ(session.consume("(check-sat-assuming ((= (str.len nope) 2)))"),
+            "(error \"check-sat-assuming: undeclared symbol 'nope'\")\n");
+  EXPECT_FALSE(session.exited());
+  EXPECT_EQ(session.consume("(check-sat)"), "sat\n");
+}
+
+TEST(SessionTest, IncrementalChainWarmStartsKeepVerdictsVerified) {
+  service::SolveService service(exact_service());
+  server::Session session(service);
+  // A push/pop mutation chain: every re-solve may ride the previous
+  // witness (warm start), and every verdict must still verify.
+  session.consume("(declare-const x String)");
+  EXPECT_EQ(session.consume("(assert (str.prefixof \"a\" x))"
+                            "(assert (= (str.len x) 2))(check-sat)"),
+            "sat\n");
+  EXPECT_EQ(session.consume("(push)(assert (str.suffixof \"b\" x))"
+                            "(check-sat)"),
+            "sat\n");
+  EXPECT_EQ(session.consume("(get-model)"),
+            "(model (define-fun x () String \"ab\"))\n");
+  EXPECT_EQ(session.consume("(pop)(push)(assert (str.suffixof \"c\" x))"
+                            "(check-sat)"),
+            "sat\n");
+  EXPECT_EQ(session.consume("(get-model)"),
+            "(model (define-fun x () String \"ac\"))\n");
+  EXPECT_EQ(session.consume("(pop)(check-sat)"), "sat\n");
+}
+
 TEST(SessionTest, PresolvedVerdictsNeedNoPool) {
   service::SolveService service(exact_service());
   server::Session session(service);
@@ -372,6 +419,39 @@ TEST(ServerSocket, RoundTripAndExit) {
   EXPECT_EQ(stats.sessions_closed, 1u);
   EXPECT_EQ(stats.frames, 5u);
   EXPECT_EQ(stats.frame_errors, 0u);
+}
+
+// check-sat-assuming over the socket transport: assumptions scope to one
+// check, forced witnesses pin the models, and an undeclared symbol draws
+// the same (error ...) reply the stdio transport gives.
+TEST(ServerSocket, CheckSatAssumingScopesPerCheckOverTheWire) {
+  server::ServerOptions options;
+  options.service = exact_service();
+  server::Server node(options);
+  const std::uint16_t port = node.listen(0);
+  node.start();
+
+  server::Client client;
+  client.connect(port);
+  EXPECT_EQ(client.request("(declare-const x String)"
+                           "(assert (= (str.len x) 2))"
+                           "(assert (str.suffixof \"b\" x))"),
+            "");
+  EXPECT_EQ(client.request("(check-sat-assuming ((str.prefixof \"a\" x)))"),
+            "sat\n");
+  EXPECT_EQ(client.request("(get-model)"),
+            "(model (define-fun x () String \"ab\"))\n");
+  EXPECT_EQ(client.request("(check-sat-assuming ((= x \"cb\")))"), "sat\n");
+  // The retracted assumptions did not enter the assertion stack: a plain
+  // check still answers, and a contradictory assumption is one-shot.
+  EXPECT_EQ(client.request("(check-sat-assuming ((= x \"zz\")))"), "unsat\n");
+  EXPECT_EQ(client.request("(check-sat)"), "sat\n");
+  EXPECT_EQ(client.request("(check-sat-assuming ((= nope \"b\")))"),
+            "(error \"check-sat-assuming: undeclared symbol 'nope'\")\n");
+  EXPECT_EQ(client.request("(check-sat)"), "sat\n");
+  EXPECT_EQ(client.request("(exit)"), "");
+  client.close();
+  node.shutdown();
 }
 
 TEST(ServerSocket, RequestSplitAcrossFramesIsOneCommandStream) {

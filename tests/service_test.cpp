@@ -120,6 +120,62 @@ TEST(Service, SolvesEasyConstraintAndReportsWinner) {
   EXPECT_GE(result.solve_seconds, 0.0);
 }
 
+TEST(Service, WarmStartFromExactWitnessDecidesJob) {
+  // Single-member portfolio: no sibling can cold-solve the tiny model
+  // before the warm refinement claims, so the hit is deterministic.
+  service::ServiceOptions options;
+  options.portfolio = {service::simulated_annealing_member("sa")};
+  service::SolveService service(options);
+  service::JobOptions job;
+  // The warm-start seed IS the (unique) solution: the reverse-anneal
+  // refinement starts on it, verification passes, and the job is decided
+  // warm — visible in the stats and in the result note.
+  job.warm_start = "warm";
+  const service::JobResult result =
+      service.submit(strqubo::Equality{"warm"}, job).get();
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kSat);
+  ASSERT_TRUE(result.text.has_value());
+  EXPECT_EQ(*result.text, "warm");
+  const service::SolveService::Stats stats = service.stats();
+  EXPECT_EQ(stats.warm_starts, 1u);
+  EXPECT_EQ(stats.warm_hits, 1u);
+  bool noted = false;
+  for (const std::string& note : result.notes) noted |= note == "warm start";
+  EXPECT_TRUE(noted);
+}
+
+TEST(Service, StaleWarmStartFallsBackCold) {
+  service::SolveService service;
+  service::JobOptions job;
+  // Wrong length: the encoded witness no longer type-checks against the
+  // model, so the refinement is skipped entirely and the cold race still
+  // solves the job.
+  job.warm_start = "far-too-long-for-this-model";
+  const service::JobResult result =
+      service.submit(strqubo::Equality{"ab"}, job).get();
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kSat);
+  ASSERT_TRUE(result.text.has_value());
+  EXPECT_EQ(*result.text, "ab");
+  const service::SolveService::Stats stats = service.stats();
+  EXPECT_EQ(stats.warm_starts, 0u);
+  EXPECT_EQ(stats.warm_hits, 0u);
+}
+
+TEST(Service, WrongWarmStartStillVerifiesBeforeWinning) {
+  service::SolveService service;
+  service::JobOptions job;
+  // Same length, wrong content: the refinement runs but its answer must
+  // pass classical verification, so a misleading seed can never corrupt
+  // the verdict — worst case the cold path pays the full solve.
+  job.warm_start = "xx";
+  const service::JobResult result =
+      service.submit(strqubo::Equality{"ab"}, job).get();
+  EXPECT_EQ(result.status, smtlib::CheckSatStatus::kSat);
+  ASSERT_TRUE(result.text.has_value());
+  EXPECT_EQ(*result.text, "ab");
+  EXPECT_EQ(service.stats().warm_starts, 1u);
+}
+
 TEST(Service, ScriptJobsPropagateCertifiedUnsat) {
   service::SolveService service;
   const service::JobResult result =

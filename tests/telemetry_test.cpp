@@ -17,12 +17,14 @@
 #include <thread>
 #include <vector>
 
+#include "anneal/exact.hpp"
 #include "anneal/simulated_annealer.hpp"
 #include "engine/engine.hpp"
 #include "qubo/qubo_model.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
 #include "service/service.hpp"
+#include "smtlib/driver.hpp"
 #include "telemetry/sink.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -326,6 +328,96 @@ TEST(BatchTelemetry, BatchedSampleEmitsDocumentedMetrics) {
     // Never interned on hosts without the AVX2 path.
     EXPECT_EQ(avx2, nullptr);
   }
+}
+
+// Pins the incremental-solving counters from docs/telemetry.md. The
+// workload walks every hot-resolve path through one driver: a cold first
+// solve, an unchanged re-check (witness reuse), a changed assumption that
+// the live witness fails (warm start over a fragment hit + miss), and
+// pushed/popped re-checks the witness still satisfies (more reuse). The
+// global counters must mirror the per-context deterministic stats
+// exactly — that equivalence is the documented contract.
+TEST(IncrementalTelemetry, HotResolveCountersMirrorContextStats) {
+  set_mode(Mode::kSummary);
+  reset();
+
+  const anneal::ExactSolver exact;
+  smtlib::SmtDriver driver(exact);
+  driver.run_script(
+      "(declare-const x String)"
+      "(assert (= (str.len x) 2))"
+      "(assert (str.suffixof \"b\" x))"
+      "(check-sat-assuming ((str.prefixof \"a\" x)))"  // cold, two misses
+      "(check-sat-assuming ((str.prefixof \"a\" x)))"  // witness reuse
+      "(check-sat-assuming ((str.prefixof \"c\" x)))"  // "ab" fails: warm
+      "(push)"
+      "(assert (str.prefixof \"c\" x))"
+      "(check-sat)"  // the depth-0 witness "cb" satisfies: reuse
+      "(pop)"
+      "(check-sat)");  // still satisfied after the pop: reuse
+
+  const smtlib::IncrementalStats stats = driver.solve_context().stats();
+  const smtlib::FragmentCache::Stats fragments =
+      driver.solve_context().fragments().stats();
+  EXPECT_GE(stats.cold_starts, 1u);
+  EXPECT_GE(stats.witness_reuses, 2u);
+  EXPECT_GE(stats.warm_starts, 1u);
+  EXPECT_GE(fragments.hits, 1u);
+  EXPECT_GE(fragments.misses, 1u);
+
+  const Snapshot snapshot = registry().snapshot();
+  const struct {
+    const char* name;
+    std::uint64_t expected;
+  } pins[] = {
+      {"incremental.fragment.hits", fragments.hits},
+      {"incremental.fragment.misses", fragments.misses},
+      {"incremental.witness.reuse", stats.witness_reuses},
+      {"incremental.warm.starts", stats.warm_starts},
+      {"incremental.warm.hits", stats.warm_hits},
+      {"incremental.cold.starts", stats.cold_starts},
+  };
+  for (const auto& pin : pins) {
+    const CounterStat* counter = snapshot.counter(pin.name);
+    if (pin.expected == 0) {
+      // A counter that never fired is simply not interned.
+      if (counter != nullptr) {
+        EXPECT_EQ(counter->value, 0u) << pin.name;
+      }
+      continue;
+    }
+    ASSERT_NE(counter, nullptr) << pin.name;
+    EXPECT_EQ(counter->value, pin.expected) << pin.name;
+  }
+}
+
+// Re-solving a certified-unsat disjunction through one SolveContext loads
+// the exact theory lemmas remembered by the first DPLL(T) run back into
+// the second, and the retention counter mirrors the context stat.
+TEST(IncrementalTelemetry, RetainedTheoryLemmasEmitClauseCounter) {
+  set_mode(Mode::kSummary);
+  reset();
+
+  const anneal::ExactSolver exact;
+  smtlib::SolveContext context;
+  const std::string script =
+      "(declare-const x String)"
+      "(assert (= (str.len x) 1))"
+      "(assert (or (= (str.len x) 2) (= (str.len x) 3)))"
+      "(check-sat)";
+  const engine::ScriptResult first =
+      engine::solve_script(script, exact, {}, /*force_dpllt=*/true, &context);
+  EXPECT_EQ(first.status, smtlib::CheckSatStatus::kUnsat);
+  const engine::ScriptResult second =
+      engine::solve_script(script, exact, {}, /*force_dpllt=*/true, &context);
+  EXPECT_EQ(second.status, smtlib::CheckSatStatus::kUnsat);
+
+  const Snapshot snapshot = registry().snapshot();
+  const CounterStat* retained =
+      snapshot.counter("incremental.clauses.retained");
+  ASSERT_NE(retained, nullptr);
+  EXPECT_GT(retained->value, 0u);
+  EXPECT_EQ(retained->value, context.stats().clauses_retained);
 }
 
 // Same pin for the service fusion counters: a deterministic fused batch
