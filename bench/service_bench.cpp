@@ -15,6 +15,12 @@
 //     lane's cycles — this pays even on a single-core host;
 //   * the worker pool overlaps jobs across cores when there are any.
 //
+// A third, single-member configuration (one sa lane at the baseline's
+// budget) isolates pure pool overlap: with nobody racing, the winner's
+// claim skips the per-job CancelSource broadcast entirely, so this is the
+// no-race-scaffolding number operators should expect from `--exact`-style
+// single-lane deployments.
+//
 // Writes BENCH_service.json in the CWD (run from the repo root to refresh
 // the tracked baseline). The acceptance bar for the serving layer is a
 // >= 2x batch-throughput ratio at 8 workers.
@@ -120,10 +126,28 @@ int main() {
   const std::uint64_t service_reads =
       total_anneal_reads() - reads_before_service;
 
+  // Single-member configuration: the same pool with a one-lane portfolio
+  // (the sequential baseline's annealer budget). There is no race here, so
+  // the service must not pay race scaffolding per job — the winner's
+  // claim skips the CancelSource broadcast when nobody else is listening —
+  // and the ratio over sequential isolates pure pool overlap.
+  service::ServiceOptions solo_options;
+  solo_options.num_workers = kNumWorkers;
+  solo_options.portfolio = {service::simulated_annealing_member("sa-solo")};
+  service::SolveService solo_service(solo_options);
+  const std::uint64_t reads_before_solo = total_anneal_reads();
+  Stopwatch solo_timer;
+  const std::vector<service::JobResult> solo =
+      solo_service.solve_scripts(scripts, job);
+  const double solo_seconds = solo_timer.elapsed_seconds();
+  const std::uint64_t solo_reads = total_anneal_reads() - reads_before_solo;
+
   const double sequential_rps =
       static_cast<double>(sequential_reads) / sequential_seconds;
   const double service_rps =
       static_cast<double>(service_reads) / service_seconds;
+  const double solo_rps = static_cast<double>(solo_reads) / solo_seconds;
+  const double solo_jps = static_cast<double>(scripts.size()) / solo_seconds;
   const double sequential_jps =
       static_cast<double>(scripts.size()) / sequential_seconds;
   const double service_jps =
@@ -146,6 +170,9 @@ int main() {
             << service_jps << " jobs/s, " << service_rps << " reads/s, "
             << count_decided(raced) << " decided, " << fast_wins
             << " sa-fast wins, " << cancelled << " members cancelled)\n";
+  std::cout << "  single-member service:    " << solo_seconds << " s ("
+            << solo_jps << " jobs/s, " << solo_rps << " reads/s, "
+            << count_decided(solo) << " decided, no race scaffolding)\n";
   std::cout << "  throughput ratio:         " << ratio << "x\n";
 
   const unsigned hw = std::thread::hardware_concurrency();
@@ -166,6 +193,10 @@ int main() {
       << "  \"service_seconds\": " << service_seconds << ",\n"
       << "  \"service_jobs_per_second\": " << service_jps << ",\n"
       << "  \"service_reads_per_second\": " << service_rps << ",\n"
+      << "  \"single_member_seconds\": " << solo_seconds << ",\n"
+      << "  \"single_member_jobs_per_second\": " << solo_jps << ",\n"
+      << "  \"single_member_reads_per_second\": " << solo_rps << ",\n"
+      << "  \"single_member_ratio\": " << solo_jps / sequential_jps << ",\n"
       << "  \"throughput_ratio\": " << ratio << ",\n"
       << "  \"sa_fast_wins\": " << fast_wins << ",\n"
       << "  \"members_cancelled\": " << cancelled << "\n"

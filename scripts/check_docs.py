@@ -32,6 +32,11 @@ docs/*.md, plus any root-level markdown they link to):
    docs/incremental.md, so the hot re-solve contract (invalidation rules,
    warm-start semantics) cannot silently fall behind the API.
 
+7. Route coverage: every public class/struct and free function declared
+   in src/route/*.hpp must appear by name in docs/routing.md, so the
+   adaptive router's docs (decision lanes, confidence gates, replay
+   harness) cannot silently fall behind the API.
+
 Exits non-zero with one line per problem.
 """
 
@@ -150,6 +155,20 @@ def check_incremental_coverage() -> list:
     ]
 
 
+def check_route_coverage() -> list:
+    doc = (REPO / "docs/routing.md").read_text(encoding="utf-8")
+    names = set()
+    for header in sorted((REPO / "src/route").glob("*.hpp")):
+        body = header.read_text(encoding="utf-8")
+        names.update(SERVICE_TYPE_RE.findall(body))
+        names.update(SERVICE_FUNC_RE.findall(body))
+    return [
+        f"docs/routing.md: route API `{name}` is undocumented"
+        for name in sorted(names)
+        if name not in doc
+    ]
+
+
 def main() -> int:
     errors = (
         check_links()
@@ -158,6 +177,7 @@ def main() -> int:
         + check_conformance_coverage()
         + check_server_coverage()
         + check_incremental_coverage()
+        + check_route_coverage()
     )
     for err in errors:
         print(f"check_docs: {err}", file=sys.stderr)

@@ -65,6 +65,14 @@ echo "=== server_bench --smoke ==="
 echo "=== incremental_bench --smoke ==="
 ./build/bench/incremental_bench --smoke
 
+# Routing stage: a trained router against the full race over a seeded
+# mixed workload — byte-equal verdicts are a hard failure, and routed
+# mean latency must stay at or under the full race's. The >= 1.5x
+# cores-per-job reduction gate, as above, only fires in the full
+# (JSON-writing) run.
+echo "=== route_bench --smoke ==="
+./build/bench/route_bench --smoke
+
 if [[ "${skip_sanitizers}" == "1" ]]; then
   echo "=== sanitizer stages skipped ==="
   exit 0
@@ -78,15 +86,18 @@ fi
 # transport's reader threads, admission gate, and disconnect-cancellation
 # races), plus the incremental differential chains (fragment-cache LRU
 # mutation under reuse, context-carried clause memory, and the shared-cache
-# concurrency schedules). The binaries run directly (rather than via ctest)
-# so the subset is exact regardless of which gtest case names discovery
-# registered.
+# concurrency schedules), plus the router suites (the shared win/loss
+# table is mutated from every worker thread at enqueue and completion,
+# and the fuzz differential drives it through full 216-job streams). The
+# binaries run directly (rather than via ctest) so the subset is exact
+# regardless of which gtest case names discovery registered.
 subset=(annealer_test hotpath_test batched_kernel_test qubo_builder_test
         qubo_model_test adjacency_test sample_set_test schedule_test
         builders_test pimc_test embedding_test embedded_sampler_test
         quantum_hotpath_test quantum_conformance_test
         service_test conformance_test corpus_test
-        server_test server_stress_test incremental_test)
+        server_test server_stress_test incremental_test
+        router_test router_fuzz_test)
 
 for san in address undefined; do
   echo "=== ${san} sanitizer build (build-${san}/) ==="

@@ -1,0 +1,117 @@
+#include "route/features.hpp"
+
+#include <bit>
+#include <map>
+#include <mutex>
+#include <variant>
+
+#include "conformance/registry.hpp"
+
+namespace qsmt::route {
+namespace {
+
+GapClass classify_gap(double floor) noexcept {
+  if (floor < 0.5) return GapClass::kFractional;
+  if (floor < 1.5) return GapClass::kUnit;
+  return GapClass::kWide;
+}
+
+// Minimum proven gap_floor per op family over the conformance registry's
+// positive cases (negative controls document known-by-design defects; their
+// floors describe the defect, not the production formulation). Built once:
+// all_cases() materializes every exhaustive-spectrum model, which is far too
+// heavy to run per job.
+const std::map<std::string, GapClass>& gap_table() {
+  static const std::map<std::string, GapClass> table = [] {
+    std::map<std::string, double> floors;
+    for (const auto& kase : conformance::all_cases()) {
+      if (!kase.expect_sound || !kase.expect_complete) continue;
+      auto [it, inserted] = floors.emplace(kase.op, kase.gap_floor);
+      if (!inserted && kase.gap_floor < it->second) it->second = kase.gap_floor;
+    }
+    std::map<std::string, GapClass> classed;
+    for (const auto& [op, floor] : floors) classed.emplace(op, classify_gap(floor));
+    return classed;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::string JobFeatures::bucket_key() const {
+  std::string key = op;
+  key += "/v";
+  key += std::to_string(size_bucket);
+  key += '/';
+  key += density_class_name(density);
+  key += '/';
+  key += gap_class_name(gap);
+  return key;
+}
+
+const char* density_class_name(DensityClass density) noexcept {
+  switch (density) {
+    case DensityClass::kDiagonal: return "diag";
+    case DensityClass::kQuadratic: return "quad";
+    case DensityClass::kAncilla: return "ancilla";
+  }
+  return "diag";
+}
+
+const char* gap_class_name(GapClass gap) noexcept {
+  switch (gap) {
+    case GapClass::kFractional: return "frac";
+    case GapClass::kUnit: return "unit";
+    case GapClass::kWide: return "wide";
+  }
+  return "unit";
+}
+
+std::size_t size_bucket_of(std::size_t num_variables) noexcept {
+  return std::bit_width(num_variables);
+}
+
+DensityClass density_class_of(const strqubo::Constraint& constraint) {
+  return std::visit(
+      [](const auto& c) -> DensityClass {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, strqubo::Includes> ||
+                      std::is_same_v<T, strqubo::Palindrome>) {
+          // Position one-hots / mirrored-bit XNOR gadgets: quadratic
+          // couplings dominate the model.
+          return DensityClass::kQuadratic;
+        } else if constexpr (std::is_same_v<T, strqubo::RegexMatch>) {
+          // Character classes compile to quadratic disjunction gadgets;
+          // literal-only patterns stay diagonal like Equality.
+          return c.pattern.find('[') != std::string::npos
+                     ? DensityClass::kQuadratic
+                     : DensityClass::kDiagonal;
+        } else if constexpr (std::is_same_v<T, strqubo::NotContains> ||
+                             std::is_same_v<T, strqubo::BoundedLength>) {
+          // The only formulations that allocate auxiliary variables beyond
+          // the 7n string bits (quadratized windows / length selectors).
+          return DensityClass::kAncilla;
+        } else {
+          return DensityClass::kDiagonal;
+        }
+      },
+      constraint);
+}
+
+GapClass gap_class_of(const std::string& op) {
+  const auto& table = gap_table();
+  auto it = table.find(op);
+  return it == table.end() ? GapClass::kUnit : it->second;
+}
+
+JobFeatures extract_features(const strqubo::Constraint& constraint) {
+  JobFeatures features;
+  features.op = strqubo::constraint_name(constraint);
+  features.num_variables = strqubo::constraint_num_variables(constraint);
+  features.size_bucket = size_bucket_of(features.num_variables);
+  features.density = density_class_of(constraint);
+  features.gap = gap_class_of(features.op);
+  return features;
+}
+
+}  // namespace qsmt::route

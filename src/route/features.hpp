@@ -1,0 +1,74 @@
+// Structural job features for adaptive portfolio routing.
+//
+// The router (route/router.hpp) never inspects a QUBO matrix or runs a
+// sampler to pick a lane: every feature here is O(constraint) to extract —
+// the op family, the variable count the builder will allocate, a density
+// class derived from which penalty machinery the formulation uses, and a
+// spectrum-gap class looked up from the conformance kit's proven per-op gap
+// floors (src/conformance/registry.cpp). Features fold into a small string
+// bucket key; the router keeps one win/loss table row per bucket, so jobs
+// that look alike share dispatch history (Bian et al., arXiv 1811.02524:
+// spend reads on the sampler history says wins this shape).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "strqubo/constraint.hpp"
+
+namespace qsmt::route {
+
+/// Which penalty machinery the formulation uses — the structural axis that
+/// separates "annealer-easy" diagonal models from gadget-heavy ones.
+enum class DensityClass {
+  kDiagonal,   ///< Diagonal-only bias models (§4.1-§4.3, §4.5-§4.9, literals).
+  kQuadratic,  ///< Quadratic penalty gadgets (includes, palindrome, classes).
+  kAncilla,    ///< Auxiliary variables beyond the string bits (quadratized
+               ///< not-contains windows, bounded-length selectors).
+};
+
+/// Coarse class of the conformance-proven spectrum gap between the ground
+/// band and the best classically-violating object for this op family.
+enum class GapClass {
+  kFractional,  ///< Gap floor below A/2 (soft-biased encodings, §4.11 classes).
+  kUnit,        ///< Gap floor about A (most generating formulations).
+  kWide,        ///< Gap floor 2A or better (strong-multiplier windows).
+};
+
+/// Cheap structural description of one constraint job. Everything the
+/// router keys on; extraction never builds the model.
+struct JobFeatures {
+  /// Op family as reported by strqubo::constraint_name ("equality", ...).
+  std::string op;
+  /// QUBO variables the builder will allocate (constraint_num_variables).
+  std::size_t num_variables = 0;
+  /// Log2 bucket of num_variables (size_bucket_of), so one table row covers
+  /// a band of similar model sizes instead of one row per exact size.
+  std::size_t size_bucket = 0;
+  DensityClass density = DensityClass::kDiagonal;
+  GapClass gap = GapClass::kUnit;
+
+  /// The routing-table key: "op/v<size_bucket>/<density>/<gap>". Two jobs
+  /// with equal keys share dispatch history.
+  std::string bucket_key() const;
+};
+
+const char* density_class_name(DensityClass density) noexcept;
+const char* gap_class_name(GapClass gap) noexcept;
+
+/// Log2 size bucketing: 0 for an empty model, otherwise bit_width(n).
+std::size_t size_bucket_of(std::size_t num_variables) noexcept;
+
+/// Density class from the constraint's structure alone (no build): which
+/// alternative it is, plus — for regex — whether the pattern uses classes.
+DensityClass density_class_of(const strqubo::Constraint& constraint);
+
+/// Spectrum-gap class for an op family: the minimum proven gap_floor over
+/// the conformance registry's cases for that op (computed once per process;
+/// ops without a registry case default to kUnit).
+GapClass gap_class_of(const std::string& op);
+
+/// Full feature extraction for one constraint job.
+JobFeatures extract_features(const strqubo::Constraint& constraint);
+
+}  // namespace qsmt::route

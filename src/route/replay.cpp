@@ -1,0 +1,90 @@
+#include "route/replay.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace qsmt::route {
+
+std::vector<ReplayedDecision> replay(Router& router,
+                                     const std::vector<ReplayStep>& stream) {
+  std::vector<ReplayedDecision> decisions;
+  decisions.reserve(stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const ReplayStep& step = stream[i];
+    ReplayedDecision replayed;
+    replayed.step = i;
+    replayed.decision = router.decide(step.features);
+    replayed.outcome = step.outcome;
+
+    const std::string& bucket = replayed.decision.bucket;
+    const std::size_t winner = step.outcome.winner;
+    if (replayed.decision.action == RouteAction::kRace) {
+      if (winner == RecordedOutcome::kNoWinner) {
+        for (std::size_t m = 0; m < router.num_members(); ++m) {
+          router.record_loss(bucket, m);
+        }
+      } else {
+        router.record_win(bucket, winner, /*was_race=*/true);
+      }
+    } else {
+      replayed.hit = replayed.decision.member == winner;
+      if (replayed.hit) {
+        router.record_win(bucket, winner, /*was_race=*/false);
+      } else {
+        // Routed member failed to decide: the service falls back to racing
+        // the remaining members, where the recorded winner (if any) wins.
+        router.record_fallback(bucket, replayed.decision.member);
+        if (winner != RecordedOutcome::kNoWinner) {
+          router.record_win(bucket, winner, /*was_race=*/false);
+        }
+      }
+    }
+    decisions.push_back(std::move(replayed));
+  }
+  return decisions;
+}
+
+std::string step_line(const ReplayedDecision& decision, const Router& router) {
+  auto member_name = [&](std::size_t index) -> std::string {
+    if (index < router.num_members()) return router.member_names()[index];
+    return "?";
+  };
+
+  std::ostringstream out;
+  out << '#' << std::setfill('0') << std::setw(2) << decision.step << ' '
+      << decision.decision.bucket << ' ';
+  if (decision.decision.action == RouteAction::kRace) {
+    out << "race("
+        << (decision.decision.reason == RaceReason::kExplore
+                ? "explore"
+                : "low_confidence")
+        << ')';
+    if (decision.outcome.winner == RecordedOutcome::kNoWinner) {
+      out << " winner=none";
+    } else {
+      out << " winner=" << member_name(decision.outcome.winner);
+    }
+  } else {
+    out << "route member=" << member_name(decision.decision.member);
+    if (decision.hit) {
+      out << " hit";
+    } else if (decision.outcome.winner == RecordedOutcome::kNoWinner) {
+      out << " miss winner=none";
+    } else {
+      out << " miss winner=" << member_name(decision.outcome.winner);
+    }
+  }
+  return out.str();
+}
+
+std::string transcript(const std::vector<ReplayedDecision>& decisions,
+                       const Router& router) {
+  std::string out;
+  for (const ReplayedDecision& decision : decisions) {
+    out += step_line(decision, router);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace qsmt::route

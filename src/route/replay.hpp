@@ -1,0 +1,67 @@
+// Replayable routing-decision harness (the ISSUE 9 test archetype).
+//
+// A recorded workload is a stream of ReplayStep: the job's structural
+// features plus the ground-truth per-member outcome (which member's witness
+// verified first, or that nobody decided). replay() drives the stream
+// through a Router exactly the way SolveService does — decide, dispatch,
+// feed the outcome back — and renders each decision as one transcript
+// line. Because the router's only nondeterminism knob is the per-bucket
+// decision counter (no RNG), the transcript is a pure function of
+// (RouterOptions, stream): tests pin it verbatim, so any routing-policy
+// change shows up as a readable test diff rather than a silent behaviour
+// shift (tests/router_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "route/features.hpp"
+#include "route/router.hpp"
+
+namespace qsmt::route {
+
+/// Ground truth for one recorded job: which portfolio member's witness
+/// verified (race order under one worker), or kNoWinner when every member
+/// exhausted its attempts undecided.
+struct RecordedOutcome {
+  static constexpr std::size_t kNoWinner = static_cast<std::size_t>(-1);
+  std::size_t winner = kNoWinner;
+};
+
+struct ReplayStep {
+  JobFeatures features;
+  RecordedOutcome outcome;
+};
+
+/// What one replayed step did, mirroring the service's dispatch + feedback
+/// protocol (see step_line() for the rendering):
+///  * kRace decision          -> winner wins the race (losses to siblings),
+///                               or every member takes a loss on kNoWinner;
+///  * kRoute hitting winner   -> routed member records a win;
+///  * kRoute missing winner   -> fallback recorded against the routed
+///                               member, then the true winner wins the
+///                               fallback race.
+struct ReplayedDecision {
+  std::size_t step = 0;
+  RouteDecision decision;
+  RecordedOutcome outcome;
+  /// kRoute only: routed member matched the recorded winner.
+  bool hit = false;
+};
+
+/// Drives the stream through `router` and returns one entry per step.
+std::vector<ReplayedDecision> replay(Router& router,
+                                     const std::vector<ReplayStep>& stream);
+
+/// One pinned transcript line, e.g.
+///   "#04 equality/v6/diag/unit race(low_confidence) winner=sa-fast"
+///   "#17 includes/v5/quad/wide route member=sa-fast hit"
+///   "#21 reverse/v6/diag/unit route member=pimc-light miss winner=sa-fast"
+std::string step_line(const ReplayedDecision& decision, const Router& router);
+
+/// The whole transcript, one step_line per entry, '\n'-terminated.
+std::string transcript(const std::vector<ReplayedDecision>& decisions,
+                       const Router& router);
+
+}  // namespace qsmt::route

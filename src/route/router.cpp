@@ -1,0 +1,226 @@
+#include "route/router.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "telemetry/telemetry.hpp"
+
+namespace qsmt::route {
+namespace {
+
+void bump(const char* name) {
+  if (telemetry::enabled()) telemetry::counter(name).add();
+}
+
+}  // namespace
+
+Router::Router(std::vector<std::string> member_names, RouterOptions options)
+    : member_names_(std::move(member_names)), options_(options) {}
+
+bool Router::confident_best(const Bucket& bucket, std::size_t* best) const {
+  std::uint64_t observations = 0;
+  double best_rate = -1.0;
+  std::size_t best_index = 0;
+  for (std::size_t i = 0; i < bucket.members.size(); ++i) {
+    const MemberCell& cell = bucket.members[i];
+    const std::uint64_t seen = cell.wins + cell.losses;
+    observations += seen;
+    // Win RATE, not win count: fallback losses recorded against a routed
+    // member erode its rate, so a member that stops winning a bucket loses
+    // its routing claim there instead of coasting on stale wins. Strict >
+    // keeps ties at the lowest index — deterministic, and the same order a
+    // single-worker race tries members in.
+    const double rate =
+        seen == 0 ? 0.0
+                  : static_cast<double>(cell.wins) / static_cast<double>(seen);
+    if (rate > best_rate) {
+      best_rate = rate;
+      best_index = i;
+    }
+  }
+  if (observations < options_.min_observations) return false;
+  if (best_rate < options_.min_win_rate) return false;
+  *best = best_index;
+  return true;
+}
+
+RouteDecision Router::decide(const JobFeatures& features) {
+  RouteDecision decision;
+  decision.bucket = features.bucket_key();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.decisions;
+  bump("route.decisions");
+
+  auto it = buckets_.find(decision.bucket);
+  if (it == buckets_.end()) {
+    if (options_.max_buckets != 0 && buckets_.size() >= options_.max_buckets) {
+      // Table full: novel shapes race (and stay untrained) rather than
+      // evicting a learned bucket.
+      ++stats_.races_low_confidence;
+      bump("route.race.low_confidence");
+      return decision;
+    }
+    it = buckets_.emplace(decision.bucket, Bucket{}).first;
+    it->second.members.resize(member_names_.size());
+    stats_.buckets = buckets_.size();
+  }
+  Bucket& bucket = it->second;
+  const std::uint64_t ordinal = bucket.decisions++;
+
+  std::size_t best = 0;
+  if (!confident_best(bucket, &best)) {
+    ++stats_.races_low_confidence;
+    bump("route.race.low_confidence");
+    return decision;
+  }
+  if (options_.explore_period != 0 && ordinal % options_.explore_period == 0) {
+    decision.reason = RaceReason::kExplore;
+    ++stats_.races_explore;
+    bump("route.race.explore");
+    return decision;
+  }
+  decision.action = RouteAction::kRoute;
+  decision.reason = RaceReason::kNone;
+  decision.member = best;
+  ++stats_.routed;
+  bump("route.routed");
+  return decision;
+}
+
+void Router::record_win(const std::string& bucket_key, std::size_t member,
+                        bool was_race) {
+  if (member >= member_names_.size()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(bucket_key);
+  if (it == buckets_.end()) return;
+  Bucket& bucket = it->second;
+  ++bucket.members[member].wins;
+  ++stats_.wins_recorded;
+  bump("route.record.wins");
+  if (was_race) {
+    // The win proves every sibling lost this race; routed dispatches ran
+    // nobody else, so there is nothing to debit.
+    for (std::size_t i = 0; i < bucket.members.size(); ++i) {
+      if (i == member) continue;
+      ++bucket.members[i].losses;
+      ++stats_.losses_recorded;
+      bump("route.record.losses");
+    }
+  }
+}
+
+void Router::record_loss(const std::string& bucket_key, std::size_t member) {
+  if (member >= member_names_.size()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(bucket_key);
+  if (it == buckets_.end()) return;
+  ++it->second.members[member].losses;
+  ++stats_.losses_recorded;
+  bump("route.record.losses");
+}
+
+void Router::record_fallback(const std::string& bucket_key,
+                             std::size_t member) {
+  if (member >= member_names_.size()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.fallbacks;
+  bump("route.fallbacks");
+  auto it = buckets_.find(bucket_key);
+  if (it == buckets_.end()) return;
+  ++it->second.members[member].losses;
+  ++stats_.losses_recorded;
+  bump("route.record.losses");
+}
+
+RouterStats Router::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<BucketRecord> Router::table() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<BucketRecord> records;
+  records.reserve(buckets_.size());
+  for (const auto& [key, bucket] : buckets_) {
+    BucketRecord record;
+    record.bucket = key;
+    record.decisions = bucket.decisions;
+    record.members.reserve(bucket.members.size());
+    for (std::size_t i = 0; i < bucket.members.size(); ++i) {
+      record.members.push_back(MemberRecord{member_names_[i],
+                                            bucket.members[i].wins,
+                                            bucket.members[i].losses});
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::string Router::save_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "qsmt-router-snapshot v1\n";
+  for (const auto& [key, bucket] : buckets_) {
+    out << "bucket " << key << ' ' << bucket.decisions << '\n';
+    for (std::size_t i = 0; i < bucket.members.size(); ++i) {
+      const MemberCell& cell = bucket.members[i];
+      if (cell.wins == 0 && cell.losses == 0) continue;
+      out << "member " << member_names_[i] << ' ' << cell.wins << ' '
+          << cell.losses << '\n';
+    }
+  }
+  return out.str();
+}
+
+bool Router::load_snapshot(const std::string& snapshot) {
+  std::istringstream in(snapshot);
+  std::string line;
+  if (!std::getline(in, line) || line != "qsmt-router-snapshot v1") {
+    return false;
+  }
+
+  std::map<std::string, std::size_t> index_of;
+  for (std::size_t i = 0; i < member_names_.size(); ++i) {
+    index_of.emplace(member_names_[i], i);
+  }
+
+  std::map<std::string, Bucket> loaded;
+  Bucket* current = nullptr;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "bucket") {
+      std::string key;
+      std::uint64_t decisions = 0;
+      if (!(fields >> key >> decisions)) return false;
+      Bucket bucket;
+      bucket.decisions = decisions;
+      bucket.members.resize(member_names_.size());
+      current = &loaded.emplace(std::move(key), std::move(bucket))
+                     .first->second;
+    } else if (kind == "member") {
+      std::string name;
+      std::uint64_t wins = 0;
+      std::uint64_t losses = 0;
+      if (current == nullptr || !(fields >> name >> wins >> losses)) {
+        return false;
+      }
+      auto it = index_of.find(name);
+      if (it == index_of.end()) continue;  // renamed/removed member
+      current->members[it->second].wins = wins;
+      current->members[it->second].losses = losses;
+    } else {
+      return false;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  buckets_ = std::move(loaded);
+  stats_.buckets = buckets_.size();
+  return true;
+}
+
+}  // namespace qsmt::route

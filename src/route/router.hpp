@@ -1,0 +1,179 @@
+// Adaptive portfolio router: the win/loss table that converts "race every
+// member on every job" into "dispatch the member history says wins here."
+//
+// The service consults decide() before enqueueing a job's member tasks.
+// Each decision lands in one of three lanes:
+//
+//   kRoute — one bucket (features.hpp) has enough observations and a clear
+//            enough winner; only that member runs. Seeds are preserved, so
+//            a routed run of member M is bit-identical to M's leg of the
+//            full race.
+//   kRace (low_confidence) — the bucket is unseen or contested; every
+//            member races exactly as before and the outcome trains the
+//            table.
+//   kRace (explore) — even in confident buckets, every explore_period-th
+//            decision races deliberately so the table never goes stale
+//            when the workload (or a member's implementation) shifts. The
+//            explore trigger is a per-bucket decision counter, NOT a RNG —
+//            replaying a recorded decision stream (replay.hpp) reproduces
+//            the dispatch sequence exactly.
+//
+// Outcomes feed back through record_win / record_loss / record_fallback;
+// every mutation also bumps a route.* telemetry counter (docs/telemetry.md)
+// and a deterministic RouterStats mirror. The table serializes to a
+// name-keyed text snapshot (save_snapshot / load_snapshot) so learned
+// dispatch survives restarts and portfolio reordering.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "route/features.hpp"
+
+namespace qsmt::route {
+
+struct RouterOptions {
+  /// Win/loss outcomes (summed across members) a bucket must accumulate
+  /// before routing can engage there — one full race of an N-member
+  /// portfolio records N outcomes.
+  std::size_t min_observations = 3;
+  /// Minimum win rate (wins / (wins + losses)) the bucket's best member
+  /// must hold to be routed to. Fallback losses push a failing member back
+  /// under this bar, reopening the race.
+  double min_win_rate = 0.55;
+  /// In confident buckets, every explore_period-th decision still races
+  /// (deterministic per-bucket counter). 0 disables exploration.
+  std::size_t explore_period = 16;
+  /// Bucket-table size cap; decide() answers kRace for novel buckets past
+  /// it (existing buckets keep learning). 0 means unbounded.
+  std::size_t max_buckets = 4096;
+};
+
+enum class RouteAction {
+  kRoute,  ///< Dispatch only `member`.
+  kRace,   ///< Race the full portfolio.
+};
+
+/// Why a kRace decision raced (kRoute decisions carry kNone).
+enum class RaceReason {
+  kNone,
+  kLowConfidence,  ///< Bucket unseen, under-observed, or contested.
+  kExplore,        ///< Confident bucket, periodic deliberate race.
+};
+
+struct RouteDecision {
+  RouteAction action = RouteAction::kRace;
+  RaceReason reason = RaceReason::kLowConfidence;
+  /// Portfolio index to dispatch when action == kRoute.
+  std::size_t member = 0;
+  /// The bucket this decision consulted (feedback goes back to it).
+  std::string bucket;
+};
+
+/// Deterministic mirror of the route.* telemetry counters, readable even
+/// with QSMT_TELEMETRY=off.
+struct RouterStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t routed = 0;
+  std::uint64_t races_low_confidence = 0;
+  std::uint64_t races_explore = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t wins_recorded = 0;
+  std::uint64_t losses_recorded = 0;
+  std::uint64_t buckets = 0;
+};
+
+/// One member's ledger inside a bucket (snapshot / introspection view).
+struct MemberRecord {
+  std::string name;
+  std::uint64_t wins = 0;
+  std::uint64_t losses = 0;
+};
+
+/// One bucket's ledger (introspection view; see Router::table()).
+struct BucketRecord {
+  std::string bucket;
+  std::uint64_t decisions = 0;
+  std::vector<MemberRecord> members;
+};
+
+class Router {
+ public:
+  /// `member_names` fixes the portfolio this router learns over, in
+  /// portfolio index order (service::portfolio_names). Decisions return
+  /// indices into this list; snapshots are keyed by name so a reordered
+  /// portfolio re-maps cleanly on load.
+  Router(std::vector<std::string> member_names, RouterOptions options = {});
+
+  std::size_t num_members() const noexcept { return member_names_.size(); }
+  const std::vector<std::string>& member_names() const noexcept {
+    return member_names_;
+  }
+  const RouterOptions& options() const noexcept { return options_; }
+
+  /// The dispatch decision for one job. Mutates the bucket's decision
+  /// counter (that is what makes explore deterministic), so two decide()
+  /// calls on the same features may answer differently — by design.
+  RouteDecision decide(const JobFeatures& features);
+
+  /// Member `member` produced the verified winning witness for a job in
+  /// `bucket`; every other racing member (all of them for a race, none for
+  /// a routed dispatch) is recorded as a loss.
+  void record_win(const std::string& bucket, std::size_t member,
+                  bool was_race);
+
+  /// Member `member` lost (raced and was beaten, errored out, or exhausted
+  /// its attempts) in `bucket`.
+  void record_loss(const std::string& bucket, std::size_t member);
+
+  /// A routed dispatch of `member` failed to decide its job and the
+  /// service fell back to racing the remaining members. Counts as a loss
+  /// for `member` plus a fallback, so a member that starts failing a
+  /// bucket loses its routing claim there.
+  void record_fallback(const std::string& bucket, std::size_t member);
+
+  RouterStats stats() const;
+
+  /// Full table contents, bucket-sorted (tests, debugging, snapshots).
+  std::vector<BucketRecord> table() const;
+
+  /// Serializes the ledger to a line-oriented text snapshot:
+  ///   qsmt-router-snapshot v1
+  ///   bucket <key> <decisions>
+  ///   member <name> <wins> <losses>
+  /// Member lines attach to the preceding bucket line.
+  std::string save_snapshot() const;
+
+  /// Replaces the ledger from save_snapshot() output. Member lines naming
+  /// members absent from this router's portfolio are dropped (that is the
+  /// reordering/renaming story). Returns false (ledger untouched) on a
+  /// malformed snapshot.
+  bool load_snapshot(const std::string& snapshot);
+
+ private:
+  struct MemberCell {
+    std::uint64_t wins = 0;
+    std::uint64_t losses = 0;
+  };
+  struct Bucket {
+    std::uint64_t decisions = 0;
+    std::vector<MemberCell> members;
+  };
+
+  // Bucket's best member by win share; answers routing only when the
+  // confidence gates pass. Caller holds mutex_.
+  bool confident_best(const Bucket& bucket, std::size_t* best) const;
+
+  const std::vector<std::string> member_names_;
+  const RouterOptions options_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Bucket> buckets_;
+  RouterStats stats_;
+};
+
+}  // namespace qsmt::route

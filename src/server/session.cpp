@@ -86,6 +86,10 @@ class Session::Driver final : public smtlib::SmtDriver {
     // classically verified, so a stale witness can only cost time, never
     // change a verdict.
     job.warm_start = last_model_;
+    // Per-tenant adaptive routing: this session's jobs consult and train
+    // its own win/loss table, so tenants with divergent workload mixes
+    // learn divergent dispatch instead of fighting over one shared table.
+    job.router = session.options_.router;
 
     std::future<service::JobResult> future;
     const auto& constraints = presolved.query.constraints;

@@ -15,6 +15,7 @@
 
 #include "anneal/reverse.hpp"
 #include "engine/engine.hpp"
+#include "route/features.hpp"
 #include "strenc/ascii7.hpp"
 #include "strqubo/solver.hpp"
 #include "telemetry/telemetry.hpp"
@@ -186,7 +187,11 @@ std::vector<PortfolioMember> quantum_portfolio(const graph::Graph& target) {
 }
 
 struct SolveService::Impl {
-  struct Job {
+  // Sentinel for "no member won" in Job::winner_member (build failures,
+  // parse errors, exhausted races, shutdown resolutions).
+  static constexpr std::size_t kNoWinner = static_cast<std::size_t>(-1);
+
+  struct Job : std::enable_shared_from_this<Job> {
     std::variant<strqubo::Constraint, std::string> payload;
     /// cache_key() of a constraint payload, computed once at submission
     /// (empty for script jobs). Doubles as the model-cache key and as the
@@ -228,6 +233,39 @@ struct SolveService::Impl {
     std::once_flag build_once;
     std::shared_ptr<const strqubo::PreparedConstraint> prepared;
     std::string build_error;
+    /// Adaptive routing (docs/routing.md). `router` is the resolved table
+    /// this job consults and trains (JobOptions::router, else
+    /// ServiceOptions::router; null when gating rejected it or the decision
+    /// raced); bucket/disposition are fixed at submission.
+    std::shared_ptr<route::Router> router;
+    std::string route_bucket;
+    /// "" | "routed" | "routed+fallback" | "race:low_confidence" |
+    /// "race:explore" — mirrored into JobResult::route.
+    const char* route_disposition = "";
+    /// True when the router dispatched a single member for this job.
+    bool routed = false;
+    std::size_t routed_member = 0;
+    /// Set by the one finisher that converts a failed routed dispatch into
+    /// a fallback race (guards against double re-enqueue).
+    std::atomic<bool> fell_back{false};
+    /// Member index that claimed the verdict (kNoWinner otherwise); feeds
+    /// the router's win/loss ledger in complete().
+    std::atomic<std::size_t> winner_member{kNoWinner};
+    /// The verdict came from the warm-start refinement, which is
+    /// member-independent — complete() must not credit the claiming member
+    /// with a routing win for it.
+    std::atomic<bool> warm_won{false};
+    /// Every raced member genuinely ran out of attempts undecided (the
+    /// finish_if_last kUnknown, not a build failure or shutdown) — the one
+    /// no-winner outcome that legitimately debits the whole portfolio in
+    /// the router's ledger.
+    std::atomic<bool> exhausted{false};
+    /// Caller adopted an external CancelSource (claim_and_finish must
+    /// always cancel so the caller's other handles observe the verdict).
+    bool external_cancel = false;
+    /// Invoked (worker thread) in complete() after the result is filled,
+    /// just before the promise resolves — the pipeline-chaining hook.
+    std::function<void(const JobResult&)> on_complete;
   };
 
   struct Task {
@@ -271,43 +309,95 @@ struct SolveService::Impl {
     queue.clear();
   }
 
+  /// Routing gate + decision for one job at submission. Fills the job's
+  /// router fields and returns how many member tasks to enqueue (the
+  /// routed member alone, or the whole portfolio).
+  void decide_route(Job& job) {
+    const auto* constraint = std::get_if<strqubo::Constraint>(&job.payload);
+    if (constraint == nullptr) return;  // Scripts have no features.
+    std::shared_ptr<route::Router> router =
+        job.options.router ? job.options.router : options.router;
+    // A router learned over a different portfolio (or a portfolio with no
+    // race to prune) is ignored rather than mis-applied.
+    if (!router || router->num_members() != options.portfolio.size() ||
+        options.portfolio.size() < 2) {
+      return;
+    }
+    const route::RouteDecision decision =
+        router->decide(route::extract_features(*constraint));
+    job.router = std::move(router);
+    job.route_bucket = decision.bucket;
+    if (decision.action == route::RouteAction::kRoute) {
+      job.routed = true;
+      job.routed_member = decision.member;
+      job.route_disposition = "routed";
+      stats_routed.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::enabled()) {
+        telemetry::counter("service.jobs.routed").add();
+      }
+    } else {
+      job.route_disposition =
+          decision.reason == route::RaceReason::kExplore
+              ? "race:explore"
+              : "race:low_confidence";
+    }
+  }
+
   std::future<JobResult> enqueue(
       std::variant<strqubo::Constraint, std::string> payload,
-      JobOptions job_options) {
+      JobOptions job_options,
+      std::function<void(const JobResult&)> on_complete = {}) {
     auto job = std::make_shared<Job>();
+    job->on_complete = std::move(on_complete);
     job->payload = std::move(payload);
     if (const auto* constraint =
             std::get_if<strqubo::Constraint>(&job->payload)) {
       job->structure_key = cache_key(*constraint);
     }
-    job->options = job_options;
+    job->options = std::move(job_options);
     job->enqueued = SteadyClock::now();
-    job->members_left.store(options.portfolio.size(),
+    decide_route(*job);
+    job->members_left.store(job->routed ? 1 : options.portfolio.size(),
                             std::memory_order_relaxed);
     // Adopt an external cancellation handle before arming the deadline so
     // both signals share one state: the caller's cancel() and the deadline
     // race to the same token every member polls.
-    if (job_options.cancel) job->cancel = *job_options.cancel;
-    std::chrono::nanoseconds deadline = job_options.deadline;
+    if (job->options.cancel) {
+      job->cancel = *job->options.cancel;
+      job->external_cancel = true;
+    }
+    std::chrono::nanoseconds deadline = job->options.deadline;
     if (deadline.count() == 0) deadline = options.default_deadline;
     if (deadline.count() != 0) {
       job->has_deadline = true;
       job->cancel.set_deadline_after(deadline);
     }
     std::future<JobResult> future = job->promise.get_future();
+    bool rejected = false;
     {
       std::lock_guard<std::mutex> lock(queue_mutex);
       if (stopping) {
-        resolve_unrun(*job, "service stopped before solve");
-        return future;
+        rejected = true;
+      } else if (job->routed) {
+        // Routed dispatch: one member task, everyone else stays home. The
+        // seed stream is the same mix the race would hand this member, so
+        // the routed run is bit-identical to its race leg.
+        queue.push_back(Task{job, job->routed_member});
+      } else {
+        // All member tasks adjacent: the portfolio race for one job starts
+        // as soon as workers free up, instead of interleaving with later
+        // jobs' members.
+        for (std::size_t m = 0; m < options.portfolio.size(); ++m) {
+          queue.push_back(Task{job, m});
+        }
       }
-      // All member tasks adjacent: the portfolio race for one job starts
-      // as soon as workers free up, instead of interleaving with later
-      // jobs' members.
-      for (std::size_t m = 0; m < options.portfolio.size(); ++m) {
-        queue.push_back(Task{job, m});
-      }
-      publish_queue_depth_locked();
+      if (!rejected) publish_queue_depth_locked();
+    }
+    if (rejected) {
+      // Outside the queue lock: resolving runs the job's on_complete hook,
+      // and a pipeline's hook re-enters enqueue() for the next stage.
+      resolve_unrun(*job, "service stopped before solve");
+      return future;
     }
     queue_cv.notify_all();
     stats_submitted.fetch_add(1, std::memory_order_relaxed);
@@ -315,6 +405,82 @@ struct SolveService::Impl {
       telemetry::counter("service.jobs.submitted").add();
     }
     return future;
+  }
+
+  /// In-flight state of one solution-chained pipeline. Stages run strictly
+  /// sequentially (stage N+1 is submitted from stage N's on_complete hook),
+  /// so the mutable fields are touched by one thread at a time with
+  /// happens-before through the queue mutex.
+  struct PipelineState {
+    std::vector<strqubo::Constraint> stages;
+    JobOptions base;
+    std::promise<PipelineResult> promise;
+    PipelineResult result;
+  };
+
+  std::future<PipelineResult> submit_pipeline(PipelineJob pipeline) {
+    auto state = std::make_shared<PipelineState>();
+    state->stages = std::move(pipeline.stages);
+    state->base = std::move(pipeline.options);
+    state->result.stages.reserve(state->stages.size());
+    std::future<PipelineResult> future = state->promise.get_future();
+    stats_pipelines.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      telemetry::counter("route.chain.pipelines").add();
+    }
+    if (state->stages.empty()) {
+      state->result.all_sat = true;
+      state->promise.set_value(std::move(state->result));
+      return future;
+    }
+    submit_stage(state, 0, state->base.warm_start);
+    return future;
+  }
+
+  /// Submits pipeline stage `index`. `warm` is the previous stage's
+  /// verified witness (or the caller's own warm_start for stage 0); it
+  /// rides the ordinary JobOptions::warm_start reverse-anneal plumbing, so
+  /// chaining changes where a stage starts, never what it can answer.
+  void submit_stage(const std::shared_ptr<PipelineState>& state,
+                    std::size_t index, std::optional<std::string> warm) {
+    JobOptions stage_options = state->base;
+    stage_options.seed = mix_seed(state->base.seed, index);
+    stage_options.warm_start = std::move(warm);
+    if (index > 0 && stage_options.warm_start.has_value()) {
+      // Exactly one bump per chained hop — tests pin this against the
+      // stage count (tests/router_test.cpp).
+      ++state->result.chained_warm_starts;
+      stats_chain_warm_starts.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::enabled()) {
+        telemetry::counter("route.chain.warm_starts").add();
+      }
+    }
+    if (telemetry::enabled()) {
+      telemetry::counter("route.chain.stages").add();
+    }
+    // The stage's own future is intentionally dropped: its result arrives
+    // through the on_complete hook below (exactly once, even when the
+    // service is stopping — enqueue resolves rejected jobs inline).
+    enqueue(state->stages[index], std::move(stage_options),
+            [this, state, index](const JobResult& result) {
+              state->result.stages.push_back(result);
+              const std::size_t next = index + 1;
+              if (next < state->stages.size()) {
+                std::optional<std::string> chained;
+                if (result.status == smtlib::CheckSatStatus::kSat &&
+                    result.text.has_value()) {
+                  chained = result.text;
+                }
+                submit_stage(state, next, std::move(chained));
+                return;
+              }
+              bool all_sat = true;
+              for (const JobResult& stage : state->result.stages) {
+                all_sat &= stage.status == smtlib::CheckSatStatus::kSat;
+              }
+              state->result.all_sat = all_sat;
+              state->promise.set_value(std::move(state->result));
+            });
   }
 
   void worker_loop() {
@@ -436,12 +602,16 @@ struct SolveService::Impl {
       const strqubo::SolveResult solved = strqubo::decode_and_verify(
           std::get<strqubo::Constraint>(job.payload), samples);
       if (!solved.satisfied) return false;
-      if (claim_and_finish(job, [&](JobResult& result) {
+      if (claim_and_finish(job, kNoWinner, [&](JobResult& result) {
             result.status = smtlib::CheckSatStatus::kSat;
             result.text = solved.text;
             result.position = solved.position;
             result.winner = member.name;
             result.notes.push_back("warm start");
+            // The refinement is member-independent: whoever reached the
+            // prepared model first ran it. Routing must not credit the
+            // member, or warm sessions would train the table on luck.
+            job.warm_won.store(true, std::memory_order_relaxed);
             record_winner(member.name);
             // Inside the claim so the increment is sequenced before the
             // promise resolves (a caller snapshotting stats right after
@@ -507,7 +677,7 @@ struct SolveService::Impl {
         if (prepared == nullptr) {
           // Build failed; the error is deterministic, so retrying or
           // letting other members run the same build would only repeat it.
-          if (!claim_and_finish(job, [&](JobResult& result) {
+          if (!claim_and_finish(job, kNoWinner, [&](JobResult& result) {
                 result.notes.push_back("model build failed: " +
                                        job.build_error);
               })) {
@@ -530,7 +700,7 @@ struct SolveService::Impl {
           return;
         }
         if (solved.satisfied) {
-          if (claim_and_finish(job, [&](JobResult& result) {
+          if (claim_and_finish(job, member_index, [&](JobResult& result) {
                 result.status = smtlib::CheckSatStatus::kSat;
                 result.text = solved.text;
                 result.position = solved.position;
@@ -556,8 +726,9 @@ struct SolveService::Impl {
         } catch (const std::invalid_argument& error) {
           // Parse errors are deterministic for the whole job: no sibling
           // can do better, so claim the verdict instead of dropping out.
-          if (!claim_and_finish(job, [&, message = std::string(error.what())](
-                                         JobResult& result) {
+          if (!claim_and_finish(job, kNoWinner,
+                                [&, message = std::string(error.what())](
+                                    JobResult& result) {
                 result.notes.push_back("parse error: " + message);
               })) {
             release_member(job);
@@ -568,7 +739,7 @@ struct SolveService::Impl {
           return;
         }
         if (solved.status != smtlib::CheckSatStatus::kUnknown) {
-          if (claim_and_finish(job, [&](JobResult& result) {
+          if (claim_and_finish(job, member_index, [&](JobResult& result) {
                 result.status = solved.status;
                 result.variable = solved.variable;
                 result.model_value = solved.model_value;
@@ -626,7 +797,7 @@ struct SolveService::Impl {
       job.attempts.fetch_add(1, std::memory_order_relaxed);
       const strqubo::PreparedConstraint* prepared = prepare_job(job);
       if (prepared == nullptr) {
-        if (!claim_and_finish(job, [&](JobResult& result) {
+        if (!claim_and_finish(job, kNoWinner, [&](JobResult& result) {
               result.notes.push_back("model build failed: " +
                                      job.build_error);
             })) {
@@ -690,7 +861,7 @@ struct SolveService::Impl {
         continue;
       }
       if (solved.satisfied) {
-        if (!claim_and_finish(job, [&](JobResult& result) {
+        if (!claim_and_finish(job, member_index, [&](JobResult& result) {
               result.status = smtlib::CheckSatStatus::kSat;
               result.text = solved.text;
               result.position = solved.position;
@@ -783,16 +954,26 @@ struct SolveService::Impl {
 
   /// Atomically claims the verdict for the calling member. On success runs
   /// `fill` on a fresh JobResult, cancels the siblings, fulfils the promise
-  /// and records completion telemetry. Returns false when a sibling already
+  /// and records completion telemetry. `winner_member` is the portfolio
+  /// index whose solve produced the verdict (kNoWinner for member-neutral
+  /// claims: build failures, parse errors, warm starts) — it feeds the
+  /// router's ledger in complete(). Returns false when a sibling already
   /// claimed (the caller simply finishes as a loser).
   template <typename Fill>
-  bool claim_and_finish(Job& job, Fill&& fill) {
+  bool claim_and_finish(Job& job, std::size_t winner_member, Fill&& fill) {
     bool expected = false;
     if (!job.decided.compare_exchange_strong(expected, true,
                                              std::memory_order_acq_rel)) {
       return false;
     }
-    job.cancel.cancel();
+    job.winner_member.store(winner_member, std::memory_order_relaxed);
+    // Single-member portfolios with nothing armed on the token have nobody
+    // to signal: skip the cancel write so the no-race configuration pays no
+    // race scaffolding (bench/service_bench.cpp measures this path).
+    if (options.portfolio.size() > 1 || job.has_deadline ||
+        job.external_cancel) {
+      job.cancel.cancel();
+    }
     JobResult result;
     fill(result);
     complete(job, std::move(result));
@@ -813,12 +994,57 @@ struct SolveService::Impl {
     complete(job, std::move(result));
   }
 
+  /// A routed dispatch that failed to decide (member lost every attempt,
+  /// threw, or was pre-empted by shutdown of its lane) gets one fallback:
+  /// the remaining portfolio races exactly as it would have without the
+  /// router — same per-(member, attempt) seeds — so routing can delay but
+  /// never change a verdict. Returns true when the fallback race was
+  /// enqueued (the job stays live); false hands the verdict back to the
+  /// normal last-loser path. Only the finisher that observed the countdown
+  /// hit zero calls this, so the exchange is uncontended in practice.
+  bool maybe_fallback(Job& job) {
+    if (!job.routed) return false;
+    if (job.decided.load(std::memory_order_acquire)) return false;
+    // Deadline or external cancellation: no point starting new members.
+    if (job.cancel.token().cancelled()) return false;
+    if (options.portfolio.size() < 2) return false;
+    if (job.fell_back.exchange(true, std::memory_order_acq_rel)) return false;
+
+    // Ledger first (fallback = the routed member failed this bucket), and
+    // the disposition before the tasks so a fast fallback winner's
+    // complete() observes it (ordered by the queue mutex).
+    job.route_disposition = "routed+fallback";
+    if (job.router) {
+      job.router->record_fallback(job.route_bucket, job.routed_member);
+    }
+    stats_route_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      telemetry::counter("service.route.fallbacks").add();
+    }
+
+    std::shared_ptr<Job> self = job.shared_from_this();
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      if (stopping) return false;  // Shutdown: emit the kUnknown verdict.
+      job.members_left.store(options.portfolio.size() - 1,
+                             std::memory_order_relaxed);
+      for (std::size_t m = 0; m < options.portfolio.size(); ++m) {
+        if (m == job.routed_member) continue;
+        queue.push_back(Task{self, m});
+      }
+      publish_queue_depth_locked();
+    }
+    queue_cv.notify_all();
+    return true;
+  }
+
   /// Loser bookkeeping: the last member to finish an undecided job owns the
   /// kUnknown (or timeout) verdict.
   void finish_if_last(Job& job) {
     if (job.members_left.fetch_sub(1, std::memory_order_acq_rel) != 1) {
       return;
     }
+    if (maybe_fallback(job)) return;
     bool expected = false;
     if (!job.decided.compare_exchange_strong(expected, true,
                                              std::memory_order_acq_rel)) {
@@ -839,6 +1065,7 @@ struct SolveService::Impl {
       }
     } else {
       result.notes.push_back("no portfolio member produced a verified model");
+      job.exhausted.store(true, std::memory_order_relaxed);
     }
     {
       // The countdown hitting zero means every member finished, so all
@@ -852,8 +1079,32 @@ struct SolveService::Impl {
     complete(job, std::move(result));
   }
 
+  /// Feeds this job's outcome back into its router ledger. Only genuine
+  /// member-quality signals train the table: warm-start verdicts are
+  /// member-independent, timeouts and cancellations say nothing about who
+  /// would have won, and build/parse failures are deterministic for every
+  /// member. A failed routed dispatch recorded its own fallback loss in
+  /// maybe_fallback, so the no-winner branch here only debits full races.
+  void record_route_outcome(Job& job) {
+    if (!job.router) return;
+    if (job.warm_won.load(std::memory_order_relaxed)) return;
+    if (job.deadline_cut_short.load(std::memory_order_relaxed)) return;
+    const std::size_t winner = job.winner_member.load(std::memory_order_relaxed);
+    if (winner != kNoWinner) {
+      // Full races debit every beaten sibling; routed hits and fallback
+      // winners ran alone (or after the fallback loss already landed).
+      job.router->record_win(job.route_bucket, winner,
+                             /*was_race=*/!job.routed);
+    } else if (!job.routed && job.exhausted.load(std::memory_order_relaxed)) {
+      for (std::size_t m = 0; m < options.portfolio.size(); ++m) {
+        job.router->record_loss(job.route_bucket, m);
+      }
+    }
+  }
+
   void complete(Job& job, JobResult result) {
     result.tag = job.options.tag;
+    result.route = job.route_disposition;
     result.attempts = job.attempts.load(std::memory_order_relaxed);
     result.members_cancelled =
         job.cancelled_members.load(std::memory_order_relaxed);
@@ -861,12 +1112,17 @@ struct SolveService::Impl {
     result.solve_seconds =
         std::chrono::duration<double>(SteadyClock::now() - job.enqueued)
             .count();
+    record_route_outcome(job);
     stats_completed.fetch_add(1, std::memory_order_relaxed);
     if (telemetry::enabled()) {
       telemetry::counter("service.jobs.completed").add();
       telemetry::histogram("service.job.seconds", telemetry::Unit::kSeconds)
           .record(result.solve_seconds);
     }
+    // The pipeline-chaining hook: runs on the completing worker with the
+    // final result, before the promise resolves, so a chained next stage
+    // is already enqueued by the time any waiter wakes.
+    if (job.on_complete) job.on_complete(result);
     job.promise.set_value(std::move(result));
   }
 
@@ -923,6 +1179,10 @@ struct SolveService::Impl {
   std::atomic<std::uint64_t> stats_jobs_fused{0};
   std::atomic<std::uint64_t> stats_warm_starts{0};
   std::atomic<std::uint64_t> stats_warm_hits{0};
+  std::atomic<std::uint64_t> stats_routed{0};
+  std::atomic<std::uint64_t> stats_route_fallbacks{0};
+  std::atomic<std::uint64_t> stats_pipelines{0};
+  std::atomic<std::uint64_t> stats_chain_warm_starts{0};
 };
 
 SolveService::SolveService(ServiceOptions options)
@@ -972,12 +1232,26 @@ std::vector<JobResult> SolveService::solve_scripts(
   return results;
 }
 
+std::future<PipelineResult> SolveService::submit_pipeline(
+    PipelineJob pipeline) {
+  return impl_->submit_pipeline(std::move(pipeline));
+}
+
 std::size_t SolveService::num_workers() const noexcept {
   return impl_->workers.size();
 }
 
 std::size_t SolveService::portfolio_size() const noexcept {
   return impl_->options.portfolio.size();
+}
+
+std::vector<std::string> SolveService::portfolio_names() const {
+  std::vector<std::string> names;
+  names.reserve(impl_->options.portfolio.size());
+  for (const PortfolioMember& member : impl_->options.portfolio) {
+    names.push_back(member.name);
+  }
+  return names;
 }
 
 SolveService::Stats SolveService::stats() const noexcept {
@@ -999,6 +1273,12 @@ SolveService::Stats SolveService::stats() const noexcept {
   stats.jobs_fused = impl_->stats_jobs_fused.load(std::memory_order_relaxed);
   stats.warm_starts = impl_->stats_warm_starts.load(std::memory_order_relaxed);
   stats.warm_hits = impl_->stats_warm_hits.load(std::memory_order_relaxed);
+  stats.jobs_routed = impl_->stats_routed.load(std::memory_order_relaxed);
+  stats.route_fallbacks =
+      impl_->stats_route_fallbacks.load(std::memory_order_relaxed);
+  stats.pipelines = impl_->stats_pipelines.load(std::memory_order_relaxed);
+  stats.chain_warm_starts =
+      impl_->stats_chain_warm_starts.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -47,6 +47,7 @@
 #include "anneal/simulated_annealer.hpp"
 #include "anneal/tempering.hpp"
 #include "graph/embedded_sampler.hpp"
+#include "route/router.hpp"
 #include "smtlib/driver.hpp"
 #include "strqubo/builders.hpp"
 #include "strqubo/constraint.hpp"
@@ -129,6 +130,18 @@ struct ServiceOptions {
   /// when a batchable member finds structure-sharing siblings in the queue
   /// (see PortfolioMember::batched). 1 (or 0) disables cross-job fusion.
   std::size_t max_fused_jobs = 16;
+  /// Adaptive portfolio router (docs/routing.md). When set, constraint jobs
+  /// consult it before enqueueing: a confident decision dispatches ONLY the
+  /// historically-best member (seeds preserved, so the routed run is
+  /// bit-identical to that member's leg of the full race); low-confidence
+  /// and periodic-explore decisions race the whole portfolio and train the
+  /// table. A routed member that fails to decide falls back to racing the
+  /// remaining members. Ignored when the router's member list does not
+  /// match this portfolio's size, when the portfolio has fewer than two
+  /// members, and for script jobs (no structural features). Shared: one
+  /// router may serve many services, or many tenants may each pass their
+  /// own per-job via JobOptions::router.
+  std::shared_ptr<route::Router> router;
 };
 
 struct JobOptions {
@@ -152,6 +165,10 @@ struct JobOptions {
   /// full-budget solve. A witness whose length no longer matches the job's
   /// constraint is ignored (cold start). Script jobs ignore this field.
   std::optional<std::string> warm_start;
+  /// Per-job router override (the server passes each tenant's own learned
+  /// table here). Takes precedence over ServiceOptions::router; the same
+  /// member-count and constraint-job-only gating applies.
+  std::shared_ptr<route::Router> router;
 };
 
 struct JobResult {
@@ -165,6 +182,11 @@ struct JobResult {
   std::string model_value;
   /// Portfolio member that produced the decisive verdict (empty when none).
   std::string winner;
+  /// Router disposition for this job: "" when no router was consulted,
+  /// "routed" (single-member dispatch held), "routed+fallback" (routed
+  /// member failed to decide; the rest of the portfolio raced),
+  /// "race:low_confidence" or "race:explore" (router chose a full race).
+  std::string route;
   std::vector<std::string> notes;
   /// True when the job's deadline actually cut work short (a member was
   /// cancelled while queued, between attempts, or mid-solve) before any
@@ -180,6 +202,30 @@ struct JobResult {
   /// (steady clock).
   double queue_seconds = 0.0;
   double solve_seconds = 0.0;
+};
+
+/// Solution-chained multi-constraint pipeline (the paper's §5 sequential
+/// workload as a first-class scheduling object): stage N+1 is submitted when
+/// stage N completes, warm-started (reverse-annealed, PR 8 plumbing) from
+/// stage N's verified witness instead of starting cold. Stages that fail to
+/// produce a witness chain nothing — the next stage runs cold — and the
+/// pipeline always runs every stage. `options` applies to every stage;
+/// stage i's seed is mix_seed(options.seed, i), so a pipeline's stages stay
+/// independent streams. An explicit per-stage warm_start in `options`
+/// applies to stage 0 only.
+struct PipelineJob {
+  std::vector<strqubo::Constraint> stages;
+  JobOptions options;
+};
+
+struct PipelineResult {
+  /// One JobResult per stage, pipeline order.
+  std::vector<JobResult> stages;
+  /// Every stage decided kSat.
+  bool all_sat = false;
+  /// Stages whose submission carried the previous stage's witness as a
+  /// warm start (route.chain.warm_starts counts the same events).
+  std::size_t chained_warm_starts = 0;
 };
 
 class SolveService {
@@ -211,8 +257,17 @@ class SolveService {
   std::vector<JobResult> solve_scripts(const std::vector<std::string>& scripts,
                                        JobOptions options = {});
 
+  /// Enqueues a solution-chained pipeline: stage N+1 is submitted from
+  /// stage N's completion, warm-started from its witness when one exists.
+  /// The future resolves when the last stage does. An empty pipeline
+  /// resolves immediately (all_sat vacuously true).
+  std::future<PipelineResult> submit_pipeline(PipelineJob pipeline);
+
   std::size_t num_workers() const noexcept;
   std::size_t portfolio_size() const noexcept;
+  /// Member names in portfolio-index order — the list a route::Router for
+  /// this service must be constructed over.
+  std::vector<std::string> portfolio_names() const;
 
   /// Monotonic whole-service counters (tests, monitoring).
   struct Stats {
@@ -239,6 +294,16 @@ class SolveService {
     /// whose verified sample decided the job.
     std::uint64_t warm_starts = 0;
     std::uint64_t warm_hits = 0;
+    /// Jobs dispatched to a single routed member (router said kRoute).
+    std::uint64_t jobs_routed = 0;
+    /// Routed jobs whose member failed to decide and fell back to racing
+    /// the remaining portfolio.
+    std::uint64_t route_fallbacks = 0;
+    /// Pipelines submitted via submit_pipeline.
+    std::uint64_t pipelines = 0;
+    /// Pipeline stages submitted with the previous stage's witness chained
+    /// in as a warm start (one per hop whose upstream produced a witness).
+    std::uint64_t chain_warm_starts = 0;
   };
   Stats stats() const noexcept;
 

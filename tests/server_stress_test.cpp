@@ -371,6 +371,89 @@ TEST(ServerStress, SharedFragmentCacheNeverLeaksAcrossTenantDrivers) {
   EXPECT_GE(cache->stats().hits, 1u);
 }
 
+/// Per-tenant adaptive routing under concurrency: half the tenants hammer
+/// equality-shaped queries, half substring-shaped ones. Every tenant's
+/// lazily-created router must learn ONLY its own mix — a single bucket,
+/// exactly one decision per check-sat — and the two table populations must
+/// split kNumClients/2 / kNumClients/2. Any cross-tenant leakage (a job
+/// consulting or training another tenant's table) shows up as a mixed
+/// table or an inflated decision count.
+TEST(ServerStress, DivergentTenantMixesLearnIsolatedRouterTables) {
+  constexpr std::size_t kRounds = 5;
+
+  server::ServerOptions options;
+  options.service.num_workers = 4;  // Default sa-fast/sa-deep portfolio.
+  options.max_waiting = kNumClients * 2;
+  route::RouterOptions routing;
+  routing.min_observations = 2;  // One 2-member race makes a bucket confident.
+  routing.min_win_rate = 0.5;
+  routing.explore_period = 0;
+  options.tenant_routing = routing;
+  server::Server node(options);
+  const std::uint16_t port = node.listen(0);
+  node.start();
+
+  // Two structurally disjoint workload mixes (single-constraint fast path:
+  // equality vs substring-match — different router buckets by op family).
+  const std::string equality_mix =
+      "(declare-const x String)(assert (= x \"router\"))(check-sat)";
+  const std::string substring_mix =
+      "(declare-const x String)(assert (str.contains x \"cd\"))"
+      "(assert (= (str.len x) 3))(check-sat)";
+
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kNumClients);
+  for (std::size_t c = 0; c < kNumClients; ++c) {
+    clients.emplace_back([&, c] {
+      const std::string& script = c % 2 == 0 ? equality_mix : substring_mix;
+      server::Client client;
+      client.connect(port);
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        if (client.request(script) != "sat\n") failures.fetch_add(1);
+        if (client.request("(reset)") != "") failures.fetch_add(1);
+      }
+      client.request("(exit)");
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  node.shutdown();
+  EXPECT_EQ(failures.load(), 0u);
+
+  // Tenant ids are assigned in accept order, so a client thread's mix
+  // cannot be matched to a tenant id — but purity can: every tenant's
+  // table must hold exactly one bucket, from exactly one mix.
+  std::size_t equality_tenants = 0;
+  std::size_t substring_tenants = 0;
+  std::uint64_t routed_total = 0;
+  for (std::uint64_t tenant = 0; tenant < kNumClients; ++tenant) {
+    SCOPED_TRACE("tenant " + std::to_string(tenant));
+    const std::shared_ptr<route::Router> router = node.tenant_router(tenant);
+    ASSERT_NE(router, nullptr);
+    const std::vector<route::BucketRecord> table = router->table();
+    ASSERT_EQ(table.size(), 1u);
+    const std::string& bucket = table[0].bucket;
+    if (bucket.rfind("equality/", 0) == 0) {
+      ++equality_tenants;
+    } else if (bucket.rfind("substring-match/", 0) == 0) {
+      ++substring_tenants;
+    } else {
+      ADD_FAILURE() << "unexpected bucket: " << bucket;
+    }
+    // Exactly this tenant's own check-sats consulted the table; after the
+    // first race trains the bucket, the remaining rounds route.
+    const route::RouterStats stats = router->stats();
+    EXPECT_EQ(stats.decisions, kRounds);
+    EXPECT_GE(stats.routed, kRounds - 2);
+    routed_total += stats.routed;
+  }
+  EXPECT_EQ(equality_tenants, kNumClients / 2);
+  EXPECT_EQ(substring_tenants, kNumClients / 2);
+  // Every routed dispatch in the pool is accounted to exactly one tenant
+  // table — the shared service saw the same number it executed.
+  EXPECT_EQ(node.service().stats().jobs_routed, routed_total);
+}
+
 /// Deterministic overload: with the single admission slot held and a line
 /// of length one, the second queued tenant is turned away with an error
 /// reply while the first eventually completes.
