@@ -1,0 +1,276 @@
+// Answer-cache bench: what alpha-equivalent memoization is worth on a
+// duplicate-heavy stream (BENCH_answercache.json is the tracked baseline).
+//
+// Three passes over one seeded mixed-family workload:
+//
+//   1. cold — a cache-less service solves the distinct set: the per-job
+//      cost every duplicate would otherwise pay;
+//   2. warming — a cache-backed service solves the same distinct set under
+//      the same seeds (all misses; fills the cache and pins that the miss
+//      path's verdicts are byte-identical to the cache-less service's);
+//   3. warm — the duplicate stream (every distinct case repeated) through
+//      the warmed service: every job must be served from the cache, so the
+//      measured per-job cost IS the lookup + witness remap + one classical
+//      verification that replaces a full anneal.
+//
+// Headline metrics: warm-vs-cold mean-latency speedup (acceptance gate
+// >= 10x in the JSON-writing full run), hit rate (must be 1.0 on the warm
+// stream), remap+verify cost per served hit, and annealer reads avoided
+// (cold-pass sampling attempts the warm stream never dispatched). --smoke
+// shrinks the workload and gates >= 3x with the same byte-equality checks,
+// seconds-scale for CI.
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "canon/answer_cache.hpp"
+#include "service/service.hpp"
+#include "strqubo/constraint.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace qsmt;
+
+constexpr std::size_t kNumWorkers = 4;
+constexpr std::uint64_t kSeed = 0xA25C;
+constexpr std::size_t kNumReads = 64;
+
+std::string random_word(Xoshiro256& rng, std::size_t min_len,
+                        std::size_t max_len) {
+  std::string word(min_len + rng.below(max_len - min_len + 1), 'a');
+  for (char& c : word) c = static_cast<char>('a' + rng.below(5));
+  return word;
+}
+
+/// One draw from op family `kind` (the differential-fuzz generator shapes).
+strqubo::Constraint make_case(std::size_t kind, Xoshiro256& rng) {
+  switch (kind) {
+    case 0:
+      return strqubo::Equality{random_word(rng, 2, 6)};
+    case 1:
+      return strqubo::Concat{random_word(rng, 1, 3), random_word(rng, 1, 3)};
+    case 2: {
+      const std::string text = random_word(rng, 3, 7);
+      const std::size_t len =
+          1 + rng.below(std::min<std::size_t>(3, text.size()));
+      return strqubo::Includes{text,
+                               text.substr(rng.below(text.size() - len + 1),
+                                           len)};
+    }
+    case 3: {
+      const std::size_t string_length = 2 + rng.below(5);
+      return strqubo::Length{string_length, rng.below(string_length + 1)};
+    }
+    case 4:
+      return strqubo::Replace{random_word(rng, 2, 6),
+                              static_cast<char>('a' + rng.below(5)),
+                              static_cast<char>('a' + rng.below(5))};
+    case 5:
+      return strqubo::Reverse{random_word(rng, 2, 6)};
+    case 6:
+      return strqubo::ReplaceAll{random_word(rng, 2, 6),
+                                 static_cast<char>('a' + rng.below(5)),
+                                 static_cast<char>('a' + rng.below(5))};
+    case 7: {
+      const std::size_t length = 3 + rng.below(3);
+      return strqubo::SubstringMatch{length, random_word(rng, 1, 2)};
+    }
+    case 8: {
+      const std::size_t length = 3 + rng.below(2);
+      const std::string substring = random_word(rng, 1, 2);
+      return strqubo::IndexOf{length, substring,
+                              rng.below(length - substring.size() + 1)};
+    }
+    case 9: {
+      const std::size_t length = 2 + rng.below(4);
+      return strqubo::CharAt{length, rng.below(length),
+                             static_cast<char>('a' + rng.below(5))};
+    }
+    default:
+      return strqubo::Palindrome{1 + rng.below(5)};
+  }
+}
+
+/// Single deterministic lane: witnesses are a function of (constraint,
+/// seed), so the warming pass can demand byte-equality with the cache-less
+/// reference and the warm stream with the warming pass.
+service::ServiceOptions bench_service(
+    std::shared_ptr<canon::AnswerCache> cache) {
+  anneal::SimulatedAnnealerParams deep;
+  deep.num_reads = kNumReads;
+  deep.num_sweeps = 512;
+  service::ServiceOptions options;
+  options.num_workers = kNumWorkers;
+  options.portfolio = {service::simulated_annealing_member("sa", deep)};
+  options.answer_cache = std::move(cache);
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::size_t num_distinct = smoke ? 22 : 55;
+  const std::size_t repeats = smoke ? 3 : 4;
+
+  Xoshiro256 rng(kSeed);
+  std::vector<strqubo::Constraint> distinct;
+  distinct.reserve(num_distinct);
+  for (std::size_t i = 0; i < num_distinct; ++i) {
+    distinct.push_back(make_case(i % 11, rng));
+  }
+  // The duplicate stream: every distinct case, `repeats` times over —
+  // the cross-job/cross-tenant duplication the cache exists for.
+  std::vector<strqubo::Constraint> stream;
+  stream.reserve(num_distinct * repeats);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    for (const strqubo::Constraint& constraint : distinct) {
+      stream.push_back(constraint);
+    }
+  }
+  const std::size_t num_jobs = stream.size();
+
+  service::JobOptions batch;
+  batch.seed = kSeed;
+
+  // Pass 1: cache-less reference over the distinct set.
+  service::SolveService cold_service(bench_service(nullptr));
+  Stopwatch cold_timer;
+  const std::vector<service::JobResult> cold =
+      cold_service.solve_constraints(distinct, batch);
+  const double cold_seconds = cold_timer.elapsed_seconds();
+  std::size_t cold_attempts = 0;
+  for (const service::JobResult& result : cold) {
+    cold_attempts += result.attempts;
+  }
+
+  // Pass 2: warming — same seeds through the cache-backed service.
+  auto cache = std::make_shared<canon::AnswerCache>();
+  service::SolveService warm_service(bench_service(cache));
+  const std::vector<service::JobResult> warming =
+      warm_service.solve_constraints(distinct, batch);
+
+  std::size_t verdict_mismatches = 0;
+  for (std::size_t i = 0; i < distinct.size(); ++i) {
+    // Generator collisions inside the distinct set legitimately hit; every
+    // genuine miss must be byte-identical to the cache-less reference.
+    if (warming[i].status != cold[i].status) ++verdict_mismatches;
+    if (!warming[i].answer_cache_hit &&
+        (warming[i].text != cold[i].text ||
+         warming[i].position != cold[i].position)) {
+      ++verdict_mismatches;
+    }
+  }
+
+  // Pass 3: the duplicate stream through the warmed cache. Different batch
+  // seed: only the cache can reproduce the warming pass's witnesses.
+  const std::uint64_t hits_before = warm_service.stats().answer_hits;
+  service::JobOptions warm_batch;
+  warm_batch.seed = kSeed ^ 0xFFFF;
+  Stopwatch warm_timer;
+  const std::vector<service::JobResult> warm =
+      warm_service.solve_constraints(stream, warm_batch);
+  const double warm_seconds = warm_timer.elapsed_seconds();
+
+  // Every repeat of a distinct case must be byte-identical to its first
+  // warm serving (the cache can only ever hand out one retained witness),
+  // and every verdict must agree with the cold reference. Witness bytes are
+  // NOT compared against the per-index warming result: generator collisions
+  // inside the distinct set race their concurrent cold solves, and the
+  // entry that survives is whichever verified insert landed last.
+  std::size_t served = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const service::JobResult& first_serving = warm[i % num_distinct];
+    const service::JobResult& result = warm[i];
+    if (result.answer_cache_hit) ++served;
+    if (result.status != cold[i % num_distinct].status) ++verdict_mismatches;
+    if (result.status != first_serving.status ||
+        result.text != first_serving.text ||
+        result.position != first_serving.position) {
+      ++verdict_mismatches;
+    }
+  }
+
+  const service::SolveService::Stats stats = warm_service.stats();
+  const double hit_rate =
+      static_cast<double>(stats.answer_hits - hits_before) /
+      static_cast<double>(num_jobs);
+  const double cold_mean_ms = cold_seconds * 1e3 / num_distinct;
+  const double warm_mean_ms = warm_seconds * 1e3 / num_jobs;
+  const double speedup = cold_mean_ms / warm_mean_ms;
+  // Every served hit skipped the sampling the cold pass paid for the same
+  // constraint: attempts * reads per attempt.
+  const std::size_t reads_avoided = cold_attempts * repeats * kNumReads;
+
+  std::cout << std::fixed << std::setprecision(3);
+  std::cout << "answer_cache_bench: " << num_distinct << " distinct cases x "
+            << repeats << " repeats = " << num_jobs << " warm jobs, "
+            << kNumWorkers << " workers" << (smoke ? " (smoke)" : "") << "\n";
+  std::cout << "  cold solve: " << cold_seconds << " s (" << cold_mean_ms
+            << " ms/job mean, " << cold_attempts << " attempts)\n";
+  std::cout << "  warm serve: " << warm_seconds << " s (" << warm_mean_ms
+            << " ms/job remap+verify, hit rate " << hit_rate << ")\n";
+  std::cout << "  speedup: " << speedup << "x, reads avoided ~"
+            << reads_avoided << ", fallbacks " << stats.answer_fallbacks
+            << ", verdict mismatches " << verdict_mismatches << "\n";
+
+  if (verdict_mismatches != 0) {
+    std::cerr << "answer_cache_bench: FAIL " << verdict_mismatches
+              << " warmed verdicts differ from the cold reference\n";
+    return 1;
+  }
+  if (served != num_jobs || hit_rate < 1.0) {
+    std::cerr << "answer_cache_bench: FAIL warm stream hit rate " << hit_rate
+              << " < 1.0 (" << served << "/" << num_jobs << " served)\n";
+    return 1;
+  }
+
+  const double gate_ratio = smoke ? 3.0 : 10.0;
+  if (smoke) {
+    if (speedup < gate_ratio) {
+      std::cerr << "answer_cache_bench: FAIL smoke speedup " << speedup
+                << "x < " << gate_ratio << "x\n";
+      return 1;
+    }
+    std::cout << "answer_cache_bench: PASS (>= " << gate_ratio
+              << "x warm-vs-cold, hit rate 1.0)\n";
+    return 0;
+  }
+
+  const char* gate = speedup >= gate_ratio ? "pass" : "fail";
+  std::ofstream out("BENCH_answercache.json");
+  out << std::fixed << std::setprecision(4);
+  out << "{\n"
+      << "  \"num_distinct\": " << num_distinct << ",\n"
+      << "  \"repeats\": " << repeats << ",\n"
+      << "  \"num_warm_jobs\": " << num_jobs << ",\n"
+      << "  \"num_workers\": " << kNumWorkers << ",\n"
+      << "  \"gate\": \"" << gate << "\",\n"
+      << "  \"cold_seconds\": " << cold_seconds << ",\n"
+      << "  \"cold_mean_ms_per_job\": " << cold_mean_ms << ",\n"
+      << "  \"cold_attempts\": " << cold_attempts << ",\n"
+      << "  \"warm_seconds\": " << warm_seconds << ",\n"
+      << "  \"warm_mean_ms_per_job\": " << warm_mean_ms << ",\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"hit_rate\": " << hit_rate << ",\n"
+      << "  \"reads_avoided\": " << reads_avoided << ",\n"
+      << "  \"answer_fallbacks\": " << stats.answer_fallbacks << ",\n"
+      << "  \"verdict_mismatches\": " << verdict_mismatches << "\n"
+      << "}\n";
+
+  if (speedup < gate_ratio) {
+    std::cerr << "answer_cache_bench: FAIL speedup " << speedup << "x < "
+              << gate_ratio << "x\n";
+    return 1;
+  }
+  std::cout << "answer_cache_bench: PASS (>= " << gate_ratio
+            << "x warm-vs-cold at hit rate 1.0)\n";
+  return 0;
+}

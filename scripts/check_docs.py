@@ -37,6 +37,11 @@ docs/*.md, plus any root-level markdown they link to):
    adaptive router's docs (decision lanes, confidence gates, replay
    harness) cannot silently fall behind the API.
 
+8. Caching coverage: every public class/struct and free function declared
+   in src/canon/*.hpp must appear by name in docs/caching.md, so the
+   cache-layer catalog (keys, scopes, invalidation, tenant sharing)
+   cannot silently fall behind the canonicalizer/answer-cache API.
+
 Exits non-zero with one line per problem.
 """
 
@@ -169,6 +174,20 @@ def check_route_coverage() -> list:
     ]
 
 
+def check_caching_coverage() -> list:
+    doc = (REPO / "docs/caching.md").read_text(encoding="utf-8")
+    names = set()
+    for header in sorted((REPO / "src/canon").glob("*.hpp")):
+        body = header.read_text(encoding="utf-8")
+        names.update(SERVICE_TYPE_RE.findall(body))
+        names.update(SERVICE_FUNC_RE.findall(body))
+    return [
+        f"docs/caching.md: canon API `{name}` is undocumented"
+        for name in sorted(names)
+        if name not in doc
+    ]
+
+
 def main() -> int:
     errors = (
         check_links()
@@ -178,6 +197,7 @@ def main() -> int:
         + check_server_coverage()
         + check_incremental_coverage()
         + check_route_coverage()
+        + check_caching_coverage()
     )
     for err in errors:
         print(f"check_docs: {err}", file=sys.stderr)

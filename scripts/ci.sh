@@ -73,6 +73,13 @@ echo "=== incremental_bench --smoke ==="
 echo "=== route_bench --smoke ==="
 ./build/bench/route_bench --smoke
 
+# Answer-cache stage: a warmed canonical answer cache serves a duplicate
+# stream at hit rate 1.0 with byte-identical verdicts; warm-vs-cold mean
+# latency must clear 3x here (the >= 10x gate fires in the full,
+# JSON-writing run — BENCH_answercache.json is the tracked baseline).
+echo "=== answer_cache_bench --smoke ==="
+./build/bench/answer_cache_bench --smoke
+
 if [[ "${skip_sanitizers}" == "1" ]]; then
   echo "=== sanitizer stages skipped ==="
   exit 0
@@ -88,16 +95,20 @@ fi
 # mutation under reuse, context-carried clause memory, and the shared-cache
 # concurrency schedules), plus the router suites (the shared win/loss
 # table is mutated from every worker thread at enqueue and completion,
-# and the fuzz differential drives it through full 216-job streams). The
-# binaries run directly (rather than via ctest) so the subset is exact
-# regardless of which gtest case names discovery registered.
+# and the fuzz differential drives it through full 216-job streams), plus
+# the answer-cache suites (one shared LRU mutated from every submitting
+# thread and tenant session, with hit-serving racing inserts and
+# evictions). The binaries run directly (rather than via ctest) so the
+# subset is exact regardless of which gtest case names discovery
+# registered.
 subset=(annealer_test hotpath_test batched_kernel_test qubo_builder_test
         qubo_model_test adjacency_test sample_set_test schedule_test
         builders_test pimc_test embedding_test embedded_sampler_test
         quantum_hotpath_test quantum_conformance_test
         service_test conformance_test corpus_test
         server_test server_stress_test incremental_test
-        router_test router_fuzz_test)
+        router_test router_fuzz_test
+        canon_test answer_cache_test answer_fuzz_test)
 
 for san in address undefined; do
   echo "=== ${san} sanitizer build (build-${san}/) ==="

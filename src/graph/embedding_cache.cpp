@@ -56,6 +56,12 @@ void EmbeddingCache::insert(const Graph& logical, const Embedding& embedding) {
   entry.num_nodes = logical.num_nodes();
   entry.edges.assign(logical.edges().begin(), logical.edges().end());
   entry.embedding = embedding;
+  entry.bytes = entry.edges.size() * sizeof(entry.edges.front());
+  for (const auto& chain : embedding.chains) {
+    entry.bytes += chain.size() * sizeof(std::uint32_t) + sizeof(chain);
+  }
+  entry.bytes += 64;  // list/map node overhead.
+  bytes_ += entry.bytes;
   lru_.push_front(std::move(entry));
   index_.emplace(hash, lru_.begin());
   if (lru_.size() > capacity_) {
@@ -66,14 +72,23 @@ void EmbeddingCache::insert(const Graph& logical, const Embedding& embedding) {
         break;
       }
     }
+    bytes_ -= victim->bytes;
     lru_.pop_back();
     ++evictions_;
     if (telemetry::enabled()) {
       telemetry::counter("embed.cache.evictions").add();
     }
   }
+  publish_occupancy_locked();
+}
+
+void EmbeddingCache::publish_occupancy_locked() {
   if (telemetry::enabled()) {
     telemetry::gauge("embed.cache.size").set(static_cast<double>(lru_.size()));
+    telemetry::gauge("embed.cache.entries")
+        .set(static_cast<double>(lru_.size()));
+    telemetry::gauge("embed.cache.bytes", telemetry::Unit::kBytes)
+        .set(static_cast<double>(bytes_));
   }
 }
 
@@ -95,6 +110,11 @@ std::size_t EmbeddingCache::evictions() const {
 std::size_t EmbeddingCache::size() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return lru_.size();
+}
+
+std::size_t EmbeddingCache::bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
 }
 
 }  // namespace qsmt::graph

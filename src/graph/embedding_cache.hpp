@@ -54,6 +54,10 @@ class EmbeddingCache {
   std::size_t misses() const;
   std::size_t evictions() const;
   std::size_t size() const;
+  /// Approximate retained footprint (stored edge lists + embedding chains),
+  /// the value mirrored into the embed.cache.bytes gauge (embed.cache.entries
+  /// mirrors size()).
+  std::size_t bytes() const;
   std::size_t capacity() const noexcept { return capacity_; }
 
  private:
@@ -62,9 +66,11 @@ class EmbeddingCache {
     std::size_t num_nodes = 0;
     std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
     Embedding embedding;
+    std::size_t bytes = 0;
   };
 
   bool matches(const Entry& entry, const Graph& logical) const;
+  void publish_occupancy_locked();
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;
@@ -73,6 +79,7 @@ class EmbeddingCache {
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
   std::size_t evictions_ = 0;
+  std::size_t bytes_ = 0;
 };
 
 }  // namespace qsmt::graph

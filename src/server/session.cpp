@@ -134,6 +134,7 @@ class Session::Driver final : public smtlib::SmtDriver {
     {
       std::lock_guard<std::mutex> lock(session.mutex_);
       session.stats_.solve_seconds_total += seconds;
+      if (result.answer_cache_hit) ++session.stats_.answer_hits;
     }
     if (telemetry::enabled()) {
       telemetry::histogram("server.checksat.seconds",

@@ -97,6 +97,11 @@ class Session {
     std::uint64_t errors = 0;
     std::uint64_t overload_rejects = 0;
     std::uint64_t disconnect_cancels = 0;
+    /// Check-sats this session had answered straight from the shared
+    /// canonical answer cache (JobResult::answer_cache_hit); exactly one
+    /// bump per served hit, so per-tenant hit rates sum to the service's
+    /// Stats::answer_hits.
+    std::uint64_t answer_hits = 0;
     double solve_seconds_total = 0.0;
   };
   Stats stats() const;

@@ -14,10 +14,13 @@
 #include <variant>
 
 #include "anneal/reverse.hpp"
+#include "canon/canon.hpp"
 #include "engine/engine.hpp"
 #include "route/features.hpp"
+#include "smtlib/compiler.hpp"
 #include "strenc/ascii7.hpp"
 #include "strqubo/solver.hpp"
+#include "strqubo/verify.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -33,6 +36,42 @@ using SteadyClock = std::chrono::steady_clock;
 // too, so both layers agree on what "structurally identical" means).
 std::string cache_key(const strqubo::Constraint& constraint) {
   return strqubo::structure_key(constraint);
+}
+
+// Retained-footprint estimate of one prepared-model cache entry (key +
+// QUBO linear/quadratic terms, doubled for the CSR adjacency mirror) —
+// feeds the service.model_cache.bytes gauge.
+std::size_t prepared_bytes(const std::string& key,
+                           const strqubo::PreparedConstraint& prepared) {
+  return key.size() + prepared.model.num_variables() * sizeof(double) +
+         prepared.model.num_interactions() *
+             (sizeof(std::uint64_t) + sizeof(double)) * 2 +
+         64;
+}
+
+// Round-trips a script-unsat verdict's notes through one CachedAnswer
+// field: joined on store, split back on serve, so a warmed unsat reply
+// carries the cold path's explanation verbatim.
+std::string join_notes(const std::vector<std::string>& notes) {
+  std::string joined;
+  for (const std::string& note : notes) {
+    if (!joined.empty()) joined += '\n';
+    joined += note;
+  }
+  return joined;
+}
+
+void split_notes(const std::string& joined, std::vector<std::string>& out) {
+  std::size_t begin = 0;
+  while (begin <= joined.size() && !joined.empty()) {
+    const std::size_t end = joined.find('\n', begin);
+    if (end == std::string::npos) {
+      out.push_back(joined.substr(begin));
+      break;
+    }
+    out.push_back(joined.substr(begin, end - begin));
+    begin = end + 1;
+  }
 }
 
 }  // namespace
@@ -198,6 +237,14 @@ struct SolveService::Impl {
     /// fusion key: tasks whose jobs share it build the same QUBO, so a
     /// batchable member can anneal them in one kernel invocation.
     std::string structure_key;
+    /// Canonical answer-cache key (empty = not cacheable or no cache
+    /// configured) and, for script jobs, the canonical form whose renaming
+    /// remaps cached witness variables and whose original assertions the
+    /// hit confirmation compiles. Both fixed at submission.
+    std::string answer_key;
+    std::shared_ptr<const canon::CanonicalScript> canonical;
+    /// Served from the answer cache: complete() must not re-insert.
+    bool answer_cache_hit = false;
     JobOptions options;
     SteadyClock::time_point enqueued;
     bool has_deadline = false;
@@ -356,6 +403,49 @@ struct SolveService::Impl {
     }
     job->options = std::move(job_options);
     job->enqueued = SteadyClock::now();
+    std::future<JobResult> future = job->promise.get_future();
+
+    // Canonical answer cache: look the job up ahead of the router. A
+    // verified hit resolves the future right here — no member task is ever
+    // queued — and a failed confirmation falls through to the cold path
+    // below. Jobs whose deadline is already expired (negative) or whose
+    // external cancel already fired skip the lookup so their cold
+    // timeout/cancellation semantics are untouched.
+    if (options.answer_cache) {
+      if (const auto* constraint =
+              std::get_if<strqubo::Constraint>(&job->payload)) {
+        job->answer_key =
+            canon::constraint_answer_key(*constraint, options.build);
+      } else {
+        auto canonical = std::make_shared<const canon::CanonicalScript>(
+            canon::canonicalize_script(std::get<std::string>(job->payload)));
+        if (canonical->cacheable) {
+          job->answer_key = canon::script_answer_key(*canonical, options.build);
+          job->canonical = std::move(canonical);
+        }
+      }
+      std::chrono::nanoseconds effective = job->options.deadline;
+      if (effective.count() == 0) effective = options.default_deadline;
+      const bool already_cancelled =
+          job->options.cancel && job->options.cancel->token().cancelled();
+      if (!job->answer_key.empty() && effective.count() >= 0 &&
+          !already_cancelled) {
+        if (std::optional<canon::CachedAnswer> cached =
+                options.answer_cache->lookup(job->answer_key)) {
+          if (serve_cached(*job, *cached)) return future;
+          stats_answer_fallbacks.fetch_add(1, std::memory_order_relaxed);
+          if (telemetry::enabled()) {
+            telemetry::counter("service.answer.fallbacks").add();
+          }
+        } else {
+          stats_answer_misses.fetch_add(1, std::memory_order_relaxed);
+          if (telemetry::enabled()) {
+            telemetry::counter("service.answer.misses").add();
+          }
+        }
+      }
+    }
+
     decide_route(*job);
     job->members_left.store(job->routed ? 1 : options.portfolio.size(),
                             std::memory_order_relaxed);
@@ -372,7 +462,6 @@ struct SolveService::Impl {
       job->has_deadline = true;
       job->cancel.set_deadline_after(deadline);
     }
-    std::future<JobResult> future = job->promise.get_future();
     bool rejected = false;
     {
       std::lock_guard<std::mutex> lock(queue_mutex);
@@ -937,11 +1026,21 @@ struct SolveService::Impl {
         std::lock_guard<std::mutex> lock(cache_mutex);
         auto it = cache.find(key);
         if (it == cache.end()) {
-          cache_lru.push_front(CacheEntry{key, prepared});
+          const std::size_t entry_bytes = prepared_bytes(key, *prepared);
+          cache_bytes += entry_bytes;
+          cache_lru.push_front(CacheEntry{key, prepared, entry_bytes});
           cache.emplace(key, cache_lru.begin());
           while (cache.size() > options.model_cache_capacity) {
+            cache_bytes -= cache_lru.back().bytes;
             cache.erase(cache_lru.back().key);
             cache_lru.pop_back();
+          }
+          if (telemetry::enabled()) {
+            telemetry::gauge("service.model_cache.entries")
+                .set(static_cast<double>(cache_lru.size()));
+            telemetry::gauge("service.model_cache.bytes",
+                             telemetry::Unit::kBytes)
+                .set(static_cast<double>(cache_bytes));
           }
         }
         job.prepared = std::move(prepared);
@@ -1102,6 +1201,132 @@ struct SolveService::Impl {
     }
   }
 
+  /// Confirms one answer-cache hit against this job's own payload and, on
+  /// success, resolves the job on the submitting thread: no member task is
+  /// queued, winner is "answer-cache", attempts stay zero, and the
+  /// pipeline/on_complete plumbing fires through the ordinary complete()
+  /// path. Exactly ONE classical verification guards every served witness:
+  /// verify_string / verify_position for constraint jobs, a compile of the
+  /// job's ORIGINAL assertions plus per-constraint verify_string for
+  /// script-sat hits. Script-unsat hits are served on key identity alone —
+  /// the full-string canonical key proves the hit is an alpha-variant of
+  /// the formula whose cold unsat was exact/certified. Returns false (job
+  /// untouched, cold solve proceeds) on any mismatch, so a stale or
+  /// poisoned entry costs one cheap check, never a wrong verdict.
+  bool serve_cached(Job& job, const canon::CachedAnswer& answer) {
+    JobResult result;
+    if (const auto* constraint =
+            std::get_if<strqubo::Constraint>(&job.payload)) {
+      // Constraint jobs only ever resolve kSat on the cold path.
+      if (answer.status != smtlib::CheckSatStatus::kSat) return false;
+      if (const auto* includes = std::get_if<strqubo::Includes>(constraint)) {
+        if (!strqubo::verify_position(*includes, answer.position)) {
+          return false;
+        }
+        result.position = answer.position;
+      } else {
+        if (!answer.text.has_value() ||
+            !strqubo::verify_string(*constraint, *answer.text)) {
+          return false;
+        }
+        result.text = answer.text;
+      }
+      result.status = smtlib::CheckSatStatus::kSat;
+    } else {
+      if (!job.canonical) return false;
+      if (answer.status == smtlib::CheckSatStatus::kUnsat) {
+        result.status = smtlib::CheckSatStatus::kUnsat;
+        split_notes(answer.note, result.notes);
+      } else {
+        // Script sat: compile the hit job's original assertions and check
+        // the remapped witness against every compiled constraint. Scripts
+        // the conjunctive compiler cannot express (boolean structure,
+        // position-producing atoms) fall through to a cold solve.
+        const smtlib::CompiledQuery compiled = smtlib::compile_assertions(
+            job.canonical->assertions, job.canonical->declared);
+        if (!compiled.unsupported.empty() ||
+            !compiled.falsified_ground.empty()) {
+          return false;
+        }
+        const std::string variable =
+            answer.variable.empty()
+                ? std::string()
+                : canon::original_name(*job.canonical, answer.variable);
+        if (variable != compiled.variable) return false;
+        const std::string witness = answer.text.value_or(std::string());
+        for (const strqubo::Constraint& constraint : compiled.constraints) {
+          if (!strqubo::verify_string(constraint, witness)) return false;
+        }
+        result.status = smtlib::CheckSatStatus::kSat;
+        result.variable = variable;
+        result.model_value = witness;
+      }
+    }
+    result.winner = "answer-cache";
+    result.notes.insert(result.notes.begin(), "answer cache hit");
+    result.answer_cache_hit = true;
+    job.answer_cache_hit = true;
+    job.decided.store(true, std::memory_order_release);
+    // An adopted external CancelSource must still observe the verdict, as
+    // claim_and_finish guarantees on the cold path.
+    if (job.options.cancel) {
+      job.cancel = *job.options.cancel;
+      job.external_cancel = true;
+      job.cancel.cancel();
+    }
+    stats_submitted.fetch_add(1, std::memory_order_relaxed);
+    stats_answer_hits.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      telemetry::counter("service.jobs.submitted").add();
+      telemetry::counter("service.answer.hits").add();
+    }
+    complete(job, std::move(result));
+    return true;
+  }
+
+  /// Checks one verified cold completion into the answer cache, exactly
+  /// once per job: hits never re-insert, timeouts and kUnknown never
+  /// qualify, and a script-sat witness is re-confirmed against the job's
+  /// original assertions before it may enter the shared cache (so a tenant
+  /// can never publish an unverified string). Script entries store the
+  /// CANONICAL variable name; the hit side remaps it back through its own
+  /// script's renaming.
+  void maybe_insert_answer(Job& job, const JobResult& result) {
+    if (!options.answer_cache || job.answer_key.empty()) return;
+    if (job.answer_cache_hit || result.timed_out) return;
+    if (result.status == smtlib::CheckSatStatus::kUnknown) return;
+    canon::CachedAnswer answer;
+    answer.status = result.status;
+    if (std::holds_alternative<strqubo::Constraint>(job.payload)) {
+      // Already classically verified by the winning member (first-
+      // verified-SAT-wins); constraint jobs never resolve kUnsat.
+      answer.text = result.text;
+      answer.position = result.position;
+    } else if (result.status == smtlib::CheckSatStatus::kSat) {
+      if (!job.canonical) return;
+      const smtlib::CompiledQuery compiled = smtlib::compile_assertions(
+          job.canonical->assertions, job.canonical->declared);
+      if (!compiled.unsupported.empty() || !compiled.falsified_ground.empty() ||
+          compiled.variable != result.variable) {
+        return;
+      }
+      for (const strqubo::Constraint& constraint : compiled.constraints) {
+        if (!strqubo::verify_string(constraint, result.model_value)) return;
+      }
+      answer.text = result.model_value;
+      if (!result.variable.empty()) {
+        answer.variable = canon::canonical_name(*job.canonical,
+                                                result.variable);
+        if (answer.variable.empty()) return;
+      }
+    } else {
+      // Script unsat: exact/certified on the cold path (both engines);
+      // the notes carry the explanation a warmed reply reproduces.
+      answer.note = join_notes(result.notes);
+    }
+    options.answer_cache->insert(job.answer_key, std::move(answer));
+  }
+
   void complete(Job& job, JobResult result) {
     result.tag = job.options.tag;
     result.route = job.route_disposition;
@@ -1113,6 +1338,9 @@ struct SolveService::Impl {
         std::chrono::duration<double>(SteadyClock::now() - job.enqueued)
             .count();
     record_route_outcome(job);
+    // Check the verdict into the answer cache before the promise resolves:
+    // a caller that resubmits an alpha-variant right after .get() must hit.
+    maybe_insert_answer(job, result);
     stats_completed.fetch_add(1, std::memory_order_relaxed);
     if (telemetry::enabled()) {
       telemetry::counter("service.jobs.completed").add();
@@ -1162,10 +1390,12 @@ struct SolveService::Impl {
   struct CacheEntry {
     std::string key;
     std::shared_ptr<const strqubo::PreparedConstraint> prepared;
+    std::size_t bytes = 0;
   };
   std::mutex cache_mutex;
   std::list<CacheEntry> cache_lru;  // Front = most recently used.
   std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache;
+  std::size_t cache_bytes = 0;  // Guarded by cache_mutex.
 
   std::atomic<std::uint64_t> stats_submitted{0};
   std::atomic<std::uint64_t> stats_completed{0};
@@ -1183,6 +1413,9 @@ struct SolveService::Impl {
   std::atomic<std::uint64_t> stats_route_fallbacks{0};
   std::atomic<std::uint64_t> stats_pipelines{0};
   std::atomic<std::uint64_t> stats_chain_warm_starts{0};
+  std::atomic<std::uint64_t> stats_answer_hits{0};
+  std::atomic<std::uint64_t> stats_answer_misses{0};
+  std::atomic<std::uint64_t> stats_answer_fallbacks{0};
 };
 
 SolveService::SolveService(ServiceOptions options)
@@ -1279,6 +1512,16 @@ SolveService::Stats SolveService::stats() const noexcept {
   stats.pipelines = impl_->stats_pipelines.load(std::memory_order_relaxed);
   stats.chain_warm_starts =
       impl_->stats_chain_warm_starts.load(std::memory_order_relaxed);
+  stats.answer_hits = impl_->stats_answer_hits.load(std::memory_order_relaxed);
+  stats.answer_misses =
+      impl_->stats_answer_misses.load(std::memory_order_relaxed);
+  stats.answer_fallbacks =
+      impl_->stats_answer_fallbacks.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(impl_->cache_mutex);
+    stats.model_cache_entries = impl_->cache_lru.size();
+    stats.model_cache_bytes = impl_->cache_bytes;
+  }
   return stats;
 }
 

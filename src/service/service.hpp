@@ -43,6 +43,7 @@
 
 #include "anneal/exact.hpp"
 #include "anneal/pimc.hpp"
+#include "canon/answer_cache.hpp"
 #include "anneal/sampler.hpp"
 #include "anneal/simulated_annealer.hpp"
 #include "anneal/tempering.hpp"
@@ -142,6 +143,20 @@ struct ServiceOptions {
   /// router may serve many services, or many tenants may each pass their
   /// own per-job via JobOptions::router.
   std::shared_ptr<route::Router> router;
+  /// Canonical answer cache (docs/caching.md). When set, every job is
+  /// looked up at submission — ahead of the router — under its
+  /// alpha-equivalence canonical key (src/canon): a hit whose remapped
+  /// witness passes one classical verification resolves the future
+  /// immediately with a byte-identical verdict (winner "answer-cache",
+  /// zero sampling attempts); a hit that fails verification falls through
+  /// to the normal cold solve (Stats::answer_fallbacks), whose fresh
+  /// verdict then replaces the entry. Verified completions are inserted
+  /// exactly once. Shared by design: one cache may serve many services,
+  /// server sessions, and tenants (qsmt-server wires one across every
+  /// session) — entries are keyed by canonical structure alone, so a
+  /// witness can only be observed by holders of a structurally identical
+  /// query. Null disables answer memoization entirely.
+  std::shared_ptr<canon::AnswerCache> answer_cache;
 };
 
 struct JobOptions {
@@ -193,6 +208,11 @@ struct JobResult {
   /// member won. A job whose members exhausted every attempt unverified
   /// while the deadline expired concurrently is kUnknown, not a timeout.
   bool timed_out = false;
+  /// True when the verdict was served from the canonical answer cache
+  /// (ServiceOptions::answer_cache): no portfolio member ran, winner is
+  /// "answer-cache", and the witness was confirmed by one classical
+  /// verification against this job's own payload.
+  bool answer_cache_hit = false;
   /// Sampling attempts across all members at the time the verdict landed.
   std::size_t attempts = 0;
   /// Losing members that had observed their cancel token by verdict time.
@@ -304,6 +324,19 @@ class SolveService {
     /// Pipeline stages submitted with the previous stage's witness chained
     /// in as a warm start (one per hop whose upstream produced a witness).
     std::uint64_t chain_warm_starts = 0;
+    /// Answer-cache dispositions (ServiceOptions::answer_cache), counted
+    /// exactly once per job: jobs served straight from a verified cache
+    /// hit / jobs whose canonical key missed / hits whose witness failed
+    /// its confirmation and fell through to a cold solve. The cache's own
+    /// lookup counters relate as answer_cache.hits == answer_hits +
+    /// answer_fallbacks (every lookup hit either serves or falls back).
+    std::uint64_t answer_hits = 0;
+    std::uint64_t answer_misses = 0;
+    std::uint64_t answer_fallbacks = 0;
+    /// Prepared-model LRU occupancy (mirrors the
+    /// service.model_cache.{entries,bytes} gauges).
+    std::uint64_t model_cache_entries = 0;
+    std::uint64_t model_cache_bytes = 0;
   };
   Stats stats() const noexcept;
 

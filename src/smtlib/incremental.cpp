@@ -141,19 +141,23 @@ void publish_model_size(ConjunctionResult& result,
 std::string fragment_key(const strqubo::Constraint& constraint,
                          const strqubo::BuildOptions& options) {
   std::ostringstream out;
-  out << strqubo::structure_key(constraint) << '\x1e' << options.strength
-      << '\x1f' << options.one_hot_penalty << '\x1f'
-      << options.first_match_increment << '\x1f';
-  if (options.includes_selection_cost) {
-    out << *options.includes_selection_cost;
-  } else {
-    out << "auto";
-  }
-  out << '\x1f' << options.strong_multiplier << '\x1f' << options.soft_weight
-      << '\x1f' << options.palindrome_printable_bias << '\x1f'
-      << static_cast<int>(options.regex_encoding);
+  out << strqubo::structure_key(constraint) << '\x1e'
+      << strqubo::options_fingerprint(options);
   return out.str();
 }
+
+namespace {
+
+/// Approximate retained footprint of one cached block: its key plus the
+/// model's linear and quadratic coefficient storage.
+std::size_t block_bytes(const std::string& key, const qubo::QuboModel& block) {
+  return key.size() + block.num_variables() * sizeof(double) +
+         block.num_interactions() *
+             (sizeof(std::uint64_t) + sizeof(double)) +
+         64;  // list/map node overhead.
+}
+
+}  // namespace
 
 FragmentCache::FragmentCache(std::size_t capacity)
     : capacity_(std::max<std::size_t>(1, capacity)) {}
@@ -186,13 +190,26 @@ std::shared_ptr<const qubo::QuboModel> FragmentCache::get_or_build(
   }
   auto it = index_.find(key);
   if (it != index_.end()) return it->second->block;
-  lru_.push_front(Entry{key, block});
+  const std::size_t entry_bytes = block_bytes(key, *block);
+  lru_.push_front(Entry{key, block, entry_bytes});
   index_.emplace(key, lru_.begin());
+  bytes_ += entry_bytes;
   while (index_.size() > capacity_) {
+    bytes_ -= lru_.back().bytes;
     index_.erase(lru_.back().key);
     lru_.pop_back();
   }
+  publish_occupancy_locked();
   return block;
+}
+
+void FragmentCache::publish_occupancy_locked() {
+  if (telemetry::enabled()) {
+    telemetry::gauge("incremental.fragment.entries")
+        .set(static_cast<double>(index_.size()));
+    telemetry::gauge("incremental.fragment.bytes", telemetry::Unit::kBytes)
+        .set(static_cast<double>(bytes_));
+  }
 }
 
 std::size_t FragmentCache::size() const {
@@ -200,9 +217,17 @@ std::size_t FragmentCache::size() const {
   return index_.size();
 }
 
+std::size_t FragmentCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
 FragmentCache::Stats FragmentCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats stats = stats_;
+  stats.entries = index_.size();
+  stats.bytes = bytes_;
+  return stats;
 }
 
 void ClauseMemory::remember(

@@ -63,10 +63,16 @@ class FragmentCache {
       const strqubo::BuildOptions& options);
 
   std::size_t size() const;
+  /// Approximate retained footprint (keys + block coefficients), the value
+  /// mirrored into the incremental.fragment.bytes gauge.
+  std::size_t bytes() const;
 
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /// Occupancy mirror of the incremental.fragment.{entries,bytes} gauges.
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
   };
   Stats stats() const;
 
@@ -74,13 +80,17 @@ class FragmentCache {
   struct Entry {
     std::string key;
     std::shared_ptr<const qubo::QuboModel> block;
+    std::size_t bytes = 0;
   };
+
+  void publish_occupancy_locked();
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
   std::list<Entry> lru_;  // Front = most recently used.
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   Stats stats_;
+  std::size_t bytes_ = 0;
 };
 
 /// One retained theory lemma: a clause over (printed atom, polarity)

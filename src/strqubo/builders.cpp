@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "qubo/builder.hpp"
 #include "qubo/penalties.hpp"
@@ -460,6 +461,21 @@ double expected_ground_energy(const Constraint& constraint,
   }
   throw std::invalid_argument(
       "expected_ground_energy: no closed form for this constraint");
+}
+
+std::string options_fingerprint(const BuildOptions& options) {
+  std::ostringstream out;
+  out << options.strength << '\x1f' << options.one_hot_penalty << '\x1f'
+      << options.first_match_increment << '\x1f';
+  if (options.includes_selection_cost) {
+    out << *options.includes_selection_cost;
+  } else {
+    out << "auto";
+  }
+  out << '\x1f' << options.strong_multiplier << '\x1f' << options.soft_weight
+      << '\x1f' << options.palindrome_printable_bias << '\x1f'
+      << static_cast<int>(options.regex_encoding);
+  return out.str();
 }
 
 }  // namespace qsmt::strqubo

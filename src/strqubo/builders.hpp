@@ -154,4 +154,10 @@ qubo::QuboModel build(const Constraint& constraint,
 double expected_ground_energy(const Constraint& constraint,
                               const BuildOptions& options = {});
 
+/// Deterministic fingerprint of every BuildOptions field that changes a
+/// built QUBO ('\x1f'-separated). Shared by the incremental fragment cache
+/// (smtlib::fragment_key) and the canonical answer cache (src/canon), so
+/// both layers agree on when two solves were configured identically.
+std::string options_fingerprint(const BuildOptions& options);
+
 }  // namespace qsmt::strqubo

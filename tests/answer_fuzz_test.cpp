@@ -1,0 +1,235 @@
+// Answer-cache differential fuzzing: 220 seeded constraint jobs across 11
+// operation families solved cold (no cache) and through a warming cache,
+// plus alpha-renamed/argument-permuted script duplicates. The contract:
+//
+//  * a first (miss) solve through the cache-enabled service is byte-
+//    identical to the cache-less reference solve under the same seed;
+//  * a duplicate submission — same constraint, different seed — is served
+//    from the cache with a byte-identical verdict, witness, and position
+//    (winner "answer-cache", zero sampling attempts);
+//  * a script that differs from an already-solved one only in variable
+//    names, assertion order, and commutative argument order hits the same
+//    entry, with the model variable remapped to the querying script's own
+//    name;
+//  * no verified entry ever fails its hit confirmation (zero fallbacks).
+//
+// A single-member portfolio keeps witnesses a deterministic function of
+// (payload, seed), so "byte-identical" is checkable, not probabilistic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "canon/answer_cache.hpp"
+#include "service/service.hpp"
+#include "strqubo/constraint.hpp"
+#include "util/rng.hpp"
+
+namespace qsmt {
+namespace {
+
+constexpr std::size_t kCasesPerKind = 20;
+
+std::string random_word(Xoshiro256& rng, std::size_t min_len,
+                        std::size_t max_len) {
+  std::string word(min_len + rng.below(max_len - min_len + 1), 'a');
+  for (char& c : word) c = static_cast<char>('a' + rng.below(5));
+  return word;
+}
+
+/// 11 operation families, kCasesPerKind seeded cases each, all satisfiable
+/// (the same size envelope the differential suite proves the annealer
+/// solves at a 100% rate).
+std::vector<strqubo::Constraint> fuzz_cases(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<strqubo::Constraint> cases;
+  for (std::size_t i = 0; i < kCasesPerKind; ++i) {
+    cases.push_back(strqubo::Equality{random_word(rng, 2, 6)});
+    cases.push_back(
+        strqubo::Concat{random_word(rng, 1, 3), random_word(rng, 1, 3)});
+    cases.push_back(
+        strqubo::Includes{random_word(rng, 3, 7), random_word(rng, 1, 3)});
+    const std::size_t string_length = 2 + rng.below(5);
+    cases.push_back(
+        strqubo::Length{string_length, rng.below(string_length + 1)});
+    cases.push_back(strqubo::Replace{random_word(rng, 2, 6),
+                                     static_cast<char>('a' + rng.below(5)),
+                                     static_cast<char>('a' + rng.below(5))});
+    cases.push_back(strqubo::ReplaceAll{
+        random_word(rng, 2, 6), static_cast<char>('a' + rng.below(5)),
+        static_cast<char>('a' + rng.below(5))});
+    cases.push_back(strqubo::Reverse{random_word(rng, 2, 6)});
+    cases.push_back(
+        strqubo::SubstringMatch{3 + rng.below(3), random_word(rng, 1, 2)});
+    const std::size_t index_length = 3 + rng.below(2);
+    const std::string needle = random_word(rng, 1, 2);
+    cases.push_back(strqubo::IndexOf{
+        index_length, needle, rng.below(index_length - needle.size() + 1)});
+    const std::size_t char_length = 2 + rng.below(4);
+    cases.push_back(strqubo::CharAt{char_length, rng.below(char_length),
+                                    static_cast<char>('a' + rng.below(5))});
+    cases.push_back(strqubo::Palindrome{1 + rng.below(5)});
+  }
+  return cases;
+}
+
+service::ServiceOptions fuzz_service(
+    std::shared_ptr<canon::AnswerCache> cache) {
+  anneal::SimulatedAnnealerParams deep;
+  deep.num_reads = 64;
+  deep.num_sweeps = 512;
+  service::ServiceOptions options;
+  options.num_workers = 2;
+  options.portfolio = {service::simulated_annealing_member("sa", deep)};
+  options.answer_cache = std::move(cache);
+  return options;
+}
+
+TEST(AnswerFuzz, WarmedConstraintVerdictsAreByteIdenticalAcrossFamilies) {
+  const std::vector<strqubo::Constraint> cases = fuzz_cases(0xAC0);
+  ASSERT_GE(cases.size(), 200u);
+
+  auto cache = std::make_shared<canon::AnswerCache>();
+  service::SolveService reference(fuzz_service(nullptr));
+  service::SolveService warm(fuzz_service(cache));
+
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    SCOPED_TRACE("case " + std::to_string(i) + ": " +
+                 strqubo::describe(cases[i]));
+    service::JobOptions job;
+    job.seed = 0xAC10000 + i;
+    const service::JobResult cold = reference.submit(cases[i], job).get();
+    const service::JobResult first = warm.submit(cases[i], job).get();
+    ASSERT_EQ(cold.status, smtlib::CheckSatStatus::kSat);
+    EXPECT_EQ(first.status, cold.status);
+    if (!first.answer_cache_hit) {
+      // A genuine miss under the same seed is the reference solve, byte
+      // for byte. (Generator collisions within a family legitimately hit
+      // an earlier case's entry instead.)
+      EXPECT_EQ(first.text, cold.text);
+      EXPECT_EQ(first.position, cold.position);
+    }
+
+    // The duplicate changes ONLY the seed: a cold solve could pick another
+    // witness, so byte-equality here proves it was served from the cache.
+    service::JobOptions duplicate;
+    duplicate.seed = 0xD0D0000 + i;
+    const service::JobResult second = warm.submit(cases[i], duplicate).get();
+    EXPECT_TRUE(second.answer_cache_hit);
+    EXPECT_EQ(second.winner, "answer-cache");
+    EXPECT_EQ(second.attempts, 0u);
+    EXPECT_EQ(second.status, first.status);
+    EXPECT_EQ(second.text, first.text);
+    EXPECT_EQ(second.position, first.position);
+  }
+
+  const service::SolveService::Stats stats = warm.stats();
+  EXPECT_GE(stats.answer_hits, cases.size());  // Every duplicate served.
+  EXPECT_EQ(stats.answer_fallbacks, 0u);
+  EXPECT_EQ(stats.answer_hits + stats.answer_misses, 2 * cases.size());
+}
+
+/// One fuzzed script case: the base form plus an alpha-renamed,
+/// assertion-shuffled, operand-swapped variant of the same formula.
+struct ScriptPair {
+  std::string base;
+  std::string variant;
+  std::string variant_variable;
+};
+
+ScriptPair make_script_pair(Xoshiro256& rng, std::size_t index) {
+  const std::size_t length = 2 + rng.below(2);
+  const std::string word = random_word(rng, length, length);
+  const std::string base_var = "x";
+  const std::string variant_var = "fuzzed_q" + std::to_string(index);
+
+  // Assertion builders; `flip` swaps commutative `=` operand order.
+  const auto len_fact = [&](const std::string& var, bool flip) {
+    const std::string len = std::to_string(length);
+    return flip ? "(assert (= " + len + " (str.len " + var + ")))\n"
+                : "(assert (= (str.len " + var + ") " + len + "))\n";
+  };
+  const auto prefix_fact = [&](const std::string& var) {
+    return "(assert (str.prefixof \"" + word.substr(0, 1) + "\" " + var +
+           "))\n";
+  };
+  const auto suffix_fact = [&](const std::string& var) {
+    return "(assert (str.suffixof \"" + word.substr(word.size() - 1) + "\" " +
+           var + "))\n";
+  };
+  const auto contains_fact = [&](const std::string& var) {
+    return "(assert (str.contains " + var + " \"" +
+           word.substr(rng.below(word.size()), 1) + "\"))\n";
+  };
+
+  std::vector<std::string> base_asserts = {
+      len_fact(base_var, false), prefix_fact(base_var),
+      suffix_fact(base_var)};
+  std::vector<std::string> variant_asserts = {
+      len_fact(variant_var, true), prefix_fact(variant_var),
+      suffix_fact(variant_var)};
+  if (rng.coin()) {
+    const std::string shared = contains_fact(base_var);
+    std::string renamed = shared;
+    renamed.replace(renamed.find(base_var), base_var.size(), variant_var);
+    base_asserts.push_back(shared);
+    variant_asserts.push_back(renamed);
+  }
+  // Shuffle the variant's assertion order with a seeded rotation.
+  std::rotate(variant_asserts.begin(),
+              variant_asserts.begin() + rng.below(variant_asserts.size()),
+              variant_asserts.end());
+
+  ScriptPair pair;
+  pair.base = "(declare-const " + base_var + " String)\n";
+  for (const std::string& assert_line : base_asserts) pair.base += assert_line;
+  pair.base += "(check-sat)\n";
+  pair.variant = "(declare-const " + variant_var + " String)\n";
+  for (const std::string& assert_line : variant_asserts) {
+    pair.variant += assert_line;
+  }
+  pair.variant += "(check-sat)\n";
+  pair.variant_variable = variant_var;
+  return pair;
+}
+
+TEST(AnswerFuzz, AlphaRenamedAndPermutedScriptsHitByteIdentically) {
+  constexpr std::size_t kPairs = 24;
+  auto cache = std::make_shared<canon::AnswerCache>();
+  service::SolveService warm(fuzz_service(cache));
+
+  Xoshiro256 rng(0x5C21);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    const ScriptPair pair = make_script_pair(rng, i);
+    SCOPED_TRACE("pair " + std::to_string(i) + ":\n" + pair.base + "--\n" +
+                 pair.variant);
+    service::JobOptions job;
+    job.seed = 0x5C210000 + i;
+    const service::JobResult cold = warm.submit_script(pair.base, job).get();
+    ASSERT_EQ(cold.status, smtlib::CheckSatStatus::kSat);
+    ASSERT_FALSE(cold.model_value.empty());
+
+    service::JobOptions duplicate;
+    duplicate.seed = 0x77210000 + i;
+    const service::JobResult hit =
+        warm.submit_script(pair.variant, duplicate).get();
+    EXPECT_EQ(hit.status, smtlib::CheckSatStatus::kSat);
+    if (hit.answer_cache_hit) {
+      ++hits;
+      EXPECT_EQ(hit.winner, "answer-cache");
+      // Byte-identical witness, reported under the VARIANT's own variable.
+      EXPECT_EQ(hit.model_value, cold.model_value);
+      EXPECT_EQ(hit.variable, pair.variant_variable);
+    }
+  }
+  // Every variant canonicalizes to its base's key: all of them must hit.
+  EXPECT_EQ(hits, kPairs);
+  EXPECT_EQ(warm.stats().answer_fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace qsmt

@@ -16,6 +16,7 @@
 
 #include "anneal/exact.hpp"
 #include "anneal/simulated_annealer.hpp"
+#include "canon/answer_cache.hpp"
 #include "graph/chimera.hpp"
 #include "graph/embedding_cache.hpp"
 #include "server/client.hpp"
@@ -452,6 +453,84 @@ TEST(ServerStress, DivergentTenantMixesLearnIsolatedRouterTables) {
   // Every routed dispatch in the pool is accounted to exactly one tenant
   // table — the shared service saw the same number it executed.
   EXPECT_EQ(node.service().stats().jobs_routed, routed_total);
+}
+
+/// Concurrent tenants sharing one canonical answer cache: half hammer one
+/// formula, half another, every tenant under its own variable name (alpha
+/// variants, so cross-tenant hits exercise the witness remapping). Both
+/// formulas force unique witnesses, so ANY cross-tenant contamination — a
+/// witness observed outside a legitimate canonical-key hit — surfaces as a
+/// byte-wrong model reply. Per-tenant Session::Stats::answer_hits must be
+/// bumped exactly once per served hit, summing to the pool's answer_hits.
+TEST(ServerStress, TenantsShareTheAnswerCacheWithoutWitnessLeaks) {
+  constexpr std::size_t kRounds = 4;
+  auto answers = std::make_shared<canon::AnswerCache>();
+  service::ServiceOptions pool_options = exact_service(4);
+  pool_options.answer_cache = answers;
+  service::SolveService pool(pool_options);
+
+  std::vector<std::unique_ptr<server::Session>> sessions;
+  sessions.reserve(kNumClients);
+  for (std::size_t c = 0; c < kNumClients; ++c) {
+    server::SessionOptions session_options;
+    session_options.tenant = c;
+    session_options.seed = c;
+    sessions.push_back(
+        std::make_unique<server::Session>(pool, session_options));
+  }
+
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> tenants;
+  tenants.reserve(kNumClients);
+  for (std::size_t c = 0; c < kNumClients; ++c) {
+    tenants.emplace_back([&, c] {
+      server::Session& session = *sessions[c];
+      // Per-tenant variable name: tenants only ever collide via the
+      // alpha-equivalence canonical key, never via shared text.
+      const std::string var = "tenant" + std::to_string(c) + "_x";
+      // Even tenants force the unique witness "aa" (single-constraint fast
+      // path); odd tenants force the unique witness "bc" (script path, so
+      // the cached variable is remapped through each tenant's renaming).
+      const std::string script =
+          c % 2 == 0
+              ? "(declare-const " + var + " String)(assert (= " + var +
+                    " \"aa\"))(check-sat)(get-model)"
+              : "(declare-const " + var + " String)(assert (str.prefixof "
+                    "\"b\" " + var + "))(assert (str.suffixof \"c\" " + var +
+                    "))(assert (= (str.len " + var + ") 2))"
+                    "(check-sat)(get-model)";
+      const std::string expect = "sat\n(model (define-fun " + var +
+                                 " () String \"" +
+                                 (c % 2 == 0 ? "aa" : "bc") + "\"))\n";
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        if (session.consume(script) != expect) failures.fetch_add(1);
+        if (session.consume("(reset)") != "") failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& tenant : tenants) tenant.join();
+  EXPECT_EQ(failures.load(), 0u);
+
+  const service::SolveService::Stats stats = pool.stats();
+  // One lookup disposition per check-sat, and a verified hit never falls
+  // back here (entries are only ever written by verified completions).
+  EXPECT_EQ(stats.answer_hits + stats.answer_misses, kNumClients * kRounds);
+  EXPECT_EQ(stats.answer_fallbacks, 0u);
+  // Worst case every tenant's first round misses concurrently; every later
+  // round must be served from the shared cache.
+  EXPECT_GE(stats.answer_hits, kNumClients * (kRounds - 1));
+  // Two formulas, two canonical entries — tenant count does not inflate it.
+  EXPECT_EQ(answers->size(), 2u);
+  EXPECT_EQ(answers->stats().hits, stats.answer_hits + stats.answer_fallbacks);
+  EXPECT_EQ(answers->stats().misses, stats.answer_misses);
+
+  // Exactly-once per-tenant accounting: the sessions' counters partition
+  // the pool's.
+  std::uint64_t session_hits = 0;
+  for (const auto& session : sessions) {
+    session_hits += session->stats().answer_hits;
+  }
+  EXPECT_EQ(session_hits, stats.answer_hits);
 }
 
 /// Deterministic overload: with the single admission slot held and a line
